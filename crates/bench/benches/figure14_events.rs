@@ -1,0 +1,90 @@
+//! Figure 14(a)/(e): online approaches on the Taxi data set — latency and
+//! throughput as the number of events per window grows.
+//!
+//! Paper shape: both online approaches scale far beyond the two-step
+//! ones; SHARON's speed-up over A-Seq grows linearly in events/window
+//! (5-fold at 200k to 7-fold at 1200k in the paper), because each event is
+//! processed once per *shared pattern* instead of once per query.
+
+use sharon::prelude::*;
+use sharon::streams::taxi::{generate, street_name, TaxiConfig};
+use sharon::streams::workload::{overlapping_workload, WorkloadConfig};
+use sharon::Strategy;
+use sharon_bench::{emit, rates_of, run_measured, scale, scaled};
+use sharon_metrics::Table;
+
+#[global_allocator]
+static ALLOC: sharon_metrics::TrackingAllocator = sharon_metrics::TrackingAllocator;
+
+fn main() {
+    // paper sweeps 200k..1200k events per window; default scale runs
+    // 10k..60k (set SHARON_SCALE=20 for the full-size sweep)
+    let targets: Vec<usize> = [10_000, 20_000, 40_000, 60_000]
+        .iter()
+        .map(|&t| scaled(t, 1000))
+        .collect();
+    let within_secs = 60u64;
+    let n_streets = 12;
+    let n_queries = 12;
+
+    let mut latency = Table::new("figure14a", "Latency vs events/window (TX), online approaches")
+        .headers(["events/window", "A-Seq", "SHARON", "speedup"]);
+    let mut throughput =
+        Table::new("figure14e", "Throughput vs events/window (TX), online approaches")
+            .headers(["events/window", "A-Seq", "SHARON"]);
+
+    for &target in &targets {
+        let rate_per_sec = (target as f64 / within_secs as f64).max(1.0);
+        let mut catalog = Catalog::new();
+        let events = generate(
+            &mut catalog,
+            &TaxiConfig {
+                n_streets,
+                n_vehicles: 20,
+                trip_len: 8,
+                n_events: target * 3, // ~3 windows worth
+                mean_interarrival_ms: ((1000.0 / rate_per_sec).max(0.5) * 1.0) as u64,
+                seed: 14,
+            },
+        );
+        let workload = overlapping_workload(
+            &mut catalog,
+            &WorkloadConfig {
+                n_queries,
+                pattern_len: 6,
+                alphabet: (0..n_streets).map(street_name).collect(),
+                window: WindowSpec::new(
+                    TimeDelta::from_secs(within_secs),
+                    TimeDelta::from_secs(6),
+                ),
+                group_by: Some("vehicle".into()),
+                seed: 14,
+            },
+        );
+        let rates = rates_of(&events);
+
+        let aseq = run_measured(&catalog, &workload, &rates, Strategy::ASeq, &events, None);
+        let sharon = run_measured(&catalog, &workload, &rates, Strategy::Sharon, &events, None);
+        let speedup = aseq.latency.as_secs_f64() / sharon.latency.as_secs_f64().max(1e-12);
+        latency.row(vec![
+            target.to_string(),
+            aseq.latency_cell(),
+            sharon.latency_cell(),
+            format!("{speedup:.2}x"),
+        ]);
+        throughput.row(vec![
+            target.to_string(),
+            aseq.throughput_cell(),
+            sharon.throughput_cell(),
+        ]);
+    }
+    let note = format!(
+        "SHARON_SCALE={}; {n_queries} queries, pattern length 6, WITHIN {within_secs}s SLIDE 6s, \
+         GROUP BY vehicle; paper: 5x..7x speedup growing with events/window",
+        scale()
+    );
+    latency.note(note.clone());
+    throughput.note(note);
+    emit(&latency);
+    emit(&throughput);
+}

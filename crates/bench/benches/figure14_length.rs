@@ -1,0 +1,90 @@
+//! Figure 14(c)/(g)/(h): online approaches on the e-commerce data set —
+//! latency, throughput, and peak memory as the pattern length grows.
+//!
+//! Paper shape: SHARON's speed-up over A-Seq grows from 4-fold to 6-fold
+//! as patterns lengthen from 10 to 30 (longer patterns mean longer shared
+//! sub-patterns), with 20-fold less memory at length 30.
+
+use sharon::prelude::*;
+use sharon::streams::ecommerce::{generate, item_name, EcommerceConfig};
+use sharon::streams::workload::{overlapping_workload, WorkloadConfig};
+use sharon::Strategy;
+use sharon_bench::{emit, rates_of, run_measured, scale, scaled};
+use sharon_metrics::Table;
+
+#[global_allocator]
+static ALLOC: sharon_metrics::TrackingAllocator = sharon_metrics::TrackingAllocator;
+
+fn main() {
+    let lengths: Vec<usize> = [10, 15, 20, 25, 30].to_vec();
+    let n_events = scaled(60_000, 5_000);
+
+    let mut catalog = Catalog::new();
+    let events = generate(
+        &mut catalog,
+        &EcommerceConfig {
+            n_items: 50,
+            n_customers: 20,
+            events_per_sec: 3000,
+            n_events,
+            seed: 14,
+        },
+    );
+    let rates = rates_of(&events);
+
+    let mut latency = Table::new("figure14c", "Latency vs pattern length (EC)")
+        .headers(["length", "A-Seq", "SHARON", "speedup"]);
+    let mut throughput = Table::new("figure14g", "Throughput vs pattern length (EC)")
+        .headers(["length", "A-Seq", "SHARON"]);
+    let mut memory = Table::new("figure14h", "Peak memory vs pattern length (EC)")
+        .headers(["length", "A-Seq", "SHARON", "ratio"]);
+
+    for &len in &lengths {
+        let mut cat = catalog.clone();
+        let workload = overlapping_workload(
+            &mut cat,
+            &WorkloadConfig {
+                n_queries: 20,
+                pattern_len: len,
+                alphabet: (0..50).map(item_name).collect(),
+                window: WindowSpec::new(TimeDelta::from_secs(8), TimeDelta::from_secs(2)),
+                group_by: Some("customer".into()),
+                seed: 33,
+            },
+        );
+        let aseq = run_measured(&cat, &workload, &rates, Strategy::ASeq, &events, None);
+        let sharon = run_measured(&cat, &workload, &rates, Strategy::Sharon, &events, None);
+        let speedup = aseq.latency.as_secs_f64() / sharon.latency.as_secs_f64().max(1e-12);
+        latency.row(vec![
+            len.to_string(),
+            aseq.latency_cell(),
+            sharon.latency_cell(),
+            format!("{speedup:.2}x"),
+        ]);
+        throughput.row(vec![
+            len.to_string(),
+            aseq.throughput_cell(),
+            sharon.throughput_cell(),
+        ]);
+        let ratio = aseq.peak_memory as f64 / sharon.peak_memory.max(1) as f64;
+        memory.row(vec![
+            len.to_string(),
+            aseq.memory_cell(),
+            sharon.memory_cell(),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    let note = format!(
+        "SHARON_SCALE={}; 20 queries over 50 items at 3k ev/s ({} events), \
+         WITHIN 8s SLIDE 2s, GROUP BY customer; paper: 4x..6x speedup and \
+         20x less memory at length 30",
+        scale(),
+        n_events
+    );
+    latency.note(note.clone());
+    throughput.note(note.clone());
+    memory.note(note);
+    emit(&latency);
+    emit(&throughput);
+    emit(&memory);
+}

@@ -1,0 +1,8 @@
+//! # sharon-bench
+//!
+//! Shared helpers for the figure-reproducing benchmark binaries (see the
+//! `benches/` directory: one target per paper figure).
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,218 @@
+//! `sharon` — command-line runner for the Sharon system.
+//!
+//! Reads a query workload (SASE-style, one query per line), generates one
+//! of the paper's streams, runs the chosen strategy, and prints the
+//! sharing plan, per-query result summaries, and timing.
+//!
+//! ```text
+//! USAGE:
+//!   sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]
+//!          [--strategy sharon|greedy|aseq|flink|spass] [--explain] [--results N]
+//!
+//! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
+//! Figure 2 purchase workload (ec) is used.
+//! ```
+
+use sharon::prelude::*;
+use sharon::streams::workload::{figure_1_workload, figure_2_workload, measured_rates};
+use sharon::streams::{ecommerce, linear_road, taxi};
+use sharon::{build_executor, Strategy};
+use std::time::Instant;
+
+struct Args {
+    queries: Option<String>,
+    stream: String,
+    events: usize,
+    strategy: Strategy,
+    explain: bool,
+    results: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        queries: None,
+        stream: "taxi".into(),
+        events: 50_000,
+        strategy: Strategy::Sharon,
+        explain: false,
+        results: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--queries" => args.queries = Some(value("--queries")?),
+            "--stream" => args.stream = value("--stream")?,
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?
+            }
+            "--results" => {
+                args.results = value("--results")?
+                    .parse()
+                    .map_err(|e| format!("--results: {e}"))?
+            }
+            "--strategy" => {
+                args.strategy = match value("--strategy")?.as_str() {
+                    "sharon" => Strategy::Sharon,
+                    "greedy" => Strategy::Greedy,
+                    "aseq" => Strategy::ASeq,
+                    "flink" => Strategy::FlinkLike,
+                    "spass" => Strategy::SpassLike,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                }
+            }
+            "--explain" => args.explain = true,
+            "--help" | "-h" => {
+                println!(
+                    "sharon — shared online event sequence aggregation (ICDE 2018)\n\n\
+                     USAGE:\n  sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]\n\
+                     \x20        [--strategy sharon|greedy|aseq|flink|spass] [--explain] [--results N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // 1. stream
+    let mut catalog = Catalog::new();
+    let events = match args.stream.as_str() {
+        "taxi" => taxi::generate(
+            &mut catalog,
+            &taxi::TaxiConfig { n_events: args.events, n_streets: 7, ..Default::default() },
+        ),
+        "lr" => linear_road::generate(
+            &mut catalog,
+            &linear_road::LinearRoadConfig {
+                duration_secs: (args.events / 500).max(10) as u64,
+                ..Default::default()
+            },
+        ),
+        "ec" => ecommerce::generate(
+            &mut catalog,
+            &ecommerce::EcommerceConfig { n_events: args.events, ..Default::default() },
+        ),
+        other => {
+            eprintln!("error: unknown stream `{other}` (taxi|lr|ec)");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("stream: {} events ({})", events.len(), args.stream);
+
+    // 2. workload
+    let workload = match &args.queries {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let sources: Vec<&str> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .collect();
+            match parse_workload(&mut catalog, sources) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None if args.stream == "ec" => figure_2_workload(&mut catalog),
+        None => figure_1_workload(&mut catalog),
+    };
+    eprintln!("workload: {} queries", workload.len());
+
+    // 3. optimize + execute
+    let (counts, span) = measured_rates(&events);
+    let rates = RateMap::from_counts(&counts, span);
+    let t0 = Instant::now();
+    let (mut executor, outcome) = match build_executor(
+        &catalog,
+        &workload,
+        &rates,
+        args.strategy,
+        &OptimizerConfig::default(),
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let optimize_time = t0.elapsed();
+
+    if let Some(outcome) = &outcome {
+        println!(
+            "plan ({}, score {:.1}, optimized in {:?}):",
+            args.strategy.name(),
+            outcome.score,
+            optimize_time
+        );
+        for cand in &outcome.plan.candidates {
+            let qs: Vec<String> = cand.queries.iter().map(|q| q.to_string()).collect();
+            println!(
+                "  share {} among {}",
+                cand.pattern.display(&catalog),
+                qs.join(", ")
+            );
+        }
+        if args.explain {
+            for phase in &outcome.phases {
+                println!("  phase {:<20} {:?}", phase.name, phase.elapsed);
+            }
+            let s = &outcome.stats;
+            println!(
+                "  candidates mined {} / graph {}v {}e / expanded {} / pruned {} / conflict-free {} / plans considered {}",
+                s.candidates_mined, s.graph_vertices, s.graph_edges,
+                s.expanded_vertices, s.pruned, s.conflict_free, s.plans_considered
+            );
+        }
+    } else {
+        println!("plan: none ({} runs non-shared)", args.strategy.name());
+    }
+
+    let t1 = Instant::now();
+    for e in &events {
+        executor.process(e);
+    }
+    let run_time = t1.elapsed();
+    let throughput = events.len() as f64 / run_time.as_secs_f64().max(1e-12);
+    let results = executor.finish();
+
+    println!(
+        "\nexecuted {} events in {:?} ({:.0} events/s), {} results",
+        events.len(),
+        run_time,
+        throughput,
+        results.len()
+    );
+    for q in workload.ids() {
+        let rows = results.of_query_sorted(q);
+        println!(
+            "  {}: {} (group, window) results, total count {}",
+            q,
+            rows.len(),
+            results.total_count(q)
+        );
+        for (group, window, value) in rows.into_iter().take(args.results) {
+            println!("      group={group} window@{window}: {value}");
+        }
+    }
+}

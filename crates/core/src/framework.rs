@@ -1,0 +1,128 @@
+//! The Sharon framework (Section 2.2, Figure 5): static optimizer +
+//! runtime executor behind one facade.
+//!
+//! "Given a workload Q, our Static Optimizer finds an optimal sharing plan
+//! at compile time. [...] Based on this plan, our Runtime Executor computes
+//! the aggregation results for each shared pattern and then combines these
+//! shared aggregations to obtain the final results for each query."
+
+use crate::strategy::{build_executor, AnyExecutor, Strategy};
+use sharon_executor::{CompileError, ExecutorResults};
+use sharon_optimizer::{OptimizeOutcome, OptimizerConfig, RateMap};
+use sharon_query::{SharingPlan, Workload};
+use sharon_types::{Catalog, Event, EventStream};
+
+/// The end-to-end Sharon system: optimize once, then execute the stream.
+pub struct SharonFramework {
+    executor: AnyExecutor,
+    outcome: Option<OptimizeOutcome>,
+}
+
+impl SharonFramework {
+    /// Compile `workload` with the Sharon optimizer (Sections 4–7) and
+    /// build the shared runtime executor.
+    pub fn new(
+        catalog: &Catalog,
+        workload: &Workload,
+        rates: &RateMap,
+    ) -> Result<Self, CompileError> {
+        Self::with_strategy(catalog, workload, rates, Strategy::Sharon, &OptimizerConfig::default())
+    }
+
+    /// Compile with an explicit execution [`Strategy`] and optimizer
+    /// configuration.
+    pub fn with_strategy(
+        catalog: &Catalog,
+        workload: &Workload,
+        rates: &RateMap,
+        strategy: Strategy,
+        config: &OptimizerConfig,
+    ) -> Result<Self, CompileError> {
+        let (executor, outcome) = build_executor(catalog, workload, rates, strategy, config)?;
+        Ok(SharonFramework { executor, outcome })
+    }
+
+    /// The sharing plan in force (empty for non-shared strategies).
+    pub fn plan(&self) -> SharingPlan {
+        self.outcome
+            .as_ref()
+            .map(|o| o.plan.clone())
+            .unwrap_or_else(SharingPlan::non_shared)
+    }
+
+    /// The optimizer outcome (phase timings, statistics), if an optimizer
+    /// ran.
+    pub fn optimizer_outcome(&self) -> Option<&OptimizeOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// Process one event.
+    pub fn process(&mut self, e: &Event) {
+        self.executor.process(e);
+    }
+
+    /// Drain a stream through the executor.
+    pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
+        while let Some(e) = stream.next_event() {
+            self.process(&e);
+        }
+        self
+    }
+
+    /// Flush remaining windows and return all results.
+    pub fn finish(self) -> ExecutorResults {
+        self.executor.finish()
+    }
+
+    /// Events that matched routing/predicates/grouping so far.
+    pub fn events_matched(&self) -> u64 {
+        self.executor.events_matched()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharon_query::QueryId;
+    use sharon_streams::taxi::{generate, TaxiConfig};
+    use sharon_streams::workload::{figure_1_workload, measured_rates};
+    use sharon_types::SortedVecStream;
+
+    #[test]
+    fn end_to_end_traffic_use_case() {
+        let mut catalog = Catalog::new();
+        let events = generate(
+            &mut catalog,
+            &TaxiConfig { n_events: 5000, n_streets: 7, ..Default::default() },
+        );
+        let workload = figure_1_workload(&mut catalog);
+        let (counts, span) = measured_rates(&events);
+        let rates = RateMap::from_counts(&counts, span);
+
+        let mut fw = SharonFramework::new(&catalog, &workload, &rates).unwrap();
+        assert!(fw.optimizer_outcome().is_some());
+        fw.run(SortedVecStream::presorted(events.clone()));
+        let shared_results = fw.finish();
+
+        // A-Seq produces identical results
+        let mut aseq = SharonFramework::with_strategy(
+            &catalog,
+            &workload,
+            &rates,
+            Strategy::ASeq,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        assert!(aseq.plan().is_non_shared());
+        aseq.run(SortedVecStream::presorted(events));
+        let aseq_results = aseq.finish();
+
+        assert!(
+            shared_results.semantically_eq(&aseq_results, 1e-9),
+            "Sharon and A-Seq must agree"
+        );
+        assert!(!shared_results.is_empty(), "traffic stream produces matches");
+        // q7 = (ElmSt, ParkAve) is the shortest pattern: it must match
+        assert!(shared_results.total_count(QueryId(6)) > 0);
+    }
+}

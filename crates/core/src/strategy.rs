@@ -1,0 +1,192 @@
+//! Execution strategies: the five systems compared in Section 8
+//! (Figure 3's taxonomy) behind one constructor.
+
+use sharon_executor::{CompileError, Executor, ExecutorResults};
+use sharon_optimizer::{
+    optimize_greedy, optimize_sharon, OptimizeOutcome, OptimizerConfig, RateMap,
+};
+use sharon_query::{SharingPlan, Workload};
+use sharon_twostep::{FlinkLike, SpassLike};
+use sharon_types::{Catalog, Event};
+
+/// Which event sequence aggregation approach to run (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Shared + online: the Sharon executor under the Sharon optimizer's
+    /// optimal plan.
+    Sharon,
+    /// Shared + online, but under GWMIN's greedily chosen plan
+    /// (Figure 16's comparison).
+    Greedy,
+    /// Non-shared + online: A-Seq — every query independent.
+    ASeq,
+    /// Non-shared + two-step: the Flink-like baseline (constructs
+    /// sequences).
+    FlinkLike,
+    /// Shared construction + two-step: the SPASS-like baseline.
+    SpassLike,
+}
+
+impl Strategy {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Sharon => "SHARON",
+            Strategy::Greedy => "Greedy",
+            Strategy::ASeq => "A-Seq",
+            Strategy::FlinkLike => "Flink",
+            Strategy::SpassLike => "SPASS",
+        }
+    }
+}
+
+/// A uniformly driven executor of any strategy.
+pub enum AnyExecutor {
+    /// The online engine (Sharon / Greedy / A-Seq).
+    Online(Executor),
+    /// The non-shared two-step baseline.
+    Flink(FlinkLike),
+    /// The shared two-step baseline.
+    Spass(SpassLike),
+}
+
+impl AnyExecutor {
+    /// Process one event.
+    pub fn process(&mut self, e: &Event) {
+        match self {
+            AnyExecutor::Online(x) => x.process(e),
+            AnyExecutor::Flink(x) => x.process(e),
+            AnyExecutor::Spass(x) => x.process(e),
+        }
+    }
+
+    /// Flush and return results.
+    pub fn finish(self) -> ExecutorResults {
+        match self {
+            AnyExecutor::Online(x) => x.finish(),
+            AnyExecutor::Flink(x) => x.finish(),
+            AnyExecutor::Spass(x) => x.finish(),
+        }
+    }
+
+    /// Events that passed routing/predicates/grouping (online engines) or
+    /// zero for baselines that do not track it.
+    pub fn events_matched(&self) -> u64 {
+        match self {
+            AnyExecutor::Online(x) => x.events_matched(),
+            _ => 0,
+        }
+    }
+
+    /// State-size proxy: live aggregate cells / buffered events /
+    /// materialized matches.
+    pub fn state_size(&self) -> usize {
+        match self {
+            AnyExecutor::Online(x) => x.cell_count(),
+            AnyExecutor::Flink(x) => x.buffered_events(),
+            AnyExecutor::Spass(x) => x.materialized_matches(),
+        }
+    }
+}
+
+/// Build the executor (and optimizer outcome, when one runs) for a
+/// strategy.
+pub fn build_executor(
+    catalog: &Catalog,
+    workload: &Workload,
+    rates: &RateMap,
+    strategy: Strategy,
+    config: &OptimizerConfig,
+) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
+    match strategy {
+        Strategy::Sharon => {
+            let outcome = optimize_sharon(workload, rates, config);
+            let ex = Executor::new(catalog, workload, &outcome.plan)?;
+            Ok((AnyExecutor::Online(ex), Some(outcome)))
+        }
+        Strategy::Greedy => {
+            let outcome = optimize_greedy(workload, rates);
+            let ex = Executor::new(catalog, workload, &outcome.plan)?;
+            Ok((AnyExecutor::Online(ex), Some(outcome)))
+        }
+        Strategy::ASeq => {
+            let ex = Executor::non_shared(catalog, workload)?;
+            Ok((AnyExecutor::Online(ex), None))
+        }
+        Strategy::FlinkLike => Ok((AnyExecutor::Flink(FlinkLike::new(catalog, workload)?), None)),
+        Strategy::SpassLike => {
+            // SPASS shares *construction*; give it the same optimal plan so
+            // its shared segments match Sharon's (the paper gives SPASS its
+            // own sharing optimizer for construction)
+            let outcome = optimize_sharon(workload, rates, config);
+            let ex = SpassLike::new(catalog, workload, &outcome.plan)?;
+            Ok((AnyExecutor::Spass(ex), Some(outcome)))
+        }
+    }
+}
+
+/// Convenience: run `events` under `strategy` and return the results.
+pub fn run_strategy(
+    catalog: &Catalog,
+    workload: &Workload,
+    rates: &RateMap,
+    strategy: Strategy,
+    events: &[Event],
+) -> Result<ExecutorResults, CompileError> {
+    let (mut ex, _) = build_executor(catalog, workload, rates, strategy, &OptimizerConfig::default())?;
+    for e in events {
+        ex.process(e);
+    }
+    Ok(ex.finish())
+}
+
+/// Build an online executor for an explicit, externally produced plan
+/// (used by dynamic plan migration and the Figure 16 bench).
+pub fn executor_for_plan(
+    catalog: &Catalog,
+    workload: &Workload,
+    plan: &SharingPlan,
+) -> Result<Executor, CompileError> {
+    Executor::new(catalog, workload, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharon_streams::ecommerce::{generate, EcommerceConfig};
+    use sharon_streams::workload::{figure_2_workload, measured_rates};
+
+    #[test]
+    fn all_strategies_agree_on_results() {
+        let mut catalog = Catalog::new();
+        let events = generate(
+            &mut catalog,
+            &EcommerceConfig { n_events: 1500, n_items: 8, events_per_sec: 500, ..Default::default() },
+        );
+        let workload = figure_2_workload(&mut catalog);
+        let (counts, span) = measured_rates(&events);
+        let rates = RateMap::from_counts(&counts, span);
+
+        let reference = run_strategy(&catalog, &workload, &rates, Strategy::ASeq, &events).unwrap();
+        assert!(!reference.is_empty(), "EC stream must produce matches");
+        for strategy in [
+            Strategy::Sharon,
+            Strategy::Greedy,
+            Strategy::FlinkLike,
+            Strategy::SpassLike,
+        ] {
+            let got = run_strategy(&catalog, &workload, &rates, strategy, &events).unwrap();
+            assert!(
+                got.semantically_eq(&reference, 1e-9),
+                "{} diverges from A-Seq",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Sharon.name(), "SHARON");
+        assert_eq!(Strategy::FlinkLike.name(), "Flink");
+    }
+}

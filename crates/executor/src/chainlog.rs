@@ -1,0 +1,195 @@
+//! Chain contribution logs.
+//!
+//! The Shared method must combine "the count of `prefixᵢ` [...] with the
+//! count for each START event of `p`" (Section 3.3). A naive
+//! implementation snapshots the per-window prefix counts at every START
+//! event of the shared segment, paying `O(starts × windows)` per
+//! completion batch. A [`ChainLog`] avoids that: it records every
+//! contribution folded into a chain stage as a *range-compressed* entry
+//! `(time, window range, value)`, and each START event stores only the
+//! log **offset** at its arrival. The per-START "snapshot" is then the sum
+//! of all entries before the offset — and a whole completion batch folds
+//! in `O(log entries + starts + windows)` using suffix sums (see
+//! `Engine::dispatch`), because
+//!
+//! ```text
+//! Σᵢ snapshotᵢ × δᵢ  =  Σⱼ entryⱼ × (Σ_{i : offᵢ > j} δᵢ)
+//! ```
+//!
+//! Same-timestamp isolation works exactly as in
+//! [`crate::winvec::WinVec`]: entries stay pending until the log is
+//! touched at a strictly later time, so an offset captured at time `t`
+//! never covers contributions of other time-`t` events.
+
+use crate::agg::Aggregate;
+use crate::winvec::WinSeq;
+use sharon_types::Timestamp;
+use std::collections::VecDeque;
+
+/// One folded contribution: `value` added to every window in
+/// `lo ..= hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogEntry<A> {
+    /// Commit time (the event time that produced it).
+    pub time: Timestamp,
+    /// First window sequence covered.
+    pub lo: WinSeq,
+    /// Last window sequence covered (inclusive).
+    pub hi: WinSeq,
+    /// The contribution.
+    pub value: A,
+}
+
+/// An append-only, front-expiring log of chain contributions.
+#[derive(Debug, Clone)]
+pub struct ChainLog<A> {
+    /// Absolute index of `entries.front()`.
+    base: u64,
+    entries: VecDeque<LogEntry<A>>,
+    pending: Vec<(WinSeq, WinSeq, A)>,
+    pending_time: Timestamp,
+}
+
+impl<A: Aggregate> Default for ChainLog<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Aggregate> ChainLog<A> {
+    /// An empty log.
+    pub fn new() -> Self {
+        ChainLog {
+            base: 0,
+            entries: VecDeque::new(),
+            pending: Vec::new(),
+            pending_time: Timestamp::ZERO,
+        }
+    }
+
+    /// Fold pending contributions older than `now` into the committed
+    /// entries.
+    #[inline]
+    pub fn settle(&mut self, now: Timestamp) {
+        if !self.pending.is_empty() && self.pending_time < now {
+            let t = self.pending_time;
+            for (lo, hi, v) in self.pending.drain(..) {
+                self.entries.push_back(LogEntry { time: t, lo, hi, value: v });
+            }
+        }
+    }
+
+    /// Record `value` over windows `lo ..= hi`, performed at `now`.
+    pub fn add_range(&mut self, now: Timestamp, lo: WinSeq, hi: WinSeq, value: A) {
+        if value.is_zero() || lo > hi {
+            return;
+        }
+        self.settle(now);
+        self.pending_time = now;
+        self.pending.push((lo, hi, value));
+    }
+
+    /// The absolute offset separating contributions strictly before `now`
+    /// from later ones. Stored per START event of the next chain stage.
+    pub fn offset_at(&mut self, now: Timestamp) -> u64 {
+        self.settle(now);
+        self.base + self.entries.len() as u64
+    }
+
+    /// Iterate committed entries as `(absolute index, entry)`, oldest
+    /// first. Call [`ChainLog::settle`] first to observe a given time.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &LogEntry<A>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(move |(i, e)| (self.base + i as u64, e))
+    }
+
+    /// Drop leading entries whose whole window range closed before
+    /// `close_seq` — they can no longer contribute to any result.
+    pub fn drop_dead(&mut self, close_seq: WinSeq) {
+        while let Some(front) = self.entries.front() {
+            if front.hi < close_seq {
+                self.entries.pop_front();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Committed entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no committed entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::CountCell;
+
+    fn c(n: u128) -> CountCell {
+        CountCell(n)
+    }
+
+    #[test]
+    fn entries_become_visible_only_later() {
+        let mut log: ChainLog<CountCell> = ChainLog::new();
+        log.add_range(Timestamp(5), 0, 2, c(1));
+        assert_eq!(log.offset_at(Timestamp(5)), 0, "same-time adds invisible");
+        assert_eq!(log.offset_at(Timestamp(6)), 1);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn offsets_partition_the_log() {
+        let mut log: ChainLog<CountCell> = ChainLog::new();
+        log.add_range(Timestamp(1), 0, 0, c(1));
+        let off_a = log.offset_at(Timestamp(2)); // sees entry 0
+        log.add_range(Timestamp(2), 1, 1, c(2));
+        let off_b = log.offset_at(Timestamp(3)); // sees entries 0, 1
+        assert_eq!(off_a, 1);
+        assert_eq!(off_b, 2);
+        let idx: Vec<u64> = log.iter().map(|(j, _)| j).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_or_empty_ranges_ignored() {
+        let mut log: ChainLog<CountCell> = ChainLog::new();
+        log.add_range(Timestamp(1), 0, 3, c(0));
+        log.add_range(Timestamp(1), 3, 1, c(5));
+        assert_eq!(log.offset_at(Timestamp(9)), 0);
+    }
+
+    #[test]
+    fn drop_dead_removes_closed_ranges_and_keeps_indices_stable() {
+        let mut log: ChainLog<CountCell> = ChainLog::new();
+        log.add_range(Timestamp(1), 0, 1, c(1));
+        log.add_range(Timestamp(2), 2, 4, c(2));
+        log.settle(Timestamp(10));
+        log.drop_dead(2);
+        assert_eq!(log.len(), 1);
+        let (j, e) = log.iter().next().unwrap();
+        assert_eq!(j, 1, "absolute index survives front drops");
+        assert_eq!(e.lo, 2);
+        // an offset captured before the drop still compares correctly
+        assert_eq!(log.offset_at(Timestamp(11)), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn same_time_batch_commits_together() {
+        let mut log: ChainLog<CountCell> = ChainLog::new();
+        log.add_range(Timestamp(3), 0, 0, c(1));
+        log.add_range(Timestamp(3), 1, 1, c(1));
+        assert_eq!(log.offset_at(Timestamp(4)), 2);
+        assert!(log.iter().all(|(_, e)| e.time == Timestamp(3)));
+    }
+}

@@ -1,0 +1,955 @@
+//! The Sharon runtime executor.
+//!
+//! One [`Engine`] evaluates one compiled partition (queries with identical
+//! predicates, grouping, window, and aggregate — assumption (2) / §7.2).
+//! Per `GROUP BY` partition it maintains:
+//!
+//! * one [`SegmentRunner`] per runner slot — shared runners are updated
+//!   *once* per event regardless of how many queries subscribe (the gain of
+//!   the Shared method, Eq. 7);
+//! * per query, the *chain combination* state: a [`ChainLog`] per stage
+//!   recording the combined contributions `R_i` per window, and per live
+//!   START event of each stage's segment, the log **offset** at its
+//!   arrival — the Shared method's "count(prefix) at the time c arrives"
+//!   (Section 3.3 step 2, Example 3). A completion batch folds in
+//!   `O(log entries + starts + windows)` via suffix sums and a
+//!   difference array (see [`ChainLog`]);
+//! * per query, the final per-window accumulators, emitted when windows
+//!   close.
+
+use crate::agg::{Aggregate, Contribution, CountCell, StatsCell};
+use crate::chainlog::ChainLog;
+use crate::compile::{compile, CompileError, CompiledPartition, Routes};
+use crate::results::ExecutorResults;
+use crate::runner::SegmentRunner;
+use crate::winvec::WinVec;
+use sharon_query::{SharingPlan, Workload};
+use sharon_types::{Catalog, Event, EventStream, GroupKey, Timestamp, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// Per-group runtime state.
+struct GroupRuntime<A> {
+    runners: Vec<SegmentRunner<A>>,
+    /// `offs[q][stage]`: per live START event of the stage's segment, the
+    /// chain-log offset at its arrival (unused for stage 0 / unit stages).
+    offs: Vec<Vec<VecDeque<u64>>>,
+    /// `chains[q][stage]`: contribution log of `R_stage`
+    /// (stages `0 .. n_stages−1`).
+    chains: Vec<Vec<ChainLog<A>>>,
+    /// Per-window mirror of each chain log (same contributions, folded
+    /// per window) — read by stateless length-1 stages, which need the
+    /// current totals rather than the history.
+    mirrors: Vec<Vec<WinVec<A>>>,
+    /// Final per-window accumulators, one per query.
+    finals: Vec<WinVec<A>>,
+    /// Window-close watermark: windows with `seq < closed_before` have
+    /// been emitted for this group.
+    closed_before: u64,
+    /// Expiration watermark (ms): START events at or before it are gone.
+    expired_through: Timestamp,
+}
+
+impl<A: Aggregate> GroupRuntime<A> {
+    fn new(part: &CompiledPartition) -> Self {
+        GroupRuntime {
+            runners: part.runners.iter().map(|r| SegmentRunner::new(r.len)).collect(),
+            offs: part
+                .queries
+                .iter()
+                .map(|q| (0..q.n_stages).map(|_| VecDeque::new()).collect())
+                .collect(),
+            chains: part
+                .queries
+                .iter()
+                .map(|q| {
+                    (0..q.n_stages.saturating_sub(1)).map(|_| ChainLog::new()).collect()
+                })
+                .collect(),
+            mirrors: part
+                .queries
+                .iter()
+                .map(|q| {
+                    (0..q.n_stages.saturating_sub(1)).map(|_| WinVec::new()).collect()
+                })
+                .collect(),
+            finals: part.queries.iter().map(|_| WinVec::new()).collect(),
+            closed_before: 0,
+            expired_through: Timestamp::ZERO,
+        }
+    }
+
+    /// Rough number of live aggregate cells (memory proxy).
+    fn cell_count(&self) -> usize {
+        self.runners.iter().map(SegmentRunner::cell_count).sum::<usize>()
+            + self.chains.iter().flatten().map(ChainLog::len).sum::<usize>()
+            + self.mirrors.iter().flatten().map(WinVec::len).sum::<usize>()
+            + self.finals.iter().map(WinVec::len).sum::<usize>()
+            + self.offs.iter().flatten().map(VecDeque::len).sum::<usize>()
+    }
+}
+
+/// Where a fold's per-window totals land: a later chain stage's log or
+/// the query's final accumulators.
+enum FoldTarget<'a, A: Aggregate> {
+    Final(&'a mut WinVec<A>),
+    Log(&'a mut ChainLog<A>, &'a mut WinVec<A>),
+}
+
+impl<A: Aggregate> FoldTarget<'_, A> {
+    #[inline]
+    fn add_range(&mut self, t: Timestamp, lo: u64, hi: u64, v: A) {
+        match self {
+            FoldTarget::Final(w) => w.add_range(t, lo, hi, v),
+            FoldTarget::Log(l, m) => {
+                l.add_range(t, lo, hi, v);
+                m.add_range(t, lo, hi, v);
+            }
+        }
+    }
+}
+
+/// Scratch buffers reused across events.
+struct FoldScratch<A> {
+    /// Per-START completion deltas of the current END event.
+    completions: Vec<(usize, Timestamp, A)>,
+    /// Suffix sums of the completion deltas.
+    suffix: Vec<A>,
+    /// Difference-array / dense window accumulators.
+    add_at: Vec<A>,
+    remove_after: Vec<A>,
+}
+
+impl<A: Aggregate> FoldScratch<A> {
+    fn new() -> Self {
+        FoldScratch {
+            completions: Vec::new(),
+            suffix: Vec::new(),
+            add_at: Vec::new(),
+            remove_after: Vec::new(),
+        }
+    }
+}
+
+/// An executor for one compiled partition, generic over the aggregate
+/// kernel.
+pub struct Engine<A: Aggregate> {
+    part: CompiledPartition,
+    groups: HashMap<GroupKey, GroupRuntime<A>>,
+    results: ExecutorResults,
+    scratch: FoldScratch<A>,
+    last_time: Timestamp,
+    events_matched: u64,
+}
+
+impl<A: Aggregate> Engine<A> {
+    /// Build an engine from a compiled partition.
+    pub fn new(part: CompiledPartition) -> Self {
+        Engine {
+            part,
+            groups: HashMap::new(),
+            results: ExecutorResults::new(),
+            scratch: FoldScratch::new(),
+            last_time: Timestamp::ZERO,
+            events_matched: 0,
+        }
+    }
+
+    #[inline]
+    fn contribution(part: &CompiledPartition, e: &Event) -> Contribution {
+        match part.contrib_target {
+            Some((ty, attr)) if ty == e.ty => match attr {
+                None => Contribution::of(1.0),
+                Some(a) => match e.attr_f64(a) {
+                    Some(v) => Contribution::of(v),
+                    None => Contribution::NONE,
+                },
+            },
+            _ => Contribution::NONE,
+        }
+    }
+
+    /// Process one event (events must arrive in timestamp order).
+    pub fn process(&mut self, e: &Event) {
+        debug_assert!(e.time >= self.last_time, "events must be time-ordered");
+        self.last_time = e.time;
+
+        let Some(routes) = self.part.routes.get(e.ty.index()).and_then(Option::as_ref) else {
+            return;
+        };
+        // partition-wide predicates on this type
+        for (attr, op, lit) in &self.part.predicates[e.ty.index()] {
+            let pass = match e.attr(*attr) {
+                Some(v) => op.eval(v.partial_cmp(lit)),
+                None => false,
+            };
+            if !pass {
+                return;
+            }
+        }
+        // group key
+        let gattrs = &self.part.group_attrs[e.ty.index()];
+        let key = if gattrs.is_empty() {
+            GroupKey::Global
+        } else {
+            let mut vals: Vec<Value> = Vec::with_capacity(gattrs.len());
+            for a in gattrs.iter() {
+                match e.attr(*a) {
+                    Some(v) => vals.push(v.clone()),
+                    None => return, // ungroupable event
+                }
+            }
+            GroupKey::from_values(vals)
+        };
+        self.events_matched += 1;
+
+        let part = &self.part;
+        let grt = self
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| GroupRuntime::new(part));
+
+        Self::touch(grt, part, e.time, &mut self.results, &key);
+
+        let c = Self::contribution(part, e);
+        Self::dispatch(grt, part, routes, e.time, c, &mut self.scratch);
+    }
+
+    /// Expire START events and emit/close finished windows for one group.
+    fn touch(
+        grt: &mut GroupRuntime<A>,
+        part: &CompiledPartition,
+        now: Timestamp,
+        results: &mut ExecutorResults,
+        key: &GroupKey,
+    ) {
+        let spec = part.window;
+        // expire: a START event at time s is dead once now − s ≥ within
+        if now.millis() >= spec.within.millis() {
+            let cutoff = Timestamp(now.millis() - spec.within.millis());
+            if cutoff > grt.expired_through {
+                grt.expired_through = cutoff;
+                for (ri, runner) in grt.runners.iter_mut().enumerate() {
+                    let dropped = runner.expire(cutoff);
+                    if dropped > 0 {
+                        for &(q, s) in &part.runners[ri].start_subs {
+                            let dq = &mut grt.offs[q][s];
+                            for _ in 0..dropped {
+                                dq.pop_front();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // close windows whose end ≤ now — only when the close watermark
+        // actually advanced (it moves once per slide, not per event)
+        let slide = spec.slide.millis();
+        let close_seq = spec.first_start_covering(now).millis() / slide;
+        if close_seq <= grt.closed_before {
+            return;
+        }
+        grt.closed_before = close_seq;
+        for (qi, f) in grt.finals.iter_mut().enumerate() {
+            for (seq, v) in f.drain_before(close_seq) {
+                results.emit(
+                    part.queries[qi].id,
+                    key.clone(),
+                    Timestamp(seq * slide),
+                    v.output(part.queries[qi].output),
+                );
+            }
+        }
+        for cq in grt.chains.iter_mut() {
+            for log in cq.iter_mut() {
+                log.drop_dead(close_seq);
+            }
+        }
+        for mq in grt.mirrors.iter_mut() {
+            for m in mq.iter_mut() {
+                m.drop_before(close_seq);
+            }
+        }
+    }
+
+    /// Materialize the accumulated window totals (difference-array form
+    /// when the cell supports subtraction, dense otherwise) and emit them
+    /// run-compressed into `target`.
+    fn emit_totals(
+        scratch: &mut FoldScratch<A>,
+        target: &mut FoldTarget<'_, A>,
+        t: Timestamp,
+        min_seq: u64,
+        width: usize,
+    ) {
+        let mut running = A::ZERO;
+        let mut run_start = 0usize;
+        let mut run_val = A::ZERO;
+        let mut run_open = false;
+        for i in 0..width {
+            if A::SUBTRACTABLE {
+                running.merge(&scratch.add_at[i]);
+            } else {
+                running = scratch.add_at[i];
+            }
+            let cur = running;
+            if run_open && cur != run_val {
+                if !run_val.is_zero() {
+                    target.add_range(t, min_seq + run_start as u64, min_seq + i as u64 - 1, run_val);
+                }
+                run_start = i;
+                run_val = cur;
+            } else if !run_open {
+                run_open = true;
+                run_start = i;
+                run_val = cur;
+            }
+            if A::SUBTRACTABLE {
+                running.sub_assign(&scratch.remove_after[i]);
+            }
+        }
+        if run_open && !run_val.is_zero() {
+            target.add_range(t, min_seq + run_start as u64, min_seq + width as u64 - 1, run_val);
+        }
+    }
+
+    /// Accumulate `value × multiplier` over windows `lo..=hi` (already
+    /// clamped to the open range) into the fold buffers.
+    #[inline]
+    fn accumulate(
+        scratch: &mut FoldScratch<A>,
+        li: usize,
+        hi: usize,
+        value: A,
+        multiplier: &A,
+    ) {
+        let contribution = value.cross(multiplier);
+        if contribution.is_zero() {
+            return;
+        }
+        if A::SUBTRACTABLE {
+            scratch.add_at[li].merge(&contribution);
+            scratch.remove_after[hi].merge(&contribution);
+        } else {
+            for w in li..=hi {
+                scratch.add_at[w].merge(&contribution);
+            }
+        }
+    }
+
+    fn reset_buffers(scratch: &mut FoldScratch<A>, width: usize) {
+        scratch.add_at.clear();
+        scratch.add_at.resize(width, A::ZERO);
+        scratch.remove_after.clear();
+        scratch.remove_after.resize(width, A::ZERO);
+    }
+
+    /// Route one in-group event through all its runner and unit roles.
+    fn dispatch(
+        grt: &mut GroupRuntime<A>,
+        part: &CompiledPartition,
+        routes: &Routes,
+        t: Timestamp,
+        c: Contribution,
+        scratch: &mut FoldScratch<A>,
+    ) {
+        let spec = part.window;
+        let slide = spec.slide.millis();
+        let min_seq = spec.first_start_covering(t).millis() / slide;
+        let last_seq = spec.last_start_covering(t).millis() / slide;
+        let width = (last_seq - min_seq + 1) as usize;
+
+        let GroupRuntime { runners, offs, chains, mirrors, finals, .. } = grt;
+
+        for &(ri, pos) in &routes.runner_roles {
+            let rspec = &part.runners[ri];
+            if pos + 1 == rspec.len {
+                // END of the segment: collect per-START completion deltas
+                scratch.completions.clear();
+                runners[ri].on_end(t, c, |idx, st, d| {
+                    scratch.completions.push((idx, st, d));
+                });
+                if scratch.completions.is_empty() {
+                    continue;
+                }
+                // suffix sums δᵢ + δᵢ₊₁ + … (needed by stage > 0 folds)
+                let n_comp = scratch.completions.len();
+                scratch.suffix.clear();
+                scratch.suffix.resize(n_comp, A::ZERO);
+                let mut acc = A::ZERO;
+                for i in (0..n_comp).rev() {
+                    acc.merge(&scratch.completions[i].2);
+                    scratch.suffix[i] = acc;
+                }
+                for &(q, stage) in &rspec.completion_subs {
+                    let n = part.queries[q].n_stages;
+                    Self::reset_buffers(scratch, width);
+                    if stage == 0 {
+                        // leftmost segment: a completion starting in window
+                        // `hi` belongs to every open window up to `hi`
+                        let one = A::unit(Contribution::NONE);
+                        for i in 0..n_comp {
+                            let (_, st, delta) = scratch.completions[i];
+                            let hi = st.millis() / slide;
+                            if hi >= min_seq {
+                                let hi_i = (hi.min(last_seq) - min_seq) as usize;
+                                Self::accumulate(scratch, 0, hi_i, delta, &one);
+                            }
+                        }
+                    } else {
+                        // chain fold: Σᵢ R(tᵢ) × δᵢ over the log
+                        // (two-pointer over entries and START offsets)
+                        let log = &mut chains[q][stage - 1];
+                        log.settle(t);
+                        let stage_offs = &offs[q][stage];
+                        let mut p = 0usize;
+                        for (j, entry) in log.iter() {
+                            while p < n_comp
+                                && stage_offs[scratch.completions[p].0] <= j
+                            {
+                                p += 1;
+                            }
+                            if p == n_comp {
+                                break;
+                            }
+                            let lo = entry.lo.max(min_seq);
+                            if lo > entry.hi {
+                                continue;
+                            }
+                            let li = (lo - min_seq) as usize;
+                            let hi_i = (entry.hi.min(last_seq) - min_seq) as usize;
+                            let mult = scratch.suffix[p];
+                            let value = entry.value;
+                            Self::accumulate(scratch, li, hi_i, value, &mult);
+                        }
+                    }
+                    let mut target = if stage + 1 == n {
+                        FoldTarget::Final(&mut finals[q])
+                    } else {
+                        FoldTarget::Log(&mut chains[q][stage], &mut mirrors[q][stage])
+                    };
+                    Self::emit_totals(scratch, &mut target, t, min_seq, width);
+                }
+            } else if pos == 0 {
+                // START of the segment: open a live START entry and record
+                // the chain-log offset for stages > 0
+                runners[ri].on_start(t, c);
+                for &(q, stage) in &rspec.start_subs {
+                    let off = chains[q][stage - 1].offset_at(t);
+                    offs[q][stage].push_back(off);
+                }
+            } else {
+                runners[ri].on_mid(pos, t, c);
+            }
+        }
+
+        // stateless length-1 segments: START and END coincide
+        for &(q, stage) in &routes.unit_roles {
+            let n = part.queries[q].n_stages;
+            let delta = A::unit(c);
+            if stage == 0 {
+                let mut target = if n == 1 {
+                    FoldTarget::Final(&mut finals[q])
+                } else {
+                    FoldTarget::Log(&mut chains[q][0], &mut mirrors[q][0])
+                };
+                target.add_range(t, min_seq, last_seq, delta);
+            } else {
+                // immediate combination: (all chains completed before now)
+                // × this single event — the mirror holds the current
+                // per-window totals, O(open windows)
+                let snap = mirrors[q][stage - 1].snapshot(t);
+                let mut target = if stage + 1 == n {
+                    FoldTarget::Final(&mut finals[q])
+                } else {
+                    FoldTarget::Log(&mut chains[q][stage], &mut mirrors[q][stage])
+                };
+                for (seq, v) in snap.iter() {
+                    if seq < min_seq {
+                        continue;
+                    }
+                    let contribution = v.cross(&delta);
+                    if !contribution.is_zero() {
+                        target.add_range(t, seq, seq, contribution);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush all remaining windows and return the results.
+    pub fn finish(mut self) -> ExecutorResults {
+        for (key, grt) in self.groups.iter_mut() {
+            for (qi, f) in grt.finals.iter_mut().enumerate() {
+                for (seq, v) in f.drain_before(u64::MAX) {
+                    self.results.emit(
+                        self.part.queries[qi].id,
+                        key.clone(),
+                        Timestamp(seq * self.part.window.slide.millis()),
+                        v.output(self.part.queries[qi].output),
+                    );
+                }
+            }
+        }
+        self.results
+    }
+
+    /// Events that passed routing, predicates, and grouping.
+    pub fn events_matched(&self) -> u64 {
+        self.events_matched
+    }
+
+    /// Live aggregate cells across all groups (memory proxy).
+    pub fn cell_count(&self) -> usize {
+        self.groups.values().map(GroupRuntime::cell_count).sum()
+    }
+
+    /// Number of groups with live state.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// The public executor: compiles a workload + plan into one engine per
+/// sharing-signature partition and fans every event out to them.
+///
+/// With [`SharingPlan::non_shared`] this *is* the Non-Shared method
+/// (A-Seq per query, Section 3.2); with an optimizer-produced plan it is
+/// the Sharon executor (Section 3.3).
+pub enum Executor {
+    /// All queries are `COUNT`-like: specialized count kernel.
+    #[doc(hidden)]
+    __Internal(Vec<EngineKind>),
+}
+
+/// One partition engine, monomorphized on its aggregate kernel.
+pub enum EngineKind {
+    /// `COUNT(*)` / `COUNT(E)` partition.
+    Count(Engine<CountCell>),
+    /// `SUM`/`MIN`/`MAX`/`AVG` partition.
+    Stats(Engine<StatsCell>),
+}
+
+impl Executor {
+    /// Compile `workload` under `plan`.
+    pub fn new(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+    ) -> Result<Self, CompileError> {
+        let parts = compile(catalog, workload, plan)?;
+        let engines = parts
+            .into_iter()
+            .map(|p| {
+                if p.count_only {
+                    EngineKind::Count(Engine::new(p))
+                } else {
+                    EngineKind::Stats(Engine::new(p))
+                }
+            })
+            .collect();
+        Ok(Executor::__Internal(engines))
+    }
+
+    /// The Non-Shared (A-Seq) executor for `workload`.
+    pub fn non_shared(catalog: &Catalog, workload: &Workload) -> Result<Self, CompileError> {
+        Self::new(catalog, workload, &SharingPlan::non_shared())
+    }
+
+    fn engines(&mut self) -> &mut Vec<EngineKind> {
+        let Executor::__Internal(e) = self;
+        e
+    }
+
+    /// Process one event.
+    pub fn process(&mut self, e: &Event) {
+        for engine in self.engines() {
+            match engine {
+                EngineKind::Count(en) => en.process(e),
+                EngineKind::Stats(en) => en.process(e),
+            }
+        }
+    }
+
+    /// Drain a stream through the executor.
+    pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
+        while let Some(e) = stream.next_event() {
+            self.process(&e);
+        }
+        self
+    }
+
+    /// Flush remaining windows and return all results.
+    pub fn finish(self) -> ExecutorResults {
+        let Executor::__Internal(engines) = self;
+        let mut out = ExecutorResults::new();
+        for engine in engines {
+            out.merge(match engine {
+                EngineKind::Count(en) => en.finish(),
+                EngineKind::Stats(en) => en.finish(),
+            });
+        }
+        out
+    }
+
+    /// Events that passed routing, predicates, and grouping, summed over
+    /// partitions.
+    pub fn events_matched(&self) -> u64 {
+        let Executor::__Internal(engines) = self;
+        engines
+            .iter()
+            .map(|e| match e {
+                EngineKind::Count(en) => en.events_matched(),
+                EngineKind::Stats(en) => en.events_matched(),
+            })
+            .sum()
+    }
+
+    /// Live aggregate cells (memory proxy).
+    pub fn cell_count(&self) -> usize {
+        let Executor::__Internal(engines) = self;
+        engines
+            .iter()
+            .map(|e| match e {
+                EngineKind::Count(en) => en.cell_count(),
+                EngineKind::Stats(en) => en.cell_count(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharon_query::aggregate::AggValue;
+    use sharon_query::{parse_workload, Pattern, PlanCandidate, QueryId};
+    use sharon_types::EventTypeId;
+
+    fn ev(ty: EventTypeId, t: u64) -> Event {
+        Event::new(ty, Timestamp(t))
+    }
+
+    fn run_queries(
+        sources: &[&str],
+        plan: &SharingPlan,
+        build: impl Fn(&Catalog) -> Vec<Event>,
+    ) -> (Catalog, ExecutorResults) {
+        let mut c = Catalog::new();
+        let w = parse_workload(&mut c, sources.iter().copied()).unwrap();
+        let mut ex = Executor::new(&c, &w, plan).unwrap();
+        for e in build(&c) {
+            ex.process(&e);
+        }
+        (c, ex.finish())
+    }
+
+    #[test]
+    fn figure_6a_count_in_one_window() {
+        // pattern (A,B); a1 b2 a3 b4 all inside window [0, 10)
+        let (c, res) = run_queries(
+            &["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms"],
+            &SharingPlan::non_shared(),
+            |cat| {
+                let a = cat.lookup("A").unwrap();
+                let b = cat.lookup("B").unwrap();
+                vec![ev(a, 1), ev(b, 2), ev(a, 3), ev(b, 4)]
+            },
+        );
+        let _ = c;
+        assert_eq!(
+            res.get(QueryId(0), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Count(3)),
+            "paper Figure 6(a): count(A,B) = 3"
+        );
+    }
+
+    #[test]
+    fn figure_6b_sliding_window_expiration() {
+        // window length 4, slide 1; a1 a2 b5: only (a2,b5) fits a window,
+        // namely [2, 6)
+        let (_, res) = run_queries(
+            &["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 4 ms SLIDE 1 ms"],
+            &SharingPlan::non_shared(),
+            |cat| {
+                let a = cat.lookup("A").unwrap();
+                let b = cat.lookup("B").unwrap();
+                vec![ev(a, 1), ev(a, 2), ev(b, 5)]
+            },
+        );
+        let all = res.of_query_sorted(QueryId(0));
+        assert_eq!(
+            all,
+            vec![(GroupKey::Global, Timestamp(2), AggValue::Count(1))]
+        );
+    }
+
+    #[test]
+    fn multiple_windows_capture_the_same_sequence() {
+        // within 4 slide 1: (a3,b4) is inside windows [1,5),[2,6),[3,7)
+        let (_, res) = run_queries(
+            &["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 4 ms SLIDE 1 ms"],
+            &SharingPlan::non_shared(),
+            |cat| {
+                let a = cat.lookup("A").unwrap();
+                let b = cat.lookup("B").unwrap();
+                vec![ev(a, 3), ev(b, 4)]
+            },
+        );
+        let all = res.of_query_sorted(QueryId(0));
+        assert_eq!(all.len(), 3);
+        for (g, w, v) in &all {
+            assert_eq!(*g, GroupKey::Global);
+            assert!([1, 2, 3].contains(&w.millis()), "window {w}");
+            assert_eq!(*v, AggValue::Count(1));
+        }
+    }
+
+    #[test]
+    fn shared_plan_reproduces_example_3_total() {
+        // (A,B,C,D) with shared (A,B) and (C,D) vs non-shared: same counts.
+        // a1 b2 c3 d4 d5 c6 d7 inside one window:
+        //   via c3: (a1,b2) before c3 = 1; (c3,d4),(c3,d5),(c3,d7) = 3 → 3
+        //   via c6: (a1,b2) = 1; (c6,d7) = 1 → 1
+        //   total = 4
+        let srcs = ["RETURN COUNT(*) PATTERN SEQ(A, B, C, D) WITHIN 100 ms SLIDE 100 ms",
+                    "RETURN COUNT(*) PATTERN SEQ(A, B, Z) WITHIN 100 ms SLIDE 100 ms"];
+        let events = |cat: &Catalog| {
+            let a = cat.lookup("A").unwrap();
+            let b = cat.lookup("B").unwrap();
+            let cc = cat.lookup("C").unwrap();
+            let d = cat.lookup("D").unwrap();
+            vec![
+                ev(a, 1), ev(b, 2), ev(cc, 3), ev(d, 4), ev(d, 5), ev(cc, 6), ev(d, 7),
+            ]
+        };
+        // shared plan: share (A,B) between q1 and q2
+        let mut c0 = Catalog::new();
+        let _ = parse_workload(&mut c0, srcs.iter().copied()).unwrap();
+        let ab = Pattern::from_names(&mut c0, ["A", "B"]);
+        let plan = SharingPlan::new([PlanCandidate::new(ab, [QueryId(0), QueryId(1)])]);
+
+        let (_, shared) = run_queries(&srcs, &plan, events);
+        let (_, nonshared) = run_queries(&srcs, &SharingPlan::non_shared(), events);
+
+        assert_eq!(
+            shared.get(QueryId(0), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Count(4))
+        );
+        assert!(shared.semantically_eq(&nonshared, 1e-9));
+    }
+
+    #[test]
+    fn grouping_partitions_state() {
+        let mut c = Catalog::new();
+        let a = c.register_with_schema("A", sharon_types::Schema::new(["vehicle"]));
+        let b = c.register_with_schema("B", sharon_types::Schema::new(["vehicle"]));
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY vehicle WITHIN 10 ms SLIDE 10 ms"],
+        )
+        .unwrap();
+        let mut ex = Executor::non_shared(&c, &w).unwrap();
+        let mk = |ty, t, v: i64| {
+            Event::with_attrs(ty, Timestamp(t), vec![Value::Int(v)])
+        };
+        // vehicle 1: a1 b2 ; vehicle 2: a3 ; b4 of vehicle 2 completes only v2
+        ex.process(&mk(a, 1, 1));
+        ex.process(&mk(b, 2, 1));
+        ex.process(&mk(a, 3, 2));
+        ex.process(&mk(b, 4, 2));
+        let res = ex.finish();
+        let k1 = GroupKey::One(Value::Int(1));
+        let k2 = GroupKey::One(Value::Int(2));
+        assert_eq!(res.get(QueryId(0), &k1, Timestamp(0)), Some(&AggValue::Count(1)));
+        assert_eq!(res.get(QueryId(0), &k2, Timestamp(0)), Some(&AggValue::Count(1)));
+        assert_eq!(res.len(), 2, "no cross-vehicle sequences");
+    }
+
+    #[test]
+    fn predicates_filter_events() {
+        let mut c = Catalog::new();
+        let a = c.register_with_schema("A", sharon_types::Schema::new(["speed"]));
+        let b = c.register("B");
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.speed > 50 WITHIN 10 ms SLIDE 10 ms"],
+        )
+        .unwrap();
+        let mut ex = Executor::non_shared(&c, &w).unwrap();
+        ex.process(&Event::with_attrs(a, Timestamp(1), vec![Value::Int(40)])); // filtered
+        ex.process(&Event::with_attrs(a, Timestamp(2), vec![Value::Int(60)]));
+        ex.process(&ev(b, 3));
+        assert_eq!(ex.events_matched(), 2);
+        let res = ex.finish();
+        assert_eq!(
+            res.get(QueryId(0), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Count(1))
+        );
+    }
+
+    #[test]
+    fn sum_aggregate_over_sequences() {
+        // SUM(B.x) over pattern (A,B): a1, b2(x=10), b3(x=5)
+        // sequences: (a1,b2) and (a1,b3) => sum = 15
+        let mut c = Catalog::new();
+        let a = c.register("A");
+        let b = c.register_with_schema("B", sharon_types::Schema::new(["x"]));
+        let w = parse_workload(
+            &mut c,
+            ["RETURN SUM(B.x) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms"],
+        )
+        .unwrap();
+        let mut ex = Executor::new(&c, &w, &SharingPlan::non_shared()).unwrap();
+        ex.process(&ev(a, 1));
+        ex.process(&Event::with_attrs(b, Timestamp(2), vec![Value::Int(10)]));
+        ex.process(&Event::with_attrs(b, Timestamp(3), vec![Value::Int(5)]));
+        let res = ex.finish();
+        assert_eq!(
+            res.get(QueryId(0), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Number(Some(15.0)))
+        );
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut c = Catalog::new();
+        let a = c.register_with_schema("A", sharon_types::Schema::new(["x"]));
+        let b = c.register("B");
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN MIN(A.x) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms",
+                "RETURN MAX(A.x) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms",
+                "RETURN AVG(A.x) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms",
+            ],
+        )
+        .unwrap();
+        let mut ex = Executor::new(&c, &w, &SharingPlan::non_shared()).unwrap();
+        ex.process(&Event::with_attrs(a, Timestamp(1), vec![Value::Int(4)]));
+        ex.process(&Event::with_attrs(a, Timestamp(2), vec![Value::Int(8)]));
+        ex.process(&ev(b, 3));
+        let res = ex.finish();
+        let g = GroupKey::Global;
+        assert_eq!(res.get(QueryId(0), &g, Timestamp(0)), Some(&AggValue::Number(Some(4.0))));
+        assert_eq!(res.get(QueryId(1), &g, Timestamp(0)), Some(&AggValue::Number(Some(8.0))));
+        assert_eq!(res.get(QueryId(2), &g, Timestamp(0)), Some(&AggValue::Number(Some(6.0))));
+    }
+
+    #[test]
+    fn length_one_pattern() {
+        let (_, res) = run_queries(
+            &["RETURN COUNT(*) PATTERN SEQ(A) WITHIN 10 ms SLIDE 10 ms"],
+            &SharingPlan::non_shared(),
+            |cat| {
+                let a = cat.lookup("A").unwrap();
+                vec![ev(a, 1), ev(a, 2), ev(a, 15)]
+            },
+        );
+        assert_eq!(
+            res.get(QueryId(0), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Count(2))
+        );
+        assert_eq!(
+            res.get(QueryId(0), &GroupKey::Global, Timestamp(10)),
+            Some(&AggValue::Count(1))
+        );
+    }
+
+    #[test]
+    fn same_timestamp_events_never_form_sequences() {
+        let (_, res) = run_queries(
+            &["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms"],
+            &SharingPlan::non_shared(),
+            |cat| {
+                let a = cat.lookup("A").unwrap();
+                let b = cat.lookup("B").unwrap();
+                vec![ev(a, 5), ev(b, 5)]
+            },
+        );
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn shared_unit_prefix_and_suffix() {
+        // q1 = (X, A, B), q2 = (Y, A, B) share (A,B) at stage 1;
+        // X/Y are unit stage-0 segments.
+        let srcs = [
+            "RETURN COUNT(*) PATTERN SEQ(X, A, B) WITHIN 100 ms SLIDE 100 ms",
+            "RETURN COUNT(*) PATTERN SEQ(Y, A, B) WITHIN 100 ms SLIDE 100 ms",
+        ];
+        let mut c0 = Catalog::new();
+        let _ = parse_workload(&mut c0, srcs.iter().copied()).unwrap();
+        let ab = Pattern::from_names(&mut c0, ["A", "B"]);
+        let plan = SharingPlan::new([PlanCandidate::new(ab, [QueryId(0), QueryId(1)])]);
+        let events = |cat: &Catalog| {
+            let x = cat.lookup("X").unwrap();
+            let y = cat.lookup("Y").unwrap();
+            let a = cat.lookup("A").unwrap();
+            let b = cat.lookup("B").unwrap();
+            // x1 y2 a3 b4 a5 b6:
+            // q1: x1 followed by (a,b) pairs: (a3,b4),(a3,b6),(a5,b6) = 3
+            // q2: y2 followed by the same 3 pairs = 3
+            vec![ev(x, 1), ev(y, 2), ev(a, 3), ev(b, 4), ev(a, 5), ev(b, 6)]
+        };
+        let (_, shared) = run_queries(&srcs, &plan, events);
+        let (_, nonshared) = run_queries(&srcs, &SharingPlan::non_shared(), events);
+        assert_eq!(
+            shared.get(QueryId(0), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Count(3))
+        );
+        assert_eq!(
+            shared.get(QueryId(1), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Count(3))
+        );
+        assert!(shared.semantically_eq(&nonshared, 1e-9));
+    }
+
+    #[test]
+    fn shared_sliding_window_equivalence_small() {
+        // sliding windows + shared mid segment, compare with non-shared
+        let srcs = [
+            "RETURN COUNT(*) PATTERN SEQ(X, A, B, Z) WITHIN 6 ms SLIDE 2 ms",
+            "RETURN COUNT(*) PATTERN SEQ(Y, A, B, Z) WITHIN 6 ms SLIDE 2 ms",
+        ];
+        let mut c0 = Catalog::new();
+        let _ = parse_workload(&mut c0, srcs.iter().copied()).unwrap();
+        let ab = Pattern::from_names(&mut c0, ["A", "B"]);
+        let plan = SharingPlan::new([PlanCandidate::new(ab, [QueryId(0), QueryId(1)])]);
+        let events = |cat: &Catalog| {
+            let x = cat.lookup("X").unwrap();
+            let y = cat.lookup("Y").unwrap();
+            let a = cat.lookup("A").unwrap();
+            let b = cat.lookup("B").unwrap();
+            let z = cat.lookup("Z").unwrap();
+            vec![
+                ev(x, 1), ev(a, 2), ev(y, 3), ev(b, 4), ev(z, 5),
+                ev(a, 6), ev(x, 7), ev(b, 8), ev(z, 9), ev(z, 10),
+            ]
+        };
+        let (_, shared) = run_queries(&srcs, &plan, events);
+        let (_, nonshared) = run_queries(&srcs, &SharingPlan::non_shared(), events);
+        assert!(
+            shared.semantically_eq(&nonshared, 1e-9),
+            "shared: {:?}\nnonshared: {:?}",
+            shared.of_query_sorted(QueryId(0)),
+            nonshared.of_query_sorted(QueryId(0))
+        );
+        assert!(!nonshared.is_empty());
+    }
+
+    #[test]
+    fn events_matched_and_cell_count() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms"],
+        )
+        .unwrap();
+        let mut ex = Executor::non_shared(&c, &w).unwrap();
+        let a = c.lookup("A").unwrap();
+        ex.process(&ev(a, 1));
+        let unknown = EventTypeId(99);
+        ex.process(&ev(unknown, 2)); // ignored entirely
+        assert_eq!(ex.events_matched(), 1);
+        assert!(ex.cell_count() >= 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # sharon-executor
+//!
+//! The online event sequence aggregation executors of the Sharon system
+//! (Sections 3.2–3.3 of the paper):
+//!
+//! * the **Non-Shared method** — each query aggregated independently by the
+//!   A-Seq kernel: one aggregate per pattern prefix per live START event,
+//!   with sliding-window expiration (construct [`Executor::non_shared`]);
+//! * the **Shared method** — shared patterns aggregated once, with each
+//!   query combining the shared aggregates with its private prefix/suffix
+//!   aggregates via snapshot-at-START × completions (construct
+//!   [`Executor::new`] with an optimizer-produced
+//!   [`sharon_query::SharingPlan`]).
+//!
+//! Neither method ever constructs an event sequence — this is the "online"
+//! property that separates Sharon and A-Seq from the two-step approaches
+//! (Flink, SPASS; see the `sharon-twostep` crate for those baselines).
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod chainlog;
+pub mod compile;
+pub mod engine;
+mod proptests;
+pub mod results;
+pub mod runner;
+pub mod winvec;
+
+pub use agg::{Aggregate, Contribution, CountCell, OutputKind, StatsCell};
+pub use chainlog::ChainLog;
+pub use compile::{compile, CompileError, CompiledPartition};
+pub use engine::{Engine, Executor};
+pub use results::ExecutorResults;
+pub use runner::SegmentRunner;
+pub use winvec::{Snapshot, WinVec};

@@ -1,0 +1,164 @@
+//! Property-based tests of the aggregate cell algebra and the
+//! window/chain data structures — the laws the executor's correctness
+//! rests on (see [`crate::agg::Aggregate`]).
+
+#![cfg(test)]
+
+use crate::agg::{Aggregate, Contribution, CountCell, StatsCell};
+use crate::winvec::WinVec;
+use proptest::prelude::*;
+use sharon_types::Timestamp;
+
+fn contribution() -> impl Strategy<Value = Contribution> {
+    (any::<bool>(), -100.0f64..100.0).prop_map(|(relevant, value)| Contribution { relevant, value })
+}
+
+fn stats_cell() -> impl Strategy<Value = StatsCell> {
+    prop_oneof![
+        Just(StatsCell::ZERO),
+        (1u32..50, -100.0f64..100.0, contribution()).prop_map(|(n, v, c)| {
+            let mut acc = StatsCell::unit(Contribution::of(v));
+            for _ in 1..n {
+                acc.merge(&StatsCell::unit(c));
+            }
+            acc
+        }),
+    ]
+}
+
+fn count_cell() -> impl Strategy<Value = CountCell> {
+    (0u128..1_000_000).prop_map(CountCell)
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        return a == b || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum());
+    }
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn stats_approx(a: &StatsCell, b: &StatsCell) -> bool {
+    a.count == b.count && approx(a.sum, b.sum) && approx(a.min, b.min) && approx(a.max, b.max)
+}
+
+proptest! {
+    #[test]
+    fn count_merge_commutative_associative(a in count_cell(), b in count_cell(), c in count_cell()) {
+        let mut ab = a; ab.merge(&b);
+        let mut ba = b; ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        let mut ab_c = ab; ab_c.merge(&c);
+        let mut bc = b; bc.merge(&c);
+        let mut a_bc = a; a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+        // identity
+        let mut az = a; az.merge(&CountCell::ZERO);
+        prop_assert_eq!(az, a);
+    }
+
+    #[test]
+    fn count_cross_distributes_over_merge(a in count_cell(), b in count_cell(), s in count_cell()) {
+        let mut merged = a; merged.merge(&b);
+        let lhs = s.cross(&merged);
+        let mut rhs = s.cross(&a); rhs.merge(&s.cross(&b));
+        prop_assert_eq!(lhs, rhs);
+        // zero annihilates
+        prop_assert!(s.cross(&CountCell::ZERO).is_zero());
+        prop_assert!(CountCell::ZERO.cross(&s).is_zero());
+    }
+
+    #[test]
+    fn count_extend_distributes_over_merge(a in count_cell(), b in count_cell(), c in contribution()) {
+        let mut merged = a; merged.merge(&b);
+        let lhs = merged.extend(c);
+        let mut rhs = a.extend(c); rhs.merge(&b.extend(c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn stats_merge_commutative(a in stats_cell(), b in stats_cell()) {
+        let mut ab = a; ab.merge(&b);
+        let mut ba = b; ba.merge(&a);
+        prop_assert!(stats_approx(&ab, &ba), "{ab:?} vs {ba:?}");
+        let mut az = a; az.merge(&StatsCell::ZERO);
+        prop_assert!(stats_approx(&az, &a));
+    }
+
+    #[test]
+    fn stats_cross_distributes_over_merge(a in stats_cell(), b in stats_cell(), s in stats_cell()) {
+        let mut merged = a; merged.merge(&b);
+        let lhs = s.cross(&merged);
+        let mut rhs = s.cross(&a); rhs.merge(&s.cross(&b));
+        prop_assert!(stats_approx(&lhs, &rhs), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn stats_extend_distributes_over_merge(a in stats_cell(), b in stats_cell(), c in contribution()) {
+        let mut merged = a; merged.merge(&b);
+        let lhs = merged.extend(c);
+        let mut rhs = a.extend(c); rhs.merge(&b.extend(c));
+        prop_assert!(stats_approx(&lhs, &rhs), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn stats_cross_associative(a in stats_cell(), b in stats_cell(), c in stats_cell()) {
+        let lhs = a.cross(&b).cross(&c);
+        let rhs = a.cross(&b.cross(&c));
+        prop_assert!(stats_approx(&lhs, &rhs), "{lhs:?} vs {rhs:?}");
+    }
+
+    /// WinVec: an arbitrary interleaving of adds (at non-decreasing times)
+    /// drains to exactly the per-window sums of the adds, regardless of
+    /// when settles happen.
+    #[test]
+    fn winvec_drain_equals_reference(
+        ops in prop::collection::vec((0u64..4, 0u64..8, 0u64..8, 1u128..100), 0..60),
+    ) {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        let mut reference = std::collections::BTreeMap::<u64, u128>::new();
+        let mut t = 0u64;
+        for (dt, lo, span, n) in ops {
+            t += dt;
+            let (lo, hi) = (lo, lo + span % 4);
+            v.add_range(Timestamp(t), lo, hi, CountCell(n));
+            for w in lo..=hi {
+                *reference.entry(w).or_insert(0) += n;
+            }
+        }
+        let drained: std::collections::BTreeMap<u64, u128> = v
+            .drain_before(u64::MAX)
+            .into_iter()
+            .map(|(w, c)| (w, c.0))
+            .collect();
+        prop_assert_eq!(drained, reference);
+    }
+
+    /// ChainLog: offsets at increasing times partition entries so that the
+    /// entries before an offset are exactly those committed strictly
+    /// earlier.
+    #[test]
+    fn chainlog_offsets_respect_strict_time(
+        ops in prop::collection::vec((0u64..3, 0u64..6, 1u128..10), 1..40),
+    ) {
+        use crate::chainlog::ChainLog;
+        let mut log: ChainLog<CountCell> = ChainLog::new();
+        let mut t = 0u64;
+        let mut committed_times: Vec<u64> = Vec::new();
+        let mut adds: Vec<u64> = Vec::new(); // times of all adds, in order
+        for (dt, w, n) in ops {
+            t += dt;
+            let off = log.offset_at(Timestamp(t));
+            // entries visible at `t` are exactly the adds with time < t
+            let expected = adds.iter().filter(|&&at| at < t).count() as u64;
+            prop_assert_eq!(off, expected, "at t={}", t);
+            log.add_range(Timestamp(t), w, w, CountCell(n));
+            adds.push(t);
+        }
+        committed_times.clear();
+        log.settle(Timestamp(t + 1));
+        for (_, e) in log.iter() {
+            committed_times.push(e.time.millis());
+        }
+        prop_assert_eq!(committed_times, adds);
+    }
+}

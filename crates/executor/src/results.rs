@@ -1,0 +1,193 @@
+//! Query results: one aggregate per query, group, and window.
+
+use sharon_query::aggregate::AggValue;
+use sharon_query::QueryId;
+use sharon_types::{GroupKey, Timestamp};
+use std::collections::HashMap;
+
+/// All results produced by an executor run.
+///
+/// Only windows with at least one matched sequence appear (an absent entry
+/// means "zero matches").
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorResults {
+    per_query: HashMap<QueryId, HashMap<(GroupKey, Timestamp), AggValue>>,
+    results_emitted: u64,
+}
+
+impl ExecutorResults {
+    /// Empty result set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a result (overwrites on duplicate key; keys are unique in a
+    /// correct run).
+    pub fn emit(&mut self, query: QueryId, group: GroupKey, window_start: Timestamp, value: AggValue) {
+        self.results_emitted += 1;
+        self.per_query
+            .entry(query)
+            .or_default()
+            .insert((group, window_start), value);
+    }
+
+    /// Merge another result set into this one.
+    pub fn merge(&mut self, other: ExecutorResults) {
+        self.results_emitted += other.results_emitted;
+        for (q, m) in other.per_query {
+            self.per_query.entry(q).or_default().extend(m);
+        }
+    }
+
+    /// The result for `(query, group, window_start)`, if any sequence
+    /// matched.
+    pub fn get(&self, query: QueryId, group: &GroupKey, window_start: Timestamp) -> Option<&AggValue> {
+        self.per_query
+            .get(&query)?
+            .get(&(group.clone(), window_start))
+    }
+
+    /// All results of one query, unsorted.
+    pub fn of_query(&self, query: QueryId) -> impl Iterator<Item = (&GroupKey, Timestamp, &AggValue)> {
+        self.per_query
+            .get(&query)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|((g, w), v)| (g, *w, v)))
+    }
+
+    /// All results of one query sorted by (group display, window start) —
+    /// convenient for deterministic test assertions and printing.
+    pub fn of_query_sorted(&self, query: QueryId) -> Vec<(GroupKey, Timestamp, AggValue)> {
+        let mut v: Vec<(GroupKey, Timestamp, AggValue)> = self
+            .of_query(query)
+            .map(|(g, w, val)| (g.clone(), w, *val))
+            .collect();
+        v.sort_by(|a, b| {
+            (a.0.to_string(), a.1).cmp(&(b.0.to_string(), b.1))
+        });
+        v
+    }
+
+    /// Total number of `(query, group, window)` results emitted.
+    pub fn len(&self) -> usize {
+        self.per_query.values().map(HashMap::len).sum()
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all counts of one query across groups and windows — a quick
+    /// scalar fingerprint used by tests and benchmarks.
+    pub fn total_count(&self, query: QueryId) -> u128 {
+        self.of_query(query)
+            .filter_map(|(_, _, v)| v.as_count())
+            .sum()
+    }
+
+    /// Compare two result sets for semantic equality: same keys, counts
+    /// exactly equal, numeric values equal within `eps` relative error.
+    pub fn semantically_eq(&self, other: &ExecutorResults, eps: f64) -> bool {
+        let queries: std::collections::BTreeSet<QueryId> = self
+            .per_query
+            .keys()
+            .chain(other.per_query.keys())
+            .copied()
+            .collect();
+        for q in queries {
+            let empty = HashMap::new();
+            let a = self.per_query.get(&q).unwrap_or(&empty);
+            let b = other.per_query.get(&q).unwrap_or(&empty);
+            if a.len() != b.len() {
+                return false;
+            }
+            for (k, va) in a {
+                let Some(vb) = b.get(k) else { return false };
+                let eq = match (va, vb) {
+                    (AggValue::Count(x), AggValue::Count(y)) => x == y,
+                    (AggValue::Number(None), AggValue::Number(None)) => true,
+                    (AggValue::Number(Some(x)), AggValue::Number(Some(y))) => {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        (x - y).abs() <= eps * scale
+                    }
+                    _ => false,
+                };
+                if !eq {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: i64) -> GroupKey {
+        GroupKey::One(sharon_types::Value::Int(i))
+    }
+
+    #[test]
+    fn emit_and_get() {
+        let mut r = ExecutorResults::new();
+        r.emit(QueryId(0), key(1), Timestamp(0), AggValue::Count(3));
+        r.emit(QueryId(0), key(1), Timestamp(60), AggValue::Count(5));
+        r.emit(QueryId(1), GroupKey::Global, Timestamp(0), AggValue::Number(Some(2.5)));
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.get(QueryId(0), &key(1), Timestamp(60)),
+            Some(&AggValue::Count(5))
+        );
+        assert_eq!(r.get(QueryId(0), &key(2), Timestamp(60)), None);
+        assert_eq!(r.total_count(QueryId(0)), 8);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn sorted_accessor_is_deterministic() {
+        let mut r = ExecutorResults::new();
+        r.emit(QueryId(0), key(2), Timestamp(0), AggValue::Count(1));
+        r.emit(QueryId(0), key(1), Timestamp(60), AggValue::Count(2));
+        r.emit(QueryId(0), key(1), Timestamp(0), AggValue::Count(3));
+        let sorted = r.of_query_sorted(QueryId(0));
+        assert_eq!(sorted[0], (key(1), Timestamp(0), AggValue::Count(3)));
+        assert_eq!(sorted[1], (key(1), Timestamp(60), AggValue::Count(2)));
+        assert_eq!(sorted[2], (key(2), Timestamp(0), AggValue::Count(1)));
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = ExecutorResults::new();
+        a.emit(QueryId(0), key(1), Timestamp(0), AggValue::Count(1));
+        let mut b = ExecutorResults::new();
+        b.emit(QueryId(1), key(1), Timestamp(0), AggValue::Count(2));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn semantic_equality() {
+        let mut a = ExecutorResults::new();
+        a.emit(QueryId(0), key(1), Timestamp(0), AggValue::Number(Some(1.0)));
+        let mut b = ExecutorResults::new();
+        b.emit(QueryId(0), key(1), Timestamp(0), AggValue::Number(Some(1.0 + 1e-12)));
+        assert!(a.semantically_eq(&b, 1e-9));
+        let mut c = ExecutorResults::new();
+        c.emit(QueryId(0), key(1), Timestamp(0), AggValue::Number(Some(2.0)));
+        assert!(!a.semantically_eq(&c, 1e-9));
+        let mut d = ExecutorResults::new();
+        d.emit(QueryId(0), key(2), Timestamp(0), AggValue::Number(Some(1.0)));
+        assert!(!a.semantically_eq(&d, 1e-9));
+        // differing key sets
+        let e = ExecutorResults::new();
+        assert!(!a.semantically_eq(&e, 1e-9));
+        assert!(e.semantically_eq(&ExecutorResults::new(), 1e-9));
+        // count vs number mismatch
+        let mut f = ExecutorResults::new();
+        f.emit(QueryId(0), key(1), Timestamp(0), AggValue::Count(1));
+        assert!(!a.semantically_eq(&f, 1e-9));
+    }
+}

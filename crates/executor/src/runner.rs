@@ -1,0 +1,300 @@
+//! Segment runners: online aggregation of one pattern segment.
+//!
+//! This is the kernel of the Non-Shared method (Section 3.2, borrowed from
+//! A-Seq): "it maintains a count for each prefix of a pattern. The count of
+//! a prefix of length `j` is incrementally computed based on its previous
+//! value and the new value of the count of the prefix of length `j − 1`",
+//! and "we maintain the aggregates per each matched START event" so that
+//! expired START events can be discarded without recomputation
+//! (Figure 6(b)).
+//!
+//! A [`SegmentRunner`] aggregates one contiguous pattern segment — a whole
+//! query pattern in the Non-Shared method, or a prefix/shared/suffix piece
+//! in the Shared method. A runner for a *shared* candidate is maintained
+//! once and consulted by every query in `Q_p` (Section 3.3, step 1).
+//!
+//! Strict sequence semantics: an event never extends state written by
+//! another event with the same timestamp. Per-cell pending buffers (the
+//! same scheme as [`crate::winvec::WinVec`]) enforce this.
+
+use crate::agg::{Aggregate, Contribution};
+use sharon_types::Timestamp;
+use std::collections::VecDeque;
+
+/// One aggregate with same-timestamp isolation.
+#[derive(Debug, Clone, Copy)]
+struct Cell<A> {
+    committed: A,
+    pending: A,
+    pending_time: Timestamp,
+}
+
+impl<A: Aggregate> Cell<A> {
+    fn zero() -> Self {
+        Cell { committed: A::ZERO, pending: A::ZERO, pending_time: Timestamp::ZERO }
+    }
+
+    fn with_pending(value: A, at: Timestamp) -> Self {
+        Cell { committed: A::ZERO, pending: value, pending_time: at }
+    }
+
+    #[inline]
+    fn settle(&mut self, now: Timestamp) {
+        if self.pending_time < now && !self.pending.is_zero() {
+            self.committed.merge(&self.pending);
+            self.pending = A::ZERO;
+        }
+    }
+
+    #[inline]
+    fn read(&mut self, now: Timestamp) -> A {
+        self.settle(now);
+        self.committed
+    }
+
+    #[inline]
+    fn add(&mut self, now: Timestamp, delta: &A) {
+        self.settle(now);
+        self.pending_time = now;
+        self.pending.merge(delta);
+    }
+}
+
+/// Aggregates for one live START event: `cells[j]` is the aggregate of all
+/// sequences of the prefix `(E₁ … E_{j+1})` that begin at this START event.
+/// The final position `E_l` is not stored — completions are consumed
+/// immediately by the window accumulators or the chain combiner.
+#[derive(Debug, Clone)]
+struct StartEntry<A> {
+    time: Timestamp,
+    cells: Box<[Cell<A>]>,
+}
+
+/// Online aggregation state for one pattern segment of length ≥ 2.
+///
+/// (Length-1 segments need no state at all: each matching event is
+/// simultaneously START and END, handled inline by the engine.)
+#[derive(Debug, Clone)]
+pub struct SegmentRunner<A> {
+    len: usize,
+    starts: VecDeque<StartEntry<A>>,
+}
+
+impl<A: Aggregate> SegmentRunner<A> {
+    /// A runner for a segment of `len` event types (`len ≥ 2`).
+    pub fn new(len: usize) -> Self {
+        assert!(len >= 2, "length-1 segments are stateless");
+        SegmentRunner { len, starts: VecDeque::new() }
+    }
+
+    /// The segment length.
+    pub fn segment_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of live START events.
+    pub fn live_starts(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The timestamp of the live START event at `idx` (front = oldest).
+    pub fn start_time(&self, idx: usize) -> Timestamp {
+        self.starts[idx].time
+    }
+
+    /// Drop START events with `time <= cutoff` (they can no longer fall in
+    /// a window together with the current event — Section 3.2, "only the
+    /// counts of not-expired START events are updated"). Returns how many
+    /// entries were dropped so that chain stages can discard the aligned
+    /// snapshots.
+    pub fn expire(&mut self, cutoff: Timestamp) -> usize {
+        let mut dropped = 0;
+        while let Some(front) = self.starts.front() {
+            if front.time <= cutoff {
+                self.starts.pop_front();
+                dropped += 1;
+            } else {
+                break;
+            }
+        }
+        dropped
+    }
+
+    /// A START-type event arrived: create a new live START entry whose
+    /// unit aggregate becomes visible to strictly later events.
+    pub fn on_start(&mut self, time: Timestamp, c: Contribution) {
+        debug_assert!(
+            self.starts.back().map_or(true, |b| b.time <= time),
+            "events must arrive in timestamp order"
+        );
+        let mut cells = vec![Cell::zero(); self.len - 1].into_boxed_slice();
+        cells[0] = Cell::with_pending(A::unit(c), time);
+        self.starts.push_back(StartEntry { time, cells });
+    }
+
+    /// A MID-type event arrived at 0-based pattern position `pos`
+    /// (`1 ≤ pos ≤ len − 2`): for every live START event strictly older
+    /// than the event, extend the length-`pos` prefix aggregate into the
+    /// length-`pos + 1` one.
+    pub fn on_mid(&mut self, pos: usize, time: Timestamp, c: Contribution) {
+        debug_assert!(pos >= 1 && pos < self.len - 1, "mid position out of range");
+        for entry in self.starts.iter_mut() {
+            if entry.time >= time {
+                break;
+            }
+            let prev = entry.cells[pos - 1].read(time);
+            if prev.is_zero() {
+                continue;
+            }
+            let delta = prev.extend(c);
+            entry.cells[pos].add(time, &delta);
+        }
+    }
+
+    /// An END-type event arrived: report, per live START event, the
+    /// aggregate of the *newly completed* sequences (those ending at this
+    /// event). The callback receives `(start_index, start_time, delta)`.
+    pub fn on_end<F: FnMut(usize, Timestamp, A)>(
+        &mut self,
+        time: Timestamp,
+        c: Contribution,
+        mut on_completion: F,
+    ) {
+        let last = self.len - 2;
+        for (idx, entry) in self.starts.iter_mut().enumerate() {
+            if entry.time >= time {
+                break;
+            }
+            let prev = entry.cells[last].read(time);
+            if prev.is_zero() {
+                continue;
+            }
+            on_completion(idx, entry.time, prev.extend(c));
+        }
+    }
+
+    /// Rough count of aggregate cells held (for memory reporting).
+    pub fn cell_count(&self) -> usize {
+        self.starts.len() * (self.len - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::CountCell;
+
+    const NONE: Contribution = Contribution::NONE;
+
+    fn completions(runner: &mut SegmentRunner<CountCell>, t: u64) -> Vec<(u64, u128)> {
+        let mut out = Vec::new();
+        runner.on_end(Timestamp(t), NONE, |_, st, d| out.push((st.millis(), d.0)));
+        out
+    }
+
+    /// Figure 6(a): pattern (A,B) over a1, b2, a3, b4 — count(A,B) = 3.
+    #[test]
+    fn online_sequence_count_example_1() {
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(2);
+        r.on_start(Timestamp(1), NONE); // a1
+        assert_eq!(completions(&mut r, 2), vec![(1, 1)]); // b2: (a1,b2)
+        r.on_start(Timestamp(3), NONE); // a3
+        let b4 = completions(&mut r, 4);
+        assert_eq!(b4, vec![(1, 1), (3, 1)], "b4 forms (a1,b4) and (a3,b4)");
+        // total across b2 and b4 = 3, the paper's count(A,B)
+        assert_eq!(1 + b4.iter().map(|(_, d)| d).sum::<u128>(), 3);
+    }
+
+    /// Figure 6(b): window length 4; when b5 arrives, a1 (time 1) is
+    /// expired and only a2's count updates.
+    #[test]
+    fn expiration_example_2() {
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(2);
+        r.on_start(Timestamp(1), NONE); // a1
+        r.on_start(Timestamp(2), NONE); // a2
+        // b5 arrives: cutoff = 5 - 4 = 1, so a1 expires
+        let dropped = r.expire(Timestamp(1));
+        assert_eq!(dropped, 1);
+        assert_eq!(r.live_starts(), 1);
+        assert_eq!(completions(&mut r, 5), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn three_type_pattern_with_mid_events() {
+        // pattern (A, B, C): a1 b2 b3 c4 -> sequences (a1,b2,c4), (a1,b3,c4)
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(3);
+        r.on_start(Timestamp(1), NONE);
+        r.on_mid(1, Timestamp(2), NONE);
+        r.on_mid(1, Timestamp(3), NONE);
+        assert_eq!(completions(&mut r, 4), vec![(1, 2)]);
+        // a second c5 completes the same two again
+        assert_eq!(completions(&mut r, 5), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn same_timestamp_events_do_not_chain() {
+        // pattern (A, B): a at t=5, b at t=5 -> no sequence (strict <)
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(2);
+        r.on_start(Timestamp(5), NONE);
+        assert_eq!(completions(&mut r, 5), vec![]);
+        // but a later b works
+        assert_eq!(completions(&mut r, 6), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn same_timestamp_mid_chain_is_blocked() {
+        // pattern (A, B, C): a1, b5, c5 -> c5 must not see b5's update
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(3);
+        r.on_start(Timestamp(1), NONE);
+        r.on_mid(1, Timestamp(5), NONE);
+        assert_eq!(completions(&mut r, 5), vec![]);
+        // c6 does see it
+        assert_eq!(completions(&mut r, 6), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn multiple_starts_accumulate_prefix_counts() {
+        // pattern (A, B, C): a1 a2 b3 c4 -> (a1,b3,c4), (a2,b3,c4)
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(3);
+        r.on_start(Timestamp(1), NONE);
+        r.on_start(Timestamp(2), NONE);
+        r.on_mid(1, Timestamp(3), NONE);
+        assert_eq!(completions(&mut r, 4), vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn zero_prefixes_produce_no_completions() {
+        // pattern (A, B, C) with no B yet: C produces nothing
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(3);
+        r.on_start(Timestamp(1), NONE);
+        assert_eq!(completions(&mut r, 2), vec![]);
+    }
+
+    #[test]
+    fn expire_keeps_later_starts() {
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(2);
+        for t in 1..=5 {
+            r.on_start(Timestamp(t), NONE);
+        }
+        assert_eq!(r.expire(Timestamp(3)), 3);
+        assert_eq!(r.live_starts(), 2);
+        assert_eq!(r.start_time(0), Timestamp(4));
+        assert_eq!(r.expire(Timestamp(3)), 0, "idempotent");
+    }
+
+    #[test]
+    fn cell_count_reports_state_size() {
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(4);
+        assert_eq!(r.cell_count(), 0);
+        r.on_start(Timestamp(1), NONE);
+        r.on_start(Timestamp(2), NONE);
+        assert_eq!(r.cell_count(), 6);
+        assert_eq!(r.segment_len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length-1 segments are stateless")]
+    fn length_one_rejected() {
+        let _ = SegmentRunner::<CountCell>::new(1);
+    }
+}

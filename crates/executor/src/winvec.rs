@@ -1,0 +1,389 @@
+//! Window-aligned aggregate vectors.
+//!
+//! Sliding windows make every running aggregate *per window instance*: an
+//! END event "updates the final counts for all windows that e falls into"
+//! (Section 3.2). A [`WinVec`] holds one aggregate cell per open window
+//! instance, indexed by the window's *sequence number* `start / slide`.
+//!
+//! `WinVec` additionally enforces the strict `<` sequence semantics between
+//! same-timestamp events: updates performed at time `t` stay in a *pending*
+//! buffer that readers at the same time `t` do not observe; the buffer is
+//! folded into the committed state as soon as the vector is touched at a
+//! later time. This way an event can never extend, combine with, or
+//! snapshot state produced by another event carrying the same timestamp.
+
+use crate::agg::Aggregate;
+use sharon_types::Timestamp;
+use std::collections::VecDeque;
+
+/// Sequence number of a window instance (`start / slide`).
+pub type WinSeq = u64;
+
+/// An immutable, compact copy of a [`WinVec`]'s committed state, taken when
+/// a chain segment's START event arrives (the Shared method's
+/// "count(prefix) at the time `c` arrives", Example 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot<A> {
+    first_seq: WinSeq,
+    vals: Box<[A]>,
+}
+
+impl<A: Aggregate> Snapshot<A> {
+    /// An empty snapshot (all windows zero).
+    pub fn empty() -> Self {
+        Snapshot { first_seq: 0, vals: Box::new([]) }
+    }
+
+    /// The value for window `seq` (zero outside the captured range).
+    #[inline]
+    pub fn get(&self, seq: WinSeq) -> A {
+        if seq < self.first_seq {
+            return A::ZERO;
+        }
+        self.vals
+            .get((seq - self.first_seq) as usize)
+            .copied()
+            .unwrap_or(A::ZERO)
+    }
+
+    /// Iterate over non-zero `(seq, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (WinSeq, &A)> {
+        self.vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_zero())
+            .map(|(i, v)| (self.first_seq + i as u64, v))
+    }
+
+    /// True if every entry is zero.
+    pub fn is_empty(&self) -> bool {
+        self.vals.iter().all(A::is_zero)
+    }
+}
+
+/// One aggregate cell per open window instance, with same-timestamp
+/// isolation (see module docs).
+#[derive(Debug, Clone)]
+pub struct WinVec<A> {
+    first_seq: WinSeq,
+    committed: VecDeque<A>,
+    /// Sparse updates performed at `pending_time`, not yet visible.
+    pending: Vec<(WinSeq, A)>,
+    pending_time: Timestamp,
+}
+
+impl<A: Aggregate> Default for WinVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Aggregate> WinVec<A> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        WinVec {
+            first_seq: 0,
+            committed: VecDeque::new(),
+            pending: Vec::new(),
+            pending_time: Timestamp::ZERO,
+        }
+    }
+
+    fn commit(&mut self) {
+        for (seq, delta) in std::mem::take(&mut self.pending) {
+            if self.committed.is_empty() {
+                self.first_seq = seq;
+                self.committed.push_back(A::ZERO);
+            } else if seq < self.first_seq {
+                // a delta for a window older than any tracked: extend front
+                for _ in 0..(self.first_seq - seq) {
+                    self.committed.push_front(A::ZERO);
+                }
+                self.first_seq = seq;
+            }
+            let idx = (seq - self.first_seq) as usize;
+            while idx >= self.committed.len() {
+                self.committed.push_back(A::ZERO);
+            }
+            self.committed[idx].merge(&delta);
+        }
+    }
+
+    /// Fold pending updates older than `now` into the committed state.
+    #[inline]
+    pub fn settle(&mut self, now: Timestamp) {
+        if !self.pending.is_empty() && self.pending_time < now {
+            self.commit();
+        }
+    }
+
+    /// Add `delta` to window `seq`, performed at time `now`.
+    pub fn add(&mut self, now: Timestamp, seq: WinSeq, delta: A) {
+        if delta.is_zero() {
+            return;
+        }
+        self.settle(now);
+        self.pending_time = now;
+        self.pending.push((seq, delta));
+    }
+
+    /// Add `delta` to every window in `seq_lo..=seq_hi`, performed at
+    /// `now`. Used when a stage-0 (leftmost) segment completes: the
+    /// sequence it closed belongs to every window containing its START
+    /// event and the current END event.
+    pub fn add_range(&mut self, now: Timestamp, seq_lo: WinSeq, seq_hi: WinSeq, delta: A) {
+        if delta.is_zero() {
+            return;
+        }
+        self.settle(now);
+        self.pending_time = now;
+        for seq in seq_lo..=seq_hi {
+            self.pending.push((seq, delta));
+        }
+    }
+
+    /// Add `snapshot[seq] × delta` to every window with `seq ≥ min_seq`,
+    /// performed at `now` — the Shared method's combination step.
+    ///
+    /// `min_seq` must be the sequence number of the earliest window still
+    /// covering `now`: windows that ended before the current event cannot
+    /// contain the sequence being completed (its END event is the current
+    /// one), so snapshot entries for them are skipped.
+    pub fn add_cross(&mut self, now: Timestamp, snapshot: &Snapshot<A>, delta: &A, min_seq: WinSeq) {
+        if delta.is_zero() {
+            return;
+        }
+        self.settle(now);
+        for (seq, snap) in snapshot.iter() {
+            if seq < min_seq {
+                continue;
+            }
+            let v = snap.cross(delta);
+            if !v.is_zero() {
+                self.pending_time = now;
+                self.pending.push((seq, v));
+            }
+        }
+    }
+
+    /// The committed value of window `seq` as observable at `now`.
+    pub fn get(&mut self, now: Timestamp, seq: WinSeq) -> A {
+        self.settle(now);
+        if seq < self.first_seq {
+            return A::ZERO;
+        }
+        self.committed
+            .get((seq - self.first_seq) as usize)
+            .copied()
+            .unwrap_or(A::ZERO)
+    }
+
+    /// Capture the committed state observable at `now`.
+    pub fn snapshot(&mut self, now: Timestamp) -> Snapshot<A> {
+        self.settle(now);
+        // trim zero margins for compactness
+        let mut lo = 0usize;
+        let mut hi = self.committed.len();
+        while lo < hi && self.committed[lo].is_zero() {
+            lo += 1;
+        }
+        while hi > lo && self.committed[hi - 1].is_zero() {
+            hi -= 1;
+        }
+        Snapshot {
+            first_seq: self.first_seq + lo as u64,
+            vals: self.committed.range(lo..hi).copied().collect(),
+        }
+    }
+
+    /// Remove (and return) the final value of window `seq`, committing any
+    /// pending updates first. Called when a window closes.
+    pub fn take(&mut self, seq: WinSeq) -> A {
+        self.commit();
+        if seq < self.first_seq {
+            return A::ZERO;
+        }
+        let idx = (seq - self.first_seq) as usize;
+        match self.committed.get_mut(idx) {
+            Some(v) => std::mem::replace(v, A::ZERO),
+            None => A::ZERO,
+        }
+    }
+
+    /// Remove and return the non-zero final values of all windows with
+    /// `seq < cutoff`, in increasing `seq` order. Called when windows
+    /// close: "a result is returned per group and per window"
+    /// (Definition 2).
+    pub fn drain_before(&mut self, cutoff: WinSeq) -> Vec<(WinSeq, A)> {
+        self.commit();
+        let mut out = Vec::new();
+        while self.first_seq < cutoff {
+            match self.committed.pop_front() {
+                Some(v) => {
+                    if !v.is_zero() {
+                        out.push((self.first_seq, v));
+                    }
+                    self.first_seq += 1;
+                }
+                None => {
+                    self.first_seq = cutoff;
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop entries for windows with `seq < cutoff` (their instances have
+    /// closed and been emitted).
+    ///
+    /// Pending same-timestamp updates are *not* committed — they are only
+    /// filtered — so a snapshot taken later at the same timestamp still
+    /// excludes them (strict `<` semantics).
+    pub fn drop_before(&mut self, cutoff: WinSeq) {
+        self.pending.retain(|(seq, _)| *seq >= cutoff);
+        while self.first_seq < cutoff && !self.committed.is_empty() {
+            self.committed.pop_front();
+            self.first_seq += 1;
+        }
+        if self.committed.is_empty() {
+            self.first_seq = cutoff.max(self.first_seq);
+        }
+    }
+
+    /// Number of tracked window cells (committed).
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty() && self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{Contribution, CountCell};
+
+    fn c(n: u128) -> CountCell {
+        CountCell(n)
+    }
+
+    #[test]
+    fn adds_are_visible_only_at_later_times() {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        v.add(Timestamp(5), 3, c(2));
+        // a reader at the same time sees nothing (strict `<` semantics)
+        assert_eq!(v.get(Timestamp(5), 3), c(0));
+        // a reader later sees it
+        assert_eq!(v.get(Timestamp(6), 3), c(2));
+    }
+
+    #[test]
+    fn same_time_adds_accumulate_then_commit_together() {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        v.add(Timestamp(5), 3, c(2));
+        v.add(Timestamp(5), 3, c(1));
+        v.add(Timestamp(5), 4, c(7));
+        assert_eq!(v.get(Timestamp(9), 3), c(3));
+        assert_eq!(v.get(Timestamp(9), 4), c(7));
+    }
+
+    #[test]
+    fn add_range() {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        v.add_range(Timestamp(1), 2, 4, c(5));
+        assert_eq!(v.get(Timestamp(2), 2), c(5));
+        assert_eq!(v.get(Timestamp(2), 3), c(5));
+        assert_eq!(v.get(Timestamp(2), 4), c(5));
+        assert_eq!(v.get(Timestamp(2), 5), c(0));
+        assert_eq!(v.get(Timestamp(2), 1), c(0));
+    }
+
+    #[test]
+    fn snapshot_excludes_same_time_pending() {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        v.add(Timestamp(1), 0, c(1));
+        v.add(Timestamp(2), 1, c(9));
+        let snap = v.snapshot(Timestamp(2));
+        assert_eq!(snap.get(0), c(1));
+        assert_eq!(snap.get(1), c(0), "the t=2 add is invisible at t=2");
+        let snap = v.snapshot(Timestamp(3));
+        assert_eq!(snap.get(1), c(9));
+    }
+
+    #[test]
+    fn snapshot_trims_zero_margins() {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        v.add(Timestamp(1), 5, c(1));
+        v.add(Timestamp(1), 9, c(0)); // ignored: zero delta
+        let snap = v.snapshot(Timestamp(2));
+        assert_eq!(snap.iter().count(), 1);
+        assert_eq!(snap.get(5), c(1));
+        assert_eq!(snap.get(4), c(0));
+        assert_eq!(snap.get(99), c(0));
+        assert!(!snap.is_empty());
+        assert!(Snapshot::<CountCell>::empty().is_empty());
+    }
+
+    #[test]
+    fn add_cross_multiplies_snapshot_by_delta() {
+        let mut left: WinVec<CountCell> = WinVec::new();
+        left.add(Timestamp(1), 0, c(2));
+        left.add(Timestamp(1), 1, c(3));
+        let snap = left.snapshot(Timestamp(2));
+
+        let mut r: WinVec<CountCell> = WinVec::new();
+        r.add_cross(Timestamp(4), &snap, &c(10), 0);
+        assert_eq!(r.get(Timestamp(5), 0), c(20));
+        assert_eq!(r.get(Timestamp(5), 1), c(30));
+        // zero delta is a no-op
+        r.add_cross(Timestamp(6), &snap, &c(0), 0);
+        assert_eq!(r.get(Timestamp(7), 0), c(20));
+        // min_seq clamps away windows that ended before the current event
+        let mut r2: WinVec<CountCell> = WinVec::new();
+        r2.add_cross(Timestamp(4), &snap, &c(10), 1);
+        assert_eq!(r2.get(Timestamp(5), 0), c(0));
+        assert_eq!(r2.get(Timestamp(5), 1), c(30));
+    }
+
+    #[test]
+    fn take_and_drop() {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        v.add(Timestamp(1), 0, c(4));
+        v.add(Timestamp(1), 1, c(6));
+        assert_eq!(v.take(0), c(4));
+        assert_eq!(v.take(0), c(0), "take removes");
+        v.drop_before(2);
+        assert_eq!(v.get(Timestamp(9), 1), c(0));
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_window_seqs_extend_front() {
+        let mut v: WinVec<CountCell> = WinVec::new();
+        v.add(Timestamp(1), 5, c(1));
+        v.add(Timestamp(2), 2, c(3));
+        assert_eq!(v.get(Timestamp(3), 2), c(3));
+        assert_eq!(v.get(Timestamp(3), 5), c(1));
+    }
+
+#[test]
+fn repro_snapshot_same_time() {
+    
+    use crate::agg::CountCell;
+    use sharon_types::Timestamp;
+    let mut r: WinVec<CountCell> = WinVec::new();
+    r.add_range(Timestamp(0), 0, 0, CountCell(1));
+    let snap = r.snapshot(Timestamp(0));
+    assert!(snap.is_empty(), "snapshot at same time must be empty: {snap:?}");
+}
+
+    #[test]
+    fn unit_contribution_roundtrip() {
+        // sanity: CountCell::unit ignores contributions
+        assert_eq!(CountCell::unit(Contribution::of(3.0)), c(1));
+    }
+}

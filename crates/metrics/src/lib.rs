@@ -1,0 +1,20 @@
+//! # sharon-metrics
+//!
+//! Measurement utilities for reproducing the paper's evaluation metrics
+//! (Section 8.1): latency, throughput, and peak memory.
+//!
+//! * [`alloc`] — a [`TrackingAllocator`] recording current/peak heap use
+//!   (install as `#[global_allocator]` in bench binaries);
+//! * [`latency`] — per-window latency and throughput recording;
+//! * [`report`] — printable/serializable result [`Table`]s, one per
+//!   reproduced figure.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod latency;
+pub mod report;
+
+pub use alloc::{current_bytes, measure_peak, peak_bytes, reset_peak, TrackingAllocator};
+pub use latency::{timed, LatencyRecorder};
+pub use report::{fmt_bytes, fmt_duration, fmt_throughput, Table};

@@ -1,0 +1,136 @@
+//! The GWMIN greedy algorithm for Maximum Weight Independent Set
+//! (Appendix B, Algorithm 8; Sakai, Togasaki, Yamazaki 2003).
+//!
+//! GWMIN repeatedly picks the vertex maximizing
+//! `weight(v) / (degree(v) + 1)` in the current residual graph, adds it to
+//! the independent set, and deletes it together with its neighbours. Its
+//! result is guaranteed to weigh at least
+//! `Σ_v weight(v) / (degree(v) + 1)` (Eq. 10) — the bound Sharon uses to
+//! prune conflict-ridden candidates (Section 5).
+
+use crate::graph::SharonGraph;
+use std::collections::BTreeSet;
+
+/// The guaranteed minimum weight of GWMIN's independent set on `graph`
+/// (Eq. 10): `Σ_u weight(u) / (degree(u) + 1)`.
+pub fn guaranteed_weight(graph: &SharonGraph) -> f64 {
+    (0..graph.len())
+        .map(|v| graph.vertex(v).weight / (graph.degree(v) + 1) as f64)
+        .sum()
+}
+
+/// Run GWMIN (Algorithm 8), returning the chosen independent set as vertex
+/// indexes of `graph`, in selection order.
+pub fn gwmin(graph: &SharonGraph) -> Vec<usize> {
+    let mut alive: BTreeSet<usize> = (0..graph.len()).collect();
+    let mut degree: Vec<usize> = (0..graph.len()).map(|v| graph.degree(v)).collect();
+    let mut chosen = Vec::new();
+    while !alive.is_empty() {
+        let &best = alive
+            .iter()
+            .max_by(|&&a, &&b| {
+                let ra = graph.vertex(a).weight / (degree[a] + 1) as f64;
+                let rb = graph.vertex(b).weight / (degree[b] + 1) as f64;
+                ra.partial_cmp(&rb)
+                    .expect("weights are finite")
+                    // deterministic tie-break: lower index wins
+                    .then(b.cmp(&a))
+            })
+            .expect("alive is non-empty");
+        chosen.push(best);
+        // remove best and its closed neighbourhood
+        let mut removed = vec![best];
+        for &n in graph.neighbors(best) {
+            if alive.contains(&n) {
+                removed.push(n);
+            }
+        }
+        for v in removed {
+            alive.remove(&v);
+            for &n in graph.neighbors(v) {
+                if alive.contains(&n) {
+                    degree[n] = degree[n].saturating_sub(1);
+                }
+            }
+        }
+    }
+    chosen
+}
+
+/// Total weight of a vertex set.
+pub fn set_weight(graph: &SharonGraph, set: &[usize]) -> f64 {
+    set.iter().map(|&v| graph.vertex(v).weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure_4_graph;
+    use sharon_types::Catalog;
+
+    #[test]
+    fn guaranteed_weight_matches_example_7() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let expected = 25.0 / 6.0 + 9.0 / 4.0 + 12.0 / 5.0 + 15.0 / 4.0
+            + 20.0 / 5.0 + 8.0 / 2.0 + 18.0 / 1.0;
+        let got = guaranteed_weight(&g);
+        assert!((got - expected).abs() < 1e-12);
+        assert!((got - 38.566).abs() < 1e-2, "paper: ≈ 38.57, got {got}");
+    }
+
+    #[test]
+    fn gwmin_reproduces_example_12_greedy_plan() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let is = gwmin(&g);
+        // Example 12: the greedily chosen plan is {p1, p7} with score 43
+        let mut sorted = is.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 6], "greedy picks p1 and p7");
+        assert_eq!(set_weight(&g, &is), 43.0);
+    }
+
+    #[test]
+    fn gwmin_returns_an_independent_set() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let is = gwmin(&g);
+        for (i, &a) in is.iter().enumerate() {
+            for &b in &is[i + 1..] {
+                assert!(!g.has_edge(a, b), "v{a} ~ v{b} violates independence");
+            }
+        }
+    }
+
+    #[test]
+    fn gwmin_meets_its_guarantee() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        assert!(set_weight(&g, &gwmin(&g)) >= guaranteed_weight(&g) - 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SharonGraph::default();
+        assert_eq!(gwmin(&g), Vec::<usize>::new());
+        assert_eq!(guaranteed_weight(&g), 0.0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let mut c = Catalog::new();
+        let (w, _) = figure_4_graph(&mut c);
+        let mut g = SharonGraph::default();
+        g.insert(
+            &w,
+            sharon_query::PlanCandidate::new(
+                sharon_query::Pattern::from_names(&mut c, ["OakSt", "MainSt"]),
+                [sharon_query::QueryId(0), sharon_query::QueryId(1)],
+            ),
+            5.0,
+        );
+        assert_eq!(gwmin(&g), vec![0]);
+        assert_eq!(guaranteed_weight(&g), 5.0);
+    }
+}

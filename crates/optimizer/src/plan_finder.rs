@@ -1,0 +1,258 @@
+//! The sharing plan finder (Section 6, Algorithms 3–4).
+//!
+//! The search space of sharing plans is the subset lattice over the
+//! (reduced) SHARON graph's candidates (Figure 8). The finder traverses
+//! only the *valid* plans breadth-first, generating level `s + 1` from
+//! level `s` apriori-style (Lemma 6): two size-`s` plans sharing their
+//! first `s − 1` candidates join into a size-`s + 1` plan, valid iff their
+//! two distinct last candidates are non-adjacent. Invalid branches are cut
+//! at their roots (Lemma 4), and the plan with the maximum score wins
+//! (Definition 9).
+
+use crate::graph::SharonGraph;
+use std::time::{Duration, Instant};
+
+/// Statistics of one plan search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Valid plans generated (including level 1).
+    pub plans_considered: u64,
+    /// Number of lattice levels materialized.
+    pub levels: usize,
+    /// Largest single level held in memory (plans).
+    pub widest_level: usize,
+    /// True if the search stopped early on its time budget.
+    pub timed_out: bool,
+}
+
+/// The result of the plan finder: the best valid plan over the graph
+/// (vertex indexes, ascending) and search statistics.
+#[derive(Debug, Clone)]
+pub struct FoundPlan {
+    /// Vertex indexes of the winning plan, ascending.
+    pub vertices: Vec<usize>,
+    /// Its score (sum of benefit values).
+    pub score: f64,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Generate level `s + 1` from level `s` (Algorithm 3). `parents` must be
+/// sorted vectors of vertex indexes, themselves in lexicographic order.
+pub fn next_level(graph: &SharonGraph, parents: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut children = Vec::new();
+    for i in 0..parents.len() {
+        for j in i + 1..parents.len() {
+            let a = &parents[i];
+            let b = &parents[j];
+            let s = a.len();
+            debug_assert_eq!(s, b.len());
+            // base case s = 1: any non-adjacent pair (Lines 5–6);
+            // inductive case: equal first s−1 candidates (Line 7)
+            if s > 1 && a[..s - 1] != b[..s - 1] {
+                // parents are lexicographically sorted: once prefixes
+                // diverge for j, they diverge for all later j
+                break;
+            }
+            if !graph.has_edge(a[s - 1], b[s - 1]) {
+                let mut child = a.clone();
+                child.push(b[s - 1]);
+                children.push(child);
+            }
+        }
+    }
+    children
+}
+
+/// Widest lattice level the finder will materialize before giving up on
+/// optimality (the paper then falls back to the greedy plan; Section 6,
+/// discussion point 1). Bounds memory on dense graphs.
+pub const MAX_LEVEL_WIDTH: usize = 400_000;
+
+/// Run the sharing plan finder (Algorithm 4) over a (reduced) graph.
+///
+/// `budget` optionally bounds the search wall-clock; on exhaustion (or
+/// when a lattice level would exceed [`MAX_LEVEL_WIDTH`]) the best plan
+/// found so far is returned with `stats.timed_out = true` (the paper's
+/// fallback then hands control to GWMIN, Section 6 discussion point 1).
+pub fn find_optimal_plan(graph: &SharonGraph, budget: Option<Duration>) -> FoundPlan {
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_score = 0.0;
+
+    // level 1: single candidates
+    let mut level: Vec<Vec<usize>> = (0..graph.len()).map(|v| vec![v]).collect();
+    while !level.is_empty() {
+        stats.levels += 1;
+        stats.widest_level = stats.widest_level.max(level.len());
+        for plan in &level {
+            stats.plans_considered += 1;
+            let score: f64 = plan.iter().map(|&v| graph.vertex(v).weight).sum();
+            if score > best_score {
+                best_score = score;
+                best = plan.clone();
+            }
+        }
+        if let Some(b) = budget {
+            if start.elapsed() > b {
+                stats.timed_out = true;
+                break;
+            }
+        }
+        if level.len() > MAX_LEVEL_WIDTH {
+            stats.timed_out = true;
+            break;
+        }
+        level = next_level(graph, &level);
+    }
+
+    FoundPlan { vertices: best, score: best_score, stats }
+}
+
+/// Exhaustively enumerate *all* subsets (valid and invalid) and return the
+/// best valid plan — the "exhaustive optimizer" baseline of Section 8.3.
+/// Exponential; `budget` bounds the wall clock.
+pub fn find_exhaustive(graph: &SharonGraph, budget: Option<Duration>) -> FoundPlan {
+    let start = Instant::now();
+    let n = graph.len();
+    let mut stats = SearchStats::default();
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_score = 0.0;
+    if n >= 64 {
+        // 2^n is not even representable: report a did-not-finish search
+        stats.timed_out = true;
+        return FoundPlan { vertices: best, score: best_score, stats };
+    }
+    'outer: for mask in 0u64..(1u64 << n) {
+        stats.plans_considered += 1;
+        if stats.plans_considered % 4096 == 0 {
+            if let Some(b) = budget {
+                if start.elapsed() > b {
+                    stats.timed_out = true;
+                    break 'outer;
+                }
+            }
+        }
+        let members: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+        // validity: no pair of members adjacent
+        let mut valid = true;
+        'pairs: for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if graph.has_edge(a, b) {
+                    valid = false;
+                    break 'pairs;
+                }
+            }
+        }
+        if !valid {
+            continue;
+        }
+        let score: f64 = members.iter().map(|&v| graph.vertex(v).weight).sum();
+        if score > best_score {
+            best_score = score;
+            best = members;
+        }
+    }
+    FoundPlan { vertices: best, score: best_score, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure_4_graph;
+    use crate::reduction::reduce;
+    use sharon_types::Catalog;
+
+    #[test]
+    fn finds_example_12_optimal_plan() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let red = reduce(&g);
+        let found = find_optimal_plan(&red.graph, None);
+        // optimal on the reduced graph: {p2, p4, p6} with score 32
+        let names: Vec<usize> = found
+            .vertices
+            .iter()
+            .map(|&v| {
+                // map back to original indexes
+                red.mapping.iter().position(|m| *m == Some(v)).unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec![1, 3, 5], "p2, p4, p6");
+        assert_eq!(found.score, 32.0);
+        // plus conflict-free p7 (18): total 50, Example 12's optimal score
+        let total: f64 = found.score
+            + red
+                .conflict_free
+                .iter()
+                .map(|&v| g.vertex(v).weight)
+                .sum::<f64>();
+        assert_eq!(total, 50.0);
+    }
+
+    #[test]
+    fn considers_exactly_the_valid_space_of_example_10() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let red = reduce(&g);
+        let found = find_optimal_plan(&red.graph, None);
+        // Example 10: the valid space consists of 10 plans
+        assert_eq!(found.stats.plans_considered, 10);
+    }
+
+    #[test]
+    fn next_level_base_case_pairs() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let singles: Vec<Vec<usize>> = (0..g.len()).map(|v| vec![v]).collect();
+        let pairs = next_level(&g, &singles);
+        // non-edges among 7 vertices: C(7,2)=21 minus 10 edges = 11 pairs
+        assert_eq!(pairs.len(), 11);
+        for p in &pairs {
+            assert!(!g.has_edge(p[0], p[1]));
+            assert!(p[0] < p[1], "plans are sorted");
+        }
+    }
+
+    #[test]
+    fn next_level_inductive_case() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        // pairs {1,3},{1,5} (p2p4, p2p6) share prefix {1}; join = {1,3,5}
+        // valid iff no edge (3,5) — p4 ~ p6? no edge -> valid triple
+        let parents = vec![vec![1, 3], vec![1, 5], vec![3, 5]];
+        let children = next_level(&g, &parents);
+        assert_eq!(children, vec![vec![1, 3, 5]]);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_the_full_graph() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let bfs = find_optimal_plan(&g, None);
+        let exh = find_exhaustive(&g, None);
+        assert_eq!(bfs.score, exh.score);
+        assert_eq!(bfs.score, 50.0, "optimal over the unreduced graph");
+        assert_eq!(exh.stats.plans_considered, 128, "2^7 subsets");
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_plan() {
+        let found = find_optimal_plan(&SharonGraph::default(), None);
+        assert!(found.vertices.is_empty());
+        assert_eq!(found.score, 0.0);
+        let exh = find_exhaustive(&SharonGraph::default(), None);
+        assert!(exh.vertices.is_empty());
+    }
+
+    #[test]
+    fn budget_cuts_the_search() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let found = find_optimal_plan(&g, Some(Duration::ZERO));
+        assert!(found.stats.timed_out);
+        // level 1 was still scored: the best single candidate is p1 (25)
+        assert_eq!(found.score, 25.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! SHARON graph reduction (Section 5, Algorithm 2).
+//!
+//! Two candidate classes leave the graph before the plan search:
+//!
+//! * **conflict-free** candidates (degree 0) "do not exclude any other
+//!   sharing opportunities and increment the score of a plan by their
+//!   benefit values" — they go straight into the optimal plan
+//!   (Definition 14, Example 8);
+//! * **conflict-ridden** candidates, whose best-case plan score
+//!   `Scoremax(v)` falls below GWMIN's guaranteed weight, "are guaranteed
+//!   not to be in the optimal plan" (Definitions 12–13, Example 7).
+//!
+//! `Scoremax(v)` sums the benefits of all candidates not in conflict with
+//! `v` — *including* the conflict-free candidates already extracted, since
+//! they belong to every optimal plan.
+
+use crate::graph::SharonGraph;
+use crate::gwmin::guaranteed_weight;
+use std::collections::BTreeSet;
+
+/// The outcome of reducing a graph.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced graph (conflict-free and conflict-ridden candidates
+    /// removed).
+    pub graph: SharonGraph,
+    /// Conflict-free candidates — vertex indexes into the *original*
+    /// graph; they are part of every optimal plan.
+    pub conflict_free: Vec<usize>,
+    /// Conflict-ridden candidates pruned — original indexes.
+    pub pruned: Vec<usize>,
+    /// Mapping original index → reduced index.
+    pub mapping: Vec<Option<usize>>,
+    /// GWMIN's guaranteed weight on the input graph (Eq. 10).
+    pub guaranteed: f64,
+}
+
+/// Run Algorithm 2 on `graph`.
+pub fn reduce(graph: &SharonGraph) -> Reduction {
+    let min = guaranteed_weight(graph);
+    let n = graph.len();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let mut conflict_free = Vec::new();
+    let mut pruned = Vec::new();
+    // weight of all alive vertices plus extracted conflict-free ones — the
+    // Scoremax base (see module docs)
+    let mut scoremax_base: f64 = graph.total_weight();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            if degree[v] == 0 {
+                conflict_free.push(v);
+                alive[v] = false; // weight stays in scoremax_base
+                changed = true;
+                continue;
+            }
+            // Scoremax(v) = base − Σ_{alive u ∈ N(v)} weight(u)
+            let conflict_weight: f64 = graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| alive[u])
+                .map(|&u| graph.vertex(u).weight)
+                .sum();
+            if scoremax_base - conflict_weight < min {
+                alive[v] = false;
+                pruned.push(v);
+                scoremax_base -= graph.vertex(v).weight;
+                for &u in graph.neighbors(v) {
+                    if alive[u] {
+                        degree[u] -= 1;
+                    }
+                }
+                changed = true;
+            }
+        }
+    }
+
+    let removed: BTreeSet<usize> = (0..n).filter(|&v| !alive[v]).collect();
+    let (reduced, mapping) = graph.remove_vertices(&removed);
+    Reduction {
+        graph: reduced,
+        conflict_free,
+        pruned,
+        mapping,
+        guaranteed: min,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure_4_graph;
+    use sharon_types::Catalog;
+
+    #[test]
+    fn reproduces_examples_7_and_8() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let red = reduce(&g);
+        // Example 8: p7 (index 6) is conflict-free
+        assert_eq!(red.conflict_free, vec![6]);
+        // Example 7: p3 (index 2) is conflict-ridden (Scoremax 38 < 38.57)
+        assert_eq!(red.pruned, vec![2]);
+        // the reduced graph keeps p1, p2, p4, p5, p6
+        assert_eq!(red.graph.len(), 5);
+        assert!((red.guaranteed - 38.566).abs() < 1e-2);
+        // Example 9: the search space shrinks from 2^7 to 2^5 plans
+        assert_eq!(
+            (1u64 << g.len()) - (1u64 << red.graph.len()),
+            96,
+            "96 plans pruned, 75.59% of the space"
+        );
+    }
+
+    #[test]
+    fn reduced_graph_keeps_remaining_conflicts() {
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let red = reduce(&g);
+        let m = |old: usize| red.mapping[old].unwrap();
+        // p1 still conflicts with p2, p4, p5, p6
+        for old in [1, 3, 4, 5] {
+            assert!(red.graph.has_edge(m(0), m(old)));
+        }
+        // p2 ~ p5 (overlap at OakSt in q4), but p2 !~ p4
+        assert!(red.graph.has_edge(m(1), m(4)));
+        assert!(!red.graph.has_edge(m(1), m(3)));
+    }
+
+    #[test]
+    fn scoremax_includes_extracted_conflict_free_weight() {
+        // without counting p7's 18 in Scoremax, p1 (Scoremax 25+8+18=51)
+        // would be wrongly pruned once p7 is extracted
+        let mut c = Catalog::new();
+        let (_, g) = figure_4_graph(&mut c);
+        let red = reduce(&g);
+        assert!(
+            red.mapping[0].is_some(),
+            "p1 must survive the reduction (it is in some valid plans)"
+        );
+        assert!(red.mapping[1].is_some(), "p2 is in the optimal plan");
+        assert!(red.mapping[3].is_some(), "p4 is in the optimal plan");
+        assert!(red.mapping[5].is_some(), "p6 is in the optimal plan");
+    }
+
+    #[test]
+    fn fully_conflict_free_graph_reduces_to_nothing() {
+        let mut c = Catalog::new();
+        let (w, _) = figure_4_graph(&mut c);
+        // two non-overlapping candidates
+        let g = SharonGraph::from_weighted(
+            &w,
+            [
+                (
+                    sharon_query::PlanCandidate::new(
+                        sharon_query::Pattern::from_names(&mut c, ["ParkAve", "OakSt"]),
+                        [sharon_query::QueryId(2), sharon_query::QueryId(3)],
+                    ),
+                    9.0,
+                ),
+                (
+                    sharon_query::PlanCandidate::new(
+                        sharon_query::Pattern::from_names(&mut c, ["ElmSt", "ParkAve"]),
+                        [sharon_query::QueryId(5), sharon_query::QueryId(6)],
+                    ),
+                    18.0,
+                ),
+            ],
+        );
+        let red = reduce(&g);
+        assert!(red.graph.is_empty());
+        assert_eq!(red.conflict_free.len(), 2);
+        assert!(red.pruned.is_empty());
+    }
+
+    #[test]
+    fn empty_graph_reduces_trivially() {
+        let red = reduce(&SharonGraph::default());
+        assert!(red.graph.is_empty());
+        assert!(red.conflict_free.is_empty());
+        assert!(red.pruned.is_empty());
+        assert_eq!(red.guaranteed, 0.0);
+    }
+}

@@ -1,0 +1,597 @@
+//! Parser for the SASE-style surface syntax of Sharon queries.
+//!
+//! The paper writes queries as (Figure 1):
+//!
+//! ```text
+//! RETURN COUNT(*)
+//! PATTERN SEQ(OakSt, MainSt)
+//! WHERE [vehicle]
+//! GROUP BY vehicle
+//! WITHIN 10 min SLIDE 1 min
+//! ```
+//!
+//! Supported grammar (keywords are case-insensitive; newlines are
+//! whitespace):
+//!
+//! ```text
+//! query    := RETURN agg PATTERN SEQ '(' ident (',' ident)* ')'
+//!             [WHERE pred (AND pred)*]
+//!             [GROUP BY ident (',' ident)*]
+//!             WITHIN duration SLIDE duration
+//! agg      := COUNT '(' ('*' | ident) ')'
+//!           | (SUM|MIN|MAX|AVG) '(' ident '.' ident ')'
+//! pred     := ident '.' ident op literal | '[' ident ']'
+//! op       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! literal  := number | 'string'
+//! duration := number unit        unit := ms | s | sec | min | hour
+//! ```
+//!
+//! The paper's bracketed equivalence predicate `[vehicle]` is sugar for
+//! `GROUP BY vehicle` (same-partition semantics; see
+//! [`crate::predicate`]).
+
+use crate::aggregate::AggFunc;
+use crate::pattern::Pattern;
+use crate::predicate::{CmpOp, Predicate};
+use crate::query::{Query, QueryId};
+use crate::workload::Workload;
+use sharon_types::{Catalog, TimeDelta, Value, WindowSpec};
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input at which the failure occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Star,
+    Op(CmpOp),
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Float(x) => write!(f, "float `{x}`"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Op(op) => write!(f, "`{op}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize), ParseError> {
+        while matches!(self.peek_char(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+        let start = self.pos;
+        let Some(c) = self.bump() else {
+            return Ok((Tok::Eof, start));
+        };
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            '*' => Tok::Star,
+            '=' => Tok::Op(CmpOp::Eq),
+            '!' => {
+                if self.peek_char() == Some('=') {
+                    self.bump();
+                    Tok::Op(CmpOp::Ne)
+                } else {
+                    return Err(self.err("expected `=` after `!`"));
+                }
+            }
+            '<' => {
+                if self.peek_char() == Some('=') {
+                    self.bump();
+                    Tok::Op(CmpOp::Le)
+                } else {
+                    Tok::Op(CmpOp::Lt)
+                }
+            }
+            '>' => {
+                if self.peek_char() == Some('=') {
+                    self.bump();
+                    Tok::Op(CmpOp::Ge)
+                } else {
+                    Tok::Op(CmpOp::Gt)
+                }
+            }
+            '\'' => {
+                let s_start = self.pos;
+                loop {
+                    match self.bump() {
+                        Some('\'') => break,
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated string literal")),
+                    }
+                }
+                Tok::Str(self.src[s_start..self.pos - 1].to_string())
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                while matches!(self.peek_char(), Some(c) if c.is_ascii_digit() || c == '.') {
+                    // a dot is part of the number only if a digit follows
+                    // (so `Type.attr` lexes as ident, dot, ident)
+                    if self.peek_char() == Some('.') {
+                        let after = self.src[self.pos + 1..].chars().next();
+                        if !matches!(after, Some(d) if d.is_ascii_digit()) {
+                            break;
+                        }
+                    }
+                    self.bump();
+                }
+                let text = &self.src[start..self.pos];
+                if text.contains('.') {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| self.err(format!("invalid float `{text}`")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| self.err(format!("invalid integer `{text}`")))?,
+                    )
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                while matches!(self.peek_char(), Some(c) if c.is_alphanumeric() || c == '_') {
+                    self.bump();
+                }
+                Tok::Ident(self.src[start..self.pos].to_string())
+            }
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        };
+        Ok((tok, start))
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Tok, usize)>,
+    cursor: usize,
+    catalog: &'a mut Catalog,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, catalog: &'a mut Catalog) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let mut tokens = Vec::new();
+        loop {
+            let (tok, off) = lexer.next_token()?;
+            let eof = tok == Tok::Eof;
+            tokens.push((tok, off));
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser { tokens, cursor: 0, catalog })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.cursor].0
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.cursor].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.cursor].0.clone();
+        if self.cursor + 1 < self.tokens.len() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.offset() }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    /// Consume an identifier, returning it.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Consume a specific keyword (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected keyword {kw}, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.keyword("RETURN")?;
+        let agg_name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let agg = match agg_name.to_ascii_uppercase().as_str() {
+            "COUNT" => {
+                if *self.peek() == Tok::Star {
+                    self.bump();
+                    AggFunc::CountStar
+                } else {
+                    let ty = self.ident()?;
+                    AggFunc::Count(self.catalog.register(&ty))
+                }
+            }
+            fun @ ("SUM" | "MIN" | "MAX" | "AVG") => {
+                let ty_name = self.ident()?;
+                self.expect(Tok::Dot)?;
+                let attr = self.ident()?;
+                let ty = self.catalog.register(&ty_name);
+                match fun {
+                    "SUM" => AggFunc::Sum(ty, attr),
+                    "MIN" => AggFunc::Min(ty, attr),
+                    "MAX" => AggFunc::Max(ty, attr),
+                    "AVG" => AggFunc::Avg(ty, attr),
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(self.err(format!("unknown aggregation function `{other}`"))),
+        };
+        self.expect(Tok::RParen)?;
+
+        self.keyword("PATTERN")?;
+        self.keyword("SEQ")?;
+        self.expect(Tok::LParen)?;
+        let first = self.ident()?;
+        let mut types = vec![self.catalog.register(&first)];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            let name = self.ident()?;
+            types.push(self.catalog.register(&name));
+        }
+        self.expect(Tok::RParen)?;
+        let pattern = Pattern::new(types);
+
+        let mut predicates = Vec::new();
+        let mut group_by: Vec<String> = Vec::new();
+        if self.at_keyword("WHERE") {
+            self.bump();
+            loop {
+                if *self.peek() == Tok::LBracket {
+                    // `[vehicle]`: equivalence predicate, sugar for GROUP BY
+                    self.bump();
+                    let attr = self.ident()?;
+                    self.expect(Tok::RBracket)?;
+                    if !group_by.contains(&attr) {
+                        group_by.push(attr);
+                    }
+                } else {
+                    let ty_name = self.ident()?;
+                    self.expect(Tok::Dot)?;
+                    let attr = self.ident()?;
+                    let op = match self.bump() {
+                        Tok::Op(op) => op,
+                        other => {
+                            return Err(
+                                self.err(format!("expected comparison operator, found {other}"))
+                            )
+                        }
+                    };
+                    let value = match self.bump() {
+                        Tok::Int(i) => Value::Int(i),
+                        Tok::Float(x) => Value::Float(x),
+                        Tok::Str(s) => Value::from(s),
+                        other => {
+                            return Err(self.err(format!("expected literal, found {other}")))
+                        }
+                    };
+                    let ty = self.catalog.register(&ty_name);
+                    predicates.push(Predicate::new(ty, attr, op, value));
+                }
+                if self.at_keyword("AND") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if self.at_keyword("GROUP") {
+            self.bump();
+            self.keyword("BY")?;
+            loop {
+                let attr = self.ident()?;
+                if !group_by.contains(&attr) {
+                    group_by.push(attr);
+                }
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.keyword("WITHIN")?;
+        let within = self.duration()?;
+        self.keyword("SLIDE")?;
+        let slide = self.duration()?;
+        if slide.is_zero() || slide > within {
+            return Err(self.err("SLIDE must be positive and at most WITHIN"));
+        }
+
+        Ok(Query {
+            id: QueryId(0),
+            pattern,
+            agg,
+            predicates,
+            group_by,
+            window: WindowSpec::new(within, slide),
+        })
+    }
+
+    fn duration(&mut self) -> Result<TimeDelta, ParseError> {
+        let n = match self.bump() {
+            Tok::Int(i) if i >= 0 => i as u64,
+            other => return Err(self.err(format!("expected duration count, found {other}"))),
+        };
+        let unit = self.ident()?;
+        let ms = match unit.to_ascii_lowercase().as_str() {
+            "ms" | "milliseconds" | "millisecond" => n,
+            "s" | "sec" | "secs" | "second" | "seconds" => n * 1000,
+            "min" | "mins" | "minute" | "minutes" => n * 60_000,
+            "h" | "hour" | "hours" => n * 3_600_000,
+            other => return Err(self.err(format!("unknown time unit `{other}`"))),
+        };
+        Ok(TimeDelta::from_millis(ms))
+    }
+}
+
+/// Parse one query, registering event types in `catalog`.
+///
+/// The query is assigned id 0; pushing it into a [`Workload`] renumbers it.
+pub fn parse_query(catalog: &mut Catalog, src: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(src, catalog)?;
+    let q = p.query()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err(format!("trailing input: {}", p.peek())));
+    }
+    Ok(q)
+}
+
+/// Parse a workload from multiple query strings.
+pub fn parse_workload<S: AsRef<str>>(
+    catalog: &mut Catalog,
+    sources: impl IntoIterator<Item = S>,
+) -> Result<Workload, ParseError> {
+    let mut w = Workload::new();
+    for src in sources {
+        w.push(parse_query(catalog, src.as_ref())?);
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_q1() {
+        let mut c = Catalog::new();
+        let q = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt, StateSt)\n\
+             WHERE [vehicle] WITHIN 10 min SLIDE 1 min",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggFunc::CountStar);
+        assert_eq!(q.pattern.len(), 3);
+        assert_eq!(q.pattern.display(&c).to_string(), "(OakSt, MainSt, StateSt)");
+        assert_eq!(q.group_by, vec!["vehicle".to_string()]);
+        assert_eq!(q.window, WindowSpec::paper_traffic());
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let mut c = Catalog::new();
+        let q = parse_query(
+            &mut c,
+            "RETURN AVG(Laptop.price) PATTERN SEQ(Laptop, Case) WITHIN 20 min SLIDE 1 min",
+        )
+        .unwrap();
+        let laptop = c.lookup("Laptop").unwrap();
+        assert_eq!(q.agg, AggFunc::Avg(laptop, "price".into()));
+
+        let q = parse_query(
+            &mut c,
+            "RETURN COUNT(Case) PATTERN SEQ(Laptop, Case) WITHIN 60 s SLIDE 10 s",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggFunc::Count(c.lookup("Case").unwrap()));
+        assert_eq!(q.window.within, TimeDelta::from_secs(60));
+    }
+
+    #[test]
+    fn parses_predicates() {
+        let mut c = Catalog::new();
+        let q = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) \
+             WHERE A.speed >= 60 AND B.name = 'fast' AND [car] \
+             WITHIN 5 min SLIDE 5 min",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[0].op, CmpOp::Ge);
+        assert_eq!(q.predicates[0].value, Value::Int(60));
+        assert_eq!(q.predicates[1].value, Value::from("fast"));
+        assert_eq!(q.group_by, vec!["car".to_string()]);
+    }
+
+    #[test]
+    fn group_by_clause_and_bracket_sugar_dedupe() {
+        let mut c = Catalog::new();
+        let q = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WHERE [u] GROUP BY u, v WITHIN 1 min SLIDE 1 min",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["u".to_string(), "v".to_string()]);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let mut c = Catalog::new();
+        let q = parse_query(
+            &mut c,
+            "return count(*) pattern seq(A, B) within 2 MIN slide 1 Min",
+        )
+        .unwrap();
+        assert_eq!(q.window.within, TimeDelta::from_mins(2));
+    }
+
+    #[test]
+    fn parse_workload_registers_types_once() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WITHIN 10 min SLIDE 1 min",
+                "RETURN COUNT(*) PATTERN SEQ(MainSt, WestSt) WITHIN 10 min SLIDE 1 min",
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(c.len(), 3, "MainSt interned once");
+        assert_eq!(w.get(QueryId(1)).id, QueryId(1));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let mut c = Catalog::new();
+        let e = parse_query(&mut c, "RETURN BOGUS(*) PATTERN SEQ(A) WITHIN 1 s SLIDE 1 s")
+            .unwrap_err();
+        assert!(e.message.contains("unknown aggregation"), "{e}");
+
+        let e = parse_query(&mut c, "RETURN COUNT(*)").unwrap_err();
+        assert!(e.message.contains("PATTERN"), "{e}");
+
+        let e = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 1 min SLIDE 2 min",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("SLIDE"), "{e}");
+
+        let e = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 1 fortnight SLIDE 1 min",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown time unit"), "{e}");
+
+        let e = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 1 min SLIDE 1 min trailing",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn lexer_edge_cases() {
+        let mut c = Catalog::new();
+        // floats and negative numbers in predicates
+        let q = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.x < -1.5 WITHIN 1 s SLIDE 1 s",
+        )
+        .unwrap();
+        assert_eq!(q.predicates[0].value, Value::Float(-1.5));
+        // unterminated string
+        let e = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.x = 'oops WITHIN 1 s SLIDE 1 s",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+        // bare `!`
+        let e = parse_query(
+            &mut c,
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.x ! 3 WITHIN 1 s SLIDE 1 s",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("expected `=`"), "{e}");
+    }
+}

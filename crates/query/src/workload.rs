@@ -1,0 +1,183 @@
+//! Multi-query workloads.
+//!
+//! "An event consumer (e.g., carpool system) monitors the stream with a
+//! workload of queries that detect and aggregate event sequences"
+//! (Section 2.1). [`QueryId`]s are indexes into the workload.
+
+use crate::query::{Query, QueryId};
+use serde::{Deserialize, Serialize};
+use sharon_types::EventTypeId;
+use std::collections::BTreeSet;
+
+use crate::pattern::Pattern;
+
+/// An ordered collection of queries evaluated against one stream.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Workload {
+    queries: Vec<Query>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Self {
+        Workload { queries: Vec::new() }
+    }
+
+    /// Build from queries; each query's `id` is rewritten to its index.
+    pub fn from_queries(queries: impl IntoIterator<Item = Query>) -> Self {
+        let mut w = Workload::new();
+        for q in queries {
+            w.push(q);
+        }
+        w
+    }
+
+    /// Append a query, assigning it the next [`QueryId`]. Returns the id.
+    pub fn push(&mut self, mut query: Query) -> QueryId {
+        let id = QueryId(self.queries.len() as u32);
+        query.id = id;
+        self.queries.push(query);
+        id
+    }
+
+    /// Remove the query with `id` and renumber the remainder (used by the
+    /// dynamic-workload extension, §7.4). Returns the removed query.
+    pub fn remove(&mut self, id: QueryId) -> Query {
+        let q = self.queries.remove(id.index());
+        for (i, query) in self.queries.iter_mut().enumerate() {
+            query.id = QueryId(i as u32);
+        }
+        q
+    }
+
+    /// The query with `id`.
+    pub fn get(&self, id: QueryId) -> &Query {
+        &self.queries[id.index()]
+    }
+
+    /// All queries, in id order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterate over query ids.
+    pub fn ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        (0..self.queries.len() as u32).map(QueryId)
+    }
+
+    /// The set of event types any query refers to.
+    pub fn referenced_types(&self) -> BTreeSet<EventTypeId> {
+        self.queries
+            .iter()
+            .flat_map(|q| q.pattern.types().iter().copied())
+            .collect()
+    }
+
+    /// Queries whose pattern contains `p` contiguously — the `Q_p` of
+    /// Definition 3.
+    pub fn queries_containing(&self, p: &Pattern) -> BTreeSet<QueryId> {
+        self.queries
+            .iter()
+            .filter(|q| q.pattern.find(p).is_some())
+            .map(|q| q.id)
+            .collect()
+    }
+}
+
+impl std::ops::Index<QueryId> for Workload {
+    type Output = Query;
+    fn index(&self, id: QueryId) -> &Query {
+        self.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use sharon_types::{Catalog, WindowSpec};
+
+    fn workload(catalog: &mut Catalog, patterns: &[&[&str]]) -> Workload {
+        Workload::from_queries(patterns.iter().map(|names| {
+            Query::simple(
+                QueryId(0),
+                Pattern::from_names(catalog, names.iter().copied()),
+                AggFunc::CountStar,
+                WindowSpec::paper_traffic(),
+            )
+        }))
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut c = Catalog::new();
+        let w = workload(&mut c, &[&["A", "B"], &["B", "C"]]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get(QueryId(0)).id, QueryId(0));
+        assert_eq!(w.get(QueryId(1)).id, QueryId(1));
+        assert_eq!(w.ids().collect::<Vec<_>>(), vec![QueryId(0), QueryId(1)]);
+        assert_eq!(w[QueryId(1)].pattern.len(), 2);
+    }
+
+    #[test]
+    fn queries_containing_matches_table_1_style_lookup() {
+        let mut c = Catalog::new();
+        // q1..q4 of the traffic workload all contain (OakSt, MainSt)
+        let w = workload(
+            &mut c,
+            &[
+                &["OakSt", "MainSt", "StateSt"],
+                &["OakSt", "MainSt", "WestSt"],
+                &["ParkAve", "OakSt", "MainSt"],
+                &["ParkAve", "OakSt", "MainSt", "WestSt"],
+                &["MainSt", "StateSt", "ElmSt"],
+            ],
+        );
+        let p1 = Pattern::from_names(&mut c, ["OakSt", "MainSt"]);
+        let qs = w.queries_containing(&p1);
+        assert_eq!(
+            qs,
+            [QueryId(0), QueryId(1), QueryId(2), QueryId(3)].into_iter().collect()
+        );
+        let p6 = Pattern::from_names(&mut c, ["MainSt", "StateSt"]);
+        assert_eq!(
+            w.queries_containing(&p6),
+            [QueryId(0), QueryId(4)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn remove_renumbers() {
+        let mut c = Catalog::new();
+        let mut w = workload(&mut c, &[&["A", "B"], &["B", "C"], &["C", "D"]]);
+        let removed = w.remove(QueryId(1));
+        assert_eq!(removed.pattern.display(&c).to_string(), "(B, C)");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get(QueryId(1)).pattern.display(&c).to_string(), "(C, D)");
+        assert_eq!(w.get(QueryId(1)).id, QueryId(1));
+    }
+
+    #[test]
+    fn referenced_types() {
+        let mut c = Catalog::new();
+        let w = workload(&mut c, &[&["A", "B"], &["B", "C"]]);
+        assert_eq!(w.referenced_types().len(), 3);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::new();
+        assert!(w.is_empty());
+        assert_eq!(w.queries().len(), 0);
+    }
+}

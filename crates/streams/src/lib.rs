@@ -1,0 +1,29 @@
+//! # sharon-streams
+//!
+//! Synthetic stream and query-workload generators reproducing the shape of
+//! the paper's three data sets (Section 8.1):
+//!
+//! * [`taxi`] — **TX**: position reports of vehicles driving routes over a
+//!   street grid (stand-in for the NYC Taxi/Uber data set; see DESIGN.md
+//!   for the substitution argument);
+//! * [`linear_road`] — **LR**: Linear Road-style car position reports with
+//!   a gradually increasing event rate;
+//! * [`ecommerce`] — **EC**: item purchases by customers (50 items, 20
+//!   customers, 3k events/s — exactly the paper's generator spec);
+//! * [`workload`] — query workload generators with controlled pattern
+//!   overlap, used to scale the number of queries and pattern length in
+//!   the Figure 14–16 experiments.
+//!
+//! All generators are seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod ecommerce;
+pub mod linear_road;
+pub mod taxi;
+pub mod workload;
+
+pub use ecommerce::EcommerceConfig;
+pub use linear_road::LinearRoadConfig;
+pub use taxi::TaxiConfig;
+pub use workload::{measured_rates, WorkloadConfig};

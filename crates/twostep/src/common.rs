@@ -1,0 +1,116 @@
+//! Shared plumbing for the two-step baselines: per-type routing tables
+//! (predicates, grouping, aggregate contribution), mirroring the clauses
+//! the online engine compiles, so the baselines answer exactly the same
+//! queries.
+
+use sharon_executor::agg::Contribution;
+use sharon_executor::compile::CompileError;
+use sharon_query::{CmpOp, Query};
+use sharon_types::{AttrId, Catalog, Event, EventTypeId, GroupKey, Value};
+
+/// Per-event-type resolved clauses for one query or partition.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TypeTable {
+    /// Per type id: resolved `GROUP BY` attribute ids.
+    pub group_attrs: Vec<Box<[AttrId]>>,
+    /// Per type id: compiled predicates.
+    pub predicates: Vec<Vec<(AttrId, CmpOp, Value)>>,
+    /// Aggregate contribution source.
+    pub contrib_target: Option<(EventTypeId, Option<AttrId>)>,
+}
+
+impl TypeTable {
+    /// Resolve clauses of `query` against `catalog`.
+    pub fn build(catalog: &Catalog, query: &Query) -> Result<Self, CompileError> {
+        let max_ty = query
+            .pattern
+            .types()
+            .iter()
+            .map(|t| t.index())
+            .max()
+            .unwrap_or(0);
+        let mut group_attrs: Vec<Box<[AttrId]>> = vec![Box::new([]); max_ty + 1];
+        let mut predicates: Vec<Vec<(AttrId, CmpOp, Value)>> = vec![Vec::new(); max_ty + 1];
+        for &t in query.pattern.types() {
+            let schema = catalog.schema(t);
+            let ids: Vec<AttrId> = query
+                .group_by
+                .iter()
+                .map(|name| {
+                    schema.attr(name).ok_or_else(|| CompileError::GroupAttrMissing {
+                        ty: catalog.name(t).to_string(),
+                        attr: name.clone(),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            group_attrs[t.index()] = ids.into_boxed_slice();
+        }
+        for p in &query.predicates {
+            if p.ty.index() <= max_ty && query.pattern.contains_type(p.ty) {
+                let attr = catalog.schema(p.ty).attr(&p.attr).ok_or_else(|| {
+                    CompileError::PredicateAttrMissing {
+                        ty: catalog.name(p.ty).to_string(),
+                        attr: p.attr.clone(),
+                    }
+                })?;
+                predicates[p.ty.index()].push((attr, p.op, p.value.clone()));
+            }
+        }
+        let contrib_target = match (query.agg.target_type(), query.agg.target_attr()) {
+            (Some(t), Some(name)) => {
+                let id = catalog.schema(t).attr(name).ok_or_else(|| {
+                    CompileError::AggAttrMissing {
+                        ty: catalog.name(t).to_string(),
+                        attr: name.to_string(),
+                    }
+                })?;
+                Some((t, Some(id)))
+            }
+            (Some(t), None) => Some((t, None)),
+            (None, _) => None,
+        };
+        Ok(TypeTable { group_attrs, predicates, contrib_target })
+    }
+
+    /// Evaluate this table's predicates on `e` (vacuously true for
+    /// unconstrained types).
+    pub fn passes(&self, e: &Event) -> bool {
+        match self.predicates.get(e.ty.index()) {
+            Some(preds) => preds.iter().all(|(attr, op, lit)| match e.attr(*attr) {
+                Some(v) => op.eval(v.partial_cmp(lit)),
+                None => false,
+            }),
+            None => true,
+        }
+    }
+
+    /// The event's group key, or `None` if a grouping attribute is absent.
+    pub fn group_key(&self, e: &Event) -> Option<GroupKey> {
+        let attrs = match self.group_attrs.get(e.ty.index()) {
+            Some(a) => a,
+            None => return Some(GroupKey::Global),
+        };
+        if attrs.is_empty() {
+            return Some(GroupKey::Global);
+        }
+        let mut vals = Vec::with_capacity(attrs.len());
+        for a in attrs.iter() {
+            vals.push(e.attr(*a)?.clone());
+        }
+        Some(GroupKey::from_values(vals))
+    }
+
+    /// The event's aggregate contribution.
+    pub fn contribution(&self, e: &Event) -> Contribution {
+        match self.contrib_target {
+            Some((ty, attr)) if ty == e.ty => match attr {
+                None => Contribution::of(1.0),
+                Some(a) => match e.attr_f64(a) {
+                    Some(v) => Contribution::of(v),
+                    None => Contribution::NONE,
+                },
+            },
+            _ => Contribution::NONE,
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The non-shared two-step baseline ("Flink" in the paper's evaluation).
+//!
+//! "Flink constructs all event sequences prior [to] their aggregation. It
+//! does not share computations among different queries" (Section 8.1).
+//! Every query keeps its own event buffers; every END event triggers an
+//! explicit enumeration of all sequences it completes, which are then
+//! aggregated into the open windows. Latency grows polynomially in the
+//! number of events per window — reproducing Figure 13's blow-up.
+
+use crate::common::TypeTable;
+use crate::construct::SeqBuffers;
+use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
+use sharon_executor::compile::CompileError;
+use sharon_executor::winvec::WinVec;
+use sharon_executor::ExecutorResults;
+use sharon_query::{AggFunc, Query, QueryId, Workload};
+use sharon_types::{Catalog, Event, EventStream, GroupKey, Timestamp, WindowSpec};
+use std::collections::HashMap;
+
+struct GroupState<A> {
+    buffers: SeqBuffers,
+    acc: WinVec<A>,
+}
+
+struct QueryState<A> {
+    id: QueryId,
+    window: WindowSpec,
+    /// positions of each type in the pattern (dense by type id)
+    positions: Vec<Vec<usize>>,
+    table: TypeTable,
+    output: OutputKind,
+    pattern_len: usize,
+    groups: HashMap<GroupKey, GroupState<A>>,
+    sequences_constructed: u64,
+}
+
+impl<A: Aggregate> QueryState<A> {
+    fn new(catalog: &Catalog, q: &Query) -> Result<Self, CompileError> {
+        let max_ty = q.pattern.types().iter().map(|t| t.index()).max().unwrap_or(0);
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); max_ty + 1];
+        for (i, t) in q.pattern.types().iter().enumerate() {
+            positions[t.index()].push(i);
+        }
+        let output = match &q.agg {
+            AggFunc::CountStar => OutputKind::Count,
+            AggFunc::Count(t) => OutputKind::CountTimes(q.pattern.positions_of(*t).len() as u32),
+            AggFunc::Sum(..) => OutputKind::Sum,
+            AggFunc::Min(..) => OutputKind::Min,
+            AggFunc::Max(..) => OutputKind::Max,
+            AggFunc::Avg(t, _) => OutputKind::Avg(q.pattern.positions_of(*t).len() as u32),
+        };
+        Ok(QueryState {
+            id: q.id,
+            window: q.window,
+            positions,
+            table: TypeTable::build(catalog, q)?,
+            output,
+            pattern_len: q.pattern.len(),
+            groups: HashMap::new(),
+            sequences_constructed: 0,
+        })
+    }
+
+    fn process(&mut self, e: &Event, results: &mut ExecutorResults) {
+        let Some(positions) = self.positions.get(e.ty.index()).filter(|p| !p.is_empty()) else {
+            return;
+        };
+        if !self.table.passes(e) {
+            return;
+        }
+        let Some(key) = self.table.group_key(e) else {
+            return;
+        };
+        let spec = self.window;
+        let slide = spec.slide.millis();
+        let group = self
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| GroupState {
+                buffers: SeqBuffers::new(self.pattern_len),
+                acc: WinVec::new(),
+            });
+
+        // expire buffered events that can no longer share a window with `e`
+        if e.time.millis() >= spec.within.millis() {
+            group
+                .buffers
+                .expire(Timestamp(e.time.millis() - spec.within.millis()));
+        }
+        // close finished windows
+        let close_seq = spec.first_start_covering(e.time).millis() / slide;
+        for (seq, v) in group.acc.drain_before(close_seq) {
+            results.emit(self.id, key.clone(), Timestamp(seq * slide), v.output(self.output));
+        }
+
+        let c = self.table.contribution(e);
+        let min_seq = close_seq;
+        // END role first: construct every sequence this event completes
+        if positions.contains(&(self.pattern_len - 1)) {
+            let acc = &mut group.acc;
+            let counted = group.buffers.enumerate_ending::<A>(e.time, c, |start, cell| {
+                let hi = start.millis() / slide;
+                if hi >= min_seq {
+                    acc.add_range(e.time, min_seq, hi, cell);
+                }
+            });
+            self.sequences_constructed += counted;
+        }
+        // buffer the event at its non-END positions
+        for &pos in positions {
+            if pos + 1 < self.pattern_len {
+                group.buffers.push(pos, e.time, c);
+            }
+        }
+    }
+
+    fn finish(&mut self, results: &mut ExecutorResults) {
+        for (key, group) in self.groups.iter_mut() {
+            let slide = self.window.slide.millis();
+            for (seq, v) in group.acc.drain_before(u64::MAX) {
+                results.emit(self.id, key.clone(), Timestamp(seq * slide), v.output(self.output));
+            }
+        }
+    }
+
+    fn buffered_events(&self) -> usize {
+        self.groups.values().map(|g| g.buffers.buffered_events()).sum()
+    }
+}
+
+enum Kernel {
+    Count(Vec<QueryState<CountCell>>),
+    Stats(Vec<QueryState<StatsCell>>),
+}
+
+/// The non-shared two-step executor: independent sequence construction and
+/// aggregation per query.
+pub struct FlinkLike {
+    kernel: Kernel,
+    results: ExecutorResults,
+    last_time: Timestamp,
+}
+
+impl FlinkLike {
+    /// Compile the workload (each query fully independent).
+    pub fn new(catalog: &Catalog, workload: &Workload) -> Result<Self, CompileError> {
+        if workload.is_empty() {
+            return Err(CompileError::EmptyWorkload);
+        }
+        let kernel = if workload.queries().iter().all(|q| q.agg.is_count_like()) {
+            Kernel::Count(
+                workload
+                    .queries()
+                    .iter()
+                    .map(|q| QueryState::new(catalog, q))
+                    .collect::<Result<_, _>>()?,
+            )
+        } else {
+            Kernel::Stats(
+                workload
+                    .queries()
+                    .iter()
+                    .map(|q| QueryState::new(catalog, q))
+                    .collect::<Result<_, _>>()?,
+            )
+        };
+        Ok(FlinkLike { kernel, results: ExecutorResults::new(), last_time: Timestamp::ZERO })
+    }
+
+    /// Process one event through every query.
+    pub fn process(&mut self, e: &Event) {
+        debug_assert!(e.time >= self.last_time, "events must be time-ordered");
+        self.last_time = e.time;
+        match &mut self.kernel {
+            Kernel::Count(qs) => {
+                for q in qs {
+                    q.process(e, &mut self.results);
+                }
+            }
+            Kernel::Stats(qs) => {
+                for q in qs {
+                    q.process(e, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Drain a stream.
+    pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
+        while let Some(e) = stream.next_event() {
+            self.process(&e);
+        }
+        self
+    }
+
+    /// Flush and return all results.
+    pub fn finish(mut self) -> ExecutorResults {
+        match &mut self.kernel {
+            Kernel::Count(qs) => {
+                for q in qs {
+                    q.finish(&mut self.results);
+                }
+            }
+            Kernel::Stats(qs) => {
+                for q in qs {
+                    q.finish(&mut self.results);
+                }
+            }
+        }
+        self.results
+    }
+
+    /// Total sequences explicitly constructed so far — the two-step cost
+    /// the online approaches avoid.
+    pub fn sequences_constructed(&self) -> u64 {
+        match &self.kernel {
+            Kernel::Count(qs) => qs.iter().map(|q| q.sequences_constructed).sum(),
+            Kernel::Stats(qs) => qs.iter().map(|q| q.sequences_constructed).sum(),
+        }
+    }
+
+    /// Raw events currently buffered across all queries (memory proxy).
+    pub fn buffered_events(&self) -> usize {
+        match &self.kernel {
+            Kernel::Count(qs) => qs.iter().map(QueryState::buffered_events).sum(),
+            Kernel::Stats(qs) => qs.iter().map(QueryState::buffered_events).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharon_executor::Executor;
+    use sharon_query::parse_workload;
+    use sharon_types::EventTypeId;
+
+    fn ev(ty: EventTypeId, t: u64) -> Event {
+        Event::new(ty, Timestamp(t))
+    }
+
+    #[test]
+    fn matches_online_executor_on_figure_6a() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms"],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let events = vec![ev(a, 1), ev(b, 2), ev(a, 3), ev(b, 4)];
+
+        let mut fl = FlinkLike::new(&c, &w).unwrap();
+        let mut online = Executor::non_shared(&c, &w).unwrap();
+        for e in &events {
+            fl.process(e);
+            online.process(e);
+        }
+        assert_eq!(fl.sequences_constructed(), 3, "constructs all 3 sequences");
+        let fr = fl.finish();
+        let or = online.finish();
+        assert!(fr.semantically_eq(&or, 1e-9));
+        assert_eq!(fr.total_count(QueryId(0)), 3);
+    }
+
+    #[test]
+    fn sliding_windows_match_online() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(A, B, C) WITHIN 6 ms SLIDE 2 ms",
+                "RETURN COUNT(*) PATTERN SEQ(B, C) WITHIN 6 ms SLIDE 2 ms",
+            ],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let cc = c.lookup("C").unwrap();
+        let events = vec![
+            ev(a, 1), ev(b, 2), ev(cc, 3), ev(a, 4), ev(b, 5),
+            ev(cc, 6), ev(b, 8), ev(cc, 11),
+        ];
+        let mut fl = FlinkLike::new(&c, &w).unwrap();
+        let mut online = Executor::non_shared(&c, &w).unwrap();
+        for e in &events {
+            fl.process(e);
+            online.process(e);
+        }
+        let fr = fl.finish();
+        let or = online.finish();
+        assert!(
+            fr.semantically_eq(&or, 1e-9),
+            "flink: {:?}\nonline: {:?}",
+            fr.of_query_sorted(QueryId(0)),
+            or.of_query_sorted(QueryId(0))
+        );
+        assert!(!fr.is_empty());
+    }
+
+    #[test]
+    fn buffered_events_grow_with_window() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 100 ms SLIDE 100 ms"],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let mut fl = FlinkLike::new(&c, &w).unwrap();
+        for t in 0..50 {
+            fl.process(&ev(a, t));
+        }
+        assert_eq!(fl.buffered_events(), 50, "two-step retains raw events");
+    }
+}

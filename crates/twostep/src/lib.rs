@@ -1,0 +1,29 @@
+//! # sharon-twostep
+//!
+//! The two-step baselines the Sharon paper evaluates against (Figure 3,
+//! Section 8.2). Both *construct event sequences before aggregating them*,
+//! which is the step the online approaches (A-Seq, Sharon) eliminate:
+//!
+//! * [`FlinkLike`] — the **non-shared two-step** representative
+//!   ("Flink" in the paper): per-query buffers, per-query sequence
+//!   enumeration, per-query aggregation.
+//! * [`SpassLike`] — the **shared two-step** representative ("SPASS"):
+//!   sequence construction for shared sub-patterns is materialized once and
+//!   reused across queries, but full sequences are still enumerated per
+//!   query and aggregation is unshared.
+//!
+//! Both produce exactly the same results as the online
+//! [`sharon_executor::Executor`] (verified by tests), just with the cost
+//! profile the paper reports: latency polynomial in events/window and
+//! memory proportional to the materialized sequences.
+
+#![warn(missing_docs)]
+
+mod common;
+pub mod construct;
+pub mod flink_like;
+pub mod spass_like;
+
+pub use construct::SeqBuffers;
+pub use flink_like::FlinkLike;
+pub use spass_like::SpassLike;

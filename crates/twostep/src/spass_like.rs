@@ -1,0 +1,549 @@
+//! The shared two-step baseline ("SPASS" in the paper's evaluation).
+//!
+//! "SPASS defines shared event sequence construction. Their aggregation is
+//! computed afterwards and is not shared. Thus, SPASS is a two-step and
+//! only partially shared approach" (Section 8.1).
+//!
+//! Given a sharing plan, each shared sub-pattern's *match set* is
+//! materialized once (shared construction); each query then joins the
+//! materialized segment matches into full sequences — enumerating every
+//! combination explicitly — and aggregates them. Construction is shared,
+//! but sequences are still built, so the polynomial blow-up of the
+//! two-step family remains (Figure 13), with high memory from the
+//! materialized match sets.
+
+use crate::common::TypeTable;
+use crate::construct::SeqBuffers;
+use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
+use sharon_executor::compile::CompileError;
+use sharon_executor::winvec::WinVec;
+use sharon_executor::ExecutorResults;
+use sharon_query::{AggFunc, Query, QueryId, SegmentKind, SharingPlan, Workload};
+use sharon_types::{Catalog, Event, EventStream, GroupKey, Timestamp, WindowSpec};
+use std::collections::{HashMap, VecDeque};
+
+/// A materialized segment match (a constructed sub-sequence).
+#[derive(Debug, Clone, Copy)]
+struct Match<A> {
+    start: Timestamp,
+    end: Timestamp,
+    cell: A,
+}
+
+/// One segment's construction state within a group.
+struct SegGroupState<A> {
+    buffers: SeqBuffers,
+    matches: VecDeque<Match<A>>,
+}
+
+struct GroupState<A> {
+    segs: Vec<SegGroupState<A>>,
+    accs: Vec<WinVec<A>>, // per query
+}
+
+struct SegDef {
+    len: usize,
+    /// positions of each type id within the segment pattern
+    positions: Vec<Vec<usize>>,
+}
+
+struct QueryDef {
+    id: QueryId,
+    output: OutputKind,
+    stages: Vec<usize>, // segment indexes, in chain order
+}
+
+struct Partition<A> {
+    window: WindowSpec,
+    table: TypeTable,
+    segs: Vec<SegDef>,
+    queries: Vec<QueryDef>,
+    /// queries whose *final* stage is each segment
+    finalists: Vec<Vec<usize>>,
+    groups: HashMap<GroupKey, GroupState<A>>,
+    sequences_constructed: u64,
+    _marker: std::marker::PhantomData<A>,
+}
+
+fn output_kind(q: &Query) -> OutputKind {
+    match &q.agg {
+        AggFunc::CountStar => OutputKind::Count,
+        AggFunc::Count(t) => OutputKind::CountTimes(q.pattern.positions_of(*t).len() as u32),
+        AggFunc::Sum(..) => OutputKind::Sum,
+        AggFunc::Min(..) => OutputKind::Min,
+        AggFunc::Max(..) => OutputKind::Max,
+        AggFunc::Avg(t, _) => OutputKind::Avg(q.pattern.positions_of(*t).len() as u32),
+    }
+}
+
+impl<A: Aggregate> Partition<A> {
+    fn new(catalog: &Catalog, queries: &[&Query], plan: &SharingPlan) -> Result<Self, CompileError> {
+        let window = queries[0].window;
+        let table = TypeTable::build(catalog, queries[0])?;
+        // also resolve group/pred/contrib tables of remaining queries so all
+        // pattern types are covered
+        let mut table = table;
+        for q in &queries[1..] {
+            let t = TypeTable::build(catalog, q)?;
+            if t.group_attrs.len() > table.group_attrs.len() {
+                let mut merged = t;
+                for (i, g) in table.group_attrs.iter().enumerate() {
+                    if !g.is_empty() {
+                        merged.group_attrs[i] = g.clone();
+                    }
+                }
+                for (i, p) in table.predicates.iter().enumerate() {
+                    if !p.is_empty() {
+                        merged.predicates[i] = p.clone();
+                    }
+                }
+                if table.contrib_target.is_some() {
+                    merged.contrib_target = table.contrib_target;
+                }
+                table = merged;
+            } else {
+                for (i, g) in t.group_attrs.iter().enumerate() {
+                    if !g.is_empty() {
+                        table.group_attrs[i] = g.clone();
+                    }
+                }
+                for (i, p) in t.predicates.iter().enumerate() {
+                    if !p.is_empty() {
+                        table.predicates[i] = p.clone();
+                    }
+                }
+                if t.contrib_target.is_some() {
+                    table.contrib_target = t.contrib_target;
+                }
+            }
+        }
+
+        let mut segs: Vec<SegDef> = Vec::new();
+        let mut shared_seg: HashMap<usize, usize> = HashMap::new();
+        let mut qdefs = Vec::with_capacity(queries.len());
+        for q in queries {
+            let segments = plan
+                .decompose(q)
+                .map_err(|e| CompileError::PlanInvalid(e.to_string()))?;
+            let mut stages = Vec::with_capacity(segments.len());
+            for seg in &segments {
+                let idx = match seg.kind {
+                    SegmentKind::Shared(ci) => {
+                        if let Some(&i) = shared_seg.get(&ci) {
+                            stages.push(i);
+                            continue;
+                        }
+                        let i = segs.len();
+                        shared_seg.insert(ci, i);
+                        i
+                    }
+                    SegmentKind::Private => segs.len(),
+                };
+                let max_ty = seg
+                    .pattern
+                    .types()
+                    .iter()
+                    .map(|t| t.index())
+                    .max()
+                    .unwrap_or(0);
+                let mut positions: Vec<Vec<usize>> = vec![Vec::new(); max_ty + 1];
+                for (i, t) in seg.pattern.types().iter().enumerate() {
+                    positions[t.index()].push(i);
+                }
+                segs.push(SegDef { len: seg.pattern.len(), positions });
+                stages.push(idx);
+            }
+            qdefs.push(QueryDef { id: q.id, output: output_kind(q), stages });
+        }
+        let mut finalists = vec![Vec::new(); segs.len()];
+        for (qi, q) in qdefs.iter().enumerate() {
+            finalists[*q.stages.last().expect("patterns are non-empty")].push(qi);
+        }
+        Ok(Partition {
+            window,
+            table,
+            segs,
+            queries: qdefs,
+            finalists,
+            groups: HashMap::new(),
+            sequences_constructed: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn process(&mut self, e: &Event, results: &mut ExecutorResults) {
+        if !self.table.passes(e) {
+            return;
+        }
+        let Some(key) = self.table.group_key(e) else {
+            return;
+        };
+        let spec = self.window;
+        let slide = spec.slide.millis();
+        let segs = &self.segs;
+        let group = self.groups.entry(key.clone()).or_insert_with(|| GroupState {
+            segs: segs
+                .iter()
+                .map(|s| SegGroupState {
+                    buffers: SeqBuffers::new(s.len),
+                    matches: VecDeque::new(),
+                })
+                .collect(),
+            accs: self.queries.iter().map(|_| WinVec::new()).collect(),
+        });
+
+        // expire + close
+        if e.time.millis() >= spec.within.millis() {
+            let cutoff = Timestamp(e.time.millis() - spec.within.millis());
+            for sg in &mut group.segs {
+                sg.buffers.expire(cutoff);
+                while sg.matches.front().is_some_and(|m| m.end <= cutoff) {
+                    sg.matches.pop_front();
+                }
+            }
+        }
+        let min_seq = spec.first_start_covering(e.time).millis() / slide;
+        for (qi, acc) in group.accs.iter_mut().enumerate() {
+            for (seq, v) in acc.drain_before(min_seq) {
+                results.emit(
+                    self.queries[qi].id,
+                    key.clone(),
+                    Timestamp(seq * slide),
+                    v.output(self.queries[qi].output),
+                );
+            }
+        }
+
+        let c = self.table.contribution(e);
+        let GroupState { segs: gsegs, accs } = group;
+        for (si, seg) in self.segs.iter().enumerate() {
+            let Some(positions) = seg.positions.get(e.ty.index()).filter(|p| !p.is_empty())
+            else {
+                continue;
+            };
+            // shared construction: new matches of this segment ending at e
+            if positions.contains(&(seg.len - 1)) {
+                let mut new_matches: Vec<Match<A>> = Vec::new();
+                let constructed =
+                    gsegs[si]
+                        .buffers
+                        .enumerate_ending::<A>(e.time, c, |start, cell| {
+                            new_matches.push(Match { start, end: e.time, cell });
+                        });
+                self.sequences_constructed += constructed;
+                // unshared aggregation: each query joins the new final
+                // matches with its earlier segments' materialized matches
+                for &qi in &self.finalists[si] {
+                    let qdef = &self.queries[qi];
+                    let prefix_stages = &qdef.stages[..qdef.stages.len() - 1];
+                    let acc = &mut accs[qi];
+                    for m in &new_matches {
+                        self.sequences_constructed +=
+                            join_backward(gsegs, prefix_stages, m, |start, cell| {
+                                let hi = start.millis() / slide;
+                                if hi >= min_seq {
+                                    acc.add_range(e.time, min_seq, hi, cell);
+                                }
+                            });
+                    }
+                }
+                gsegs[si].matches.extend(new_matches);
+            }
+            // buffer at non-END positions
+            for &pos in positions {
+                if pos + 1 < seg.len {
+                    gsegs[si].buffers.push(pos, e.time, c);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, results: &mut ExecutorResults) {
+        let slide = self.window.slide.millis();
+        for (key, group) in self.groups.iter_mut() {
+            for (qi, acc) in group.accs.iter_mut().enumerate() {
+                for (seq, v) in acc.drain_before(u64::MAX) {
+                    results.emit(
+                        self.queries[qi].id,
+                        key.clone(),
+                        Timestamp(seq * slide),
+                        v.output(self.queries[qi].output),
+                    );
+                }
+            }
+        }
+    }
+
+    fn materialized_matches(&self) -> usize {
+        self.groups
+            .values()
+            .map(|g| g.segs.iter().map(|s| s.matches.len() + s.buffers.buffered_events()).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Enumerate all combinations of earlier-segment matches that chain
+/// (strictly increasing time) in front of final match `last`, invoking the
+/// callback with the full sequence's START time and combined cell.
+fn join_backward<A: Aggregate>(
+    segs: &[SegGroupState<A>],
+    prefix_stages: &[usize],
+    last: &Match<A>,
+    mut emit: impl FnMut(Timestamp, A),
+) -> u64 {
+    fn rec<A: Aggregate>(
+        segs: &[SegGroupState<A>],
+        stages: &[usize],
+        before: Timestamp,
+        suffix_cell: A,
+        count: &mut u64,
+        emit: &mut impl FnMut(Timestamp, A),
+    ) {
+        let (&stage, rest) = stages.split_last().expect("rec requires at least one stage");
+        // matches are appended in END-time order, so we can stop at the
+        // first match that no longer precedes `before`
+        for m in segs[stage].matches.iter() {
+            if m.end >= before {
+                break;
+            }
+            let cell = m.cell.cross(&suffix_cell);
+            if rest.is_empty() {
+                *count += 1;
+                emit(m.start, cell);
+            } else {
+                rec(segs, rest, m.start, cell, count, emit);
+            }
+        }
+    }
+    if prefix_stages.is_empty() {
+        emit(last.start, last.cell);
+        return 1;
+    }
+    let mut count = 0;
+    rec(segs, prefix_stages, last.start, last.cell, &mut count, &mut emit);
+    count
+}
+
+enum Kernel {
+    Count(Vec<Partition<CountCell>>),
+    Stats(Vec<Partition<StatsCell>>),
+}
+
+/// The shared two-step executor: shared sequence construction per plan
+/// candidate, per-query join + aggregation afterwards.
+pub struct SpassLike {
+    kernel: Kernel,
+    results: ExecutorResults,
+    last_time: Timestamp,
+}
+
+impl SpassLike {
+    /// Compile `workload` under `plan` (candidates decide which segment
+    /// constructions are shared).
+    pub fn new(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+    ) -> Result<Self, CompileError> {
+        if workload.is_empty() {
+            return Err(CompileError::EmptyWorkload);
+        }
+        plan.validate(workload)
+            .map_err(|e| CompileError::PlanInvalid(e.to_string()))?;
+        // partition by sharing signature, like the online executor
+        let mut parts: Vec<(Vec<&Query>, sharon_query::query::SharingSignature)> = Vec::new();
+        for q in workload.queries() {
+            let sig = q.sharing_signature();
+            match parts.iter_mut().find(|(_, s)| *s == sig) {
+                Some((qs, _)) => qs.push(q),
+                None => parts.push((vec![q], sig)),
+            }
+        }
+        for cand in &plan.candidates {
+            let ok = parts.iter().any(|(qs, _)| {
+                cand.queries.iter().all(|id| qs.iter().any(|q| q.id == *id))
+            });
+            if !ok {
+                return Err(CompileError::CandidateSpansPartitions {
+                    pattern: cand.pattern.display(catalog).to_string(),
+                });
+            }
+        }
+        let count_only = workload.queries().iter().all(|q| q.agg.is_count_like());
+        let kernel = if count_only {
+            Kernel::Count(
+                parts
+                    .iter()
+                    .map(|(qs, _)| Partition::new(catalog, qs, plan))
+                    .collect::<Result<_, _>>()?,
+            )
+        } else {
+            Kernel::Stats(
+                parts
+                    .iter()
+                    .map(|(qs, _)| Partition::new(catalog, qs, plan))
+                    .collect::<Result<_, _>>()?,
+            )
+        };
+        Ok(SpassLike { kernel, results: ExecutorResults::new(), last_time: Timestamp::ZERO })
+    }
+
+    /// Process one event.
+    pub fn process(&mut self, e: &Event) {
+        debug_assert!(e.time >= self.last_time, "events must be time-ordered");
+        self.last_time = e.time;
+        match &mut self.kernel {
+            Kernel::Count(ps) => {
+                for p in ps {
+                    p.process(e, &mut self.results);
+                }
+            }
+            Kernel::Stats(ps) => {
+                for p in ps {
+                    p.process(e, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Drain a stream.
+    pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
+        while let Some(e) = stream.next_event() {
+            self.process(&e);
+        }
+        self
+    }
+
+    /// Flush and return all results.
+    pub fn finish(mut self) -> ExecutorResults {
+        match &mut self.kernel {
+            Kernel::Count(ps) => {
+                for p in ps {
+                    p.finish(&mut self.results);
+                }
+            }
+            Kernel::Stats(ps) => {
+                for p in ps {
+                    p.finish(&mut self.results);
+                }
+            }
+        }
+        self.results
+    }
+
+    /// Segment matches plus joined sequences constructed so far.
+    pub fn sequences_constructed(&self) -> u64 {
+        match &self.kernel {
+            Kernel::Count(ps) => ps.iter().map(|p| p.sequences_constructed).sum(),
+            Kernel::Stats(ps) => ps.iter().map(|p| p.sequences_constructed).sum(),
+        }
+    }
+
+    /// Materialized matches + buffered events (memory proxy).
+    pub fn materialized_matches(&self) -> usize {
+        match &self.kernel {
+            Kernel::Count(ps) => ps.iter().map(Partition::materialized_matches).sum(),
+            Kernel::Stats(ps) => ps.iter().map(Partition::materialized_matches).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharon_executor::Executor;
+    use sharon_query::{parse_workload, Pattern, PlanCandidate};
+    use sharon_types::EventTypeId;
+
+    fn ev(ty: EventTypeId, t: u64) -> Event {
+        Event::new(ty, Timestamp(t))
+    }
+
+    fn traffic_pair() -> (Catalog, Workload, SharingPlan) {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(X, A, B) WITHIN 20 ms SLIDE 5 ms",
+                "RETURN COUNT(*) PATTERN SEQ(Y, A, B, Z) WITHIN 20 ms SLIDE 5 ms",
+            ],
+        )
+        .unwrap();
+        let ab = Pattern::from_names(&mut c, ["A", "B"]);
+        let plan = SharingPlan::new([PlanCandidate::new(ab, [QueryId(0), QueryId(1)])]);
+        (c, w, plan)
+    }
+
+    #[test]
+    fn matches_online_executor() {
+        let (c, w, plan) = traffic_pair();
+        let x = c.lookup("X").unwrap();
+        let y = c.lookup("Y").unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let z = c.lookup("Z").unwrap();
+        let events = vec![
+            ev(x, 1), ev(y, 2), ev(a, 3), ev(b, 4), ev(a, 5),
+            ev(b, 6), ev(z, 7), ev(x, 9), ev(a, 10), ev(b, 12), ev(z, 14),
+        ];
+        let mut sp = SpassLike::new(&c, &w, &plan).unwrap();
+        let mut online = Executor::new(&c, &w, &plan).unwrap();
+        for e in &events {
+            sp.process(e);
+            online.process(e);
+        }
+        assert!(sp.sequences_constructed() > 0);
+        let sr = sp.finish();
+        let or = online.finish();
+        assert!(
+            sr.semantically_eq(&or, 1e-9),
+            "spass: {:?} {:?}\nonline: {:?} {:?}",
+            sr.of_query_sorted(QueryId(0)),
+            sr.of_query_sorted(QueryId(1)),
+            or.of_query_sorted(QueryId(0)),
+            or.of_query_sorted(QueryId(1)),
+        );
+        assert!(!sr.is_empty());
+    }
+
+    #[test]
+    fn shared_construction_counts_segment_matches_once() {
+        let (c, w, plan) = traffic_pair();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut sp = SpassLike::new(&c, &w, &plan).unwrap();
+        // two (A,B) matches, no prefixes: shared segment constructs 2
+        // matches once; no query completes (prefixes missing)
+        for e in [ev(a, 1), ev(b, 2), ev(a, 3), ev(b, 4)] {
+            sp.process(&e);
+        }
+        // (a1,b2), (a1,b4), (a3,b4) = 3 shared matches
+        assert_eq!(sp.sequences_constructed(), 3);
+        assert!(sp.materialized_matches() >= 3, "match sets are materialized");
+        let r = sp.finish();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn non_shared_plan_equals_flink_like() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B, C) WITHIN 10 ms SLIDE 2 ms"],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let cc = c.lookup("C").unwrap();
+        let events = vec![ev(a, 1), ev(b, 2), ev(cc, 3), ev(b, 4), ev(cc, 5)];
+        let mut sp = SpassLike::new(&c, &w, &SharingPlan::non_shared()).unwrap();
+        let mut fl = crate::flink_like::FlinkLike::new(&c, &w).unwrap();
+        for e in &events {
+            sp.process(e);
+            fl.process(e);
+        }
+        let sr = sp.finish();
+        let fr = fl.finish();
+        assert!(sr.semantically_eq(&fr, 1e-9));
+    }
+}

@@ -1,0 +1,39 @@
+//! # sharon-types
+//!
+//! Foundational data model for the Sharon shared online event sequence
+//! aggregation system (Poppe et al., *Sharon: Shared Online Event Sequence
+//! Aggregation*, ICDE 2018).
+//!
+//! This crate defines the pieces of Section 2.1 of the paper:
+//!
+//! * [`Timestamp`] / [`TimeDelta`] — time is a linearly ordered set of
+//!   non-negative ticks (we use milliseconds, so second-resolution sources
+//!   simply multiply by 1000).
+//! * [`Value`] — typed attribute values carried by events.
+//! * [`EventTypeId`] and the [`Catalog`] — interned event types and their
+//!   attribute [`Schema`]s.
+//! * [`Event`] — a timestamped message of a particular event type.
+//! * [`WindowSpec`] — the `WITHIN`/`SLIDE` sliding-window clause together
+//!   with the window instance arithmetic used by the executor.
+//! * [`GroupKey`] — values of the `GROUP BY` attributes.
+//!
+//! Everything downstream (queries, executors, optimizers, generators) builds
+//! on these types; none of them depends on any external CEP system.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod event;
+pub mod group;
+pub mod stream;
+pub mod time;
+pub mod value;
+pub mod window;
+
+pub use catalog::{AttrId, Catalog, EventTypeId, Schema};
+pub use event::Event;
+pub use group::GroupKey;
+pub use stream::{EventStream, SortedVecStream};
+pub use time::{TimeDelta, Timestamp};
+pub use value::Value;
+pub use window::{WindowInstance, WindowSpec};
