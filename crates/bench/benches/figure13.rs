@@ -51,8 +51,7 @@ fn main() {
         // while the online methods stay near-linear)
         let n_cars = 10u64;
         let lifetime_secs = 20u64;
-        let report_every_ms =
-            (n_cars * within_secs * 1000 / target as u64).clamp(5, 2000);
+        let report_every_ms = (n_cars * within_secs * 1000 / target as u64).clamp(5, 2000);
         let mut catalog = Catalog::new();
         let events = generate(
             &mut catalog,
@@ -71,10 +70,7 @@ fn main() {
                 n_queries: 6,
                 pattern_len: 4,
                 alphabet: (0..12).map(|i| format!("Seg{i}")).collect(),
-                window: WindowSpec::new(
-                    TimeDelta::from_secs(within_secs),
-                    TimeDelta::from_secs(2),
-                ),
+                window: WindowSpec::new(TimeDelta::from_secs(within_secs), TimeDelta::from_secs(2)),
                 group_by: Some("car".into()),
                 seed: 13,
             },

@@ -27,11 +27,16 @@ fn main() {
     let n_streets = 12;
     let n_queries = 12;
 
-    let mut latency = Table::new("figure14a", "Latency vs events/window (TX), online approaches")
-        .headers(["events/window", "A-Seq", "SHARON", "speedup"]);
-    let mut throughput =
-        Table::new("figure14e", "Throughput vs events/window (TX), online approaches")
-            .headers(["events/window", "A-Seq", "SHARON"]);
+    let mut latency = Table::new(
+        "figure14a",
+        "Latency vs events/window (TX), online approaches",
+    )
+    .headers(["events/window", "A-Seq", "SHARON", "speedup"]);
+    let mut throughput = Table::new(
+        "figure14e",
+        "Throughput vs events/window (TX), online approaches",
+    )
+    .headers(["events/window", "A-Seq", "SHARON"]);
 
     for &target in &targets {
         let rate_per_sec = (target as f64 / within_secs as f64).max(1.0);
@@ -53,10 +58,7 @@ fn main() {
                 n_queries,
                 pattern_len: 6,
                 alphabet: (0..n_streets).map(street_name).collect(),
-                window: WindowSpec::new(
-                    TimeDelta::from_secs(within_secs),
-                    TimeDelta::from_secs(6),
-                ),
+                window: WindowSpec::new(TimeDelta::from_secs(within_secs), TimeDelta::from_secs(6)),
                 group_by: Some("vehicle".into()),
                 seed: 14,
             },

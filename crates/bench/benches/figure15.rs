@@ -22,11 +22,20 @@ fn main() {
     let query_counts: Vec<usize> = [10, 20, 30, 50, 70].iter().map(|&q| scaled(q, 4)).collect();
     let eo_limit = 20; // the paper: EO fails to terminate beyond 20 queries
     let budget = Duration::from_secs(
-        std::env::var("SHARON_CAP_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(10),
+        std::env::var("SHARON_CAP_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10),
     );
 
     let mut latency = Table::new("figure15a", "Optimizer latency vs number of queries (EC)")
-        .headers(["queries", "GO", "SO", "EO", "SO phases (mine/graph/expand/reduce/find)"]);
+        .headers([
+            "queries",
+            "GO",
+            "SO",
+            "EO",
+            "SO phases (mine/graph/expand/reduce/find)",
+        ]);
     let mut memory = Table::new("figure15b", "Optimizer memory vs number of queries (EC)")
         .headers(["queries", "GO", "SO", "EO"]);
 
@@ -44,7 +53,10 @@ fn main() {
             },
         );
         let rates = RateMap::uniform(3000.0 / 16.0);
-        let cfg = OptimizerConfig { search_budget: Some(budget), ..Default::default() };
+        let cfg = OptimizerConfig {
+            search_budget: Some(budget),
+            ..Default::default()
+        };
 
         let (go, go_mem) = peak_of(|| optimize_greedy(&workload, &rates));
         let (so, so_mem) = peak_of(|| optimize_sharon(&workload, &rates, &cfg));
@@ -71,11 +83,7 @@ fn main() {
             ("DNF".to_string(), "DNF".to_string())
         };
 
-        let phases: Vec<String> = so
-            .phases
-            .iter()
-            .map(|p| fmt_duration(p.elapsed))
-            .collect();
+        let phases: Vec<String> = so.phases.iter().map(|p| fmt_duration(p.elapsed)).collect();
         latency.row(vec![
             n.to_string(),
             fmt_duration(go.total_time()),

@@ -28,13 +28,13 @@ fn clustered_workload(catalog: &mut Catalog, clusters: usize) -> Workload {
     for c in 0..clusters {
         let s = |i: usize| format!("C{c}S{i}");
         let qs = [
-            vec![s(0), s(1), s(2)],             // q1: Oak Main State
-            vec![s(0), s(1), s(3)],             // q2: Oak Main West
-            vec![s(4), s(0), s(1)],             // q3: Park Oak Main
-            vec![s(4), s(0), s(1), s(3)],       // q4: Park Oak Main West
-            vec![s(1), s(2)],                   // q5: Main State
-            vec![s(5), s(4), s(6)],             // q6: Elm Park Broad
-            vec![s(5), s(4)],                   // q7: Elm Park
+            vec![s(0), s(1), s(2)],       // q1: Oak Main State
+            vec![s(0), s(1), s(3)],       // q2: Oak Main West
+            vec![s(4), s(0), s(1)],       // q3: Park Oak Main
+            vec![s(4), s(0), s(1), s(3)], // q4: Park Oak Main West
+            vec![s(1), s(2)],             // q5: Main State
+            vec![s(5), s(4), s(6)],       // q6: Elm Park Broad
+            vec![s(5), s(4)],             // q7: Elm Park
         ];
         for names in qs {
             let src = format!(
@@ -60,7 +60,7 @@ fn cluster_stream(catalog: &Catalog, clusters: usize, per_cluster: usize, seed: 
     let mut t = 0u64;
     (0..n)
         .map(|_| {
-            t += rng.gen_range(1..=2);
+            t += rng.gen_range(1u64..=2);
             Event::with_attrs(
                 types[rng.gen_range(0..types.len())],
                 Timestamp(t),
@@ -71,8 +71,7 @@ fn cluster_stream(catalog: &Catalog, clusters: usize, per_cluster: usize, seed: 
 }
 
 fn main() {
-    let query_counts: Vec<usize> =
-        [21, 63, 126, 182].iter().map(|&q| scaled(q, 7)).collect();
+    let query_counts: Vec<usize> = [21, 63, 126, 182].iter().map(|&q| scaled(q, 7)).collect();
     let per_cluster = scaled(9_000, 1_000);
 
     let mut table = Table::new(

@@ -46,7 +46,10 @@ fn executor_kernels(c: &mut Criterion) {
             .map(|i| Event::new(types[(i % 8) as usize], Timestamp(i * 3)))
             .collect();
         group.bench_function(
-            BenchmarkId::new("stream_4q_len5", if shared { "shared" } else { "non_shared" }),
+            BenchmarkId::new(
+                "stream_4q_len5",
+                if shared { "shared" } else { "non_shared" },
+            ),
             |b| {
                 b.iter(|| {
                     let mut ex = Executor::new(&catalog, &workload, &plan).unwrap();
@@ -66,7 +69,9 @@ fn optimizer_kernels(c: &mut Criterion) {
     let mut catalog = Catalog::new();
     let (_, g) = figure_4_graph(&mut catalog);
     group.bench_function("gwmin_figure4", |b| b.iter(|| black_box(gwmin(&g))));
-    group.bench_function("reduce_figure4", |b| b.iter(|| black_box(reduce(&g).pruned.len())));
+    group.bench_function("reduce_figure4", |b| {
+        b.iter(|| black_box(reduce(&g).pruned.len()))
+    });
     group.bench_function("plan_finder_figure4", |b| {
         let red = reduce(&g);
         b.iter(|| black_box(find_optimal_plan(&red.graph, None).score))

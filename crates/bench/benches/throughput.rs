@@ -1,0 +1,175 @@
+//! Events/sec throughput of the execution layer: sequential per-event vs
+//! sequential batched vs the sharded parallel runtime at varying shard
+//! counts and `GROUP BY` cardinalities, on the high-cardinality taxi
+//! stream under the Sharon optimizer's plan.
+//!
+//! Prints one table per scenario and writes a machine-readable baseline to
+//! `BENCH_PR1.json` at the workspace root (override with
+//! `SHARON_BENCH_OUT`), so future optimization PRs have a perf trajectory
+//! to compare against. `SHARON_SCALE` scales the stream length.
+//!
+//! Note: thread-level speedup from sharding is only observable when the
+//! host grants more than one CPU; the JSON records
+//! `available_parallelism` so readers can interpret the ratios.
+
+use sharon::prelude::*;
+use sharon::streams::taxi::{self, TaxiConfig};
+use sharon::streams::workload::{figure_1_workload, measured_rates};
+use sharon_bench::scale;
+use sharon_metrics::Table;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 4096;
+
+struct Run {
+    label: String,
+    events_per_sec: f64,
+    results: usize,
+}
+
+fn measure(label: &str, events: &[Event], run: impl Fn(&[Event]) -> ExecutorResults) -> Run {
+    // best of two full passes: the first pass warms the allocator and the
+    // page cache, so a single-shot measurement favors whoever runs later
+    let mut best = f64::MIN;
+    let mut results = 0;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let out = run(events);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(events.len() as f64 / elapsed);
+        results = out.len();
+    }
+    Run {
+        label: label.to_string(),
+        events_per_sec: best,
+        results,
+    }
+}
+
+fn scenario(n_events: usize, n_vehicles: usize) -> (String, Vec<Run>) {
+    let name = format!("taxi events={n_events} groups={n_vehicles}");
+    let mut catalog = Catalog::new();
+    let events = taxi::generate(
+        &mut catalog,
+        &TaxiConfig::high_cardinality(n_events, n_vehicles),
+    );
+    let workload = figure_1_workload(&mut catalog);
+    let (counts, span) = measured_rates(&events);
+    let rates = RateMap::from_counts(&counts, span);
+    let plan = optimize_sharon(&workload, &rates, &OptimizerConfig::default()).plan;
+
+    let mut runs = Vec::new();
+    runs.push(measure("sequential/per-event", &events, |evs| {
+        let mut ex = Executor::new(&catalog, &workload, &plan).unwrap();
+        for e in evs {
+            ex.process(e);
+        }
+        ex.finish()
+    }));
+    runs.push(measure("sequential/batched", &events, |evs| {
+        let mut ex = Executor::new(&catalog, &workload, &plan).unwrap();
+        for chunk in evs.chunks(BATCH) {
+            ex.process_batch(chunk);
+        }
+        ex.finish()
+    }));
+    for shards in SHARD_COUNTS {
+        runs.push(measure(&format!("sharded/{shards}"), &events, |evs| {
+            let mut ex = ShardedExecutor::new(&catalog, &workload, &plan, shards).unwrap();
+            for chunk in evs.chunks(BATCH) {
+                ex.process_batch(chunk);
+            }
+            ex.finish()
+        }));
+    }
+
+    // every configuration must report the identical result count
+    let want = runs[0].results;
+    for run in &runs {
+        assert_eq!(run.results, want, "{}: result count diverged", run.label);
+    }
+    (name, runs)
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1_000_000.0 {
+        format!("{:.2}M ev/s", r / 1_000_000.0)
+    } else {
+        format!("{:.0}k ev/s", r / 1_000.0)
+    }
+}
+
+fn json_out(path: &std::path::Path, scenarios: &[(String, Vec<Run>)], parallelism: usize) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"throughput\",\n  \"pr\": 1,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
+        scale()
+    ));
+    if parallelism == 1 {
+        out.push_str(
+            "  \"note\": \"recorded on a 1-CPU host: shard workers timeshare one core, so \
+             sharded/N ratios measure overhead only, not parallel speedup; rerun on a \
+             multi-core host to observe scaling\",\n",
+        );
+    }
+    out.push_str("  \"scenarios\": [\n");
+    for (si, (name, runs)) in scenarios.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\": \"{name}\", \"runs\": [\n"));
+        for (ri, run) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"label\": \"{}\", \"events_per_sec\": {:.0}, \"results\": {}}}{}\n",
+                run.label,
+                run.events_per_sec,
+                run.results,
+                if ri + 1 < runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let base = (200_000.0 * scale()) as usize;
+    let scenarios: Vec<(String, Vec<Run>)> = vec![
+        scenario(base.max(10_000), 100),
+        scenario(base.max(10_000), 10_000),
+    ];
+
+    for (name, runs) in &scenarios {
+        let mut table = Table::new("throughput", name.clone()).headers([
+            "configuration",
+            "throughput",
+            "speedup",
+            "results",
+        ]);
+        let baseline = runs[0].events_per_sec;
+        for run in runs {
+            table.row([
+                run.label.clone(),
+                fmt_rate(run.events_per_sec),
+                format!("{:.2}x", run.events_per_sec / baseline),
+                run.results.to_string(),
+            ]);
+        }
+        table.note(format!("available_parallelism={parallelism}"));
+        println!("{table}");
+    }
+
+    let path = std::env::var("SHARON_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json").to_string()
+    });
+    json_out(std::path::Path::new(&path), &scenarios, parallelism);
+}

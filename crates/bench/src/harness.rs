@@ -34,9 +34,8 @@ pub fn scaled(base: usize, min: usize) -> usize {
 
 /// Where the JSON report lines go (the workspace `target/` directory).
 pub fn report_path() -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
     PathBuf::from(target).join("sharon-reports.jsonl")
 }
 
@@ -86,7 +85,11 @@ impl Measurement {
 
     /// Latency cell for a table (`DNF` when aborted).
     pub fn latency_cell(&self) -> String {
-        if self.dnf { "DNF".into() } else { fmt_duration(self.latency) }
+        if self.dnf {
+            "DNF".into()
+        } else {
+            fmt_duration(self.latency)
+        }
     }
 
     /// Throughput cell.
@@ -100,7 +103,11 @@ impl Measurement {
 
     /// Memory cell.
     pub fn memory_cell(&self) -> String {
-        if self.dnf { "DNF".into() } else { fmt_bytes(self.peak_memory) }
+        if self.dnf {
+            "DNF".into()
+        } else {
+            fmt_bytes(self.peak_memory)
+        }
     }
 }
 

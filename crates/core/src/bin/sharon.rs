@@ -7,16 +7,18 @@
 //! ```text
 //! USAGE:
 //!   sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]
-//!          [--strategy sharon|greedy|aseq|flink|spass] [--explain] [--results N]
+//!          [--strategy sharon|greedy|aseq|flink|spass] [--shards N]
+//!          [--explain] [--results N]
 //!
 //! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
-//! Figure 2 purchase workload (ec) is used.
+//! Figure 2 purchase workload (ec) is used. `--shards N` runs the online
+//! strategies on the sharded parallel runtime with N worker threads.
 //! ```
 
 use sharon::prelude::*;
 use sharon::streams::workload::{figure_1_workload, figure_2_workload, measured_rates};
 use sharon::streams::{ecommerce, linear_road, taxi};
-use sharon::{build_executor, Strategy};
+use sharon::{build_executor, build_sharded_executor, Strategy};
 use std::time::Instant;
 
 struct Args {
@@ -24,6 +26,7 @@ struct Args {
     stream: String,
     events: usize,
     strategy: Strategy,
+    shards: usize,
     explain: bool,
     results: usize,
 }
@@ -34,14 +37,13 @@ fn parse_args() -> Result<Args, String> {
         stream: "taxi".into(),
         events: 50_000,
         strategy: Strategy::Sharon,
+        shards: 0,
         explain: false,
         results: 5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--queries" => args.queries = Some(value("--queries")?),
             "--stream" => args.stream = value("--stream")?,
@@ -65,12 +67,18 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown strategy `{other}`")),
                 }
             }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
             "--explain" => args.explain = true,
             "--help" | "-h" => {
                 println!(
                     "sharon — shared online event sequence aggregation (ICDE 2018)\n\n\
                      USAGE:\n  sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]\n\
-                     \x20        [--strategy sharon|greedy|aseq|flink|spass] [--explain] [--results N]"
+                     \x20        [--strategy sharon|greedy|aseq|flink|spass] [--shards N]\n\
+                     \x20        [--explain] [--results N]"
                 );
                 std::process::exit(0);
             }
@@ -94,7 +102,11 @@ fn main() {
     let events = match args.stream.as_str() {
         "taxi" => taxi::generate(
             &mut catalog,
-            &taxi::TaxiConfig { n_events: args.events, n_streets: 7, ..Default::default() },
+            &taxi::TaxiConfig {
+                n_events: args.events,
+                n_streets: 7,
+                ..Default::default()
+            },
         ),
         "lr" => linear_road::generate(
             &mut catalog,
@@ -105,7 +117,10 @@ fn main() {
         ),
         "ec" => ecommerce::generate(
             &mut catalog,
-            &ecommerce::EcommerceConfig { n_events: args.events, ..Default::default() },
+            &ecommerce::EcommerceConfig {
+                n_events: args.events,
+                ..Default::default()
+            },
         ),
         other => {
             eprintln!("error: unknown stream `{other}` (taxi|lr|ec)");
@@ -143,13 +158,25 @@ fn main() {
     let (counts, span) = measured_rates(&events);
     let rates = RateMap::from_counts(&counts, span);
     let t0 = Instant::now();
-    let (mut executor, outcome) = match build_executor(
-        &catalog,
-        &workload,
-        &rates,
-        args.strategy,
-        &OptimizerConfig::default(),
-    ) {
+    let built = if args.shards > 0 {
+        build_sharded_executor(
+            &catalog,
+            &workload,
+            &rates,
+            args.strategy,
+            &OptimizerConfig::default(),
+            args.shards,
+        )
+    } else {
+        build_executor(
+            &catalog,
+            &workload,
+            &rates,
+            args.strategy,
+            &OptimizerConfig::default(),
+        )
+    };
+    let (mut executor, outcome) = match built {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
@@ -157,6 +184,9 @@ fn main() {
         }
     };
     let optimize_time = t0.elapsed();
+    if args.shards > 0 {
+        eprintln!("runtime: sharded across {} worker threads", args.shards);
+    }
 
     if let Some(outcome) = &outcome {
         println!(
@@ -188,17 +218,27 @@ fn main() {
         println!("plan: none ({} runs non-shared)", args.strategy.name());
     }
 
+    // time ingestion AND finish together: the sharded runtime drains its
+    // workers in finish(), so stopping the clock earlier would credit it
+    // for work it has only enqueued
     let t1 = Instant::now();
-    for e in &events {
-        executor.process(e);
+    for chunk in events.chunks(4096) {
+        executor.process_batch(chunk);
     }
+    let (results, matched) = executor.finish_with_matched();
     let run_time = t1.elapsed();
     let throughput = events.len() as f64 / run_time.as_secs_f64().max(1e-12);
-    let results = executor.finish();
 
+    // the two-step baselines do not track matched events; print n/a
+    // rather than a misleading zero
+    let matched_cell = match args.strategy {
+        Strategy::FlinkLike | Strategy::SpassLike => "matched n/a".to_string(),
+        _ => format!("{matched} matched"),
+    };
     println!(
-        "\nexecuted {} events in {:?} ({:.0} events/s), {} results",
+        "\nexecuted {} events ({}) in {:?} ({:.0} events/s), {} results",
         events.len(),
+        matched_cell,
         run_time,
         throughput,
         results.len()

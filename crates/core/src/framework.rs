@@ -6,8 +6,8 @@
 //! the aggregation results for each shared pattern and then combines these
 //! shared aggregations to obtain the final results for each query."
 
-use crate::strategy::{build_executor, AnyExecutor, Strategy};
-use sharon_executor::{CompileError, ExecutorResults};
+use crate::strategy::{build_executor, build_sharded_executor, AnyExecutor, Strategy};
+use sharon_executor::{CompileError, Executor, ExecutorResults};
 use sharon_optimizer::{OptimizeOutcome, OptimizerConfig, RateMap};
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{Catalog, Event, EventStream};
@@ -26,7 +26,13 @@ impl SharonFramework {
         workload: &Workload,
         rates: &RateMap,
     ) -> Result<Self, CompileError> {
-        Self::with_strategy(catalog, workload, rates, Strategy::Sharon, &OptimizerConfig::default())
+        Self::with_strategy(
+            catalog,
+            workload,
+            rates,
+            Strategy::Sharon,
+            &OptimizerConfig::default(),
+        )
     }
 
     /// Compile with an explicit execution [`Strategy`] and optimizer
@@ -39,6 +45,27 @@ impl SharonFramework {
         config: &OptimizerConfig,
     ) -> Result<Self, CompileError> {
         let (executor, outcome) = build_executor(catalog, workload, rates, strategy, config)?;
+        Ok(SharonFramework { executor, outcome })
+    }
+
+    /// Compile with the Sharon optimizer and run on the sharded parallel
+    /// runtime with `n_shards` worker threads (see
+    /// [`sharon_executor::ShardedExecutor`]). Results are identical to the
+    /// sequential engine; shards only partition the work.
+    pub fn with_shards(
+        catalog: &Catalog,
+        workload: &Workload,
+        rates: &RateMap,
+        n_shards: usize,
+    ) -> Result<Self, CompileError> {
+        let (executor, outcome) = build_sharded_executor(
+            catalog,
+            workload,
+            rates,
+            Strategy::Sharon,
+            &OptimizerConfig::default(),
+            n_shards,
+        )?;
         Ok(SharonFramework { executor, outcome })
     }
 
@@ -61,10 +88,18 @@ impl SharonFramework {
         self.executor.process(e);
     }
 
-    /// Drain a stream through the executor.
+    /// Process a time-ordered batch of events (amortizes routing and
+    /// predicate dispatch; see [`Executor::process_batch`]).
+    pub fn process_batch(&mut self, events: &[Event]) {
+        self.executor.process_batch(events);
+    }
+
+    /// Drain a stream through the executor in batches.
     pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
-        while let Some(e) = stream.next_event() {
-            self.process(&e);
+        let mut buf = Vec::with_capacity(Executor::RUN_BATCH);
+        while stream.next_batch(Executor::RUN_BATCH, &mut buf) > 0 {
+            self.process_batch(&buf);
+            buf.clear();
         }
         self
     }
@@ -93,7 +128,11 @@ mod tests {
         let mut catalog = Catalog::new();
         let events = generate(
             &mut catalog,
-            &TaxiConfig { n_events: 5000, n_streets: 7, ..Default::default() },
+            &TaxiConfig {
+                n_events: 5000,
+                n_streets: 7,
+                ..Default::default()
+            },
         );
         let workload = figure_1_workload(&mut catalog);
         let (counts, span) = measured_rates(&events);
@@ -121,8 +160,45 @@ mod tests {
             shared_results.semantically_eq(&aseq_results, 1e-9),
             "Sharon and A-Seq must agree"
         );
-        assert!(!shared_results.is_empty(), "traffic stream produces matches");
+        assert!(
+            !shared_results.is_empty(),
+            "traffic stream produces matches"
+        );
         // q7 = (ElmSt, ParkAve) is the shortest pattern: it must match
         assert!(shared_results.total_count(QueryId(6)) > 0);
+    }
+
+    #[test]
+    fn sharded_framework_matches_sequential() {
+        let mut catalog = Catalog::new();
+        let events = generate(
+            &mut catalog,
+            &TaxiConfig {
+                n_events: 4000,
+                n_streets: 7,
+                ..Default::default()
+            },
+        );
+        let workload = figure_1_workload(&mut catalog);
+        let (counts, span) = measured_rates(&events);
+        let rates = RateMap::from_counts(&counts, span);
+
+        let mut sequential = SharonFramework::new(&catalog, &workload, &rates).unwrap();
+        sequential.run(SortedVecStream::presorted(events.clone()));
+        let want = sequential.finish();
+
+        let mut sharded = SharonFramework::with_shards(&catalog, &workload, &rates, 3).unwrap();
+        assert!(
+            sharded.optimizer_outcome().is_some(),
+            "sharded still optimizes"
+        );
+        sharded.run(SortedVecStream::presorted(events));
+        let got = sharded.finish();
+
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "sharding must not change results"
+        );
+        assert!(!got.is_empty());
     }
 }

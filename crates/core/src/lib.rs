@@ -54,7 +54,9 @@ pub mod framework;
 pub mod strategy;
 
 pub use framework::SharonFramework;
-pub use strategy::{build_executor, executor_for_plan, run_strategy, AnyExecutor, Strategy};
+pub use strategy::{
+    build_executor, build_sharded_executor, executor_for_plan, run_strategy, AnyExecutor, Strategy,
+};
 
 // Re-export the component crates under stable names.
 pub use sharon_executor as executor;
@@ -69,13 +71,13 @@ pub use sharon_types as types;
 pub mod prelude {
     pub use crate::framework::SharonFramework;
     pub use crate::strategy::{run_strategy, Strategy};
-    pub use sharon_executor::{Executor, ExecutorResults};
+    pub use sharon_executor::{Executor, ExecutorResults, ShardedExecutor};
     pub use sharon_optimizer::{
         optimize_exhaustive, optimize_greedy, optimize_sharon, OptimizerConfig, RateMap,
     };
     pub use sharon_query::{
-        parse_query, parse_workload, AggFunc, Pattern, PlanCandidate, Query, QueryId,
-        SharingPlan, Workload,
+        parse_query, parse_workload, AggFunc, Pattern, PlanCandidate, Query, QueryId, SharingPlan,
+        Workload,
     };
     pub use sharon_types::{
         Catalog, Event, EventStream, EventTypeId, GroupKey, Schema, SortedVecStream, TimeDelta,

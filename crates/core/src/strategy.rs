@@ -1,7 +1,7 @@
 //! Execution strategies: the five systems compared in Section 8
 //! (Figure 3's taxonomy) behind one constructor.
 
-use sharon_executor::{CompileError, Executor, ExecutorResults};
+use sharon_executor::{CompileError, Executor, ExecutorResults, ShardedExecutor};
 use sharon_optimizer::{
     optimize_greedy, optimize_sharon, OptimizeOutcome, OptimizerConfig, RateMap,
 };
@@ -44,6 +44,8 @@ impl Strategy {
 pub enum AnyExecutor {
     /// The online engine (Sharon / Greedy / A-Seq).
     Online(Executor),
+    /// The online engine on the sharded parallel runtime.
+    Sharded(ShardedExecutor),
     /// The non-shared two-step baseline.
     Flink(FlinkLike),
     /// The shared two-step baseline.
@@ -55,34 +57,74 @@ impl AnyExecutor {
     pub fn process(&mut self, e: &Event) {
         match self {
             AnyExecutor::Online(x) => x.process(e),
+            AnyExecutor::Sharded(x) => x.process(e),
             AnyExecutor::Flink(x) => x.process(e),
             AnyExecutor::Spass(x) => x.process(e),
         }
     }
 
-    /// Flush and return results.
-    pub fn finish(self) -> ExecutorResults {
+    /// Process a time-ordered batch of events. Online engines amortize
+    /// per-event dispatch; the two-step baselines fall back to the
+    /// per-event path.
+    pub fn process_batch(&mut self, events: &[Event]) {
         match self {
-            AnyExecutor::Online(x) => x.finish(),
-            AnyExecutor::Flink(x) => x.finish(),
-            AnyExecutor::Spass(x) => x.finish(),
+            AnyExecutor::Online(x) => x.process_batch(events),
+            AnyExecutor::Sharded(x) => x.process_batch(events),
+            AnyExecutor::Flink(x) => {
+                for e in events {
+                    x.process(e);
+                }
+            }
+            AnyExecutor::Spass(x) => {
+                for e in events {
+                    x.process(e);
+                }
+            }
         }
     }
 
-    /// Events that passed routing/predicates/grouping (online engines) or
-    /// zero for baselines that do not track it.
+    /// Flush and return results.
+    pub fn finish(self) -> ExecutorResults {
+        self.finish_with_matched().0
+    }
+
+    /// Flush and return `(results, events_matched)`. Unlike
+    /// [`AnyExecutor::events_matched`], the count here is exact for the
+    /// sharded runtime too — it is read after all workers drain.
+    pub fn finish_with_matched(self) -> (ExecutorResults, u64) {
+        match self {
+            AnyExecutor::Online(x) => {
+                let matched = x.events_matched();
+                (x.finish(), matched)
+            }
+            AnyExecutor::Sharded(x) => {
+                let (results, matched, _cells) = x.finish_with_stats();
+                (results, matched)
+            }
+            AnyExecutor::Flink(x) => (x.finish(), 0),
+            AnyExecutor::Spass(x) => (x.finish(), 0),
+        }
+    }
+
+    /// Events that passed routing/predicates/grouping (online engines;
+    /// the sharded runtime reports the workers' last published counts,
+    /// which trail ingestion by at most the in-flight batches) or zero
+    /// for the two-step baselines, which do not track it.
     pub fn events_matched(&self) -> u64 {
         match self {
             AnyExecutor::Online(x) => x.events_matched(),
+            AnyExecutor::Sharded(x) => x.events_matched(),
             _ => 0,
         }
     }
 
     /// State-size proxy: live aggregate cells / buffered events /
-    /// materialized matches.
+    /// materialized matches (zero for the sharded runtime, whose state
+    /// lives on its worker threads).
     pub fn state_size(&self) -> usize {
         match self {
             AnyExecutor::Online(x) => x.cell_count(),
+            AnyExecutor::Sharded(_) => 0,
             AnyExecutor::Flink(x) => x.buffered_events(),
             AnyExecutor::Spass(x) => x.materialized_matches(),
         }
@@ -133,7 +175,13 @@ pub fn run_strategy(
     strategy: Strategy,
     events: &[Event],
 ) -> Result<ExecutorResults, CompileError> {
-    let (mut ex, _) = build_executor(catalog, workload, rates, strategy, &OptimizerConfig::default())?;
+    let (mut ex, _) = build_executor(
+        catalog,
+        workload,
+        rates,
+        strategy,
+        &OptimizerConfig::default(),
+    )?;
     for e in events {
         ex.process(e);
     }
@@ -150,6 +198,40 @@ pub fn executor_for_plan(
     Executor::new(catalog, workload, plan)
 }
 
+/// Build a sharded parallel executor under `strategy`'s sharing plan.
+///
+/// `Strategy::FlinkLike` / `Strategy::SpassLike` are not supported — the
+/// two-step baselines are inherently sequential; callers get
+/// `CompileError::PlanInvalid` rather than a silently sequential run.
+pub fn build_sharded_executor(
+    catalog: &Catalog,
+    workload: &Workload,
+    rates: &RateMap,
+    strategy: Strategy,
+    config: &OptimizerConfig,
+    n_shards: usize,
+) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
+    let (plan, outcome) = match strategy {
+        Strategy::Sharon => {
+            let outcome = optimize_sharon(workload, rates, config);
+            (outcome.plan.clone(), Some(outcome))
+        }
+        Strategy::Greedy => {
+            let outcome = optimize_greedy(workload, rates);
+            (outcome.plan.clone(), Some(outcome))
+        }
+        Strategy::ASeq => (SharingPlan::non_shared(), None),
+        Strategy::FlinkLike | Strategy::SpassLike => {
+            return Err(CompileError::PlanInvalid(format!(
+                "two-step baseline {} cannot run on the sharded runtime",
+                strategy.name()
+            )));
+        }
+    };
+    let ex = ShardedExecutor::new(catalog, workload, &plan, n_shards)?;
+    Ok((AnyExecutor::Sharded(ex), outcome))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +243,12 @@ mod tests {
         let mut catalog = Catalog::new();
         let events = generate(
             &mut catalog,
-            &EcommerceConfig { n_events: 1500, n_items: 8, events_per_sec: 500, ..Default::default() },
+            &EcommerceConfig {
+                n_events: 1500,
+                n_items: 8,
+                events_per_sec: 500,
+                ..Default::default()
+            },
         );
         let workload = figure_2_workload(&mut catalog);
         let (counts, span) = measured_rates(&events);

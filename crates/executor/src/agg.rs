@@ -33,11 +33,17 @@ pub struct Contribution {
 
 impl Contribution {
     /// The contribution of an event that the aggregate does not read.
-    pub const NONE: Contribution = Contribution { relevant: false, value: 0.0 };
+    pub const NONE: Contribution = Contribution {
+        relevant: false,
+        value: 0.0,
+    };
 
     /// The contribution of a target-type event carrying `value`.
     pub fn of(value: f64) -> Self {
-        Contribution { relevant: true, value }
+        Contribution {
+            relevant: true,
+            value,
+        }
     }
 }
 
@@ -171,9 +177,17 @@ impl Aggregate for StatsCell {
 
     fn unit(c: Contribution) -> Self {
         if c.relevant {
-            StatsCell { count: 1, sum: c.value, min: c.value, max: c.value }
+            StatsCell {
+                count: 1,
+                sum: c.value,
+                min: c.value,
+                max: c.value,
+            }
         } else {
-            StatsCell { count: 1, ..Self::ZERO }
+            StatsCell {
+                count: 1,
+                ..Self::ZERO
+            }
         }
     }
 
@@ -249,7 +263,7 @@ mod tests {
         // Figure 6(a): count(A,B) after a1, b2, a3, b4 is 3
         let mut count_a = CountCell::ZERO; // count(A)
         let mut count_ab = CountCell::ZERO; // count(A,B)
-        // a1 arrives
+                                            // a1 arrives
         count_a.merge(&CountCell::unit(Contribution::NONE));
         // b2 arrives: count(A,B) += count(A)
         count_ab.merge(&count_a.extend(Contribution::NONE));

@@ -74,7 +74,12 @@ impl<A: Aggregate> ChainLog<A> {
         if !self.pending.is_empty() && self.pending_time < now {
             let t = self.pending_time;
             for (lo, hi, v) in self.pending.drain(..) {
-                self.entries.push_back(LogEntry { time: t, lo, hi, value: v });
+                self.entries.push_back(LogEntry {
+                    time: t,
+                    lo,
+                    hi,
+                    value: v,
+                });
             }
         }
     }

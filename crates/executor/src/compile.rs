@@ -18,8 +18,7 @@
 
 use crate::agg::OutputKind;
 use sharon_query::{AggFunc, CmpOp, Query, QueryId, SegmentKind, SharingPlan, Workload};
-use sharon_types::{AttrId, Catalog, EventTypeId, Value, WindowSpec};
-use std::collections::HashMap;
+use sharon_types::{AttrId, Catalog, EventTypeId, FxHashMap, Value, WindowSpec};
 use std::fmt;
 
 /// Errors raised while compiling a workload and plan.
@@ -185,11 +184,7 @@ pub fn compile(
 
     // every candidate must live inside one partition
     for cand in &plan.candidates {
-        let holds = |qs: &[&Query]| {
-            cand.queries
-                .iter()
-                .all(|id| qs.iter().any(|q| q.id == *id))
-        };
+        let holds = |qs: &[&Query]| cand.queries.iter().all(|id| qs.iter().any(|q| q.id == *id));
         if !partitions.iter().any(|(qs, _)| holds(qs)) {
             return Err(CompileError::CandidateSpansPartitions {
                 pattern: cand.pattern.display(catalog).to_string(),
@@ -247,10 +242,12 @@ fn compile_partition(
                 let ids: Vec<AttrId> = group_by
                     .iter()
                     .map(|name| {
-                        schema.attr(name).ok_or_else(|| CompileError::GroupAttrMissing {
-                            ty: catalog.name(t).to_string(),
-                            attr: name.clone(),
-                        })
+                        schema
+                            .attr(name)
+                            .ok_or_else(|| CompileError::GroupAttrMissing {
+                                ty: catalog.name(t).to_string(),
+                                attr: name.clone(),
+                            })
                     })
                     .collect::<Result<_, _>>()?;
                 group_attrs[t.index()] = ids.into_boxed_slice();
@@ -271,7 +268,7 @@ fn compile_partition(
 
     // build runners and routes from segment decompositions
     let mut runners: Vec<RunnerSpec> = Vec::new();
-    let mut shared_runner: HashMap<usize, usize> = HashMap::new(); // candidate idx -> runner idx
+    let mut shared_runner: FxHashMap<usize, usize> = FxHashMap::default(); // candidate idx -> runner idx
     let mut routes: Vec<Option<Box<Routes>>> = (0..=max_ty).map(|_| None).collect();
     let mut compiled_queries = Vec::with_capacity(queries.len());
 
@@ -303,7 +300,11 @@ fn compile_partition(
                         shared_runner.insert(ci, r);
                         runners.push(RunnerSpec {
                             len: seg.pattern.len(),
-                            start_subs: if stage > 0 { vec![(qi, stage)] } else { Vec::new() },
+                            start_subs: if stage > 0 {
+                                vec![(qi, stage)]
+                            } else {
+                                Vec::new()
+                            },
                             completion_subs: vec![(qi, stage)],
                             shared: true,
                         });
@@ -314,7 +315,11 @@ fn compile_partition(
                     let r = runners.len();
                     runners.push(RunnerSpec {
                         len: seg.pattern.len(),
-                        start_subs: if stage > 0 { vec![(qi, stage)] } else { Vec::new() },
+                        start_subs: if stage > 0 {
+                            vec![(qi, stage)]
+                        } else {
+                            Vec::new()
+                        },
                         completion_subs: vec![(qi, stage)],
                         shared: false,
                     });
@@ -356,7 +361,7 @@ fn compile_partition(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sharon_query::{parse_workload, PlanCandidate, Pattern};
+    use sharon_query::{parse_workload, Pattern, PlanCandidate};
 
     fn setup() -> (Catalog, Workload) {
         let mut c = Catalog::new();
@@ -402,7 +407,10 @@ mod tests {
         assert_eq!(p.runners.len(), 1);
         assert!(p.runners[0].shared);
         assert_eq!(p.runners[0].completion_subs, vec![(0, 0), (1, 0)]);
-        assert!(p.runners[0].start_subs.is_empty(), "stage 0 needs no snapshots");
+        assert!(
+            p.runners[0].start_subs.is_empty(),
+            "stage 0 needs no snapshots"
+        );
         let cty = c.lookup("C").unwrap();
         assert_eq!(
             p.routes[cty.index()].as_ref().unwrap().unit_roles,
@@ -460,7 +468,10 @@ mod tests {
         let ab = Pattern::from_names(&mut c, ["A", "B"]);
         let plan = SharingPlan::new([PlanCandidate::new(ab, [QueryId(0), QueryId(1)])]);
         let err = compile(&c, &w, &plan).unwrap_err();
-        assert!(matches!(err, CompileError::CandidateSpansPartitions { .. }), "{err}");
+        assert!(
+            matches!(err, CompileError::CandidateSpansPartitions { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -473,7 +484,10 @@ mod tests {
         .unwrap();
         // types A, B have empty schemas -> `vehicle` cannot resolve
         let err = compile(&c, &w, &SharingPlan::non_shared()).unwrap_err();
-        assert!(matches!(err, CompileError::GroupAttrMissing { .. }), "{err}");
+        assert!(
+            matches!(err, CompileError::GroupAttrMissing { .. }),
+            "{err}"
+        );
     }
 
     #[test]

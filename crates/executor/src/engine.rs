@@ -24,8 +24,10 @@ use crate::results::ExecutorResults;
 use crate::runner::SegmentRunner;
 use crate::winvec::WinVec;
 use sharon_query::{SharingPlan, Workload};
-use sharon_types::{Catalog, Event, EventStream, GroupKey, Timestamp, Value};
-use std::collections::{HashMap, VecDeque};
+use sharon_types::{
+    fx_hash_one, Catalog, Event, EventStream, FxHashMap, GroupKey, Timestamp, Value,
+};
+use std::collections::VecDeque;
 
 /// Per-group runtime state.
 struct GroupRuntime<A> {
@@ -52,7 +54,11 @@ struct GroupRuntime<A> {
 impl<A: Aggregate> GroupRuntime<A> {
     fn new(part: &CompiledPartition) -> Self {
         GroupRuntime {
-            runners: part.runners.iter().map(|r| SegmentRunner::new(r.len)).collect(),
+            runners: part
+                .runners
+                .iter()
+                .map(|r| SegmentRunner::new(r.len))
+                .collect(),
             offs: part
                 .queries
                 .iter()
@@ -62,14 +68,18 @@ impl<A: Aggregate> GroupRuntime<A> {
                 .queries
                 .iter()
                 .map(|q| {
-                    (0..q.n_stages.saturating_sub(1)).map(|_| ChainLog::new()).collect()
+                    (0..q.n_stages.saturating_sub(1))
+                        .map(|_| ChainLog::new())
+                        .collect()
                 })
                 .collect(),
             mirrors: part
                 .queries
                 .iter()
                 .map(|q| {
-                    (0..q.n_stages.saturating_sub(1)).map(|_| WinVec::new()).collect()
+                    (0..q.n_stages.saturating_sub(1))
+                        .map(|_| WinVec::new())
+                        .collect()
                 })
                 .collect(),
             finals: part.queries.iter().map(|_| WinVec::new()).collect(),
@@ -80,9 +90,22 @@ impl<A: Aggregate> GroupRuntime<A> {
 
     /// Rough number of live aggregate cells (memory proxy).
     fn cell_count(&self) -> usize {
-        self.runners.iter().map(SegmentRunner::cell_count).sum::<usize>()
-            + self.chains.iter().flatten().map(ChainLog::len).sum::<usize>()
-            + self.mirrors.iter().flatten().map(WinVec::len).sum::<usize>()
+        self.runners
+            .iter()
+            .map(SegmentRunner::cell_count)
+            .sum::<usize>()
+            + self
+                .chains
+                .iter()
+                .flatten()
+                .map(ChainLog::len)
+                .sum::<usize>()
+            + self
+                .mirrors
+                .iter()
+                .flatten()
+                .map(WinVec::len)
+                .sum::<usize>()
             + self.finals.iter().map(WinVec::len).sum::<usize>()
             + self.offs.iter().flatten().map(VecDeque::len).sum::<usize>()
     }
@@ -117,6 +140,8 @@ struct FoldScratch<A> {
     /// Difference-array / dense window accumulators.
     add_at: Vec<A>,
     remove_after: Vec<A>,
+    /// Reused emission buffer for closing windows (see `Engine::touch`).
+    emit: Vec<(u64, A)>,
 }
 
 impl<A: Aggregate> FoldScratch<A> {
@@ -126,6 +151,42 @@ impl<A: Aggregate> FoldScratch<A> {
             suffix: Vec::new(),
             add_at: Vec::new(),
             remove_after: Vec::new(),
+            emit: Vec::new(),
+        }
+    }
+}
+
+/// The slice of the group space one engine owns under sharded execution.
+///
+/// Groups are hash-partitioned: an engine with slice `(index, of)` owns the
+/// groups whose [`fx_hash_one`] lands on `index` modulo `of` in its *high*
+/// 32 bits, plus — when `owns_global` — the single [`GroupKey::Global`]
+/// partition. Since groups never interact (Definition 2: one result per
+/// group per window), engines over disjoint slices produce disjoint,
+/// exactly mergeable results.
+///
+/// Routing deliberately uses different hash bits than the per-shard
+/// `FxHashMap` bucket index (which is derived from the low bits of the
+/// same hash): were both taken from the low bits, every key a shard owns
+/// would be congruent to its index mod `of`, and with power-of-two shard
+/// counts the shard's map would home-hash into only `1/of` of its buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSlice {
+    /// This engine's shard index in `0..of`.
+    pub index: u32,
+    /// Total number of shards.
+    pub of: u32,
+    /// Whether this engine owns the global (no `GROUP BY`) partition.
+    pub owns_global: bool,
+}
+
+impl ShardSlice {
+    /// True if `key` belongs to this slice.
+    #[inline]
+    pub fn owns(&self, key: &GroupKey) -> bool {
+        match key {
+            GroupKey::Global => self.owns_global,
+            key => ((fx_hash_one(key) >> 32) % self.of as u64) as u32 == self.index,
         }
     }
 }
@@ -134,9 +195,16 @@ impl<A: Aggregate> FoldScratch<A> {
 /// kernel.
 pub struct Engine<A: Aggregate> {
     part: CompiledPartition,
-    groups: HashMap<GroupKey, GroupRuntime<A>>,
+    groups: FxHashMap<GroupKey, GroupRuntime<A>>,
     results: ExecutorResults,
     scratch: FoldScratch<A>,
+    /// Reused per-event key storage — the hot path never allocates a
+    /// fresh key; cloning happens only on first sight of a group.
+    key_scratch: GroupKey,
+    /// Reused buffer for the grouping attributes of the current event.
+    vals_scratch: Vec<Value>,
+    /// Group-space slice owned by this engine (`None` = everything).
+    shard: Option<ShardSlice>,
     last_time: Timestamp,
     events_matched: u64,
 }
@@ -146,12 +214,24 @@ impl<A: Aggregate> Engine<A> {
     pub fn new(part: CompiledPartition) -> Self {
         Engine {
             part,
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
             results: ExecutorResults::new(),
             scratch: FoldScratch::new(),
+            key_scratch: GroupKey::Global,
+            vals_scratch: Vec::new(),
+            shard: None,
             last_time: Timestamp::ZERO,
             events_matched: 0,
         }
+    }
+
+    /// Build an engine that only processes the groups in `slice`
+    /// (see [`ShardSlice`]); all other events are filtered out after
+    /// routing, predicates, and key extraction.
+    pub fn with_shard(part: CompiledPartition, slice: ShardSlice) -> Self {
+        let mut engine = Self::new(part);
+        engine.shard = Some(slice);
+        engine
     }
 
     #[inline]
@@ -169,6 +249,7 @@ impl<A: Aggregate> Engine<A> {
     }
 
     /// Process one event (events must arrive in timestamp order).
+    #[inline]
     pub fn process(&mut self, e: &Event) {
         debug_assert!(e.time >= self.last_time, "events must be time-ordered");
         self.last_time = e.time;
@@ -186,41 +267,76 @@ impl<A: Aggregate> Engine<A> {
                 return;
             }
         }
-        // group key
+        // group key — written into the reused scratch key, so the hot path
+        // performs no allocation and no clone until a group is first seen
         let gattrs = &self.part.group_attrs[e.ty.index()];
-        let key = if gattrs.is_empty() {
-            GroupKey::Global
+        if gattrs.is_empty() {
+            self.key_scratch = GroupKey::Global;
         } else {
-            let mut vals: Vec<Value> = Vec::with_capacity(gattrs.len());
+            self.vals_scratch.clear();
             for a in gattrs.iter() {
                 match e.attr(*a) {
-                    Some(v) => vals.push(v.clone()),
+                    Some(v) => self.vals_scratch.push(v.clone()),
                     None => return, // ungroupable event
                 }
             }
-            GroupKey::from_values(vals)
-        };
+            self.key_scratch.assign_from_slice(&self.vals_scratch);
+        }
+        // sharded execution: skip groups another engine owns
+        if let Some(slice) = &self.shard {
+            if !slice.owns(&self.key_scratch) {
+                return;
+            }
+        }
         self.events_matched += 1;
 
-        let part = &self.part;
+        // lookup-before-insert: `key_scratch.clone()` (the only remaining
+        // allocation) happens exactly once per distinct group
+        if !self.groups.contains_key(&self.key_scratch) {
+            self.groups
+                .insert(self.key_scratch.clone(), GroupRuntime::new(&self.part));
+        }
         let grt = self
             .groups
-            .entry(key.clone())
-            .or_insert_with(|| GroupRuntime::new(part));
+            .get_mut(&self.key_scratch)
+            .expect("group present after insert");
 
-        Self::touch(grt, part, e.time, &mut self.results, &key);
+        Self::touch(
+            grt,
+            &self.part,
+            e.time,
+            &mut self.results,
+            &self.key_scratch,
+            &mut self.scratch.emit,
+        );
 
-        let c = Self::contribution(part, e);
-        Self::dispatch(grt, part, routes, e.time, c, &mut self.scratch);
+        let c = Self::contribution(&self.part, e);
+        Self::dispatch(grt, &self.part, routes, e.time, c, &mut self.scratch);
+    }
+
+    /// Process a time-ordered batch of events.
+    ///
+    /// Semantically identical to calling [`Engine::process`] per event;
+    /// batching exists so callers amortize per-event virtual dispatch and
+    /// keep this engine's state hot in cache across the whole slice.
+    pub fn process_batch(&mut self, events: &[Event]) {
+        for e in events {
+            self.process(e);
+        }
     }
 
     /// Expire START events and emit/close finished windows for one group.
+    ///
+    /// `emit_buf` is a reused scratch buffer for the drained
+    /// `(window, value)` pairs — window closes allocate nothing in steady
+    /// state.
     fn touch(
         grt: &mut GroupRuntime<A>,
         part: &CompiledPartition,
         now: Timestamp,
         results: &mut ExecutorResults,
         key: &GroupKey,
+        emit_buf: &mut Vec<(u64, A)>,
     ) {
         let spec = part.window;
         // expire: a START event at time s is dead once now − s ≥ within
@@ -250,7 +366,9 @@ impl<A: Aggregate> Engine<A> {
         }
         grt.closed_before = close_seq;
         for (qi, f) in grt.finals.iter_mut().enumerate() {
-            for (seq, v) in f.drain_before(close_seq) {
+            emit_buf.clear();
+            f.drain_before_into(close_seq, emit_buf);
+            for &(seq, v) in emit_buf.iter() {
                 results.emit(
                     part.queries[qi].id,
                     key.clone(),
@@ -294,7 +412,12 @@ impl<A: Aggregate> Engine<A> {
             let cur = running;
             if run_open && cur != run_val {
                 if !run_val.is_zero() {
-                    target.add_range(t, min_seq + run_start as u64, min_seq + i as u64 - 1, run_val);
+                    target.add_range(
+                        t,
+                        min_seq + run_start as u64,
+                        min_seq + i as u64 - 1,
+                        run_val,
+                    );
                 }
                 run_start = i;
                 run_val = cur;
@@ -308,20 +431,19 @@ impl<A: Aggregate> Engine<A> {
             }
         }
         if run_open && !run_val.is_zero() {
-            target.add_range(t, min_seq + run_start as u64, min_seq + width as u64 - 1, run_val);
+            target.add_range(
+                t,
+                min_seq + run_start as u64,
+                min_seq + width as u64 - 1,
+                run_val,
+            );
         }
     }
 
     /// Accumulate `value × multiplier` over windows `lo..=hi` (already
     /// clamped to the open range) into the fold buffers.
     #[inline]
-    fn accumulate(
-        scratch: &mut FoldScratch<A>,
-        li: usize,
-        hi: usize,
-        value: A,
-        multiplier: &A,
-    ) {
+    fn accumulate(scratch: &mut FoldScratch<A>, li: usize, hi: usize, value: A, multiplier: &A) {
         let contribution = value.cross(multiplier);
         if contribution.is_zero() {
             return;
@@ -358,7 +480,14 @@ impl<A: Aggregate> Engine<A> {
         let last_seq = spec.last_start_covering(t).millis() / slide;
         let width = (last_seq - min_seq + 1) as usize;
 
-        let GroupRuntime { runners, offs, chains, mirrors, finals, .. } = grt;
+        let GroupRuntime {
+            runners,
+            offs,
+            chains,
+            mirrors,
+            finals,
+            ..
+        } = grt;
 
         for &(ri, pos) in &routes.runner_roles {
             let rspec = &part.runners[ri];
@@ -403,9 +532,7 @@ impl<A: Aggregate> Engine<A> {
                         let stage_offs = &offs[q][stage];
                         let mut p = 0usize;
                         for (j, entry) in log.iter() {
-                            while p < n_comp
-                                && stage_offs[scratch.completions[p].0] <= j
-                            {
+                            while p < n_comp && stage_offs[scratch.completions[p].0] <= j {
                                 p += 1;
                             }
                             if p == n_comp {
@@ -529,6 +656,45 @@ pub enum EngineKind {
     Stats(Engine<StatsCell>),
 }
 
+impl EngineKind {
+    /// Build the right kernel for `part`, optionally restricted to a
+    /// group-space [`ShardSlice`].
+    pub fn for_partition(part: CompiledPartition, shard: Option<ShardSlice>) -> Self {
+        let count_only = part.count_only;
+        match (count_only, shard) {
+            (true, Some(s)) => EngineKind::Count(Engine::with_shard(part, s)),
+            (true, None) => EngineKind::Count(Engine::new(part)),
+            (false, Some(s)) => EngineKind::Stats(Engine::with_shard(part, s)),
+            (false, None) => EngineKind::Stats(Engine::new(part)),
+        }
+    }
+
+    /// Process a time-ordered batch of events.
+    pub fn process_batch(&mut self, events: &[Event]) {
+        match self {
+            EngineKind::Count(en) => en.process_batch(events),
+            EngineKind::Stats(en) => en.process_batch(events),
+        }
+    }
+
+    /// Flush remaining windows and return the results.
+    pub fn finish(self) -> ExecutorResults {
+        match self {
+            EngineKind::Count(en) => en.finish(),
+            EngineKind::Stats(en) => en.finish(),
+        }
+    }
+
+    /// Events that passed routing, predicates, grouping, and shard
+    /// ownership.
+    pub fn events_matched(&self) -> u64 {
+        match self {
+            EngineKind::Count(en) => en.events_matched(),
+            EngineKind::Stats(en) => en.events_matched(),
+        }
+    }
+}
+
 impl Executor {
     /// Compile `workload` under `plan`.
     pub fn new(
@@ -539,13 +705,7 @@ impl Executor {
         let parts = compile(catalog, workload, plan)?;
         let engines = parts
             .into_iter()
-            .map(|p| {
-                if p.count_only {
-                    EngineKind::Count(Engine::new(p))
-                } else {
-                    EngineKind::Stats(Engine::new(p))
-                }
-            })
+            .map(|p| EngineKind::for_partition(p, None))
             .collect();
         Ok(Executor::__Internal(engines))
     }
@@ -570,10 +730,27 @@ impl Executor {
         }
     }
 
-    /// Drain a stream through the executor.
+    /// Process a time-ordered batch of events.
+    ///
+    /// Equivalent to per-event [`Executor::process`], but iterates engines
+    /// in the outer loop: each partition engine consumes the whole batch
+    /// while its state is hot, instead of every event paying one dispatch
+    /// per engine.
+    pub fn process_batch(&mut self, events: &[Event]) {
+        for engine in self.engines() {
+            engine.process_batch(events);
+        }
+    }
+
+    /// Default batch size for [`Executor::run`] and the sharded runtime.
+    pub const RUN_BATCH: usize = 1024;
+
+    /// Drain a stream through the executor in batches.
     pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
-        while let Some(e) = stream.next_event() {
-            self.process(&e);
+        let mut buf = Vec::with_capacity(Self::RUN_BATCH);
+        while stream.next_batch(Self::RUN_BATCH, &mut buf) > 0 {
+            self.process_batch(&buf);
+            buf.clear();
         }
         self
     }
@@ -710,15 +887,23 @@ mod tests {
         //   via c3: (a1,b2) before c3 = 1; (c3,d4),(c3,d5),(c3,d7) = 3 → 3
         //   via c6: (a1,b2) = 1; (c6,d7) = 1 → 1
         //   total = 4
-        let srcs = ["RETURN COUNT(*) PATTERN SEQ(A, B, C, D) WITHIN 100 ms SLIDE 100 ms",
-                    "RETURN COUNT(*) PATTERN SEQ(A, B, Z) WITHIN 100 ms SLIDE 100 ms"];
+        let srcs = [
+            "RETURN COUNT(*) PATTERN SEQ(A, B, C, D) WITHIN 100 ms SLIDE 100 ms",
+            "RETURN COUNT(*) PATTERN SEQ(A, B, Z) WITHIN 100 ms SLIDE 100 ms",
+        ];
         let events = |cat: &Catalog| {
             let a = cat.lookup("A").unwrap();
             let b = cat.lookup("B").unwrap();
             let cc = cat.lookup("C").unwrap();
             let d = cat.lookup("D").unwrap();
             vec![
-                ev(a, 1), ev(b, 2), ev(cc, 3), ev(d, 4), ev(d, 5), ev(cc, 6), ev(d, 7),
+                ev(a, 1),
+                ev(b, 2),
+                ev(cc, 3),
+                ev(d, 4),
+                ev(d, 5),
+                ev(cc, 6),
+                ev(d, 7),
             ]
         };
         // shared plan: share (A,B) between q1 and q2
@@ -748,9 +933,7 @@ mod tests {
         )
         .unwrap();
         let mut ex = Executor::non_shared(&c, &w).unwrap();
-        let mk = |ty, t, v: i64| {
-            Event::with_attrs(ty, Timestamp(t), vec![Value::Int(v)])
-        };
+        let mk = |ty, t, v: i64| Event::with_attrs(ty, Timestamp(t), vec![Value::Int(v)]);
         // vehicle 1: a1 b2 ; vehicle 2: a3 ; b4 of vehicle 2 completes only v2
         ex.process(&mk(a, 1, 1));
         ex.process(&mk(b, 2, 1));
@@ -759,8 +942,14 @@ mod tests {
         let res = ex.finish();
         let k1 = GroupKey::One(Value::Int(1));
         let k2 = GroupKey::One(Value::Int(2));
-        assert_eq!(res.get(QueryId(0), &k1, Timestamp(0)), Some(&AggValue::Count(1)));
-        assert_eq!(res.get(QueryId(0), &k2, Timestamp(0)), Some(&AggValue::Count(1)));
+        assert_eq!(
+            res.get(QueryId(0), &k1, Timestamp(0)),
+            Some(&AggValue::Count(1))
+        );
+        assert_eq!(
+            res.get(QueryId(0), &k2, Timestamp(0)),
+            Some(&AggValue::Count(1))
+        );
         assert_eq!(res.len(), 2, "no cross-vehicle sequences");
     }
 
@@ -829,9 +1018,18 @@ mod tests {
         ex.process(&ev(b, 3));
         let res = ex.finish();
         let g = GroupKey::Global;
-        assert_eq!(res.get(QueryId(0), &g, Timestamp(0)), Some(&AggValue::Number(Some(4.0))));
-        assert_eq!(res.get(QueryId(1), &g, Timestamp(0)), Some(&AggValue::Number(Some(8.0))));
-        assert_eq!(res.get(QueryId(2), &g, Timestamp(0)), Some(&AggValue::Number(Some(6.0))));
+        assert_eq!(
+            res.get(QueryId(0), &g, Timestamp(0)),
+            Some(&AggValue::Number(Some(4.0)))
+        );
+        assert_eq!(
+            res.get(QueryId(1), &g, Timestamp(0)),
+            Some(&AggValue::Number(Some(8.0)))
+        );
+        assert_eq!(
+            res.get(QueryId(2), &g, Timestamp(0)),
+            Some(&AggValue::Number(Some(6.0)))
+        );
     }
 
     #[test]
@@ -921,8 +1119,16 @@ mod tests {
             let b = cat.lookup("B").unwrap();
             let z = cat.lookup("Z").unwrap();
             vec![
-                ev(x, 1), ev(a, 2), ev(y, 3), ev(b, 4), ev(z, 5),
-                ev(a, 6), ev(x, 7), ev(b, 8), ev(z, 9), ev(z, 10),
+                ev(x, 1),
+                ev(a, 2),
+                ev(y, 3),
+                ev(b, 4),
+                ev(z, 5),
+                ev(a, 6),
+                ev(x, 7),
+                ev(b, 8),
+                ev(z, 9),
+                ev(z, 10),
             ]
         };
         let (_, shared) = run_queries(&srcs, &plan, events);

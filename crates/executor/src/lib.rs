@@ -25,12 +25,14 @@ pub mod engine;
 mod proptests;
 pub mod results;
 pub mod runner;
+pub mod sharded;
 pub mod winvec;
 
 pub use agg::{Aggregate, Contribution, CountCell, OutputKind, StatsCell};
 pub use chainlog::ChainLog;
 pub use compile::{compile, CompileError, CompiledPartition};
-pub use engine::{Engine, Executor};
+pub use engine::{Engine, EngineKind, Executor, ShardSlice};
 pub use results::ExecutorResults;
 pub use runner::SegmentRunner;
+pub use sharded::ShardedExecutor;
 pub use winvec::{Snapshot, WinVec};

@@ -2,8 +2,7 @@
 
 use sharon_query::aggregate::AggValue;
 use sharon_query::QueryId;
-use sharon_types::{GroupKey, Timestamp};
-use std::collections::HashMap;
+use sharon_types::{FxHashMap, GroupKey, Timestamp};
 
 /// All results produced by an executor run.
 ///
@@ -11,7 +10,7 @@ use std::collections::HashMap;
 /// means "zero matches").
 #[derive(Debug, Clone, Default)]
 pub struct ExecutorResults {
-    per_query: HashMap<QueryId, HashMap<(GroupKey, Timestamp), AggValue>>,
+    per_query: FxHashMap<QueryId, FxHashMap<(GroupKey, Timestamp), AggValue>>,
     results_emitted: u64,
 }
 
@@ -23,7 +22,13 @@ impl ExecutorResults {
 
     /// Record a result (overwrites on duplicate key; keys are unique in a
     /// correct run).
-    pub fn emit(&mut self, query: QueryId, group: GroupKey, window_start: Timestamp, value: AggValue) {
+    pub fn emit(
+        &mut self,
+        query: QueryId,
+        group: GroupKey,
+        window_start: Timestamp,
+        value: AggValue,
+    ) {
         self.results_emitted += 1;
         self.per_query
             .entry(query)
@@ -41,14 +46,22 @@ impl ExecutorResults {
 
     /// The result for `(query, group, window_start)`, if any sequence
     /// matched.
-    pub fn get(&self, query: QueryId, group: &GroupKey, window_start: Timestamp) -> Option<&AggValue> {
+    pub fn get(
+        &self,
+        query: QueryId,
+        group: &GroupKey,
+        window_start: Timestamp,
+    ) -> Option<&AggValue> {
         self.per_query
             .get(&query)?
             .get(&(group.clone(), window_start))
     }
 
     /// All results of one query, unsorted.
-    pub fn of_query(&self, query: QueryId) -> impl Iterator<Item = (&GroupKey, Timestamp, &AggValue)> {
+    pub fn of_query(
+        &self,
+        query: QueryId,
+    ) -> impl Iterator<Item = (&GroupKey, Timestamp, &AggValue)> {
         self.per_query
             .get(&query)
             .into_iter()
@@ -62,15 +75,13 @@ impl ExecutorResults {
             .of_query(query)
             .map(|(g, w, val)| (g.clone(), w, *val))
             .collect();
-        v.sort_by(|a, b| {
-            (a.0.to_string(), a.1).cmp(&(b.0.to_string(), b.1))
-        });
+        v.sort_by_key(|a| (a.0.to_string(), a.1));
         v
     }
 
     /// Total number of `(query, group, window)` results emitted.
     pub fn len(&self) -> usize {
-        self.per_query.values().map(HashMap::len).sum()
+        self.per_query.values().map(|m| m.len()).sum()
     }
 
     /// True if nothing was emitted.
@@ -96,7 +107,7 @@ impl ExecutorResults {
             .copied()
             .collect();
         for q in queries {
-            let empty = HashMap::new();
+            let empty = FxHashMap::default();
             let a = self.per_query.get(&q).unwrap_or(&empty);
             let b = other.per_query.get(&q).unwrap_or(&empty);
             if a.len() != b.len() {
@@ -135,7 +146,12 @@ mod tests {
         let mut r = ExecutorResults::new();
         r.emit(QueryId(0), key(1), Timestamp(0), AggValue::Count(3));
         r.emit(QueryId(0), key(1), Timestamp(60), AggValue::Count(5));
-        r.emit(QueryId(1), GroupKey::Global, Timestamp(0), AggValue::Number(Some(2.5)));
+        r.emit(
+            QueryId(1),
+            GroupKey::Global,
+            Timestamp(0),
+            AggValue::Number(Some(2.5)),
+        );
         assert_eq!(r.len(), 3);
         assert_eq!(
             r.get(QueryId(0), &key(1), Timestamp(60)),
@@ -171,15 +187,35 @@ mod tests {
     #[test]
     fn semantic_equality() {
         let mut a = ExecutorResults::new();
-        a.emit(QueryId(0), key(1), Timestamp(0), AggValue::Number(Some(1.0)));
+        a.emit(
+            QueryId(0),
+            key(1),
+            Timestamp(0),
+            AggValue::Number(Some(1.0)),
+        );
         let mut b = ExecutorResults::new();
-        b.emit(QueryId(0), key(1), Timestamp(0), AggValue::Number(Some(1.0 + 1e-12)));
+        b.emit(
+            QueryId(0),
+            key(1),
+            Timestamp(0),
+            AggValue::Number(Some(1.0 + 1e-12)),
+        );
         assert!(a.semantically_eq(&b, 1e-9));
         let mut c = ExecutorResults::new();
-        c.emit(QueryId(0), key(1), Timestamp(0), AggValue::Number(Some(2.0)));
+        c.emit(
+            QueryId(0),
+            key(1),
+            Timestamp(0),
+            AggValue::Number(Some(2.0)),
+        );
         assert!(!a.semantically_eq(&c, 1e-9));
         let mut d = ExecutorResults::new();
-        d.emit(QueryId(0), key(2), Timestamp(0), AggValue::Number(Some(1.0)));
+        d.emit(
+            QueryId(0),
+            key(2),
+            Timestamp(0),
+            AggValue::Number(Some(1.0)),
+        );
         assert!(!a.semantically_eq(&d, 1e-9));
         // differing key sets
         let e = ExecutorResults::new();

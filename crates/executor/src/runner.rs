@@ -31,11 +31,19 @@ struct Cell<A> {
 
 impl<A: Aggregate> Cell<A> {
     fn zero() -> Self {
-        Cell { committed: A::ZERO, pending: A::ZERO, pending_time: Timestamp::ZERO }
+        Cell {
+            committed: A::ZERO,
+            pending: A::ZERO,
+            pending_time: Timestamp::ZERO,
+        }
     }
 
     fn with_pending(value: A, at: Timestamp) -> Self {
-        Cell { committed: A::ZERO, pending: value, pending_time: at }
+        Cell {
+            committed: A::ZERO,
+            pending: value,
+            pending_time: at,
+        }
     }
 
     #[inline]
@@ -84,7 +92,10 @@ impl<A: Aggregate> SegmentRunner<A> {
     /// A runner for a segment of `len` event types (`len ≥ 2`).
     pub fn new(len: usize) -> Self {
         assert!(len >= 2, "length-1 segments are stateless");
-        SegmentRunner { len, starts: VecDeque::new() }
+        SegmentRunner {
+            len,
+            starts: VecDeque::new(),
+        }
     }
 
     /// The segment length.
@@ -124,7 +135,7 @@ impl<A: Aggregate> SegmentRunner<A> {
     /// unit aggregate becomes visible to strictly later events.
     pub fn on_start(&mut self, time: Timestamp, c: Contribution) {
         debug_assert!(
-            self.starts.back().map_or(true, |b| b.time <= time),
+            self.starts.back().is_none_or(|b| b.time <= time),
             "events must arrive in timestamp order"
         );
         let mut cells = vec![Cell::zero(); self.len - 1].into_boxed_slice();
@@ -212,7 +223,7 @@ mod tests {
         let mut r: SegmentRunner<CountCell> = SegmentRunner::new(2);
         r.on_start(Timestamp(1), NONE); // a1
         r.on_start(Timestamp(2), NONE); // a2
-        // b5 arrives: cutoff = 5 - 4 = 1, so a1 expires
+                                        // b5 arrives: cutoff = 5 - 4 = 1, so a1 expires
         let dropped = r.expire(Timestamp(1));
         assert_eq!(dropped, 1);
         assert_eq!(r.live_starts(), 1);

@@ -1,0 +1,398 @@
+//! The sharded parallel runtime.
+//!
+//! `GROUP BY` partitions are independent by construction — "a result is
+//! returned per group and per window" (Definition 2) and no engine state is
+//! ever shared across groups — and compiled partitions (sharing-signature
+//! classes, §7.2) never interact either. The Sharon executor is therefore
+//! embarrassingly parallel along two axes, and [`ShardedExecutor`] exploits
+//! both:
+//!
+//! * **group axis** — every worker shard owns, for each compiled
+//!   partition, the disjoint slice of groups whose key hash lands on its
+//!   index (see [`crate::engine::ShardSlice`]);
+//! * **partition axis** — the global (no `GROUP BY`) runtime of partition
+//!   `p` is assigned to worker `p mod N`, spreading independent partition
+//!   engines over the shards.
+//!
+//! Each worker runs the ordinary sequential [`Engine`] over its slice, so
+//! sharding is a pure work partition: shard results are disjoint and merge
+//! exactly. [`ShardedExecutor::finish`] merges them in deterministic shard
+//! order; determinism tests assert `semantically_eq` with the sequential
+//! engine for every shard count.
+//!
+//! Events are fanned out in batches ([`Arc`]-shared, no per-worker copies)
+//! over bounded channels, giving backpressure against slow shards. Every
+//! worker performs routing, predicate evaluation, and key extraction for
+//! every event and drops the groups it does not own — that duplicated
+//! prefix is the cheap part of the per-event path, and skipping a central
+//! routing step keeps the fan-out allocation-free and contention-free.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use crate::compile::{compile, CompileError};
+use crate::engine::{EngineKind, ShardSlice};
+use crate::results::ExecutorResults;
+use sharon_query::{SharingPlan, Workload};
+use sharon_types::{Catalog, Event, EventStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Default number of events buffered before a batch is fanned out.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// Bounded depth of each worker's batch queue (backpressure).
+const CHANNEL_DEPTH: usize = 4;
+
+/// What each worker reports back when its channel closes.
+struct ShardReport {
+    results: ExecutorResults,
+    events_matched: u64,
+    cell_count: usize,
+}
+
+struct ShardWorker {
+    sender: SyncSender<Arc<Vec<Event>>>,
+    handle: JoinHandle<ShardReport>,
+    /// Events this shard has matched so far, published after every batch
+    /// so [`ShardedExecutor::events_matched`] can report live progress.
+    matched: Arc<AtomicU64>,
+}
+
+/// A parallel executor that hash-partitions work across `N` worker shards.
+///
+/// Construction compiles the workload exactly like [`crate::Executor`];
+/// each worker owns one [`ShardSlice`] of every compiled partition.
+/// Events are accepted one at a time or in batches and flushed to the
+/// workers in [`Arc`]-shared batches; [`ShardedExecutor::finish`] drains
+/// the pipeline and merges the disjoint shard results.
+pub struct ShardedExecutor {
+    workers: Vec<ShardWorker>,
+    buffer: Vec<Event>,
+    batch_size: usize,
+    n_shards: usize,
+    /// Incremented by `flush` as batches are fanned out; see
+    /// [`ShardedExecutor::events_sent`].
+    events_sent: u64,
+}
+
+impl ShardedExecutor {
+    /// Compile `workload` under `plan` and spawn `n_shards` worker threads.
+    pub fn new(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+    ) -> Result<Self, CompileError> {
+        Self::with_batch_size(catalog, workload, plan, n_shards, DEFAULT_BATCH_SIZE)
+    }
+
+    /// The Non-Shared (A-Seq) sharded executor.
+    pub fn non_shared(
+        catalog: &Catalog,
+        workload: &Workload,
+        n_shards: usize,
+    ) -> Result<Self, CompileError> {
+        Self::new(catalog, workload, &SharingPlan::non_shared(), n_shards)
+    }
+
+    /// [`ShardedExecutor::new`] with an explicit flush threshold.
+    pub fn with_batch_size(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        batch_size: usize,
+    ) -> Result<Self, CompileError> {
+        assert!(n_shards >= 1, "need at least one shard");
+        let batch_size = batch_size.max(1);
+        let parts = compile(catalog, workload, plan)?;
+
+        let mut workers = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let engines: Vec<EngineKind> = parts
+                .iter()
+                .enumerate()
+                .map(|(pi, part)| {
+                    let slice = ShardSlice {
+                        index: shard as u32,
+                        of: n_shards as u32,
+                        owns_global: pi % n_shards == shard,
+                    };
+                    EngineKind::for_partition(part.clone(), Some(slice))
+                })
+                .collect();
+            let (sender, receiver) = sync_channel::<Arc<Vec<Event>>>(CHANNEL_DEPTH);
+            let matched = Arc::new(AtomicU64::new(0));
+            let matched_pub = Arc::clone(&matched);
+            let handle = std::thread::Builder::new()
+                .name(format!("sharon-shard-{shard}"))
+                .spawn(move || {
+                    let mut engines = engines;
+                    while let Ok(batch) = receiver.recv() {
+                        for engine in &mut engines {
+                            engine.process_batch(&batch);
+                        }
+                        matched_pub.store(
+                            engines.iter().map(EngineKind::events_matched).sum(),
+                            Ordering::Relaxed,
+                        );
+                    }
+                    let events_matched = engines.iter().map(EngineKind::events_matched).sum();
+                    let cell_count = engines
+                        .iter()
+                        .map(|e| match e {
+                            EngineKind::Count(en) => en.cell_count(),
+                            EngineKind::Stats(en) => en.cell_count(),
+                        })
+                        .sum();
+                    let mut results = ExecutorResults::new();
+                    for engine in engines {
+                        results.merge(engine.finish());
+                    }
+                    ShardReport {
+                        results,
+                        events_matched,
+                        cell_count,
+                    }
+                })
+                .expect("spawn shard worker thread");
+            workers.push(ShardWorker {
+                sender,
+                handle,
+                matched,
+            });
+        }
+
+        Ok(ShardedExecutor {
+            workers,
+            buffer: Vec::with_capacity(batch_size),
+            batch_size,
+            n_shards,
+            events_sent: 0,
+        })
+    }
+
+    /// Number of worker shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Events fanned out to the workers so far (excluding the unflushed
+    /// buffer).
+    pub fn events_sent(&self) -> u64 {
+        self.events_sent
+    }
+
+    /// Events that passed routing, predicates, grouping, and shard
+    /// ownership, summed over shards. Workers publish after each batch,
+    /// so this trails ingestion by at most the in-flight batches (it is
+    /// exact after [`ShardedExecutor::finish_with_stats`], which reports
+    /// the final count).
+    pub fn events_matched(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.matched.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Enqueue one event (flushed when the batch threshold is reached).
+    pub fn process(&mut self, e: &Event) {
+        self.buffer.push(e.clone());
+        if self.buffer.len() >= self.batch_size {
+            self.flush();
+        }
+    }
+
+    /// Enqueue a time-ordered batch of events.
+    pub fn process_batch(&mut self, events: &[Event]) {
+        self.buffer.extend_from_slice(events);
+        if self.buffer.len() >= self.batch_size {
+            self.flush();
+        }
+    }
+
+    /// Drain a stream through the executor.
+    pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
+        loop {
+            let free = self.batch_size.saturating_sub(self.buffer.len()).max(1);
+            if stream.next_batch(free, &mut self.buffer) == 0 {
+                break;
+            }
+            if self.buffer.len() >= self.batch_size {
+                self.flush();
+            }
+        }
+        self
+    }
+
+    /// Fan the buffered events out to every worker.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.events_sent += self.buffer.len() as u64;
+        let batch = Arc::new(std::mem::replace(
+            &mut self.buffer,
+            Vec::with_capacity(self.batch_size),
+        ));
+        for worker in &self.workers {
+            worker
+                .sender
+                .send(Arc::clone(&batch))
+                .expect("shard worker terminated early");
+        }
+    }
+
+    /// Flush remaining events, stop the workers, and merge their results
+    /// in deterministic shard order. Shard result sets are disjoint (each
+    /// group is owned by exactly one shard), so the merge is exact.
+    pub fn finish(self) -> ExecutorResults {
+        self.finish_with_stats().0
+    }
+
+    /// [`ShardedExecutor::finish`] plus runtime statistics:
+    /// `(results, events_matched, peak cell count)`.
+    pub fn finish_with_stats(mut self) -> (ExecutorResults, u64, usize) {
+        self.flush();
+        let workers = std::mem::take(&mut self.workers);
+        // close every channel before joining so all shards drain in parallel
+        let handles: Vec<JoinHandle<ShardReport>> = workers
+            .into_iter()
+            .map(|ShardWorker { sender, handle, .. }| {
+                drop(sender);
+                handle
+            })
+            .collect();
+        let mut results = ExecutorResults::new();
+        let mut matched = 0u64;
+        let mut cells = 0usize;
+        for handle in handles {
+            let report = handle.join().expect("shard worker panicked");
+            results.merge(report.results);
+            matched += report.events_matched;
+            cells += report.cell_count;
+        }
+        (results, matched, cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Executor;
+    use sharon_query::{parse_workload, QueryId};
+    use sharon_types::{GroupKey, Schema, Timestamp, Value};
+
+    fn grouped_workload() -> (Catalog, Workload) {
+        let mut c = Catalog::new();
+        c.register_with_schema("A", Schema::new(["g", "v"]));
+        c.register_with_schema("B", Schema::new(["g", "v"]));
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+                "RETURN SUM(B.v) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+            ],
+        )
+        .unwrap();
+        (c, w)
+    }
+
+    fn stream(c: &Catalog, n: u64, groups: i64) -> Vec<Event> {
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        // consecutive (A, B) pairs share a group, so matches exist for any
+        // group cardinality; pairs from different groups interleave freely
+        (0..n)
+            .map(|i| {
+                let ty = if i % 2 == 0 { a } else { b };
+                Event::with_attrs(
+                    ty,
+                    Timestamp(i),
+                    vec![
+                        Value::Int((i / 2) as i64 % groups),
+                        Value::Int((i % 7) as i64),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_across_shard_counts() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 4000, 37);
+
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want_matched = sequential.events_matched();
+        let want = sequential.finish();
+        assert!(!want.is_empty());
+
+        for shards in [1usize, 2, 3, 8] {
+            let mut sharded = ShardedExecutor::non_shared(&c, &w, shards).unwrap();
+            for chunk in events.chunks(97) {
+                sharded.process_batch(chunk);
+            }
+            let (got, matched, _cells) = sharded.finish_with_stats();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "{shards} shards diverge from sequential"
+            );
+            assert_eq!(matched, want_matched, "{shards} shards: matched count");
+        }
+    }
+
+    #[test]
+    fn global_partitions_are_owned_once() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms",
+                "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 20 ms SLIDE 10 ms",
+            ],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let events: Vec<Event> = (0..100)
+            .map(|i| Event::new(if i % 2 == 0 { a } else { b }, Timestamp(i)))
+            .collect();
+
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want = sequential.finish();
+
+        let mut sharded = ShardedExecutor::non_shared(&c, &w, 4).unwrap();
+        sharded.process_batch(&events);
+        let got = sharded.finish();
+        assert!(got.semantically_eq(&want, 1e-9));
+        assert!(got.total_count(QueryId(0)) > 0);
+        assert_eq!(
+            got.get(QueryId(0), &GroupKey::Global, Timestamp(20))
+                .is_some(),
+            want.get(QueryId(0), &GroupKey::Global, Timestamp(20))
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn per_event_ingestion_flushes_on_threshold() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 500, 5);
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want = sequential.finish();
+
+        let plan = SharingPlan::non_shared();
+        let mut sharded = ShardedExecutor::with_batch_size(&c, &w, &plan, 2, 64).unwrap();
+        for e in &events {
+            sharded.process(e);
+        }
+        let got = sharded.finish();
+        assert!(got.semantically_eq(&want, 1e-9));
+    }
+}

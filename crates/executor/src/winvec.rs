@@ -31,7 +31,10 @@ pub struct Snapshot<A> {
 impl<A: Aggregate> Snapshot<A> {
     /// An empty snapshot (all windows zero).
     pub fn empty() -> Self {
-        Snapshot { first_seq: 0, vals: Box::new([]) }
+        Snapshot {
+            first_seq: 0,
+            vals: Box::new([]),
+        }
     }
 
     /// The value for window `seq` (zero outside the captured range).
@@ -149,7 +152,13 @@ impl<A: Aggregate> WinVec<A> {
     /// covering `now`: windows that ended before the current event cannot
     /// contain the sequence being completed (its END event is the current
     /// one), so snapshot entries for them are skipped.
-    pub fn add_cross(&mut self, now: Timestamp, snapshot: &Snapshot<A>, delta: &A, min_seq: WinSeq) {
+    pub fn add_cross(
+        &mut self,
+        now: Timestamp,
+        snapshot: &Snapshot<A>,
+        delta: &A,
+        min_seq: WinSeq,
+    ) {
         if delta.is_zero() {
             return;
         }
@@ -215,8 +224,16 @@ impl<A: Aggregate> WinVec<A> {
     /// close: "a result is returned per group and per window"
     /// (Definition 2).
     pub fn drain_before(&mut self, cutoff: WinSeq) -> Vec<(WinSeq, A)> {
-        self.commit();
         let mut out = Vec::new();
+        self.drain_before_into(cutoff, &mut out);
+        out
+    }
+
+    /// [`WinVec::drain_before`] into a caller-owned buffer, so the
+    /// executor's window-close path allocates nothing in steady state.
+    /// Appends to `out` without clearing it.
+    pub fn drain_before_into(&mut self, cutoff: WinSeq, out: &mut Vec<(WinSeq, A)>) {
+        self.commit();
         while self.first_seq < cutoff {
             match self.committed.pop_front() {
                 Some(v) => {
@@ -231,7 +248,6 @@ impl<A: Aggregate> WinVec<A> {
                 }
             }
         }
-        out
     }
 
     /// Drop entries for windows with `seq < cutoff` (their instances have
@@ -370,16 +386,18 @@ mod tests {
         assert_eq!(v.get(Timestamp(3), 5), c(1));
     }
 
-#[test]
-fn repro_snapshot_same_time() {
-    
-    use crate::agg::CountCell;
-    use sharon_types::Timestamp;
-    let mut r: WinVec<CountCell> = WinVec::new();
-    r.add_range(Timestamp(0), 0, 0, CountCell(1));
-    let snap = r.snapshot(Timestamp(0));
-    assert!(snap.is_empty(), "snapshot at same time must be empty: {snap:?}");
-}
+    #[test]
+    fn repro_snapshot_same_time() {
+        use crate::agg::CountCell;
+        use sharon_types::Timestamp;
+        let mut r: WinVec<CountCell> = WinVec::new();
+        r.add_range(Timestamp(0), 0, 0, CountCell(1));
+        let snap = r.snapshot(Timestamp(0));
+        assert!(
+            snap.is_empty(),
+            "snapshot at same time must be empty: {snap:?}"
+        );
+    }
 
     #[test]
     fn unit_contribution_roundtrip() {

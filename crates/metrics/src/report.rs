@@ -58,8 +58,179 @@ impl Table {
             .create(true)
             .append(true)
             .open(path)?;
-        let line = serde_json::to_string(self).expect("table serializes");
-        writeln!(f, "{line}")
+        writeln!(f, "{}", self.to_json())
+    }
+
+    /// Serialize the table as one JSON object (no external dependencies —
+    /// the build environment has no crates.io access, so this crate ships
+    /// its own writer/parser for this fixed shape).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"id\":");
+        json::write_str(&mut out, &self.id);
+        out.push_str(",\"title\":");
+        json::write_str(&mut out, &self.title);
+        out.push_str(",\"headers\":");
+        json::write_str_array(&mut out, &self.headers);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str_array(&mut out, row);
+        }
+        out.push_str("],\"notes\":");
+        json::write_str_array(&mut out, &self.notes);
+        out.push('}');
+        out
+    }
+
+    /// Parse a table from the JSON produced by [`Table::to_json`].
+    pub fn from_json(text: &str) -> Option<Table> {
+        let mut p = json::Parser::new(text);
+        p.expect('{')?;
+        let mut table = Table::new("", "");
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "id" => table.id = p.string()?,
+                "title" => table.title = p.string()?,
+                "headers" => table.headers = p.str_array()?,
+                "notes" => table.notes = p.str_array()?,
+                "rows" => {
+                    p.expect('[')?;
+                    if !p.try_expect(']') {
+                        loop {
+                            table.rows.push(p.str_array()?);
+                            if p.try_expect(']') {
+                                break;
+                            }
+                            p.expect(',')?;
+                        }
+                    }
+                }
+                _ => return None,
+            }
+            if p.try_expect('}') {
+                break;
+            }
+            p.expect(',')?;
+        }
+        Some(table)
+    }
+}
+
+/// Minimal JSON writer/parser for the flat string shapes [`Table`] uses.
+mod json {
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    pub fn write_str_array(out: &mut String, items: &[String]) {
+        out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(out, item);
+        }
+        out.push(']');
+    }
+
+    pub struct Parser<'a> {
+        rest: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        pub fn new(text: &'a str) -> Self {
+            Parser { rest: text }
+        }
+
+        fn skip_ws(&mut self) {
+            self.rest = self.rest.trim_start();
+        }
+
+        pub fn expect(&mut self, c: char) -> Option<()> {
+            self.try_expect(c).then_some(())
+        }
+
+        pub fn try_expect(&mut self, c: char) -> bool {
+            self.skip_ws();
+            match self.rest.strip_prefix(c) {
+                Some(rest) => {
+                    self.rest = rest;
+                    true
+                }
+                None => false,
+            }
+        }
+
+        pub fn string(&mut self) -> Option<String> {
+            self.skip_ws();
+            self.rest = self.rest.strip_prefix('"')?;
+            let mut out = String::new();
+            let mut chars = self.rest.char_indices();
+            loop {
+                let (i, c) = chars.next()?;
+                match c {
+                    '"' => {
+                        self.rest = &self.rest[i + 1..];
+                        return Some(out);
+                    }
+                    '\\' => {
+                        let (_, esc) = chars.next()?;
+                        match esc {
+                            '"' => out.push('"'),
+                            '\\' => out.push('\\'),
+                            '/' => out.push('/'),
+                            'n' => out.push('\n'),
+                            'r' => out.push('\r'),
+                            't' => out.push('\t'),
+                            'u' => {
+                                let mut code = 0u32;
+                                for _ in 0..4 {
+                                    let (_, h) = chars.next()?;
+                                    code = code * 16 + h.to_digit(16)?;
+                                }
+                                out.push(char::from_u32(code)?);
+                            }
+                            _ => return None,
+                        }
+                    }
+                    c => out.push(c),
+                }
+            }
+        }
+
+        pub fn str_array(&mut self) -> Option<Vec<String>> {
+            self.expect('[')?;
+            let mut out = Vec::new();
+            if self.try_expect(']') {
+                return Some(out);
+            }
+            loop {
+                out.push(self.string()?);
+                if self.try_expect(']') {
+                    return Some(out);
+                }
+                self.expect(',')?;
+            }
+        }
     }
 }
 
@@ -67,9 +238,10 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== {} — {} ==", self.id, self.title)?;
         // column widths
-        let ncols = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -87,7 +259,11 @@ impl fmt::Display for Table {
         };
         if !self.headers.is_empty() {
             write_row(f, &self.headers)?;
-            writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols))?;
+            writeln!(
+                f,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * ncols)
+            )?;
         }
         for row in &self.rows {
             write_row(f, row)?;
@@ -166,8 +342,22 @@ mod tests {
         t.append_json(&path).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content.lines().count(), 2);
-        let parsed: Table = serde_json::from_str(content.lines().next().unwrap()).unwrap();
+        let parsed = Table::from_json(content.lines().next().unwrap()).unwrap();
         assert_eq!(parsed.id, "figY");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut t = Table::new("fig\"Z\"", "quotes \\ and\nnewlines").headers(["x", "y"]);
+        t.row(["1", "a\tb"]);
+        t.row(["2", ""]);
+        t.note("scaled — 10×");
+        let parsed = Table::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed.id, t.id);
+        assert_eq!(parsed.title, t.title);
+        assert_eq!(parsed.headers, t.headers);
+        assert_eq!(parsed.rows, t.rows);
+        assert_eq!(parsed.notes, t.notes);
     }
 
     #[test]
@@ -179,10 +369,7 @@ mod tests {
         assert_eq!(fmt_bytes(2048), "2.0KB");
         assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
         assert!(fmt_bytes(2 * 1024 * 1024 * 1024).ends_with("GB"));
-        assert_eq!(
-            fmt_throughput(3000, Duration::from_secs(1)),
-            "3.0k ev/s"
-        );
+        assert_eq!(fmt_throughput(3000, Duration::from_secs(1)), "3.0k ev/s");
         assert_eq!(
             fmt_throughput(2_000_000, Duration::from_secs(1)),
             "2.00M ev/s"

@@ -30,7 +30,10 @@ pub struct RateMap {
 impl RateMap {
     /// All types default to `default_rate` events/second.
     pub fn uniform(default_rate: f64) -> Self {
-        RateMap { rates: HashMap::new(), default_rate }
+        RateMap {
+            rates: HashMap::new(),
+            default_rate,
+        }
     }
 
     /// Build from explicit per-type rates, with `default_rate` for
@@ -39,7 +42,10 @@ impl RateMap {
         rates: impl IntoIterator<Item = (EventTypeId, f64)>,
         default_rate: f64,
     ) -> Self {
-        RateMap { rates: rates.into_iter().collect(), default_rate }
+        RateMap {
+            rates: rates.into_iter().collect(),
+            default_rate,
+        }
     }
 
     /// Estimate rates by counting events of each type over a measured
@@ -108,7 +114,9 @@ impl<'a> CostModel<'a> {
 
     /// `Comp(p, qᵢ)` (Eq. 4): cost of the private prefix and suffix.
     pub fn comp(&self, p: &Pattern, q: &Query) -> f64 {
-        let Some(m) = q.pattern.find(p) else { return 0.0 };
+        let Some(m) = q.pattern.find(p) else {
+            return 0.0;
+        };
         let mut cost = 0.0;
         if m > 0 {
             let prefix = q.pattern.subpattern(0..m);
@@ -127,7 +135,9 @@ impl<'a> CostModel<'a> {
     /// suffix the corresponding factor is absent; with both empty (the
     /// whole pattern is shared) no combination happens at all.
     pub fn comb(&self, p: &Pattern, q: &Query) -> f64 {
-        let Some(m) = q.pattern.find(p) else { return 0.0 };
+        let Some(m) = q.pattern.find(p) else {
+            return 0.0;
+        };
         let suffix_start = m + p.len();
         let has_prefix = m > 0;
         let has_suffix = suffix_start < q.pattern.len();

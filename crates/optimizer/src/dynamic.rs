@@ -203,8 +203,7 @@ mod tests {
         let initial_rates = RateMap::uniform(100.0);
         let cfg = OptimizerConfig::default();
         let initial = optimize_sharon(&w, &initial_rates, &cfg);
-        let mut mgr =
-            DynamicPlanManager::new(TimeDelta::from_secs(1), 0.05, cfg, &initial);
+        let mut mgr = DynamicPlanManager::new(TimeDelta::from_secs(1), 0.05, cfg, &initial);
 
         // phase 1: only A..D types flow (plus X to close) — plan should
         // favour sharing (A,B,C,D)

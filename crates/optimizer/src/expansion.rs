@@ -86,8 +86,7 @@ pub fn expand_candidate(
                         let pat = &workload.get(*q).pattern;
                         pat.occurrences_of(&original.pattern).iter().any(|&ia| {
                             pat.occurrences_of(&other.pattern).iter().any(|&ib| {
-                                ia < ib + other.pattern.len()
-                                    && ib < ia + original.pattern.len()
+                                ia < ib + other.pattern.len() && ib < ia + original.pattern.len()
                             })
                         })
                     })
@@ -150,7 +149,13 @@ pub fn expand_graph(
             max_options_per_candidate: config.max_options_per_candidate.min(remaining),
             ..*config
         };
-        items.extend(expand_candidate(workload, graph, v, benefit, &per_candidate));
+        items.extend(expand_candidate(
+            workload,
+            graph,
+            v,
+            benefit,
+            &per_candidate,
+        ));
     }
     SharonGraph::from_weighted(workload, items)
 }
@@ -179,7 +184,10 @@ mod tests {
 
     /// Benefit oracle matching the spirit of Figure 4: proportional to the
     /// number of sharing queries (so subsets stay beneficial).
-    fn per_query_benefit(original_weight: f64, original_n: usize) -> impl FnMut(&Pattern, &BTreeSet<QueryId>) -> f64 {
+    fn per_query_benefit(
+        original_weight: f64,
+        original_n: usize,
+    ) -> impl FnMut(&Pattern, &BTreeSet<QueryId>) -> f64 {
         move |_, qs| original_weight * qs.len() as f64 / original_n as f64
     }
 
@@ -198,7 +206,10 @@ mod tests {
         assert!(
             options.iter().any(|(cand, _)| cand.queries == q12),
             "missing option (p1, {{q1, q2}}) among {:?}",
-            options.iter().map(|(c2, _)| c2.queries.clone()).collect::<Vec<_>>()
+            options
+                .iter()
+                .map(|(c2, _)| c2.queries.clone())
+                .collect::<Vec<_>>()
         );
         // every option shares among at least two queries
         assert!(options.iter().all(|(cand, _)| cand.queries.len() > 1));
@@ -249,7 +260,10 @@ mod tests {
     fn option_caps_are_respected() {
         let mut c = Catalog::new();
         let (w, g) = figure_4_graph(&mut c);
-        let cfg = ExpansionConfig { max_options_per_candidate: 2, ..Default::default() };
+        let cfg = ExpansionConfig {
+            max_options_per_candidate: 2,
+            ..Default::default()
+        };
         let mut benefit = per_query_benefit(25.0, 4);
         let options = expand_candidate(&w, &g, 0, &mut benefit, &cfg);
         assert!(options.len() <= 2);
@@ -266,8 +280,7 @@ mod tests {
     fn conflict_count_on_figure_4() {
         let mut c = Catalog::new();
         let (w, g) = figure_4_graph(&mut c);
-        let cands: Vec<PlanCandidate> =
-            g.vertices().iter().map(|v| v.candidate.clone()).collect();
+        let cands: Vec<PlanCandidate> = g.vertices().iter().map(|v| v.candidate.clone()).collect();
         assert_eq!(conflict_count(&w, &cands), 10);
     }
 }

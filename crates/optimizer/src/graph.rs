@@ -212,8 +212,9 @@ impl SharonGraph {
     /// mapping.
     pub fn subgraph(&self, keep: &[usize]) -> (SharonGraph, Vec<usize>) {
         let keep_set: BTreeSet<usize> = keep.iter().copied().collect();
-        let remove: BTreeSet<usize> =
-            (0..self.verts.len()).filter(|v| !keep_set.contains(v)).collect();
+        let remove: BTreeSet<usize> = (0..self.verts.len())
+            .filter(|v| !keep_set.contains(v))
+            .collect();
         let (g, mapping) = self.remove_vertices(&remove);
         let mut new_to_old = vec![0usize; g.len()];
         for (old, new) in mapping.iter().enumerate() {
@@ -303,7 +304,10 @@ pub fn figure_4_graph(catalog: &mut Catalog) -> (Workload, SharonGraph) {
     let items = vec![
         (cand(catalog, &["OakSt", "MainSt"], &[1, 2, 3, 4]), 25.0), // p1
         (cand(catalog, &["ParkAve", "OakSt"], &[3, 4]), 9.0),       // p2
-        (cand(catalog, &["ParkAve", "OakSt", "MainSt"], &[3, 4]), 12.0), // p3
+        (
+            cand(catalog, &["ParkAve", "OakSt", "MainSt"], &[3, 4]),
+            12.0,
+        ), // p3
         (cand(catalog, &["MainSt", "WestSt"], &[2, 4]), 15.0),      // p4
         (cand(catalog, &["OakSt", "MainSt", "WestSt"], &[2, 4]), 20.0), // p5
         (cand(catalog, &["MainSt", "StateSt"], &[1, 5]), 8.0),      // p6

@@ -72,8 +72,8 @@ mod tests {
     fn guaranteed_weight_matches_example_7() {
         let mut c = Catalog::new();
         let (_, g) = figure_4_graph(&mut c);
-        let expected = 25.0 / 6.0 + 9.0 / 4.0 + 12.0 / 5.0 + 15.0 / 4.0
-            + 20.0 / 5.0 + 8.0 / 2.0 + 18.0 / 1.0;
+        let expected =
+            25.0 / 6.0 + 9.0 / 4.0 + 12.0 / 5.0 + 15.0 / 4.0 + 20.0 / 5.0 + 8.0 / 2.0 + 18.0 / 1.0;
         let got = guaranteed_weight(&g);
         assert!((got - expected).abs() < 1e-12);
         assert!((got - 38.566).abs() < 1e-2, "paper: ≈ 38.57, got {got}");

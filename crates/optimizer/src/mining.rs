@@ -102,11 +102,7 @@ mod tests {
             "p3"
         );
         assert_eq!(get(&["MainSt", "WestSt"]), Some(qs(&[2, 4])), "p4");
-        assert_eq!(
-            get(&["OakSt", "MainSt", "WestSt"]),
-            Some(qs(&[2, 4])),
-            "p5"
-        );
+        assert_eq!(get(&["OakSt", "MainSt", "WestSt"]), Some(qs(&[2, 4])), "p5");
         assert_eq!(get(&["MainSt", "StateSt"]), Some(qs(&[1, 5])), "p6");
         assert_eq!(get(&["ElmSt", "ParkAve"]), Some(qs(&[6, 7])), "p7");
         // exactly the seven candidates of Table 1

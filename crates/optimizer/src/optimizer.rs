@@ -92,7 +92,10 @@ impl OptimizeOutcome {
 fn split_by_signature(
     workload: &Workload,
     mined: CandidateMap,
-) -> Vec<(sharon_query::Pattern, std::collections::BTreeSet<sharon_query::QueryId>)> {
+) -> Vec<(
+    sharon_query::Pattern,
+    std::collections::BTreeSet<sharon_query::QueryId>,
+)> {
     let mut out = Vec::new();
     for (pattern, queries) in mined {
         let mut by_sig: BTreeMap<usize, std::collections::BTreeSet<_>> = BTreeMap::new();
@@ -197,9 +200,18 @@ pub fn optimize_greedy(workload: &Workload, rates: &RateMap) -> OptimizeOutcome 
         plan,
         score,
         phases: vec![
-            Phase { name: "pattern mining", elapsed: mine_time },
-            Phase { name: "graph construction", elapsed: build_time },
-            Phase { name: "GWMIN", elapsed: t.elapsed() },
+            Phase {
+                name: "pattern mining",
+                elapsed: mine_time,
+            },
+            Phase {
+                name: "graph construction",
+                elapsed: build_time,
+            },
+            Phase {
+                name: "GWMIN",
+                elapsed: t.elapsed(),
+            },
         ],
         stats: OptimizeStats {
             candidates_mined: n_mined,
@@ -221,9 +233,10 @@ fn expanded(
     }
     let t = Instant::now();
     let model = CostModel::new(workload, rates);
-    let mut benefit = |p: &sharon_query::Pattern, qs: &std::collections::BTreeSet<sharon_query::QueryId>| {
-        model.bvalue(p, qs)
-    };
+    let mut benefit =
+        |p: &sharon_query::Pattern, qs: &std::collections::BTreeSet<sharon_query::QueryId>| {
+            model.bvalue(p, qs)
+        };
     let g = expand_graph(workload, graph, &mut benefit, &config.expansion);
     (g, t.elapsed())
 }
@@ -251,10 +264,22 @@ pub fn optimize_exhaustive(
         plan,
         score: found.score,
         phases: vec![
-            Phase { name: "pattern mining", elapsed: mine_time },
-            Phase { name: "graph construction", elapsed: build_time },
-            Phase { name: "graph expansion", elapsed: expand_time },
-            Phase { name: "exhaustive search", elapsed: t.elapsed() },
+            Phase {
+                name: "pattern mining",
+                elapsed: mine_time,
+            },
+            Phase {
+                name: "graph construction",
+                elapsed: build_time,
+            },
+            Phase {
+                name: "graph expansion",
+                elapsed: expand_time,
+            },
+            Phase {
+                name: "exhaustive search",
+                elapsed: t.elapsed(),
+            },
         ],
         stats: OptimizeStats {
             candidates_mined: n_mined,
@@ -310,8 +335,7 @@ pub fn optimize_sharon(
         found.score += comp_score;
         found.stats.plans_considered += comp_found.stats.plans_considered;
         found.stats.levels = found.stats.levels.max(comp_found.stats.levels);
-        found.stats.widest_level =
-            found.stats.widest_level.max(comp_found.stats.widest_level);
+        found.stats.widest_level = found.stats.widest_level.max(comp_found.stats.widest_level);
     }
     let mut candidates: Vec<PlanCandidate> = found
         .vertices
@@ -340,11 +364,26 @@ pub fn optimize_sharon(
         plan: SharingPlan::new(candidates),
         score,
         phases: vec![
-            Phase { name: "pattern mining", elapsed: mine_time },
-            Phase { name: "graph construction", elapsed: build_time },
-            Phase { name: "graph expansion", elapsed: expand_time },
-            Phase { name: "graph reduction", elapsed: reduce_time },
-            Phase { name: "plan finder", elapsed: t.elapsed() },
+            Phase {
+                name: "pattern mining",
+                elapsed: mine_time,
+            },
+            Phase {
+                name: "graph construction",
+                elapsed: build_time,
+            },
+            Phase {
+                name: "graph expansion",
+                elapsed: expand_time,
+            },
+            Phase {
+                name: "graph reduction",
+                elapsed: reduce_time,
+            },
+            Phase {
+                name: "plan finder",
+                elapsed: t.elapsed(),
+            },
         ],
         stats: OptimizeStats {
             candidates_mined: n_mined,
@@ -454,7 +493,10 @@ mod tests {
     fn skip_expansion_reproduces_original_graph_plan() {
         let (_, w) = traffic();
         let rates = RateMap::uniform(100.0);
-        let cfg = OptimizerConfig { skip_expansion: true, ..Default::default() };
+        let cfg = OptimizerConfig {
+            skip_expansion: true,
+            ..Default::default()
+        };
         let o = optimize_sharon(&w, &rates, &cfg);
         assert_eq!(o.stats.expanded_vertices, o.stats.graph_vertices);
         o.plan.validate(&w).unwrap();

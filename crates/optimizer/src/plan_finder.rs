@@ -107,7 +107,11 @@ pub fn find_optimal_plan(graph: &SharonGraph, budget: Option<Duration>) -> Found
         level = next_level(graph, &level);
     }
 
-    FoundPlan { vertices: best, score: best_score, stats }
+    FoundPlan {
+        vertices: best,
+        score: best_score,
+        stats,
+    }
 }
 
 /// Exhaustively enumerate *all* subsets (valid and invalid) and return the
@@ -122,7 +126,11 @@ pub fn find_exhaustive(graph: &SharonGraph, budget: Option<Duration>) -> FoundPl
     if n >= 64 {
         // 2^n is not even representable: report a did-not-finish search
         stats.timed_out = true;
-        return FoundPlan { vertices: best, score: best_score, stats };
+        return FoundPlan {
+            vertices: best,
+            score: best_score,
+            stats,
+        };
     }
     'outer: for mask in 0u64..(1u64 << n) {
         stats.plans_considered += 1;
@@ -154,7 +162,11 @@ pub fn find_exhaustive(graph: &SharonGraph, budget: Option<Duration>) -> FoundPl
             best = members;
         }
     }
-    FoundPlan { vertices: best, score: best_score, stats }
+    FoundPlan {
+        vertices: best,
+        score: best_score,
+        stats,
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,11 @@ use sharon_types::{Catalog, EventTypeId, WindowSpec};
 /// A random small workload of contiguous-run patterns over a circular
 /// alphabet (guaranteeing overlap and thus conflicts).
 fn workload_strategy() -> impl Strategy<Value = Workload> {
-    (3usize..=7, prop::collection::vec((0usize..7, 2usize..=4), 2..=6)).prop_map(
-        |(n_types, specs)| {
+    (
+        3usize..=7,
+        prop::collection::vec((0usize..7, 2usize..=4), 2..=6),
+    )
+        .prop_map(|(n_types, specs)| {
             Workload::from_queries(specs.into_iter().map(|(offset, len)| {
                 let len = len.min(n_types);
                 let types: Vec<EventTypeId> = (0..len)
@@ -37,8 +40,7 @@ fn workload_strategy() -> impl Strategy<Value = Workload> {
                     WindowSpec::paper_traffic(),
                 )
             }))
-        },
-    )
+        })
 }
 
 /// Build a graph over the workload's mined candidates with random

@@ -141,10 +141,7 @@ mod tests {
         let t = EventTypeId(4);
         assert_eq!(AggFunc::CountStar.target_type(), None);
         assert_eq!(AggFunc::Count(t).target_type(), Some(t));
-        assert_eq!(
-            AggFunc::Sum(t, "price".into()).target_attr(),
-            Some("price")
-        );
+        assert_eq!(AggFunc::Sum(t, "price".into()).target_attr(), Some("price"));
         assert_eq!(AggFunc::Count(t).target_attr(), None);
         assert!(AggFunc::CountStar.is_count_like());
         assert!(AggFunc::Count(t).is_count_like());

@@ -103,7 +103,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -223,7 +226,11 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        Ok(Parser { tokens, cursor: 0, catalog })
+        Ok(Parser {
+            tokens,
+            cursor: 0,
+            catalog,
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -243,7 +250,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
@@ -351,9 +361,7 @@ impl<'a> Parser<'a> {
                         Tok::Int(i) => Value::Int(i),
                         Tok::Float(x) => Value::Float(x),
                         Tok::Str(s) => Value::from(s),
-                        other => {
-                            return Err(self.err(format!("expected literal, found {other}")))
-                        }
+                        other => return Err(self.err(format!("expected literal, found {other}"))),
                     };
                     let ty = self.catalog.register(&ty_name);
                     predicates.push(Predicate::new(ty, attr, op, value));
@@ -456,7 +464,10 @@ mod tests {
         .unwrap();
         assert_eq!(q.agg, AggFunc::CountStar);
         assert_eq!(q.pattern.len(), 3);
-        assert_eq!(q.pattern.display(&c).to_string(), "(OakSt, MainSt, StateSt)");
+        assert_eq!(
+            q.pattern.display(&c).to_string(),
+            "(OakSt, MainSt, StateSt)"
+        );
         assert_eq!(q.group_by, vec!["vehicle".to_string()]);
         assert_eq!(q.window, WindowSpec::paper_traffic());
         assert!(q.predicates.is_empty());
@@ -540,8 +551,11 @@ mod tests {
     #[test]
     fn error_reporting() {
         let mut c = Catalog::new();
-        let e = parse_query(&mut c, "RETURN BOGUS(*) PATTERN SEQ(A) WITHIN 1 s SLIDE 1 s")
-            .unwrap_err();
+        let e = parse_query(
+            &mut c,
+            "RETURN BOGUS(*) PATTERN SEQ(A) WITHIN 1 s SLIDE 1 s",
+        )
+        .unwrap_err();
         assert!(e.message.contains("unknown aggregation"), "{e}");
 
         let e = parse_query(&mut c, "RETURN COUNT(*)").unwrap_err();

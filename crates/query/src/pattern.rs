@@ -22,7 +22,9 @@ impl Pattern {
     pub fn new(types: impl Into<Vec<EventTypeId>>) -> Self {
         let types: Vec<EventTypeId> = types.into();
         assert!(!types.is_empty(), "a pattern must have length >= 1");
-        Pattern { types: types.into_boxed_slice() }
+        Pattern {
+            types: types.into_boxed_slice(),
+        }
     }
 
     /// Build a pattern from type names, registering them in `catalog`.
@@ -127,8 +129,7 @@ impl Pattern {
     /// algorithm (Appendix A, Algorithm 7).
     pub fn contiguous_subpatterns(&self) -> impl Iterator<Item = (usize, Pattern)> + '_ {
         (0..self.len()).flat_map(move |start| {
-            (start + 2..=self.len())
-                .map(move |end| (start, self.subpattern(start..end)))
+            (start + 2..=self.len()).map(move |end| (start, self.subpattern(start..end)))
         })
     }
 
@@ -226,11 +227,7 @@ mod tests {
         let subs: Vec<(usize, Pattern)> = p.contiguous_subpatterns().collect();
         assert_eq!(
             subs,
-            vec![
-                (0, pat(&[1, 2])),
-                (0, pat(&[1, 2, 3])),
-                (1, pat(&[2, 3])),
-            ]
+            vec![(0, pat(&[1, 2])), (0, pat(&[1, 2, 3])), (1, pat(&[2, 3])),]
         );
         // a length-2 pattern has exactly one sub-pattern of length > 1
         assert_eq!(pat(&[1, 2]).contiguous_subpatterns().count(), 1);

@@ -32,7 +32,10 @@ pub struct PlanCandidate {
 impl PlanCandidate {
     /// Construct a candidate.
     pub fn new(pattern: Pattern, queries: impl IntoIterator<Item = QueryId>) -> Self {
-        PlanCandidate { pattern, queries: queries.into_iter().collect() }
+        PlanCandidate {
+            pattern,
+            queries: queries.into_iter().collect(),
+        }
     }
 }
 
@@ -105,12 +108,16 @@ impl SharingPlan {
     /// The trivial plan with no sharing — the executor degenerates to the
     /// Non-Shared method of Section 3.2 (A-Seq per query).
     pub fn non_shared() -> Self {
-        SharingPlan { candidates: Vec::new() }
+        SharingPlan {
+            candidates: Vec::new(),
+        }
     }
 
     /// Build a plan from candidates.
     pub fn new(candidates: impl IntoIterator<Item = PlanCandidate>) -> Self {
-        SharingPlan { candidates: candidates.into_iter().collect() }
+        SharingPlan {
+            candidates: candidates.into_iter().collect(),
+        }
     }
 
     /// True when the plan shares nothing.
@@ -226,13 +233,13 @@ mod tests {
             )
         };
         Workload::from_queries([
-            mk(catalog, &["OakSt", "MainSt", "StateSt"]),            // q1
-            mk(catalog, &["OakSt", "MainSt", "WestSt"]),             // q2
-            mk(catalog, &["ParkAve", "OakSt", "MainSt"]),            // q3
-            mk(catalog, &["ParkAve", "OakSt", "MainSt", "WestSt"]),  // q4
-            mk(catalog, &["MainSt", "StateSt"]),                     // q5
-            mk(catalog, &["ElmSt", "ParkAve", "OakSt"]),             // q6
-            mk(catalog, &["ElmSt", "ParkAve"]),                      // q7
+            mk(catalog, &["OakSt", "MainSt", "StateSt"]), // q1
+            mk(catalog, &["OakSt", "MainSt", "WestSt"]),  // q2
+            mk(catalog, &["ParkAve", "OakSt", "MainSt"]), // q3
+            mk(catalog, &["ParkAve", "OakSt", "MainSt", "WestSt"]), // q4
+            mk(catalog, &["MainSt", "StateSt"]),          // q5
+            mk(catalog, &["ElmSt", "ParkAve", "OakSt"]),  // q6
+            mk(catalog, &["ElmSt", "ParkAve"]),           // q7
         ])
     }
 

@@ -80,7 +80,12 @@ pub struct Predicate {
 impl Predicate {
     /// Construct a predicate.
     pub fn new(ty: EventTypeId, attr: impl Into<String>, op: CmpOp, value: Value) -> Self {
-        Predicate { ty, attr: attr.into(), op, value }
+        Predicate {
+            ty,
+            attr: attr.into(),
+            op,
+            value,
+        }
     }
 
     /// Evaluate against `event`, resolving the attribute by name through

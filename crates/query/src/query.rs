@@ -81,11 +81,7 @@ impl Query {
         SharingSignature {
             window: self.window,
             group_by: self.group_by.clone(),
-            predicates: self
-                .predicates
-                .iter()
-                .map(|p| format!("{:?}", p))
-                .collect(),
+            predicates: self.predicates.iter().map(|p| format!("{:?}", p)).collect(),
             agg_target: self.agg.target_type().map(|t| t.0),
             agg_attr: self.agg.target_attr().map(str::to_owned),
             count_like: self.agg.is_count_like(),

@@ -20,7 +20,9 @@ pub struct Workload {
 impl Workload {
     /// An empty workload.
     pub fn new() -> Self {
-        Workload { queries: Vec::new() }
+        Workload {
+            queries: Vec::new(),
+        }
     }
 
     /// Build from queries; each query's `id` is rewritten to its index.
@@ -147,7 +149,9 @@ mod tests {
         let qs = w.queries_containing(&p1);
         assert_eq!(
             qs,
-            [QueryId(0), QueryId(1), QueryId(2), QueryId(3)].into_iter().collect()
+            [QueryId(0), QueryId(1), QueryId(2), QueryId(3)]
+                .into_iter()
+                .collect()
         );
         let p6 = Pattern::from_names(&mut c, ["MainSt", "StateSt"]);
         assert_eq!(

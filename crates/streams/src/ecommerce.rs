@@ -40,7 +40,14 @@ impl Default for EcommerceConfig {
 /// The item name for index `i` — the first few match the paper's purchase
 /// monitoring example (Figure 2) so q8–q11 bind directly.
 pub fn item_name(i: usize) -> String {
-    const NAMED: [&str; 6] = ["Laptop", "Case", "Adapter", "KeyboardProtector", "iPhone", "ScreenProtector"];
+    const NAMED: [&str; 6] = [
+        "Laptop",
+        "Case",
+        "Adapter",
+        "KeyboardProtector",
+        "iPhone",
+        "ScreenProtector",
+    ];
     match NAMED.get(i) {
         Some(n) => (*n).to_string(),
         None => format!("Item{i}"),
@@ -85,7 +92,11 @@ mod tests {
 
     #[test]
     fn respects_configured_rate() {
-        let cfg = EcommerceConfig { n_events: 30_000, events_per_sec: 3000, ..Default::default() };
+        let cfg = EcommerceConfig {
+            n_events: 30_000,
+            events_per_sec: 3000,
+            ..Default::default()
+        };
         let mut c = Catalog::new();
         let events = generate(&mut c, &cfg);
         let span_secs = events.last().unwrap().time.millis() as f64 / 1000.0;
@@ -100,12 +111,18 @@ mod tests {
         assert!(c.lookup("Laptop").is_some());
         assert!(c.lookup("Case").is_some());
         assert!(c.lookup("Item9").is_some());
-        assert!(c.schema(c.lookup("Laptop").unwrap()).attr("price").is_some());
+        assert!(c
+            .schema(c.lookup("Laptop").unwrap())
+            .attr("price")
+            .is_some());
     }
 
     #[test]
     fn deterministic_and_ordered() {
-        let cfg = EcommerceConfig { n_events: 5000, ..Default::default() };
+        let cfg = EcommerceConfig {
+            n_events: 5000,
+            ..Default::default()
+        };
         let mut c1 = Catalog::new();
         let e1 = generate(&mut c1, &cfg);
         let mut c2 = Catalog::new();
@@ -116,15 +133,16 @@ mod tests {
 
     #[test]
     fn covers_all_items_and_customers() {
-        let cfg = EcommerceConfig { n_events: 20_000, ..Default::default() };
+        let cfg = EcommerceConfig {
+            n_events: 20_000,
+            ..Default::default()
+        };
         let mut c = Catalog::new();
         let events = generate(&mut c, &cfg);
         let types: std::collections::BTreeSet<u32> = events.iter().map(|e| e.ty.0).collect();
         assert_eq!(types.len(), 50);
-        let customers: std::collections::BTreeSet<i64> = events
-            .iter()
-            .filter_map(|e| e.attrs[0].as_i64())
-            .collect();
+        let customers: std::collections::BTreeSet<i64> =
+            events.iter().filter_map(|e| e.attrs[0].as_i64()).collect();
         assert_eq!(customers.len(), 20);
     }
 }

@@ -49,10 +49,7 @@ impl Default for LinearRoadConfig {
 pub fn register_segments(catalog: &mut Catalog, n_segments: usize) -> Vec<EventTypeId> {
     (0..n_segments)
         .map(|i| {
-            catalog.register_with_schema(
-                &format!("Seg{i}"),
-                Schema::new(["car", "speed", "pos"]),
-            )
+            catalog.register_with_schema(&format!("Seg{i}"), Schema::new(["car", "speed", "pos"]))
         })
         .collect()
 }
@@ -152,7 +149,11 @@ mod tests {
 
     #[test]
     fn time_ordered_and_deterministic() {
-        let cfg = LinearRoadConfig { duration_secs: 20, trip_segments: 60, ..Default::default() };
+        let cfg = LinearRoadConfig {
+            duration_secs: 20,
+            trip_segments: 60,
+            ..Default::default()
+        };
         let mut c1 = Catalog::new();
         let e1 = generate(&mut c1, &cfg);
         let mut c2 = Catalog::new();

@@ -41,6 +41,23 @@ impl Default for TaxiConfig {
     }
 }
 
+impl TaxiConfig {
+    /// A high-group-cardinality variant: many concurrent vehicles, so
+    /// `GROUP BY vehicle` state spreads over many independent partitions.
+    /// This is the shape the sharded runtime is built for — used by the
+    /// throughput benchmarks and the sharded determinism tests.
+    pub fn high_cardinality(n_events: usize, n_vehicles: usize) -> Self {
+        TaxiConfig {
+            n_streets: 7,
+            n_vehicles,
+            trip_len: 5,
+            n_events,
+            mean_interarrival_ms: 1,
+            seed: 7,
+        }
+    }
+}
+
 /// The street name for index `i` — the first few match the paper's
 /// running example so workloads like q1–q7 of Figure 1 bind to this
 /// stream directly.
@@ -58,9 +75,7 @@ pub fn street_name(i: usize) -> String {
 /// return their ids in street order.
 pub fn register_streets(catalog: &mut Catalog, n_streets: usize) -> Vec<EventTypeId> {
     (0..n_streets)
-        .map(|i| {
-            catalog.register_with_schema(&street_name(i), Schema::new(["vehicle", "speed"]))
-        })
+        .map(|i| catalog.register_with_schema(&street_name(i), Schema::new(["vehicle", "speed"])))
         .collect()
 }
 
@@ -104,7 +119,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_time_ordered() {
-        let cfg = TaxiConfig { n_events: 1000, ..Default::default() };
+        let cfg = TaxiConfig {
+            n_events: 1000,
+            ..Default::default()
+        };
         let mut c1 = Catalog::new();
         let e1 = generate(&mut c1, &cfg);
         let mut c2 = Catalog::new();
@@ -148,7 +166,13 @@ mod tests {
     #[test]
     fn events_carry_vehicle_and_speed() {
         let mut c = Catalog::new();
-        let events = generate(&mut c, &TaxiConfig { n_events: 10, ..Default::default() });
+        let events = generate(
+            &mut c,
+            &TaxiConfig {
+                n_events: 10,
+                ..Default::default()
+            },
+        );
         for e in &events {
             assert!(matches!(e.attrs[0], Value::Int(_)));
             assert!(matches!(e.attrs[1], Value::Float(_)));

@@ -37,10 +37,12 @@ impl TypeTable {
                 .group_by
                 .iter()
                 .map(|name| {
-                    schema.attr(name).ok_or_else(|| CompileError::GroupAttrMissing {
-                        ty: catalog.name(t).to_string(),
-                        attr: name.clone(),
-                    })
+                    schema
+                        .attr(name)
+                        .ok_or_else(|| CompileError::GroupAttrMissing {
+                            ty: catalog.name(t).to_string(),
+                            attr: name.clone(),
+                        })
                 })
                 .collect::<Result<_, _>>()?;
             group_attrs[t.index()] = ids.into_boxed_slice();
@@ -56,20 +58,25 @@ impl TypeTable {
                 predicates[p.ty.index()].push((attr, p.op, p.value.clone()));
             }
         }
-        let contrib_target = match (query.agg.target_type(), query.agg.target_attr()) {
-            (Some(t), Some(name)) => {
-                let id = catalog.schema(t).attr(name).ok_or_else(|| {
-                    CompileError::AggAttrMissing {
-                        ty: catalog.name(t).to_string(),
-                        attr: name.to_string(),
-                    }
-                })?;
-                Some((t, Some(id)))
-            }
-            (Some(t), None) => Some((t, None)),
-            (None, _) => None,
-        };
-        Ok(TypeTable { group_attrs, predicates, contrib_target })
+        let contrib_target =
+            match (query.agg.target_type(), query.agg.target_attr()) {
+                (Some(t), Some(name)) => {
+                    let id = catalog.schema(t).attr(name).ok_or_else(|| {
+                        CompileError::AggAttrMissing {
+                            ty: catalog.name(t).to_string(),
+                            attr: name.to_string(),
+                        }
+                    })?;
+                    Some((t, Some(id)))
+                }
+                (Some(t), None) => Some((t, None)),
+                (None, _) => None,
+            };
+        Ok(TypeTable {
+            group_attrs,
+            predicates,
+            contrib_target,
+        })
     }
 
     /// Evaluate this table's predicates on `e` (vacuously true for

@@ -21,7 +21,9 @@ pub struct SeqBuffers {
 impl SeqBuffers {
     /// Buffers for a pattern of `len` positions.
     pub fn new(len: usize) -> Self {
-        SeqBuffers { positions: (0..len).map(|_| VecDeque::new()).collect() }
+        SeqBuffers {
+            positions: (0..len).map(|_| VecDeque::new()).collect(),
+        }
     }
 
     /// Number of pattern positions.
@@ -43,7 +45,7 @@ impl SeqBuffers {
     /// Record an event at position `pos`.
     pub fn push(&mut self, pos: usize, time: Timestamp, c: Contribution) {
         debug_assert!(
-            self.positions[pos].back().map_or(true, |(t, _)| *t <= time),
+            self.positions[pos].back().is_none_or(|(t, _)| *t <= time),
             "events must arrive in timestamp order"
         );
         self.positions[pos].push_back((time, c));

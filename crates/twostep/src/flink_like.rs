@@ -36,7 +36,13 @@ struct QueryState<A> {
 
 impl<A: Aggregate> QueryState<A> {
     fn new(catalog: &Catalog, q: &Query) -> Result<Self, CompileError> {
-        let max_ty = q.pattern.types().iter().map(|t| t.index()).max().unwrap_or(0);
+        let max_ty = q
+            .pattern
+            .types()
+            .iter()
+            .map(|t| t.index())
+            .max()
+            .unwrap_or(0);
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); max_ty + 1];
         for (i, t) in q.pattern.types().iter().enumerate() {
             positions[t.index()].push(i);
@@ -90,7 +96,12 @@ impl<A: Aggregate> QueryState<A> {
         // close finished windows
         let close_seq = spec.first_start_covering(e.time).millis() / slide;
         for (seq, v) in group.acc.drain_before(close_seq) {
-            results.emit(self.id, key.clone(), Timestamp(seq * slide), v.output(self.output));
+            results.emit(
+                self.id,
+                key.clone(),
+                Timestamp(seq * slide),
+                v.output(self.output),
+            );
         }
 
         let c = self.table.contribution(e);
@@ -98,12 +109,14 @@ impl<A: Aggregate> QueryState<A> {
         // END role first: construct every sequence this event completes
         if positions.contains(&(self.pattern_len - 1)) {
             let acc = &mut group.acc;
-            let counted = group.buffers.enumerate_ending::<A>(e.time, c, |start, cell| {
-                let hi = start.millis() / slide;
-                if hi >= min_seq {
-                    acc.add_range(e.time, min_seq, hi, cell);
-                }
-            });
+            let counted = group
+                .buffers
+                .enumerate_ending::<A>(e.time, c, |start, cell| {
+                    let hi = start.millis() / slide;
+                    if hi >= min_seq {
+                        acc.add_range(e.time, min_seq, hi, cell);
+                    }
+                });
             self.sequences_constructed += counted;
         }
         // buffer the event at its non-END positions
@@ -118,13 +131,21 @@ impl<A: Aggregate> QueryState<A> {
         for (key, group) in self.groups.iter_mut() {
             let slide = self.window.slide.millis();
             for (seq, v) in group.acc.drain_before(u64::MAX) {
-                results.emit(self.id, key.clone(), Timestamp(seq * slide), v.output(self.output));
+                results.emit(
+                    self.id,
+                    key.clone(),
+                    Timestamp(seq * slide),
+                    v.output(self.output),
+                );
             }
         }
     }
 
     fn buffered_events(&self) -> usize {
-        self.groups.values().map(|g| g.buffers.buffered_events()).sum()
+        self.groups
+            .values()
+            .map(|g| g.buffers.buffered_events())
+            .sum()
     }
 }
 
@@ -164,7 +185,11 @@ impl FlinkLike {
                     .collect::<Result<_, _>>()?,
             )
         };
-        Ok(FlinkLike { kernel, results: ExecutorResults::new(), last_time: Timestamp::ZERO })
+        Ok(FlinkLike {
+            kernel,
+            results: ExecutorResults::new(),
+            last_time: Timestamp::ZERO,
+        })
     }
 
     /// Process one event through every query.
@@ -279,8 +304,14 @@ mod tests {
         let b = c.lookup("B").unwrap();
         let cc = c.lookup("C").unwrap();
         let events = vec![
-            ev(a, 1), ev(b, 2), ev(cc, 3), ev(a, 4), ev(b, 5),
-            ev(cc, 6), ev(b, 8), ev(cc, 11),
+            ev(a, 1),
+            ev(b, 2),
+            ev(cc, 3),
+            ev(a, 4),
+            ev(b, 5),
+            ev(cc, 6),
+            ev(b, 8),
+            ev(cc, 11),
         ];
         let mut fl = FlinkLike::new(&c, &w).unwrap();
         let mut online = Executor::non_shared(&c, &w).unwrap();

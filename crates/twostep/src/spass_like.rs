@@ -77,7 +77,11 @@ fn output_kind(q: &Query) -> OutputKind {
 }
 
 impl<A: Aggregate> Partition<A> {
-    fn new(catalog: &Catalog, queries: &[&Query], plan: &SharingPlan) -> Result<Self, CompileError> {
+    fn new(
+        catalog: &Catalog,
+        queries: &[&Query],
+        plan: &SharingPlan,
+    ) -> Result<Self, CompileError> {
         let window = queries[0].window;
         let table = TypeTable::build(catalog, queries[0])?;
         // also resolve group/pred/contrib tables of remaining queries so all
@@ -150,10 +154,17 @@ impl<A: Aggregate> Partition<A> {
                 for (i, t) in seg.pattern.types().iter().enumerate() {
                     positions[t.index()].push(i);
                 }
-                segs.push(SegDef { len: seg.pattern.len(), positions });
+                segs.push(SegDef {
+                    len: seg.pattern.len(),
+                    positions,
+                });
                 stages.push(idx);
             }
-            qdefs.push(QueryDef { id: q.id, output: output_kind(q), stages });
+            qdefs.push(QueryDef {
+                id: q.id,
+                output: output_kind(q),
+                stages,
+            });
         }
         let mut finalists = vec![Vec::new(); segs.len()];
         for (qi, q) in qdefs.iter().enumerate() {
@@ -181,16 +192,19 @@ impl<A: Aggregate> Partition<A> {
         let spec = self.window;
         let slide = spec.slide.millis();
         let segs = &self.segs;
-        let group = self.groups.entry(key.clone()).or_insert_with(|| GroupState {
-            segs: segs
-                .iter()
-                .map(|s| SegGroupState {
-                    buffers: SeqBuffers::new(s.len),
-                    matches: VecDeque::new(),
-                })
-                .collect(),
-            accs: self.queries.iter().map(|_| WinVec::new()).collect(),
-        });
+        let group = self
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| GroupState {
+                segs: segs
+                    .iter()
+                    .map(|s| SegGroupState {
+                        buffers: SeqBuffers::new(s.len),
+                        matches: VecDeque::new(),
+                    })
+                    .collect(),
+                accs: self.queries.iter().map(|_| WinVec::new()).collect(),
+            });
 
         // expire + close
         if e.time.millis() >= spec.within.millis() {
@@ -217,8 +231,7 @@ impl<A: Aggregate> Partition<A> {
         let c = self.table.contribution(e);
         let GroupState { segs: gsegs, accs } = group;
         for (si, seg) in self.segs.iter().enumerate() {
-            let Some(positions) = seg.positions.get(e.ty.index()).filter(|p| !p.is_empty())
-            else {
+            let Some(positions) = seg.positions.get(e.ty.index()).filter(|p| !p.is_empty()) else {
                 continue;
             };
             // shared construction: new matches of this segment ending at e
@@ -228,7 +241,11 @@ impl<A: Aggregate> Partition<A> {
                     gsegs[si]
                         .buffers
                         .enumerate_ending::<A>(e.time, c, |start, cell| {
-                            new_matches.push(Match { start, end: e.time, cell });
+                            new_matches.push(Match {
+                                start,
+                                end: e.time,
+                                cell,
+                            });
                         });
                 self.sequences_constructed += constructed;
                 // unshared aggregation: each query joins the new final
@@ -277,7 +294,12 @@ impl<A: Aggregate> Partition<A> {
     fn materialized_matches(&self) -> usize {
         self.groups
             .values()
-            .map(|g| g.segs.iter().map(|s| s.matches.len() + s.buffers.buffered_events()).sum::<usize>())
+            .map(|g| {
+                g.segs
+                    .iter()
+                    .map(|s| s.matches.len() + s.buffers.buffered_events())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -299,7 +321,9 @@ fn join_backward<A: Aggregate>(
         count: &mut u64,
         emit: &mut impl FnMut(Timestamp, A),
     ) {
-        let (&stage, rest) = stages.split_last().expect("rec requires at least one stage");
+        let (&stage, rest) = stages
+            .split_last()
+            .expect("rec requires at least one stage");
         // matches are appended in END-time order, so we can stop at the
         // first match that no longer precedes `before`
         for m in segs[stage].matches.iter() {
@@ -320,7 +344,14 @@ fn join_backward<A: Aggregate>(
         return 1;
     }
     let mut count = 0;
-    rec(segs, prefix_stages, last.start, last.cell, &mut count, &mut emit);
+    rec(
+        segs,
+        prefix_stages,
+        last.start,
+        last.cell,
+        &mut count,
+        &mut emit,
+    );
     count
 }
 
@@ -360,9 +391,9 @@ impl SpassLike {
             }
         }
         for cand in &plan.candidates {
-            let ok = parts.iter().any(|(qs, _)| {
-                cand.queries.iter().all(|id| qs.iter().any(|q| q.id == *id))
-            });
+            let ok = parts
+                .iter()
+                .any(|(qs, _)| cand.queries.iter().all(|id| qs.iter().any(|q| q.id == *id)));
             if !ok {
                 return Err(CompileError::CandidateSpansPartitions {
                     pattern: cand.pattern.display(catalog).to_string(),
@@ -385,7 +416,11 @@ impl SpassLike {
                     .collect::<Result<_, _>>()?,
             )
         };
-        Ok(SpassLike { kernel, results: ExecutorResults::new(), last_time: Timestamp::ZERO })
+        Ok(SpassLike {
+            kernel,
+            results: ExecutorResults::new(),
+            last_time: Timestamp::ZERO,
+        })
     }
 
     /// Process one event.
@@ -483,8 +518,17 @@ mod tests {
         let b = c.lookup("B").unwrap();
         let z = c.lookup("Z").unwrap();
         let events = vec![
-            ev(x, 1), ev(y, 2), ev(a, 3), ev(b, 4), ev(a, 5),
-            ev(b, 6), ev(z, 7), ev(x, 9), ev(a, 10), ev(b, 12), ev(z, 14),
+            ev(x, 1),
+            ev(y, 2),
+            ev(a, 3),
+            ev(b, 4),
+            ev(a, 5),
+            ev(b, 6),
+            ev(z, 7),
+            ev(x, 9),
+            ev(a, 10),
+            ev(b, 12),
+            ev(z, 14),
         ];
         let mut sp = SpassLike::new(&c, &w, &plan).unwrap();
         let mut online = Executor::new(&c, &w, &plan).unwrap();
@@ -519,7 +563,10 @@ mod tests {
         }
         // (a1,b2), (a1,b4), (a3,b4) = 3 shared matches
         assert_eq!(sp.sequences_constructed(), 3);
-        assert!(sp.materialized_matches() >= 3, "match sets are materialized");
+        assert!(
+            sp.materialized_matches() >= 3,
+            "match sets are materialized"
+        );
         let r = sp.finish();
         assert!(r.is_empty());
     }

@@ -55,7 +55,9 @@ pub struct Schema {
 impl Schema {
     /// An empty schema (events with no attributes beyond type and time).
     pub fn empty() -> Self {
-        Schema { attr_names: Vec::new() }
+        Schema {
+            attr_names: Vec::new(),
+        }
     }
 
     /// Build a schema from attribute names. Names must be unique.

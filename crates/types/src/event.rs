@@ -27,7 +27,11 @@ pub struct Event {
 impl Event {
     /// An event with no attributes.
     pub fn new(ty: EventTypeId, time: Timestamp) -> Self {
-        Event { ty, time, attrs: Vec::new() }
+        Event {
+            ty,
+            time,
+            attrs: Vec::new(),
+        }
     }
 
     /// An event with attribute values.

@@ -40,6 +40,28 @@ impl GroupKey {
             GroupKey::Many(vs) => vs.len(),
         }
     }
+
+    /// Overwrite `self` with the key for `values`, reusing the existing
+    /// allocation whenever the arity matches.
+    ///
+    /// This is the executor's per-event path: a reused scratch key means
+    /// the only allocation left on first-sight of a multi-attribute group
+    /// is the one unavoidable `clone` into the map. [`Value`]s themselves
+    /// are cheap to clone (`Arc`-interned strings).
+    #[inline]
+    pub fn assign_from_slice(&mut self, values: &[Value]) {
+        match (&mut *self, values) {
+            (_, []) => *self = GroupKey::Global,
+            (GroupKey::One(slot), [v]) => slot.clone_from(v),
+            (_, [v]) => *self = GroupKey::One(v.clone()),
+            (GroupKey::Many(slots), vs) if slots.len() == vs.len() => {
+                for (slot, v) in slots.iter_mut().zip(vs) {
+                    slot.clone_from(v);
+                }
+            }
+            (_, vs) => *self = GroupKey::Many(vs.to_vec().into_boxed_slice()),
+        }
+    }
 }
 
 impl fmt::Display for GroupKey {
@@ -84,6 +106,25 @@ mod tests {
             GroupKey::from_values(vec![Value::Int(1), Value::Int(2)]).to_string(),
             "(1, 2)"
         );
+    }
+
+    #[test]
+    fn assign_from_slice_matches_from_values() {
+        let cases: Vec<Vec<Value>> = vec![
+            vec![],
+            vec![Value::Int(7)],
+            vec![Value::from("x")],
+            vec![Value::Int(1), Value::from("y")],
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        ];
+        // every transition between arities must land on the canonical form
+        for from in &cases {
+            for to in &cases {
+                let mut key = GroupKey::from_values(from.clone());
+                key.assign_from_slice(to);
+                assert_eq!(key, GroupKey::from_values(to.clone()), "{from:?} -> {to:?}");
+            }
+        }
     }
 
     #[test]

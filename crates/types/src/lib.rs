@@ -25,6 +25,7 @@
 pub mod catalog;
 pub mod event;
 pub mod group;
+pub mod hash;
 pub mod stream;
 pub mod time;
 pub mod value;
@@ -33,6 +34,7 @@ pub mod window;
 pub use catalog::{AttrId, Catalog, EventTypeId, Schema};
 pub use event::Event;
 pub use group::GroupKey;
+pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use stream::{EventStream, SortedVecStream};
 pub use time::{TimeDelta, Timestamp};
 pub use value::Value;

@@ -133,9 +133,9 @@ impl fmt::Display for Timestamp {
 
 impl fmt::Display for TimeDelta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 60_000 == 0 && self.0 > 0 {
+        if self.0.is_multiple_of(60_000) && self.0 > 0 {
             write!(f, "{}min", self.0 / 60_000)
-        } else if self.0 % 1000 == 0 && self.0 > 0 {
+        } else if self.0.is_multiple_of(1000) && self.0 > 0 {
             write!(f, "{}s", self.0 / 1000)
         } else {
             write!(f, "{}ms", self.0)

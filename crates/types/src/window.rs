@@ -74,7 +74,10 @@ impl WindowSpec {
     /// The window instance beginning at `start`.
     #[inline]
     pub fn instance(&self, start: Timestamp) -> WindowInstance {
-        WindowInstance { start, end: start + self.within }
+        WindowInstance {
+            start,
+            end: start + self.within,
+        }
     }
 
     /// All window instances containing `t`, in increasing start order.
@@ -133,7 +136,7 @@ mod tests {
     #[test]
     fn covering_bounds() {
         let w = spec(4, 1); // the running example of Figure 6(b)
-        // event at time 5: windows starting at 2,3,4,5
+                            // event at time 5: windows starting at 2,3,4,5
         assert_eq!(w.first_start_covering(Timestamp(5)), Timestamp(2));
         assert_eq!(w.last_start_covering(Timestamp(5)), Timestamp(5));
         let starts: Vec<u64> = w

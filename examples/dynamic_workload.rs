@@ -6,9 +6,9 @@
 //! cargo run --release --example dynamic_workload
 //! ```
 
+use sharon::executor_for_plan;
 use sharon::optimizer::{DynamicPlanManager, PlanDecision};
 use sharon::prelude::*;
-use sharon::executor_for_plan;
 
 fn main() {
     let mut catalog = Catalog::new();
@@ -27,13 +27,16 @@ fn main() {
     let initial_rates = RateMap::uniform(100.0);
     let cfg = OptimizerConfig::default();
     let initial = optimize_sharon(&workload, &initial_rates, &cfg);
-    println!("initial plan ({} candidates, score {:.0}):", initial.plan.len(), initial.score);
+    println!(
+        "initial plan ({} candidates, score {:.0}):",
+        initial.plan.len(),
+        initial.score
+    );
     for cand in &initial.plan.candidates {
         println!("  share {}", cand.pattern.display(&catalog));
     }
 
-    let mut manager =
-        DynamicPlanManager::new(TimeDelta::from_secs(2), 0.05, cfg, &initial);
+    let mut manager = DynamicPlanManager::new(TimeDelta::from_secs(2), 0.05, cfg, &initial);
     let mut executor = executor_for_plan(&catalog, &workload, &initial.plan).expect("compiles");
     let mut results = ExecutorResultsAccumulator::new();
 
@@ -79,7 +82,10 @@ fn main() {
     results.merge(executor.finish());
     println!("\nmigrations: {migrations}");
     println!("total results across migrations: {}", results.len());
-    assert!(migrations >= 1, "the rate shift must trigger a re-optimization");
+    assert!(
+        migrations >= 1,
+        "the rate shift must trigger a re-optimization"
+    );
 }
 
 /// Tiny helper collecting results across plan migrations.
@@ -89,7 +95,9 @@ struct ExecutorResultsAccumulator {
 
 impl ExecutorResultsAccumulator {
     fn new() -> Self {
-        ExecutorResultsAccumulator { inner: ExecutorResults::new() }
+        ExecutorResultsAccumulator {
+            inner: ExecutorResults::new(),
+        }
     }
     fn merge(&mut self, other: ExecutorResults) {
         self.inner.merge(other);

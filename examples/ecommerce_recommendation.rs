@@ -15,7 +15,10 @@ fn main() {
     let mut catalog = Catalog::new();
     let events = generate(
         &mut catalog,
-        &EcommerceConfig { n_events: 120_000, ..Default::default() },
+        &EcommerceConfig {
+            n_events: 120_000,
+            ..Default::default()
+        },
     );
     let workload = figure_2_workload(&mut catalog);
     println!("purchase monitoring workload (Figure 2):");
@@ -30,7 +33,11 @@ fn main() {
     println!("\nsharing plan:");
     for cand in &plan.candidates {
         let qs: Vec<String> = cand.queries.iter().map(|q| q.to_string()).collect();
-        println!("  share {} among {}", cand.pattern.display(&catalog), qs.join(", "));
+        println!(
+            "  share {} among {}",
+            cand.pattern.display(&catalog),
+            qs.join(", ")
+        );
     }
     // the pattern (Laptop, Case) "appears in all four queries" (Section 1)
     assert!(
@@ -57,7 +64,11 @@ fn main() {
     let mut price_fw = SharonFramework::new(&catalog, &price_queries, &rates).expect("compiles");
     price_fw.run(SortedVecStream::presorted(events));
     let price_results = price_fw.finish();
-    let sample: Vec<_> = price_results.of_query_sorted(QueryId(0)).into_iter().take(3).collect();
+    let sample: Vec<_> = price_results
+        .of_query_sorted(QueryId(0))
+        .into_iter()
+        .take(3)
+        .collect();
     println!("\nAVG(Laptop.price) before a Case purchase (first 3 results):");
     for (group, window, value) in sample {
         println!("  customer {group} window@{window}: {value}");

@@ -6,7 +6,12 @@ use proptest::prelude::*;
 use sharon::prelude::*;
 use sharon::twostep::{FlinkLike, SpassLike};
 
-fn build(n_types: usize, queries: &[(usize, usize)], within: u64, slide: u64) -> (Catalog, Workload) {
+fn build(
+    n_types: usize,
+    queries: &[(usize, usize)],
+    within: u64,
+    slide: u64,
+) -> (Catalog, Workload) {
     let mut c = Catalog::new();
     for i in 0..n_types {
         c.register_with_schema(&format!("T{i}"), Schema::new(["g", "v"]));

@@ -35,7 +35,12 @@ fn taxi_traffic_use_case() {
     let mut catalog = Catalog::new();
     let events = taxi::generate(
         &mut catalog,
-        &TaxiConfig { n_events: 8000, n_streets: 7, n_vehicles: 20, ..Default::default() },
+        &TaxiConfig {
+            n_events: 8000,
+            n_streets: 7,
+            n_vehicles: 20,
+            ..Default::default()
+        },
     );
     let workload = figure_1_workload(&mut catalog);
     agree(
@@ -147,8 +152,7 @@ fn numeric_aggregates_end_to_end() {
     let rates = rates_of(&events);
     let shared =
         sharon::run_strategy(&catalog, &workload, &rates, Strategy::Sharon, &events).unwrap();
-    let aseq =
-        sharon::run_strategy(&catalog, &workload, &rates, Strategy::ASeq, &events).unwrap();
+    let aseq = sharon::run_strategy(&catalog, &workload, &rates, Strategy::ASeq, &events).unwrap();
     assert!(shared.semantically_eq(&aseq, 1e-9));
     assert!(!shared.is_empty());
 
@@ -166,7 +170,11 @@ fn dynamic_plan_manager_end_to_end() {
     let mut catalog = Catalog::new();
     let events = taxi::generate(
         &mut catalog,
-        &TaxiConfig { n_events: 20_000, n_streets: 7, ..Default::default() },
+        &TaxiConfig {
+            n_events: 20_000,
+            n_streets: 7,
+            ..Default::default()
+        },
     );
     let workload = figure_1_workload(&mut catalog);
     let rates = rates_of(&events);

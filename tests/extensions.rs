@@ -28,7 +28,14 @@ fn repeated_type_pattern_by_hand() {
     )
     .unwrap();
     let mut ex = Executor::non_shared(&c, &w).unwrap();
-    for (n, t) in [("A", 1u64), ("B", 2), ("A", 3), ("A", 4), ("B", 5), ("A", 6)] {
+    for (n, t) in [
+        ("A", 1u64),
+        ("B", 2),
+        ("A", 3),
+        ("A", 4),
+        ("B", 5),
+        ("A", 6),
+    ] {
         ex.process(&ev(&c, n, t));
     }
     let res = ex.finish();

@@ -199,8 +199,7 @@ fn example_3_shared_combination() {
 fn example_13_option_compatibility() {
     let mut c = Catalog::new();
     let (w, g) = figure_4_graph(&mut c);
-    let mut benefit =
-        |_: &Pattern, qs: &std::collections::BTreeSet<QueryId>| qs.len() as f64;
+    let mut benefit = |_: &Pattern, qs: &std::collections::BTreeSet<QueryId>| qs.len() as f64;
     let options = sharon::optimizer::expansion::expand_candidate(
         &w,
         &g,
@@ -210,8 +209,7 @@ fn example_13_option_compatibility() {
     );
     // Figure 11: the option (p1, {q1, q2}) drops the queries causing the
     // conflicts with p2 and p3
-    let q12: std::collections::BTreeSet<QueryId> =
-        [QueryId(0), QueryId(1)].into_iter().collect();
+    let q12: std::collections::BTreeSet<QueryId> = [QueryId(0), QueryId(1)].into_iter().collect();
     let opt = options
         .iter()
         .find(|(cand, _)| cand.queries == q12)
@@ -220,8 +218,7 @@ fn example_13_option_compatibility() {
     assert!(!sharon::optimizer::graph::in_conflict(&w, &opt.0, &p2));
     // Example 13: (p1, {q1, q3}) is not in conflict with (p4, {q2, q4})
     // and (p5, {q2, q4})
-    let q13: std::collections::BTreeSet<QueryId> =
-        [QueryId(0), QueryId(2)].into_iter().collect();
+    let q13: std::collections::BTreeSet<QueryId> = [QueryId(0), QueryId(2)].into_iter().collect();
     let opt13 = PlanCandidate::new(opt.0.pattern.clone(), q13);
     let p4 = g.vertex(3).candidate.clone();
     let p5 = g.vertex(4).candidate.clone();

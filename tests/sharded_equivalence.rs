@@ -1,0 +1,231 @@
+//! Determinism of the sharded parallel runtime: for every shard count,
+//! [`ShardedExecutor`] produces results `semantically_eq` to the
+//! sequential [`Executor`] — sharding is a pure work partition, never a
+//! semantics change. Checked on all three paper streams (TX, LR, EC) under
+//! both the Sharon plan and the non-shared plan, and property-tested over
+//! random group cardinalities.
+
+use proptest::prelude::{prop, proptest, ProptestConfig};
+use sharon::prelude::*;
+use sharon::streams::ecommerce::{self, EcommerceConfig};
+use sharon::streams::linear_road::{self, LinearRoadConfig};
+use sharon::streams::taxi::{self, TaxiConfig};
+use sharon::streams::workload::{
+    figure_1_workload, figure_2_workload, overlapping_workload, WorkloadConfig,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Run `events` sequentially and under every shard count; assert all
+/// results agree with the sequential reference.
+fn assert_sharded_matches_sequential(
+    catalog: &Catalog,
+    workload: &Workload,
+    plan: &SharingPlan,
+    events: &[Event],
+    label: &str,
+) {
+    let mut sequential = Executor::new(catalog, workload, plan).expect("sequential compiles");
+    sequential.process_batch(events);
+    let want = sequential.finish();
+
+    for shards in SHARD_COUNTS {
+        let mut sharded =
+            ShardedExecutor::new(catalog, workload, plan, shards).expect("sharded compiles");
+        // mixed ingestion: some per-event, some batched, to cover both paths
+        let (head, tail) = events.split_at(events.len() / 3);
+        for e in head {
+            sharded.process(e);
+        }
+        sharded.process_batch(tail);
+        let got = sharded.finish();
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "{label}: {shards} shards diverge from the sequential engine \
+             ({} vs {} results)",
+            got.len(),
+            want.len(),
+        );
+    }
+    assert!(!want.is_empty(), "{label}: stream must produce matches");
+}
+
+fn sharon_plan(workload: &Workload) -> SharingPlan {
+    let rates = RateMap::uniform(100.0);
+    let outcome = optimize_sharon(workload, &rates, &OptimizerConfig::default());
+    outcome.plan.validate(workload).expect("plan validates");
+    outcome.plan
+}
+
+#[test]
+fn taxi_stream_all_shard_counts() {
+    let mut catalog = Catalog::new();
+    let events = taxi::generate(
+        &mut catalog,
+        &TaxiConfig {
+            n_events: 6000,
+            n_streets: 7,
+            n_vehicles: 40,
+            ..Default::default()
+        },
+    );
+    let workload = figure_1_workload(&mut catalog);
+    let plan = sharon_plan(&workload);
+    assert_sharded_matches_sequential(&catalog, &workload, &plan, &events, "taxi/sharon");
+    assert_sharded_matches_sequential(
+        &catalog,
+        &workload,
+        &SharingPlan::non_shared(),
+        &events,
+        "taxi/non-shared",
+    );
+}
+
+#[test]
+fn taxi_high_group_cardinality() {
+    // many more groups than shards: every shard owns a large slice
+    let mut catalog = Catalog::new();
+    let events = taxi::generate(&mut catalog, &TaxiConfig::high_cardinality(8000, 1000));
+    let workload = figure_1_workload(&mut catalog);
+    let plan = sharon_plan(&workload);
+    assert_sharded_matches_sequential(&catalog, &workload, &plan, &events, "taxi/high-card");
+}
+
+#[test]
+fn linear_road_stream_all_shard_counts() {
+    let mut catalog = Catalog::new();
+    let events = linear_road::generate(
+        &mut catalog,
+        &LinearRoadConfig {
+            duration_secs: 30,
+            cars_per_sec: 2.0,
+            n_segments: 10,
+            trip_segments: 60,
+            ..Default::default()
+        },
+    );
+    let alphabet: Vec<String> = (0..10).map(|i| format!("Seg{i}")).collect();
+    let workload = overlapping_workload(
+        &mut catalog,
+        &WorkloadConfig {
+            n_queries: 6,
+            pattern_len: 4,
+            alphabet,
+            window: WindowSpec::new(TimeDelta::from_secs(10), TimeDelta::from_secs(2)),
+            group_by: Some("car".into()),
+            seed: 9,
+        },
+    );
+    let plan = sharon_plan(&workload);
+    assert_sharded_matches_sequential(&catalog, &workload, &plan, &events, "linear-road");
+}
+
+#[test]
+fn ecommerce_stream_all_shard_counts() {
+    let mut catalog = Catalog::new();
+    let events = ecommerce::generate(
+        &mut catalog,
+        &EcommerceConfig {
+            n_items: 10,
+            n_customers: 6,
+            events_per_sec: 300,
+            n_events: 2000,
+            ..Default::default()
+        },
+    );
+    let workload = figure_2_workload(&mut catalog);
+    let plan = sharon_plan(&workload);
+    assert_sharded_matches_sequential(&catalog, &workload, &plan, &events, "ecommerce");
+}
+
+#[test]
+fn mixed_global_and_grouped_partitions() {
+    // one workload containing grouped and ungrouped partitions: shards
+    // must split groups AND distribute whole global partitions
+    let mut catalog = Catalog::new();
+    for n in ["A", "B", "C"] {
+        catalog.register_with_schema(n, Schema::new(["g", "v"]));
+    }
+    let workload = parse_workload(
+        &mut catalog,
+        [
+            "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 20 ms SLIDE 4 ms",
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 20 ms SLIDE 4 ms",
+            "RETURN SUM(B.v) PATTERN SEQ(A, B, C) WITHIN 12 ms SLIDE 4 ms",
+            "RETURN COUNT(*) PATTERN SEQ(B, C) WITHIN 8 ms SLIDE 8 ms",
+        ],
+    )
+    .unwrap();
+    let names = ["A", "B", "C"];
+    let events: Vec<Event> = (0..3000u64)
+        .map(|i| {
+            let ty = catalog.lookup(names[(i % 3) as usize]).unwrap();
+            Event::with_attrs(
+                ty,
+                Timestamp(i),
+                vec![Value::Int((i / 3) as i64 % 17), Value::Int((i % 5) as i64)],
+            )
+        })
+        .collect();
+    assert_sharded_matches_sequential(
+        &catalog,
+        &workload,
+        &SharingPlan::non_shared(),
+        &events,
+        "mixed-partitions",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random group cardinalities, shard counts, and stream shapes: the
+    /// sharded runtime is always `semantically_eq` to the sequential one.
+    #[test]
+    fn random_group_cardinalities(
+        cardinality in 1i64..=64,
+        shards in 1usize..=9,
+        raw in prop::collection::vec((0usize..3, 0u64..=2, 0i64..=9), 0..=120),
+    ) {
+        let mut catalog = Catalog::new();
+        for n in ["A", "B", "C"] {
+            catalog.register_with_schema(n, Schema::new(["g", "v"]));
+        }
+        let workload = parse_workload(
+            &mut catalog,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+                "RETURN SUM(C.v) PATTERN SEQ(B, C) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+            ],
+        )
+        .unwrap();
+        let names = ["A", "B", "C"];
+        let mut t = 0u64;
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(ty, dt, v)| {
+                t += dt;
+                Event::with_attrs(
+                    catalog.lookup(names[ty]).unwrap(),
+                    Timestamp(t),
+                    vec![Value::Int(v % cardinality), Value::Int(v)],
+                )
+            })
+            .collect();
+
+        let mut sequential = Executor::non_shared(&catalog, &workload).unwrap();
+        sequential.process_batch(&events);
+        let want = sequential.finish();
+
+        let mut sharded =
+            ShardedExecutor::non_shared(&catalog, &workload, shards).unwrap();
+        sharded.process_batch(&events);
+        let got = sharded.finish();
+        proptest::prop_assert!(
+            got.semantically_eq(&want, 1e-9),
+            "cardinality {} shards {}: sharded diverges",
+            cardinality,
+            shards
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's micro-benchmarks use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple calibrated timing loop instead of criterion's statistical
+//! machinery. Results are printed as mean wall-clock time per iteration.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(self, &id.to_string(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &label, f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, mut f: F) {
+    // calibrate: find an iteration count that takes a measurable slice
+    let mut iters: u64 = 1;
+    let warmup_deadline = Instant::now() + criterion.warm_up_time;
+    let mut per_iter = loop {
+        let elapsed = run_once(&mut f, iters);
+        if elapsed >= Duration::from_millis(5) || Instant::now() >= warmup_deadline {
+            break elapsed.checked_div(iters as u32).unwrap_or(Duration::ZERO);
+        }
+        iters = iters.saturating_mul(4);
+    };
+    if per_iter.is_zero() {
+        per_iter = Duration::from_nanos(1);
+    }
+    // size samples so the whole measurement stays near measurement_time
+    let budget = criterion.measurement_time.max(Duration::from_millis(10));
+    let per_sample = budget / criterion.sample_size as u32;
+    let sample_iters =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..criterion.sample_size {
+        let elapsed = run_once(&mut f, sample_iters);
+        total += elapsed;
+        let mean = elapsed
+            .checked_div(sample_iters as u32)
+            .unwrap_or(Duration::ZERO);
+        if mean < best {
+            best = mean;
+        }
+    }
+    let overall_iters = sample_iters * criterion.sample_size as u64;
+    let mean = total
+        .checked_div(overall_iters as u32)
+        .unwrap_or(Duration::ZERO);
+    println!("bench {label:<48} mean {mean:>12?}  best {best:>12?}  ({overall_iters} iters)");
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        let mut group = c.benchmark_group("grp");
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(3 * 7)));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

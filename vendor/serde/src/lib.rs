@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! existing `use serde::{Deserialize, Serialize};` imports and
+//! `#[derive(...)]` annotations compile without crates.io access. See
+//! `serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! This workspace builds in environments without crates.io access, so the
+//! real `serde_derive` cannot be fetched. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-compatible annotations —
+//! nothing serializes through serde at runtime (JSON persistence is
+//! hand-rolled in `sharon-metrics`) — so the derives expand to nothing.
+//! The `serde(...)` helper attribute (e.g. `#[serde(skip)]`) is accepted
+//! and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
