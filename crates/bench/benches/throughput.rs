@@ -1,12 +1,14 @@
 //! Events/sec throughput of the execution layer: sequential per-event vs
-//! sequential batched vs the sharded parallel runtime at varying shard
-//! counts and `GROUP BY` cardinalities, on the high-cardinality taxi
-//! stream under the Sharon optimizer's plan.
+//! sequential batched (row-form) vs sequential columnar vs the sharded
+//! route-once runtime at varying shard counts and `GROUP BY`
+//! cardinalities, on the high-cardinality taxi stream under the Sharon
+//! optimizer's plan.
 //!
 //! Prints one table per scenario and writes a machine-readable baseline to
-//! `BENCH_PR1.json` at the workspace root (override with
+//! `BENCH_PR2.json` at the workspace root (override with
 //! `SHARON_BENCH_OUT`), so future optimization PRs have a perf trajectory
-//! to compare against. `SHARON_SCALE` scales the stream length.
+//! to compare against (`BENCH_PR1.json` holds the pre-columnar numbers).
+//! `SHARON_SCALE` scales the stream length.
 //!
 //! Note: thread-level speedup from sharding is only observable when the
 //! host grants more than one CPU; the JSON records
@@ -14,9 +16,10 @@
 
 use sharon::prelude::*;
 use sharon::streams::taxi::{self, TaxiConfig};
-use sharon::streams::workload::{figure_1_workload, measured_rates};
+use sharon::streams::workload::{figure_1_workload, measured_rates_batch};
 use sharon_bench::scale;
 use sharon_metrics::Table;
+use std::sync::Arc;
 use std::time::Instant;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -28,16 +31,17 @@ struct Run {
     results: usize,
 }
 
-fn measure(label: &str, events: &[Event], run: impl Fn(&[Event]) -> ExecutorResults) -> Run {
-    // best of two full passes: the first pass warms the allocator and the
-    // page cache, so a single-shot measurement favors whoever runs later
+fn measure(label: &str, n_events: usize, run: impl Fn() -> ExecutorResults) -> Run {
+    // best of three full passes: the first pass warms the allocator and
+    // the page cache, and the extra pass damps scheduler noise on shared
+    // CI hosts, where single-shot ratios wobble by ±10%
     let mut best = f64::MIN;
     let mut results = 0;
-    for _ in 0..2 {
+    for _ in 0..3 {
         let start = Instant::now();
-        let out = run(events);
+        let out = run();
         let elapsed = start.elapsed().as_secs_f64().max(1e-12);
-        best = best.max(events.len() as f64 / elapsed);
+        best = best.max(n_events as f64 / elapsed);
         results = out.len();
     }
     Run {
@@ -50,36 +54,43 @@ fn measure(label: &str, events: &[Event], run: impl Fn(&[Event]) -> ExecutorResu
 fn scenario(n_events: usize, n_vehicles: usize) -> (String, Vec<Run>) {
     let name = format!("taxi events={n_events} groups={n_vehicles}");
     let mut catalog = Catalog::new();
-    let events = taxi::generate(
+    let batch = taxi::generate_batch(
         &mut catalog,
         &TaxiConfig::high_cardinality(n_events, n_vehicles),
     );
+    let events = batch.to_events();
     let workload = figure_1_workload(&mut catalog);
-    let (counts, span) = measured_rates(&events);
+    let (counts, span) = measured_rates_batch(&batch);
     let rates = RateMap::from_counts(&counts, span);
     let plan = optimize_sharon(&workload, &rates, &OptimizerConfig::default()).plan;
+    let n = events.len();
 
     let mut runs = Vec::new();
-    runs.push(measure("sequential/per-event", &events, |evs| {
+    runs.push(measure("sequential/per-event", n, || {
         let mut ex = Executor::new(&catalog, &workload, &plan).unwrap();
-        for e in evs {
+        for e in &events {
             ex.process(e);
         }
         ex.finish()
     }));
-    runs.push(measure("sequential/batched", &events, |evs| {
+    runs.push(measure("sequential/batched", n, || {
         let mut ex = Executor::new(&catalog, &workload, &plan).unwrap();
-        for chunk in evs.chunks(BATCH) {
+        for chunk in events.chunks(BATCH) {
             ex.process_batch(chunk);
         }
         ex.finish()
     }));
+    runs.push(measure("sequential/columnar", n, || {
+        let mut ex = Executor::new(&catalog, &workload, &plan).unwrap();
+        ex.process_columnar(&batch);
+        ex.finish()
+    }));
+    // the sharded runtime's zero-copy ingest shares one Arc'd batch
+    let shared = Arc::new(batch.clone());
     for shards in SHARD_COUNTS {
-        runs.push(measure(&format!("sharded/{shards}"), &events, |evs| {
+        runs.push(measure(&format!("sharded/{shards}"), n, || {
             let mut ex = ShardedExecutor::new(&catalog, &workload, &plan, shards).unwrap();
-            for chunk in evs.chunks(BATCH) {
-                ex.process_batch(chunk);
-            }
+            ex.process_shared(&shared);
             ex.finish()
         }));
     }
@@ -103,7 +114,7 @@ fn fmt_rate(r: f64) -> String {
 fn json_out(path: &std::path::Path, scenarios: &[(String, Vec<Run>)], parallelism: usize) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"throughput\",\n  \"pr\": 1,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
+        "  \"bench\": \"throughput\",\n  \"pr\": 2,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
         scale()
     ));
     if parallelism == 1 {
@@ -144,8 +155,8 @@ fn main() {
         .unwrap_or(1);
     let base = (200_000.0 * scale()) as usize;
     let scenarios: Vec<(String, Vec<Run>)> = vec![
-        scenario(base.max(10_000), 100),
-        scenario(base.max(10_000), 10_000),
+        scenario(base.max(5_000), 100),
+        scenario(base.max(5_000), 10_000),
     ];
 
     for (name, runs) in &scenarios {
@@ -169,7 +180,7 @@ fn main() {
     }
 
     let path = std::env::var("SHARON_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json").to_string()
     });
     json_out(std::path::Path::new(&path), &scenarios, parallelism);
 }

@@ -16,7 +16,7 @@
 //! ```
 
 use sharon::prelude::*;
-use sharon::streams::workload::{figure_1_workload, figure_2_workload, measured_rates};
+use sharon::streams::workload::{figure_1_workload, figure_2_workload, measured_rates_batch};
 use sharon::streams::{ecommerce, linear_road, taxi};
 use sharon::{build_executor, build_sharded_executor, Strategy};
 use std::time::Instant;
@@ -97,10 +97,10 @@ fn main() {
         }
     };
 
-    // 1. stream
+    // 1. stream — generated directly in columnar form
     let mut catalog = Catalog::new();
     let events = match args.stream.as_str() {
-        "taxi" => taxi::generate(
+        "taxi" => taxi::generate_batch(
             &mut catalog,
             &taxi::TaxiConfig {
                 n_events: args.events,
@@ -108,14 +108,14 @@ fn main() {
                 ..Default::default()
             },
         ),
-        "lr" => linear_road::generate(
+        "lr" => linear_road::generate_batch(
             &mut catalog,
             &linear_road::LinearRoadConfig {
                 duration_secs: (args.events / 500).max(10) as u64,
                 ..Default::default()
             },
         ),
-        "ec" => ecommerce::generate(
+        "ec" => ecommerce::generate_batch(
             &mut catalog,
             &ecommerce::EcommerceConfig {
                 n_events: args.events,
@@ -155,7 +155,7 @@ fn main() {
     eprintln!("workload: {} queries", workload.len());
 
     // 3. optimize + execute
-    let (counts, span) = measured_rates(&events);
+    let (counts, span) = measured_rates_batch(&events);
     let rates = RateMap::from_counts(&counts, span);
     let t0 = Instant::now();
     let built = if args.shards > 0 {
@@ -222,9 +222,7 @@ fn main() {
     // workers in finish(), so stopping the clock earlier would credit it
     // for work it has only enqueued
     let t1 = Instant::now();
-    for chunk in events.chunks(4096) {
-        executor.process_batch(chunk);
-    }
+    executor.process_columnar(&events);
     let (results, matched) = executor.finish_with_matched();
     let run_time = t1.elapsed();
     let throughput = events.len() as f64 / run_time.as_secs_f64().max(1e-12);

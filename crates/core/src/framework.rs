@@ -10,7 +10,7 @@ use crate::strategy::{build_executor, build_sharded_executor, AnyExecutor, Strat
 use sharon_executor::{CompileError, Executor, ExecutorResults};
 use sharon_optimizer::{OptimizeOutcome, OptimizerConfig, RateMap};
 use sharon_query::{SharingPlan, Workload};
-use sharon_types::{Catalog, Event, EventStream};
+use sharon_types::{Catalog, Event, EventBatch, EventStream};
 
 /// The end-to-end Sharon system: optimize once, then execute the stream.
 pub struct SharonFramework {
@@ -94,11 +94,17 @@ impl SharonFramework {
         self.executor.process_batch(events);
     }
 
-    /// Drain a stream through the executor in batches.
+    /// Process a time-ordered columnar batch — the native form of every
+    /// hot execution path (see [`Executor::process_columnar`]).
+    pub fn process_columnar(&mut self, batch: &EventBatch) {
+        self.executor.process_columnar(batch);
+    }
+
+    /// Drain a stream through the executor in columnar batches.
     pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
-        let mut buf = Vec::with_capacity(Executor::RUN_BATCH);
-        while stream.next_batch(Executor::RUN_BATCH, &mut buf) > 0 {
-            self.process_batch(&buf);
+        let mut buf = EventBatch::with_capacity(Executor::RUN_BATCH, 2);
+        while stream.next_batch_columnar(Executor::RUN_BATCH, &mut buf) > 0 {
+            self.process_columnar(&buf);
             buf.clear();
         }
         self

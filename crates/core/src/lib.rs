@@ -80,7 +80,7 @@ pub mod prelude {
         Workload,
     };
     pub use sharon_types::{
-        Catalog, Event, EventStream, EventTypeId, GroupKey, Schema, SortedVecStream, TimeDelta,
-        Timestamp, Value, WindowSpec,
+        Catalog, Event, EventBatch, EventStream, EventTypeId, GroupKey, Schema, SortedVecStream,
+        TimeDelta, Timestamp, Value, WindowSpec,
     };
 }

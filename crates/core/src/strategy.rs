@@ -7,7 +7,7 @@ use sharon_optimizer::{
 };
 use sharon_query::{SharingPlan, Workload};
 use sharon_twostep::{FlinkLike, SpassLike};
-use sharon_types::{Catalog, Event};
+use sharon_types::{Catalog, Event, EventBatch};
 
 /// Which event sequence aggregation approach to run (Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,27 @@ impl AnyExecutor {
             AnyExecutor::Spass(x) => {
                 for e in events {
                     x.process(e);
+                }
+            }
+        }
+    }
+
+    /// Process a time-ordered columnar batch. The online engines run
+    /// their columnar hot path (and the sharded runtime routes once and
+    /// fans out row lists); the two-step baselines materialize row-form
+    /// events per row, since they only expose a per-event path.
+    pub fn process_columnar(&mut self, batch: &EventBatch) {
+        match self {
+            AnyExecutor::Online(x) => x.process_columnar(batch),
+            AnyExecutor::Sharded(x) => x.process_columnar(batch),
+            AnyExecutor::Flink(x) => {
+                for row in 0..batch.len() {
+                    x.process(&batch.event(row));
+                }
+            }
+            AnyExecutor::Spass(x) => {
+                for row in 0..batch.len() {
+                    x.process(&batch.event(row));
                 }
             }
         }

@@ -18,7 +18,7 @@
 
 use crate::agg::OutputKind;
 use sharon_query::{AggFunc, CmpOp, Query, QueryId, SegmentKind, SharingPlan, Workload};
-use sharon_types::{AttrId, Catalog, EventTypeId, FxHashMap, Value, WindowSpec};
+use sharon_types::{AttrId, Catalog, EventTypeId, FxHashMap, GroupKey, Value, WindowSpec};
 use std::fmt;
 
 /// Errors raised while compiling a workload and plan.
@@ -144,6 +144,77 @@ pub struct CompiledPartition {
     /// True if every query in the partition is `COUNT`-like (enables the
     /// [`crate::agg::CountCell`] kernel).
     pub count_only: bool,
+}
+
+impl CompiledPartition {
+    /// True if `ty` routes into this partition at all (the first check of
+    /// the stateless event prefix).
+    #[inline]
+    pub fn routed(&self, ty: EventTypeId) -> bool {
+        matches!(self.routes.get(ty.index()), Some(Some(_)))
+    }
+
+    /// True if `attrs` pass this partition's predicates on `ty` (a missing
+    /// attribute fails). Must only be called for routed types.
+    ///
+    /// This is the single definition of predicate semantics shared by the
+    /// per-event path, the columnar pre-pass, and the sharded batch
+    /// router — which must agree exactly, or routed rows would diverge
+    /// from what the engines would have dropped.
+    #[inline]
+    pub fn predicates_pass(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        self.predicates[ty.index()]
+            .iter()
+            .all(|(attr, op, lit)| match attrs.get(attr.index()) {
+                Some(v) => op.eval(v.partial_cmp(lit)),
+                None => false,
+            })
+    }
+
+    /// True if every `GROUP BY` attribute of `ty` is present in `attrs`
+    /// (events missing one are ungroupable and dropped). Must only be
+    /// called for routed types. Shared by the same three paths as
+    /// [`CompiledPartition::predicates_pass`].
+    #[inline]
+    pub fn groupable(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        self.group_attrs[ty.index()]
+            .iter()
+            .all(|a| attrs.get(a.index()).is_some())
+    }
+
+    /// Build the group key of a routed row into `key` (reusing the `vals`
+    /// scratch buffer, so no allocation in steady state), returning `false`
+    /// if a grouping attribute is missing (ungroupable event). With no
+    /// `GROUP BY`, writes [`GroupKey::Global`]. Must only be called for
+    /// routed types.
+    ///
+    /// The single definition of key construction shared by the per-event
+    /// path, the columnar pre-pass, and the sharded batch router — shard
+    /// assignment hashes exactly the key an engine would build, so the
+    /// three paths cannot drift apart.
+    #[inline]
+    pub fn read_group_key(
+        &self,
+        ty: EventTypeId,
+        attrs: &[Value],
+        vals: &mut Vec<Value>,
+        key: &mut GroupKey,
+    ) -> bool {
+        let gattrs = &self.group_attrs[ty.index()];
+        if gattrs.is_empty() {
+            *key = GroupKey::Global;
+            return true;
+        }
+        vals.clear();
+        for a in gattrs.iter() {
+            match attrs.get(a.index()) {
+                Some(v) => vals.push(v.clone()),
+                None => return false,
+            }
+        }
+        key.assign_from_slice(vals);
+        true
+    }
 }
 
 fn output_kind(q: &Query) -> OutputKind {

@@ -25,7 +25,8 @@ use crate::runner::SegmentRunner;
 use crate::winvec::WinVec;
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{
-    fx_hash_one, Catalog, Event, EventStream, FxHashMap, GroupKey, Timestamp, Value,
+    fx_hash_one, Catalog, Event, EventBatch, EventStream, EventTypeId, FxHashMap, GroupKey,
+    Timestamp, Value,
 };
 use std::collections::VecDeque;
 
@@ -203,6 +204,8 @@ pub struct Engine<A: Aggregate> {
     key_scratch: GroupKey,
     /// Reused buffer for the grouping attributes of the current event.
     vals_scratch: Vec<Value>,
+    /// Reused row-selection buffer of the columnar pre-pass.
+    sel_scratch: Vec<u32>,
     /// Group-space slice owned by this engine (`None` = everything).
     shard: Option<ShardSlice>,
     last_time: Timestamp,
@@ -219,6 +222,7 @@ impl<A: Aggregate> Engine<A> {
             scratch: FoldScratch::new(),
             key_scratch: GroupKey::Global,
             vals_scratch: Vec::new(),
+            sel_scratch: Vec::new(),
             shard: None,
             last_time: Timestamp::ZERO,
             events_matched: 0,
@@ -235,11 +239,11 @@ impl<A: Aggregate> Engine<A> {
     }
 
     #[inline]
-    fn contribution(part: &CompiledPartition, e: &Event) -> Contribution {
+    fn contribution(part: &CompiledPartition, ty: EventTypeId, attrs: &[Value]) -> Contribution {
         match part.contrib_target {
-            Some((ty, attr)) if ty == e.ty => match attr {
+            Some((t, attr)) if t == ty => match attr {
                 None => Contribution::of(1.0),
-                Some(a) => match e.attr_f64(a) {
+                Some(a) => match attrs.get(a.index()).and_then(Value::as_f64) {
                     Some(v) => Contribution::of(v),
                     None => Contribution::NONE,
                 },
@@ -251,40 +255,42 @@ impl<A: Aggregate> Engine<A> {
     /// Process one event (events must arrive in timestamp order).
     #[inline]
     pub fn process(&mut self, e: &Event) {
-        debug_assert!(e.time >= self.last_time, "events must be time-ordered");
-        self.last_time = e.time;
+        self.process_row(e.ty, e.time, &e.attrs, false);
+    }
 
-        let Some(routes) = self.part.routes.get(e.ty.index()).and_then(Option::as_ref) else {
+    /// The shared per-row path of the per-event shim and both columnar
+    /// entry points. With `pre_routed`, the caller (the columnar pre-pass
+    /// or the sharded batch router) has already evaluated this partition's
+    /// predicates and established that this engine owns the row's group,
+    /// so both checks are skipped.
+    #[inline]
+    fn process_row(&mut self, ty: EventTypeId, time: Timestamp, attrs: &[Value], pre_routed: bool) {
+        debug_assert!(time >= self.last_time, "events must be time-ordered");
+        self.last_time = time;
+
+        let Some(routes) = self.part.routes.get(ty.index()).and_then(Option::as_ref) else {
+            debug_assert!(!pre_routed, "router selected an unrouted event type");
             return;
         };
         // partition-wide predicates on this type
-        for (attr, op, lit) in &self.part.predicates[e.ty.index()] {
-            let pass = match e.attr(*attr) {
-                Some(v) => op.eval(v.partial_cmp(lit)),
-                None => false,
-            };
-            if !pass {
-                return;
-            }
+        if !pre_routed && !self.part.predicates_pass(ty, attrs) {
+            return;
         }
         // group key — written into the reused scratch key, so the hot path
         // performs no allocation and no clone until a group is first seen
-        let gattrs = &self.part.group_attrs[e.ty.index()];
-        if gattrs.is_empty() {
-            self.key_scratch = GroupKey::Global;
-        } else {
-            self.vals_scratch.clear();
-            for a in gattrs.iter() {
-                match e.attr(*a) {
-                    Some(v) => self.vals_scratch.push(v.clone()),
-                    None => return, // ungroupable event
-                }
-            }
-            self.key_scratch.assign_from_slice(&self.vals_scratch);
+        if !self
+            .part
+            .read_group_key(ty, attrs, &mut self.vals_scratch, &mut self.key_scratch)
+        {
+            debug_assert!(!pre_routed, "router selected an ungroupable event");
+            return; // ungroupable event
         }
-        // sharded execution: skip groups another engine owns
+        // sharded execution: skip groups another engine owns (pre-routed
+        // rows were assigned to this shard by the router — verify in debug)
         if let Some(slice) = &self.shard {
-            if !slice.owns(&self.key_scratch) {
+            if pre_routed {
+                debug_assert!(slice.owns(&self.key_scratch), "router misrouted a group");
+            } else if !slice.owns(&self.key_scratch) {
                 return;
             }
         }
@@ -304,14 +310,14 @@ impl<A: Aggregate> Engine<A> {
         Self::touch(
             grt,
             &self.part,
-            e.time,
+            time,
             &mut self.results,
             &self.key_scratch,
             &mut self.scratch.emit,
         );
 
-        let c = Self::contribution(&self.part, e);
-        Self::dispatch(grt, &self.part, routes, e.time, c, &mut self.scratch);
+        let c = Self::contribution(&self.part, ty, attrs);
+        Self::dispatch(grt, &self.part, routes, time, c, &mut self.scratch);
     }
 
     /// Process a time-ordered batch of events.
@@ -322,6 +328,86 @@ impl<A: Aggregate> Engine<A> {
     pub fn process_batch(&mut self, events: &[Event]) {
         for e in events {
             self.process(e);
+        }
+    }
+
+    /// Process a time-ordered columnar batch.
+    ///
+    /// Semantically identical to [`Engine::process`] per row, but split
+    /// into two passes: a **stateless pre-pass** that runs routing over the
+    /// `ty` column, predicate evaluation over the value columns, and
+    /// groupability/ownership checks, collecting the surviving row indexes
+    /// into a reused selection buffer — and a **stateful pass** that
+    /// dispatches only the selected rows into per-group state. The
+    /// pre-pass touches no group state, so it runs as tight column scans;
+    /// the stateful pass never re-evaluates predicates.
+    pub fn process_columnar(&mut self, batch: &EventBatch) {
+        let mut sel = std::mem::take(&mut self.sel_scratch);
+        sel.clear();
+        let tys = batch.types();
+        for (row, ty) in tys.iter().enumerate() {
+            if !self.part.routed(*ty) {
+                continue;
+            }
+            let attrs = batch.attrs(row);
+            if !self.part.predicates_pass(*ty, attrs) {
+                continue;
+            }
+            match &self.shard {
+                // the unsharded pre-pass only filters on groupability,
+                // deferring key construction to the stateful pass —
+                // no second clone of the grouping values
+                None => {
+                    if !self.part.groupable(*ty, attrs) {
+                        continue; // ungroupable event
+                    }
+                }
+                // a sharded engine needs the actual key (hashed for
+                // ownership); `read_group_key` also filters ungroupables
+                Some(slice) => {
+                    if !self.part.read_group_key(
+                        *ty,
+                        attrs,
+                        &mut self.vals_scratch,
+                        &mut self.key_scratch,
+                    ) {
+                        continue; // ungroupable event
+                    }
+                    if !slice.owns(&self.key_scratch) {
+                        continue;
+                    }
+                }
+            }
+            sel.push(row as u32);
+        }
+        self.process_rows(batch, &sel);
+        self.sel_scratch = sel;
+    }
+
+    /// Process the pre-routed rows `rows` of `batch`, in order.
+    ///
+    /// The caller asserts that every listed row routes into this
+    /// partition, passes its predicates, and belongs to a group this
+    /// engine owns — the sharded runtime's batch router establishes
+    /// exactly this once per batch, so shard workers never re-evaluate
+    /// the stateless prefix for rows they do not own.
+    pub fn process_routed(&mut self, batch: &EventBatch, rows: &[u32]) {
+        self.process_rows(batch, rows);
+    }
+
+    #[inline]
+    fn process_rows(&mut self, batch: &EventBatch, rows: &[u32]) {
+        for &row in rows {
+            let row = row as usize;
+            self.process_row(batch.ty(row), batch.time(row), batch.attrs(row), true);
+        }
+    }
+
+    /// Pre-size the result store for about `additional` further results
+    /// per query, so steady-state window emission does not reallocate.
+    pub fn reserve_results(&mut self, additional: usize) {
+        for q in &self.part.queries {
+            self.results.reserve(q.id, additional);
         }
     }
 
@@ -677,6 +763,32 @@ impl EngineKind {
         }
     }
 
+    /// Process a time-ordered columnar batch (see
+    /// [`Engine::process_columnar`]).
+    pub fn process_columnar(&mut self, batch: &EventBatch) {
+        match self {
+            EngineKind::Count(en) => en.process_columnar(batch),
+            EngineKind::Stats(en) => en.process_columnar(batch),
+        }
+    }
+
+    /// Process pre-routed rows of a columnar batch (see
+    /// [`Engine::process_routed`]).
+    pub fn process_routed(&mut self, batch: &EventBatch, rows: &[u32]) {
+        match self {
+            EngineKind::Count(en) => en.process_routed(batch, rows),
+            EngineKind::Stats(en) => en.process_routed(batch, rows),
+        }
+    }
+
+    /// Pre-size the result store (see [`Engine::reserve_results`]).
+    pub fn reserve_results(&mut self, additional: usize) {
+        match self {
+            EngineKind::Count(en) => en.reserve_results(additional),
+            EngineKind::Stats(en) => en.reserve_results(additional),
+        }
+    }
+
     /// Flush remaining windows and return the results.
     pub fn finish(self) -> ExecutorResults {
         match self {
@@ -742,14 +854,32 @@ impl Executor {
         }
     }
 
+    /// Process a time-ordered columnar batch: each partition engine runs
+    /// its columnar pre-pass and stateful pass over the whole batch while
+    /// its state is hot (see [`Engine::process_columnar`]).
+    pub fn process_columnar(&mut self, batch: &EventBatch) {
+        for engine in self.engines() {
+            engine.process_columnar(batch);
+        }
+    }
+
+    /// Pre-size every partition's result store for about `additional`
+    /// further results per query (capacity planning for allocation-free
+    /// steady-state emission).
+    pub fn reserve_results(&mut self, additional: usize) {
+        for engine in self.engines() {
+            engine.reserve_results(additional);
+        }
+    }
+
     /// Default batch size for [`Executor::run`] and the sharded runtime.
     pub const RUN_BATCH: usize = 1024;
 
-    /// Drain a stream through the executor in batches.
+    /// Drain a stream through the executor in columnar batches.
     pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
-        let mut buf = Vec::with_capacity(Self::RUN_BATCH);
-        while stream.next_batch(Self::RUN_BATCH, &mut buf) > 0 {
-            self.process_batch(&buf);
+        let mut buf = EventBatch::with_capacity(Self::RUN_BATCH, 2);
+        while stream.next_batch_columnar(Self::RUN_BATCH, &mut buf) > 0 {
+            self.process_columnar(&buf);
             buf.clear();
         }
         self
@@ -1140,6 +1270,65 @@ mod tests {
             nonshared.of_query_sorted(QueryId(0))
         );
         assert!(!nonshared.is_empty());
+    }
+
+    #[test]
+    fn sharded_engines_process_columnar_partitions_the_groups() {
+        // engines built with a ShardSlice and fed whole columnar batches
+        // keep only the groups they own; merging the shard results
+        // reproduces the unsharded engine exactly
+        let mut c = Catalog::new();
+        c.register_with_schema("A", sharon_types::Schema::new(["g"]));
+        c.register_with_schema("B", sharon_types::Schema::new(["g"]));
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms"],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut batch = sharon_types::EventBatch::new();
+        for i in 0..600u64 {
+            batch.push_from(
+                if i % 2 == 0 { a } else { b },
+                Timestamp(i),
+                [Value::Int((i / 2) as i64 % 23)],
+            );
+        }
+
+        let mut unsharded = Executor::non_shared(&c, &w).unwrap();
+        unsharded.process_columnar(&batch);
+        let want_matched = unsharded.events_matched();
+        let want = unsharded.finish();
+        assert!(!want.is_empty());
+
+        let parts = compile(&c, &w, &SharingPlan::non_shared()).unwrap();
+        let n_shards = 3u32;
+        let mut got = ExecutorResults::new();
+        let mut matched = 0;
+        for shard in 0..n_shards {
+            let mut engines: Vec<EngineKind> = parts
+                .iter()
+                .enumerate()
+                .map(|(pi, p)| {
+                    let slice = ShardSlice {
+                        index: shard,
+                        of: n_shards,
+                        owns_global: pi as u32 % n_shards == shard,
+                    };
+                    EngineKind::for_partition(p.clone(), Some(slice))
+                })
+                .collect();
+            for engine in &mut engines {
+                engine.process_columnar(&batch);
+            }
+            for engine in engines {
+                matched += engine.events_matched();
+                got.merge(engine.finish());
+            }
+        }
+        assert_eq!(matched, want_matched, "shard ownership partitions rows");
+        assert!(got.semantically_eq(&want, 1e-9));
     }
 
     #[test]

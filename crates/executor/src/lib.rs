@@ -24,8 +24,10 @@ pub mod compile;
 pub mod engine;
 mod proptests;
 pub mod results;
+pub mod router;
 pub mod runner;
 pub mod sharded;
+pub mod spsc;
 pub mod winvec;
 
 pub use agg::{Aggregate, Contribution, CountCell, OutputKind, StatsCell};
@@ -33,6 +35,7 @@ pub use chainlog::ChainLog;
 pub use compile::{compile, CompileError, CompiledPartition};
 pub use engine::{Engine, EngineKind, Executor, ShardSlice};
 pub use results::ExecutorResults;
+pub use router::{BatchRouter, RoutedRows};
 pub use runner::SegmentRunner;
 pub use sharded::ShardedExecutor;
 pub use winvec::{Snapshot, WinVec};

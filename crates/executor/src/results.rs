@@ -36,6 +36,12 @@ impl ExecutorResults {
             .insert((group, window_start), value);
     }
 
+    /// Pre-size the store of `query` for at least `additional` further
+    /// results, so a steady-state emission phase performs no rehash.
+    pub fn reserve(&mut self, query: QueryId, additional: usize) {
+        self.per_query.entry(query).or_default().reserve(additional);
+    }
+
     /// Merge another result set into this one.
     pub fn merge(&mut self, other: ExecutorResults) {
         self.results_emitted += other.results_emitted;

@@ -1,0 +1,227 @@
+//! Route-once batch routing for the sharded runtime.
+//!
+//! Under the original fan-out every shard worker re-ran the stateless
+//! prefix of the per-event path — routing, predicate evaluation, group-key
+//! extraction — for **every** event and dropped the groups it did not own,
+//! duplicating that work `N` times. The [`BatchRouter`] runs the prefix
+//! exactly once per event on the ingest side: for each compiled partition
+//! it evaluates routing and predicates column-wise over the batch, hashes
+//! the group key, and appends the row index to the owning shard's list.
+//! Workers then call [`crate::Engine::process_routed`] with their lists
+//! and only ever touch rows they own.
+//!
+//! The shard assignment must agree exactly with
+//! [`crate::engine::ShardSlice::owns`], which the workers' engines
+//! debug-assert: grouped rows go to `(fx_hash_one(key) >> 32) % n_shards`,
+//! and the global (no `GROUP BY`) rows of partition `p` go to
+//! `p % n_shards` — the shard whose engine was built with `owns_global`.
+
+use crate::compile::CompiledPartition;
+use sharon_types::{fx_hash_one, EventBatch, GroupKey, Value};
+
+/// The rows of one batch owned by one shard, per compiled partition:
+/// `per_part[p]` lists the row indexes shard-owned for partition `p`.
+#[derive(Debug, Default)]
+pub struct RoutedRows {
+    /// Row-index lists, parallel to the compiled partitions.
+    pub per_part: Vec<Vec<u32>>,
+}
+
+impl RoutedRows {
+    /// True if no partition has any rows for this shard.
+    pub fn is_empty(&self) -> bool {
+        self.per_part.iter().all(Vec::is_empty)
+    }
+}
+
+/// Routes whole batches: one stateless prefix evaluation per event,
+/// shared by all shards.
+pub struct BatchRouter {
+    parts: Vec<CompiledPartition>,
+    n_shards: usize,
+    /// Reused scratch key (clone-free group-key hashing).
+    key_scratch: GroupKey,
+    vals_scratch: Vec<Value>,
+}
+
+impl BatchRouter {
+    /// A router for `parts` fanning out across `n_shards` shards.
+    pub fn new(parts: Vec<CompiledPartition>, n_shards: usize) -> Self {
+        assert!(n_shards >= 1);
+        BatchRouter {
+            parts,
+            n_shards,
+            key_scratch: GroupKey::Global,
+            vals_scratch: Vec::new(),
+        }
+    }
+
+    /// The compiled partitions this router serves.
+    pub fn partitions(&self) -> &[CompiledPartition] {
+        &self.parts
+    }
+
+    /// Compute, for every shard, the per-partition row lists of `batch`.
+    ///
+    /// Rows that do not route into a partition, fail its predicates, or
+    /// lack a grouping attribute are dropped here — exactly the events the
+    /// engines would drop — so workers receive only rows they will match.
+    pub fn route(&mut self, batch: &EventBatch) -> Vec<RoutedRows> {
+        self.route_range(batch, 0, batch.len())
+    }
+
+    /// [`BatchRouter::route`] restricted to rows `lo..hi` — the zero-copy
+    /// ingest path routes consecutive chunks of one shared batch without
+    /// ever copying it. Row indexes in the result are absolute.
+    pub fn route_range(&mut self, batch: &EventBatch, lo: usize, hi: usize) -> Vec<RoutedRows> {
+        let mut out: Vec<RoutedRows> = (0..self.n_shards)
+            .map(|_| RoutedRows {
+                per_part: (0..self.parts.len()).map(|_| Vec::new()).collect(),
+            })
+            .collect();
+        let tys = &batch.types()[lo..hi];
+        for (pi, part) in self.parts.iter().enumerate() {
+            let global_owner = pi % self.n_shards;
+            for (i, ty) in tys.iter().enumerate() {
+                let row = lo + i;
+                if !part.routed(*ty) {
+                    continue;
+                }
+                let attrs = batch.attrs(row);
+                if !part.predicates_pass(*ty, attrs) {
+                    continue;
+                }
+                let gattrs = &part.group_attrs[ty.index()];
+                let shard = if gattrs.is_empty() {
+                    global_owner
+                } else if self.n_shards == 1 {
+                    // single shard: groupability still filters, but no key
+                    // needs hashing — every group lands on shard 0
+                    if !part.groupable(*ty, attrs) {
+                        continue; // ungroupable event
+                    }
+                    0
+                } else {
+                    if !part.read_group_key(
+                        *ty,
+                        attrs,
+                        &mut self.vals_scratch,
+                        &mut self.key_scratch,
+                    ) {
+                        continue; // ungroupable event
+                    }
+                    // high hash bits, matching `ShardSlice::owns` (the low
+                    // bits index the owning shard's hash-map buckets)
+                    ((fx_hash_one(&self.key_scratch) >> 32) % self.n_shards as u64) as usize
+                };
+                out[shard].per_part[pi].push(row as u32);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::engine::ShardSlice;
+    use sharon_query::{parse_workload, SharingPlan};
+    use sharon_types::{Catalog, Schema, Timestamp};
+
+    fn setup() -> (Catalog, Vec<CompiledPartition>) {
+        let mut c = Catalog::new();
+        for n in ["A", "B"] {
+            c.register_with_schema(n, Schema::new(["g", "v"]));
+        }
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.v > 2 GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+                "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 10 ms",
+            ],
+        )
+        .unwrap();
+        let parts = compile(&c, &w, &SharingPlan::non_shared()).unwrap();
+        (c, parts)
+    }
+
+    fn batch(c: &Catalog, n: u64) -> EventBatch {
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut out = EventBatch::new();
+        for i in 0..n {
+            out.push_from(
+                if i % 2 == 0 { a } else { b },
+                Timestamp(i),
+                [Value::Int(i as i64 % 13), Value::Int(i as i64 % 7)],
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn every_row_routes_to_exactly_the_owning_shard() {
+        let (c, parts) = setup();
+        let n_shards = 3;
+        let mut router = BatchRouter::new(parts.clone(), n_shards);
+        let batch = batch(&c, 500);
+        let routed = router.route(&batch);
+        assert_eq!(routed.len(), n_shards);
+
+        for (pi, _part) in parts.iter().enumerate() {
+            let mut seen = vec![0u32; batch.len()];
+            for (shard, rows) in routed.iter().enumerate() {
+                let slice = ShardSlice {
+                    index: shard as u32,
+                    of: n_shards as u32,
+                    owns_global: pi % n_shards == shard,
+                };
+                for &row in &rows.per_part[pi] {
+                    seen[row as usize] += 1;
+                    // the assignment agrees with what the engine would own
+                    let gattrs = &parts[pi].group_attrs[batch.ty(row as usize).index()];
+                    let key = if gattrs.is_empty() {
+                        GroupKey::Global
+                    } else {
+                        GroupKey::from_values(
+                            gattrs
+                                .iter()
+                                .map(|a| batch.attr(row as usize, *a).unwrap().clone())
+                                .collect(),
+                        )
+                    };
+                    assert!(slice.owns(&key), "shard {shard} got a row it does not own");
+                }
+            }
+            assert!(
+                seen.iter().all(|&s| s <= 1),
+                "partition {pi}: a row reached two shards"
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_failures_are_dropped_at_the_router() {
+        let (c, parts) = setup();
+        let mut router = BatchRouter::new(parts, 2);
+        let a = c.lookup("A").unwrap();
+        let mut b = EventBatch::new();
+        // A.v = 1 fails `A.v > 2` for partition 0 but partition 1 has no
+        // predicate on A
+        b.push_from(a, Timestamp(0), [Value::Int(5), Value::Int(1)]);
+        let routed = router.route(&b);
+        let part0: usize = routed.iter().map(|r| r.per_part[0].len()).sum();
+        let part1: usize = routed.iter().map(|r| r.per_part[1].len()).sum();
+        assert_eq!(part0, 0, "failed predicate dropped at the router");
+        assert_eq!(part1, 1, "global partition still gets the row");
+    }
+
+    #[test]
+    fn empty_batch_routes_to_nothing() {
+        let (_, parts) = setup();
+        let mut router = BatchRouter::new(parts, 4);
+        let routed = router.route(&EventBatch::new());
+        assert!(routed.iter().all(RoutedRows::is_empty));
+    }
+}

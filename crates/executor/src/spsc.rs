@@ -1,0 +1,247 @@
+//! Bounded single-producer/single-consumer ring buffers.
+//!
+//! The sharded runtime fans routed batches out over one queue per worker:
+//! exactly one producer (the ingest thread) and one consumer (the shard
+//! worker) per queue. That restriction admits the classic Lamport ring —
+//! a fixed slot array with monotonically increasing head/tail counters,
+//! where each side writes only its own counter — so a transfer is two
+//! atomic loads and one release store, with no locks, no per-send
+//! allocation, and no cross-queue contention (unlike
+//! `std::sync::mpsc::sync_channel`, whose shared internal queue state both
+//! sides mutate).
+//!
+//! Blocking uses bounded spinning that decays to `yield_now` and then to a
+//! short sleep: batch-granular traffic (thousands of events per transfer)
+//! makes wait latency irrelevant, while sleeping avoids burning a core the
+//! peer may need — on a single-CPU host a spinning producer would stall
+//! the very worker it is waiting for.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Ring<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer reads (monotonic; slot = `head % cap`).
+    head: AtomicUsize,
+    /// Next slot the producer writes (monotonic; slot = `tail % cap`).
+    tail: AtomicUsize,
+    /// Set when either endpoint is dropped.
+    closed: AtomicBool,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one consumer
+// thread. Slot access is synchronized by the head/tail counters: the
+// producer only writes slots in `[head + cap, tail]`-free space it
+// observed via an Acquire load of `head`, and publishes them with a
+// Release store of `tail` (and vice versa for the consumer), so no slot is
+// ever accessed concurrently.
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // both endpoints are gone (Arc): drop any unconsumed items
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = self.slots[i % self.slots.len()].get();
+            // SAFETY: slots in [head, tail) hold initialized, unconsumed
+            // values, and no other thread exists at Drop time.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// Spin → yield → sleep backoff for the blocking paths.
+#[derive(Default)]
+struct Backoff(u32);
+
+impl Backoff {
+    fn wait(&mut self) {
+        if self.0 < 8 {
+            std::hint::spin_loop();
+        } else if self.0 < 24 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        self.0 = self.0.saturating_add(1);
+    }
+}
+
+/// The producing endpoint of a [`ring`]. Dropping it closes the queue;
+/// the consumer drains remaining items, then sees end-of-stream.
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The consuming endpoint of a [`ring`]. Dropping it closes the queue;
+/// subsequent sends fail fast.
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Create a bounded SPSC ring of `capacity` slots.
+pub fn ring<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "ring needs at least one slot");
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Sender {
+            ring: Arc::clone(&ring),
+        },
+        Receiver { ring },
+    )
+}
+
+impl<T: Send> Sender<T> {
+    /// Block until a slot frees up, then enqueue `value`. Fails (returning
+    /// the value) only if the receiver is gone.
+    ///
+    /// Takes `&mut self`: exclusive access is what makes this endpoint
+    /// single-producer — the borrow checker rules out concurrent `send`s
+    /// on a shared handle, which the lock-free slot writes rely on.
+    pub fn send(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let cap = ring.slots.len();
+        let tail = ring.tail.load(Ordering::Relaxed); // producer-owned
+        let mut backoff = Backoff::default();
+        loop {
+            if ring.closed.load(Ordering::Acquire) {
+                return Err(value);
+            }
+            let head = ring.head.load(Ordering::Acquire);
+            if tail - head < cap {
+                // SAFETY: `tail - head < cap` means slot `tail % cap` was
+                // consumed (or never written); only this thread writes it
+                // until the Release store below publishes it.
+                unsafe { (*ring.slots[tail % cap].get()).write(value) };
+                ring.tail.store(tail + 1, Ordering::Release);
+                return Ok(());
+            }
+            backoff.wait();
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Block until an item arrives and dequeue it, or return `None` once
+    /// the sender is gone and the ring has drained.
+    ///
+    /// Takes `&mut self` for the same reason as [`Sender::send`]: the
+    /// exclusive borrow enforces the single-consumer invariant.
+    pub fn recv(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let cap = ring.slots.len();
+        let head = ring.head.load(Ordering::Relaxed); // consumer-owned
+        let mut backoff = Backoff::default();
+        loop {
+            let tail = ring.tail.load(Ordering::Acquire);
+            if head < tail {
+                // SAFETY: the Acquire load of `tail` makes the producer's
+                // write of slot `head % cap` visible; only this thread
+                // reads it until the Release store below frees it.
+                let value = unsafe { (*ring.slots[head % cap].get()).assume_init_read() };
+                ring.head.store(head + 1, Ordering::Release);
+                return Some(value);
+            }
+            if ring.closed.load(Ordering::Acquire) {
+                // closed and (re-checked) empty: end of stream
+                if ring.tail.load(Ordering::Acquire) == head {
+                    return None;
+                }
+                continue;
+            }
+            backoff.wait();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (mut tx, mut rx) = ring::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Some(1));
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn cross_thread_with_backpressure() {
+        let (mut tx, mut rx) = ring::<u64>(3);
+        let n = 10_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut expected = 0;
+        while let Some(v) = rx.recv() {
+            assert_eq!(v, expected, "FIFO order");
+            expected += 1;
+        }
+        assert_eq!(expected, n);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (mut tx, rx) = ring::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn sender_drop_lets_consumer_drain() {
+        let (mut tx, mut rx) = ring::<u8>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped_not_leaked() {
+        use std::sync::Arc as StdArc;
+        let marker: StdArc<()> = StdArc::new(());
+        let (mut tx, rx) = ring::<StdArc<()>>(4);
+        tx.send(StdArc::clone(&marker)).unwrap();
+        tx.send(StdArc::clone(&marker)).unwrap();
+        assert_eq!(StdArc::strong_count(&marker), 3);
+        drop(tx);
+        drop(rx);
+        assert_eq!(StdArc::strong_count(&marker), 1, "ring drop frees items");
+    }
+}

@@ -93,7 +93,11 @@ impl<A: Aggregate> WinVec<A> {
     }
 
     fn commit(&mut self) {
-        for (seq, delta) in std::mem::take(&mut self.pending) {
+        // index loop instead of draining by value: the pending buffer is
+        // cleared but keeps its capacity, so steady-state commits never
+        // re-allocate it (cells are `Copy`)
+        for i in 0..self.pending.len() {
+            let (seq, delta) = self.pending[i];
             if self.committed.is_empty() {
                 self.first_seq = seq;
                 self.committed.push_back(A::ZERO);
@@ -110,6 +114,7 @@ impl<A: Aggregate> WinVec<A> {
             }
             self.committed[idx].merge(&delta);
         }
+        self.pending.clear();
     }
 
     /// Fold pending updates older than `now` into the committed state.

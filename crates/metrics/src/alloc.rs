@@ -14,6 +14,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 /// High-water mark since the last [`reset_peak`].
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+/// Total number of allocation calls (including growing reallocs) —
+/// the counter behind the zero-allocation hot-path regression tests.
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 /// A `#[global_allocator]` wrapper that tracks current and peak heap use.
 ///
@@ -24,6 +27,7 @@ static PEAK: AtomicUsize = AtomicUsize::new(0);
 pub struct TrackingAllocator;
 
 fn on_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
     let cur = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
     // lock-free peak update
     let mut peak = PEAK.load(Ordering::Relaxed);
@@ -82,6 +86,11 @@ pub fn reset_peak() -> usize {
     cur
 }
 
+/// Total allocation calls so far (growing reallocs count as one).
+pub fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
 /// Measure the peak heap growth (bytes above the starting level) while
 /// running `f`.
 ///
@@ -92,6 +101,17 @@ pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
     let out = f();
     let peak = peak_bytes();
     (out, peak.saturating_sub(base))
+}
+
+/// Count the allocation calls performed while running `f`.
+///
+/// Meaningful only when [`TrackingAllocator`] is installed as the global
+/// allocator; otherwise returns 0. Used by the allocation-regression
+/// tests that pin the steady-state hot paths at zero allocations.
+pub fn measure_allocs<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = alloc_count();
+    let out = f();
+    (out, alloc_count() - before)
 }
 
 #[cfg(test)]
@@ -120,6 +140,19 @@ mod tests {
         on_alloc(10);
         assert!(peak_bytes() >= base + 10);
         on_dealloc(10);
+    }
+
+    #[test]
+    fn alloc_counter_moves() {
+        // other tests in this binary may bump the global counters
+        // concurrently, so assert lower bounds only
+        let before = alloc_count();
+        on_alloc(16);
+        on_dealloc(16);
+        assert!(alloc_count() > before, "frees do not count");
+        let ((), n) = measure_allocs(|| on_alloc(8));
+        assert!(n >= 1);
+        on_dealloc(8);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub mod alloc;
 pub mod latency;
 pub mod report;
 
-pub use alloc::{current_bytes, measure_peak, peak_bytes, reset_peak, TrackingAllocator};
+pub use alloc::{
+    alloc_count, current_bytes, measure_allocs, measure_peak, peak_bytes, reset_peak,
+    TrackingAllocator,
+};
 pub use latency::{timed, LatencyRecorder};
 pub use report::{fmt_bytes, fmt_duration, fmt_throughput, Table};

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sharon_types::{Catalog, Event, EventTypeId, Schema, Timestamp, Value};
+use sharon_types::{Catalog, Event, EventBatch, EventTypeId, Schema, Timestamp, Value};
 
 /// Configuration for the e-commerce generator.
 #[derive(Debug, Clone)]
@@ -61,13 +61,13 @@ pub fn register_items(catalog: &mut Catalog, n_items: usize) -> Vec<EventTypeId>
         .collect()
 }
 
-/// Generate the EC stream: uniformly random item/customer purchases at
-/// the configured rate.
-pub fn generate(catalog: &mut Catalog, config: &EcommerceConfig) -> Vec<Event> {
+/// Generate the EC stream as a columnar [`EventBatch`]: uniformly random
+/// item/customer purchases at the configured rate.
+pub fn generate_batch(catalog: &mut Catalog, config: &EcommerceConfig) -> EventBatch {
     assert!(config.n_items >= 1 && config.n_customers >= 1 && config.events_per_sec >= 1);
     let items = register_items(catalog, config.n_items);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut events = Vec::with_capacity(config.n_events);
+    let mut events = EventBatch::with_capacity(config.n_events, 2);
     // spread events uniformly: interarrival = 1000 / rate ms (fractional
     // accumulation keeps the long-run rate exact)
     let step = 1000.0 / config.events_per_sec as f64;
@@ -77,13 +77,19 @@ pub fn generate(catalog: &mut Catalog, config: &EcommerceConfig) -> Vec<Event> {
         let item = items[rng.gen_range(0..config.n_items)];
         let customer = rng.gen_range(0..config.n_customers) as i64;
         let price: f64 = rng.gen_range(1.0..500.0);
-        events.push(Event::with_attrs(
+        events.push_from(
             item,
             Timestamp(clock as u64),
-            vec![Value::Int(customer), Value::Float(price)],
-        ));
+            [Value::Int(customer), Value::Float(price)],
+        );
     }
     events
+}
+
+/// Generate the EC stream as row-form events (compatibility shim over
+/// [`generate_batch`]).
+pub fn generate(catalog: &mut Catalog, config: &EcommerceConfig) -> Vec<Event> {
+    generate_batch(catalog, config).to_events()
 }
 
 #[cfg(test)]

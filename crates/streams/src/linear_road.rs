@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sharon_types::{Catalog, Event, EventTypeId, Schema, Timestamp, Value};
+use sharon_types::{Catalog, Event, EventBatch, EventTypeId, Schema, Timestamp, Value};
 
 /// Configuration for the Linear Road-style generator.
 #[derive(Debug, Clone)]
@@ -54,10 +54,12 @@ pub fn register_segments(catalog: &mut Catalog, n_segments: usize) -> Vec<EventT
         .collect()
 }
 
-/// Generate the LR stream. Events are time-ordered; the per-second event
-/// rate grows with the admitted-car population until trips start
+/// Generate the LR stream as a columnar [`EventBatch`]. Events are
+/// time-ordered by construction (the discrete-event loop below only emits
+/// reports stamped with the current simulated millisecond); the per-second
+/// event rate grows with the admitted-car population until trips start
 /// completing, mirroring Linear Road's ramp-up.
-pub fn generate(catalog: &mut Catalog, config: &LinearRoadConfig) -> Vec<Event> {
+pub fn generate_batch(catalog: &mut Catalog, config: &LinearRoadConfig) -> EventBatch {
     assert!(config.n_segments >= 1 && config.trip_segments >= 1);
     let segments = register_segments(catalog, config.n_segments);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -70,7 +72,7 @@ pub fn generate(catalog: &mut Catalog, config: &LinearRoadConfig) -> Vec<Event> 
     }
     let mut cars: Vec<Car> = Vec::new();
     let mut next_car_id = 0i64;
-    let mut events = Vec::new();
+    let mut events = EventBatch::new();
     let end = config.duration_secs * 1000;
     let admit_every = (1000.0 / config.cars_per_sec).max(1.0) as u64;
     let mut next_admission = admit_every;
@@ -95,11 +97,11 @@ pub fn generate(catalog: &mut Catalog, config: &LinearRoadConfig) -> Vec<Event> 
                 let seg = segments[(car.entry_segment + car.reports_sent) % config.n_segments];
                 let speed: f64 = rng.gen_range(30.0..100.0);
                 let pos: f64 = rng.gen_range(0.0..5280.0);
-                events.push(Event::with_attrs(
+                events.push_from(
                     seg,
                     Timestamp(now),
-                    vec![Value::Int(car.id), Value::Float(speed), Value::Float(pos)],
-                ));
+                    [Value::Int(car.id), Value::Float(speed), Value::Float(pos)],
+                );
                 car.reports_sent += 1;
                 car.next_report = now + config.report_every_ms;
             }
@@ -107,8 +109,13 @@ pub fn generate(catalog: &mut Catalog, config: &LinearRoadConfig) -> Vec<Event> 
         cars.retain(|c| c.reports_sent < config.trip_segments);
         now += 1;
     }
-    events.sort_by_key(|e| e.time);
     events
+}
+
+/// Generate the LR stream as row-form events (compatibility shim over
+/// [`generate_batch`]).
+pub fn generate(catalog: &mut Catalog, config: &LinearRoadConfig) -> Vec<Event> {
+    generate_batch(catalog, config).to_events()
 }
 
 /// Events per second over the first and last quarter of the stream —

@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sharon_types::{Catalog, Event, EventTypeId, Schema, Timestamp, Value};
+use sharon_types::{Catalog, Event, EventBatch, EventTypeId, Schema, Timestamp, Value};
 
 /// Configuration for the taxi stream generator.
 #[derive(Debug, Clone)]
@@ -79,8 +79,9 @@ pub fn register_streets(catalog: &mut Catalog, n_streets: usize) -> Vec<EventTyp
         .collect()
 }
 
-/// Generate the TX stream: time-ordered vehicle position reports.
-pub fn generate(catalog: &mut Catalog, config: &TaxiConfig) -> Vec<Event> {
+/// Generate the TX stream as a columnar [`EventBatch`] — the native form
+/// for the executors' batch hot path.
+pub fn generate_batch(catalog: &mut Catalog, config: &TaxiConfig) -> EventBatch {
     assert!(config.n_streets >= 2 && config.trip_len >= 1);
     let streets = register_streets(catalog, config.n_streets);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -90,7 +91,7 @@ pub fn generate(catalog: &mut Catalog, config: &TaxiConfig) -> Vec<Event> {
         .map(|_| (rng.gen_range(0..config.n_streets), 0))
         .collect();
 
-    let mut events = Vec::with_capacity(config.n_events);
+    let mut events = EventBatch::with_capacity(config.n_events, 2);
     let mut now = 0u64;
     for _ in 0..config.n_events {
         now += rng.gen_range(1..=config.mean_interarrival_ms.max(1) * 2);
@@ -98,11 +99,11 @@ pub fn generate(catalog: &mut Catalog, config: &TaxiConfig) -> Vec<Event> {
         let (offset, pos) = vehicles[v];
         let street = streets[(offset + pos) % config.n_streets];
         let speed: f64 = rng.gen_range(5.0..70.0);
-        events.push(Event::with_attrs(
+        events.push_from(
             street,
             Timestamp(now),
-            vec![Value::Int(v as i64), Value::Float(speed)],
-        ));
+            [Value::Int(v as i64), Value::Float(speed)],
+        );
         // advance the trip; start a fresh route when done
         vehicles[v] = if pos + 1 >= config.trip_len {
             (rng.gen_range(0..config.n_streets), 0)
@@ -111,6 +112,12 @@ pub fn generate(catalog: &mut Catalog, config: &TaxiConfig) -> Vec<Event> {
         };
     }
     events
+}
+
+/// Generate the TX stream as row-form events (compatibility shim over
+/// [`generate_batch`]).
+pub fn generate(catalog: &mut Catalog, config: &TaxiConfig) -> Vec<Event> {
+    generate_batch(catalog, config).to_events()
 }
 
 #[cfg(test)]

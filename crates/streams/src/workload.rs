@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sharon_query::{AggFunc, Pattern, Query, QueryId, Workload};
-use sharon_types::{Catalog, Event, EventTypeId, WindowSpec};
+use sharon_types::{Catalog, Event, EventBatch, EventTypeId, WindowSpec};
 use std::collections::HashMap;
 
 /// Configuration of the overlapping-workload generator.
@@ -84,6 +84,20 @@ pub fn measured_rates(events: &[Event]) -> (HashMap<EventTypeId, u64>, f64) {
     }
     let span = match (events.first(), events.last()) {
         (Some(a), Some(b)) => (b.time.millis() - a.time.millis()) as f64 / 1000.0,
+        _ => 0.0,
+    };
+    (counts, span.max(1e-9))
+}
+
+/// [`measured_rates`] over a columnar batch: a single scan of the `ty`
+/// and `time` columns.
+pub fn measured_rates_batch(batch: &EventBatch) -> (HashMap<EventTypeId, u64>, f64) {
+    let mut counts = HashMap::new();
+    for ty in batch.types() {
+        *counts.entry(*ty).or_insert(0u64) += 1;
+    }
+    let span = match (batch.times().first(), batch.times().last()) {
+        (Some(a), Some(b)) => (b.millis() - a.millis()) as f64 / 1000.0,
         _ => 0.0,
     };
     (counts, span.max(1e-9))

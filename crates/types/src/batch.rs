@@ -1,0 +1,270 @@
+//! Columnar event batches (struct-of-arrays).
+//!
+//! The executors' per-event cost is dominated by the stateless prefix of
+//! the pipeline — routing on the event type, predicate evaluation, group
+//! key extraction — and by per-event heap traffic. An [`EventBatch`] stores
+//! a slice of the stream in struct-of-arrays form so that prefix runs as
+//! tight column scans and the whole batch costs a handful of amortized
+//! buffer growths instead of one allocation per event:
+//!
+//! * a `ty` column (`Vec<EventTypeId>`) — the only column routing reads;
+//! * a `time` column (`Vec<Timestamp>`);
+//! * the attribute values of all rows in **one contiguous buffer**
+//!   (`Vec<Value>`) with a row-offset column, Arrow-style. Event types have
+//!   heterogeneous schemas (different attribute counts per type), so fixed
+//!   per-attribute columns would need null padding; the offset layout keeps
+//!   the values contiguous and ragged rows cheap.
+//!
+//! Batches are reusable: [`EventBatch::clear`] keeps all four buffers, so a
+//! steady-state ingest loop performs no allocation. The row-form
+//! [`Event`] remains as a compatibility shim — [`EventBatch::event`]
+//! materializes one row, [`EventBatch::push_event`] appends one.
+
+use crate::catalog::{AttrId, EventTypeId};
+use crate::event::Event;
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// A time-ordered slice of the stream in columnar (struct-of-arrays) form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBatch {
+    tys: Vec<EventTypeId>,
+    times: Vec<Timestamp>,
+    /// `offsets[row] .. offsets[row + 1]` indexes `values`; always has
+    /// `len() + 1` entries starting with 0.
+    offsets: Vec<u32>,
+    /// Attribute values of all rows, contiguous.
+    values: Vec<Value>,
+}
+
+impl Default for EventBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        EventBatch {
+            tys: Vec::new(),
+            times: Vec::new(),
+            offsets: vec![0],
+            values: Vec::new(),
+        }
+    }
+
+    /// An empty batch with room for `rows` events carrying about
+    /// `attrs_per_row` values each.
+    pub fn with_capacity(rows: usize, attrs_per_row: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        EventBatch {
+            tys: Vec::with_capacity(rows),
+            times: Vec::with_capacity(rows),
+            offsets,
+            values: Vec::with_capacity(rows * attrs_per_row),
+        }
+    }
+
+    /// Number of events in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tys.len()
+    }
+
+    /// True if the batch holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tys.is_empty()
+    }
+
+    /// Drop all rows, keeping every buffer's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.tys.clear();
+        self.times.clear();
+        self.offsets.truncate(1);
+        self.values.clear();
+    }
+
+    /// Append one event, moving `attrs` into the value buffer.
+    ///
+    /// Events must be appended in non-decreasing timestamp order
+    /// (debug-asserted), matching what every executor requires.
+    #[inline]
+    pub fn push_from(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: impl IntoIterator<Item = Value>,
+    ) {
+        debug_assert!(
+            self.times.last().is_none_or(|&t| t <= time),
+            "batches must be built in timestamp order"
+        );
+        self.tys.push(ty);
+        self.times.push(time);
+        self.values.extend(attrs);
+        let end = u32::try_from(self.values.len()).expect("batch value buffer exceeds u32 offsets");
+        self.offsets.push(end);
+    }
+
+    /// Append one event, cloning `attrs` into the value buffer.
+    #[inline]
+    pub fn push(&mut self, ty: EventTypeId, time: Timestamp, attrs: &[Value]) {
+        self.push_from(ty, time, attrs.iter().cloned());
+    }
+
+    /// Append a row-form [`Event`].
+    #[inline]
+    pub fn push_event(&mut self, e: &Event) {
+        self.push(e.ty, e.time, &e.attrs);
+    }
+
+    /// Append rows `lo..hi` of `other`.
+    pub fn extend_from_range(&mut self, other: &EventBatch, lo: usize, hi: usize) {
+        for row in lo..hi {
+            self.push(other.ty(row), other.time(row), other.attrs(row));
+        }
+    }
+
+    /// The type of event `row`.
+    #[inline]
+    pub fn ty(&self, row: usize) -> EventTypeId {
+        self.tys[row]
+    }
+
+    /// The timestamp of event `row`.
+    #[inline]
+    pub fn time(&self, row: usize) -> Timestamp {
+        self.times[row]
+    }
+
+    /// The attribute values of event `row`.
+    #[inline]
+    pub fn attrs(&self, row: usize) -> &[Value] {
+        &self.values[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+    }
+
+    /// The value of attribute `attr` of event `row`, if present.
+    #[inline]
+    pub fn attr(&self, row: usize, attr: AttrId) -> Option<&Value> {
+        self.attrs(row).get(attr.index())
+    }
+
+    /// Numeric value of attribute `attr` of event `row`, if present and
+    /// numeric.
+    #[inline]
+    pub fn attr_f64(&self, row: usize, attr: AttrId) -> Option<f64> {
+        self.attr(row, attr).and_then(Value::as_f64)
+    }
+
+    /// The whole `ty` column.
+    #[inline]
+    pub fn types(&self) -> &[EventTypeId] {
+        &self.tys
+    }
+
+    /// The whole `time` column.
+    #[inline]
+    pub fn times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// Materialize row `row` as a row-form [`Event`] (compatibility shim).
+    pub fn event(&self, row: usize) -> Event {
+        Event::with_attrs(self.ty(row), self.time(row), self.attrs(row))
+    }
+
+    /// Build a batch from row-form events (must be time-ordered).
+    pub fn from_events(events: &[Event]) -> Self {
+        let values = events.iter().map(|e| e.attrs.len()).sum::<usize>();
+        let mut batch = Self::with_capacity(events.len(), values.div_ceil(events.len().max(1)));
+        for e in events {
+            batch.push_event(e);
+        }
+        batch
+    }
+
+    /// Materialize every row (compatibility shim for row-form consumers).
+    pub fn to_events(&self) -> Vec<Event> {
+        (0..self.len()).map(|row| self.event(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventBatch {
+        let mut b = EventBatch::new();
+        b.push_from(EventTypeId(0), Timestamp(1), [Value::Int(7)]);
+        b.push_from(EventTypeId(1), Timestamp(2), []);
+        b.push_from(
+            EventTypeId(0),
+            Timestamp(2),
+            [Value::Int(8), Value::Float(0.5)],
+        );
+        b
+    }
+
+    #[test]
+    fn columns_and_ragged_rows() {
+        let b = sample();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.types(), &[EventTypeId(0), EventTypeId(1), EventTypeId(0)]);
+        assert_eq!(b.times(), &[Timestamp(1), Timestamp(2), Timestamp(2)]);
+        assert_eq!(b.attrs(0), &[Value::Int(7)]);
+        assert_eq!(b.attrs(1), &[] as &[Value]);
+        assert_eq!(b.attrs(2), &[Value::Int(8), Value::Float(0.5)]);
+        assert_eq!(b.attr(2, AttrId(1)), Some(&Value::Float(0.5)));
+        assert_eq!(b.attr(1, AttrId(0)), None);
+        assert_eq!(b.attr_f64(2, AttrId(1)), Some(0.5));
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let b = sample();
+        let events = b.to_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].attr_f64(AttrId(1)), Some(0.5));
+        let back = EventBatch::from_events(&events);
+        assert_eq!(back, b);
+        assert_eq!(back.event(0), events[0]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut b = sample();
+        let cap = (b.tys.capacity(), b.values.capacity(), b.offsets.capacity());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.offsets, vec![0]);
+        assert_eq!(
+            (b.tys.capacity(), b.values.capacity(), b.offsets.capacity()),
+            cap
+        );
+        b.push(EventTypeId(9), Timestamp(5), &[Value::Int(1)]);
+        assert_eq!(b.attrs(0), &[Value::Int(1)]);
+    }
+
+    #[test]
+    fn extend_from_range() {
+        let b = sample();
+        let mut out = EventBatch::new();
+        out.extend_from_range(&b, 1, 3);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.ty(0), EventTypeId(1));
+        assert_eq!(out.attrs(1), b.attrs(2));
+        out.extend_from_range(&b, 3, 3);
+        assert_eq!(out.len(), 2, "empty range is a no-op");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = EventBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.to_events(), Vec::<Event>::new());
+        assert_eq!(EventBatch::from_events(&[]).len(), 0);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`Value`] — typed attribute values carried by events.
 //! * [`EventTypeId`] and the [`Catalog`] — interned event types and their
 //!   attribute [`Schema`]s.
-//! * [`Event`] — a timestamped message of a particular event type.
+//! * [`Event`] — a timestamped message of a particular event type, with
+//!   small attribute lists stored inline ([`AttrVec`]).
+//! * [`EventBatch`] — a columnar (struct-of-arrays) slice of the stream,
+//!   the unit of work of every hot execution path.
 //! * [`WindowSpec`] — the `WITHIN`/`SLIDE` sliding-window clause together
 //!   with the window instance arithmetic used by the executor.
 //! * [`GroupKey`] — values of the `GROUP BY` attributes.
@@ -22,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod catalog;
 pub mod event;
 pub mod group;
@@ -31,8 +35,9 @@ pub mod time;
 pub mod value;
 pub mod window;
 
+pub use batch::EventBatch;
 pub use catalog::{AttrId, Catalog, EventTypeId, Schema};
-pub use event::Event;
+pub use event::{AttrVec, Event};
 pub use group::GroupKey;
 pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use stream::{EventStream, SortedVecStream};

@@ -6,6 +6,7 @@
 //! such ordered sources, and [`SortedVecStream`] is the in-memory
 //! implementation used by tests and benchmarks.
 
+use crate::batch::EventBatch;
 use crate::event::Event;
 
 /// An ordered source of events.
@@ -25,6 +26,23 @@ pub trait EventStream {
         while out.len() - before < max {
             match self.next_event() {
                 Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out.len() - before
+    }
+
+    /// Append up to `max` events to the columnar batch `out`, returning
+    /// how many were produced (0 at end of stream). This is the preferred
+    /// ingestion form — the executors' hot paths are columnar — and `out`
+    /// is a caller-owned reusable batch, so steady-state ingestion performs
+    /// no allocation. Sources that hold columnar data should override this
+    /// to avoid materializing row-form events.
+    fn next_batch_columnar(&mut self, max: usize, out: &mut EventBatch) -> usize {
+        let before = out.len();
+        while out.len() - before < max {
+            match self.next_event() {
+                Some(e) => out.push_event(&e),
                 None => break,
             }
         }
@@ -147,6 +165,17 @@ mod tests {
         assert_eq!(s.next_batch(3, &mut buf), 0);
         assert_eq!(buf.len(), 7);
         assert!(buf.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn next_batch_columnar_fills_in_chunks() {
+        let mut s = SortedVecStream::presorted((0..5).map(|t| ev(0, t)).collect());
+        let mut batch = crate::batch::EventBatch::new();
+        assert_eq!(s.next_batch_columnar(3, &mut batch), 3);
+        assert_eq!(s.next_batch_columnar(3, &mut batch), 2);
+        assert_eq!(s.next_batch_columnar(3, &mut batch), 0);
+        assert_eq!(batch.len(), 5);
+        assert!(batch.times().windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

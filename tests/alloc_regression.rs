@@ -1,0 +1,112 @@
+//! Allocation regression tests for the columnar hot path.
+//!
+//! The steady-state promise of the columnar engine: once group state,
+//! scratch buffers, and the result store have warmed up, processing a
+//! columnar batch performs **zero** heap allocations. This binary installs
+//! [`sharon_metrics::TrackingAllocator`] as the global allocator (its own
+//! test binary, so no other suite is affected) and counts allocation calls
+//! around a measured steady-state phase.
+//!
+//! Scope: the promise covers stateless length-1 segment patterns (the
+//! engine's unit path). Multi-type segments still box one START entry per
+//! live START event — pooling those is an open ROADMAP item.
+
+use sharon::prelude::*;
+use sharon_metrics::{alloc, TrackingAllocator};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+const GROUPS: i64 = 16;
+const BATCH_ROWS: usize = 256;
+const WARMUP_BATCHES: usize = 48;
+const MEASURED_BATCHES: usize = 32;
+
+/// Pre-build time-ordered columnar batches of `A(g, v)` events cycling
+/// over a fixed group set.
+fn build_batches(catalog: &Catalog, n: usize, first_time: u64) -> (Vec<EventBatch>, u64) {
+    let a = catalog.lookup("A").expect("type A registered");
+    let mut out = Vec::with_capacity(n);
+    let mut t = first_time;
+    for _ in 0..n {
+        let mut batch = EventBatch::with_capacity(BATCH_ROWS, 2);
+        for _ in 0..BATCH_ROWS {
+            t += 1;
+            batch.push_from(
+                a,
+                Timestamp(t),
+                [Value::Int(t as i64 % GROUPS), Value::Int(t as i64 % 7)],
+            );
+        }
+        out.push(batch);
+    }
+    (out, t)
+}
+
+#[test]
+fn columnar_hot_path_is_allocation_free_after_warmup() {
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["g", "v"]));
+    let workload = parse_workload(
+        &mut catalog,
+        ["RETURN COUNT(*) PATTERN SEQ(A) GROUP BY g WITHIN 8 ms SLIDE 4 ms"],
+    )
+    .unwrap();
+    let mut executor = Executor::non_shared(&catalog, &workload).unwrap();
+
+    let (warmup, t) = build_batches(&catalog, WARMUP_BATCHES, 0);
+    let (measured, _) = build_batches(&catalog, MEASURED_BATCHES, t);
+
+    // warm up: create all groups, grow every scratch/pending buffer and
+    // the per-group window state to steady-state capacity
+    for batch in &warmup {
+        executor.process_columnar(batch);
+    }
+    // result emission appends to a hash map for the whole run; pre-size it
+    // for the measured phase so emission is pure inserts (capacity
+    // planning, not a loophole: everything else must already be reusing
+    // warmed buffers)
+    let expected_results = (MEASURED_BATCHES * BATCH_ROWS / 4 + 64) * (GROUPS as usize);
+    executor.reserve_results(expected_results);
+
+    let matched_before = executor.events_matched();
+    let (_, allocs) = alloc::measure_allocs(|| {
+        for batch in &measured {
+            executor.process_columnar(batch);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state columnar hot path must not allocate \
+         ({MEASURED_BATCHES} batches of {BATCH_ROWS} events performed {allocs} allocations)"
+    );
+    assert_eq!(
+        executor.events_matched() - matched_before,
+        (MEASURED_BATCHES * BATCH_ROWS) as u64,
+        "every measured event matched (the phase did real work)"
+    );
+
+    // sanity: the run produces real per-group, per-window results
+    let results = executor.finish();
+    assert!(results.len() > 1000, "windows closed and emitted");
+}
+
+#[test]
+fn per_event_shim_stays_inline_for_small_events() {
+    // the row-form compatibility path: events with <= 4 attributes never
+    // allocate for their attribute storage
+    let ((), allocs) = alloc::measure_allocs(|| {
+        let mut sink = 0u64;
+        for i in 0..1000u64 {
+            let e = Event::with_attrs(
+                EventTypeId(0),
+                Timestamp(i),
+                [Value::Int(i as i64), Value::Float(0.5), Value::Int(7)],
+            );
+            sink += e.attrs.len() as u64;
+            std::hint::black_box(&e);
+        }
+        assert_eq!(sink, 3000);
+    });
+    assert_eq!(allocs, 0, "small events must not touch the allocator");
+}

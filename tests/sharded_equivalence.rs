@@ -1,9 +1,12 @@
-//! Determinism of the sharded parallel runtime: for every shard count,
-//! [`ShardedExecutor`] produces results `semantically_eq` to the
-//! sequential [`Executor`] — sharding is a pure work partition, never a
-//! semantics change. Checked on all three paper streams (TX, LR, EC) under
-//! both the Sharon plan and the non-shared plan, and property-tested over
-//! random group cardinalities.
+//! Determinism of the sharded parallel runtime and the columnar batch
+//! path: for every shard count, [`ShardedExecutor`] produces results
+//! `semantically_eq` to the sequential [`Executor`] — sharding is a pure
+//! work partition, never a semantics change — and the columnar
+//! `process_columnar` path (sequential and sharded route-once) is
+//! equivalent to per-event processing. Checked on all three paper streams
+//! (TX, LR, EC) under both the Sharon plan and the non-shared plan, and
+//! property-tested over random group cardinalities and ragged batch sizes
+//! (including empty and single-event batches).
 
 use proptest::prelude::{prop, proptest, ProptestConfig};
 use sharon::prelude::*;
@@ -16,8 +19,10 @@ use sharon::streams::workload::{
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 
-/// Run `events` sequentially and under every shard count; assert all
-/// results agree with the sequential reference.
+/// Run `events` sequentially (per-event reference) and assert agreement
+/// of: the sequential columnar path, and — per shard count — the sharded
+/// runtime under mixed row-form ingestion AND under columnar route-once
+/// ingestion.
 fn assert_sharded_matches_sequential(
     catalog: &Catalog,
     workload: &Workload,
@@ -26,8 +31,22 @@ fn assert_sharded_matches_sequential(
     label: &str,
 ) {
     let mut sequential = Executor::new(catalog, workload, plan).expect("sequential compiles");
-    sequential.process_batch(events);
+    for e in events {
+        sequential.process(e);
+    }
     let want = sequential.finish();
+
+    // the sequential columnar path is equivalent to per-event processing
+    let batch = EventBatch::from_events(events);
+    let mut columnar = Executor::new(catalog, workload, plan).expect("columnar compiles");
+    columnar.process_columnar(&batch);
+    let got = columnar.finish();
+    assert!(
+        got.semantically_eq(&want, 1e-9),
+        "{label}: sequential columnar diverges from per-event ({} vs {} results)",
+        got.len(),
+        want.len(),
+    );
 
     for shards in SHARD_COUNTS {
         let mut sharded =
@@ -42,6 +61,19 @@ fn assert_sharded_matches_sequential(
         assert!(
             got.semantically_eq(&want, 1e-9),
             "{label}: {shards} shards diverge from the sequential engine \
+             ({} vs {} results)",
+            got.len(),
+            want.len(),
+        );
+
+        // columnar route-once ingestion agrees too
+        let mut sharded =
+            ShardedExecutor::new(catalog, workload, plan, shards).expect("sharded compiles");
+        sharded.process_columnar(&batch);
+        let got = sharded.finish();
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "{label}: {shards} shards (columnar ingest) diverge \
              ({} vs {} results)",
             got.len(),
             want.len(),
@@ -225,6 +257,85 @@ proptest! {
             got.semantically_eq(&want, 1e-9),
             "cardinality {} shards {}: sharded diverges",
             cardinality,
+            shards
+        );
+    }
+
+    /// Ragged columnar batch sizes — empty and single-event batches
+    /// included — never change results: chopping the stream into columnar
+    /// chunks of arbitrary sizes is equivalent to per-event processing,
+    /// sequentially and under route-once sharding.
+    #[test]
+    fn ragged_columnar_batches(
+        shards in 1usize..=5,
+        chunk_lens in prop::collection::vec(0usize..=17, 1..=40),
+        raw in prop::collection::vec((0usize..3, 0u64..=2, 0i64..=9), 0..=150),
+    ) {
+        let mut catalog = Catalog::new();
+        for n in ["A", "B", "C"] {
+            catalog.register_with_schema(n, Schema::new(["g", "v"]));
+        }
+        let workload = parse_workload(
+            &mut catalog,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+                "RETURN SUM(C.v) PATTERN SEQ(B, C) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+            ],
+        )
+        .unwrap();
+        let names = ["A", "B", "C"];
+        let mut t = 0u64;
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(ty, dt, v)| {
+                t += dt;
+                Event::with_attrs(
+                    catalog.lookup(names[ty]).unwrap(),
+                    Timestamp(t),
+                    vec![Value::Int(v % 11), Value::Int(v)],
+                )
+            })
+            .collect();
+
+        // chop the stream into ragged columnar chunks (0-length chunks
+        // produce genuinely empty batches; leftover events form a tail)
+        let mut batches: Vec<EventBatch> = Vec::new();
+        let mut rest = &events[..];
+        for len in chunk_lens {
+            let take = len.min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            batches.push(EventBatch::from_events(head));
+            rest = tail;
+        }
+        batches.push(EventBatch::from_events(rest));
+
+        let mut per_event = Executor::non_shared(&catalog, &workload).unwrap();
+        for e in &events {
+            per_event.process(e);
+        }
+        let want = per_event.finish();
+
+        let mut columnar = Executor::non_shared(&catalog, &workload).unwrap();
+        for b in &batches {
+            columnar.process_columnar(b);
+        }
+        let got = columnar.finish();
+        proptest::prop_assert!(
+            got.semantically_eq(&want, 1e-9),
+            "sequential columnar diverges over ragged batches"
+        );
+
+        // a small flush threshold forces mid-stream route-once fan-outs
+        let plan = SharingPlan::non_shared();
+        let mut sharded =
+            ShardedExecutor::with_batch_size(&catalog, &workload, &plan, shards, 13).unwrap();
+        for b in &batches {
+            sharded.process_columnar(b);
+        }
+        let got = sharded.finish();
+        proptest::prop_assert!(
+            got.semantically_eq(&want, 1e-9),
+            "{} shards: columnar route-once diverges over ragged batches",
             shards
         );
     }
