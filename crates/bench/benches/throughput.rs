@@ -2,13 +2,17 @@
 //! sequential batched (row-form) vs sequential columnar vs the sharded
 //! route-once runtime at varying shard counts and `GROUP BY`
 //! cardinalities, on the high-cardinality taxi stream under the Sharon
-//! optimizer's plan.
+//! optimizer's plan — plus an **all-strategy columnar sweep** (Flink,
+//! SPASS, A-Seq, SHARON through `AnyExecutor::process_columnar`) that
+//! doubles as the trait-dispatch bitrot guard: CI runs this bench at
+//! 5k-event scale on every change, and the sweep asserts all four
+//! strategies still agree.
 //!
 //! Prints one table per scenario and writes a machine-readable baseline to
-//! `BENCH_PR2.json` at the workspace root (override with
+//! `BENCH_PR3.json` at the workspace root (override with
 //! `SHARON_BENCH_OUT`), so future optimization PRs have a perf trajectory
-//! to compare against (`BENCH_PR1.json` holds the pre-columnar numbers).
-//! `SHARON_SCALE` scales the stream length.
+//! to compare against (`BENCH_PR1.json`/`BENCH_PR2.json` hold earlier
+//! PRs' numbers). `SHARON_SCALE` scales the stream length.
 //!
 //! Note: thread-level speedup from sharding is only observable when the
 //! host grants more than one CPU; the JSON records
@@ -17,7 +21,9 @@
 use sharon::prelude::*;
 use sharon::streams::taxi::{self, TaxiConfig};
 use sharon::streams::workload::{figure_1_workload, measured_rates_batch};
-use sharon_bench::scale;
+use sharon::twostep::{FlinkLike, SpassLike};
+use sharon::{AnyExecutor, Strategy};
+use sharon_bench::{scale, scaled};
 use sharon_metrics::Table;
 use std::sync::Arc;
 use std::time::Instant;
@@ -103,6 +109,81 @@ fn scenario(n_events: usize, n_vehicles: usize) -> (String, Vec<Run>) {
     (name, runs)
 }
 
+/// All four strategies of Figure 3 through the one columnar trait-dispatch
+/// pipeline (`AnyExecutor::process_columnar`), sequential and 2-way
+/// sharded. Sized smaller than the main scenarios: the two-step baselines
+/// pay the polynomial sequence-construction cost by design.
+fn strategy_sweep() -> (String, Vec<Run>) {
+    let n_events = scaled(20_000, 2_000);
+    let n_vehicles = (n_events / 20).max(50);
+    let name = format!("strategies events={n_events} groups={n_vehicles} (columnar dispatch)");
+    let mut catalog = Catalog::new();
+    let batch = taxi::generate_batch(
+        &mut catalog,
+        &TaxiConfig::high_cardinality(n_events, n_vehicles),
+    );
+    let workload = figure_1_workload(&mut catalog);
+    let (counts, span) = measured_rates_batch(&batch);
+    let rates = RateMap::from_counts(&counts, span);
+    let n = batch.len();
+    // optimize once outside the measured closures (like `scenario`): the
+    // sweep times ingestion + finish, not the fixed plan-search cost
+    let plan = optimize_sharon(&workload, &rates, &OptimizerConfig::default()).plan;
+    let build = |strategy: Strategy, shards: usize| -> AnyExecutor {
+        match (strategy, shards) {
+            (Strategy::Sharon, 0) => Executor::new(&catalog, &workload, &plan).unwrap().into(),
+            (Strategy::ASeq, 0) => Executor::non_shared(&catalog, &workload).unwrap().into(),
+            (Strategy::FlinkLike, 0) => FlinkLike::new(&catalog, &workload).unwrap().into(),
+            (Strategy::SpassLike, 0) => SpassLike::new(&catalog, &workload, &plan).unwrap().into(),
+            (Strategy::Sharon, n) => ShardedExecutor::new(&catalog, &workload, &plan, n)
+                .unwrap()
+                .into(),
+            (Strategy::ASeq, n) => ShardedExecutor::non_shared(&catalog, &workload, n)
+                .unwrap()
+                .into(),
+            (Strategy::FlinkLike, n) => FlinkLike::sharded(&catalog, &workload, n).unwrap().into(),
+            (Strategy::SpassLike, n) => SpassLike::sharded(&catalog, &workload, &plan, n)
+                .unwrap()
+                .into(),
+            (Strategy::Greedy, _) => unreachable!("Greedy is not in the sweep"),
+        }
+    };
+
+    let strategies = [
+        Strategy::FlinkLike,
+        Strategy::SpassLike,
+        Strategy::ASeq,
+        Strategy::Sharon,
+    ];
+    let mut runs = Vec::new();
+    for strategy in strategies {
+        runs.push(measure(&format!("strategy/{}", strategy.name()), n, || {
+            let mut ex = build(strategy, 0);
+            ex.process_columnar(&batch);
+            ex.finish()
+        }));
+    }
+    for strategy in strategies {
+        runs.push(measure(
+            &format!("strategy/{}/sharded-2", strategy.name()),
+            n,
+            || {
+                let mut ex = build(strategy, 2);
+                ex.process_columnar(&batch);
+                ex.finish()
+            },
+        ));
+    }
+
+    // the four strategies answer identically — a result-count divergence
+    // means the trait dispatch or a baseline's columnar path bitrotted
+    let want = runs[0].results;
+    for run in &runs {
+        assert_eq!(run.results, want, "{}: strategies disagree", run.label);
+    }
+    (name, runs)
+}
+
 fn fmt_rate(r: f64) -> String {
     if r >= 1_000_000.0 {
         format!("{:.2}M ev/s", r / 1_000_000.0)
@@ -114,7 +195,7 @@ fn fmt_rate(r: f64) -> String {
 fn json_out(path: &std::path::Path, scenarios: &[(String, Vec<Run>)], parallelism: usize) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"throughput\",\n  \"pr\": 2,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
+        "  \"bench\": \"throughput\",\n  \"pr\": 3,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
         scale()
     ));
     if parallelism == 1 {
@@ -157,6 +238,7 @@ fn main() {
     let scenarios: Vec<(String, Vec<Run>)> = vec![
         scenario(base.max(5_000), 100),
         scenario(base.max(5_000), 10_000),
+        strategy_sweep(),
     ];
 
     for (name, runs) in &scenarios {
@@ -180,7 +262,7 @@ fn main() {
     }
 
     let path = std::env::var("SHARON_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").to_string()
     });
     json_out(std::path::Path::new(&path), &scenarios, parallelism);
 }

@@ -14,7 +14,7 @@
 
 use sharon::prelude::*;
 use sharon::streams::workload::measured_rates;
-use sharon::{build_executor, Strategy};
+use sharon::{build_executor, build_sharded_executor, Strategy};
 use sharon_metrics::{fmt_bytes, fmt_duration, fmt_throughput, measure_peak, Table};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -25,6 +25,17 @@ pub fn scale() -> f64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0)
+}
+
+/// Read the global shard count (default 0 = sequential). Every strategy —
+/// online or two-step — runs on the route-once sharded runtime when this
+/// is set, making the figure sweeps apples-to-apples columnar comparisons
+/// at any shard count.
+pub fn shards() -> usize {
+    std::env::var("SHARON_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Scale an integer parameter, keeping it at least `min`.
@@ -114,6 +125,13 @@ impl Measurement {
 /// Run `strategy` over `events`, measuring latency per window slide,
 /// total time, throughput, and peak memory. `cap` aborts the run (DNF)
 /// when exceeded.
+///
+/// Events are fed through the columnar [`EventBatch`] pipeline — the
+/// native form of every strategy — chunked at window-slide boundaries (so
+/// per-window latency samples stay meaningful) and at
+/// [`Executor::RUN_BATCH`] rows. With `SHARON_SHARDS=N` the strategy runs
+/// on the route-once sharded runtime instead (`finish` drains the
+/// workers, so totals still charge all work).
 pub fn run_measured(
     catalog: &Catalog,
     workload: &Workload,
@@ -132,8 +150,13 @@ pub fn run_measured(
         search_budget: Some(Duration::from_secs(5)),
         ..Default::default()
     };
-    let (mut ex, _) =
-        build_executor(catalog, workload, rates, strategy, &cfg).expect("executor compiles");
+    let n_shards = shards();
+    let (mut ex, _) = if n_shards > 0 {
+        build_sharded_executor(catalog, workload, rates, strategy, &cfg, n_shards)
+    } else {
+        build_executor(catalog, workload, rates, strategy, &cfg)
+    }
+    .expect("executor compiles");
 
     sharon_metrics::reset_peak();
     let base = sharon_metrics::peak_bytes();
@@ -142,19 +165,44 @@ pub fn run_measured(
     let mut samples: Vec<Duration> = Vec::new();
     let mut next_boundary = events.first().map(|e| e.time.millis() + slide).unwrap_or(0);
     let mut fed: u64 = 0;
-    for (i, e) in events.iter().enumerate() {
+    // smaller chunks under a cap: the cap is only checked between batch
+    // flushes, so the chunk bounds how far a blowing-up two-step run can
+    // overshoot its deadline
+    let flush_at = if cap.is_some() {
+        256
+    } else {
+        Executor::RUN_BATCH
+    };
+    let mut buf = EventBatch::with_capacity(flush_at, 2);
+    for e in events.iter() {
         if e.time.millis() >= next_boundary {
+            // flush before sampling so the window's work is charged to it
+            if !buf.is_empty() {
+                ex.process_columnar(&buf);
+                buf.clear();
+            }
             samples.push(window_start.elapsed());
             window_start = Instant::now();
             next_boundary = e.time.millis() / slide * slide + slide;
         }
-        ex.process(e);
+        buf.push_event(e);
         fed += 1;
+        if buf.len() >= flush_at {
+            ex.process_columnar(&buf);
+            buf.clear();
+        }
+        // checked between pushes (not only on full-chunk flushes): low
+        // density streams flush at window boundaries and may never fill a
+        // chunk, but the cap must still fire within 512 events of a
+        // blow-up
         if let Some(cap) = cap {
-            if i % 512 == 0 && start.elapsed() > cap {
+            if fed.is_multiple_of(512) && start.elapsed() > cap {
                 return Measurement::dnf();
             }
         }
+    }
+    if !buf.is_empty() {
+        ex.process_columnar(&buf);
     }
     samples.push(window_start.elapsed());
     let results = ex.finish();

@@ -11,8 +11,10 @@
 //!          [--explain] [--results N]
 //!
 //! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
-//! Figure 2 purchase workload (ec) is used. `--shards N` runs the online
-//! strategies on the sharded parallel runtime with N worker threads.
+//! Figure 2 purchase workload (ec) is used. `--shards N` runs *any*
+//! strategy — online or two-step — on the sharded parallel runtime with N
+//! worker threads (every strategy is a columnar `BatchProcessor` the
+//! route-once runtime can host).
 //! ```
 
 use sharon::prelude::*;

@@ -51,7 +51,9 @@ impl SharonFramework {
     /// Compile with the Sharon optimizer and run on the sharded parallel
     /// runtime with `n_shards` worker threads (see
     /// [`sharon_executor::ShardedExecutor`]). Results are identical to the
-    /// sequential engine; shards only partition the work.
+    /// sequential engine; shards only partition the work. (Use
+    /// [`crate::build_sharded_executor`] directly to shard any other
+    /// strategy, including the two-step baselines.)
     pub fn with_shards(
         catalog: &Catalog,
         workload: &Workload,

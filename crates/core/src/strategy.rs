@@ -1,7 +1,13 @@
 //! Execution strategies: the five systems compared in Section 8
 //! (Figure 3's taxonomy) behind one constructor.
+//!
+//! Every strategy — online or two-step, sequential or sharded — is a
+//! [`BatchProcessor`], so [`AnyExecutor`] is nothing but a boxed trait
+//! object: one columnar operator pipeline drives the whole taxonomy, with
+//! no per-strategy match arms and no row-form [`Event`] materialization on
+//! any batch path.
 
-use sharon_executor::{CompileError, Executor, ExecutorResults, ShardedExecutor};
+use sharon_executor::{BatchProcessor, CompileError, Executor, ExecutorResults, ShardedExecutor};
 use sharon_optimizer::{
     optimize_greedy, optimize_sharon, OptimizeOutcome, OptimizerConfig, RateMap,
 };
@@ -40,91 +46,46 @@ impl Strategy {
     }
 }
 
-/// A uniformly driven executor of any strategy.
-pub enum AnyExecutor {
-    /// The online engine (Sharon / Greedy / A-Seq).
-    Online(Executor),
-    /// The online engine on the sharded parallel runtime.
-    Sharded(ShardedExecutor),
-    /// The non-shared two-step baseline.
-    Flink(FlinkLike),
-    /// The shared two-step baseline.
-    Spass(SpassLike),
+/// A uniformly driven executor of any strategy: pure trait dispatch over
+/// the one [`BatchProcessor`] pipeline every strategy implements.
+pub struct AnyExecutor {
+    inner: Box<dyn BatchProcessor>,
 }
 
 impl AnyExecutor {
+    /// Wrap any [`BatchProcessor`].
+    pub fn new(inner: Box<dyn BatchProcessor>) -> Self {
+        AnyExecutor { inner }
+    }
+
     /// Process one event.
     pub fn process(&mut self, e: &Event) {
-        match self {
-            AnyExecutor::Online(x) => x.process(e),
-            AnyExecutor::Sharded(x) => x.process(e),
-            AnyExecutor::Flink(x) => x.process(e),
-            AnyExecutor::Spass(x) => x.process(e),
-        }
+        self.inner.process_event(e);
     }
 
-    /// Process a time-ordered batch of events. Online engines amortize
-    /// per-event dispatch; the two-step baselines fall back to the
-    /// per-event path.
+    /// Process a time-ordered batch of row-form events.
     pub fn process_batch(&mut self, events: &[Event]) {
-        match self {
-            AnyExecutor::Online(x) => x.process_batch(events),
-            AnyExecutor::Sharded(x) => x.process_batch(events),
-            AnyExecutor::Flink(x) => {
-                for e in events {
-                    x.process(e);
-                }
-            }
-            AnyExecutor::Spass(x) => {
-                for e in events {
-                    x.process(e);
-                }
-            }
-        }
+        self.inner.process_events(events);
     }
 
-    /// Process a time-ordered columnar batch. The online engines run
-    /// their columnar hot path (and the sharded runtime routes once and
-    /// fans out row lists); the two-step baselines materialize row-form
-    /// events per row, since they only expose a per-event path.
+    /// Process a time-ordered columnar batch — every strategy's native
+    /// stateless-scan → stateful-dispatch pipeline (the online engines'
+    /// columnar hot path, the sharded runtime's route-once fan-out, the
+    /// baselines' per-scope scans). No per-row [`Event`] is materialized.
     pub fn process_columnar(&mut self, batch: &EventBatch) {
-        match self {
-            AnyExecutor::Online(x) => x.process_columnar(batch),
-            AnyExecutor::Sharded(x) => x.process_columnar(batch),
-            AnyExecutor::Flink(x) => {
-                for row in 0..batch.len() {
-                    x.process(&batch.event(row));
-                }
-            }
-            AnyExecutor::Spass(x) => {
-                for row in 0..batch.len() {
-                    x.process(&batch.event(row));
-                }
-            }
-        }
+        self.inner.process_columnar(batch);
     }
 
     /// Flush and return results.
     pub fn finish(self) -> ExecutorResults {
-        self.finish_with_matched().0
+        self.inner.finish().0
     }
 
     /// Flush and return `(results, events_matched)`. Unlike
     /// [`AnyExecutor::events_matched`], the count here is exact for the
     /// sharded runtime too — it is read after all workers drain.
     pub fn finish_with_matched(self) -> (ExecutorResults, u64) {
-        match self {
-            AnyExecutor::Online(x) => {
-                let matched = x.events_matched();
-                (x.finish(), matched)
-            }
-            AnyExecutor::Sharded(x) => {
-                let (results, matched, _cells) = x.finish_with_stats();
-                (results, matched)
-            }
-            AnyExecutor::Flink(x) => (x.finish(), 0),
-            AnyExecutor::Spass(x) => (x.finish(), 0),
-        }
+        self.inner.finish()
     }
 
     /// Events that passed routing/predicates/grouping (online engines;
@@ -132,23 +93,38 @@ impl AnyExecutor {
     /// which trail ingestion by at most the in-flight batches) or zero
     /// for the two-step baselines, which do not track it.
     pub fn events_matched(&self) -> u64 {
-        match self {
-            AnyExecutor::Online(x) => x.events_matched(),
-            AnyExecutor::Sharded(x) => x.events_matched(),
-            _ => 0,
-        }
+        self.inner.events_matched()
     }
 
     /// State-size proxy: live aggregate cells / buffered events /
     /// materialized matches (zero for the sharded runtime, whose state
     /// lives on its worker threads).
     pub fn state_size(&self) -> usize {
-        match self {
-            AnyExecutor::Online(x) => x.cell_count(),
-            AnyExecutor::Sharded(_) => 0,
-            AnyExecutor::Flink(x) => x.buffered_events(),
-            AnyExecutor::Spass(x) => x.materialized_matches(),
-        }
+        self.inner.state_size()
+    }
+}
+
+impl From<Executor> for AnyExecutor {
+    fn from(ex: Executor) -> Self {
+        AnyExecutor::new(Box::new(ex))
+    }
+}
+
+impl From<ShardedExecutor> for AnyExecutor {
+    fn from(ex: ShardedExecutor) -> Self {
+        AnyExecutor::new(Box::new(ex))
+    }
+}
+
+impl From<FlinkLike> for AnyExecutor {
+    fn from(ex: FlinkLike) -> Self {
+        AnyExecutor::new(Box::new(ex))
+    }
+}
+
+impl From<SpassLike> for AnyExecutor {
+    fn from(ex: SpassLike) -> Self {
+        AnyExecutor::new(Box::new(ex))
     }
 }
 
@@ -165,25 +141,25 @@ pub fn build_executor(
         Strategy::Sharon => {
             let outcome = optimize_sharon(workload, rates, config);
             let ex = Executor::new(catalog, workload, &outcome.plan)?;
-            Ok((AnyExecutor::Online(ex), Some(outcome)))
+            Ok((ex.into(), Some(outcome)))
         }
         Strategy::Greedy => {
             let outcome = optimize_greedy(workload, rates);
             let ex = Executor::new(catalog, workload, &outcome.plan)?;
-            Ok((AnyExecutor::Online(ex), Some(outcome)))
+            Ok((ex.into(), Some(outcome)))
         }
         Strategy::ASeq => {
             let ex = Executor::non_shared(catalog, workload)?;
-            Ok((AnyExecutor::Online(ex), None))
+            Ok((ex.into(), None))
         }
-        Strategy::FlinkLike => Ok((AnyExecutor::Flink(FlinkLike::new(catalog, workload)?), None)),
+        Strategy::FlinkLike => Ok((FlinkLike::new(catalog, workload)?.into(), None)),
         Strategy::SpassLike => {
             // SPASS shares *construction*; give it the same optimal plan so
             // its shared segments match Sharon's (the paper gives SPASS its
             // own sharing optimizer for construction)
             let outcome = optimize_sharon(workload, rates, config);
             let ex = SpassLike::new(catalog, workload, &outcome.plan)?;
-            Ok((AnyExecutor::Spass(ex), Some(outcome)))
+            Ok((ex.into(), Some(outcome)))
         }
     }
 }
@@ -219,11 +195,13 @@ pub fn executor_for_plan(
     Executor::new(catalog, workload, plan)
 }
 
-/// Build a sharded parallel executor under `strategy`'s sharing plan.
+/// Build a sharded parallel executor under `strategy`.
 ///
-/// `Strategy::FlinkLike` / `Strategy::SpassLike` are not supported — the
-/// two-step baselines are inherently sequential; callers get
-/// `CompileError::PlanInvalid` rather than a silently sequential run.
+/// Every strategy shards: the online engines run one engine set per
+/// worker ([`ShardedExecutor::new`]), and the two-step baselines run one
+/// full baseline instance per worker behind their own route-once scopes
+/// ([`FlinkLike::sharded`] / [`SpassLike::sharded`]) — making figure-13
+/// comparisons apples-to-apples columnar at any shard count.
 pub fn build_sharded_executor(
     catalog: &Catalog,
     workload: &Workload,
@@ -232,25 +210,29 @@ pub fn build_sharded_executor(
     config: &OptimizerConfig,
     n_shards: usize,
 ) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
-    let (plan, outcome) = match strategy {
+    let (ex, outcome) = match strategy {
         Strategy::Sharon => {
             let outcome = optimize_sharon(workload, rates, config);
-            (outcome.plan.clone(), Some(outcome))
+            let ex = ShardedExecutor::new(catalog, workload, &outcome.plan, n_shards)?;
+            (ex, Some(outcome))
         }
         Strategy::Greedy => {
             let outcome = optimize_greedy(workload, rates);
-            (outcome.plan.clone(), Some(outcome))
+            let ex = ShardedExecutor::new(catalog, workload, &outcome.plan, n_shards)?;
+            (ex, Some(outcome))
         }
-        Strategy::ASeq => (SharingPlan::non_shared(), None),
-        Strategy::FlinkLike | Strategy::SpassLike => {
-            return Err(CompileError::PlanInvalid(format!(
-                "two-step baseline {} cannot run on the sharded runtime",
-                strategy.name()
-            )));
+        Strategy::ASeq => (
+            ShardedExecutor::non_shared(catalog, workload, n_shards)?,
+            None,
+        ),
+        Strategy::FlinkLike => (FlinkLike::sharded(catalog, workload, n_shards)?, None),
+        Strategy::SpassLike => {
+            let outcome = optimize_sharon(workload, rates, config);
+            let ex = SpassLike::sharded(catalog, workload, &outcome.plan, n_shards)?;
+            (ex, Some(outcome))
         }
     };
-    let ex = ShardedExecutor::new(catalog, workload, &plan, n_shards)?;
-    Ok((AnyExecutor::Sharded(ex), outcome))
+    Ok((ex.into(), outcome))
 }
 
 #[cfg(test)]
@@ -289,6 +271,59 @@ mod tests {
                 "{} diverges from A-Seq",
                 strategy.name()
             );
+        }
+    }
+
+    #[test]
+    fn all_strategies_shard_via_columnar_trait_dispatch() {
+        // the trait-dispatch acceptance check: every strategy, sequential
+        // and sharded, driven purely through AnyExecutor::process_columnar
+        let mut catalog = Catalog::new();
+        let events = generate(
+            &mut catalog,
+            &EcommerceConfig {
+                n_events: 1200,
+                n_items: 8,
+                events_per_sec: 500,
+                ..Default::default()
+            },
+        );
+        let workload = figure_2_workload(&mut catalog);
+        let (counts, span) = measured_rates(&events);
+        let rates = RateMap::from_counts(&counts, span);
+        let batch = sharon_types::EventBatch::from_events(&events);
+        let cfg = OptimizerConfig::default();
+
+        let reference = run_strategy(&catalog, &workload, &rates, Strategy::ASeq, &events).unwrap();
+        for strategy in [
+            Strategy::Sharon,
+            Strategy::Greedy,
+            Strategy::ASeq,
+            Strategy::FlinkLike,
+            Strategy::SpassLike,
+        ] {
+            let (mut sequential, _) =
+                build_executor(&catalog, &workload, &rates, strategy, &cfg).unwrap();
+            sequential.process_columnar(&batch);
+            let got = sequential.finish();
+            assert!(
+                got.semantically_eq(&reference, 1e-9),
+                "{} columnar diverges",
+                strategy.name()
+            );
+
+            for shards in [1usize, 3] {
+                let (mut sharded, _) =
+                    build_sharded_executor(&catalog, &workload, &rates, strategy, &cfg, shards)
+                        .unwrap();
+                sharded.process_columnar(&batch);
+                let got = sharded.finish();
+                assert!(
+                    got.semantically_eq(&reference, 1e-9),
+                    "{} sharded/{shards} diverges",
+                    strategy.name()
+                );
+            }
         }
     }
 

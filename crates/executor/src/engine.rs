@@ -924,6 +924,33 @@ impl Executor {
     }
 }
 
+impl crate::processor::BatchProcessor for Executor {
+    fn process_event(&mut self, e: &Event) {
+        self.process(e);
+    }
+
+    fn process_events(&mut self, events: &[Event]) {
+        self.process_batch(events);
+    }
+
+    fn process_columnar(&mut self, batch: &EventBatch) {
+        Executor::process_columnar(self, batch);
+    }
+
+    fn events_matched(&self) -> u64 {
+        Executor::events_matched(self)
+    }
+
+    fn state_size(&self) -> usize {
+        self.cell_count()
+    }
+
+    fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
+        let matched = Executor::events_matched(&self);
+        ((*self).finish(), matched)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

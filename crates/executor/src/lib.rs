@@ -22,6 +22,7 @@ pub mod agg;
 pub mod chainlog;
 pub mod compile;
 pub mod engine;
+pub mod processor;
 mod proptests;
 pub mod results;
 pub mod router;
@@ -34,8 +35,9 @@ pub use agg::{Aggregate, Contribution, CountCell, OutputKind, StatsCell};
 pub use chainlog::ChainLog;
 pub use compile::{compile, CompileError, CompiledPartition};
 pub use engine::{Engine, EngineKind, Executor, ShardSlice};
+pub use processor::BatchProcessor;
 pub use results::ExecutorResults;
-pub use router::{BatchRouter, RoutedRows};
+pub use router::{BatchRouter, RouteBatch, RoutedRows, RowFilter};
 pub use runner::SegmentRunner;
-pub use sharded::ShardedExecutor;
+pub use sharded::{ShardProcessor, ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE};
 pub use winvec::{Snapshot, WinVec};

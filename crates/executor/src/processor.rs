@@ -1,0 +1,62 @@
+//! The uniform columnar operator interface of the execution layer.
+//!
+//! Every strategy in the system — the online Sharon/A-Seq engines, the
+//! sharded parallel runtime, and the two-step baselines — is a *stage
+//! pipeline over [`EventBatch`]*: a *stateless scan* of the batch columns
+//! (routing on the `ty` column, predicate evaluation over the value
+//! buffer, group-key extraction) selects the surviving row indices, and a
+//! *stateful dispatch* folds only those rows into per-group state.
+//! [`BatchProcessor`] captures that contract behind one trait so callers
+//! (the strategy layer, the framework, the CLI, the benches) drive every
+//! strategy identically — no per-strategy match arms, and no row-form
+//! [`Event`] is ever materialized on a batch path.
+//!
+//! Implementors: [`crate::Executor`] (online engines),
+//! [`crate::ShardedExecutor`] (route-once parallel runtime), and the
+//! `sharon-twostep` crate's `FlinkLike` / `SpassLike` baselines.
+
+use crate::results::ExecutorResults;
+use sharon_types::{Event, EventBatch};
+
+/// A columnar operator: consumes time-ordered [`EventBatch`]es (the native
+/// form of every hot path) plus row-form events through a compatibility
+/// shim, and produces [`ExecutorResults`] when finished.
+///
+/// All ingestion methods require global timestamp order across calls, the
+/// same contract every executor in the system already imposes.
+pub trait BatchProcessor: Send {
+    /// Process one row-form event (the per-event compatibility shim).
+    fn process_event(&mut self, e: &Event);
+
+    /// Process a time-ordered slice of row-form events. The default loops
+    /// [`BatchProcessor::process_event`]; implementors override it when
+    /// they can amortize per-event dispatch.
+    fn process_events(&mut self, events: &[Event]) {
+        for e in events {
+            self.process_event(e);
+        }
+    }
+
+    /// Process a time-ordered columnar batch: the stateless scan +
+    /// stateful dispatch pipeline. No implementation materializes a
+    /// row-form [`Event`] here.
+    fn process_columnar(&mut self, batch: &EventBatch);
+
+    /// Events that passed the stateless prefix (routing, predicates,
+    /// grouping) so far; zero for strategies that do not track it.
+    fn events_matched(&self) -> u64 {
+        0
+    }
+
+    /// Strategy-specific state-size proxy: live aggregate cells (online),
+    /// buffered raw events (Flink-like), materialized matches
+    /// (SPASS-like), zero when state lives off-thread (sharded).
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    /// Flush all remaining windows and return
+    /// `(results, events_matched)`. The matched count here is exact even
+    /// for the sharded runtime, whose workers drain before reporting.
+    fn finish(self: Box<Self>) -> (ExecutorResults, u64);
+}

@@ -4,68 +4,172 @@
 //! prefix of the per-event path — routing, predicate evaluation, group-key
 //! extraction — for **every** event and dropped the groups it did not own,
 //! duplicating that work `N` times. The [`BatchRouter`] runs the prefix
-//! exactly once per event on the ingest side: for each compiled partition
-//! it evaluates routing and predicates column-wise over the batch, hashes
+//! exactly once per event on the ingest side: for each routing scope it
+//! evaluates routing and predicates column-wise over the batch, hashes
 //! the group key, and appends the row index to the owning shard's list.
-//! Workers then call [`crate::Engine::process_routed`] with their lists
-//! and only ever touch rows they own.
+//! Workers then consume their lists (`process_routed`) and only ever touch
+//! rows they own.
+//!
+//! The router is generic over [`RowFilter`] — the stateless per-row prefix
+//! of one routing *scope*. For the online engines a scope is a
+//! [`CompiledPartition`]; the two-step baselines provide their own filters
+//! (per query for Flink-like, per sharing-signature partition for
+//! SPASS-like), which is what lets the sharded runtime host *any*
+//! [`crate::BatchProcessor`].
 //!
 //! The shard assignment must agree exactly with
-//! [`crate::engine::ShardSlice::owns`], which the workers' engines
+//! [`crate::engine::ShardSlice::owns`], which the online workers' engines
 //! debug-assert: grouped rows go to `(fx_hash_one(key) >> 32) % n_shards`,
-//! and the global (no `GROUP BY`) rows of partition `p` go to
+//! and the global (no `GROUP BY`) rows of scope `p` go to
 //! `p % n_shards` — the shard whose engine was built with `owns_global`.
 
 use crate::compile::CompiledPartition;
-use sharon_types::{fx_hash_one, EventBatch, GroupKey, Value};
+use sharon_types::{fx_hash_one, EventBatch, EventTypeId, GroupKey, Value};
 
-/// The rows of one batch owned by one shard, per compiled partition:
-/// `per_part[p]` lists the row indexes shard-owned for partition `p`.
+/// The stateless per-row prefix of one routing scope: type routing,
+/// predicate evaluation, and group-key extraction. One definition of these
+/// semantics is shared by the per-event path, the columnar pre-pass, and
+/// the batch router, so the three paths cannot drift apart.
+pub trait RowFilter {
+    /// True if `ty` routes into this scope at all.
+    fn routed(&self, ty: EventTypeId) -> bool;
+
+    /// True if `attrs` pass this scope's predicates on `ty` (a missing
+    /// attribute fails). Only called for routed types.
+    fn predicates_pass(&self, ty: EventTypeId, attrs: &[Value]) -> bool;
+
+    /// True if every `GROUP BY` attribute of `ty` is present in `attrs`.
+    /// Only called for routed types.
+    fn groupable(&self, ty: EventTypeId, attrs: &[Value]) -> bool;
+
+    /// Build the group key of a routed row into `key` (reusing the `vals`
+    /// scratch buffer), returning `false` for ungroupable rows. With no
+    /// `GROUP BY`, writes [`GroupKey::Global`].
+    fn read_group_key(
+        &self,
+        ty: EventTypeId,
+        attrs: &[Value],
+        vals: &mut Vec<Value>,
+        key: &mut GroupKey,
+    ) -> bool;
+}
+
+impl RowFilter for CompiledPartition {
+    #[inline]
+    fn routed(&self, ty: EventTypeId) -> bool {
+        CompiledPartition::routed(self, ty)
+    }
+
+    #[inline]
+    fn predicates_pass(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        CompiledPartition::predicates_pass(self, ty, attrs)
+    }
+
+    #[inline]
+    fn groupable(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        CompiledPartition::groupable(self, ty, attrs)
+    }
+
+    #[inline]
+    fn read_group_key(
+        &self,
+        ty: EventTypeId,
+        attrs: &[Value],
+        vals: &mut Vec<Value>,
+        key: &mut GroupKey,
+    ) -> bool {
+        CompiledPartition::read_group_key(self, ty, attrs, vals, key)
+    }
+}
+
+/// The rows of one batch owned by one shard, per routing scope:
+/// `per_part[p]` lists the row indexes shard-owned for scope `p`
+/// (a compiled partition, a query, or a signature partition, depending on
+/// the hosted processor).
 #[derive(Debug, Default)]
 pub struct RoutedRows {
-    /// Row-index lists, parallel to the compiled partitions.
+    /// Row-index lists, parallel to the routing scopes.
     pub per_part: Vec<Vec<u32>>,
 }
 
 impl RoutedRows {
-    /// True if no partition has any rows for this shard.
+    /// True if no scope has any rows for this shard.
     pub fn is_empty(&self) -> bool {
         self.per_part.iter().all(Vec::is_empty)
     }
+
+    /// Clear every row list, keeping capacities — the recycling path of
+    /// the sharded runtime's return ring.
+    pub fn clear(&mut self) {
+        for rows in &mut self.per_part {
+            rows.clear();
+        }
+    }
+
+    /// Clear and resize to exactly `n_scopes` lists (retaining existing
+    /// list capacities where possible).
+    pub fn reset(&mut self, n_scopes: usize) {
+        self.clear();
+        self.per_part.resize_with(n_scopes, Vec::new);
+    }
+}
+
+/// Type-erased batch routing: what the sharded runtime's ingest thread
+/// drives, one virtual call per batch chunk. Implemented by
+/// [`BatchRouter`] for any [`RowFilter`] scope type.
+pub trait RouteBatch: Send {
+    /// Number of shards this router fans out to.
+    fn n_shards(&self) -> usize;
+
+    /// Number of routing scopes (the length of every
+    /// [`RoutedRows::per_part`]).
+    fn n_scopes(&self) -> usize;
+
+    /// Compute, for every shard, the per-scope row lists of rows
+    /// `lo..hi` of `batch` (absolute row indexes). `out` arrives holding
+    /// recycled [`RoutedRows`] (possibly fewer than `n_shards`, possibly
+    /// dirty); the router resets and tops it up — steady-state routing
+    /// allocates nothing beyond row-list growth.
+    fn route_range_into(
+        &mut self,
+        batch: &EventBatch,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<RoutedRows>,
+    );
 }
 
 /// Routes whole batches: one stateless prefix evaluation per event,
-/// shared by all shards.
-pub struct BatchRouter {
-    parts: Vec<CompiledPartition>,
+/// shared by all shards. Generic over the scope type `F` — compiled
+/// partitions for the online engines, baseline-provided filters for the
+/// two-step strategies.
+pub struct BatchRouter<F = CompiledPartition> {
+    scopes: Vec<F>,
     n_shards: usize,
     /// Reused scratch key (clone-free group-key hashing).
     key_scratch: GroupKey,
     vals_scratch: Vec<Value>,
 }
 
-impl BatchRouter {
-    /// A router for `parts` fanning out across `n_shards` shards.
-    pub fn new(parts: Vec<CompiledPartition>, n_shards: usize) -> Self {
+impl<F: RowFilter> BatchRouter<F> {
+    /// A router for `scopes` fanning out across `n_shards` shards.
+    pub fn new(scopes: Vec<F>, n_shards: usize) -> Self {
         assert!(n_shards >= 1);
         BatchRouter {
-            parts,
+            scopes,
             n_shards,
             key_scratch: GroupKey::Global,
             vals_scratch: Vec::new(),
         }
     }
 
-    /// The compiled partitions this router serves.
-    pub fn partitions(&self) -> &[CompiledPartition] {
-        &self.parts
+    /// The routing scopes this router serves.
+    pub fn scopes(&self) -> &[F] {
+        &self.scopes
     }
 
-    /// Compute, for every shard, the per-partition row lists of `batch`.
-    ///
-    /// Rows that do not route into a partition, fail its predicates, or
-    /// lack a grouping attribute are dropped here — exactly the events the
-    /// engines would drop — so workers receive only rows they will match.
+    /// Compute, for every shard, the per-scope row lists of `batch`
+    /// (convenience wrapper over [`RouteBatch::route_range_into`]).
     pub fn route(&mut self, batch: &EventBatch) -> Vec<RoutedRows> {
         self.route_range(batch, 0, batch.len())
     }
@@ -74,35 +178,53 @@ impl BatchRouter {
     /// ingest path routes consecutive chunks of one shared batch without
     /// ever copying it. Row indexes in the result are absolute.
     pub fn route_range(&mut self, batch: &EventBatch, lo: usize, hi: usize) -> Vec<RoutedRows> {
-        let mut out: Vec<RoutedRows> = (0..self.n_shards)
-            .map(|_| RoutedRows {
-                per_part: (0..self.parts.len()).map(|_| Vec::new()).collect(),
-            })
-            .collect();
+        let mut out = Vec::new();
+        self.route_range_into(batch, lo, hi, &mut out);
+        out
+    }
+
+    /// Rows that do not route into a scope, fail its predicates, or lack a
+    /// grouping attribute are dropped here — exactly the rows the stateful
+    /// side would drop — so workers receive only rows they will match.
+    /// See [`RouteBatch::route_range_into`] for the recycling contract of
+    /// `out`.
+    pub fn route_range_into(
+        &mut self,
+        batch: &EventBatch,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<RoutedRows>,
+    ) {
+        out.truncate(self.n_shards);
+        for rows in out.iter_mut() {
+            rows.reset(self.scopes.len());
+        }
+        while out.len() < self.n_shards {
+            let mut rows = RoutedRows::default();
+            rows.reset(self.scopes.len());
+            out.push(rows);
+        }
         let tys = &batch.types()[lo..hi];
-        for (pi, part) in self.parts.iter().enumerate() {
+        for (pi, scope) in self.scopes.iter().enumerate() {
             let global_owner = pi % self.n_shards;
             for (i, ty) in tys.iter().enumerate() {
                 let row = lo + i;
-                if !part.routed(*ty) {
+                if !scope.routed(*ty) {
                     continue;
                 }
                 let attrs = batch.attrs(row);
-                if !part.predicates_pass(*ty, attrs) {
+                if !scope.predicates_pass(*ty, attrs) {
                     continue;
                 }
-                let gattrs = &part.group_attrs[ty.index()];
-                let shard = if gattrs.is_empty() {
-                    global_owner
-                } else if self.n_shards == 1 {
+                let shard = if self.n_shards == 1 {
                     // single shard: groupability still filters, but no key
-                    // needs hashing — every group lands on shard 0
-                    if !part.groupable(*ty, attrs) {
+                    // needs hashing — every row lands on shard 0
+                    if !scope.groupable(*ty, attrs) {
                         continue; // ungroupable event
                     }
                     0
                 } else {
-                    if !part.read_group_key(
+                    if !scope.read_group_key(
                         *ty,
                         attrs,
                         &mut self.vals_scratch,
@@ -110,14 +232,37 @@ impl BatchRouter {
                     ) {
                         continue; // ungroupable event
                     }
-                    // high hash bits, matching `ShardSlice::owns` (the low
-                    // bits index the owning shard's hash-map buckets)
-                    ((fx_hash_one(&self.key_scratch) >> 32) % self.n_shards as u64) as usize
+                    match &self.key_scratch {
+                        GroupKey::Global => global_owner,
+                        // high hash bits, matching `ShardSlice::owns` (the
+                        // low bits index the owning shard's hash-map
+                        // buckets)
+                        key => ((fx_hash_one(key) >> 32) % self.n_shards as u64) as usize,
+                    }
                 };
                 out[shard].per_part[pi].push(row as u32);
             }
         }
-        out
+    }
+}
+
+impl<F: RowFilter + Send> RouteBatch for BatchRouter<F> {
+    fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    fn n_scopes(&self) -> usize {
+        self.scopes.len()
+    }
+
+    fn route_range_into(
+        &mut self,
+        batch: &EventBatch,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<RoutedRows>,
+    ) {
+        BatchRouter::route_range_into(self, batch, lo, hi, out);
     }
 }
 
@@ -223,5 +368,24 @@ mod tests {
         let mut router = BatchRouter::new(parts, 4);
         let routed = router.route(&EventBatch::new());
         assert!(routed.iter().all(RoutedRows::is_empty));
+    }
+
+    #[test]
+    fn recycled_lists_are_reset_before_reuse() {
+        let (c, parts) = setup();
+        let mut router = BatchRouter::new(parts, 2);
+        let b = batch(&c, 100);
+        let mut out = router.route(&b);
+        let want: Vec<Vec<Vec<u32>>> = out.iter().map(|r| r.per_part.clone()).collect();
+        // dirty the recycled lists, then re-route into them: results and
+        // capacities must be identical to a fresh route
+        router.route_range_into(&b, 0, b.len(), &mut out);
+        let got: Vec<Vec<Vec<u32>>> = out.iter().map(|r| r.per_part.clone()).collect();
+        assert_eq!(got, want, "recycled routing must equal fresh routing");
+        // shrinking the pool still works: route with fewer recycled lists
+        out.truncate(1);
+        router.route_range_into(&b, 0, b.len(), &mut out);
+        let got: Vec<Vec<Vec<u32>>> = out.iter().map(|r| r.per_part.clone()).collect();
+        assert_eq!(got, want);
     }
 }

@@ -82,10 +82,18 @@ struct StartEntry<A> {
 ///
 /// (Length-1 segments need no state at all: each matching event is
 /// simultaneously START and END, handled inline by the engine.)
+///
+/// START-entry cell arrays are **pooled**: expiration returns each dead
+/// entry's box to a free list and [`SegmentRunner::on_start`] reuses it,
+/// so the steady-state multi-type-segment path performs no per-event
+/// allocation (the free list is bounded by the peak number of live START
+/// events, which sliding-window expiration itself bounds).
 #[derive(Debug, Clone)]
 pub struct SegmentRunner<A> {
     len: usize,
     starts: VecDeque<StartEntry<A>>,
+    /// Recycled cell arrays of expired START entries.
+    free: Vec<Box<[Cell<A>]>>,
 }
 
 impl<A: Aggregate> SegmentRunner<A> {
@@ -95,6 +103,7 @@ impl<A: Aggregate> SegmentRunner<A> {
         SegmentRunner {
             len,
             starts: VecDeque::new(),
+            free: Vec::new(),
         }
     }
 
@@ -122,7 +131,8 @@ impl<A: Aggregate> SegmentRunner<A> {
         let mut dropped = 0;
         while let Some(front) = self.starts.front() {
             if front.time <= cutoff {
-                self.starts.pop_front();
+                let entry = self.starts.pop_front().expect("front checked");
+                self.free.push(entry.cells);
                 dropped += 1;
             } else {
                 break;
@@ -132,13 +142,20 @@ impl<A: Aggregate> SegmentRunner<A> {
     }
 
     /// A START-type event arrived: create a new live START entry whose
-    /// unit aggregate becomes visible to strictly later events.
+    /// unit aggregate becomes visible to strictly later events. The cell
+    /// array comes from the expiration free list when one is available.
     pub fn on_start(&mut self, time: Timestamp, c: Contribution) {
         debug_assert!(
             self.starts.back().is_none_or(|b| b.time <= time),
             "events must arrive in timestamp order"
         );
-        let mut cells = vec![Cell::zero(); self.len - 1].into_boxed_slice();
+        let mut cells = match self.free.pop() {
+            Some(mut cells) => {
+                cells.fill(Cell::zero());
+                cells
+            }
+            None => vec![Cell::zero(); self.len - 1].into_boxed_slice(),
+        };
         cells[0] = Cell::with_pending(A::unit(c), time);
         self.starts.push_back(StartEntry { time, cells });
     }
@@ -307,5 +324,21 @@ mod tests {
     #[should_panic(expected = "length-1 segments are stateless")]
     fn length_one_rejected() {
         let _ = SegmentRunner::<CountCell>::new(1);
+    }
+
+    #[test]
+    fn expired_entries_are_pooled_and_reset_on_reuse() {
+        // the recycled cell array must behave exactly like a fresh one
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(3);
+        r.on_start(Timestamp(1), NONE);
+        r.on_mid(1, Timestamp(2), NONE); // dirty the second cell
+        assert_eq!(r.expire(Timestamp(1)), 1);
+        assert_eq!(r.free.len(), 1, "expired entry returned to the pool");
+        r.on_start(Timestamp(3), NONE); // reuses the pooled array
+        assert!(r.free.is_empty(), "pooled entry was taken");
+        // a C now must see no completion: the dirty mid-cell was reset
+        assert_eq!(completions(&mut r, 4), vec![]);
+        r.on_mid(1, Timestamp(5), NONE);
+        assert_eq!(completions(&mut r, 6), vec![(3, 1)]);
     }
 }

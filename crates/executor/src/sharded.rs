@@ -3,43 +3,52 @@
 //! `GROUP BY` partitions are independent by construction — "a result is
 //! returned per group and per window" (Definition 2) and no engine state is
 //! ever shared across groups — and compiled partitions (sharing-signature
-//! classes, §7.2) never interact either. The Sharon executor is therefore
-//! embarrassingly parallel along two axes, and [`ShardedExecutor`] exploits
-//! both:
+//! classes, §7.2) never interact either. Every strategy in the system is
+//! therefore embarrassingly parallel along two axes, and
+//! [`ShardedExecutor`] exploits both:
 //!
-//! * **group axis** — every worker shard owns, for each compiled
-//!   partition, the disjoint slice of groups whose key hash lands on its
-//!   index (see [`crate::engine::ShardSlice`]);
-//! * **partition axis** — the global (no `GROUP BY`) runtime of partition
-//!   `p` is assigned to worker `p mod N`, spreading independent partition
-//!   engines over the shards.
+//! * **group axis** — every worker shard owns, for each routing scope,
+//!   the disjoint slice of groups whose key hash lands on its index (see
+//!   [`crate::engine::ShardSlice`]);
+//! * **scope axis** — the global (no `GROUP BY`) rows of scope `p` are
+//!   assigned to worker `p mod N`, spreading independent scopes over the
+//!   shards.
 //!
-//! Each worker runs the ordinary sequential [`Engine`] over its slice, so
-//! sharding is a pure work partition: shard results are disjoint and merge
-//! exactly. [`ShardedExecutor::finish`] merges them in deterministic shard
-//! order; determinism tests assert `semantically_eq` with the sequential
-//! engine for every shard count.
+//! The runtime is generic over *what* the workers run: each worker hosts
+//! one [`ShardProcessor`] — a vector of online [`Engine`]s for the
+//! Sharon/Greedy/A-Seq strategies, or a whole two-step baseline
+//! (Flink-like, SPASS-like) for the figure-13 comparisons — so sharding is
+//! a pure work partition for *any* strategy: shard results are disjoint
+//! and merge exactly. [`ShardedExecutor::finish`] merges them in
+//! deterministic shard order; determinism tests assert `semantically_eq`
+//! with the sequential path for every shard count and every strategy.
 //!
 //! Events are ingested into a columnar [`EventBatch`] and **routed once**:
 //! the ingest thread runs the stateless prefix of the event path — routing,
 //! predicate evaluation, group-key hashing — a single time per event (see
-//! [`BatchRouter`]) and ships each worker the [`Arc`]-shared batch plus the
-//! row-index lists it owns. Workers call [`Engine::process_routed`] and
-//! never evaluate predicates or extract keys for rows they do not own.
-//! Transfers ride bounded SPSC ring buffers ([`crate::spsc`]) — one per
-//! worker, no shared channel state — giving backpressure against slow
+//! [`crate::router::BatchRouter`]) and ships each worker the [`Arc`]-shared
+//! batch plus the row-index lists it owns. Workers consume their routed
+//! rows and never evaluate predicates or extract keys for rows they do not
+//! own. Transfers ride bounded SPSC ring buffers ([`crate::spsc`]) — one
+//! per worker, no shared channel state — giving backpressure against slow
 //! shards without cross-thread contention.
+//!
+//! Flush buffers are **recycled**: each worker returns its consumed
+//! row-index lists through a return ring, and batch bodies whose [`Arc`]
+//! count has drained back to the ingest side are cleared and reused, so a
+//! steady-state flush performs no batch- or list-granular allocation.
 //!
 //! [`Engine`]: crate::engine::Engine
 
 use crate::compile::{compile, CompileError};
 use crate::engine::{EngineKind, ShardSlice};
+use crate::processor::BatchProcessor;
 use crate::results::ExecutorResults;
-use crate::router::{BatchRouter, RoutedRows};
+use crate::router::{BatchRouter, RouteBatch, RoutedRows};
 use crate::spsc;
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{Catalog, Event, EventBatch, EventStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -51,21 +60,90 @@ pub const DEFAULT_BATCH_SIZE: usize = 4096;
 const RING_DEPTH: usize = 4;
 
 /// One routed batch in flight to one worker: the shared columnar batch
-/// plus this worker's per-partition row lists.
+/// plus this worker's per-scope row lists.
 struct RoutedBatch {
     batch: Arc<EventBatch>,
     rows: RoutedRows,
 }
 
 /// What each worker reports back when its ring closes.
-struct ShardReport {
-    results: ExecutorResults,
-    events_matched: u64,
-    cell_count: usize,
+#[derive(Debug, Default)]
+pub struct ShardReport {
+    /// This shard's (disjoint) slice of the results.
+    pub results: ExecutorResults,
+    /// Events this shard matched, exact at drain time.
+    pub events_matched: u64,
+    /// Final state-size proxy (live cells / buffered events / matches).
+    pub state_size: usize,
+}
+
+/// The stateful half of a shardable strategy, as run by one worker thread:
+/// consumes pre-routed row lists of shared batches and reports its slice
+/// of the results when the ring closes.
+///
+/// The routing side (a [`RouteBatch`] built from the same stateless
+/// filters the processor applies) guarantees every listed row routes into
+/// its scope, passes its predicates, and belongs to a group this shard
+/// owns — the processor never re-evaluates that prefix.
+pub trait ShardProcessor: Send {
+    /// Process the pre-routed rows of `batch`, in row order per scope.
+    fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows);
+
+    /// Events matched so far (published to the ingest side after every
+    /// batch); zero for strategies that do not track it.
+    fn events_matched(&self) -> u64 {
+        0
+    }
+
+    /// Flush remaining windows and report this shard's results.
+    fn finish(self: Box<Self>) -> ShardReport;
+}
+
+/// The online strategies' shard worker: one [`EngineKind`] per compiled
+/// partition, each restricted to this shard's [`ShardSlice`].
+struct EngineShard {
+    engines: Vec<EngineKind>,
+}
+
+impl ShardProcessor for EngineShard {
+    fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
+        for (engine, rows) in self.engines.iter_mut().zip(&rows.per_part) {
+            if !rows.is_empty() {
+                engine.process_routed(batch, rows);
+            }
+        }
+    }
+
+    fn events_matched(&self) -> u64 {
+        self.engines.iter().map(EngineKind::events_matched).sum()
+    }
+
+    fn finish(self: Box<Self>) -> ShardReport {
+        let events_matched = self.engines.iter().map(EngineKind::events_matched).sum();
+        let state_size = self
+            .engines
+            .iter()
+            .map(|e| match e {
+                EngineKind::Count(en) => en.cell_count(),
+                EngineKind::Stats(en) => en.cell_count(),
+            })
+            .sum();
+        let mut results = ExecutorResults::new();
+        for engine in self.engines {
+            results.merge(engine.finish());
+        }
+        ShardReport {
+            results,
+            events_matched,
+            state_size,
+        }
+    }
 }
 
 struct ShardWorker {
     sender: spsc::Sender<RoutedBatch>,
+    /// Consumed row lists coming back for reuse (see module docs).
+    returns: spsc::Receiver<RoutedRows>,
     handle: JoinHandle<ShardReport>,
     /// Events this shard has matched so far, published after every batch
     /// so [`ShardedExecutor::events_matched`] can report live progress.
@@ -74,25 +152,39 @@ struct ShardWorker {
 
 /// A parallel executor that hash-partitions work across `N` worker shards.
 ///
-/// Construction compiles the workload exactly like [`crate::Executor`];
-/// each worker owns one [`ShardSlice`] of every compiled partition.
-/// Events are accepted one at a time, in row-form batches, or in columnar
-/// batches; the ingest side routes each buffered batch once and fans the
-/// per-shard row lists out over SPSC rings. [`ShardedExecutor::finish`]
-/// drains the pipeline and merges the disjoint shard results.
+/// [`ShardedExecutor::new`] compiles a workload into online engine shards
+/// exactly like [`crate::Executor`]; [`ShardedExecutor::from_parts`]
+/// hosts *any* [`ShardProcessor`] + [`RouteBatch`] pair, which is how the
+/// two-step baselines run sharded. Events are accepted one at a time, in
+/// row-form batches, or in columnar batches; the ingest side routes each
+/// buffered batch once and fans the per-shard row lists out over SPSC
+/// rings. [`ShardedExecutor::finish`] drains the pipeline and merges the
+/// disjoint shard results.
 pub struct ShardedExecutor {
     workers: Vec<ShardWorker>,
     buffer: EventBatch,
-    router: BatchRouter,
+    router: Box<dyn RouteBatch>,
     batch_size: usize,
     n_shards: usize,
     /// Incremented by `flush` as batches are fanned out; see
     /// [`ShardedExecutor::events_sent`].
     events_sent: u64,
+    /// In-flight batch bodies; entries whose `Arc` count drains back to 1
+    /// are cleared and reused by the next flush.
+    batch_pool: Vec<Arc<EventBatch>>,
+    /// Recycled row lists (refilled from the workers' return rings).
+    rows_pool: Vec<RoutedRows>,
+    /// Reused output slots of `route_range_into`.
+    route_scratch: Vec<RoutedRows>,
+    /// Set when the executor is dropped without `finish`: workers discard
+    /// queued batches instead of draining them (a capped/aborted bench run
+    /// must not keep burning CPU on detached threads).
+    cancel: Arc<AtomicBool>,
 }
 
 impl ShardedExecutor {
-    /// Compile `workload` under `plan` and spawn `n_shards` worker threads.
+    /// Compile `workload` under `plan` and spawn `n_shards` worker threads
+    /// running the online engines.
     pub fn new(
         catalog: &Catalog,
         workload: &Workload,
@@ -120,76 +212,98 @@ impl ShardedExecutor {
         batch_size: usize,
     ) -> Result<Self, CompileError> {
         assert!(n_shards >= 1, "need at least one shard");
-        let batch_size = batch_size.max(1);
         let parts = compile(catalog, workload, plan)?;
+        let shards = (0..n_shards)
+            .map(|shard| {
+                let engines: Vec<EngineKind> = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, part)| {
+                        let slice = ShardSlice {
+                            index: shard as u32,
+                            of: n_shards as u32,
+                            owns_global: pi % n_shards == shard,
+                        };
+                        EngineKind::for_partition(part.clone(), Some(slice))
+                    })
+                    .collect();
+                Box::new(EngineShard { engines }) as Box<dyn ShardProcessor>
+            })
+            .collect();
+        let router = Box::new(BatchRouter::new(parts, n_shards));
+        Ok(Self::from_parts(router, shards, batch_size))
+    }
+
+    /// Build the runtime from an explicit router + one processor per
+    /// shard — the generic entry point that lets the sharded runtime host
+    /// any strategy (the two-step baselines use it). The router's shard
+    /// assignment must agree with how the processors partition their
+    /// group state; both sides deriving from the same [`crate::RowFilter`]
+    /// scopes guarantees that.
+    pub fn from_parts(
+        router: Box<dyn RouteBatch>,
+        shards: Vec<Box<dyn ShardProcessor>>,
+        batch_size: usize,
+    ) -> Self {
+        let n_shards = shards.len();
+        assert!(n_shards >= 1, "need at least one shard");
+        assert_eq!(
+            router.n_shards(),
+            n_shards,
+            "router and processor shard counts must agree"
+        );
+        let batch_size = batch_size.max(1);
+        let cancel = Arc::new(AtomicBool::new(false));
 
         let mut workers = Vec::with_capacity(n_shards);
-        for shard in 0..n_shards {
-            let engines: Vec<EngineKind> = parts
-                .iter()
-                .enumerate()
-                .map(|(pi, part)| {
-                    let slice = ShardSlice {
-                        index: shard as u32,
-                        of: n_shards as u32,
-                        owns_global: pi % n_shards == shard,
-                    };
-                    EngineKind::for_partition(part.clone(), Some(slice))
-                })
-                .collect();
+        for (shard, processor) in shards.into_iter().enumerate() {
             let (sender, receiver) = spsc::ring::<RoutedBatch>(RING_DEPTH);
+            // the return ring is sized so a worker's try_send can only hit
+            // a full ring if the ingest side stopped draining it
+            let (mut return_tx, returns) = spsc::ring::<RoutedRows>(RING_DEPTH + 2);
             let matched = Arc::new(AtomicU64::new(0));
             let matched_pub = Arc::clone(&matched);
+            let cancelled = Arc::clone(&cancel);
             let handle = std::thread::Builder::new()
                 .name(format!("sharon-shard-{shard}"))
                 .spawn(move || {
-                    let mut engines = engines;
+                    let mut processor = processor;
                     let mut receiver = receiver;
-                    while let Some(routed) = receiver.recv() {
-                        for (engine, rows) in engines.iter_mut().zip(&routed.rows.per_part) {
-                            if !rows.is_empty() {
-                                engine.process_routed(&routed.batch, rows);
-                            }
+                    while let Some(RoutedBatch { batch, mut rows }) = receiver.recv() {
+                        if cancelled.load(Ordering::Relaxed) {
+                            continue; // aborted: drain without processing
                         }
-                        matched_pub.store(
-                            engines.iter().map(EngineKind::events_matched).sum(),
-                            Ordering::Relaxed,
-                        );
+                        processor.process_routed(&batch, &rows);
+                        matched_pub.store(processor.events_matched(), Ordering::Relaxed);
+                        drop(batch); // release the body before recycling rows
+                        rows.clear();
+                        // recycle the row lists; dropping them is fine if
+                        // the return ring is (transiently) full
+                        let _ = return_tx.try_send(rows);
                     }
-                    let events_matched = engines.iter().map(EngineKind::events_matched).sum();
-                    let cell_count = engines
-                        .iter()
-                        .map(|e| match e {
-                            EngineKind::Count(en) => en.cell_count(),
-                            EngineKind::Stats(en) => en.cell_count(),
-                        })
-                        .sum();
-                    let mut results = ExecutorResults::new();
-                    for engine in engines {
-                        results.merge(engine.finish());
-                    }
-                    ShardReport {
-                        results,
-                        events_matched,
-                        cell_count,
-                    }
+                    processor.finish()
                 })
                 .expect("spawn shard worker thread");
             workers.push(ShardWorker {
                 sender,
+                returns,
                 handle,
                 matched,
             });
         }
 
-        Ok(ShardedExecutor {
+        ShardedExecutor {
             workers,
             buffer: EventBatch::with_capacity(batch_size, 2),
-            router: BatchRouter::new(parts, n_shards),
+            router,
             batch_size,
             n_shards,
             events_sent: 0,
-        })
+            batch_pool: Vec::new(),
+            rows_pool: Vec::new(),
+            route_scratch: Vec::new(),
+            cancel,
+        }
     }
 
     /// Number of worker shards.
@@ -281,27 +395,61 @@ impl ShardedExecutor {
         self
     }
 
+    /// A cleared batch body for the next fill: a drained in-flight batch
+    /// when one is available (its `Arc` count fell back to 1), a fresh
+    /// allocation otherwise.
+    fn take_spare_batch(&mut self) -> EventBatch {
+        for i in 0..self.batch_pool.len() {
+            if Arc::strong_count(&self.batch_pool[i]) == 1 {
+                let arc = self.batch_pool.swap_remove(i);
+                let mut batch = Arc::try_unwrap(arc).expect("strong count was 1");
+                batch.clear();
+                return batch;
+            }
+        }
+        EventBatch::with_capacity(self.batch_size, 2)
+    }
+
     /// Route the buffered batch once and fan the per-shard row lists out.
     fn flush(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
-        let batch = Arc::new(std::mem::replace(
-            &mut self.buffer,
-            EventBatch::with_capacity(self.batch_size, 2),
-        ));
+        let spare = self.take_spare_batch();
+        let batch = Arc::new(std::mem::replace(&mut self.buffer, spare));
         let len = batch.len();
         self.dispatch_range(&batch, 0, len);
+        // keep the body in the pool for reuse once the workers drop it;
+        // cap the pool so a slow shard cannot make it grow without bound
+        if self.batch_pool.len() < 2 * RING_DEPTH {
+            self.batch_pool.push(batch);
+        }
     }
 
     /// Route rows `lo..hi` of `batch` once and send each worker the
     /// shared batch plus its owned row-index lists.
     fn dispatch_range(&mut self, batch: &Arc<EventBatch>, lo: usize, hi: usize) {
         self.events_sent += (hi - lo) as u64;
-        let routed = self.router.route_range(batch, lo, hi);
-        for (worker, rows) in self.workers.iter_mut().zip(routed) {
+        // drain the return rings: consumed row lists become routing slots
+        let rows_cap = self.n_shards * (RING_DEPTH + 2);
+        for w in &mut self.workers {
+            while let Some(rows) = w.returns.try_recv() {
+                if self.rows_pool.len() < rows_cap {
+                    self.rows_pool.push(rows);
+                }
+            }
+        }
+        let mut out = std::mem::take(&mut self.route_scratch);
+        while out.len() < self.n_shards {
+            out.push(self.rows_pool.pop().unwrap_or_default());
+        }
+        self.router.route_range_into(batch, lo, hi, &mut out);
+        for (worker, rows) in self.workers.iter_mut().zip(out.drain(..)) {
             // a worker with no owned rows is not woken at all
             if rows.is_empty() {
+                if self.rows_pool.len() < rows_cap {
+                    self.rows_pool.push(rows);
+                }
                 continue;
             }
             let ok = worker
@@ -313,6 +461,7 @@ impl ShardedExecutor {
                 .is_ok();
             assert!(ok, "shard worker terminated early");
         }
+        self.route_scratch = out;
     }
 
     /// Flush remaining events, stop the workers, and merge their results
@@ -323,7 +472,7 @@ impl ShardedExecutor {
     }
 
     /// [`ShardedExecutor::finish`] plus runtime statistics:
-    /// `(results, events_matched, peak cell count)`.
+    /// `(results, events_matched, summed state-size proxy)`.
     pub fn finish_with_stats(mut self) -> (ExecutorResults, u64, usize) {
         self.flush();
         let workers = std::mem::take(&mut self.workers);
@@ -337,14 +486,62 @@ impl ShardedExecutor {
             .collect();
         let mut results = ExecutorResults::new();
         let mut matched = 0u64;
-        let mut cells = 0usize;
+        let mut state = 0usize;
         for handle in handles {
             let report = handle.join().expect("shard worker panicked");
             results.merge(report.results);
             matched += report.events_matched;
-            cells += report.cell_count;
+            state += report.state_size;
         }
-        (results, matched, cells)
+        (results, matched, state)
+    }
+}
+
+impl Drop for ShardedExecutor {
+    /// Dropping without [`ShardedExecutor::finish`] *aborts* the run:
+    /// workers are told to discard queued batches (they only complete the
+    /// batch currently in flight) and are joined, so an abandoned executor
+    /// — e.g. a capped bench run reporting DNF — never leaves detached
+    /// threads grinding through polynomial two-step work behind the next
+    /// measurement.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // finished normally: workers already joined
+        }
+        self.cancel.store(true, Ordering::Relaxed);
+        for worker in std::mem::take(&mut self.workers) {
+            drop(worker.sender); // close the ring
+            let _ = worker.handle.join();
+        }
+    }
+}
+
+impl BatchProcessor for ShardedExecutor {
+    fn process_event(&mut self, e: &Event) {
+        self.process(e);
+    }
+
+    fn process_events(&mut self, events: &[Event]) {
+        self.process_batch(events);
+    }
+
+    fn process_columnar(&mut self, batch: &EventBatch) {
+        ShardedExecutor::process_columnar(self, batch);
+    }
+
+    fn events_matched(&self) -> u64 {
+        ShardedExecutor::events_matched(self)
+    }
+
+    /// Zero: the state lives on the worker threads (the exact total is
+    /// reported by [`ShardedExecutor::finish_with_stats`]).
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
+        let (results, matched, _state) = (*self).finish_with_stats();
+        (results, matched)
     }
 }
 
@@ -406,7 +603,7 @@ mod tests {
             for chunk in events.chunks(97) {
                 sharded.process_batch(chunk);
             }
-            let (got, matched, _cells) = sharded.finish_with_stats();
+            let (got, matched, _state) = sharded.finish_with_stats();
             assert!(
                 got.semantically_eq(&want, 1e-9),
                 "{shards} shards diverge from sequential"
@@ -491,6 +688,41 @@ mod tests {
         for e in &events {
             sharded.process(e);
         }
+        let got = sharded.finish();
+        assert!(got.semantically_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn drop_without_finish_aborts_and_joins_workers() {
+        // dropping mid-stream must not hang and must not leave worker
+        // threads draining queued work (the bench DNF path)
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 2000, 11);
+        let plan = SharingPlan::non_shared();
+        let mut sharded = ShardedExecutor::with_batch_size(&c, &w, &plan, 3, 64).unwrap();
+        sharded.process_batch(&events);
+        drop(sharded); // joins; a deadlock here fails the test by timeout
+    }
+
+    #[test]
+    fn flush_recycles_batch_bodies_and_row_lists() {
+        // many small flushes: after the pipeline warms up, batch bodies
+        // and row lists circulate through the pools instead of being
+        // reallocated (asserted indirectly: results stay exact and the
+        // pools are non-empty mid-run)
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 3000, 7);
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want = sequential.finish();
+
+        let plan = SharingPlan::non_shared();
+        let mut sharded = ShardedExecutor::with_batch_size(&c, &w, &plan, 2, 32).unwrap();
+        sharded.process_batch(&events);
+        assert!(
+            !sharded.batch_pool.is_empty(),
+            "flushed batch bodies are pooled for reuse"
+        );
         let got = sharded.finish();
         assert!(got.semantically_eq(&want, 1e-9));
     }

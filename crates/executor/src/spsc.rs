@@ -132,6 +132,29 @@ impl<T: Send> Sender<T> {
             backoff.wait();
         }
     }
+
+    /// Non-blocking send: enqueue `value` if a slot is free, otherwise
+    /// return it immediately (also when the receiver is gone). Used by the
+    /// recycling return rings, where dropping the value is an acceptable
+    /// fallback and blocking never is.
+    pub fn try_send(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let cap = ring.slots.len();
+        let tail = ring.tail.load(Ordering::Relaxed); // producer-owned
+        if ring.closed.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        let head = ring.head.load(Ordering::Acquire);
+        if tail - head < cap {
+            // SAFETY: same argument as `send` — the slot is free and only
+            // this thread writes it until the Release store publishes it.
+            unsafe { (*ring.slots[tail % cap].get()).write(value) };
+            ring.tail.store(tail + 1, Ordering::Release);
+            Ok(())
+        } else {
+            Err(value)
+        }
+    }
 }
 
 impl<T> Drop for Sender<T> {
@@ -169,6 +192,24 @@ impl<T: Send> Receiver<T> {
                 continue;
             }
             backoff.wait();
+        }
+    }
+
+    /// Non-blocking receive: dequeue an item if one is ready, `None`
+    /// otherwise (including when the ring is closed). Used to drain the
+    /// recycling return rings opportunistically on the ingest thread.
+    pub fn try_recv(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let cap = ring.slots.len();
+        let head = ring.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head < tail {
+            // SAFETY: same argument as `recv`.
+            let value = unsafe { (*ring.slots[head % cap].get()).assume_init_read() };
+            ring.head.store(head + 1, Ordering::Release);
+            Some(value)
+        } else {
+            None
         }
     }
 }
@@ -230,6 +271,21 @@ mod tests {
         assert_eq!(rx.recv(), Some(1));
         assert_eq!(rx.recv(), Some(2));
         assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_send_try_recv_never_block() {
+        let (mut tx, mut rx) = ring::<u8>(2);
+        assert_eq!(rx.try_recv(), None, "empty ring");
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(3), "full ring returns the value");
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), Some(3));
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(9), "closed ring fails fast");
     }
 
     #[test]

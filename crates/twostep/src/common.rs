@@ -2,11 +2,20 @@
 //! (predicates, grouping, aggregate contribution), mirroring the clauses
 //! the online engine compiles, so the baselines answer exactly the same
 //! queries.
+//!
+//! All methods operate on `(type, attrs)` column data — the baselines run
+//! natively over [`sharon_types::EventBatch`] rows and never materialize a
+//! row-form event on the batch path. [`ScopeFilter`] packages one
+//! baseline routing scope (a query for Flink-like, a sharing-signature
+//! partition for SPASS-like) as a [`RowFilter`], which is what lets the
+//! sharded runtime's route-once [`sharon_executor::BatchRouter`] fan
+//! baseline work out across shards.
 
 use sharon_executor::agg::Contribution;
 use sharon_executor::compile::CompileError;
+use sharon_executor::RowFilter;
 use sharon_query::{CmpOp, Query};
-use sharon_types::{AttrId, Catalog, Event, EventTypeId, GroupKey, Value};
+use sharon_types::{AttrId, Catalog, EventTypeId, GroupKey, Value};
 
 /// Per-event-type resolved clauses for one query or partition.
 #[derive(Debug, Clone, Default)]
@@ -79,45 +88,167 @@ impl TypeTable {
         })
     }
 
-    /// Evaluate this table's predicates on `e` (vacuously true for
-    /// unconstrained types).
-    pub fn passes(&self, e: &Event) -> bool {
-        match self.predicates.get(e.ty.index()) {
-            Some(preds) => preds.iter().all(|(attr, op, lit)| match e.attr(*attr) {
-                Some(v) => op.eval(v.partial_cmp(lit)),
-                None => false,
-            }),
+    /// Merge `other`'s clauses into this table so it covers the union of
+    /// both queries' pattern types (used by SPASS partitions, whose
+    /// queries share predicates/grouping by signature but span different
+    /// type sets).
+    pub fn absorb(&mut self, other: TypeTable) {
+        if other.group_attrs.len() > self.group_attrs.len() {
+            self.group_attrs
+                .resize(other.group_attrs.len(), Box::new([]));
+            self.predicates.resize(other.predicates.len(), Vec::new());
+        }
+        for (i, g) in other.group_attrs.into_iter().enumerate() {
+            if !g.is_empty() {
+                self.group_attrs[i] = g;
+            }
+        }
+        for (i, p) in other.predicates.into_iter().enumerate() {
+            if !p.is_empty() {
+                self.predicates[i] = p;
+            }
+        }
+        if other.contrib_target.is_some() {
+            self.contrib_target = other.contrib_target;
+        }
+    }
+
+    /// Evaluate this table's predicates on a `(type, attrs)` row
+    /// (vacuously true for unconstrained types).
+    pub fn passes(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        match self.predicates.get(ty.index()) {
+            Some(preds) => preds
+                .iter()
+                .all(|(attr, op, lit)| match attrs.get(attr.index()) {
+                    Some(v) => op.eval(v.partial_cmp(lit)),
+                    None => false,
+                }),
             None => true,
         }
     }
 
-    /// The event's group key, or `None` if a grouping attribute is absent.
-    pub fn group_key(&self, e: &Event) -> Option<GroupKey> {
-        let attrs = match self.group_attrs.get(e.ty.index()) {
-            Some(a) => a,
-            None => return Some(GroupKey::Global),
-        };
-        if attrs.is_empty() {
-            return Some(GroupKey::Global);
+    /// True if every `GROUP BY` attribute of `ty` is present in `attrs`.
+    pub fn groupable(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        match self.group_attrs.get(ty.index()) {
+            Some(gattrs) => gattrs.iter().all(|a| attrs.get(a.index()).is_some()),
+            None => true,
         }
-        let mut vals = Vec::with_capacity(attrs.len());
-        for a in attrs.iter() {
-            vals.push(e.attr(*a)?.clone());
-        }
-        Some(GroupKey::from_values(vals))
     }
 
-    /// The event's aggregate contribution.
-    pub fn contribution(&self, e: &Event) -> Contribution {
+    /// Build the row's group key into `key` (reusing the `vals` scratch
+    /// buffer, so the steady-state path allocates nothing), returning
+    /// `false` if a grouping attribute is absent. With no `GROUP BY`,
+    /// writes [`GroupKey::Global`].
+    pub fn read_group_key(
+        &self,
+        ty: EventTypeId,
+        attrs: &[Value],
+        vals: &mut Vec<Value>,
+        key: &mut GroupKey,
+    ) -> bool {
+        let gattrs = match self.group_attrs.get(ty.index()) {
+            Some(a) if !a.is_empty() => a,
+            _ => {
+                *key = GroupKey::Global;
+                return true;
+            }
+        };
+        vals.clear();
+        for a in gattrs.iter() {
+            match attrs.get(a.index()) {
+                Some(v) => vals.push(v.clone()),
+                None => return false,
+            }
+        }
+        key.assign_from_slice(vals);
+        true
+    }
+
+    /// The row's aggregate contribution.
+    pub fn contribution(&self, ty: EventTypeId, attrs: &[Value]) -> Contribution {
         match self.contrib_target {
-            Some((ty, attr)) if ty == e.ty => match attr {
+            Some((t, attr)) if t == ty => match attr {
                 None => Contribution::of(1.0),
-                Some(a) => match e.attr_f64(a) {
+                Some(a) => match attrs.get(a.index()).and_then(Value::as_f64) {
                     Some(v) => Contribution::of(v),
                     None => Contribution::NONE,
                 },
             },
             _ => Contribution::NONE,
         }
+    }
+}
+
+/// Dense per-type-id routing bitmap: `true` where any of `queries`'
+/// patterns contains the type. The **single** definition used by both the
+/// sequential kernels' pre-passes and the sharded router's scopes, so the
+/// two sides cannot drift apart on what routes.
+pub(crate) fn routed_bitmap(queries: &[&Query]) -> Vec<bool> {
+    let max_ty = queries
+        .iter()
+        .flat_map(|q| q.pattern.types())
+        .map(|t| t.index())
+        .max()
+        .unwrap_or(0);
+    let mut routed = vec![false; max_ty + 1];
+    for q in queries {
+        for t in q.pattern.types() {
+            routed[t.index()] = true;
+        }
+    }
+    routed
+}
+
+/// One baseline routing scope as seen by the batch router: a type-routing
+/// bitmap plus the scope's [`TypeTable`]. The stateless prefix it encodes
+/// is exactly the one the baseline's stateful side applies, so routed rows
+/// are precisely the rows the baseline would process.
+#[derive(Debug, Clone)]
+pub(crate) struct ScopeFilter {
+    /// Per type id (dense): does the scope's pattern contain the type?
+    routed: Vec<bool>,
+    table: TypeTable,
+}
+
+impl ScopeFilter {
+    /// A filter routing the union of `queries`' pattern types, with their
+    /// merged clause table.
+    pub fn build(catalog: &Catalog, queries: &[&Query]) -> Result<Self, CompileError> {
+        let mut table = TypeTable::build(catalog, queries[0])?;
+        for q in &queries[1..] {
+            table.absorb(TypeTable::build(catalog, q)?);
+        }
+        Ok(ScopeFilter {
+            routed: routed_bitmap(queries),
+            table,
+        })
+    }
+}
+
+impl RowFilter for ScopeFilter {
+    #[inline]
+    fn routed(&self, ty: EventTypeId) -> bool {
+        self.routed.get(ty.index()).copied().unwrap_or(false)
+    }
+
+    #[inline]
+    fn predicates_pass(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        self.table.passes(ty, attrs)
+    }
+
+    #[inline]
+    fn groupable(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
+        self.table.groupable(ty, attrs)
+    }
+
+    #[inline]
+    fn read_group_key(
+        &self,
+        ty: EventTypeId,
+        attrs: &[Value],
+        vals: &mut Vec<Value>,
+        key: &mut GroupKey,
+    ) -> bool {
+        self.table.read_group_key(ty, attrs, vals, key)
     }
 }

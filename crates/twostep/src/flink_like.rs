@@ -6,15 +6,31 @@
 //! explicit enumeration of all sequences it completes, which are then
 //! aggregated into the open windows. Latency grows polynomially in the
 //! number of events per window — reproducing Figure 13's blow-up.
+//!
+//! Like every strategy in the system, the baseline is a
+//! [`BatchProcessor`]: [`FlinkLike::process_columnar`] runs, per query, a
+//! stateless scan of the batch columns (type routing, predicates,
+//! groupability) that selects row indices, then a stateful dispatch that
+//! folds only the selected rows — iterating row indices over the shared
+//! value buffer, never materializing a row-form [`Event`]. It also
+//! implements [`ShardProcessor`], so [`FlinkLike::sharded`] runs the
+//! baseline on the route-once parallel runtime with groups
+//! hash-partitioned across worker threads, exactly like the online
+//! engines.
 
-use crate::common::TypeTable;
+use crate::common::{ScopeFilter, TypeTable};
 use crate::construct::SeqBuffers;
 use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
-use sharon_executor::ExecutorResults;
+use sharon_executor::{
+    BatchProcessor, BatchRouter, ExecutorResults, RoutedRows, ShardProcessor, ShardReport,
+    ShardedExecutor, DEFAULT_BATCH_SIZE,
+};
 use sharon_query::{AggFunc, Query, QueryId, Workload};
-use sharon_types::{Catalog, Event, EventStream, GroupKey, Timestamp, WindowSpec};
+use sharon_types::{
+    Catalog, Event, EventBatch, EventStream, EventTypeId, GroupKey, Timestamp, Value, WindowSpec,
+};
 use std::collections::HashMap;
 
 struct GroupState<A> {
@@ -32,6 +48,14 @@ struct QueryState<A> {
     pattern_len: usize,
     groups: HashMap<GroupKey, GroupState<A>>,
     sequences_constructed: u64,
+    /// Reused per-row key storage — the hot path never allocates a fresh
+    /// key; cloning happens only on first sight of a group.
+    key_scratch: GroupKey,
+    vals_scratch: Vec<Value>,
+    /// Reused row-selection buffer of the columnar pre-pass.
+    sel_scratch: Vec<u32>,
+    /// Reused emission buffer for closing windows.
+    emit_scratch: Vec<(u64, A)>,
 }
 
 impl<A: Aggregate> QueryState<A> {
@@ -64,66 +88,136 @@ impl<A: Aggregate> QueryState<A> {
             pattern_len: q.pattern.len(),
             groups: HashMap::new(),
             sequences_constructed: 0,
+            key_scratch: GroupKey::Global,
+            vals_scratch: Vec::new(),
+            sel_scratch: Vec::new(),
+            emit_scratch: Vec::new(),
         })
     }
 
-    fn process(&mut self, e: &Event, results: &mut ExecutorResults) {
-        let Some(positions) = self.positions.get(e.ty.index()).filter(|p| !p.is_empty()) else {
+    /// The shared per-row path of the per-event shim, the columnar
+    /// dispatch, and the sharded routed dispatch. With `pre_routed`, the
+    /// caller (the columnar pre-pass or the batch router) has already
+    /// established routing + predicates + groupability, so those checks
+    /// are skipped.
+    fn process_row(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: &[Value],
+        pre_routed: bool,
+        results: &mut ExecutorResults,
+    ) {
+        let Some(positions) = self.positions.get(ty.index()).filter(|p| !p.is_empty()) else {
+            debug_assert!(!pre_routed, "router selected an unrouted event type");
             return;
         };
-        if !self.table.passes(e) {
+        if !pre_routed && !self.table.passes(ty, attrs) {
             return;
         }
-        let Some(key) = self.table.group_key(e) else {
+        // group key — written into the reused scratch key; the clone into
+        // the map happens exactly once per distinct group
+        if !self
+            .table
+            .read_group_key(ty, attrs, &mut self.vals_scratch, &mut self.key_scratch)
+        {
+            debug_assert!(!pre_routed, "router selected an ungroupable event");
             return;
-        };
+        }
         let spec = self.window;
         let slide = spec.slide.millis();
+        if !self.groups.contains_key(&self.key_scratch) {
+            let buffers = SeqBuffers::new(self.pattern_len);
+            self.groups.insert(
+                self.key_scratch.clone(),
+                GroupState {
+                    buffers,
+                    acc: WinVec::new(),
+                },
+            );
+        }
         let group = self
             .groups
-            .entry(key.clone())
-            .or_insert_with(|| GroupState {
-                buffers: SeqBuffers::new(self.pattern_len),
-                acc: WinVec::new(),
-            });
+            .get_mut(&self.key_scratch)
+            .expect("group present after insert");
 
-        // expire buffered events that can no longer share a window with `e`
-        if e.time.millis() >= spec.within.millis() {
+        // expire buffered events that can no longer share a window with
+        // the current row
+        if time.millis() >= spec.within.millis() {
             group
                 .buffers
-                .expire(Timestamp(e.time.millis() - spec.within.millis()));
+                .expire(Timestamp(time.millis() - spec.within.millis()));
         }
-        // close finished windows
-        let close_seq = spec.first_start_covering(e.time).millis() / slide;
-        for (seq, v) in group.acc.drain_before(close_seq) {
+        // close finished windows (reused emission buffer: no allocation in
+        // steady state)
+        let close_seq = spec.first_start_covering(time).millis() / slide;
+        self.emit_scratch.clear();
+        group
+            .acc
+            .drain_before_into(close_seq, &mut self.emit_scratch);
+        for &(seq, v) in self.emit_scratch.iter() {
             results.emit(
                 self.id,
-                key.clone(),
+                self.key_scratch.clone(),
                 Timestamp(seq * slide),
                 v.output(self.output),
             );
         }
 
-        let c = self.table.contribution(e);
+        let c = self.table.contribution(ty, attrs);
         let min_seq = close_seq;
-        // END role first: construct every sequence this event completes
+        // END role first: construct every sequence this row completes
         if positions.contains(&(self.pattern_len - 1)) {
             let acc = &mut group.acc;
-            let counted = group
-                .buffers
-                .enumerate_ending::<A>(e.time, c, |start, cell| {
-                    let hi = start.millis() / slide;
-                    if hi >= min_seq {
-                        acc.add_range(e.time, min_seq, hi, cell);
-                    }
-                });
+            let counted = group.buffers.enumerate_ending::<A>(time, c, |start, cell| {
+                let hi = start.millis() / slide;
+                if hi >= min_seq {
+                    acc.add_range(time, min_seq, hi, cell);
+                }
+            });
             self.sequences_constructed += counted;
         }
-        // buffer the event at its non-END positions
+        // buffer the row at its non-END positions
         for &pos in positions {
             if pos + 1 < self.pattern_len {
-                group.buffers.push(pos, e.time, c);
+                group.buffers.push(pos, time, c);
             }
+        }
+    }
+
+    /// Columnar pipeline over one batch: stateless scan → stateful
+    /// dispatch of the selected row indices.
+    fn process_columnar(&mut self, batch: &EventBatch, results: &mut ExecutorResults) {
+        let mut sel = std::mem::take(&mut self.sel_scratch);
+        sel.clear();
+        for (row, ty) in batch.types().iter().enumerate() {
+            if self.positions.get(ty.index()).is_none_or(|p| p.is_empty()) {
+                continue;
+            }
+            let attrs = batch.attrs(row);
+            if !self.table.passes(*ty, attrs) {
+                continue;
+            }
+            if !self.table.groupable(*ty, attrs) {
+                continue;
+            }
+            sel.push(row as u32);
+        }
+        self.process_rows(batch, &sel, results);
+        self.sel_scratch = sel;
+    }
+
+    /// Stateful dispatch of pre-selected rows.
+    fn process_rows(&mut self, batch: &EventBatch, rows: &[u32], results: &mut ExecutorResults) {
+        for &row in rows {
+            let row = row as usize;
+            self.process_row(
+                batch.ty(row),
+                batch.time(row),
+                batch.attrs(row),
+                true,
+                results,
+            );
         }
     }
 
@@ -192,6 +286,45 @@ impl FlinkLike {
         })
     }
 
+    /// Run the baseline on the sharded parallel runtime: the batch router
+    /// fans each query's rows out by group hash, one full [`FlinkLike`]
+    /// instance per worker consumes only the rows it owns. Results are
+    /// identical to the sequential baseline — sharding is a pure work
+    /// partition here too.
+    pub fn sharded(
+        catalog: &Catalog,
+        workload: &Workload,
+        n_shards: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
+        Self::sharded_with_batch_size(catalog, workload, n_shards, DEFAULT_BATCH_SIZE)
+    }
+
+    /// [`FlinkLike::sharded`] with an explicit flush threshold.
+    pub fn sharded_with_batch_size(
+        catalog: &Catalog,
+        workload: &Workload,
+        n_shards: usize,
+        batch_size: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
+        if workload.is_empty() {
+            return Err(CompileError::EmptyWorkload);
+        }
+        // one routing scope per query, mirroring the per-query row lists
+        // the workers dispatch on
+        let scopes = workload
+            .queries()
+            .iter()
+            .map(|q| ScopeFilter::build(catalog, &[q]))
+            .collect::<Result<Vec<_>, _>>()?;
+        let router = Box::new(BatchRouter::new(scopes, n_shards));
+        let shards = (0..n_shards)
+            .map(|_| {
+                FlinkLike::new(catalog, workload).map(|f| Box::new(f) as Box<dyn ShardProcessor>)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedExecutor::from_parts(router, shards, batch_size))
+    }
+
     /// Process one event through every query.
     pub fn process(&mut self, e: &Event) {
         debug_assert!(e.time >= self.last_time, "events must be time-ordered");
@@ -199,12 +332,34 @@ impl FlinkLike {
         match &mut self.kernel {
             Kernel::Count(qs) => {
                 for q in qs {
-                    q.process(e, &mut self.results);
+                    q.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
                 }
             }
             Kernel::Stats(qs) => {
                 for q in qs {
-                    q.process(e, &mut self.results);
+                    q.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Process a time-ordered columnar batch: each query runs its
+    /// stateless scan + stateful dispatch over the whole batch while its
+    /// state is hot. No row-form event is materialized.
+    pub fn process_columnar(&mut self, batch: &EventBatch) {
+        if let Some(&t) = batch.times().last() {
+            debug_assert!(t >= self.last_time, "batches must be time-ordered");
+            self.last_time = t;
+        }
+        match &mut self.kernel {
+            Kernel::Count(qs) => {
+                for q in qs {
+                    q.process_columnar(batch, &mut self.results);
+                }
+            }
+            Kernel::Stats(qs) => {
+                for q in qs {
+                    q.process_columnar(batch, &mut self.results);
                 }
             }
         }
@@ -216,6 +371,24 @@ impl FlinkLike {
             self.process(&e);
         }
         self
+    }
+
+    /// Pre-size the result store for about `additional` further results
+    /// per query (capacity planning for allocation-free steady-state
+    /// emission).
+    pub fn reserve_results(&mut self, additional: usize) {
+        match &self.kernel {
+            Kernel::Count(qs) => {
+                for q in qs {
+                    self.results.reserve(q.id, additional);
+                }
+            }
+            Kernel::Stats(qs) => {
+                for q in qs {
+                    self.results.reserve(q.id, additional);
+                }
+            }
+        }
     }
 
     /// Flush and return all results.
@@ -253,12 +426,62 @@ impl FlinkLike {
     }
 }
 
+impl BatchProcessor for FlinkLike {
+    fn process_event(&mut self, e: &Event) {
+        self.process(e);
+    }
+
+    fn process_columnar(&mut self, batch: &EventBatch) {
+        FlinkLike::process_columnar(self, batch);
+    }
+
+    fn state_size(&self) -> usize {
+        self.buffered_events()
+    }
+
+    fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
+        ((*self).finish(), 0)
+    }
+}
+
+impl ShardProcessor for FlinkLike {
+    /// Dispatch each query's routed rows (`rows.per_part` is parallel to
+    /// the workload's queries — the scope order of
+    /// [`FlinkLike::sharded`]'s router).
+    fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
+        match &mut self.kernel {
+            Kernel::Count(qs) => {
+                for (q, rows) in qs.iter_mut().zip(&rows.per_part) {
+                    if !rows.is_empty() {
+                        q.process_rows(batch, rows, &mut self.results);
+                    }
+                }
+            }
+            Kernel::Stats(qs) => {
+                for (q, rows) in qs.iter_mut().zip(&rows.per_part) {
+                    if !rows.is_empty() {
+                        q.process_rows(batch, rows, &mut self.results);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ShardReport {
+        let state_size = self.buffered_events();
+        ShardReport {
+            results: FlinkLike::finish(*self),
+            events_matched: 0,
+            state_size,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sharon_executor::Executor;
     use sharon_query::parse_workload;
-    use sharon_types::EventTypeId;
 
     fn ev(ty: EventTypeId, t: u64) -> Event {
         Event::new(ty, Timestamp(t))
@@ -344,5 +567,47 @@ mod tests {
             fl.process(&ev(a, t));
         }
         assert_eq!(fl.buffered_events(), 50, "two-step retains raw events");
+    }
+
+    #[test]
+    fn columnar_path_matches_per_event() {
+        let mut c = Catalog::new();
+        c.register_with_schema("A", sharon_types::Schema::new(["g"]));
+        c.register_with_schema("B", sharon_types::Schema::new(["g"]));
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms"],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let events: Vec<Event> = (0..400u64)
+            .map(|i| {
+                Event::with_attrs(
+                    if i % 2 == 0 { a } else { b },
+                    Timestamp(i),
+                    vec![Value::Int((i / 2) as i64 % 5)],
+                )
+            })
+            .collect();
+
+        let mut per_event = FlinkLike::new(&c, &w).unwrap();
+        for e in &events {
+            per_event.process(e);
+        }
+        let want = per_event.finish();
+        assert!(!want.is_empty());
+
+        let batch = EventBatch::from_events(&events);
+        let mut columnar = FlinkLike::new(&c, &w).unwrap();
+        columnar.process_columnar(&batch);
+        let got = columnar.finish();
+        assert!(got.semantically_eq(&want, 1e-9));
+
+        // sharded route-once agrees too
+        let mut sharded = FlinkLike::sharded(&c, &w, 3).unwrap();
+        sharded.process_columnar(&batch);
+        let got = sharded.finish();
+        assert!(got.semantically_eq(&want, 1e-9));
     }
 }

@@ -16,6 +16,14 @@
 //! [`sharon_executor::Executor`] (verified by tests), just with the cost
 //! profile the paper reports: latency polynomial in events/window and
 //! memory proportional to the materialized sequences.
+//!
+//! Both baselines implement [`sharon_executor::BatchProcessor`] — they
+//! consume columnar [`sharon_types::EventBatch`]es natively (stateless
+//! scan → stateful dispatch over row indices, no per-row `Event`
+//! materialization) — and [`sharon_executor::ShardProcessor`], so
+//! [`FlinkLike::sharded`] / [`SpassLike::sharded`] run them on the
+//! route-once sharded runtime for apples-to-apples comparisons with the
+//! online engines at any shard count.
 
 #![warn(missing_docs)]
 

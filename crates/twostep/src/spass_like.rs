@@ -11,15 +11,28 @@
 //! but sequences are still built, so the polynomial blow-up of the
 //! two-step family remains (Figure 13), with high memory from the
 //! materialized match sets.
+//!
+//! Like every strategy in the system, the baseline is a
+//! [`BatchProcessor`]: [`SpassLike::process_columnar`] runs, per
+//! sharing-signature partition, a stateless scan of the batch columns that
+//! selects row indices, then a stateful dispatch over the shared value
+//! buffer — no row-form [`Event`] is materialized. It also implements
+//! [`ShardProcessor`], so [`SpassLike::sharded`] runs the baseline on the
+//! route-once parallel runtime.
 
-use crate::common::TypeTable;
+use crate::common::{ScopeFilter, TypeTable};
 use crate::construct::SeqBuffers;
 use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
-use sharon_executor::ExecutorResults;
+use sharon_executor::{
+    BatchProcessor, BatchRouter, ExecutorResults, RoutedRows, ShardProcessor, ShardReport,
+    ShardedExecutor, DEFAULT_BATCH_SIZE,
+};
 use sharon_query::{AggFunc, Query, QueryId, SegmentKind, SharingPlan, Workload};
-use sharon_types::{Catalog, Event, EventStream, GroupKey, Timestamp, WindowSpec};
+use sharon_types::{
+    Catalog, Event, EventBatch, EventStream, EventTypeId, GroupKey, Timestamp, Value, WindowSpec,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// A materialized segment match (a constructed sub-sequence).
@@ -56,13 +69,23 @@ struct QueryDef {
 struct Partition<A> {
     window: WindowSpec,
     table: TypeTable,
+    /// Per type id (dense): does any segment route the type?
+    routed: Vec<bool>,
     segs: Vec<SegDef>,
     queries: Vec<QueryDef>,
     /// queries whose *final* stage is each segment
     finalists: Vec<Vec<usize>>,
     groups: HashMap<GroupKey, GroupState<A>>,
     sequences_constructed: u64,
-    _marker: std::marker::PhantomData<A>,
+    /// Reused per-row key storage (clone only on first sight of a group).
+    key_scratch: GroupKey,
+    vals_scratch: Vec<Value>,
+    /// Reused row-selection buffer of the columnar pre-pass.
+    sel_scratch: Vec<u32>,
+    /// Reused emission buffer for closing windows.
+    emit_scratch: Vec<(u64, A)>,
+    /// Reused buffer for the segment matches a single END row constructs.
+    match_scratch: Vec<Match<A>>,
 }
 
 fn output_kind(q: &Query) -> OutputKind {
@@ -76,6 +99,20 @@ fn output_kind(q: &Query) -> OutputKind {
     }
 }
 
+/// Partition `workload` by sharing signature, preserving id order — the
+/// scope order shared by the sequential kernel and the sharded router.
+fn signature_partitions(workload: &Workload) -> Vec<Vec<&Query>> {
+    let mut parts: Vec<(Vec<&Query>, sharon_query::query::SharingSignature)> = Vec::new();
+    for q in workload.queries() {
+        let sig = q.sharing_signature();
+        match parts.iter_mut().find(|(_, s)| *s == sig) {
+            Some((qs, _)) => qs.push(q),
+            None => parts.push((vec![q], sig)),
+        }
+    }
+    parts.into_iter().map(|(qs, _)| qs).collect()
+}
+
 impl<A: Aggregate> Partition<A> {
     fn new(
         catalog: &Catalog,
@@ -83,43 +120,11 @@ impl<A: Aggregate> Partition<A> {
         plan: &SharingPlan,
     ) -> Result<Self, CompileError> {
         let window = queries[0].window;
-        let table = TypeTable::build(catalog, queries[0])?;
-        // also resolve group/pred/contrib tables of remaining queries so all
-        // pattern types are covered
-        let mut table = table;
+        // resolve group/pred/contrib tables of all queries so every
+        // pattern type is covered
+        let mut table = TypeTable::build(catalog, queries[0])?;
         for q in &queries[1..] {
-            let t = TypeTable::build(catalog, q)?;
-            if t.group_attrs.len() > table.group_attrs.len() {
-                let mut merged = t;
-                for (i, g) in table.group_attrs.iter().enumerate() {
-                    if !g.is_empty() {
-                        merged.group_attrs[i] = g.clone();
-                    }
-                }
-                for (i, p) in table.predicates.iter().enumerate() {
-                    if !p.is_empty() {
-                        merged.predicates[i] = p.clone();
-                    }
-                }
-                if table.contrib_target.is_some() {
-                    merged.contrib_target = table.contrib_target;
-                }
-                table = merged;
-            } else {
-                for (i, g) in t.group_attrs.iter().enumerate() {
-                    if !g.is_empty() {
-                        table.group_attrs[i] = g.clone();
-                    }
-                }
-                for (i, p) in t.predicates.iter().enumerate() {
-                    if !p.is_empty() {
-                        table.predicates[i] = p.clone();
-                    }
-                }
-                if t.contrib_target.is_some() {
-                    table.contrib_target = t.contrib_target;
-                }
-            }
+            table.absorb(TypeTable::build(catalog, q)?);
         }
 
         let mut segs: Vec<SegDef> = Vec::new();
@@ -173,30 +178,52 @@ impl<A: Aggregate> Partition<A> {
         Ok(Partition {
             window,
             table,
+            routed: crate::common::routed_bitmap(queries),
             segs,
             queries: qdefs,
             finalists,
             groups: HashMap::new(),
             sequences_constructed: 0,
-            _marker: std::marker::PhantomData,
+            key_scratch: GroupKey::Global,
+            vals_scratch: Vec::new(),
+            sel_scratch: Vec::new(),
+            emit_scratch: Vec::new(),
+            match_scratch: Vec::new(),
         })
     }
 
-    fn process(&mut self, e: &Event, results: &mut ExecutorResults) {
-        if !self.table.passes(e) {
+    /// The shared per-row path of the per-event shim, the columnar
+    /// dispatch, and the sharded routed dispatch (`pre_routed` rows have
+    /// already passed routing + predicates + groupability).
+    fn process_row(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: &[Value],
+        pre_routed: bool,
+        results: &mut ExecutorResults,
+    ) {
+        if !pre_routed {
+            if !self.routed.get(ty.index()).copied().unwrap_or(false) {
+                return;
+            }
+            if !self.table.passes(ty, attrs) {
+                return;
+            }
+        }
+        if !self
+            .table
+            .read_group_key(ty, attrs, &mut self.vals_scratch, &mut self.key_scratch)
+        {
+            debug_assert!(!pre_routed, "router selected an ungroupable event");
             return;
         }
-        let Some(key) = self.table.group_key(e) else {
-            return;
-        };
         let spec = self.window;
         let slide = spec.slide.millis();
-        let segs = &self.segs;
-        let group = self
-            .groups
-            .entry(key.clone())
-            .or_insert_with(|| GroupState {
-                segs: segs
+        if !self.groups.contains_key(&self.key_scratch) {
+            let state = GroupState {
+                segs: self
+                    .segs
                     .iter()
                     .map(|s| SegGroupState {
                         buffers: SeqBuffers::new(s.len),
@@ -204,11 +231,17 @@ impl<A: Aggregate> Partition<A> {
                     })
                     .collect(),
                 accs: self.queries.iter().map(|_| WinVec::new()).collect(),
-            });
+            };
+            self.groups.insert(self.key_scratch.clone(), state);
+        }
+        let group = self
+            .groups
+            .get_mut(&self.key_scratch)
+            .expect("group present after insert");
 
         // expire + close
-        if e.time.millis() >= spec.within.millis() {
-            let cutoff = Timestamp(e.time.millis() - spec.within.millis());
+        if time.millis() >= spec.within.millis() {
+            let cutoff = Timestamp(time.millis() - spec.within.millis());
             for sg in &mut group.segs {
                 sg.buffers.expire(cutoff);
                 while sg.matches.front().is_some_and(|m| m.end <= cutoff) {
@@ -216,34 +249,37 @@ impl<A: Aggregate> Partition<A> {
                 }
             }
         }
-        let min_seq = spec.first_start_covering(e.time).millis() / slide;
+        let min_seq = spec.first_start_covering(time).millis() / slide;
         for (qi, acc) in group.accs.iter_mut().enumerate() {
-            for (seq, v) in acc.drain_before(min_seq) {
+            self.emit_scratch.clear();
+            acc.drain_before_into(min_seq, &mut self.emit_scratch);
+            for &(seq, v) in self.emit_scratch.iter() {
                 results.emit(
                     self.queries[qi].id,
-                    key.clone(),
+                    self.key_scratch.clone(),
                     Timestamp(seq * slide),
                     v.output(self.queries[qi].output),
                 );
             }
         }
 
-        let c = self.table.contribution(e);
+        let c = self.table.contribution(ty, attrs);
+        let mut new_matches = std::mem::take(&mut self.match_scratch);
         let GroupState { segs: gsegs, accs } = group;
         for (si, seg) in self.segs.iter().enumerate() {
-            let Some(positions) = seg.positions.get(e.ty.index()).filter(|p| !p.is_empty()) else {
+            let Some(positions) = seg.positions.get(ty.index()).filter(|p| !p.is_empty()) else {
                 continue;
             };
-            // shared construction: new matches of this segment ending at e
+            // shared construction: new matches of this segment ending here
             if positions.contains(&(seg.len - 1)) {
-                let mut new_matches: Vec<Match<A>> = Vec::new();
+                new_matches.clear();
                 let constructed =
                     gsegs[si]
                         .buffers
-                        .enumerate_ending::<A>(e.time, c, |start, cell| {
+                        .enumerate_ending::<A>(time, c, |start, cell| {
                             new_matches.push(Match {
                                 start,
-                                end: e.time,
+                                end: time,
                                 cell,
                             });
                         });
@@ -259,19 +295,56 @@ impl<A: Aggregate> Partition<A> {
                             join_backward(gsegs, prefix_stages, m, |start, cell| {
                                 let hi = start.millis() / slide;
                                 if hi >= min_seq {
-                                    acc.add_range(e.time, min_seq, hi, cell);
+                                    acc.add_range(time, min_seq, hi, cell);
                                 }
                             });
                     }
                 }
-                gsegs[si].matches.extend(new_matches);
+                gsegs[si].matches.extend(new_matches.iter().copied());
             }
             // buffer at non-END positions
             for &pos in positions {
                 if pos + 1 < seg.len {
-                    gsegs[si].buffers.push(pos, e.time, c);
+                    gsegs[si].buffers.push(pos, time, c);
                 }
             }
+        }
+        self.match_scratch = new_matches;
+    }
+
+    /// Columnar pipeline over one batch: stateless scan → stateful
+    /// dispatch of the selected row indices.
+    fn process_columnar(&mut self, batch: &EventBatch, results: &mut ExecutorResults) {
+        let mut sel = std::mem::take(&mut self.sel_scratch);
+        sel.clear();
+        for (row, ty) in batch.types().iter().enumerate() {
+            if !self.routed.get(ty.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            let attrs = batch.attrs(row);
+            if !self.table.passes(*ty, attrs) {
+                continue;
+            }
+            if !self.table.groupable(*ty, attrs) {
+                continue;
+            }
+            sel.push(row as u32);
+        }
+        self.process_rows(batch, &sel, results);
+        self.sel_scratch = sel;
+    }
+
+    /// Stateful dispatch of pre-selected rows.
+    fn process_rows(&mut self, batch: &EventBatch, rows: &[u32], results: &mut ExecutorResults) {
+        for &row in rows {
+            let row = row as usize;
+            self.process_row(
+                batch.ty(row),
+                batch.time(row),
+                batch.attrs(row),
+                true,
+                results,
+            );
         }
     }
 
@@ -382,18 +455,11 @@ impl SpassLike {
         plan.validate(workload)
             .map_err(|e| CompileError::PlanInvalid(e.to_string()))?;
         // partition by sharing signature, like the online executor
-        let mut parts: Vec<(Vec<&Query>, sharon_query::query::SharingSignature)> = Vec::new();
-        for q in workload.queries() {
-            let sig = q.sharing_signature();
-            match parts.iter_mut().find(|(_, s)| *s == sig) {
-                Some((qs, _)) => qs.push(q),
-                None => parts.push((vec![q], sig)),
-            }
-        }
+        let parts = signature_partitions(workload);
         for cand in &plan.candidates {
             let ok = parts
                 .iter()
-                .any(|(qs, _)| cand.queries.iter().all(|id| qs.iter().any(|q| q.id == *id)));
+                .any(|qs| cand.queries.iter().all(|id| qs.iter().any(|q| q.id == *id)));
             if !ok {
                 return Err(CompileError::CandidateSpansPartitions {
                     pattern: cand.pattern.display(catalog).to_string(),
@@ -405,14 +471,14 @@ impl SpassLike {
             Kernel::Count(
                 parts
                     .iter()
-                    .map(|(qs, _)| Partition::new(catalog, qs, plan))
+                    .map(|qs| Partition::new(catalog, qs, plan))
                     .collect::<Result<_, _>>()?,
             )
         } else {
             Kernel::Stats(
                 parts
                     .iter()
-                    .map(|(qs, _)| Partition::new(catalog, qs, plan))
+                    .map(|qs| Partition::new(catalog, qs, plan))
                     .collect::<Result<_, _>>()?,
             )
         };
@@ -423,6 +489,45 @@ impl SpassLike {
         })
     }
 
+    /// Run the baseline on the sharded parallel runtime: the batch router
+    /// fans each signature partition's rows out by group hash; one full
+    /// [`SpassLike`] instance per worker consumes only the rows it owns.
+    pub fn sharded(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
+        Self::sharded_with_batch_size(catalog, workload, plan, n_shards, DEFAULT_BATCH_SIZE)
+    }
+
+    /// [`SpassLike::sharded`] with an explicit flush threshold.
+    pub fn sharded_with_batch_size(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        batch_size: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
+        if workload.is_empty() {
+            return Err(CompileError::EmptyWorkload);
+        }
+        // one routing scope per signature partition, in the same order the
+        // sequential kernel builds them
+        let scopes = signature_partitions(workload)
+            .iter()
+            .map(|qs| ScopeFilter::build(catalog, qs))
+            .collect::<Result<Vec<_>, _>>()?;
+        let router = Box::new(BatchRouter::new(scopes, n_shards));
+        let shards = (0..n_shards)
+            .map(|_| {
+                SpassLike::new(catalog, workload, plan)
+                    .map(|s| Box::new(s) as Box<dyn ShardProcessor>)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedExecutor::from_parts(router, shards, batch_size))
+    }
+
     /// Process one event.
     pub fn process(&mut self, e: &Event) {
         debug_assert!(e.time >= self.last_time, "events must be time-ordered");
@@ -430,12 +535,34 @@ impl SpassLike {
         match &mut self.kernel {
             Kernel::Count(ps) => {
                 for p in ps {
-                    p.process(e, &mut self.results);
+                    p.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
                 }
             }
             Kernel::Stats(ps) => {
                 for p in ps {
-                    p.process(e, &mut self.results);
+                    p.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Process a time-ordered columnar batch: each signature partition
+    /// runs its stateless scan + stateful dispatch over the whole batch
+    /// while its state is hot. No row-form event is materialized.
+    pub fn process_columnar(&mut self, batch: &EventBatch) {
+        if let Some(&t) = batch.times().last() {
+            debug_assert!(t >= self.last_time, "batches must be time-ordered");
+            self.last_time = t;
+        }
+        match &mut self.kernel {
+            Kernel::Count(ps) => {
+                for p in ps {
+                    p.process_columnar(batch, &mut self.results);
+                }
+            }
+            Kernel::Stats(ps) => {
+                for p in ps {
+                    p.process_columnar(batch, &mut self.results);
                 }
             }
         }
@@ -447,6 +574,24 @@ impl SpassLike {
             self.process(&e);
         }
         self
+    }
+
+    /// Pre-size the result store for about `additional` further results
+    /// per query (capacity planning for allocation-free steady-state
+    /// emission).
+    pub fn reserve_results(&mut self, additional: usize) {
+        match &self.kernel {
+            Kernel::Count(ps) => {
+                for q in ps.iter().flat_map(|p| &p.queries) {
+                    self.results.reserve(q.id, additional);
+                }
+            }
+            Kernel::Stats(ps) => {
+                for q in ps.iter().flat_map(|p| &p.queries) {
+                    self.results.reserve(q.id, additional);
+                }
+            }
+        }
     }
 
     /// Flush and return all results.
@@ -483,12 +628,62 @@ impl SpassLike {
     }
 }
 
+impl BatchProcessor for SpassLike {
+    fn process_event(&mut self, e: &Event) {
+        self.process(e);
+    }
+
+    fn process_columnar(&mut self, batch: &EventBatch) {
+        SpassLike::process_columnar(self, batch);
+    }
+
+    fn state_size(&self) -> usize {
+        self.materialized_matches()
+    }
+
+    fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
+        ((*self).finish(), 0)
+    }
+}
+
+impl ShardProcessor for SpassLike {
+    /// Dispatch each signature partition's routed rows (`rows.per_part` is
+    /// parallel to [`signature_partitions`] order, the same order the
+    /// kernel holds its partitions).
+    fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
+        match &mut self.kernel {
+            Kernel::Count(ps) => {
+                for (p, rows) in ps.iter_mut().zip(&rows.per_part) {
+                    if !rows.is_empty() {
+                        p.process_rows(batch, rows, &mut self.results);
+                    }
+                }
+            }
+            Kernel::Stats(ps) => {
+                for (p, rows) in ps.iter_mut().zip(&rows.per_part) {
+                    if !rows.is_empty() {
+                        p.process_rows(batch, rows, &mut self.results);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ShardReport {
+        let state_size = self.materialized_matches();
+        ShardReport {
+            results: SpassLike::finish(*self),
+            events_matched: 0,
+            state_size,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sharon_executor::Executor;
     use sharon_query::{parse_workload, Pattern, PlanCandidate};
-    use sharon_types::EventTypeId;
 
     fn ev(ty: EventTypeId, t: u64) -> Event {
         Event::new(ty, Timestamp(t))
@@ -592,5 +787,32 @@ mod tests {
         let sr = sp.finish();
         let fr = fl.finish();
         assert!(sr.semantically_eq(&fr, 1e-9));
+    }
+
+    #[test]
+    fn columnar_and_sharded_paths_match_per_event() {
+        let (c, w, plan) = traffic_pair();
+        let names = ["X", "Y", "A", "B", "Z"];
+        let events: Vec<Event> = (0..500u64)
+            .map(|i| ev(c.lookup(names[(i % 5) as usize]).unwrap(), i))
+            .collect();
+
+        let mut per_event = SpassLike::new(&c, &w, &plan).unwrap();
+        for e in &events {
+            per_event.process(e);
+        }
+        let want = per_event.finish();
+        assert!(!want.is_empty());
+
+        let batch = EventBatch::from_events(&events);
+        let mut columnar = SpassLike::new(&c, &w, &plan).unwrap();
+        columnar.process_columnar(&batch);
+        let got = columnar.finish();
+        assert!(got.semantically_eq(&want, 1e-9));
+
+        let mut sharded = SpassLike::sharded(&c, &w, &plan, 3).unwrap();
+        sharded.process_columnar(&batch);
+        let got = sharded.finish();
+        assert!(got.semantically_eq(&want, 1e-9));
     }
 }

@@ -1,21 +1,37 @@
-//! Allocation regression tests for the columnar hot path.
+//! Allocation regression tests for the columnar hot paths.
 //!
-//! The steady-state promise of the columnar engine: once group state,
+//! The steady-state promise of the columnar pipeline: once group state,
 //! scratch buffers, and the result store have warmed up, processing a
 //! columnar batch performs **zero** heap allocations. This binary installs
 //! [`sharon_metrics::TrackingAllocator`] as the global allocator (its own
 //! test binary, so no other suite is affected) and counts allocation calls
 //! around a measured steady-state phase.
 //!
-//! Scope: the promise covers stateless length-1 segment patterns (the
-//! engine's unit path). Multi-type segments still box one START entry per
-//! live START event — pooling those is an open ROADMAP item.
+//! Scope: the promise covers the online engine's unit path (length-1
+//! segments), the multi-type-segment path (START-entry cell arrays are
+//! pooled by [`sharon::executor::SegmentRunner`]), and the two-step
+//! baselines' columnar paths (Flink-like and SPASS-like run the same
+//! stateless-scan → stateful-dispatch pipeline with reused scratch
+//! buffers).
 
 use sharon::prelude::*;
+use sharon::twostep::{FlinkLike, SpassLike};
 use sharon_metrics::{alloc, TrackingAllocator};
+use std::sync::Mutex;
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// The allocation counter is process-global, so measured phases of
+/// concurrently running tests would pollute each other: every test in this
+/// binary holds this lock for its full body. The guard protects no
+/// invariant beyond serialization, so a poisoned lock (another test
+/// failed) is simply taken over — each test still reports its own result.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 const GROUPS: i64 = 16;
 const BATCH_ROWS: usize = 256;
@@ -43,8 +59,35 @@ fn build_batches(catalog: &Catalog, n: usize, first_time: u64) -> (Vec<EventBatc
     (out, t)
 }
 
+/// Pre-build batches of alternating `A(g, v)` / `B(g, v)` rows where
+/// consecutive pairs share a group — the multi-type-segment shape: every
+/// `A` opens a START entry, every `B` completes sequences.
+fn build_pair_batches(catalog: &Catalog, n: usize, first_time: u64) -> (Vec<EventBatch>, u64) {
+    let a = catalog.lookup("A").expect("type A registered");
+    let b = catalog.lookup("B").expect("type B registered");
+    let mut out = Vec::with_capacity(n);
+    let mut t = first_time;
+    for _ in 0..n {
+        let mut batch = EventBatch::with_capacity(BATCH_ROWS, 2);
+        for _ in 0..BATCH_ROWS {
+            t += 1;
+            batch.push_from(
+                if t.is_multiple_of(2) { a } else { b },
+                Timestamp(t),
+                [
+                    Value::Int((t / 2) as i64 % GROUPS),
+                    Value::Int(t as i64 % 7),
+                ],
+            );
+        }
+        out.push(batch);
+    }
+    (out, t)
+}
+
 #[test]
 fn columnar_hot_path_is_allocation_free_after_warmup() {
+    let _serial = serial();
     let mut catalog = Catalog::new();
     catalog.register_with_schema("A", Schema::new(["g", "v"]));
     let workload = parse_workload(
@@ -92,7 +135,135 @@ fn columnar_hot_path_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn multi_type_segment_path_is_allocation_free_after_warmup() {
+    // SEQ(A, B): every A boxes a START-entry cell array — pooled by
+    // SegmentRunner since the pooling change, making this path
+    // zero-allocation too (it used to be the last per-event allocation)
+    let _serial = serial();
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["g", "v"]));
+    catalog.register_with_schema("B", Schema::new(["g", "v"]));
+    let workload = parse_workload(
+        &mut catalog,
+        ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 8 ms SLIDE 4 ms"],
+    )
+    .unwrap();
+    let mut executor = Executor::non_shared(&catalog, &workload).unwrap();
+
+    let (warmup, t) = build_pair_batches(&catalog, WARMUP_BATCHES, 0);
+    let (measured, _) = build_pair_batches(&catalog, MEASURED_BATCHES, t);
+
+    for batch in &warmup {
+        executor.process_columnar(batch);
+    }
+    let expected_results = (MEASURED_BATCHES * BATCH_ROWS / 4 + 64) * (GROUPS as usize);
+    executor.reserve_results(expected_results);
+
+    let matched_before = executor.events_matched();
+    let (_, allocs) = alloc::measure_allocs(|| {
+        for batch in &measured {
+            executor.process_columnar(batch);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state multi-type-segment path must not allocate \
+         ({MEASURED_BATCHES} batches of {BATCH_ROWS} events performed {allocs} allocations)"
+    );
+    assert_eq!(
+        executor.events_matched() - matched_before,
+        (MEASURED_BATCHES * BATCH_ROWS) as u64,
+        "every measured event matched"
+    );
+    let results = executor.finish();
+    assert!(!results.is_empty(), "pairs matched and windows emitted");
+}
+
+#[test]
+fn flink_like_columnar_path_is_allocation_free_after_warmup() {
+    let _serial = serial();
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["g", "v"]));
+    catalog.register_with_schema("B", Schema::new(["g", "v"]));
+    let workload = parse_workload(
+        &mut catalog,
+        ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 8 ms SLIDE 4 ms"],
+    )
+    .unwrap();
+    let mut flink = FlinkLike::new(&catalog, &workload).unwrap();
+
+    let (warmup, t) = build_pair_batches(&catalog, WARMUP_BATCHES, 0);
+    let (measured, _) = build_pair_batches(&catalog, MEASURED_BATCHES, t);
+
+    for batch in &warmup {
+        flink.process_columnar(batch);
+    }
+    let expected_results = (MEASURED_BATCHES * BATCH_ROWS / 4 + 64) * (GROUPS as usize);
+    flink.reserve_results(expected_results);
+
+    let constructed_before = flink.sequences_constructed();
+    let (_, allocs) = alloc::measure_allocs(|| {
+        for batch in &measured {
+            flink.process_columnar(batch);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state Flink-like columnar path must not allocate \
+         ({MEASURED_BATCHES} batches of {BATCH_ROWS} events performed {allocs} allocations)"
+    );
+    assert!(
+        flink.sequences_constructed() > constructed_before,
+        "the measured phase constructed sequences (did real work)"
+    );
+    let results = flink.finish();
+    assert!(!results.is_empty());
+}
+
+#[test]
+fn spass_like_columnar_path_is_allocation_free_after_warmup() {
+    let _serial = serial();
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["g", "v"]));
+    catalog.register_with_schema("B", Schema::new(["g", "v"]));
+    let workload = parse_workload(
+        &mut catalog,
+        ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 8 ms SLIDE 4 ms"],
+    )
+    .unwrap();
+    let mut spass = SpassLike::new(&catalog, &workload, &SharingPlan::non_shared()).unwrap();
+
+    let (warmup, t) = build_pair_batches(&catalog, WARMUP_BATCHES, 0);
+    let (measured, _) = build_pair_batches(&catalog, MEASURED_BATCHES, t);
+
+    for batch in &warmup {
+        spass.process_columnar(batch);
+    }
+    let expected_results = (MEASURED_BATCHES * BATCH_ROWS / 4 + 64) * (GROUPS as usize);
+    spass.reserve_results(expected_results);
+
+    let constructed_before = spass.sequences_constructed();
+    let (_, allocs) = alloc::measure_allocs(|| {
+        for batch in &measured {
+            spass.process_columnar(batch);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state SPASS-like columnar path must not allocate \
+         ({MEASURED_BATCHES} batches of {BATCH_ROWS} events performed {allocs} allocations)"
+    );
+    assert!(
+        spass.sequences_constructed() > constructed_before,
+        "the measured phase constructed sequences (did real work)"
+    );
+    let results = spass.finish();
+    assert!(!results.is_empty());
+}
+
+#[test]
 fn per_event_shim_stays_inline_for_small_events() {
+    let _serial = serial();
     // the row-form compatibility path: events with <= 4 attributes never
     // allocate for their attribute storage
     let ((), allocs) = alloc::measure_allocs(|| {

@@ -1,9 +1,21 @@
 //! Property-based equivalence between the two-step baselines (Flink-like,
 //! SPASS-like) and the online executor: all four approaches of Figure 3
 //! answer identically — they differ only in cost.
+//!
+//! Also pins the baselines' *columnar* pipeline (stateless scan + stateful
+//! dispatch over `EventBatch` row indices) and their *sharded* route-once
+//! runs against the per-event reference, on all three paper streams and
+//! over ragged batch sizes (empty and single-event batches included):
+//! neither the batch form nor sharding is ever a semantics change.
 
 use proptest::prelude::*;
 use sharon::prelude::*;
+use sharon::streams::ecommerce::{self, EcommerceConfig};
+use sharon::streams::linear_road::{self, LinearRoadConfig};
+use sharon::streams::taxi::{self, TaxiConfig};
+use sharon::streams::workload::{
+    figure_1_workload, figure_2_workload, overlapping_workload, WorkloadConfig,
+};
 use sharon::twostep::{FlinkLike, SpassLike};
 
 fn build(
@@ -113,6 +125,231 @@ proptest! {
             "spass {:?}\nonline {:?}",
             sr.of_query_sorted(QueryId(0)),
             or.of_query_sorted(QueryId(0))
+        );
+    }
+}
+
+/// Per-event vs columnar vs sharded route-once for both baselines: the
+/// batch pipeline and the sharded runtime are pure re-arrangements of the
+/// same work.
+fn assert_baseline_forms_agree(
+    catalog: &Catalog,
+    workload: &Workload,
+    events: &[Event],
+    label: &str,
+) {
+    let rates = RateMap::uniform(100.0);
+    let plan = optimize_sharon(workload, &rates, &OptimizerConfig::default()).plan;
+    let batch = EventBatch::from_events(events);
+
+    // Flink-like: per-event reference, then columnar, then sharded
+    let mut reference = FlinkLike::new(catalog, workload).unwrap();
+    for e in events {
+        reference.process(e);
+    }
+    let want = reference.finish();
+    assert!(!want.is_empty(), "{label}: stream must produce matches");
+
+    let mut columnar = FlinkLike::new(catalog, workload).unwrap();
+    columnar.process_columnar(&batch);
+    let got = columnar.finish();
+    assert!(
+        got.semantically_eq(&want, 1e-9),
+        "{label}: flink columnar diverges from per-event ({} vs {} results)",
+        got.len(),
+        want.len(),
+    );
+    for shards in [1usize, 2, 8] {
+        let mut sharded = FlinkLike::sharded(catalog, workload, shards).unwrap();
+        sharded.process_columnar(&batch);
+        let got = sharded.finish();
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "{label}: flink {shards}-shard route-once diverges",
+        );
+    }
+
+    // SPASS-like under the Sharon construction-sharing plan
+    let mut reference = SpassLike::new(catalog, workload, &plan).unwrap();
+    for e in events {
+        reference.process(e);
+    }
+    let want = reference.finish();
+
+    let mut columnar = SpassLike::new(catalog, workload, &plan).unwrap();
+    columnar.process_columnar(&batch);
+    let got = columnar.finish();
+    assert!(
+        got.semantically_eq(&want, 1e-9),
+        "{label}: spass columnar diverges from per-event ({} vs {} results)",
+        got.len(),
+        want.len(),
+    );
+    for shards in [1usize, 2, 8] {
+        let mut sharded = SpassLike::sharded(catalog, workload, &plan, shards).unwrap();
+        sharded.process_columnar(&batch);
+        let got = sharded.finish();
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "{label}: spass {shards}-shard route-once diverges",
+        );
+    }
+}
+
+#[test]
+fn columnar_baselines_match_per_event_on_taxi() {
+    let mut catalog = Catalog::new();
+    let events = taxi::generate(
+        &mut catalog,
+        &TaxiConfig {
+            n_events: 3000,
+            n_streets: 7,
+            n_vehicles: 50,
+            ..Default::default()
+        },
+    );
+    let workload = figure_1_workload(&mut catalog);
+    assert_baseline_forms_agree(&catalog, &workload, &events, "taxi");
+}
+
+#[test]
+fn columnar_baselines_match_per_event_on_linear_road() {
+    let mut catalog = Catalog::new();
+    let events = linear_road::generate(
+        &mut catalog,
+        &LinearRoadConfig {
+            duration_secs: 20,
+            cars_per_sec: 2.0,
+            n_segments: 10,
+            trip_segments: 40,
+            ..Default::default()
+        },
+    );
+    let alphabet: Vec<String> = (0..10).map(|i| format!("Seg{i}")).collect();
+    let workload = overlapping_workload(
+        &mut catalog,
+        &WorkloadConfig {
+            n_queries: 6,
+            pattern_len: 4,
+            alphabet,
+            window: WindowSpec::new(TimeDelta::from_secs(10), TimeDelta::from_secs(2)),
+            group_by: Some("car".into()),
+            seed: 9,
+        },
+    );
+    assert_baseline_forms_agree(&catalog, &workload, &events, "linear-road");
+}
+
+#[test]
+fn columnar_baselines_match_per_event_on_ecommerce() {
+    let mut catalog = Catalog::new();
+    let events = ecommerce::generate(
+        &mut catalog,
+        &EcommerceConfig {
+            n_items: 10,
+            n_customers: 6,
+            events_per_sec: 300,
+            n_events: 2000,
+            ..Default::default()
+        },
+    );
+    let workload = figure_2_workload(&mut catalog);
+    assert_baseline_forms_agree(&catalog, &workload, &events, "ecommerce");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Ragged columnar batches — empty and single-event batches included —
+    /// never change baseline results, sequentially or under route-once
+    /// sharding with a small flush threshold.
+    #[test]
+    fn ragged_batches_never_change_baseline_results(
+        shards in 1usize..=5,
+        chunk_lens in prop::collection::vec(0usize..=13, 1..=30),
+        raw in prop::collection::vec((0usize..4, 0u64..=3, 0i64..=9), 0..=100),
+    ) {
+        let mut c = Catalog::new();
+        for i in 0..4 {
+            c.register_with_schema(&format!("T{i}"), Schema::new(["g", "v"]));
+        }
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(T0, T1) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+                "RETURN SUM(T2.v) PATTERN SEQ(T1, T2, T3) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+            ],
+        )
+        .unwrap();
+        let mut t = 0u64;
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(ty, dt, v)| {
+                t += dt;
+                Event::with_attrs(
+                    c.lookup(&format!("T{ty}")).unwrap(),
+                    Timestamp(t),
+                    vec![Value::Int(v % 7), Value::Int(v)],
+                )
+            })
+            .collect();
+
+        // chop the stream into ragged columnar chunks (0-length chunks
+        // produce genuinely empty batches; leftover events form a tail)
+        let mut batches: Vec<EventBatch> = Vec::new();
+        let mut rest = &events[..];
+        for len in chunk_lens {
+            let take = len.min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            batches.push(EventBatch::from_events(head));
+            rest = tail;
+        }
+        batches.push(EventBatch::from_events(rest));
+
+        let mut reference = FlinkLike::new(&c, &w).unwrap();
+        for e in &events {
+            reference.process(e);
+        }
+        let want = reference.finish();
+
+        let mut columnar = FlinkLike::new(&c, &w).unwrap();
+        for b in &batches {
+            columnar.process_columnar(b);
+        }
+        let got = columnar.finish();
+        prop_assert!(
+            got.semantically_eq(&want, 1e-9),
+            "flink columnar diverges over ragged batches"
+        );
+
+        // a small flush threshold forces mid-stream route-once fan-outs
+        let mut sharded = FlinkLike::sharded_with_batch_size(&c, &w, shards, 13).unwrap();
+        for b in &batches {
+            sharded.process_columnar(b);
+        }
+        let got = sharded.finish();
+        prop_assert!(
+            got.semantically_eq(&want, 1e-9),
+            "flink {} shards: ragged route-once diverges",
+            shards
+        );
+
+        let plan = SharingPlan::non_shared();
+        let mut reference = SpassLike::new(&c, &w, &plan).unwrap();
+        for e in &events {
+            reference.process(e);
+        }
+        let want = reference.finish();
+
+        let mut sharded = SpassLike::sharded_with_batch_size(&c, &w, &plan, shards, 13).unwrap();
+        for b in &batches {
+            sharded.process_columnar(b);
+        }
+        let got = sharded.finish();
+        prop_assert!(
+            got.semantically_eq(&want, 1e-9),
+            "spass {} shards: ragged route-once diverges",
+            shards
         );
     }
 }
