@@ -67,6 +67,7 @@ fn main() {
                 trip_segments: (lifetime_secs * 1000 / report_every_ms) as usize,
                 duration_secs: 45,
                 seed: 13,
+                ..Default::default()
             },
         );
         let workload = overlapping_workload(

@@ -50,6 +50,7 @@ fn main() {
                 n_events: target * 3, // ~3 windows worth
                 mean_interarrival_ms: ((1000.0 / rate_per_sec).max(0.5) * 1.0) as u64,
                 seed: 14,
+                ..Default::default()
             },
         );
         let workload = overlapping_workload(

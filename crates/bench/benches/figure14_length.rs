@@ -28,6 +28,7 @@ fn main() {
             events_per_sec: 3000,
             n_events,
             seed: 14,
+            ..Default::default()
         },
     );
     let rates = rates_of(&events);

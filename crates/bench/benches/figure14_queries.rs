@@ -31,6 +31,7 @@ fn main() {
             trip_segments: 400,
             duration_secs: 60,
             seed: 14,
+            ..Default::default()
         },
     );
     let rates = rates_of(&events);

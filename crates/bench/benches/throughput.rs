@@ -6,18 +6,26 @@
 //! SPASS, A-Seq, SHARON through `AnyExecutor::process_columnar`) that
 //! doubles as the trait-dispatch bitrot guard: CI runs this bench at
 //! 5k-event scale on every change, and the sweep asserts all four
-//! strategies still agree.
+//! strategies still agree — on uniform **and** on Zipf-skewed input.
+//!
+//! The **skew sweep** measures the hot-group splitting path: taxi streams
+//! at theta ∈ {0, 0.8, 1.2} across 1/2/4/8 shards, including an
+//! 8-shard run with splitting disabled (`pinned`) — the configuration
+//! whose throughput collapses to ≈1-shard speed on skewed input, which
+//! splitting is built to fix. Every row of a sweep must report identical
+//! result counts, so the skewed merge path cannot silently bitrot.
 //!
 //! Prints one table per scenario and writes a machine-readable baseline to
-//! `BENCH_PR3.json` at the workspace root (override with
+//! `BENCH_PR4.json` at the workspace root (override with
 //! `SHARON_BENCH_OUT`), so future optimization PRs have a perf trajectory
-//! to compare against (`BENCH_PR1.json`/`BENCH_PR2.json` hold earlier
+//! to compare against (`BENCH_PR1.json`–`BENCH_PR3.json` hold earlier
 //! PRs' numbers). `SHARON_SCALE` scales the stream length.
 //!
 //! Note: thread-level speedup from sharding is only observable when the
 //! host grants more than one CPU; the JSON records
 //! `available_parallelism` so readers can interpret the ratios.
 
+use sharon::executor::SplitConfig;
 use sharon::prelude::*;
 use sharon::streams::taxi::{self, TaxiConfig};
 use sharon::streams::workload::{figure_1_workload, measured_rates_batch};
@@ -109,20 +117,137 @@ fn scenario(n_events: usize, n_vehicles: usize) -> (String, Vec<Run>) {
     (name, runs)
 }
 
-/// All four strategies of Figure 3 through the one columnar trait-dispatch
-/// pipeline (`AnyExecutor::process_columnar`), sequential and 2-way
-/// sharded. Sized smaller than the main scenarios: the two-step baselines
-/// pay the polynomial sequence-construction cost by design.
-fn strategy_sweep() -> (String, Vec<Run>) {
-    let n_events = scaled(20_000, 2_000);
-    let n_vehicles = (n_events / 20).max(50);
-    let name = format!("strategies events={n_events} groups={n_vehicles} (columnar dispatch)");
+/// The paper's traffic patterns with windows sized to the synthetic
+/// stream span (the taxi generator emits ~1 event/ms), so windows close
+/// mid-run and a split group's warm-up (one window) completes — the
+/// regime the skew sweep measures.
+fn short_window_workload(catalog: &mut Catalog) -> Workload {
+    parse_workload(
+        catalog,
+        [
+            "RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt, StateSt) WHERE [vehicle] WITHIN 10 s SLIDE 2 s",
+            "RETURN COUNT(*) PATTERN SEQ(MainSt, StateSt) WHERE [vehicle] WITHIN 10 s SLIDE 2 s",
+            "RETURN COUNT(*) PATTERN SEQ(ParkAve, OakSt, MainSt) WHERE [vehicle] WITHIN 10 s SLIDE 2 s",
+            "RETURN COUNT(*) PATTERN SEQ(ElmSt, ParkAve) WHERE [vehicle] WITHIN 10 s SLIDE 2 s",
+        ],
+    )
+    .expect("short-window workload parses")
+}
+
+/// Hot-group splitting under Zipf skew: sequential columnar reference,
+/// the sharded runtime at 1/2/4/8 shards with splitting on (default
+/// tuning), and the 8-shard **pinned** configuration (splitting
+/// disabled) — on skewed input the pinned run degenerates to one busy
+/// worker, which is exactly what splitting removes.
+fn skew_sweep(theta: f64) -> (String, Vec<Run>) {
+    let n_events = scaled(200_000, 5_000);
+    let n_vehicles = 512;
+    let name = format!("skew theta={theta} events={n_events} groups={n_vehicles}");
     let mut catalog = Catalog::new();
     let batch = taxi::generate_batch(
         &mut catalog,
-        &TaxiConfig::high_cardinality(n_events, n_vehicles),
+        &TaxiConfig::high_cardinality(n_events, n_vehicles).with_skew(theta),
     );
-    let workload = figure_1_workload(&mut catalog);
+    let workload = short_window_workload(&mut catalog);
+    let plan = SharingPlan::non_shared();
+    let n = batch.len();
+    let shared = Arc::new(batch);
+
+    let mut runs = Vec::new();
+    runs.push(measure("sequential/columnar", n, || {
+        let mut ex = Executor::new(&catalog, &workload, &plan).unwrap();
+        ex.process_columnar(&shared);
+        ex.finish()
+    }));
+    for shards in SHARD_COUNTS {
+        runs.push(measure(&format!("sharded/{shards}"), n, || {
+            let mut ex = ShardedExecutor::new(&catalog, &workload, &plan, shards).unwrap();
+            ex.process_shared(&shared);
+            ex.finish()
+        }));
+    }
+    runs.push(measure("sharded/8/pinned", n, || {
+        let mut ex = ShardedExecutor::with_split_config(
+            &catalog,
+            &workload,
+            &plan,
+            8,
+            sharon::executor::DEFAULT_BATCH_SIZE,
+            SplitConfig::disabled(),
+        )
+        .unwrap();
+        ex.process_shared(&shared);
+        ex.finish()
+    }));
+
+    // splitting must never change results — every configuration reports
+    // the identical result count
+    let want = runs[0].results;
+    for run in &runs {
+        assert_eq!(run.results, want, "{}: result count diverged", run.label);
+    }
+
+    // bitrot guard (not measured): on skewed input, an eager-threshold
+    // 8-shard run must actually SPLIT a group and still agree — without
+    // this, tuning or generator drift could silently turn the skewed
+    // legs above into pinned-only runs and the smoke would keep passing
+    // while never exercising the split/merge path
+    if theta > 0.0 {
+        let mut ex = ShardedExecutor::with_split_config(
+            &catalog,
+            &workload,
+            &plan,
+            8,
+            sharon::executor::DEFAULT_BATCH_SIZE,
+            SplitConfig {
+                min_rows: 64,
+                hot_fraction: 0.05,
+                ..SplitConfig::default()
+            },
+        )
+        .unwrap();
+        ex.process_shared(&shared);
+        assert!(
+            ex.split_groups() > 0,
+            "theta={theta}: the skewed stream must trigger a split"
+        );
+        assert_eq!(
+            ex.finish().len(),
+            want,
+            "theta={theta}: splitting changed the result count"
+        );
+    }
+    (name, runs)
+}
+
+/// All four strategies of Figure 3 through the one columnar trait-dispatch
+/// pipeline (`AnyExecutor::process_columnar`), sequential and 2-way
+/// sharded. Sized smaller than the main scenarios: the two-step baselines
+/// pay the polynomial sequence-construction cost by design. With
+/// `theta > 0` the taxi stream is Zipf-skewed — the CI smoke runs this at
+/// theta=1.2 so the four strategies are asserted to agree on skewed input
+/// (hot-group splitting active for the online pair) on every change.
+fn strategy_sweep(theta: f64) -> (String, Vec<Run>) {
+    let n_events = scaled(20_000, 2_000);
+    let n_vehicles = (n_events / 20).max(50);
+    let name = if theta > 0.0 {
+        format!(
+            "strategies events={n_events} groups={n_vehicles} theta={theta} (columnar dispatch)"
+        )
+    } else {
+        format!("strategies events={n_events} groups={n_vehicles} (columnar dispatch)")
+    };
+    let mut catalog = Catalog::new();
+    let batch = taxi::generate_batch(
+        &mut catalog,
+        &TaxiConfig::high_cardinality(n_events, n_vehicles).with_skew(theta),
+    );
+    let workload = if theta > 0.0 {
+        // short windows so splitting's warm-up completes on skewed input
+        short_window_workload(&mut catalog)
+    } else {
+        figure_1_workload(&mut catalog)
+    };
     let (counts, span) = measured_rates_batch(&batch);
     let rates = RateMap::from_counts(&counts, span);
     let n = batch.len();
@@ -195,14 +320,16 @@ fn fmt_rate(r: f64) -> String {
 fn json_out(path: &std::path::Path, scenarios: &[(String, Vec<Run>)], parallelism: usize) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"throughput\",\n  \"pr\": 3,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
+        "  \"bench\": \"throughput\",\n  \"pr\": 4,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
         scale()
     ));
     if parallelism == 1 {
         out.push_str(
             "  \"note\": \"recorded on a 1-CPU host: shard workers timeshare one core, so \
-             sharded/N ratios measure overhead only, not parallel speedup; rerun on a \
-             multi-core host to observe scaling\",\n",
+             sharded/N ratios measure overhead only, not parallel speedup; in the skew sweep \
+             this also means hot-group splitting's broadcast replication can only cost \
+             (sharded/N vs sharded/8/pinned shows the replication overhead, not the \
+             load-balance win) — rerun on a multi-core host to observe scaling\",\n",
         );
     }
     out.push_str("  \"scenarios\": [\n");
@@ -238,7 +365,11 @@ fn main() {
     let scenarios: Vec<(String, Vec<Run>)> = vec![
         scenario(base.max(5_000), 100),
         scenario(base.max(5_000), 10_000),
-        strategy_sweep(),
+        skew_sweep(0.0),
+        skew_sweep(0.8),
+        skew_sweep(1.2),
+        strategy_sweep(0.0),
+        strategy_sweep(1.2),
     ];
 
     for (name, runs) in &scenarios {
@@ -262,7 +393,7 @@ fn main() {
     }
 
     let path = std::env::var("SHARON_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json").to_string()
     });
     json_out(std::path::Path::new(&path), &scenarios, parallelism);
 }

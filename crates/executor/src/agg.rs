@@ -103,6 +103,52 @@ pub trait Aggregate: Copy + Clone + PartialEq + std::fmt::Debug + Send + 'static
 
     /// Project the final output value.
     fn output(&self, kind: OutputKind) -> AggValue;
+
+    /// Box the cell into a kernel-erased [`PartialAgg`] — the sub-aggregate
+    /// form the sharded runtime's hot-group merge step combines across
+    /// shards.
+    fn to_partial(&self) -> PartialAgg;
+}
+
+/// A kernel-erased per-window **sub-aggregate** of one split (hot) group.
+///
+/// When the sharded runtime splits a skewed group across shards, each shard
+/// accumulates only part of that group's per-window aggregate; the parts
+/// are shipped in this form and combined by [`PartialAgg::merge`] at the
+/// final merge step. The merge is exact for every aggregate kind the
+/// system supports: `COUNT` and `SUM` add, `MIN`/`MAX` take the extremum,
+/// and `AVG` merges via its carried `count + sum` (a [`StatsCell`]), so no
+/// average-of-averages error can occur — the final value is only projected
+/// *after* the merge, by [`PartialAgg::output`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartialAgg {
+    /// A `COUNT`-kernel sub-aggregate.
+    Count(CountCell),
+    /// A stats-kernel sub-aggregate (`SUM`/`MIN`/`MAX`/`AVG` carry
+    /// count + sum + min + max).
+    Stats(StatsCell),
+}
+
+impl PartialAgg {
+    /// Combine another shard's sub-aggregate of the same
+    /// `(query, group, window)` into this one. Panics on kernel mismatch,
+    /// which would mean two shards compiled the same partition differently.
+    pub fn merge(&mut self, other: &PartialAgg) {
+        match (self, other) {
+            (PartialAgg::Count(a), PartialAgg::Count(b)) => a.merge(b),
+            (PartialAgg::Stats(a), PartialAgg::Stats(b)) => a.merge(b),
+            _ => panic!("sub-aggregate kernel mismatch across shards"),
+        }
+    }
+
+    /// Project the merged value (only meaningful after all shards'
+    /// sub-aggregates were merged).
+    pub fn output(&self, kind: OutputKind) -> AggValue {
+        match self {
+            PartialAgg::Count(c) => c.output(kind),
+            PartialAgg::Stats(s) => s.output(kind),
+        }
+    }
 }
 
 /// The count-only kernel (A-Seq's counts). Saturating at `u128::MAX`,
@@ -150,6 +196,11 @@ impl Aggregate for CountCell {
             OutputKind::CountTimes(k) => AggValue::Count(self.0.saturating_mul(k as u128)),
             _ => panic!("CountCell cannot produce {kind:?}; use StatsCell"),
         }
+    }
+
+    #[inline]
+    fn to_partial(&self) -> PartialAgg {
+        PartialAgg::Count(*self)
     }
 }
 
@@ -251,6 +302,11 @@ impl Aggregate for StatsCell {
                 None
             }),
         }
+    }
+
+    #[inline]
+    fn to_partial(&self) -> PartialAgg {
+        PartialAgg::Stats(*self)
     }
 }
 
@@ -399,5 +455,36 @@ mod tests {
     #[should_panic(expected = "CountCell cannot produce")]
     fn count_cell_rejects_numeric_outputs() {
         CountCell(1).output(OutputKind::Sum);
+    }
+
+    #[test]
+    fn partial_merge_per_kind() {
+        // COUNT adds
+        let mut p = CountCell(3).to_partial();
+        p.merge(&CountCell(4).to_partial());
+        assert_eq!(p.output(OutputKind::Count), AggValue::Count(7));
+
+        // SUM adds; MIN/MAX take extrema; AVG merges via count+sum — the
+        // sub-aggregate form makes avg-of-avgs impossible
+        let mut a = StatsCell::unit(Contribution::of(4.0)); // 1 seq, sum 4
+        a.merge(&StatsCell::unit(Contribution::of(8.0))); // 2 seqs, sum 12
+        let b = StatsCell::unit(Contribution::of(1.0)); // 1 seq, sum 1
+        let mut p = a.to_partial();
+        p.merge(&b.to_partial());
+        assert_eq!(p.output(OutputKind::Sum), AggValue::Number(Some(13.0)));
+        assert_eq!(p.output(OutputKind::Min), AggValue::Number(Some(1.0)));
+        assert_eq!(p.output(OutputKind::Max), AggValue::Number(Some(8.0)));
+        // avg = 13 / 3, NOT (6 + 1) / 2
+        assert_eq!(
+            p.output(OutputKind::Avg(1)),
+            AggValue::Number(Some(13.0 / 3.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel mismatch")]
+    fn partial_merge_rejects_kernel_mismatch() {
+        let mut p = CountCell(1).to_partial();
+        p.merge(&StatsCell::ZERO.to_partial());
     }
 }

@@ -17,6 +17,7 @@
 //!   stateless length-1 segment the type participates in.
 
 use crate::agg::OutputKind;
+use crate::router::SplitSpec;
 use sharon_query::{AggFunc, CmpOp, Query, QueryId, SegmentKind, SharingPlan, Workload};
 use sharon_types::{AttrId, Catalog, EventTypeId, FxHashMap, GroupKey, Value, WindowSpec};
 use std::fmt;
@@ -214,6 +215,42 @@ impl CompiledPartition {
         }
         key.assign_from_slice(vals);
         true
+    }
+
+    /// Classify this partition's routed types for hot-group splitting (see
+    /// [`crate::router::SplitSpec`]).
+    ///
+    /// A type is **final-only** when every role it plays writes *only* the
+    /// final per-window accumulators and never mutates shared evaluation
+    /// state: END of a segment whose completions all fold into a last
+    /// stage, or a stateless unit segment that is a query's last stage.
+    /// Rows of such types can be round-robined across the shards of a
+    /// split group, because their processing reads runner/chain state but
+    /// writes nothing later rows depend on. Every other routed type
+    /// (STARTs, mids, intermediate-stage ENDs, chain-writing units) must be
+    /// *broadcast* to all shards of a split group so the replicated state
+    /// trajectories stay identical.
+    pub fn split_spec(&self) -> SplitSpec {
+        let mut final_only = vec![false; self.routes.len()];
+        for (ti, routes) in self.routes.iter().enumerate() {
+            let Some(r) = routes else { continue };
+            let runners_final = r.runner_roles.iter().all(|&(ri, pos)| {
+                pos + 1 == self.runners[ri].len
+                    && self.runners[ri]
+                        .completion_subs
+                        .iter()
+                        .all(|&(q, stage)| stage + 1 == self.queries[q].n_stages)
+            });
+            let units_final = r
+                .unit_roles
+                .iter()
+                .all(|&(q, stage)| stage + 1 == self.queries[q].n_stages);
+            final_only[ti] = runners_final && units_final;
+        }
+        SplitSpec {
+            final_only,
+            warmup_ms: self.window.within.millis(),
+        }
     }
 }
 

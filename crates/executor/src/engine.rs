@@ -20,18 +20,24 @@
 use crate::agg::{Aggregate, Contribution, CountCell, StatsCell};
 use crate::chainlog::ChainLog;
 use crate::compile::{compile, CompileError, CompiledPartition, Routes};
+use crate::partial::PartialResults;
 use crate::results::ExecutorResults;
 use crate::runner::SegmentRunner;
 use crate::winvec::WinVec;
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{
-    fx_hash_one, Catalog, Event, EventBatch, EventStream, EventTypeId, FxHashMap, GroupKey,
-    Timestamp, Value,
+    fx_hash_one, Catalog, Event, EventBatch, EventStream, EventTypeId, FxHashMap, FxHashSet,
+    GroupKey, Timestamp, Value,
 };
 use std::collections::VecDeque;
 
 /// Per-group runtime state.
 struct GroupRuntime<A> {
+    /// True once the sharded router split this (hot) group across shards:
+    /// window closes then emit per-window **sub-aggregates** into the
+    /// engine's [`PartialResults`] instead of final values, and the
+    /// sharded merge step combines the shards' parts.
+    split: bool,
     runners: Vec<SegmentRunner<A>>,
     /// `offs[q][stage]`: per live START event of the stage's segment, the
     /// chain-log offset at its arrival (unused for stage 0 / unit stages).
@@ -55,6 +61,7 @@ struct GroupRuntime<A> {
 impl<A: Aggregate> GroupRuntime<A> {
     fn new(part: &CompiledPartition) -> Self {
         GroupRuntime {
+            split: false,
             runners: part
                 .runners
                 .iter()
@@ -208,6 +215,14 @@ pub struct Engine<A: Aggregate> {
     sel_scratch: Vec<u32>,
     /// Group-space slice owned by this engine (`None` = everything).
     shard: Option<ShardSlice>,
+    /// Hashes of split (hot) groups the router announced to this shard
+    /// (their rows may arrive regardless of [`ShardSlice::owns`]).
+    split_hashes: FxHashSet<u64>,
+    /// Whether the global (no `GROUP BY`) partition is split.
+    split_global: bool,
+    /// Per-window sub-aggregates of split groups, merged across shards by
+    /// the sharded runtime at the end of the run.
+    partials: PartialResults,
     last_time: Timestamp,
     events_matched: u64,
 }
@@ -224,6 +239,9 @@ impl<A: Aggregate> Engine<A> {
             vals_scratch: Vec::new(),
             sel_scratch: Vec::new(),
             shard: None,
+            split_hashes: FxHashSet::default(),
+            split_global: false,
+            partials: PartialResults::new(),
             last_time: Timestamp::ZERO,
             events_matched: 0,
         }
@@ -255,16 +273,27 @@ impl<A: Aggregate> Engine<A> {
     /// Process one event (events must arrive in timestamp order).
     #[inline]
     pub fn process(&mut self, e: &Event) {
-        self.process_row(e.ty, e.time, &e.attrs, false);
+        self.process_row(e.ty, e.time, &e.attrs, false, false);
     }
 
     /// The shared per-row path of the per-event shim and both columnar
     /// entry points. With `pre_routed`, the caller (the columnar pre-pass
     /// or the sharded batch router) has already evaluated this partition's
-    /// predicates and established that this engine owns the row's group,
-    /// so both checks are skipped.
+    /// predicates and established that this engine may process the row's
+    /// group, so both checks are skipped. With `state_only`, the row is a
+    /// broadcast replica of a split group: it mutates evaluation state
+    /// exactly like the full copy on its owning shard, but folds nothing
+    /// into final accumulators and is not counted as matched — the split
+    /// group's final folds happen exactly once globally.
     #[inline]
-    fn process_row(&mut self, ty: EventTypeId, time: Timestamp, attrs: &[Value], pre_routed: bool) {
+    fn process_row(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: &[Value],
+        pre_routed: bool,
+        state_only: bool,
+    ) {
         debug_assert!(time >= self.last_time, "events must be time-ordered");
         self.last_time = time;
 
@@ -285,39 +314,90 @@ impl<A: Aggregate> Engine<A> {
             debug_assert!(!pre_routed, "router selected an ungroupable event");
             return; // ungroupable event
         }
-        // sharded execution: skip groups another engine owns (pre-routed
-        // rows were assigned to this shard by the router — verify in debug)
+        // sharded execution: skip groups another engine owns (rows of
+        // split groups legitimately land off-owner, which the pre-routed
+        // debug assert below accounts for)
         if let Some(slice) = &self.shard {
-            if pre_routed {
-                debug_assert!(slice.owns(&self.key_scratch), "router misrouted a group");
-            } else if !slice.owns(&self.key_scratch) {
+            if !pre_routed && !slice.owns(&self.key_scratch) {
                 return;
             }
         }
-        self.events_matched += 1;
+        if !state_only {
+            self.events_matched += 1;
+        }
 
         // lookup-before-insert: `key_scratch.clone()` (the only remaining
-        // allocation) happens exactly once per distinct group
+        // allocation) happens exactly once per distinct group. Split
+        // membership is resolved ONCE here, on first sight — split
+        // notices always precede the split group's rows, and
+        // `mark_split` upgrades groups that already exist — so the
+        // per-row hot path never re-hashes the key to probe the split
+        // set.
         if !self.groups.contains_key(&self.key_scratch) {
-            self.groups
-                .insert(self.key_scratch.clone(), GroupRuntime::new(&self.part));
+            let mut grt = GroupRuntime::new(&self.part);
+            grt.split = self.shard.is_some()
+                && match &self.key_scratch {
+                    GroupKey::Global => self.split_global,
+                    key => {
+                        !self.split_hashes.is_empty()
+                            && self.split_hashes.contains(&fx_hash_one(key))
+                    }
+                };
+            self.groups.insert(self.key_scratch.clone(), grt);
         }
         let grt = self
             .groups
             .get_mut(&self.key_scratch)
             .expect("group present after insert");
+        if let Some(slice) = &self.shard {
+            if pre_routed {
+                debug_assert!(
+                    grt.split || slice.owns(&self.key_scratch),
+                    "router misrouted a group"
+                );
+            }
+        }
 
         Self::touch(
             grt,
             &self.part,
             time,
             &mut self.results,
+            &mut self.partials,
             &self.key_scratch,
             &mut self.scratch.emit,
         );
 
         let c = Self::contribution(&self.part, ty, attrs);
-        Self::dispatch(grt, &self.part, routes, time, c, &mut self.scratch);
+        Self::dispatch(
+            grt,
+            &self.part,
+            routes,
+            time,
+            c,
+            !state_only,
+            &mut self.scratch,
+        );
+    }
+
+    /// Mark a group as split across shards (a router notice): its rows may
+    /// arrive off-owner from now on, and its window closes emit per-window
+    /// sub-aggregates instead of final values.
+    pub fn mark_split(&mut self, key: &GroupKey) {
+        match key {
+            GroupKey::Global => self.split_global = true,
+            key => {
+                self.split_hashes.insert(fx_hash_one(key));
+            }
+        }
+        if let Some(grt) = self.groups.get_mut(key) {
+            grt.split = true;
+        }
+        // pre-size the sub-aggregate buffer at split time so the split
+        // path starts from real capacity instead of growing from zero
+        // (beyond this, growth is amortized doubling; callers with a
+        // results budget use `reserve_results` for exact planning)
+        self.partials.reserve(256);
     }
 
     /// Process a time-ordered batch of events.
@@ -395,19 +475,64 @@ impl<A: Aggregate> Engine<A> {
         self.process_rows(batch, rows);
     }
 
+    /// [`Engine::process_routed`] for a shard of a split group: `full`
+    /// rows are processed normally, `state` rows are broadcast replicas
+    /// whose final folds and matched counting are suppressed. Both lists
+    /// are ascending; they are merged on the fly so the engine sees the
+    /// rows in batch order.
+    pub fn process_routed_split(&mut self, batch: &EventBatch, full: &[u32], state: &[u32]) {
+        if state.is_empty() {
+            return self.process_rows(batch, full);
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < full.len() || j < state.len() {
+            let take_full = match (full.get(i), state.get(j)) {
+                (Some(&f), Some(&s)) => f < s, // a row is never in both lists
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let (row, state_only) = if take_full {
+                i += 1;
+                (full[i - 1] as usize, false)
+            } else {
+                j += 1;
+                (state[j - 1] as usize, true)
+            };
+            self.process_row(
+                batch.ty(row),
+                batch.time(row),
+                batch.attrs(row),
+                true,
+                state_only,
+            );
+        }
+    }
+
     #[inline]
     fn process_rows(&mut self, batch: &EventBatch, rows: &[u32]) {
         for &row in rows {
             let row = row as usize;
-            self.process_row(batch.ty(row), batch.time(row), batch.attrs(row), true);
+            self.process_row(
+                batch.ty(row),
+                batch.time(row),
+                batch.attrs(row),
+                true,
+                false,
+            );
         }
     }
 
     /// Pre-size the result store for about `additional` further results
-    /// per query, so steady-state window emission does not reallocate.
+    /// per query, so steady-state window emission does not reallocate
+    /// (sub-aggregate entries of split groups included).
     pub fn reserve_results(&mut self, additional: usize) {
         for q in &self.part.queries {
             self.results.reserve(q.id, additional);
+        }
+        // sharded engines can be handed split groups at any point; size
+        // their sub-aggregate buffer with the same budget
+        if self.shard.is_some() {
+            self.partials.reserve(additional * self.part.queries.len());
         }
     }
 
@@ -415,12 +540,14 @@ impl<A: Aggregate> Engine<A> {
     ///
     /// `emit_buf` is a reused scratch buffer for the drained
     /// `(window, value)` pairs — window closes allocate nothing in steady
-    /// state.
+    /// state. Split groups emit per-window sub-aggregate cells into
+    /// `partials` (merged across shards later) instead of final values.
     fn touch(
         grt: &mut GroupRuntime<A>,
         part: &CompiledPartition,
         now: Timestamp,
         results: &mut ExecutorResults,
+        partials: &mut PartialResults,
         key: &GroupKey,
         emit_buf: &mut Vec<(u64, A)>,
     ) {
@@ -455,12 +582,22 @@ impl<A: Aggregate> Engine<A> {
             emit_buf.clear();
             f.drain_before_into(close_seq, emit_buf);
             for &(seq, v) in emit_buf.iter() {
-                results.emit(
-                    part.queries[qi].id,
-                    key.clone(),
-                    Timestamp(seq * slide),
-                    v.output(part.queries[qi].output),
-                );
+                if grt.split {
+                    partials.push(
+                        part.queries[qi].id,
+                        key.clone(),
+                        Timestamp(seq * slide),
+                        v.to_partial(),
+                        part.queries[qi].output,
+                    );
+                } else {
+                    results.emit(
+                        part.queries[qi].id,
+                        key.clone(),
+                        Timestamp(seq * slide),
+                        v.output(part.queries[qi].output),
+                    );
+                }
             }
         }
         for cq in grt.chains.iter_mut() {
@@ -552,12 +689,20 @@ impl<A: Aggregate> Engine<A> {
     }
 
     /// Route one in-group event through all its runner and unit roles.
+    ///
+    /// With `fold_finals` false (the state-only replica path of split
+    /// groups), every fold whose target is a final accumulator is
+    /// suppressed: state-writing roles — runner STARTs/mids, chain-stage
+    /// completions, chain-writing units — proceed identically, so all
+    /// shards of a split group evolve the same evaluation state while
+    /// final contributions happen exactly once globally.
     fn dispatch(
         grt: &mut GroupRuntime<A>,
         part: &CompiledPartition,
         routes: &Routes,
         t: Timestamp,
         c: Contribution,
+        fold_finals: bool,
         scratch: &mut FoldScratch<A>,
     ) {
         let spec = part.window;
@@ -578,6 +723,16 @@ impl<A: Aggregate> Engine<A> {
         for &(ri, pos) in &routes.runner_roles {
             let rspec = &part.runners[ri];
             if pos + 1 == rspec.len {
+                // state-only replicas skip ENDs whose every completion
+                // folds into a final accumulator — nothing they may write
+                if !fold_finals
+                    && rspec
+                        .completion_subs
+                        .iter()
+                        .all(|&(q, stage)| stage + 1 == part.queries[q].n_stages)
+                {
+                    continue;
+                }
                 // END of the segment: collect per-START completion deltas
                 scratch.completions.clear();
                 runners[ri].on_end(t, c, |idx, st, d| {
@@ -597,6 +752,9 @@ impl<A: Aggregate> Engine<A> {
                 }
                 for &(q, stage) in &rspec.completion_subs {
                     let n = part.queries[q].n_stages;
+                    if !fold_finals && stage + 1 == n {
+                        continue; // replica: final folds happen elsewhere
+                    }
                     Self::reset_buffers(scratch, width);
                     if stage == 0 {
                         // leftmost segment: a completion starting in window
@@ -658,6 +816,9 @@ impl<A: Aggregate> Engine<A> {
         // stateless length-1 segments: START and END coincide
         for &(q, stage) in &routes.unit_roles {
             let n = part.queries[q].n_stages;
+            if !fold_finals && stage + 1 == n {
+                continue; // replica: final folds happen elsewhere
+            }
             let delta = A::unit(c);
             if stage == 0 {
                 let mut target = if n == 1 {
@@ -690,20 +851,51 @@ impl<A: Aggregate> Engine<A> {
     }
 
     /// Flush all remaining windows and return the results.
-    pub fn finish(mut self) -> ExecutorResults {
+    ///
+    /// Only valid on engines that never had a group split (the sequential
+    /// paths): split groups produce sub-aggregates, which require the
+    /// sharded runtime's merge step — use [`Engine::finish_parts`] there.
+    pub fn finish(self) -> ExecutorResults {
+        let (results, partials) = self.finish_parts();
+        // a hard assert: silently dropping a split group's entire result
+        // set would be far worse than aborting (the check is one
+        // `Vec::is_empty`)
+        assert!(
+            partials.is_empty(),
+            "split-group sub-aggregates require the sharded merge step — \
+             use Engine::finish_parts"
+        );
+        results
+    }
+
+    /// Flush all remaining windows and return the final results plus this
+    /// shard's per-window sub-aggregates of split groups (combined across
+    /// shards by [`crate::PartialResults::finalize_into`]).
+    pub fn finish_parts(mut self) -> (ExecutorResults, PartialResults) {
         for (key, grt) in self.groups.iter_mut() {
             for (qi, f) in grt.finals.iter_mut().enumerate() {
                 for (seq, v) in f.drain_before(u64::MAX) {
-                    self.results.emit(
-                        self.part.queries[qi].id,
-                        key.clone(),
-                        Timestamp(seq * self.part.window.slide.millis()),
-                        v.output(self.part.queries[qi].output),
-                    );
+                    let window = Timestamp(seq * self.part.window.slide.millis());
+                    if grt.split {
+                        self.partials.push(
+                            self.part.queries[qi].id,
+                            key.clone(),
+                            window,
+                            v.to_partial(),
+                            self.part.queries[qi].output,
+                        );
+                    } else {
+                        self.results.emit(
+                            self.part.queries[qi].id,
+                            key.clone(),
+                            window,
+                            v.output(self.part.queries[qi].output),
+                        );
+                    }
                 }
             }
         }
-        self.results
+        (self.results, self.partials)
     }
 
     /// Events that passed routing, predicates, and grouping.
@@ -781,6 +973,23 @@ impl EngineKind {
         }
     }
 
+    /// Process pre-routed full rows interleaved with state-only replica
+    /// rows of split groups (see [`Engine::process_routed_split`]).
+    pub fn process_routed_split(&mut self, batch: &EventBatch, full: &[u32], state: &[u32]) {
+        match self {
+            EngineKind::Count(en) => en.process_routed_split(batch, full, state),
+            EngineKind::Stats(en) => en.process_routed_split(batch, full, state),
+        }
+    }
+
+    /// Mark a group as split across shards (see [`Engine::mark_split`]).
+    pub fn mark_split(&mut self, key: &GroupKey) {
+        match self {
+            EngineKind::Count(en) => en.mark_split(key),
+            EngineKind::Stats(en) => en.mark_split(key),
+        }
+    }
+
     /// Pre-size the result store (see [`Engine::reserve_results`]).
     pub fn reserve_results(&mut self, additional: usize) {
         match self {
@@ -794,6 +1003,15 @@ impl EngineKind {
         match self {
             EngineKind::Count(en) => en.finish(),
             EngineKind::Stats(en) => en.finish(),
+        }
+    }
+
+    /// Flush remaining windows and return the results plus split-group
+    /// sub-aggregates (see [`Engine::finish_parts`]).
+    pub fn finish_parts(self) -> (ExecutorResults, PartialResults) {
+        match self {
+            EngineKind::Count(en) => en.finish_parts(),
+            EngineKind::Stats(en) => en.finish_parts(),
         }
     }
 

@@ -22,6 +22,7 @@ pub mod agg;
 pub mod chainlog;
 pub mod compile;
 pub mod engine;
+pub mod partial;
 pub mod processor;
 mod proptests;
 pub mod results;
@@ -31,13 +32,14 @@ pub mod sharded;
 pub mod spsc;
 pub mod winvec;
 
-pub use agg::{Aggregate, Contribution, CountCell, OutputKind, StatsCell};
+pub use agg::{Aggregate, Contribution, CountCell, OutputKind, PartialAgg, StatsCell};
 pub use chainlog::ChainLog;
 pub use compile::{compile, CompileError, CompiledPartition};
 pub use engine::{Engine, EngineKind, Executor, ShardSlice};
+pub use partial::{PartialEntry, PartialResults};
 pub use processor::BatchProcessor;
 pub use results::ExecutorResults;
-pub use router::{BatchRouter, RouteBatch, RoutedRows, RowFilter};
+pub use router::{BatchRouter, RouteBatch, RoutedRows, RowFilter, SplitConfig, SplitSpec};
 pub use runner::SegmentRunner;
 pub use sharded::{ShardProcessor, ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE};
 pub use winvec::{Snapshot, WinVec};

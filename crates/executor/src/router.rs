@@ -1,4 +1,5 @@
-//! Route-once batch routing for the sharded runtime.
+//! Route-once batch routing for the sharded runtime, with **skew-aware
+//! hot-group splitting**.
 //!
 //! Under the original fan-out every shard worker re-ran the stateless
 //! prefix of the per-event path — routing, predicate evaluation, group-key
@@ -10,21 +11,53 @@
 //! Workers then consume their lists (`process_routed`) and only ever touch
 //! rows they own.
 //!
-//! The router is generic over [`RowFilter`] — the stateless per-row prefix
-//! of one routing *scope*. For the online engines a scope is a
-//! [`CompiledPartition`]; the two-step baselines provide their own filters
-//! (per query for Flink-like, per sharing-signature partition for
-//! SPASS-like), which is what lets the sharded runtime host *any*
-//! [`crate::BatchProcessor`].
+//! # Hot-group splitting
 //!
-//! The shard assignment must agree exactly with
+//! Hash-pinning every group to one shard caps throughput at single-core
+//! speed whenever the group distribution is skewed (a Zipfian `GROUP BY`
+//! is the common case in real traffic): the hot group's shard saturates
+//! while the rest idle. The router therefore tracks per-group row counts
+//! with a cheap periodically-decayed counter and, when one group exceeds
+//! the hotness threshold (see [`SplitConfig`]), **splits** it:
+//!
+//! * rows of *final-only* types (their only roles fold completed
+//!   sequences into the final per-window accumulators — see
+//!   [`crate::CompiledPartition::split_spec`]) are **round-robined**
+//!   across all shards; every shard accumulates per-window
+//!   *sub-aggregates* of the split group which a merge step combines at
+//!   the end of the run ([`crate::PartialResults`]);
+//! * all other rows (anything that writes runner or chain state) are
+//!   **broadcast**: one shard receives the row as a normal ("full") row,
+//!   every other shard receives it as a *state-only* replica, so all
+//!   shards evolve identical evaluation state for the split group while
+//!   final folds — the expensive part on a hot group — happen exactly
+//!   once globally.
+//!
+//! The scheme is exact because every state mutation in the engines is a
+//! deterministic function of the (ordered) state rows and their
+//! timestamps; final folds only *read* that state. Two details keep the
+//! transition exact as well: a newly split group goes through a
+//! **warm-up** of one window length (`within`), during which all
+//! final-only rows still go to the hash owner (the only shard with
+//! pre-split state) while state rows already broadcast — after `within`,
+//! everything the replicas missed has expired; and engines are notified of
+//! new splits in-band ([`RoutedRows::splits`]) so the owner switches its
+//! emission for that group to sub-aggregates before any post-split window
+//! closes.
+//!
+//! Splitting is *per scope* and opt-in via [`RowFilter::split_spec`]: the
+//! online engines' [`CompiledPartition`] provides a spec, the two-step
+//! baselines keep the `None` default and are never split — they keep
+//! working unchanged through [`crate::ShardedExecutor::from_parts`].
+//!
+//! The shard assignment of non-split groups must agree exactly with
 //! [`crate::engine::ShardSlice::owns`], which the online workers' engines
 //! debug-assert: grouped rows go to `(fx_hash_one(key) >> 32) % n_shards`,
 //! and the global (no `GROUP BY`) rows of scope `p` go to
 //! `p % n_shards` — the shard whose engine was built with `owns_global`.
 
 use crate::compile::CompiledPartition;
-use sharon_types::{fx_hash_one, EventBatch, EventTypeId, GroupKey, Value};
+use sharon_types::{fx_hash_one, EventBatch, EventTypeId, FxHashMap, GroupKey, Value};
 
 /// The stateless per-row prefix of one routing scope: type routing,
 /// predicate evaluation, and group-key extraction. One definition of these
@@ -52,6 +85,13 @@ pub trait RowFilter {
         vals: &mut Vec<Value>,
         key: &mut GroupKey,
     ) -> bool;
+
+    /// Role classification enabling hot-group splitting for this scope.
+    /// `None` (the default) pins every group to its hash owner — the
+    /// behaviour the two-step baselines rely on.
+    fn split_spec(&self) -> Option<SplitSpec> {
+        None
+    }
 }
 
 impl RowFilter for CompiledPartition {
@@ -80,22 +120,221 @@ impl RowFilter for CompiledPartition {
     ) -> bool {
         CompiledPartition::read_group_key(self, ty, attrs, vals, key)
     }
+
+    fn split_spec(&self) -> Option<SplitSpec> {
+        Some(CompiledPartition::split_spec(self))
+    }
+}
+
+/// Per-type role classification of one routing scope, used to split hot
+/// groups (see the module docs and
+/// [`crate::CompiledPartition::split_spec`]).
+#[derive(Debug, Clone)]
+pub struct SplitSpec {
+    /// Per event type id (dense): `true` if rows of the type only fold
+    /// final aggregates (round-robin them), `false` if they write
+    /// evaluation state (broadcast them).
+    pub final_only: Vec<bool>,
+    /// Warm-up after a split decision, in milliseconds — the scope's
+    /// window length, after which the replicas' state is complete.
+    pub warmup_ms: u64,
+}
+
+/// Tuning of the hot-group detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Master switch (splitting is on by default; single-shard routers
+    /// never split regardless).
+    pub enabled: bool,
+    /// A group must reach this many (decayed) rows before it can split —
+    /// the noise floor. Note the interaction with [`SplitConfig::decay_period`]:
+    /// a group's decayed counter converges to at most `2 × decay_period`
+    /// under sustained traffic, so a `min_rows` above that ceiling
+    /// effectively disables splitting.
+    pub min_rows: u32,
+    /// A group is hot when its decayed count exceeds this fraction of the
+    /// scope's decayed total. `0.0` selects the automatic threshold
+    /// `1.2 / n_shards` — only groups genuinely exceeding one shard's
+    /// fair share split, so a uniform distribution (where hash pinning is
+    /// already balanced) never pays broadcast replication.
+    pub hot_fraction: f64,
+    /// Counters are halved every this many routed rows per scope, so
+    /// hotness reflects recent traffic instead of the whole run.
+    pub decay_period: u32,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            enabled: true,
+            min_rows: 1024,
+            hot_fraction: 0.0,
+            decay_period: 8192,
+        }
+    }
+}
+
+impl SplitConfig {
+    /// A disabled configuration: every group stays hash-pinned.
+    pub fn disabled() -> Self {
+        SplitConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// An aggressive configuration for tests: tiny noise floor so small
+    /// synthetic streams exercise the split path.
+    pub fn eager(min_rows: u32) -> Self {
+        SplitConfig {
+            enabled: true,
+            min_rows,
+            hot_fraction: 0.0,
+            decay_period: 8192,
+        }
+    }
+}
+
+/// The split state of one hot group.
+#[derive(Debug)]
+struct HotGroup {
+    /// Round-robin of final-only rows begins at this timestamp (split
+    /// decision time + warm-up); before it, the hash owner keeps all
+    /// final folds.
+    active_at_ms: u64,
+    /// Round-robin cursor of final-only rows. Separate from `rr_full` so
+    /// interleaved state/final traffic still cycles final folds over all
+    /// shards.
+    rr_final: u32,
+    /// Round-robin cursor of broadcast rows' full copies.
+    rr_full: u32,
+}
+
+/// Hot-group tracking of one splittable scope.
+struct SplitTracker {
+    spec: SplitSpec,
+    /// Decayed per-group row counters, keyed by the group-key hash (the
+    /// same hash that picks the owning shard; collisions merely conflate
+    /// counts, never correctness).
+    counts: FxHashMap<u64, u32>,
+    /// Decayed counter of the global (no `GROUP BY`) partition.
+    global_count: u32,
+    /// Decayed total of rows routed through this scope.
+    total: u64,
+    /// Raw rows since the last decay.
+    since_decay: u32,
+    /// Split groups, keyed by group-key hash.
+    split: FxHashMap<u64, HotGroup>,
+    /// Split state of the global partition, if hot.
+    split_global: Option<HotGroup>,
+    /// Newly split groups to announce to every shard with the next
+    /// routed batch.
+    notices: Vec<GroupKey>,
+    /// Resolved hotness fraction (see [`SplitConfig::hot_fraction`]).
+    fraction: f64,
+    min_rows: u32,
+    decay_period: u32,
+}
+
+impl SplitTracker {
+    fn new(spec: SplitSpec, config: &SplitConfig, n_shards: usize) -> Self {
+        let fraction = if config.hot_fraction > 0.0 {
+            config.hot_fraction
+        } else {
+            1.2 / n_shards as f64
+        };
+        SplitTracker {
+            spec,
+            counts: FxHashMap::default(),
+            global_count: 0,
+            total: 0,
+            since_decay: 0,
+            split: FxHashMap::default(),
+            split_global: None,
+            notices: Vec::new(),
+            fraction,
+            min_rows: config.min_rows,
+            decay_period: config.decay_period.max(2),
+        }
+    }
+
+    /// Count one routed row of a (non-split) group and decide whether it
+    /// just became hot.
+    #[inline]
+    fn observe(&mut self, hash: Option<u64>) -> bool {
+        self.total += 1;
+        self.since_decay += 1;
+        let count = match hash {
+            Some(h) => {
+                let c = self.counts.entry(h).or_insert(0);
+                *c += 1;
+                *c
+            }
+            None => {
+                self.global_count += 1;
+                self.global_count
+            }
+        };
+        let hot = count >= self.min_rows && count as f64 >= self.fraction * self.total as f64;
+        if self.since_decay >= self.decay_period {
+            self.decay();
+        }
+        hot
+    }
+
+    /// Count one routed row of an already-split group. Split rows must
+    /// keep feeding the scope total — otherwise each split shrinks the
+    /// hotness denominator and merely-warm groups cascade into splits
+    /// they never needed.
+    #[inline]
+    fn observe_split(&mut self) {
+        self.total += 1;
+        self.since_decay += 1;
+        if self.since_decay >= self.decay_period {
+            self.decay();
+        }
+    }
+
+    /// Halve every counter (dropping zeros) so hotness tracks recent
+    /// traffic.
+    fn decay(&mut self) {
+        self.since_decay = 0;
+        self.total /= 2;
+        self.global_count /= 2;
+        self.counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+    }
 }
 
 /// The rows of one batch owned by one shard, per routing scope:
 /// `per_part[p]` lists the row indexes shard-owned for scope `p`
 /// (a compiled partition, a query, or a signature partition, depending on
-/// the hosted processor).
+/// the hosted processor). For split groups, `state_rows[p]` additionally
+/// lists broadcast state-only replica rows, and `splits` announces groups
+/// that were split while routing this batch.
 #[derive(Debug, Default)]
 pub struct RoutedRows {
-    /// Row-index lists, parallel to the routing scopes.
+    /// Full-role row-index lists, parallel to the routing scopes.
     pub per_part: Vec<Vec<u32>>,
+    /// State-only replica rows of split groups, parallel to the routing
+    /// scopes (empty unless the scope split a group). Processed
+    /// interleaved with `per_part` in row order, with final folds and
+    /// matched counting suppressed.
+    pub state_rows: Vec<Vec<u32>>,
+    /// Newly split groups: `(scope index, group key)`. Delivered to every
+    /// shard before the batch's rows are processed.
+    pub splits: Vec<(u32, GroupKey)>,
 }
 
 impl RoutedRows {
-    /// True if no scope has any rows for this shard.
+    /// True if no scope has any rows and no split notices are pending for
+    /// this shard.
     pub fn is_empty(&self) -> bool {
-        self.per_part.iter().all(Vec::is_empty)
+        self.splits.is_empty()
+            && self.per_part.iter().all(Vec::is_empty)
+            && self.state_rows.iter().all(Vec::is_empty)
     }
 
     /// Clear every row list, keeping capacities — the recycling path of
@@ -104,6 +343,10 @@ impl RoutedRows {
         for rows in &mut self.per_part {
             rows.clear();
         }
+        for rows in &mut self.state_rows {
+            rows.clear();
+        }
+        self.splits.clear();
     }
 
     /// Clear and resize to exactly `n_scopes` lists (retaining existing
@@ -111,6 +354,7 @@ impl RoutedRows {
     pub fn reset(&mut self, n_scopes: usize) {
         self.clear();
         self.per_part.resize_with(n_scopes, Vec::new);
+        self.state_rows.resize_with(n_scopes, Vec::new);
     }
 }
 
@@ -137,6 +381,11 @@ pub trait RouteBatch: Send {
         hi: usize,
         out: &mut Vec<RoutedRows>,
     );
+
+    /// Number of groups currently split across shards, summed over scopes.
+    fn split_groups(&self) -> usize {
+        0
+    }
 }
 
 /// Routes whole batches: one stateless prefix evaluation per event,
@@ -145,6 +394,9 @@ pub trait RouteBatch: Send {
 /// two-step strategies.
 pub struct BatchRouter<F = CompiledPartition> {
     scopes: Vec<F>,
+    /// Hot-group trackers, parallel to `scopes` (`None` when the scope
+    /// opted out of splitting or the router is single-shard).
+    trackers: Vec<Option<SplitTracker>>,
     n_shards: usize,
     /// Reused scratch key (clone-free group-key hashing).
     key_scratch: GroupKey,
@@ -152,11 +404,29 @@ pub struct BatchRouter<F = CompiledPartition> {
 }
 
 impl<F: RowFilter> BatchRouter<F> {
-    /// A router for `scopes` fanning out across `n_shards` shards.
+    /// A router for `scopes` fanning out across `n_shards` shards, with
+    /// the default hot-group [`SplitConfig`].
     pub fn new(scopes: Vec<F>, n_shards: usize) -> Self {
+        Self::with_split(scopes, n_shards, SplitConfig::default())
+    }
+
+    /// [`BatchRouter::new`] with explicit hot-group split tuning.
+    pub fn with_split(scopes: Vec<F>, n_shards: usize, config: SplitConfig) -> Self {
         assert!(n_shards >= 1);
+        let trackers = scopes
+            .iter()
+            .map(|s| {
+                if n_shards > 1 && config.enabled {
+                    s.split_spec()
+                        .map(|spec| SplitTracker::new(spec, &config, n_shards))
+                } else {
+                    None
+                }
+            })
+            .collect();
         BatchRouter {
             scopes,
+            trackers,
             n_shards,
             key_scratch: GroupKey::Global,
             vals_scratch: Vec::new(),
@@ -206,6 +476,7 @@ impl<F: RowFilter> BatchRouter<F> {
         }
         let tys = &batch.types()[lo..hi];
         for (pi, scope) in self.scopes.iter().enumerate() {
+            let tracker = &mut self.trackers[pi];
             let global_owner = pi % self.n_shards;
             for (i, ty) in tys.iter().enumerate() {
                 let row = lo + i;
@@ -216,31 +487,139 @@ impl<F: RowFilter> BatchRouter<F> {
                 if !scope.predicates_pass(*ty, attrs) {
                     continue;
                 }
-                let shard = if self.n_shards == 1 {
+                if self.n_shards == 1 {
                     // single shard: groupability still filters, but no key
                     // needs hashing — every row lands on shard 0
                     if !scope.groupable(*ty, attrs) {
                         continue; // ungroupable event
                     }
-                    0
-                } else {
-                    if !scope.read_group_key(
-                        *ty,
-                        attrs,
-                        &mut self.vals_scratch,
-                        &mut self.key_scratch,
-                    ) {
-                        continue; // ungroupable event
-                    }
-                    match &self.key_scratch {
-                        GroupKey::Global => global_owner,
-                        // high hash bits, matching `ShardSlice::owns` (the
-                        // low bits index the owning shard's hash-map
-                        // buckets)
-                        key => ((fx_hash_one(key) >> 32) % self.n_shards as u64) as usize,
+                    out[0].per_part[pi].push(row as u32);
+                    continue;
+                }
+                if !scope.read_group_key(*ty, attrs, &mut self.vals_scratch, &mut self.key_scratch)
+                {
+                    continue; // ungroupable event
+                }
+                let (owner, hash) = match &self.key_scratch {
+                    GroupKey::Global => (global_owner, None),
+                    // high hash bits, matching `ShardSlice::owns` (the
+                    // low bits index the owning shard's hash-map
+                    // buckets)
+                    key => {
+                        let h = fx_hash_one(key);
+                        (((h >> 32) % self.n_shards as u64) as usize, Some(h))
                     }
                 };
-                out[shard].per_part[pi].push(row as u32);
+                let Some(tracker) = tracker else {
+                    out[owner].per_part[pi].push(row as u32);
+                    continue;
+                };
+                // split scope: route split groups, count the rest (the
+                // is_empty guard keeps the common no-splits case at one
+                // map probe per row — observe()'s counter update)
+                let is_split = match hash {
+                    Some(h) => !tracker.split.is_empty() && tracker.split.contains_key(&h),
+                    None => tracker.split_global.is_some(),
+                };
+                if is_split {
+                    tracker.observe_split();
+                } else if tracker.observe(hash) {
+                    // newly hot: register + announce the split, then fall
+                    // through to split routing (this first row runs under
+                    // the warm-up regime)
+                    let hot = HotGroup {
+                        active_at_ms: batch
+                            .time(row)
+                            .millis()
+                            .saturating_add(tracker.spec.warmup_ms),
+                        rr_final: owner as u32,
+                        rr_full: owner as u32,
+                    };
+                    tracker.notices.push(self.key_scratch.clone());
+                    match hash {
+                        Some(h) => {
+                            tracker.counts.remove(&h);
+                            tracker.split.insert(h, hot);
+                        }
+                        None => tracker.split_global = Some(hot),
+                    }
+                } else {
+                    out[owner].per_part[pi].push(row as u32);
+                    continue;
+                }
+                let hot = match hash {
+                    Some(h) => tracker.split.get_mut(&h).expect("registered above"),
+                    None => tracker.split_global.as_mut().expect("registered above"),
+                };
+                Self::route_split_row(
+                    out,
+                    pi,
+                    row as u32,
+                    batch.time(row).millis(),
+                    tracker
+                        .spec
+                        .final_only
+                        .get(ty.index())
+                        .copied()
+                        .unwrap_or(false),
+                    owner,
+                    hot,
+                    self.n_shards,
+                );
+            }
+        }
+        // deliver pending split notices to every shard (even shards that
+        // received no rows this batch — the notice itself makes their
+        // RoutedRows non-empty, so they are woken)
+        for (pi, tracker) in self.trackers.iter_mut().enumerate() {
+            let Some(tracker) = tracker else { continue };
+            for key in tracker.notices.drain(..) {
+                for rows in out.iter_mut() {
+                    rows.splits.push((pi as u32, key.clone()));
+                }
+            }
+        }
+    }
+
+    /// Route one row of a split group: round-robin final-only rows
+    /// (owner-pinned during warm-up), broadcast everything else with one
+    /// full copy and `n − 1` state-only replicas.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn route_split_row(
+        out: &mut [RoutedRows],
+        pi: usize,
+        row: u32,
+        time_ms: u64,
+        final_only: bool,
+        owner: usize,
+        hot: &mut HotGroup,
+        n_shards: usize,
+    ) {
+        let active = time_ms >= hot.active_at_ms;
+        if final_only {
+            let target = if active {
+                let s = hot.rr_final as usize % n_shards;
+                hot.rr_final = hot.rr_final.wrapping_add(1);
+                s
+            } else {
+                owner
+            };
+            out[target].per_part[pi].push(row);
+        } else {
+            let full_target = if active {
+                let s = hot.rr_full as usize % n_shards;
+                hot.rr_full = hot.rr_full.wrapping_add(1);
+                s
+            } else {
+                owner
+            };
+            for (shard, rows) in out.iter_mut().enumerate() {
+                if shard == full_target {
+                    rows.per_part[pi].push(row);
+                } else {
+                    rows.state_rows[pi].push(row);
+                }
             }
         }
     }
@@ -263,6 +642,14 @@ impl<F: RowFilter + Send> RouteBatch for BatchRouter<F> {
         out: &mut Vec<RoutedRows>,
     ) {
         BatchRouter::route_range_into(self, batch, lo, hi, out);
+    }
+
+    fn split_groups(&self) -> usize {
+        self.trackers
+            .iter()
+            .flatten()
+            .map(|t| t.split.len() + usize::from(t.split_global.is_some()))
+            .sum()
     }
 }
 
@@ -305,11 +692,17 @@ mod tests {
         out
     }
 
+    /// Routers in the pre-splitting tests run with splitting disabled so
+    /// the hash-pinned assignment is what is being asserted.
+    fn pinned(parts: Vec<CompiledPartition>, n_shards: usize) -> BatchRouter {
+        BatchRouter::with_split(parts, n_shards, SplitConfig::disabled())
+    }
+
     #[test]
     fn every_row_routes_to_exactly_the_owning_shard() {
         let (c, parts) = setup();
         let n_shards = 3;
-        let mut router = BatchRouter::new(parts.clone(), n_shards);
+        let mut router = pinned(parts.clone(), n_shards);
         let batch = batch(&c, 500);
         let routed = router.route(&batch);
         assert_eq!(routed.len(), n_shards);
@@ -349,7 +742,7 @@ mod tests {
     #[test]
     fn predicate_failures_are_dropped_at_the_router() {
         let (c, parts) = setup();
-        let mut router = BatchRouter::new(parts, 2);
+        let mut router = pinned(parts, 2);
         let a = c.lookup("A").unwrap();
         let mut b = EventBatch::new();
         // A.v = 1 fails `A.v > 2` for partition 0 but partition 1 has no
@@ -365,7 +758,7 @@ mod tests {
     #[test]
     fn empty_batch_routes_to_nothing() {
         let (_, parts) = setup();
-        let mut router = BatchRouter::new(parts, 4);
+        let mut router = pinned(parts, 4);
         let routed = router.route(&EventBatch::new());
         assert!(routed.iter().all(RoutedRows::is_empty));
     }
@@ -373,7 +766,7 @@ mod tests {
     #[test]
     fn recycled_lists_are_reset_before_reuse() {
         let (c, parts) = setup();
-        let mut router = BatchRouter::new(parts, 2);
+        let mut router = pinned(parts, 2);
         let b = batch(&c, 100);
         let mut out = router.route(&b);
         let want: Vec<Vec<Vec<u32>>> = out.iter().map(|r| r.per_part.clone()).collect();
@@ -387,5 +780,163 @@ mod tests {
         router.route_range_into(&b, 0, b.len(), &mut out);
         let got: Vec<Vec<Vec<u32>>> = out.iter().map(|r| r.per_part.clone()).collect();
         assert_eq!(got, want);
+    }
+
+    /// One skewed group over a two-type pattern: the router must split it,
+    /// announce it once to every shard, broadcast A rows (state) and
+    /// round-robin B rows (final) after the warm-up window.
+    #[test]
+    fn hot_group_is_split_announced_and_round_robined() {
+        let mut c = Catalog::new();
+        for n in ["A", "B"] {
+            c.register_with_schema(n, Schema::new(["g"]));
+        }
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms"],
+        )
+        .unwrap();
+        let parts = compile(&c, &w, &SharingPlan::non_shared()).unwrap();
+        let spec = parts[0].split_spec();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        assert!(!spec.final_only[a.index()], "A opens state: broadcast");
+        assert!(spec.final_only[b.index()], "B only folds finals: split");
+
+        let n_shards = 4;
+        let mut router = BatchRouter::with_split(parts, n_shards, SplitConfig::eager(8));
+        // every row belongs to group 7 — maximal skew
+        let mut batch = EventBatch::new();
+        let n_rows = 400u64;
+        for i in 0..n_rows {
+            batch.push_from(
+                if i % 2 == 0 { a } else { b },
+                Timestamp(i),
+                [Value::Int(7)],
+            );
+        }
+        let routed = router.route(&batch);
+        assert_eq!(router.split_groups(), 1, "the one hot group split");
+
+        // the split was announced to every shard exactly once
+        for rows in &routed {
+            assert_eq!(rows.splits.len(), 1);
+            assert_eq!(rows.splits[0].0, 0);
+            assert_eq!(rows.splits[0].1, GroupKey::One(Value::Int(7)));
+        }
+
+        // full + state copies per row: every A row after the split has one
+        // full copy and n-1 state replicas; every B row exactly one full
+        // copy and no replicas
+        let mut full = vec![0u32; batch.len()];
+        let mut state = vec![0u32; batch.len()];
+        for rows in &routed {
+            for &r in &rows.per_part[0] {
+                full[r as usize] += 1;
+            }
+            for &r in &rows.state_rows[0] {
+                state[r as usize] += 1;
+            }
+        }
+        let mut post_warmup_b_shards = std::collections::BTreeSet::new();
+        for (i, (&f, &s)) in full.iter().zip(&state).enumerate() {
+            assert_eq!(f, 1, "row {i}: exactly one full copy");
+            if i % 2 == 0 {
+                // A rows after the split broadcast (before it, they are
+                // owner-only with no replicas)
+                assert!(s == 0 || s == (n_shards - 1) as u32, "row {i}");
+            } else {
+                assert_eq!(s, 0, "row {i}: final-only rows are never replicated");
+                if (i as u64) >= 10 + 8 {
+                    // comfortably past warm-up (within=10ms after the
+                    // split decision around row ~8)
+                    for (shard, rows) in routed.iter().enumerate() {
+                        if rows.per_part[0].contains(&(i as u32)) {
+                            post_warmup_b_shards.insert(shard);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            post_warmup_b_shards.len(),
+            n_shards,
+            "post-warm-up final rows round-robin over all shards"
+        );
+
+        // a second batch re-announces nothing
+        let mut batch2 = EventBatch::new();
+        batch2.push_from(b, Timestamp(n_rows), [Value::Int(7)]);
+        let routed2 = router.route(&batch2);
+        assert!(routed2.iter().all(|r| r.splits.is_empty()));
+    }
+
+    /// Scopes without a split spec (the baselines' filters) never split,
+    /// no matter how skewed the traffic.
+    #[test]
+    fn scopes_without_spec_stay_pinned() {
+        struct NoSpec;
+        impl RowFilter for NoSpec {
+            fn routed(&self, _ty: EventTypeId) -> bool {
+                true
+            }
+            fn predicates_pass(&self, _ty: EventTypeId, _attrs: &[Value]) -> bool {
+                true
+            }
+            fn groupable(&self, _ty: EventTypeId, _attrs: &[Value]) -> bool {
+                true
+            }
+            fn read_group_key(
+                &self,
+                _ty: EventTypeId,
+                attrs: &[Value],
+                vals: &mut Vec<Value>,
+                key: &mut GroupKey,
+            ) -> bool {
+                vals.clear();
+                vals.push(attrs[0].clone());
+                key.assign_from_slice(vals);
+                true
+            }
+        }
+        let mut router = BatchRouter::with_split(vec![NoSpec], 4, SplitConfig::eager(4));
+        let mut batch = EventBatch::new();
+        for i in 0..200u64 {
+            batch.push_from(EventTypeId(0), Timestamp(i), [Value::Int(1)]);
+        }
+        let routed = router.route(&batch);
+        assert_eq!(router.split_groups(), 0);
+        let with_rows = routed.iter().filter(|r| !r.per_part[0].is_empty()).count();
+        assert_eq!(with_rows, 1, "the skewed group stays on its hash owner");
+        assert!(routed.iter().all(|r| r.splits.is_empty()));
+        assert!(routed.iter().all(|r| r.state_rows[0].is_empty()));
+    }
+
+    /// The decayed counter forgets old traffic: a group that was briefly
+    /// busy long ago does not split on residual counts.
+    #[test]
+    fn counters_decay() {
+        let spec = SplitSpec {
+            final_only: vec![true],
+            warmup_ms: 10,
+        };
+        let mut tracker = SplitTracker::new(
+            spec,
+            &SplitConfig {
+                enabled: true,
+                min_rows: 100,
+                hot_fraction: 0.5,
+                decay_period: 16,
+            },
+            2,
+        );
+        for _ in 0..15 {
+            assert!(!tracker.observe(Some(42)));
+        }
+        let before = *tracker.counts.get(&42).unwrap();
+        tracker.observe(Some(42)); // triggers decay
+        let after = *tracker.counts.get(&42).unwrap();
+        assert!(after <= before / 2 + 1, "decay halves the counter");
+        assert!(tracker.total <= 8);
     }
 }

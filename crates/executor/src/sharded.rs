@@ -42,9 +42,10 @@
 
 use crate::compile::{compile, CompileError};
 use crate::engine::{EngineKind, ShardSlice};
+use crate::partial::PartialResults;
 use crate::processor::BatchProcessor;
 use crate::results::ExecutorResults;
-use crate::router::{BatchRouter, RouteBatch, RoutedRows};
+use crate::router::{BatchRouter, RouteBatch, RoutedRows, SplitConfig};
 use crate::spsc;
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{Catalog, Event, EventBatch, EventStream};
@@ -71,6 +72,10 @@ struct RoutedBatch {
 pub struct ShardReport {
     /// This shard's (disjoint) slice of the results.
     pub results: ExecutorResults,
+    /// Per-window sub-aggregates of split (hot) groups — this shard's
+    /// share only; [`ShardedExecutor::finish`] merges them across shards
+    /// (see [`PartialResults`]). Empty for strategies that never split.
+    pub partials: PartialResults,
     /// Events this shard matched, exact at drain time.
     pub events_matched: u64,
     /// Final state-size proxy (live cells / buffered events / matches).
@@ -87,6 +92,11 @@ pub struct ShardReport {
 /// owns — the processor never re-evaluates that prefix.
 pub trait ShardProcessor: Send {
     /// Process the pre-routed rows of `batch`, in row order per scope.
+    /// Implementations hosting split groups must apply
+    /// [`RoutedRows::splits`] notices before the rows and interleave
+    /// [`RoutedRows::state_rows`] replicas in row order; processors that
+    /// never split (the two-step baselines) receive empty notice and
+    /// replica lists and can ignore both.
     fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows);
 
     /// Events matched so far (published to the ingest side after every
@@ -95,7 +105,11 @@ pub trait ShardProcessor: Send {
         0
     }
 
-    /// Flush remaining windows and report this shard's results.
+    /// Flush remaining windows and report this shard's results. Split
+    /// groups' per-window sub-aggregates travel in
+    /// [`ShardReport::partials`] (the drain half of the drain/merge
+    /// contract); the default-empty field keeps non-splitting processors
+    /// unchanged.
     fn finish(self: Box<Self>) -> ShardReport;
 }
 
@@ -107,9 +121,16 @@ struct EngineShard {
 
 impl ShardProcessor for EngineShard {
     fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
-        for (engine, rows) in self.engines.iter_mut().zip(&rows.per_part) {
-            if !rows.is_empty() {
-                engine.process_routed(batch, rows);
+        // apply split notices before any of the batch's rows, so the
+        // owner's window closes switch to sub-aggregates in time
+        for (scope, key) in &rows.splits {
+            self.engines[*scope as usize].mark_split(key);
+        }
+        for (pi, engine) in self.engines.iter_mut().enumerate() {
+            let full = &rows.per_part[pi];
+            let state = &rows.state_rows[pi];
+            if !full.is_empty() || !state.is_empty() {
+                engine.process_routed_split(batch, full, state);
             }
         }
     }
@@ -129,11 +150,15 @@ impl ShardProcessor for EngineShard {
             })
             .sum();
         let mut results = ExecutorResults::new();
+        let mut partials = PartialResults::new();
         for engine in self.engines {
-            results.merge(engine.finish());
+            let (r, p) = engine.finish_parts();
+            results.merge(r);
+            partials.absorb(p);
         }
         ShardReport {
             results,
+            partials,
             events_matched,
             state_size,
         }
@@ -211,6 +236,29 @@ impl ShardedExecutor {
         n_shards: usize,
         batch_size: usize,
     ) -> Result<Self, CompileError> {
+        Self::with_split_config(
+            catalog,
+            workload,
+            plan,
+            n_shards,
+            batch_size,
+            SplitConfig::default(),
+        )
+    }
+
+    /// [`ShardedExecutor::with_batch_size`] with explicit hot-group
+    /// splitting tuning (see [`SplitConfig`]; tests use
+    /// [`SplitConfig::eager`] to exercise the split path on small
+    /// streams, benchmarks [`SplitConfig::disabled`] to measure the
+    /// pinned baseline).
+    pub fn with_split_config(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        batch_size: usize,
+        split: SplitConfig,
+    ) -> Result<Self, CompileError> {
         assert!(n_shards >= 1, "need at least one shard");
         let parts = compile(catalog, workload, plan)?;
         let shards = (0..n_shards)
@@ -230,7 +278,7 @@ impl ShardedExecutor {
                 Box::new(EngineShard { engines }) as Box<dyn ShardProcessor>
             })
             .collect();
-        let router = Box::new(BatchRouter::new(parts, n_shards));
+        let router = Box::new(BatchRouter::with_split(parts, n_shards, split));
         Ok(Self::from_parts(router, shards, batch_size))
     }
 
@@ -466,7 +514,11 @@ impl ShardedExecutor {
 
     /// Flush remaining events, stop the workers, and merge their results
     /// in deterministic shard order. Shard result sets are disjoint (each
-    /// group is owned by exactly one shard), so the merge is exact.
+    /// non-split group is owned by exactly one shard), so that merge is
+    /// exact; split (hot) groups report per-window **sub-aggregates**
+    /// instead, which the merge step combines with the aggregate-kind
+    /// merge before projecting final values (see
+    /// [`crate::PartialResults`]).
     pub fn finish(self) -> ExecutorResults {
         self.finish_with_stats().0
     }
@@ -485,15 +537,25 @@ impl ShardedExecutor {
             })
             .collect();
         let mut results = ExecutorResults::new();
+        let mut partials = PartialResults::new();
         let mut matched = 0u64;
         let mut state = 0usize;
         for handle in handles {
             let report = handle.join().expect("shard worker panicked");
             results.merge(report.results);
+            partials.absorb(report.partials);
             matched += report.events_matched;
             state += report.state_size;
         }
+        // the merge step: combine split groups' sub-aggregates across
+        // shards, then project them into the final result set
+        partials.finalize_into(&mut results);
         (results, matched, state)
+    }
+
+    /// Number of groups the router has split across shards so far.
+    pub fn split_groups(&self) -> usize {
+        self.router.split_groups()
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! "We expand each candidate `v = (p, Q_p)` with conflicts to a set of
 //! options `O_p`. Each option `v' = (p, Q'_p)` resolves a different subset
-//! of conflicts of the original candidate [by] sharing the pattern p by a
+//! of conflicts of the original candidate \[by\] sharing the pattern p by a
 //! subset of queries containing p" (Definition 16, Example 13: dropping
 //! `q3, q4` from `(p1, {q1..q4})` yields the option `(p1, {q1, q2})`,
 //! which no longer conflicts with `(p2, {q3, q4})`).

@@ -6,6 +6,7 @@
 //! customer identifiers of an event are randomly generated. The stream
 //! rate is 3k events per second" (Section 8.1). Event type = item.
 
+use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sharon_types::{Catalog, Event, EventBatch, EventTypeId, Schema, Timestamp, Value};
@@ -21,6 +22,11 @@ pub struct EcommerceConfig {
     pub events_per_sec: u64,
     /// Total events to generate.
     pub n_events: usize,
+    /// Zipf exponent of the customer distribution (`0.0` = uniform, the
+    /// paper's spec; `> 0` concentrates purchases on a few hot customers,
+    /// the flash-sale shape the sharded runtime's hot-group splitting
+    /// targets).
+    pub skew: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -32,8 +38,17 @@ impl Default for EcommerceConfig {
             n_customers: 20,
             events_per_sec: 3000,
             n_events: 100_000,
+            skew: 0.0,
             seed: 23,
         }
+    }
+}
+
+impl EcommerceConfig {
+    /// Set the Zipf exponent of the customer distribution.
+    pub fn with_skew(mut self, theta: f64) -> Self {
+        self.skew = theta;
+        self
     }
 }
 
@@ -71,11 +86,17 @@ pub fn generate_batch(catalog: &mut Catalog, config: &EcommerceConfig) -> EventB
     // spread events uniformly: interarrival = 1000 / rate ms (fractional
     // accumulation keeps the long-run rate exact)
     let step = 1000.0 / config.events_per_sec as f64;
+    // skew > 0: customers are drawn Zipf(theta) so a few buy hot (the
+    // uniform branch keeps the historical per-seed event sequence intact)
+    let zipf = (config.skew > 0.0).then(|| Zipf::new(config.n_customers, config.skew));
     let mut clock = 0.0f64;
     for _ in 0..config.n_events {
         clock += step;
         let item = items[rng.gen_range(0..config.n_items)];
-        let customer = rng.gen_range(0..config.n_customers) as i64;
+        let customer = match &zipf {
+            Some(z) => z.sample(&mut rng) as i64,
+            None => rng.gen_range(0..config.n_customers) as i64,
+        };
         let price: f64 = rng.gen_range(1.0..500.0);
         events.push_from(
             item,
@@ -135,6 +156,27 @@ mod tests {
         let e2 = generate(&mut c2, &cfg);
         assert_eq!(e1, e2);
         assert!(e1.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn skew_concentrates_customers() {
+        let cfg = EcommerceConfig {
+            n_events: 20_000,
+            ..Default::default()
+        }
+        .with_skew(1.2);
+        let mut c = Catalog::new();
+        let events = generate(&mut c, &cfg);
+        let mut counts = std::collections::HashMap::new();
+        for e in &events {
+            *counts.entry(e.attrs[0].as_i64().unwrap()).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(
+            max * 4 > events.len(),
+            "a hot customer carries >25% of purchases: {max} of {}",
+            events.len()
+        );
     }
 
     #[test]

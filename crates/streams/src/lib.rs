@@ -14,7 +14,11 @@
 //!   overlap, used to scale the number of queries and pattern length in
 //!   the Figure 14–16 experiments.
 //!
-//! All generators are seeded and deterministic.
+//! All generators are seeded and deterministic, and all three stream
+//! generators expose a Zipfian `skew` knob ([`zipf`]) on their group
+//! dimension (vehicle / car / customer) so skewed `GROUP BY`
+//! distributions — the workload the sharded runtime's hot-group splitting
+//! targets — are reachable everywhere the streams are.
 
 #![warn(missing_docs)]
 
@@ -22,8 +26,10 @@ pub mod ecommerce;
 pub mod linear_road;
 pub mod taxi;
 pub mod workload;
+pub mod zipf;
 
 pub use ecommerce::EcommerceConfig;
 pub use linear_road::LinearRoadConfig;
 pub use taxi::TaxiConfig;
 pub use workload::{measured_rates, WorkloadConfig};
+pub use zipf::Zipf;

@@ -9,6 +9,7 @@
 //! position report per segment; the instantaneous event rate therefore
 //! ramps with the live-car population.
 
+use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sharon_types::{Catalog, Event, EventBatch, EventTypeId, Schema, Timestamp, Value};
@@ -26,6 +27,13 @@ pub struct LinearRoadConfig {
     pub trip_segments: usize,
     /// Simulated duration in seconds.
     pub duration_secs: u64,
+    /// Zipf exponent of the car-id distribution (`0.0` = every admitted
+    /// car gets a fresh id, the historical behaviour). With `skew > 0`,
+    /// admitted cars draw their reported id Zipf(theta) from a fixed id
+    /// space, so the `GROUP BY car` groups are skewed — several physical
+    /// cars report as the same hot id, the fleet-vehicle shape the sharded
+    /// runtime's hot-group splitting targets.
+    pub skew: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -40,8 +48,17 @@ impl Default for LinearRoadConfig {
             // growing through the whole run — Linear Road's ramp-up
             trip_segments: 240,
             duration_secs: 120,
+            skew: 0.0,
             seed: 11,
         }
+    }
+}
+
+impl LinearRoadConfig {
+    /// Set the Zipf exponent of the car-id distribution.
+    pub fn with_skew(mut self, theta: f64) -> Self {
+        self.skew = theta;
+        self
     }
 }
 
@@ -76,14 +93,25 @@ pub fn generate_batch(catalog: &mut Catalog, config: &LinearRoadConfig) -> Event
     let end = config.duration_secs * 1000;
     let admit_every = (1000.0 / config.cars_per_sec).max(1.0) as u64;
     let mut next_admission = admit_every;
+    // skew > 0: admitted cars draw their reported id Zipf(theta) from the
+    // expected-admissions id space (the uniform branch keeps the
+    // historical fresh-id-per-car sequence intact)
+    let zipf = (config.skew > 0.0).then(|| {
+        let id_space = ((end / admit_every) as usize).max(1);
+        Zipf::new(id_space, config.skew)
+    });
 
     // simple discrete-event loop over milliseconds of simulated time
     let mut now = 0u64;
     while now < end {
         // admit new cars (the ramp: more cars => higher report rate)
         if now >= next_admission {
+            let id = match &zipf {
+                Some(z) => z.sample(&mut rng) as i64,
+                None => next_car_id,
+            };
             cars.push(Car {
-                id: next_car_id,
+                id,
                 entry_segment: rng.gen_range(0..config.n_segments),
                 reports_sent: 0,
                 next_report: now + rng.gen_range(0..config.report_every_ms.max(1)),
@@ -167,6 +195,30 @@ mod tests {
         let e2 = generate(&mut c2, &cfg);
         assert_eq!(e1, e2);
         assert!(e1.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn skew_concentrates_car_ids() {
+        let base = LinearRoadConfig {
+            duration_secs: 60,
+            cars_per_sec: 4.0,
+            trip_segments: 40,
+            ..Default::default()
+        };
+        let mut c = Catalog::new();
+        let skewed = generate(&mut c, &base.with_skew(1.2));
+        assert!(!skewed.is_empty());
+        let mut counts = std::collections::HashMap::new();
+        for e in &skewed {
+            *counts.entry(e.attrs[0].as_i64().unwrap()).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(
+            max * 4 > skewed.len(),
+            "a hot car id carries >25% of reports: max {max} of {}",
+            skewed.len()
+        );
+        assert!(skewed.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]

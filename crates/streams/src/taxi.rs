@@ -7,6 +7,7 @@
 //! carries the vehicle id (the paper's `[vehicle]` predicate / `GROUP BY
 //! vehicle`) and a speed attribute for the numeric aggregates.
 
+use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sharon_types::{Catalog, Event, EventBatch, EventTypeId, Schema, Timestamp, Value};
@@ -24,6 +25,11 @@ pub struct TaxiConfig {
     pub n_events: usize,
     /// Average event arrival interval in milliseconds.
     pub mean_interarrival_ms: u64,
+    /// Zipf exponent of the vehicle distribution (`0.0` = uniform, the
+    /// historical behaviour; `1.2` pins a few hot vehicles — the skewed
+    /// `GROUP BY` shape the sharded runtime's hot-group splitting
+    /// targets).
+    pub skew: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -36,6 +42,7 @@ impl Default for TaxiConfig {
             trip_len: 6,
             n_events: 100_000,
             mean_interarrival_ms: 3,
+            skew: 0.0,
             seed: 7,
         }
     }
@@ -53,8 +60,15 @@ impl TaxiConfig {
             trip_len: 5,
             n_events,
             mean_interarrival_ms: 1,
+            skew: 0.0,
             seed: 7,
         }
+    }
+
+    /// Set the Zipf exponent of the vehicle distribution.
+    pub fn with_skew(mut self, theta: f64) -> Self {
+        self.skew = theta;
+        self
     }
 }
 
@@ -91,11 +105,18 @@ pub fn generate_batch(catalog: &mut Catalog, config: &TaxiConfig) -> EventBatch 
         .map(|_| (rng.gen_range(0..config.n_streets), 0))
         .collect();
 
+    // skew > 0: vehicles are drawn Zipf(theta) so a few run hot (the
+    // uniform branch keeps the historical per-seed event sequence intact)
+    let zipf = (config.skew > 0.0).then(|| Zipf::new(config.n_vehicles, config.skew));
+
     let mut events = EventBatch::with_capacity(config.n_events, 2);
     let mut now = 0u64;
     for _ in 0..config.n_events {
         now += rng.gen_range(1..=config.mean_interarrival_ms.max(1) * 2);
-        let v = rng.gen_range(0..config.n_vehicles);
+        let v = match &zipf {
+            Some(z) => z.sample(&mut rng),
+            None => rng.gen_range(0..config.n_vehicles),
+        };
         let (offset, pos) = vehicles[v];
         let street = streets[(offset + pos) % config.n_streets];
         let speed: f64 = rng.gen_range(5.0..70.0);
@@ -157,6 +178,7 @@ mod tests {
             n_events: 8,
             mean_interarrival_ms: 5,
             seed: 3,
+            ..Default::default()
         };
         let mut c = Catalog::new();
         let events = generate(&mut c, &cfg);
@@ -168,6 +190,34 @@ mod tests {
                 assert_eq!((w[0] + 1) % 10, w[1] % 10, "route is contiguous");
             }
         }
+    }
+
+    #[test]
+    fn skew_concentrates_vehicles() {
+        let base = TaxiConfig {
+            n_events: 20_000,
+            n_vehicles: 100,
+            ..Default::default()
+        };
+        let mut c = Catalog::new();
+        let uniform = generate(&mut c, &base);
+        let mut c = Catalog::new();
+        let skewed = generate(&mut c, &base.clone().with_skew(1.2));
+
+        let hottest = |events: &[Event]| -> usize {
+            let mut counts = std::collections::HashMap::new();
+            for e in events {
+                *counts.entry(e.attrs[0].as_i64().unwrap()).or_insert(0usize) += 1;
+            }
+            *counts.values().max().unwrap()
+        };
+        let (u, s) = (hottest(&uniform), hottest(&skewed));
+        assert!(
+            s > u * 10,
+            "theta=1.2 must pin a hot vehicle: uniform max {u}, skewed max {s}"
+        );
+        // the skewed stream is still deterministic and time-ordered
+        assert!(skewed.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The non-shared two-step baseline ("Flink" in the paper's evaluation).
 //!
-//! "Flink constructs all event sequences prior [to] their aggregation. It
+//! "Flink constructs all event sequences prior \[to\] their aggregation. It
 //! does not share computations among different queries" (Section 8.1).
 //! Every query keeps its own event buffers; every END event triggers an
 //! explicit enumeration of all sequences it completes, which are then
@@ -48,6 +48,10 @@ struct QueryState<A> {
     pattern_len: usize,
     groups: HashMap<GroupKey, GroupState<A>>,
     sequences_constructed: u64,
+    /// Rows that survived this query's stateless scan (routing,
+    /// predicates, grouping) — the same notion of "matched" the online
+    /// engines report per partition.
+    events_matched: u64,
     /// Reused per-row key storage — the hot path never allocates a fresh
     /// key; cloning happens only on first sight of a group.
     key_scratch: GroupKey,
@@ -88,6 +92,7 @@ impl<A: Aggregate> QueryState<A> {
             pattern_len: q.pattern.len(),
             groups: HashMap::new(),
             sequences_constructed: 0,
+            events_matched: 0,
             key_scratch: GroupKey::Global,
             vals_scratch: Vec::new(),
             sel_scratch: Vec::new(),
@@ -124,6 +129,7 @@ impl<A: Aggregate> QueryState<A> {
             debug_assert!(!pre_routed, "router selected an ungroupable event");
             return;
         }
+        self.events_matched += 1;
         let spec = self.window;
         let slide = spec.slide.millis();
         if !self.groups.contains_key(&self.key_scratch) {
@@ -417,6 +423,15 @@ impl FlinkLike {
         }
     }
 
+    /// Rows that survived the stateless scans, summed over queries —
+    /// comparable to the online engines' per-partition matched counts.
+    pub fn events_matched(&self) -> u64 {
+        match &self.kernel {
+            Kernel::Count(qs) => qs.iter().map(|q| q.events_matched).sum(),
+            Kernel::Stats(qs) => qs.iter().map(|q| q.events_matched).sum(),
+        }
+    }
+
     /// Raw events currently buffered across all queries (memory proxy).
     pub fn buffered_events(&self) -> usize {
         match &self.kernel {
@@ -435,20 +450,31 @@ impl BatchProcessor for FlinkLike {
         FlinkLike::process_columnar(self, batch);
     }
 
+    fn events_matched(&self) -> u64 {
+        FlinkLike::events_matched(self)
+    }
+
     fn state_size(&self) -> usize {
         self.buffered_events()
     }
 
     fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
-        ((*self).finish(), 0)
+        let matched = FlinkLike::events_matched(&self);
+        ((*self).finish(), matched)
     }
 }
 
 impl ShardProcessor for FlinkLike {
     /// Dispatch each query's routed rows (`rows.per_part` is parallel to
     /// the workload's queries — the scope order of
-    /// [`FlinkLike::sharded`]'s router).
+    /// [`FlinkLike::sharded`]'s router). The baseline's scopes never
+    /// split groups, so the replica lists and split notices are always
+    /// empty here.
     fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
+        debug_assert!(
+            rows.splits.is_empty() && rows.state_rows.iter().all(Vec::is_empty),
+            "baseline scopes never split groups"
+        );
         match &mut self.kernel {
             Kernel::Count(qs) => {
                 for (q, rows) in qs.iter_mut().zip(&rows.per_part) {
@@ -467,12 +493,18 @@ impl ShardProcessor for FlinkLike {
         }
     }
 
+    fn events_matched(&self) -> u64 {
+        FlinkLike::events_matched(self)
+    }
+
     fn finish(self: Box<Self>) -> ShardReport {
         let state_size = self.buffered_events();
+        let events_matched = FlinkLike::events_matched(&self);
         ShardReport {
             results: FlinkLike::finish(*self),
-            events_matched: 0,
+            events_matched,
             state_size,
+            ..Default::default()
         }
     }
 }

@@ -77,6 +77,10 @@ struct Partition<A> {
     finalists: Vec<Vec<usize>>,
     groups: HashMap<GroupKey, GroupState<A>>,
     sequences_constructed: u64,
+    /// Rows that survived this partition's stateless scan (routing,
+    /// predicates, grouping) — the same notion of "matched" the online
+    /// engines report per partition.
+    events_matched: u64,
     /// Reused per-row key storage (clone only on first sight of a group).
     key_scratch: GroupKey,
     vals_scratch: Vec<Value>,
@@ -184,6 +188,7 @@ impl<A: Aggregate> Partition<A> {
             finalists,
             groups: HashMap::new(),
             sequences_constructed: 0,
+            events_matched: 0,
             key_scratch: GroupKey::Global,
             vals_scratch: Vec::new(),
             sel_scratch: Vec::new(),
@@ -218,6 +223,7 @@ impl<A: Aggregate> Partition<A> {
             debug_assert!(!pre_routed, "router selected an ungroupable event");
             return;
         }
+        self.events_matched += 1;
         let spec = self.window;
         let slide = spec.slide.millis();
         if !self.groups.contains_key(&self.key_scratch) {
@@ -626,6 +632,15 @@ impl SpassLike {
             Kernel::Stats(ps) => ps.iter().map(Partition::materialized_matches).sum(),
         }
     }
+
+    /// Rows that survived the stateless scans, summed over signature
+    /// partitions — comparable to the online engines' matched counts.
+    pub fn events_matched(&self) -> u64 {
+        match &self.kernel {
+            Kernel::Count(ps) => ps.iter().map(|p| p.events_matched).sum(),
+            Kernel::Stats(ps) => ps.iter().map(|p| p.events_matched).sum(),
+        }
+    }
 }
 
 impl BatchProcessor for SpassLike {
@@ -637,20 +652,30 @@ impl BatchProcessor for SpassLike {
         SpassLike::process_columnar(self, batch);
     }
 
+    fn events_matched(&self) -> u64 {
+        SpassLike::events_matched(self)
+    }
+
     fn state_size(&self) -> usize {
         self.materialized_matches()
     }
 
     fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
-        ((*self).finish(), 0)
+        let matched = SpassLike::events_matched(&self);
+        ((*self).finish(), matched)
     }
 }
 
 impl ShardProcessor for SpassLike {
     /// Dispatch each signature partition's routed rows (`rows.per_part` is
-    /// parallel to [`signature_partitions`] order, the same order the
-    /// kernel holds its partitions).
+    /// parallel to `signature_partitions` order, the same order the
+    /// kernel holds its partitions). The baseline's scopes never split
+    /// groups, so the replica lists and split notices are always empty.
     fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
+        debug_assert!(
+            rows.splits.is_empty() && rows.state_rows.iter().all(Vec::is_empty),
+            "baseline scopes never split groups"
+        );
         match &mut self.kernel {
             Kernel::Count(ps) => {
                 for (p, rows) in ps.iter_mut().zip(&rows.per_part) {
@@ -669,12 +694,18 @@ impl ShardProcessor for SpassLike {
         }
     }
 
+    fn events_matched(&self) -> u64 {
+        SpassLike::events_matched(self)
+    }
+
     fn finish(self: Box<Self>) -> ShardReport {
         let state_size = self.materialized_matches();
+        let events_matched = SpassLike::events_matched(&self);
         ShardReport {
             results: SpassLike::finish(*self),
-            events_matched: 0,
+            events_matched,
             state_size,
+            ..Default::default()
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! "An event is a message indicating that something of interest to the
 //! application happened in the real world. An event `e` has a time stamp
-//! `e.time` assigned by the event source [and] belongs to a particular event
+//! `e.time` assigned by the event source \[and\] belongs to a particular event
 //! type `E`" (Section 2.1, Sharon paper).
 //!
 //! [`Event`] is the *row-form* representation; the executors' hot path runs

@@ -30,6 +30,7 @@ fn main() {
             n_events: 60_000,
             mean_interarrival_ms: 3,
             seed: 1,
+            ..Default::default()
         },
     );
     let workload = figure_1_workload(&mut catalog);

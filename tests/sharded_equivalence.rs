@@ -17,7 +17,14 @@ use sharon::streams::workload::{
     figure_1_workload, figure_2_workload, overlapping_workload, WorkloadConfig,
 };
 
-const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+#[path = "support.rs"]
+mod support;
+
+/// Shard counts under test (the default spread includes the degenerate
+/// single-shard runtime).
+fn shard_counts() -> Vec<usize> {
+    support::shard_counts(&[1, 2, 8])
+}
 
 /// Run `events` sequentially (per-event reference) and assert agreement
 /// of: the sequential columnar path, and — per shard count — the sharded
@@ -48,7 +55,7 @@ fn assert_sharded_matches_sequential(
         want.len(),
     );
 
-    for shards in SHARD_COUNTS {
+    for shards in shard_counts() {
         let mut sharded =
             ShardedExecutor::new(catalog, workload, plan, shards).expect("sharded compiles");
         // mixed ingestion: some per-event, some batched, to cover both paths

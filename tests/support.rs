@@ -1,0 +1,11 @@
+//! Helpers shared by the workspace integration-test suites (included via
+//! `#[path]` from each test binary).
+
+/// Shard counts under test: `SHARON_SHARDS` pins one (the CI matrix runs
+/// 2 and 4 on a multi-core runner), otherwise the suite's default spread.
+pub fn shard_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("SHARON_SHARDS") {
+        Ok(s) => vec![s.parse().expect("SHARON_SHARDS must be a shard count")],
+        Err(_) => default.to_vec(),
+    }
+}
