@@ -15,10 +15,19 @@
 //! splitting is built to fix. Every row of a sweep must report identical
 //! result counts, so the skewed merge path cannot silently bitrot.
 //!
+//! The **query-count sweep** measures the pipelined ingest + scope-dedup
+//! path on the workload shape that used to stall the routing core: 1/8/64
+//! Flink-like queries sharing one routing scope (dedup collapses them to
+//! a single router scan per batch) × shards ∈ {1, 4, 8}, with in-line
+//! routing (`pipeline 0`) against the router-thread pipeline
+//! (`pipeline 2`). On a 1-CPU host the two modes time-share one core, so
+//! their ratio measures hand-off overhead, not overlap — the JSON notes
+//! the core count for that reason.
+//!
 //! Prints one table per scenario and writes a machine-readable baseline to
-//! `BENCH_PR4.json` at the workspace root (override with
+//! `BENCH_PR5.json` at the workspace root (override with
 //! `SHARON_BENCH_OUT`), so future optimization PRs have a perf trajectory
-//! to compare against (`BENCH_PR1.json`–`BENCH_PR3.json` hold earlier
+//! to compare against (`BENCH_PR1.json`–`BENCH_PR4.json` hold earlier
 //! PRs' numbers). `SHARON_SCALE` scales the stream length.
 //!
 //! Note: thread-level speedup from sharding is only observable when the
@@ -191,9 +200,12 @@ fn skew_sweep(theta: f64) -> (String, Vec<Run>) {
     // 8-shard run must actually SPLIT a group and still agree — without
     // this, tuning or generator drift could silently turn the skewed
     // legs above into pinned-only runs and the smoke would keep passing
-    // while never exercising the split/merge path
+    // while never exercising the split/merge path. Routing runs in-line
+    // (pipeline 0): the guard reads `split_groups()` before `finish`, and
+    // a pipelined router's published count may trail the short smoke
+    // stream's last batches.
     if theta > 0.0 {
-        let mut ex = ShardedExecutor::with_split_config(
+        let mut ex = ShardedExecutor::with_pipeline_depth(
             &catalog,
             &workload,
             &plan,
@@ -204,6 +216,7 @@ fn skew_sweep(theta: f64) -> (String, Vec<Run>) {
                 hot_fraction: 0.05,
                 ..SplitConfig::default()
             },
+            0,
         )
         .unwrap();
         ex.process_shared(&shared);
@@ -216,6 +229,71 @@ fn skew_sweep(theta: f64) -> (String, Vec<Run>) {
             want,
             "theta={theta}: splitting changed the result count"
         );
+    }
+    (name, runs)
+}
+
+/// Pipelined ingest + scope dedup on a many-query, shared-scope workload:
+/// `n_queries` Flink-like queries over the same `SEQ(MainSt, StateSt)`
+/// scope (windows differ, so the queries are distinct but route
+/// identically — dedup collapses them to ONE router scan per batch),
+/// swept over shard counts with in-line routing vs the router-thread
+/// pipeline. This is the Amdahl case the pipeline exists for: per-query
+/// routing work used to serialize on the ingest core while the workers
+/// idled.
+fn query_count_sweep(n_queries: usize) -> (String, Vec<Run>) {
+    let n_events = scaled(60_000, 3_000);
+    let n_vehicles = 512;
+    let name = format!("queries n={n_queries} shared-scope events={n_events} (flink)");
+    let mut catalog = Catalog::new();
+    let batch = taxi::generate_batch(
+        &mut catalog,
+        &TaxiConfig::high_cardinality(n_events, n_vehicles),
+    );
+    let sources: Vec<String> = (0..n_queries)
+        .map(|i| {
+            format!(
+                "RETURN COUNT(*) PATTERN SEQ(MainSt, StateSt) WHERE [vehicle] WITHIN {} s SLIDE 2 s",
+                8 + 2 * (i % 8)
+            )
+        })
+        .collect();
+    let workload =
+        parse_workload(&mut catalog, sources.iter().map(String::as_str)).expect("workload parses");
+    let n = batch.len();
+    let shared = Arc::new(batch);
+
+    let mut runs = Vec::new();
+    runs.push(measure("flink/sequential", n, || {
+        let mut ex = FlinkLike::new(&catalog, &workload).unwrap();
+        ex.process_columnar(&shared);
+        ex.finish()
+    }));
+    for shards in [1usize, 4, 8] {
+        for (mode, depth) in [("inline", 0usize), ("pipelined", 2)] {
+            runs.push(measure(
+                &format!("flink/sharded/{shards}/{mode}"),
+                n,
+                || {
+                    let mut ex = FlinkLike::sharded_with_pipeline(
+                        &catalog,
+                        &workload,
+                        shards,
+                        sharon::executor::DEFAULT_BATCH_SIZE,
+                        depth,
+                    )
+                    .unwrap();
+                    ex.process_shared(&shared);
+                    ex.finish()
+                },
+            ));
+        }
+    }
+
+    // routing mode and shard count must never change results
+    let want = runs[0].results;
+    for run in &runs {
+        assert_eq!(run.results, want, "{}: result count diverged", run.label);
     }
     (name, runs)
 }
@@ -320,16 +398,18 @@ fn fmt_rate(r: f64) -> String {
 fn json_out(path: &std::path::Path, scenarios: &[(String, Vec<Run>)], parallelism: usize) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"throughput\",\n  \"pr\": 4,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
+        "  \"bench\": \"throughput\",\n  \"pr\": 5,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
         scale()
     ));
     if parallelism == 1 {
         out.push_str(
-            "  \"note\": \"recorded on a 1-CPU host: shard workers timeshare one core, so \
-             sharded/N ratios measure overhead only, not parallel speedup; in the skew sweep \
-             this also means hot-group splitting's broadcast replication can only cost \
-             (sharded/N vs sharded/8/pinned shows the replication overhead, not the \
-             load-balance win) — rerun on a multi-core host to observe scaling\",\n",
+            "  \"note\": \"recorded on a 1-CPU host: shard workers (and the router thread) \
+             timeshare one core, so sharded/N ratios measure overhead only, not parallel \
+             speedup; in the skew sweep this also means hot-group splitting's broadcast \
+             replication can only cost (sharded/N vs sharded/8/pinned shows the replication \
+             overhead, not the load-balance win), and in the query-count sweep \
+             pipelined-vs-inline measures hand-off overhead, not routing/execution overlap — \
+             rerun on a multi-core host to observe scaling\",\n",
         );
     }
     out.push_str("  \"scenarios\": [\n");
@@ -368,6 +448,9 @@ fn main() {
         skew_sweep(0.0),
         skew_sweep(0.8),
         skew_sweep(1.2),
+        query_count_sweep(1),
+        query_count_sweep(8),
+        query_count_sweep(64),
         strategy_sweep(0.0),
         strategy_sweep(1.2),
     ];
@@ -393,7 +476,7 @@ fn main() {
     }
 
     let path = std::env::var("SHARON_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json").to_string()
     });
     json_out(std::path::Path::new(&path), &scenarios, parallelism);
 }

@@ -38,6 +38,14 @@ pub fn shards() -> usize {
         .unwrap_or(0)
 }
 
+/// The sharded runtime's ingest pipeline depth for the figure sweeps:
+/// `SHARON_PIPELINE` if set (`0` = in-line routing), else the
+/// double-buffered default — see
+/// [`sharon::executor::default_pipeline_depth`].
+pub fn pipeline() -> usize {
+    sharon::executor::default_pipeline_depth()
+}
+
 /// Scale an integer parameter, keeping it at least `min`.
 pub fn scaled(base: usize, min: usize) -> usize {
     ((base as f64 * scale()) as usize).max(min)
@@ -152,7 +160,15 @@ pub fn run_measured(
     };
     let n_shards = shards();
     let (mut ex, _) = if n_shards > 0 {
-        build_sharded_executor(catalog, workload, rates, strategy, &cfg, n_shards)
+        build_sharded_executor(
+            catalog,
+            workload,
+            rates,
+            strategy,
+            &cfg,
+            n_shards,
+            pipeline(),
+        )
     } else {
         build_executor(catalog, workload, rates, strategy, &cfg)
     }

@@ -8,13 +8,17 @@
 //! USAGE:
 //!   sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]
 //!          [--strategy sharon|greedy|aseq|flink|spass] [--shards N]
-//!          [--skew THETA] [--explain] [--results N]
+//!          [--pipeline-depth N] [--skew THETA] [--explain] [--results N]
 //!
 //! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
 //! Figure 2 purchase workload (ec) is used. `--shards N` runs *any*
 //! strategy — online or two-step — on the sharded parallel runtime with N
 //! worker threads (every strategy is a columnar `BatchProcessor` the
-//! route-once runtime can host). `--skew THETA` draws the stream's group
+//! route-once runtime can host). `--pipeline-depth N` sets the ingest
+//! pipeline: 0 routes batches in-line on the ingest thread (the legacy
+//! mode), N >= 1 overlaps routing with execution on a dedicated router
+//! thread behind an N-deep job ring (default 2, or the `SHARON_PIPELINE`
+//! environment variable). `--skew THETA` draws the stream's group
 //! dimension (vehicle / car / customer) from a Zipf(THETA) distribution,
 //! the skewed `GROUP BY` shape the sharded runtime's hot-group splitting
 //! targets.
@@ -32,6 +36,7 @@ struct Args {
     events: usize,
     strategy: Strategy,
     shards: usize,
+    pipeline_depth: usize,
     skew: f64,
     explain: bool,
     results: usize,
@@ -44,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         events: 50_000,
         strategy: Strategy::Sharon,
         shards: 0,
+        pipeline_depth: sharon::executor::default_pipeline_depth(),
         skew: 0.0,
         explain: false,
         results: 5,
@@ -79,6 +85,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--shards: {e}"))?
             }
+            "--pipeline-depth" => {
+                args.pipeline_depth = value("--pipeline-depth")?
+                    .parse()
+                    .map_err(|e| format!("--pipeline-depth: {e}"))?
+            }
             "--skew" => {
                 args.skew = value("--skew")?
                     .parse()
@@ -93,7 +104,7 @@ fn parse_args() -> Result<Args, String> {
                     "sharon — shared online event sequence aggregation (ICDE 2018)\n\n\
                      USAGE:\n  sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]\n\
                      \x20        [--strategy sharon|greedy|aseq|flink|spass] [--shards N]\n\
-                     \x20        [--skew THETA] [--explain] [--results N]"
+                     \x20        [--pipeline-depth N] [--skew THETA] [--explain] [--results N]"
                 );
                 std::process::exit(0);
             }
@@ -193,6 +204,7 @@ fn main() {
             args.strategy,
             &OptimizerConfig::default(),
             args.shards,
+            args.pipeline_depth,
         )
     } else {
         build_executor(
@@ -212,7 +224,17 @@ fn main() {
     };
     let optimize_time = t0.elapsed();
     if args.shards > 0 {
-        eprintln!("runtime: sharded across {} worker threads", args.shards);
+        if args.pipeline_depth > 0 {
+            eprintln!(
+                "runtime: sharded across {} worker threads, pipelined ingest (router thread, depth {})",
+                args.shards, args.pipeline_depth
+            );
+        } else {
+            eprintln!(
+                "runtime: sharded across {} worker threads, in-line routing",
+                args.shards
+            );
+        }
     }
 
     if let Some(outcome) = &outcome {

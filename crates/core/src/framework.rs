@@ -50,10 +50,13 @@ impl SharonFramework {
 
     /// Compile with the Sharon optimizer and run on the sharded parallel
     /// runtime with `n_shards` worker threads (see
-    /// [`sharon_executor::ShardedExecutor`]). Results are identical to the
-    /// sequential engine; shards only partition the work. (Use
+    /// [`sharon_executor::ShardedExecutor`]), at the default ingest
+    /// pipeline depth (`SHARON_PIPELINE`, else double-buffered). Results
+    /// are identical to the sequential engine; shards and the router
+    /// thread only partition/overlap the work. (Use
     /// [`crate::build_sharded_executor`] directly to shard any other
-    /// strategy, including the two-step baselines.)
+    /// strategy, including the two-step baselines, or to pick an explicit
+    /// pipeline depth.)
     pub fn with_shards(
         catalog: &Catalog,
         workload: &Workload,
@@ -67,6 +70,7 @@ impl SharonFramework {
             Strategy::Sharon,
             &OptimizerConfig::default(),
             n_shards,
+            sharon_executor::default_pipeline_depth(),
         )?;
         Ok(SharonFramework { executor, outcome })
     }

@@ -199,9 +199,17 @@ pub fn executor_for_plan(
 ///
 /// Every strategy shards: the online engines run one engine set per
 /// worker ([`ShardedExecutor::new`]), and the two-step baselines run one
-/// full baseline instance per worker behind their own route-once scopes
-/// ([`FlinkLike::sharded`] / [`SpassLike::sharded`]) — making figure-13
-/// comparisons apples-to-apples columnar at any shard count.
+/// full baseline instance per worker behind their own route-once,
+/// scope-deduplicated routing ([`FlinkLike::sharded`] /
+/// [`SpassLike::sharded`]) — making figure-13 comparisons
+/// apples-to-apples columnar at any shard count.
+///
+/// `pipeline_depth` selects the ingest mode: `0` routes in-line on the
+/// ingest thread, `n ≥ 1` overlaps routing with execution on a dedicated
+/// router thread behind an `n`-deep job ring (see
+/// [`sharon_executor::ShardedExecutor`]; pass
+/// [`sharon_executor::default_pipeline_depth`] to honour the
+/// `SHARON_PIPELINE` environment variable).
 pub fn build_sharded_executor(
     catalog: &Catalog,
     workload: &Workload,
@@ -209,26 +217,51 @@ pub fn build_sharded_executor(
     strategy: Strategy,
     config: &OptimizerConfig,
     n_shards: usize,
+    pipeline_depth: usize,
 ) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
+    let online = |plan: &SharingPlan| {
+        ShardedExecutor::with_pipeline_depth(
+            catalog,
+            workload,
+            plan,
+            n_shards,
+            sharon_executor::DEFAULT_BATCH_SIZE,
+            sharon_executor::SplitConfig::default(),
+            pipeline_depth,
+        )
+    };
     let (ex, outcome) = match strategy {
         Strategy::Sharon => {
             let outcome = optimize_sharon(workload, rates, config);
-            let ex = ShardedExecutor::new(catalog, workload, &outcome.plan, n_shards)?;
+            let ex = online(&outcome.plan)?;
             (ex, Some(outcome))
         }
         Strategy::Greedy => {
             let outcome = optimize_greedy(workload, rates);
-            let ex = ShardedExecutor::new(catalog, workload, &outcome.plan, n_shards)?;
+            let ex = online(&outcome.plan)?;
             (ex, Some(outcome))
         }
-        Strategy::ASeq => (
-            ShardedExecutor::non_shared(catalog, workload, n_shards)?,
+        Strategy::ASeq => (online(&SharingPlan::non_shared())?, None),
+        Strategy::FlinkLike => (
+            FlinkLike::sharded_with_pipeline(
+                catalog,
+                workload,
+                n_shards,
+                sharon_executor::DEFAULT_BATCH_SIZE,
+                pipeline_depth,
+            )?,
             None,
         ),
-        Strategy::FlinkLike => (FlinkLike::sharded(catalog, workload, n_shards)?, None),
         Strategy::SpassLike => {
             let outcome = optimize_sharon(workload, rates, config);
-            let ex = SpassLike::sharded(catalog, workload, &outcome.plan, n_shards)?;
+            let ex = SpassLike::sharded_with_pipeline(
+                catalog,
+                workload,
+                &outcome.plan,
+                n_shards,
+                sharon_executor::DEFAULT_BATCH_SIZE,
+                pipeline_depth,
+            )?;
             (ex, Some(outcome))
         }
     };
@@ -312,15 +345,16 @@ mod tests {
                 strategy.name()
             );
 
-            for shards in [1usize, 3] {
-                let (mut sharded, _) =
-                    build_sharded_executor(&catalog, &workload, &rates, strategy, &cfg, shards)
-                        .unwrap();
+            for (shards, depth) in [(1usize, 0usize), (1, 2), (3, 0), (3, 2)] {
+                let (mut sharded, _) = build_sharded_executor(
+                    &catalog, &workload, &rates, strategy, &cfg, shards, depth,
+                )
+                .unwrap();
                 sharded.process_columnar(&batch);
                 let got = sharded.finish();
                 assert!(
                     got.semantically_eq(&reference, 1e-9),
-                    "{} sharded/{shards} diverges",
+                    "{} sharded/{shards} (pipeline {depth}) diverges",
                     strategy.name()
                 );
             }

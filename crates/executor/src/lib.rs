@@ -41,5 +41,8 @@ pub use processor::BatchProcessor;
 pub use results::ExecutorResults;
 pub use router::{BatchRouter, RouteBatch, RoutedRows, RowFilter, SplitConfig, SplitSpec};
 pub use runner::SegmentRunner;
-pub use sharded::{ShardProcessor, ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE};
+pub use sharded::{
+    default_pipeline_depth, ShardProcessor, ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE,
+    DEFAULT_PIPELINE_DEPTH,
+};
 pub use winvec::{Snapshot, WinVec};

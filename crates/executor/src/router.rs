@@ -465,6 +465,11 @@ impl<F: RowFilter> BatchRouter<F> {
         hi: usize,
         out: &mut Vec<RoutedRows>,
     ) {
+        // one scan per scope per chunk — the observable unit of routing
+        // work. With scope dedup upstream, Q same-scope queries advance
+        // the counter by 1 per batch, not Q (asserted by regression
+        // tests via `sharon_metrics::router_scope_scans`).
+        sharon_metrics::record_router_scope_scans(self.scopes.len() as u64);
         out.truncate(self.n_shards);
         for rows in out.iter_mut() {
             rows.reset(self.scopes.len());

@@ -1,4 +1,4 @@
-//! The sharded parallel runtime.
+//! The sharded parallel runtime with a **pipelined ingest stage**.
 //!
 //! `GROUP BY` partitions are independent by construction — "a result is
 //! returned per group and per window" (Definition 2) and no engine state is
@@ -24,7 +24,7 @@
 //! with the sequential path for every shard count and every strategy.
 //!
 //! Events are ingested into a columnar [`EventBatch`] and **routed once**:
-//! the ingest thread runs the stateless prefix of the event path — routing,
+//! the routing side runs the stateless prefix of the event path — routing,
 //! predicate evaluation, group-key hashing — a single time per event (see
 //! [`crate::router::BatchRouter`]) and ships each worker the [`Arc`]-shared
 //! batch plus the row-index lists it owns. Workers consume their routed
@@ -33,10 +33,35 @@
 //! per worker, no shared channel state — giving backpressure against slow
 //! shards without cross-thread contention.
 //!
-//! Flush buffers are **recycled**: each worker returns its consumed
-//! row-index lists through a return ring, and batch bodies whose [`Arc`]
-//! count has drained back to the ingest side are cleared and reused, so a
-//! steady-state flush performs no batch- or list-granular allocation.
+//! # Pipelined ingest
+//!
+//! Routing is the serial stage of the runtime: with in-line routing the
+//! ingest thread routes batch `k + 1` only after every worker accepted
+//! batch `k`, so per Amdahl the routing core caps shard scaling on
+//! query-heavy workloads. With a **pipeline depth ≥ 1** (the default,
+//! [`DEFAULT_PIPELINE_DEPTH`]), a dedicated *router thread* owns the
+//! [`RouteBatch`] and the worker rings, and the ingest thread hands it
+//! filled batches over one more bounded SPSC ring (capacity = the
+//! pipeline depth, so the ring itself is the backpressure): the router
+//! routes batch `k + 1` while the shard workers execute batch `k` and the
+//! ingest thread buffers batch `k + 2`. Depth `0` selects the legacy
+//! in-line mode (routing on the ingest thread); both modes are exercised
+//! by the equivalence suites and produce identical results. The
+//! `SHARON_PIPELINE` environment variable picks the default depth (see
+//! [`default_pipeline_depth`]).
+//!
+//! Every hand-off buffer is **recycled**: each worker returns its consumed
+//! row-index lists through a return ring drained by the routing side, and
+//! batch bodies — kept in [`Arc`]s end to end, including the fill buffer —
+//! return to an ingest-side pool once their `Arc` count drains, so the
+//! pipelined steady state performs no batch-, list-, or `Arc`-granular
+//! allocation.
+//!
+//! Shutdown is ordered: [`ShardedExecutor::finish`] closes the
+//! ingest→router ring *first* — the ring's close-then-drain semantics are
+//! the poison/flush message, so the router thread routes every in-flight
+//! job before returning — and only then closes the worker rings, so every
+//! [`ShardReport`] covers the complete stream.
 //!
 //! [`Engine`]: crate::engine::Engine
 
@@ -49,7 +74,7 @@ use crate::router::{BatchRouter, RouteBatch, RoutedRows, SplitConfig};
 use crate::spsc;
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{Catalog, Event, EventBatch, EventStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -60,11 +85,39 @@ pub const DEFAULT_BATCH_SIZE: usize = 4096;
 /// Bounded depth of each worker's ring buffer (backpressure).
 const RING_DEPTH: usize = 4;
 
+/// Default ingest→router pipeline depth: double-buffered hand-off (the
+/// router routes one batch while the ingest thread fills the next).
+pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
+
+/// The pipeline depth to use when none is given explicitly: the
+/// `SHARON_PIPELINE` environment variable if set (`0` = legacy in-line
+/// routing on the ingest thread), [`DEFAULT_PIPELINE_DEPTH`] otherwise.
+///
+/// An unparsable `SHARON_PIPELINE` panics rather than silently running
+/// the default mode — a bench matrix typo must not record numbers
+/// attributed to a routing mode that never ran.
+pub fn default_pipeline_depth() -> usize {
+    match std::env::var("SHARON_PIPELINE") {
+        Ok(s) => s
+            .parse()
+            .expect("SHARON_PIPELINE must be a pipeline depth (0 = in-line routing)"),
+        Err(_) => DEFAULT_PIPELINE_DEPTH,
+    }
+}
+
 /// One routed batch in flight to one worker: the shared columnar batch
 /// plus this worker's per-scope row lists.
 struct RoutedBatch {
     batch: Arc<EventBatch>,
     rows: RoutedRows,
+}
+
+/// One filled batch range in flight from the ingest thread to the router
+/// thread (absolute rows `lo..hi` of the shared batch).
+struct RouteJob {
+    batch: Arc<EventBatch>,
+    lo: usize,
+    hi: usize,
 }
 
 /// What each worker reports back when its ring closes.
@@ -165,14 +218,91 @@ impl ShardProcessor for EngineShard {
     }
 }
 
-struct ShardWorker {
+/// The routing side's endpoints of one worker: the routed-batch ring in,
+/// the recycled row lists out.
+struct WorkerChannel {
     sender: spsc::Sender<RoutedBatch>,
-    /// Consumed row lists coming back for reuse (see module docs).
     returns: spsc::Receiver<RoutedRows>,
+}
+
+/// The ingest side's handle on one worker thread.
+struct WorkerHandle {
     handle: JoinHandle<ShardReport>,
     /// Events this shard has matched so far, published after every batch
     /// so [`ShardedExecutor::events_matched`] can report live progress.
     matched: Arc<AtomicU64>,
+}
+
+/// The complete routing stage: the router, the worker rings, and the
+/// recycling pools. Runs on the ingest thread (in-line mode) or is moved
+/// wholesale onto the dedicated router thread (pipelined mode); dropping
+/// it closes every worker ring.
+struct Fanout {
+    router: Box<dyn RouteBatch>,
+    channels: Vec<WorkerChannel>,
+    /// Recycled row lists (refilled from the workers' return rings).
+    rows_pool: Vec<RoutedRows>,
+    /// Reused output slots of `route_range_into`.
+    route_scratch: Vec<RoutedRows>,
+}
+
+impl Fanout {
+    /// Route rows `lo..hi` of `batch` once and send each worker the
+    /// shared batch plus its owned row-index lists.
+    ///
+    /// NOTE: `tests/alloc_regression.rs` (the pipelined steady-state
+    /// test) mirrors this recycling protocol step by step on one thread
+    /// to pin it at zero allocations deterministically — keep the two in
+    /// sync when changing the pool/scratch handling here.
+    fn dispatch(&mut self, batch: &Arc<EventBatch>, lo: usize, hi: usize) {
+        let n_shards = self.channels.len();
+        // drain the return rings: consumed row lists become routing slots
+        let rows_cap = n_shards * (RING_DEPTH + 2);
+        for ch in &mut self.channels {
+            ch.returns.drain_into(&mut self.rows_pool, rows_cap);
+        }
+        let mut out = std::mem::take(&mut self.route_scratch);
+        while out.len() < n_shards {
+            out.push(self.rows_pool.pop().unwrap_or_default());
+        }
+        self.router.route_range_into(batch, lo, hi, &mut out);
+        for (ch, rows) in self.channels.iter_mut().zip(out.drain(..)) {
+            // a worker with no owned rows is not woken at all
+            if rows.is_empty() {
+                if self.rows_pool.len() < rows_cap {
+                    self.rows_pool.push(rows);
+                }
+                continue;
+            }
+            let ok = ch
+                .sender
+                .send(RoutedBatch {
+                    batch: Arc::clone(batch),
+                    rows,
+                })
+                .is_ok();
+            assert!(ok, "shard worker terminated early");
+        }
+        self.route_scratch = out;
+    }
+}
+
+/// The ingest thread's handle on the dedicated router thread.
+struct RouterThread {
+    jobs: spsc::Sender<RouteJob>,
+    /// Returns the [`Fanout`] at end-of-stream so `finish` controls when
+    /// the worker rings close (after all in-flight jobs routed).
+    handle: JoinHandle<Fanout>,
+    /// Split-group count published by the router thread after each batch
+    /// (trails ingestion by at most the in-flight pipeline jobs).
+    split_groups: Arc<AtomicUsize>,
+}
+
+/// Where routing runs: on the ingest thread (depth 0) or on a dedicated
+/// router thread behind a bounded job ring (depth ≥ 1).
+enum IngestStage {
+    Inline(Fanout),
+    Pipelined(RouterThread),
 }
 
 /// A parallel executor that hash-partitions work across `N` worker shards.
@@ -181,29 +311,33 @@ struct ShardWorker {
 /// exactly like [`crate::Executor`]; [`ShardedExecutor::from_parts`]
 /// hosts *any* [`ShardProcessor`] + [`RouteBatch`] pair, which is how the
 /// two-step baselines run sharded. Events are accepted one at a time, in
-/// row-form batches, or in columnar batches; the ingest side routes each
+/// row-form batches, or in columnar batches; the routing side routes each
 /// buffered batch once and fans the per-shard row lists out over SPSC
-/// rings. [`ShardedExecutor::finish`] drains the pipeline and merges the
+/// rings — on the ingest thread or overlapped on a dedicated router
+/// thread, depending on the pipeline depth (see the module docs).
+/// [`ShardedExecutor::finish`] drains the pipeline and merges the
 /// disjoint shard results.
 pub struct ShardedExecutor {
-    workers: Vec<ShardWorker>,
-    buffer: EventBatch,
-    router: Box<dyn RouteBatch>,
+    /// `None` only after `finish`/`Drop` tore the stage down.
+    stage: Option<IngestStage>,
+    workers: Vec<WorkerHandle>,
+    /// The fill buffer. Kept in an [`Arc`] (uniquely owned between
+    /// flushes) so a flush moves it into the pipeline without re-wrapping
+    /// — the steady state never allocates an `Arc` block.
+    buffer: Arc<EventBatch>,
     batch_size: usize,
     n_shards: usize,
+    pipeline_depth: usize,
     /// Incremented by `flush` as batches are fanned out; see
     /// [`ShardedExecutor::events_sent`].
     events_sent: u64,
     /// In-flight batch bodies; entries whose `Arc` count drains back to 1
     /// are cleared and reused by the next flush.
     batch_pool: Vec<Arc<EventBatch>>,
-    /// Recycled row lists (refilled from the workers' return rings).
-    rows_pool: Vec<RoutedRows>,
-    /// Reused output slots of `route_range_into`.
-    route_scratch: Vec<RoutedRows>,
-    /// Set when the executor is dropped without `finish`: workers discard
-    /// queued batches instead of draining them (a capped/aborted bench run
-    /// must not keep burning CPU on detached threads).
+    /// Set when the executor is dropped without `finish`: the router
+    /// thread and the workers discard queued batches instead of draining
+    /// them (a capped/aborted bench run must not keep burning CPU on
+    /// detached threads).
     cancel: Arc<AtomicBool>,
 }
 
@@ -259,6 +393,31 @@ impl ShardedExecutor {
         batch_size: usize,
         split: SplitConfig,
     ) -> Result<Self, CompileError> {
+        Self::with_pipeline_depth(
+            catalog,
+            workload,
+            plan,
+            n_shards,
+            batch_size,
+            split,
+            default_pipeline_depth(),
+        )
+    }
+
+    /// The full-knob online constructor:
+    /// [`ShardedExecutor::with_split_config`] plus an explicit ingest
+    /// pipeline depth (`0` = in-line routing on the ingest thread,
+    /// `n ≥ 1` = a dedicated router thread behind an `n`-deep job ring;
+    /// see the module docs).
+    pub fn with_pipeline_depth(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        batch_size: usize,
+        split: SplitConfig,
+        pipeline_depth: usize,
+    ) -> Result<Self, CompileError> {
         assert!(n_shards >= 1, "need at least one shard");
         let parts = compile(catalog, workload, plan)?;
         let shards = (0..n_shards)
@@ -279,7 +438,12 @@ impl ShardedExecutor {
             })
             .collect();
         let router = Box::new(BatchRouter::with_split(parts, n_shards, split));
-        Ok(Self::from_parts(router, shards, batch_size))
+        Ok(Self::from_parts_with(
+            router,
+            shards,
+            batch_size,
+            pipeline_depth,
+        ))
     }
 
     /// Build the runtime from an explicit router + one processor per
@@ -287,11 +451,23 @@ impl ShardedExecutor {
     /// any strategy (the two-step baselines use it). The router's shard
     /// assignment must agree with how the processors partition their
     /// group state; both sides deriving from the same [`crate::RowFilter`]
-    /// scopes guarantees that.
+    /// scopes guarantees that. The ingest pipeline depth defaults to
+    /// [`default_pipeline_depth`].
     pub fn from_parts(
         router: Box<dyn RouteBatch>,
         shards: Vec<Box<dyn ShardProcessor>>,
         batch_size: usize,
+    ) -> Self {
+        Self::from_parts_with(router, shards, batch_size, default_pipeline_depth())
+    }
+
+    /// [`ShardedExecutor::from_parts`] with an explicit ingest pipeline
+    /// depth (`0` = in-line routing).
+    pub fn from_parts_with(
+        router: Box<dyn RouteBatch>,
+        shards: Vec<Box<dyn ShardProcessor>>,
+        batch_size: usize,
+        pipeline_depth: usize,
     ) -> Self {
         let n_shards = shards.len();
         assert!(n_shards >= 1, "need at least one shard");
@@ -303,11 +479,12 @@ impl ShardedExecutor {
         let batch_size = batch_size.max(1);
         let cancel = Arc::new(AtomicBool::new(false));
 
+        let mut channels = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for (shard, processor) in shards.into_iter().enumerate() {
             let (sender, receiver) = spsc::ring::<RoutedBatch>(RING_DEPTH);
             // the return ring is sized so a worker's try_send can only hit
-            // a full ring if the ingest side stopped draining it
+            // a full ring if the routing side stopped draining it
             let (mut return_tx, returns) = spsc::ring::<RoutedRows>(RING_DEPTH + 2);
             let matched = Arc::new(AtomicU64::new(0));
             let matched_pub = Arc::clone(&matched);
@@ -332,24 +509,56 @@ impl ShardedExecutor {
                     processor.finish()
                 })
                 .expect("spawn shard worker thread");
-            workers.push(ShardWorker {
-                sender,
-                returns,
-                handle,
-                matched,
-            });
+            channels.push(WorkerChannel { sender, returns });
+            workers.push(WorkerHandle { handle, matched });
         }
 
-        ShardedExecutor {
-            workers,
-            buffer: EventBatch::with_capacity(batch_size, 2),
+        let fanout = Fanout {
             router,
-            batch_size,
-            n_shards,
-            events_sent: 0,
-            batch_pool: Vec::new(),
+            channels,
             rows_pool: Vec::new(),
             route_scratch: Vec::new(),
+        };
+        let stage = if pipeline_depth == 0 {
+            IngestStage::Inline(fanout)
+        } else {
+            let (jobs, mut job_rx) = spsc::ring::<RouteJob>(pipeline_depth);
+            let split_groups = Arc::new(AtomicUsize::new(0));
+            let splits_pub = Arc::clone(&split_groups);
+            let cancelled = Arc::clone(&cancel);
+            let handle = std::thread::Builder::new()
+                .name("sharon-router".into())
+                .spawn(move || {
+                    let mut fanout = fanout;
+                    while let Some(RouteJob { batch, lo, hi }) = job_rx.recv() {
+                        if cancelled.load(Ordering::Relaxed) {
+                            continue; // aborted: drain jobs without routing
+                        }
+                        fanout.dispatch(&batch, lo, hi);
+                        splits_pub.store(fanout.router.split_groups(), Ordering::Relaxed);
+                    }
+                    // end of stream: hand the fan-out back so `finish`
+                    // closes the worker rings only after every queued job
+                    // was routed
+                    fanout
+                })
+                .expect("spawn router thread");
+            IngestStage::Pipelined(RouterThread {
+                jobs,
+                handle,
+                split_groups,
+            })
+        };
+
+        ShardedExecutor {
+            stage: Some(stage),
+            workers,
+            buffer: Arc::new(EventBatch::with_capacity(batch_size, 2)),
+            batch_size,
+            n_shards,
+            pipeline_depth,
+            events_sent: 0,
+            batch_pool: Vec::new(),
             cancel,
         }
     }
@@ -359,8 +568,14 @@ impl ShardedExecutor {
         self.n_shards
     }
 
-    /// Events fanned out to the workers so far (excluding the unflushed
-    /// buffer).
+    /// The ingest pipeline depth this runtime was built with (`0` =
+    /// in-line routing).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
+    /// Events fanned out to the routing stage so far (excluding the
+    /// unflushed buffer).
     pub fn events_sent(&self) -> u64 {
         self.events_sent
     }
@@ -377,9 +592,14 @@ impl ShardedExecutor {
             .sum()
     }
 
+    /// The fill buffer (uniquely owned between flushes).
+    fn buf(&mut self) -> &mut EventBatch {
+        Arc::get_mut(&mut self.buffer).expect("fill buffer is uniquely owned between flushes")
+    }
+
     /// Enqueue one event (flushed when the batch threshold is reached).
     pub fn process(&mut self, e: &Event) {
-        self.buffer.push_event(e);
+        self.buf().push_event(e);
         if self.buffer.len() >= self.batch_size {
             self.flush();
         }
@@ -388,7 +608,7 @@ impl ShardedExecutor {
     /// Enqueue a time-ordered batch of row-form events.
     pub fn process_batch(&mut self, events: &[Event]) {
         for e in events {
-            self.buffer.push_event(e);
+            self.buf().push_event(e);
             if self.buffer.len() >= self.batch_size {
                 self.flush();
             }
@@ -404,7 +624,7 @@ impl ShardedExecutor {
         while lo < batch.len() {
             let free = self.batch_size.saturating_sub(self.buffer.len()).max(1);
             let hi = (lo + free).min(batch.len());
-            self.buffer.extend_from_range(batch, lo, hi);
+            self.buf().extend_from_range(batch, lo, hi);
             lo = hi;
             if self.buffer.len() >= self.batch_size {
                 self.flush();
@@ -433,7 +653,7 @@ impl ShardedExecutor {
     pub fn run(&mut self, mut stream: impl EventStream) -> &mut Self {
         loop {
             let free = self.batch_size.saturating_sub(self.buffer.len()).max(1);
-            if stream.next_batch_columnar(free, &mut self.buffer) == 0 {
+            if stream.next_batch_columnar(free, self.buf()) == 0 {
                 break;
             }
             if self.buffer.len() >= self.batch_size {
@@ -446,70 +666,54 @@ impl ShardedExecutor {
     /// A cleared batch body for the next fill: a drained in-flight batch
     /// when one is available (its `Arc` count fell back to 1), a fresh
     /// allocation otherwise.
-    fn take_spare_batch(&mut self) -> EventBatch {
+    fn take_spare_batch(&mut self) -> Arc<EventBatch> {
         for i in 0..self.batch_pool.len() {
             if Arc::strong_count(&self.batch_pool[i]) == 1 {
-                let arc = self.batch_pool.swap_remove(i);
-                let mut batch = Arc::try_unwrap(arc).expect("strong count was 1");
-                batch.clear();
-                return batch;
+                let mut arc = self.batch_pool.swap_remove(i);
+                Arc::get_mut(&mut arc).expect("strong count was 1").clear();
+                return arc;
             }
         }
-        EventBatch::with_capacity(self.batch_size, 2)
+        Arc::new(EventBatch::with_capacity(self.batch_size, 2))
     }
 
-    /// Route the buffered batch once and fan the per-shard row lists out.
+    /// Hand the buffered batch to the routing stage (in-line: route and
+    /// fan out now; pipelined: enqueue for the router thread).
     fn flush(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
         let spare = self.take_spare_batch();
-        let batch = Arc::new(std::mem::replace(&mut self.buffer, spare));
+        let batch = std::mem::replace(&mut self.buffer, spare);
         let len = batch.len();
         self.dispatch_range(&batch, 0, len);
-        // keep the body in the pool for reuse once the workers drop it;
-        // cap the pool so a slow shard cannot make it grow without bound
-        if self.batch_pool.len() < 2 * RING_DEPTH {
+        // keep the body in the pool for reuse once its consumers drop it;
+        // the cap covers the worker rings plus the router pipeline so a
+        // slow shard cannot make the pool grow without bound
+        if self.batch_pool.len() < 2 * RING_DEPTH + self.pipeline_depth {
             self.batch_pool.push(batch);
         }
     }
 
-    /// Route rows `lo..hi` of `batch` once and send each worker the
-    /// shared batch plus its owned row-index lists.
+    /// Send rows `lo..hi` of `batch` through the routing stage.
     fn dispatch_range(&mut self, batch: &Arc<EventBatch>, lo: usize, hi: usize) {
         self.events_sent += (hi - lo) as u64;
-        // drain the return rings: consumed row lists become routing slots
-        let rows_cap = self.n_shards * (RING_DEPTH + 2);
-        for w in &mut self.workers {
-            while let Some(rows) = w.returns.try_recv() {
-                if self.rows_pool.len() < rows_cap {
-                    self.rows_pool.push(rows);
-                }
+        match self.stage.as_mut().expect("executor is active") {
+            IngestStage::Inline(fanout) => fanout.dispatch(batch, lo, hi),
+            IngestStage::Pipelined(rt) => {
+                // blocks when `pipeline_depth` jobs are already in flight —
+                // the pipeline's backpressure
+                let ok = rt
+                    .jobs
+                    .send(RouteJob {
+                        batch: Arc::clone(batch),
+                        lo,
+                        hi,
+                    })
+                    .is_ok();
+                assert!(ok, "router thread terminated early");
             }
         }
-        let mut out = std::mem::take(&mut self.route_scratch);
-        while out.len() < self.n_shards {
-            out.push(self.rows_pool.pop().unwrap_or_default());
-        }
-        self.router.route_range_into(batch, lo, hi, &mut out);
-        for (worker, rows) in self.workers.iter_mut().zip(out.drain(..)) {
-            // a worker with no owned rows is not woken at all
-            if rows.is_empty() {
-                if self.rows_pool.len() < rows_cap {
-                    self.rows_pool.push(rows);
-                }
-                continue;
-            }
-            let ok = worker
-                .sender
-                .send(RoutedBatch {
-                    batch: Arc::clone(batch),
-                    rows,
-                })
-                .is_ok();
-            assert!(ok, "shard worker terminated early");
-        }
-        self.route_scratch = out;
     }
 
     /// Flush remaining events, stop the workers, and merge their results
@@ -527,21 +731,27 @@ impl ShardedExecutor {
     /// `(results, events_matched, summed state-size proxy)`.
     pub fn finish_with_stats(mut self) -> (ExecutorResults, u64, usize) {
         self.flush();
+        // teardown order is the flush contract: close the ingest→router
+        // ring FIRST (close-then-drain is the poison message — the router
+        // thread routes every queued job before returning its fan-out),
+        // and only THEN drop the fan-out, closing the worker rings — so
+        // no routed batch is lost and every ShardReport is complete
+        match self.stage.take().expect("finish runs once") {
+            IngestStage::Inline(fanout) => drop(fanout),
+            IngestStage::Pipelined(rt) => {
+                drop(rt.jobs);
+                let fanout = rt.handle.join().expect("router thread panicked");
+                drop(fanout);
+            }
+        }
+        // all rings are closed: join the shards in deterministic order
         let workers = std::mem::take(&mut self.workers);
-        // close every ring before joining so all shards drain in parallel
-        let handles: Vec<JoinHandle<ShardReport>> = workers
-            .into_iter()
-            .map(|ShardWorker { sender, handle, .. }| {
-                drop(sender);
-                handle
-            })
-            .collect();
         let mut results = ExecutorResults::new();
         let mut partials = PartialResults::new();
         let mut matched = 0u64;
         let mut state = 0usize;
-        for handle in handles {
-            let report = handle.join().expect("shard worker panicked");
+        for worker in workers {
+            let report = worker.handle.join().expect("shard worker panicked");
             results.merge(report.results);
             partials.absorb(report.partials);
             matched += report.events_matched;
@@ -553,26 +763,39 @@ impl ShardedExecutor {
         (results, matched, state)
     }
 
-    /// Number of groups the router has split across shards so far.
+    /// Number of groups the router has split across shards so far. In
+    /// pipelined mode this is the router thread's last published count,
+    /// which trails ingestion by at most the in-flight pipeline jobs.
     pub fn split_groups(&self) -> usize {
-        self.router.split_groups()
+        match self.stage.as_ref().expect("executor is active") {
+            IngestStage::Inline(fanout) => fanout.router.split_groups(),
+            IngestStage::Pipelined(rt) => rt.split_groups.load(Ordering::Relaxed),
+        }
     }
 }
 
 impl Drop for ShardedExecutor {
-    /// Dropping without [`ShardedExecutor::finish`] *aborts* the run:
-    /// workers are told to discard queued batches (they only complete the
-    /// batch currently in flight) and are joined, so an abandoned executor
-    /// — e.g. a capped bench run reporting DNF — never leaves detached
-    /// threads grinding through polynomial two-step work behind the next
-    /// measurement.
+    /// Dropping without [`ShardedExecutor::finish`] *aborts* the run: the
+    /// router thread and the workers are told to discard queued batches
+    /// (they only complete the item currently in flight) and are joined,
+    /// so an abandoned executor — e.g. a capped bench run reporting DNF —
+    /// never leaves detached threads grinding through polynomial two-step
+    /// work behind the next measurement.
     fn drop(&mut self) {
-        if self.workers.is_empty() {
-            return; // finished normally: workers already joined
-        }
+        let Some(stage) = self.stage.take() else {
+            return; // finished normally: threads already joined
+        };
         self.cancel.store(true, Ordering::Relaxed);
+        match stage {
+            IngestStage::Inline(fanout) => drop(fanout),
+            IngestStage::Pipelined(rt) => {
+                drop(rt.jobs); // close the job ring
+                               // joining returns the fan-out, whose drop closes the
+                               // worker rings
+                let _ = rt.handle.join();
+            }
+        }
         for worker in std::mem::take(&mut self.workers) {
-            drop(worker.sender); // close the ring
             let _ = worker.handle.join();
         }
     }
@@ -675,6 +898,38 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_and_inline_routing_agree() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 5000, 23);
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want_matched = sequential.events_matched();
+        let want = sequential.finish();
+
+        let plan = SharingPlan::non_shared();
+        for depth in [0usize, 1, 2, 4] {
+            let mut sharded = ShardedExecutor::with_pipeline_depth(
+                &c,
+                &w,
+                &plan,
+                3,
+                128,
+                SplitConfig::default(),
+                depth,
+            )
+            .unwrap();
+            assert_eq!(sharded.pipeline_depth(), depth);
+            sharded.process_batch(&events);
+            let (got, matched, _) = sharded.finish_with_stats();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "pipeline depth {depth} diverges from sequential"
+            );
+            assert_eq!(matched, want_matched, "depth {depth}: matched count");
+        }
+    }
+
+    #[test]
     fn columnar_ingestion_matches_row_form() {
         let (c, w) = grouped_workload();
         let events = stream(&c, 3000, 19);
@@ -756,14 +1011,26 @@ mod tests {
 
     #[test]
     fn drop_without_finish_aborts_and_joins_workers() {
-        // dropping mid-stream must not hang and must not leave worker
-        // threads draining queued work (the bench DNF path)
+        // dropping mid-stream must not hang and must not leave router or
+        // worker threads draining queued work (the bench DNF path) — in
+        // both routing modes
         let (c, w) = grouped_workload();
         let events = stream(&c, 2000, 11);
         let plan = SharingPlan::non_shared();
-        let mut sharded = ShardedExecutor::with_batch_size(&c, &w, &plan, 3, 64).unwrap();
-        sharded.process_batch(&events);
-        drop(sharded); // joins; a deadlock here fails the test by timeout
+        for depth in [0usize, 2] {
+            let mut sharded = ShardedExecutor::with_pipeline_depth(
+                &c,
+                &w,
+                &plan,
+                3,
+                64,
+                SplitConfig::default(),
+                depth,
+            )
+            .unwrap();
+            sharded.process_batch(&events);
+            drop(sharded); // joins; a deadlock here fails the test by timeout
+        }
     }
 
     #[test]
@@ -787,5 +1054,15 @@ mod tests {
         );
         let got = sharded.finish();
         assert!(got.semantically_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn env_override_picks_the_default_depth() {
+        // no env manipulation (tests run in parallel): just pin the
+        // compiled-in default and the explicit-constructor contract
+        assert_eq!(DEFAULT_PIPELINE_DEPTH, 2);
+        let (c, w) = grouped_workload();
+        let sharded = ShardedExecutor::non_shared(&c, &w, 2).unwrap();
+        assert_eq!(sharded.pipeline_depth(), default_pipeline_depth());
     }
 }

@@ -195,6 +195,19 @@ impl<T: Send> Receiver<T> {
         }
     }
 
+    /// Drain every ready item into `pool`, dropping items once the pool
+    /// holds `cap` entries. The recycling path of the routing side: one
+    /// call per dispatched batch empties a worker's return ring without
+    /// ever blocking, and the cap keeps a slow consumer from turning the
+    /// pool into an unbounded cache.
+    pub fn drain_into(&mut self, pool: &mut Vec<T>, cap: usize) {
+        while let Some(item) = self.try_recv() {
+            if pool.len() < cap {
+                pool.push(item);
+            }
+        }
+    }
+
     /// Non-blocking receive: dequeue an item if one is ready, `None`
     /// otherwise (including when the ring is closed). Used to drain the
     /// recycling return rings opportunistically on the ingest thread.
@@ -286,6 +299,19 @@ mod tests {
         assert_eq!(rx.try_recv(), Some(3));
         drop(rx);
         assert_eq!(tx.try_send(9), Err(9), "closed ring fails fast");
+    }
+
+    #[test]
+    fn drain_into_respects_the_pool_cap() {
+        let (mut tx, mut rx) = ring::<u8>(4);
+        for v in 0..4 {
+            tx.send(v).unwrap();
+        }
+        let mut pool = vec![9u8];
+        rx.drain_into(&mut pool, 3);
+        // ring fully drained, but only filled to the cap (excess dropped)
+        assert_eq!(pool, vec![9, 0, 1]);
+        assert_eq!(rx.try_recv(), None, "drain empties the ring regardless");
     }
 
     #[test]

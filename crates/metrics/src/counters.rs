@@ -1,0 +1,48 @@
+//! Cross-thread runtime work counters.
+//!
+//! Unlike the [`crate::alloc`] counters (which observe the allocator),
+//! these are incremented explicitly by runtime components to make
+//! *shared-work* claims checkable: the route-once sharded runtime promises
+//! that each routing scope scans a batch exactly once, no matter how many
+//! queries subscribe to the scope — the scope-scan counter is how tests
+//! (and operators) verify that promise instead of trusting it.
+//!
+//! Counters are process-global atomics, so they aggregate over every
+//! router instance and every router thread in the process. Tests that
+//! assert exact deltas must serialize against other counter users in the
+//! same process (the regression suites do).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total scope scans performed by batch routers: one unit per routing
+/// scope per routed batch chunk.
+static ROUTER_SCOPE_SCANS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` scope scans (called by the batch router once per routed
+/// chunk, with the number of distinct scopes it scanned).
+#[inline]
+pub fn record_router_scope_scans(n: u64) {
+    ROUTER_SCOPE_SCANS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total scope scans recorded so far in this process.
+///
+/// With scope deduplication active, a workload of `Q` queries sharing one
+/// routing scope advances this by exactly **1** per batch — not `Q` —
+/// which is the measurable core of the route-once-per-scope design.
+pub fn router_scope_scans() -> u64 {
+    ROUTER_SCOPE_SCANS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_counter_accumulates() {
+        let before = router_scope_scans();
+        record_router_scope_scans(3);
+        record_router_scope_scans(1);
+        assert!(router_scope_scans() >= before + 4);
+    }
+}

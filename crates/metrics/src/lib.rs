@@ -5,6 +5,8 @@
 //!
 //! * [`alloc`] — a [`TrackingAllocator`] recording current/peak heap use
 //!   (install as `#[global_allocator]` in bench binaries);
+//! * [`counters`] — explicit runtime work counters (router scope scans)
+//!   backing the shared-work regression tests;
 //! * [`latency`] — per-window latency and throughput recording;
 //! * [`report`] — printable/serializable result [`Table`]s, one per
 //!   reproduced figure.
@@ -12,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod counters;
 pub mod latency;
 pub mod report;
 
@@ -19,5 +22,6 @@ pub use alloc::{
     alloc_count, current_bytes, measure_allocs, measure_peak, peak_bytes, reset_peak,
     TrackingAllocator,
 };
+pub use counters::{record_router_scope_scans, router_scope_scans};
 pub use latency::{timed, LatencyRecorder};
 pub use report::{fmt_bytes, fmt_duration, fmt_throughput, Table};

@@ -16,6 +16,7 @@ use sharon_executor::compile::CompileError;
 use sharon_executor::RowFilter;
 use sharon_query::{CmpOp, Query};
 use sharon_types::{AttrId, Catalog, EventTypeId, GroupKey, Value};
+use std::collections::HashMap;
 
 /// Per-event-type resolved clauses for one query or partition.
 #[derive(Debug, Clone, Default)]
@@ -223,6 +224,84 @@ impl ScopeFilter {
             table,
         })
     }
+
+    /// The routing identity of this filter (see [`ScopeKey`]).
+    pub fn key(&self) -> ScopeKey {
+        ScopeKey {
+            routed: self.routed.clone(),
+            group_attrs: self.table.group_attrs.clone(),
+            predicates: self
+                .table
+                .predicates
+                .iter()
+                .map(|preds| {
+                    preds
+                        .iter()
+                        .map(|(a, op, v)| (*a, *op, HashableValue::of(v)))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A [`Value`] literal with total equality and hashing (floats compared
+/// by bit pattern), so predicate clauses can key a hash map. Bit-exact
+/// float comparison is conservative: `0.0` vs `-0.0` fail to merge, which
+/// only costs a missed dedup, never correctness.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum HashableValue {
+    Int(i64),
+    Float(u64),
+    Str(std::sync::Arc<str>),
+}
+
+impl HashableValue {
+    fn of(v: &Value) -> Self {
+        match v {
+            Value::Int(i) => HashableValue::Int(*i),
+            Value::Float(f) => HashableValue::Float(f.to_bits()),
+            Value::Str(s) => HashableValue::Str(std::sync::Arc::clone(s)),
+        }
+    }
+}
+
+/// The routing identity of a [`ScopeFilter`]: pattern type set, per-type
+/// `GROUP BY` attributes, and per-type predicate clauses. Two scopes with
+/// equal keys select *exactly* the same rows of any batch and hash every
+/// row to the same shard, so the router only needs to scan one of them —
+/// the compile-time basis of scope deduplication ([`dedup_scopes`]).
+///
+/// Deliberately excluded: aggregate contribution targets and window
+/// specs — they shape the *stateful* side only and never affect which
+/// rows route where.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScopeKey {
+    routed: Vec<bool>,
+    group_attrs: Vec<Box<[AttrId]>>,
+    predicates: Vec<Vec<(AttrId, CmpOp, HashableValue)>>,
+}
+
+/// Deduplicate routing scopes by [`ScopeKey`]: returns the distinct
+/// filters (first-seen order) and, parallel to them, the original scope
+/// indexes subscribing to each — the worker side fans each distinct
+/// scope's row selection out to all of its subscribers. With no duplicate
+/// scopes this is the identity (`subscribers[i] == [i]`).
+pub(crate) fn dedup_scopes(scopes: Vec<ScopeFilter>) -> (Vec<ScopeFilter>, Vec<Vec<usize>>) {
+    let mut index: HashMap<ScopeKey, usize> = HashMap::with_capacity(scopes.len());
+    let mut distinct = Vec::new();
+    let mut subscribers: Vec<Vec<usize>> = Vec::new();
+    for (i, scope) in scopes.into_iter().enumerate() {
+        match index.entry(scope.key()) {
+            std::collections::hash_map::Entry::Occupied(e) => subscribers[*e.get()].push(i),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(distinct.len());
+                subscribers.push(vec![i]);
+                distinct.push(scope);
+            }
+        }
+    }
+    (distinct, subscribers)
 }
 
 impl RowFilter for ScopeFilter {
@@ -250,5 +329,40 @@ impl RowFilter for ScopeFilter {
         key: &mut GroupKey,
     ) -> bool {
         self.table.read_group_key(ty, attrs, vals, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharon_query::parse_workload;
+    use sharon_types::Schema;
+
+    #[test]
+    fn scopes_dedup_by_routing_identity() {
+        let mut c = Catalog::new();
+        c.register_with_schema("A", Schema::new(["g", "v"]));
+        c.register_with_schema("B", Schema::new(["g", "v"]));
+        let w = parse_workload(
+            &mut c,
+            [
+                // queries 0 and 1 differ only in aggregate and window —
+                // identical routing scope
+                "RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.v > 2 GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+                "RETURN SUM(B.v) PATTERN SEQ(A, B) WHERE A.v > 2 GROUP BY g WITHIN 20 ms SLIDE 4 ms",
+                // dropping the predicate or the grouping changes the scope
+                "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms",
+                "RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.v > 2 WITHIN 10 ms SLIDE 2 ms",
+            ],
+        )
+        .unwrap();
+        let scopes: Vec<ScopeFilter> = w
+            .queries()
+            .iter()
+            .map(|q| ScopeFilter::build(&c, &[q]).unwrap())
+            .collect();
+        let (distinct, subscribers) = dedup_scopes(scopes);
+        assert_eq!(distinct.len(), 3, "queries 0 and 1 share a scope");
+        assert_eq!(subscribers, vec![vec![0, 1], vec![2], vec![3]]);
     }
 }

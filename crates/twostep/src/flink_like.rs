@@ -12,13 +12,15 @@
 //! stateless scan of the batch columns (type routing, predicates,
 //! groupability) that selects row indices, then a stateful dispatch that
 //! folds only the selected rows — iterating row indices over the shared
-//! value buffer, never materializing a row-form [`Event`]. It also
-//! implements [`ShardProcessor`], so [`FlinkLike::sharded`] runs the
-//! baseline on the route-once parallel runtime with groups
-//! hash-partitioned across worker threads, exactly like the online
-//! engines.
+//! value buffer, never materializing a row-form [`Event`].
+//! [`FlinkLike::sharded`] runs the baseline on the route-once parallel
+//! runtime with groups hash-partitioned across worker threads, exactly
+//! like the online engines: each worker hosts one baseline instance
+//! behind a scope-fanning [`ShardProcessor`] wrapper, and identical
+//! routing scopes are deduplicated so the router scans each distinct
+//! scope once per batch.
 
-use crate::common::{ScopeFilter, TypeTable};
+use crate::common::{dedup_scopes, ScopeFilter, TypeTable};
 use crate::construct::SeqBuffers;
 use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
@@ -297,6 +299,15 @@ impl FlinkLike {
     /// instance per worker consumes only the rows it owns. Results are
     /// identical to the sequential baseline — sharding is a pure work
     /// partition here too.
+    ///
+    /// Routing scopes are **deduplicated**: queries whose pattern types,
+    /// predicates, and `GROUP BY` clauses coincide (a `ScopeKey` match)
+    /// share one routing scope, so the router scans the batch once
+    /// per *distinct* scope — not once per query — and each worker fans
+    /// the shared row selection out to every subscribing query. This is
+    /// what keeps the routing stage from becoming the serial bottleneck
+    /// on many-query workloads (the shape the paper's Flink baseline
+    /// degrades on: per-query work where shared work would do).
     pub fn sharded(
         catalog: &Catalog,
         workload: &Workload,
@@ -312,23 +323,63 @@ impl FlinkLike {
         n_shards: usize,
         batch_size: usize,
     ) -> Result<ShardedExecutor, CompileError> {
+        Self::sharded_with_pipeline(
+            catalog,
+            workload,
+            n_shards,
+            batch_size,
+            sharon_executor::default_pipeline_depth(),
+        )
+    }
+
+    /// [`FlinkLike::sharded_with_batch_size`] with an explicit ingest
+    /// pipeline depth (`0` = in-line routing; see
+    /// [`ShardedExecutor::from_parts_with`]).
+    pub fn sharded_with_pipeline(
+        catalog: &Catalog,
+        workload: &Workload,
+        n_shards: usize,
+        batch_size: usize,
+        pipeline_depth: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
         if workload.is_empty() {
             return Err(CompileError::EmptyWorkload);
         }
-        // one routing scope per query, mirroring the per-query row lists
-        // the workers dispatch on
+        // one routing scope per query, deduplicated: identical scopes are
+        // scanned once and fanned out to all subscribing queries on the
+        // worker side
         let scopes = workload
             .queries()
             .iter()
             .map(|q| ScopeFilter::build(catalog, &[q]))
             .collect::<Result<Vec<_>, _>>()?;
+        let (scopes, subscribers) = dedup_scopes(scopes);
         let router = Box::new(BatchRouter::new(scopes, n_shards));
         let shards = (0..n_shards)
             .map(|_| {
-                FlinkLike::new(catalog, workload).map(|f| Box::new(f) as Box<dyn ShardProcessor>)
+                FlinkLike::new(catalog, workload).map(|f| {
+                    Box::new(ScopeFanShard {
+                        inner: f,
+                        subscribers: subscribers.clone(),
+                    }) as Box<dyn ShardProcessor>
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedExecutor::from_parts(router, shards, batch_size))
+        Ok(ShardedExecutor::from_parts_with(
+            router,
+            shards,
+            batch_size,
+            pipeline_depth,
+        ))
+    }
+
+    /// Stateful dispatch of one deduplicated routing scope's pre-routed
+    /// rows to subscribing query `qi` (the sharded fan-out path).
+    fn process_scope_rows(&mut self, qi: usize, batch: &EventBatch, rows: &[u32]) {
+        match &mut self.kernel {
+            Kernel::Count(qs) => qs[qi].process_rows(batch, rows, &mut self.results),
+            Kernel::Stats(qs) => qs[qi].process_rows(batch, rows, &mut self.results),
+        }
     }
 
     /// Process one event through every query.
@@ -464,44 +515,43 @@ impl BatchProcessor for FlinkLike {
     }
 }
 
-impl ShardProcessor for FlinkLike {
-    /// Dispatch each query's routed rows (`rows.per_part` is parallel to
-    /// the workload's queries — the scope order of
-    /// [`FlinkLike::sharded`]'s router). The baseline's scopes never
-    /// split groups, so the replica lists and split notices are always
-    /// empty here.
+/// The shard worker of [`FlinkLike::sharded`]: `rows.per_part` is
+/// parallel to the router's *distinct* (deduplicated) routing scopes, and
+/// each scope's row selection is dispatched to every subscribing query —
+/// the worker-side half of routing each scope once per batch. The
+/// baseline never hosts split groups, so replica lists and split notices
+/// are always empty here.
+struct ScopeFanShard {
+    inner: FlinkLike,
+    /// Per distinct scope: the query indexes subscribing to it.
+    subscribers: Vec<Vec<usize>>,
+}
+
+impl ShardProcessor for ScopeFanShard {
     fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
         debug_assert!(
             rows.splits.is_empty() && rows.state_rows.iter().all(Vec::is_empty),
             "baseline scopes never split groups"
         );
-        match &mut self.kernel {
-            Kernel::Count(qs) => {
-                for (q, rows) in qs.iter_mut().zip(&rows.per_part) {
-                    if !rows.is_empty() {
-                        q.process_rows(batch, rows, &mut self.results);
-                    }
-                }
+        for (scope, list) in rows.per_part.iter().enumerate() {
+            if list.is_empty() {
+                continue;
             }
-            Kernel::Stats(qs) => {
-                for (q, rows) in qs.iter_mut().zip(&rows.per_part) {
-                    if !rows.is_empty() {
-                        q.process_rows(batch, rows, &mut self.results);
-                    }
-                }
+            for &qi in &self.subscribers[scope] {
+                self.inner.process_scope_rows(qi, batch, list);
             }
         }
     }
 
     fn events_matched(&self) -> u64 {
-        FlinkLike::events_matched(self)
+        FlinkLike::events_matched(&self.inner)
     }
 
     fn finish(self: Box<Self>) -> ShardReport {
-        let state_size = self.buffered_events();
-        let events_matched = FlinkLike::events_matched(&self);
+        let state_size = self.inner.buffered_events();
+        let events_matched = FlinkLike::events_matched(&self.inner);
         ShardReport {
-            results: FlinkLike::finish(*self),
+            results: self.inner.finish(),
             events_matched,
             state_size,
             ..Default::default()
@@ -641,5 +691,60 @@ mod tests {
         sharded.process_columnar(&batch);
         let got = sharded.finish();
         assert!(got.semantically_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn deduplicated_scopes_fan_out_to_every_query() {
+        // eight queries sharing one routing scope (same pattern + GROUP
+        // BY, different windows): the sharded runtime routes the scope
+        // once and every query still gets its full selection — results
+        // identical to the sequential baseline, in both routing modes
+        let mut c = Catalog::new();
+        c.register_with_schema("A", sharon_types::Schema::new(["g"]));
+        c.register_with_schema("B", sharon_types::Schema::new(["g"]));
+        let sources: Vec<String> = (0..8)
+            .map(|i| {
+                format!(
+                    "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN {} ms SLIDE 2 ms",
+                    8 + 2 * i
+                )
+            })
+            .collect();
+        let w = parse_workload(&mut c, sources.iter().map(String::as_str)).unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let events: Vec<Event> = (0..600u64)
+            .map(|i| {
+                Event::with_attrs(
+                    if i % 2 == 0 { a } else { b },
+                    Timestamp(i),
+                    vec![Value::Int((i / 2) as i64 % 5)],
+                )
+            })
+            .collect();
+
+        let mut sequential = FlinkLike::new(&c, &w).unwrap();
+        for e in &events {
+            sequential.process(e);
+        }
+        let want = sequential.finish();
+        assert!(!want.is_empty());
+
+        let batch = EventBatch::from_events(&events);
+        for depth in [0usize, 2] {
+            let mut sharded = FlinkLike::sharded_with_pipeline(&c, &w, 3, 128, depth).unwrap();
+            sharded.process_columnar(&batch);
+            let got = sharded.finish();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "depth {depth}: deduplicated sharded baseline diverges"
+            );
+            for q in w.ids() {
+                assert!(
+                    got.total_count(q) > 0,
+                    "depth {depth}: query {q} received its fanned-out selection"
+                );
+            }
+        }
     }
 }

@@ -20,10 +20,12 @@
 //! Both baselines implement [`sharon_executor::BatchProcessor`] — they
 //! consume columnar [`sharon_types::EventBatch`]es natively (stateless
 //! scan → stateful dispatch over row indices, no per-row `Event`
-//! materialization) — and [`sharon_executor::ShardProcessor`], so
-//! [`FlinkLike::sharded`] / [`SpassLike::sharded`] run them on the
-//! route-once sharded runtime for apples-to-apples comparisons with the
-//! online engines at any shard count.
+//! materialization) — and [`FlinkLike::sharded`] / [`SpassLike::sharded`]
+//! run them on the route-once sharded runtime (one
+//! [`sharon_executor::ShardProcessor`] wrapper per worker, fanning each
+//! deduplicated routing scope's selection out to its subscribing
+//! queries) for apples-to-apples comparisons with the online engines at
+//! any shard count.
 
 #![warn(missing_docs)]
 

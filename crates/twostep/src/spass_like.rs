@@ -16,11 +16,12 @@
 //! [`BatchProcessor`]: [`SpassLike::process_columnar`] runs, per
 //! sharing-signature partition, a stateless scan of the batch columns that
 //! selects row indices, then a stateful dispatch over the shared value
-//! buffer — no row-form [`Event`] is materialized. It also implements
-//! [`ShardProcessor`], so [`SpassLike::sharded`] runs the baseline on the
-//! route-once parallel runtime.
+//! buffer — no row-form [`Event`] is materialized. [`SpassLike::sharded`]
+//! runs the baseline on the route-once parallel runtime: one instance per
+//! worker behind a scope-fanning [`ShardProcessor`] wrapper, with
+//! identical routing scopes deduplicated.
 
-use crate::common::{ScopeFilter, TypeTable};
+use crate::common::{dedup_scopes, ScopeFilter, TypeTable};
 use crate::construct::SeqBuffers;
 use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
@@ -498,6 +499,12 @@ impl SpassLike {
     /// Run the baseline on the sharded parallel runtime: the batch router
     /// fans each signature partition's rows out by group hash; one full
     /// [`SpassLike`] instance per worker consumes only the rows it owns.
+    ///
+    /// Routing scopes are **deduplicated** like [`crate::FlinkLike::sharded`]'s:
+    /// signature partitions whose pattern types, predicates, and
+    /// `GROUP BY` clauses coincide (partitions differing only in window
+    /// or aggregate, say) share one routing scope, scanned once per batch
+    /// and fanned out to every subscribing partition on the worker side.
     pub fn sharded(
         catalog: &Catalog,
         workload: &Workload,
@@ -515,23 +522,66 @@ impl SpassLike {
         n_shards: usize,
         batch_size: usize,
     ) -> Result<ShardedExecutor, CompileError> {
+        Self::sharded_with_pipeline(
+            catalog,
+            workload,
+            plan,
+            n_shards,
+            batch_size,
+            sharon_executor::default_pipeline_depth(),
+        )
+    }
+
+    /// [`SpassLike::sharded_with_batch_size`] with an explicit ingest
+    /// pipeline depth (`0` = in-line routing; see
+    /// [`ShardedExecutor::from_parts_with`]).
+    pub fn sharded_with_pipeline(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        batch_size: usize,
+        pipeline_depth: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
         if workload.is_empty() {
             return Err(CompileError::EmptyWorkload);
         }
         // one routing scope per signature partition, in the same order the
-        // sequential kernel builds them
+        // sequential kernel builds them — then deduplicated, with the
+        // worker side fanning each distinct scope's selection out to all
+        // subscribing partitions
         let scopes = signature_partitions(workload)
             .iter()
             .map(|qs| ScopeFilter::build(catalog, qs))
             .collect::<Result<Vec<_>, _>>()?;
+        let (scopes, subscribers) = dedup_scopes(scopes);
         let router = Box::new(BatchRouter::new(scopes, n_shards));
         let shards = (0..n_shards)
             .map(|_| {
-                SpassLike::new(catalog, workload, plan)
-                    .map(|s| Box::new(s) as Box<dyn ShardProcessor>)
+                SpassLike::new(catalog, workload, plan).map(|s| {
+                    Box::new(ScopeFanShard {
+                        inner: s,
+                        subscribers: subscribers.clone(),
+                    }) as Box<dyn ShardProcessor>
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedExecutor::from_parts(router, shards, batch_size))
+        Ok(ShardedExecutor::from_parts_with(
+            router,
+            shards,
+            batch_size,
+            pipeline_depth,
+        ))
+    }
+
+    /// Stateful dispatch of one deduplicated routing scope's pre-routed
+    /// rows to subscribing signature partition `pi` (the sharded fan-out
+    /// path).
+    fn process_scope_rows(&mut self, pi: usize, batch: &EventBatch, rows: &[u32]) {
+        match &mut self.kernel {
+            Kernel::Count(ps) => ps[pi].process_rows(batch, rows, &mut self.results),
+            Kernel::Stats(ps) => ps[pi].process_rows(batch, rows, &mut self.results),
+        }
     }
 
     /// Process one event.
@@ -666,43 +716,44 @@ impl BatchProcessor for SpassLike {
     }
 }
 
-impl ShardProcessor for SpassLike {
-    /// Dispatch each signature partition's routed rows (`rows.per_part` is
-    /// parallel to `signature_partitions` order, the same order the
-    /// kernel holds its partitions). The baseline's scopes never split
-    /// groups, so the replica lists and split notices are always empty.
+/// The shard worker of [`SpassLike::sharded`]: `rows.per_part` is
+/// parallel to the router's *distinct* (deduplicated) routing scopes, and
+/// each scope's row selection is dispatched to every subscribing
+/// signature partition — the worker-side half of routing each scope once
+/// per batch. The baseline never hosts split groups, so replica lists and
+/// split notices are always empty here.
+struct ScopeFanShard {
+    inner: SpassLike,
+    /// Per distinct scope: the signature-partition indexes subscribing to
+    /// it.
+    subscribers: Vec<Vec<usize>>,
+}
+
+impl ShardProcessor for ScopeFanShard {
     fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows) {
         debug_assert!(
             rows.splits.is_empty() && rows.state_rows.iter().all(Vec::is_empty),
             "baseline scopes never split groups"
         );
-        match &mut self.kernel {
-            Kernel::Count(ps) => {
-                for (p, rows) in ps.iter_mut().zip(&rows.per_part) {
-                    if !rows.is_empty() {
-                        p.process_rows(batch, rows, &mut self.results);
-                    }
-                }
+        for (scope, list) in rows.per_part.iter().enumerate() {
+            if list.is_empty() {
+                continue;
             }
-            Kernel::Stats(ps) => {
-                for (p, rows) in ps.iter_mut().zip(&rows.per_part) {
-                    if !rows.is_empty() {
-                        p.process_rows(batch, rows, &mut self.results);
-                    }
-                }
+            for &pi in &self.subscribers[scope] {
+                self.inner.process_scope_rows(pi, batch, list);
             }
         }
     }
 
     fn events_matched(&self) -> u64 {
-        SpassLike::events_matched(self)
+        SpassLike::events_matched(&self.inner)
     }
 
     fn finish(self: Box<Self>) -> ShardReport {
-        let state_size = self.materialized_matches();
-        let events_matched = SpassLike::events_matched(&self);
+        let state_size = self.inner.materialized_matches();
+        let events_matched = SpassLike::events_matched(&self.inner);
         ShardReport {
-            results: SpassLike::finish(*self),
+            results: self.inner.finish(),
             events_matched,
             state_size,
             ..Default::default()

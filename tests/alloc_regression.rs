@@ -17,10 +17,10 @@
 use sharon::prelude::*;
 use sharon::twostep::{FlinkLike, SpassLike};
 use sharon_executor::{
-    compile, BatchRouter, EngineKind, RouteBatch, RoutedRows, ShardSlice, SplitConfig,
+    compile, spsc, BatchRouter, EngineKind, RouteBatch, RoutedRows, ShardSlice, SplitConfig,
 };
 use sharon_metrics::{alloc, TrackingAllocator};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
@@ -395,6 +395,210 @@ fn split_group_path_is_allocation_free_after_warmup() {
         ((WARMUP_BATCHES + MEASURED_BATCHES) * BATCH_ROWS) as u64,
         "every row matched exactly once globally (replicas uncounted)"
     );
+}
+
+#[test]
+fn pipelined_route_and_execute_is_allocation_free_after_warmup() {
+    // the pipelined ingest hand-off, end to end but single-threaded for
+    // determinism: batches travel ingest → job ring → router → per-shard
+    // rings → engines, with consumed row lists recycled through the
+    // return rings — exactly the rings and pools the threaded runtime
+    // uses (the routing/recycling steps below mirror the runtime's
+    // `Fanout::dispatch`, which cross-references this test; keep them in
+    // sync). After warm-up the whole cycle (route + hand-off + execute +
+    // recycle) must not allocate: ring slots are pre-allocated, RoutedRows
+    // circulate, and batch bodies are Arc-shared without re-wrapping.
+    let _serial = serial();
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["g", "v"]));
+    catalog.register_with_schema("B", Schema::new(["g", "v"]));
+    let workload = parse_workload(
+        &mut catalog,
+        ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 8 ms SLIDE 4 ms"],
+    )
+    .unwrap();
+
+    let build = |n: usize, first_time: u64| -> (Vec<Arc<EventBatch>>, u64) {
+        let (batches, t) = build_pair_batches(&catalog, n, first_time);
+        (batches.into_iter().map(Arc::new).collect(), t)
+    };
+
+    let parts = compile(&catalog, &workload, &SharingPlan::non_shared()).unwrap();
+    let n_shards = 2usize;
+    let mut router = BatchRouter::with_split(parts.clone(), n_shards, SplitConfig::disabled());
+    let mut shards: Vec<Vec<EngineKind>> = (0..n_shards)
+        .map(|shard| {
+            parts
+                .iter()
+                .enumerate()
+                .map(|(pi, part)| {
+                    let slice = ShardSlice {
+                        index: shard as u32,
+                        of: n_shards as u32,
+                        owns_global: pi % n_shards == shard,
+                    };
+                    EngineKind::for_partition(part.clone(), Some(slice))
+                })
+                .collect()
+        })
+        .collect();
+
+    // the pipeline's rings, at the runtime's shapes: a depth-2 job ring
+    // (ingest → router) and per-shard routed/return rings
+    type Routed = (Arc<EventBatch>, RoutedRows);
+    type Ring<T> = (spsc::Sender<T>, spsc::Receiver<T>);
+    let (mut job_tx, mut job_rx) = spsc::ring::<Arc<EventBatch>>(2);
+    let mut shard_rings: Vec<Ring<Routed>> = (0..n_shards).map(|_| spsc::ring(4)).collect();
+    let mut return_rings: Vec<Ring<RoutedRows>> = (0..n_shards).map(|_| spsc::ring(6)).collect();
+
+    let mut rows_pool: Vec<RoutedRows> = Vec::new();
+    let mut route_scratch: Vec<RoutedRows> = Vec::new();
+    let rows_cap = n_shards * 6;
+    let mut drive = |router: &mut BatchRouter,
+                     shards: &mut Vec<Vec<EngineKind>>,
+                     rows_pool: &mut Vec<RoutedRows>,
+                     route_scratch: &mut Vec<RoutedRows>,
+                     batch: &Arc<EventBatch>| {
+        // ingest: enqueue the filled batch
+        job_tx.send(Arc::clone(batch)).unwrap();
+        // router: dequeue, recycle returned lists, route, fan out
+        let batch = job_rx.recv().unwrap();
+        for (_, rx) in return_rings.iter_mut() {
+            rx.drain_into(rows_pool, rows_cap);
+        }
+        let mut out = std::mem::take(route_scratch);
+        while out.len() < n_shards {
+            out.push(rows_pool.pop().unwrap_or_default());
+        }
+        router.route_range_into(&batch, 0, batch.len(), &mut out);
+        for ((tx, _), rows) in shard_rings.iter_mut().zip(out.drain(..)) {
+            tx.send((Arc::clone(&batch), rows)).unwrap();
+        }
+        *route_scratch = out;
+        // workers: consume the routed rows, return the lists
+        for (shard, (_, rx)) in shard_rings.iter_mut().enumerate() {
+            let (batch, mut rows) = rx.recv().unwrap();
+            let engines = &mut shards[shard];
+            for (pi, engine) in engines.iter_mut().enumerate() {
+                if !rows.per_part[pi].is_empty() {
+                    engine.process_routed_split(&batch, &rows.per_part[pi], &rows.state_rows[pi]);
+                }
+            }
+            drop(batch);
+            rows.clear();
+            let _ = return_rings[shard].0.try_send(rows);
+        }
+    };
+
+    let (warmup, t) = build(WARMUP_BATCHES, 0);
+    let (measured, _) = build(MEASURED_BATCHES, t);
+    for batch in &warmup {
+        drive(
+            &mut router,
+            &mut shards,
+            &mut rows_pool,
+            &mut route_scratch,
+            batch,
+        );
+    }
+    let expected = MEASURED_BATCHES * BATCH_ROWS / 4 + 64;
+    for engines in &mut shards {
+        for engine in engines.iter_mut() {
+            engine.reserve_results(expected);
+        }
+    }
+
+    let ((), allocs) = alloc::measure_allocs(|| {
+        for batch in &measured {
+            drive(
+                &mut router,
+                &mut shards,
+                &mut rows_pool,
+                &mut route_scratch,
+                batch,
+            );
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "pipelined route + hand-off + execute steady state must not allocate \
+         ({MEASURED_BATCHES} batches of {BATCH_ROWS} events performed {allocs} allocations)"
+    );
+
+    let mut matched = 0u64;
+    let mut results = ExecutorResults::new();
+    for engines in shards {
+        for engine in engines {
+            matched += engine.events_matched();
+            let (r, _) = engine.finish_parts();
+            results.merge(r);
+        }
+    }
+    assert_eq!(
+        matched,
+        ((WARMUP_BATCHES + MEASURED_BATCHES) * BATCH_ROWS) as u64,
+        "every row matched (the pipeline did real work)"
+    );
+    assert!(!results.is_empty());
+}
+
+#[test]
+fn dedup_router_scans_each_distinct_scope_once_per_batch() {
+    // 64 queries sharing one routing scope (same SEQ(A, B) + GROUP BY,
+    // windows differ): scope dedup collapses them to ONE router scope, so
+    // the router performs exactly 1 scope scan per batch — not 64 —
+    // measured via the metrics scan counter, in both routing modes, with
+    // results still identical to the sequential baseline.
+    let _serial = serial();
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["g", "v"]));
+    catalog.register_with_schema("B", Schema::new(["g", "v"]));
+    let sources: Vec<String> = (0..64)
+        .map(|i| {
+            format!(
+                "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN {} ms SLIDE 4 ms",
+                8 + 4 * (i % 16)
+            )
+        })
+        .collect();
+    let workload = parse_workload(&mut catalog, sources.iter().map(String::as_str)).unwrap();
+
+    const BATCHES: usize = 8;
+    // flush threshold = the generator's batch size, so `process_shared`
+    // dispatches exactly BATCHES chunks
+    const BATCH_SIZE: usize = BATCH_ROWS;
+    let (batches, _) = build_pair_batches(&catalog, BATCHES, 0);
+    let mut whole = EventBatch::with_capacity(BATCHES * BATCH_SIZE, 2);
+    for b in &batches {
+        whole.extend_from_range(b, 0, b.len());
+    }
+    assert_eq!(whole.len(), BATCHES * BATCH_SIZE);
+    let shared = Arc::new(whole);
+
+    let mut sequential = FlinkLike::new(&catalog, &workload).unwrap();
+    for b in &batches {
+        sequential.process_columnar(b);
+    }
+    let want = sequential.finish();
+    assert!(!want.is_empty());
+
+    for depth in [0usize, 2] {
+        let mut sharded =
+            FlinkLike::sharded_with_pipeline(&catalog, &workload, 3, BATCH_SIZE, depth).unwrap();
+        let scans_before = sharon_metrics::router_scope_scans();
+        sharded.process_shared(&shared);
+        let got = sharded.finish(); // drains the pipeline: all chunks routed
+        let scans = sharon_metrics::router_scope_scans() - scans_before;
+        assert_eq!(
+            scans, BATCHES as u64,
+            "depth {depth}: 64 identical-scope queries must cost exactly one \
+             scope scan per batch ({BATCHES} batches performed {scans} scans)"
+        );
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "depth {depth}: deduplicated routing changed the results"
+        );
+    }
 }
 
 #[test]

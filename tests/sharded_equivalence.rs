@@ -1,12 +1,14 @@
 //! Determinism of the sharded parallel runtime and the columnar batch
-//! path: for every shard count, [`ShardedExecutor`] produces results
-//! `semantically_eq` to the sequential [`Executor`] — sharding is a pure
-//! work partition, never a semantics change — and the columnar
-//! `process_columnar` path (sequential and sharded route-once) is
-//! equivalent to per-event processing. Checked on all three paper streams
-//! (TX, LR, EC) under both the Sharon plan and the non-shared plan, and
-//! property-tested over random group cardinalities and ragged batch sizes
-//! (including empty and single-event batches).
+//! path: for every shard count **and every ingest pipeline depth**
+//! (in-line routing and the router-thread pipeline), [`ShardedExecutor`]
+//! produces results `semantically_eq` to the sequential [`Executor`] —
+//! sharding and pipelining are pure work partitions, never a semantics
+//! change — and the columnar `process_columnar` path (sequential and
+//! sharded route-once) is equivalent to per-event processing. Checked on
+//! all three paper streams (TX, LR, EC) under both the Sharon plan and
+//! the non-shared plan, and property-tested over random group
+//! cardinalities, pipeline depths, and ragged batch sizes (including
+//! empty and single-event batches).
 
 use proptest::prelude::{prop, proptest, ProptestConfig};
 use sharon::prelude::*;
@@ -27,9 +29,9 @@ fn shard_counts() -> Vec<usize> {
 }
 
 /// Run `events` sequentially (per-event reference) and assert agreement
-/// of: the sequential columnar path, and — per shard count — the sharded
-/// runtime under mixed row-form ingestion AND under columnar route-once
-/// ingestion.
+/// of: the sequential columnar path, and — per shard count × ingest
+/// pipeline depth — the sharded runtime under mixed row-form ingestion
+/// AND under columnar route-once ingestion.
 fn assert_sharded_matches_sequential(
     catalog: &Catalog,
     workload: &Workload,
@@ -55,36 +57,48 @@ fn assert_sharded_matches_sequential(
         want.len(),
     );
 
+    let build = |shards: usize, depth: usize| {
+        ShardedExecutor::with_pipeline_depth(
+            catalog,
+            workload,
+            plan,
+            shards,
+            sharon_executor::DEFAULT_BATCH_SIZE,
+            sharon_executor::SplitConfig::default(),
+            depth,
+        )
+        .expect("sharded compiles")
+    };
     for shards in shard_counts() {
-        let mut sharded =
-            ShardedExecutor::new(catalog, workload, plan, shards).expect("sharded compiles");
-        // mixed ingestion: some per-event, some batched, to cover both paths
-        let (head, tail) = events.split_at(events.len() / 3);
-        for e in head {
-            sharded.process(e);
-        }
-        sharded.process_batch(tail);
-        let got = sharded.finish();
-        assert!(
-            got.semantically_eq(&want, 1e-9),
-            "{label}: {shards} shards diverge from the sequential engine \
-             ({} vs {} results)",
-            got.len(),
-            want.len(),
-        );
+        for depth in support::pipeline_depths() {
+            let mut sharded = build(shards, depth);
+            // mixed ingestion: some per-event, some batched, covering both
+            let (head, tail) = events.split_at(events.len() / 3);
+            for e in head {
+                sharded.process(e);
+            }
+            sharded.process_batch(tail);
+            let got = sharded.finish();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "{label}: {shards} shards (pipeline {depth}) diverge from the \
+                 sequential engine ({} vs {} results)",
+                got.len(),
+                want.len(),
+            );
 
-        // columnar route-once ingestion agrees too
-        let mut sharded =
-            ShardedExecutor::new(catalog, workload, plan, shards).expect("sharded compiles");
-        sharded.process_columnar(&batch);
-        let got = sharded.finish();
-        assert!(
-            got.semantically_eq(&want, 1e-9),
-            "{label}: {shards} shards (columnar ingest) diverge \
-             ({} vs {} results)",
-            got.len(),
-            want.len(),
-        );
+            // columnar route-once ingestion agrees too
+            let mut sharded = build(shards, depth);
+            sharded.process_columnar(&batch);
+            let got = sharded.finish();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "{label}: {shards} shards (pipeline {depth}, columnar ingest) \
+                 diverge ({} vs {} results)",
+                got.len(),
+                want.len(),
+            );
+        }
     }
     assert!(!want.is_empty(), "{label}: stream must produce matches");
 }
@@ -218,12 +232,14 @@ fn mixed_global_and_grouped_partitions() {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// Random group cardinalities, shard counts, and stream shapes: the
-    /// sharded runtime is always `semantically_eq` to the sequential one.
+    /// Random group cardinalities, shard counts, pipeline depths, and
+    /// stream shapes: the sharded runtime is always `semantically_eq` to
+    /// the sequential one.
     #[test]
     fn random_group_cardinalities(
         cardinality in 1i64..=64,
         shards in 1usize..=9,
+        depth in 0usize..=2,
         raw in prop::collection::vec((0usize..3, 0u64..=2, 0i64..=9), 0..=120),
     ) {
         let mut catalog = Catalog::new();
@@ -256,25 +272,35 @@ proptest! {
         sequential.process_batch(&events);
         let want = sequential.finish();
 
-        let mut sharded =
-            ShardedExecutor::non_shared(&catalog, &workload, shards).unwrap();
+        let mut sharded = ShardedExecutor::with_pipeline_depth(
+            &catalog,
+            &workload,
+            &SharingPlan::non_shared(),
+            shards,
+            sharon_executor::DEFAULT_BATCH_SIZE,
+            sharon_executor::SplitConfig::default(),
+            depth,
+        )
+        .unwrap();
         sharded.process_batch(&events);
         let got = sharded.finish();
         proptest::prop_assert!(
             got.semantically_eq(&want, 1e-9),
-            "cardinality {} shards {}: sharded diverges",
+            "cardinality {} shards {} pipeline {}: sharded diverges",
             cardinality,
-            shards
+            shards,
+            depth
         );
     }
 
     /// Ragged columnar batch sizes — empty and single-event batches
     /// included — never change results: chopping the stream into columnar
     /// chunks of arbitrary sizes is equivalent to per-event processing,
-    /// sequentially and under route-once sharding.
+    /// sequentially and under route-once sharding, at any pipeline depth.
     #[test]
     fn ragged_columnar_batches(
         shards in 1usize..=5,
+        depth in 0usize..=2,
         chunk_lens in prop::collection::vec(0usize..=17, 1..=40),
         raw in prop::collection::vec((0usize..3, 0u64..=2, 0i64..=9), 0..=150),
     ) {
@@ -334,16 +360,25 @@ proptest! {
 
         // a small flush threshold forces mid-stream route-once fan-outs
         let plan = SharingPlan::non_shared();
-        let mut sharded =
-            ShardedExecutor::with_batch_size(&catalog, &workload, &plan, shards, 13).unwrap();
+        let mut sharded = ShardedExecutor::with_pipeline_depth(
+            &catalog,
+            &workload,
+            &plan,
+            shards,
+            13,
+            sharon_executor::SplitConfig::default(),
+            depth,
+        )
+        .unwrap();
         for b in &batches {
             sharded.process_columnar(b);
         }
         let got = sharded.finish();
         proptest::prop_assert!(
             got.semantically_eq(&want, 1e-9),
-            "{} shards: columnar route-once diverges over ragged batches",
-            shards
+            "{} shards (pipeline {}): columnar route-once diverges over ragged batches",
+            shards,
+            depth
         );
     }
 }

@@ -48,34 +48,43 @@ fn assert_split_sharded_matches_sequential(
 
     let batch = EventBatch::from_events(events);
     for shards in shard_counts() {
-        // eager thresholds so moderate skew (theta 0.8) splits even at
-        // two shards — correctness never depends on the tuning
-        let split = SplitConfig {
-            min_rows: 64,
-            hot_fraction: 0.05,
-            ..SplitConfig::default()
-        };
-        let mut sharded =
-            ShardedExecutor::with_split_config(catalog, workload, plan, shards, 512, split)
-                .expect("sharded compiles");
-        sharded.process_columnar(&batch);
-        let split_groups = sharded.split_groups();
-        let (got, matched, _state) = sharded.finish_with_stats();
-        assert!(
-            shards == 1 || split_groups > 0,
-            "{label}: {shards} shards: the skewed stream must trigger a split"
-        );
-        assert!(
-            got.semantically_eq(&want, 1e-9),
-            "{label}: {shards} shards with splitting diverge from sequential \
-             ({} vs {} results, {split_groups} split groups)",
-            got.len(),
-            want.len(),
-        );
-        assert_eq!(
-            matched, want_matched,
-            "{label}: {shards} shards: replicated rows must not inflate matched"
-        );
+        for depth in support::pipeline_depths() {
+            // eager thresholds so moderate skew (theta 0.8) splits even at
+            // two shards — correctness never depends on the tuning
+            let split = SplitConfig {
+                min_rows: 64,
+                hot_fraction: 0.05,
+                ..SplitConfig::default()
+            };
+            let mut sharded = ShardedExecutor::with_pipeline_depth(
+                catalog, workload, plan, shards, 512, split, depth,
+            )
+            .expect("sharded compiles");
+            sharded.process_columnar(&batch);
+            // the router publishes split counts after each batch; with a
+            // pipeline the published count trails ingestion by at most the
+            // in-flight jobs, and the split fires in the first few hundred
+            // rows, so it is visible by end of stream in both modes
+            let split_groups = sharded.split_groups();
+            let (got, matched, _state) = sharded.finish_with_stats();
+            assert!(
+                shards == 1 || split_groups > 0,
+                "{label}: {shards} shards (pipeline {depth}): the skewed \
+                 stream must trigger a split"
+            );
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "{label}: {shards} shards (pipeline {depth}) with splitting \
+                 diverge from sequential ({} vs {} results, {split_groups} split groups)",
+                got.len(),
+                want.len(),
+            );
+            assert_eq!(
+                matched, want_matched,
+                "{label}: {shards} shards (pipeline {depth}): replicated rows \
+                 must not inflate matched"
+            );
+        }
     }
 }
 
@@ -276,16 +285,19 @@ fn all_strategies_agree_on_skewed_input() {
         Strategy::SpassLike,
     ] {
         for shards in shard_counts() {
-            let (mut sharded, _) =
-                build_sharded_executor(&catalog, &workload, &rates, strategy, &cfg, shards)
-                    .unwrap();
-            sharded.process_columnar(&batch);
-            let got = sharded.finish();
-            assert!(
-                got.semantically_eq(&want, 1e-9),
-                "{} sharded/{shards} diverges on skewed input",
-                strategy.name()
-            );
+            for depth in support::pipeline_depths() {
+                let (mut sharded, _) = build_sharded_executor(
+                    &catalog, &workload, &rates, strategy, &cfg, shards, depth,
+                )
+                .unwrap();
+                sharded.process_columnar(&batch);
+                let got = sharded.finish();
+                assert!(
+                    got.semantically_eq(&want, 1e-9),
+                    "{} sharded/{shards} (pipeline {depth}) diverges on skewed input",
+                    strategy.name()
+                );
+            }
         }
     }
 }
@@ -328,16 +340,19 @@ fn baseline_matched_counts_agree_across_paths() {
             strategy.name()
         );
 
-        let (mut sharded, _) =
-            build_sharded_executor(&catalog, &workload, &rates, strategy, &cfg, 3).unwrap();
-        sharded.process_columnar(&batch);
-        let (_, sharded_matched) = sharded.finish_with_matched();
-        assert_eq!(
-            matched,
-            sharded_matched,
-            "{}: sharded matched count diverges",
-            strategy.name()
-        );
+        for depth in support::pipeline_depths() {
+            let (mut sharded, _) =
+                build_sharded_executor(&catalog, &workload, &rates, strategy, &cfg, 3, depth)
+                    .unwrap();
+            sharded.process_columnar(&batch);
+            let (_, sharded_matched) = sharded.finish_with_matched();
+            assert_eq!(
+                matched,
+                sharded_matched,
+                "{} (pipeline {depth}): sharded matched count diverges",
+                strategy.name()
+            );
+        }
     }
 }
 
@@ -353,6 +368,7 @@ proptest! {
         theta_tenths in 0u32..=16,
         cardinality in 1i64..=24,
         shards in 2usize..=6,
+        depth in 0usize..=2,
         chunk_lens in prop::collection::vec(0usize..=23, 1..=30),
         seed in 0u64..200,
     ) {
@@ -395,13 +411,14 @@ proptest! {
         }
         batches.push(EventBatch::from_events(rest));
 
-        let mut sharded = ShardedExecutor::with_split_config(
+        let mut sharded = ShardedExecutor::with_pipeline_depth(
             &catalog,
             &workload,
             &SharingPlan::non_shared(),
             shards,
             16,
             SplitConfig::eager(4),
+            depth,
         )
         .unwrap();
         for b in &batches {
@@ -410,8 +427,8 @@ proptest! {
         let (got, matched, _) = sharded.finish_with_stats();
         proptest::prop_assert!(
             got.semantically_eq(&want, 1e-9),
-            "theta {} cardinality {} shards {}: split merge diverges ({} vs {} results)",
-            theta, cardinality, shards, got.len(), want.len()
+            "theta {} cardinality {} shards {} pipeline {}: split merge diverges ({} vs {} results)",
+            theta, cardinality, shards, depth, got.len(), want.len()
         );
         proptest::prop_assert_eq!(matched, want_matched);
     }

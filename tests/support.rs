@@ -9,3 +9,13 @@ pub fn shard_counts(default: &[usize]) -> Vec<usize> {
         Err(_) => default.to_vec(),
     }
 }
+
+/// Ingest pipeline depths under test: `SHARON_PIPELINE` pins one (the CI
+/// matrix crosses it with the shard counts), otherwise both routing modes
+/// — in-line (0) and the double-buffered router thread (2).
+pub fn pipeline_depths() -> Vec<usize> {
+    match std::env::var("SHARON_PIPELINE") {
+        Ok(s) => vec![s.parse().expect("SHARON_PIPELINE must be a pipeline depth")],
+        Err(_) => vec![0, 2],
+    }
+}
