@@ -9,6 +9,8 @@
 //!   sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]
 //!          [--strategy sharon|greedy|aseq|flink|spass] [--shards N]
 //!          [--pipeline-depth N] [--skew THETA] [--explain] [--results N]
+//!          [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]
+//!          [--spill-max N]
 //!
 //! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
 //! Figure 2 purchase workload (ec) is used. `--shards N` runs *any*
@@ -22,12 +24,24 @@
 //! dimension (vehicle / car / customer) from a Zipf(THETA) distribution,
 //! the skewed `GROUP BY` shape the sharded runtime's hot-group splitting
 //! targets.
+//!
+//! Durability (sharded online strategies only): `--checkpoint-dir DIR`
+//! takes a consistent checkpoint every `--checkpoint-interval` ingested
+//! batches (default 64); `--resume` restarts from the latest complete
+//! checkpoint in that directory and replays the stream from the recorded
+//! offset; `--spill-max N` pages cold groups to disk, keeping at most N
+//! groups resident per engine. The `SHARON_CHECKPOINT=<dir>[:<interval>]`
+//! and `SHARON_FAULT=<drop@N|panic@N:S|abort@N>` environment knobs are
+//! honored too (unparsable values are fatal, never ignored).
 //! ```
 
+use sharon::executor::{CheckpointConfig, ShardedOptions, SpillConfig};
 use sharon::prelude::*;
 use sharon::streams::workload::{figure_1_workload, figure_2_workload, measured_rates_batch};
 use sharon::streams::{ecommerce, linear_road, taxi};
-use sharon::{build_executor, build_sharded_executor, Strategy};
+use sharon::{
+    build_executor, build_sharded_executor_with_options, resume_sharded_executor, Strategy,
+};
 use std::time::Instant;
 
 struct Args {
@@ -40,6 +54,10 @@ struct Args {
     skew: f64,
     explain: bool,
     results: usize,
+    checkpoint_dir: Option<String>,
+    checkpoint_interval: Option<u64>,
+    resume: bool,
+    spill_max: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +71,10 @@ fn parse_args() -> Result<Args, String> {
         skew: 0.0,
         explain: false,
         results: 5,
+        checkpoint_dir: None,
+        checkpoint_interval: None,
+        resume: false,
+        spill_max: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,13 +120,33 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--skew must be a finite theta >= 0".into());
                 }
             }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-interval" => {
+                let n: u64 = value("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-interval must be >= 1".into());
+                }
+                args.checkpoint_interval = Some(n);
+            }
+            "--resume" => args.resume = true,
+            "--spill-max" => {
+                args.spill_max = Some(
+                    value("--spill-max")?
+                        .parse()
+                        .map_err(|e| format!("--spill-max: {e}"))?,
+                )
+            }
             "--explain" => args.explain = true,
             "--help" | "-h" => {
                 println!(
                     "sharon — shared online event sequence aggregation (ICDE 2018)\n\n\
                      USAGE:\n  sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]\n\
                      \x20        [--strategy sharon|greedy|aseq|flink|spass] [--shards N]\n\
-                     \x20        [--pipeline-depth N] [--skew THETA] [--explain] [--results N]"
+                     \x20        [--pipeline-depth N] [--skew THETA] [--explain] [--results N]\n\
+                     \x20        [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]\n\
+                     \x20        [--spill-max N]"
                 );
                 std::process::exit(0);
             }
@@ -192,20 +234,87 @@ fn main() {
     };
     eprintln!("workload: {} queries", workload.len());
 
-    // 3. optimize + execute
+    // 3. durability knobs — flags override the SHARON_CHECKPOINT /
+    // SHARON_FAULT environment knobs that from_env() picks up
+    let mut options = ShardedOptions::from_env();
+    options.pipeline_depth = args.pipeline_depth;
+    if let Some(dir) = &args.checkpoint_dir {
+        options.checkpoint = Some(CheckpointConfig::every(
+            dir,
+            args.checkpoint_interval.unwrap_or(64),
+        ));
+    } else if let Some(interval) = args.checkpoint_interval {
+        match &mut options.checkpoint {
+            Some(cfg) => cfg.interval_batches = interval,
+            None => {
+                eprintln!(
+                    "error: --checkpoint-interval needs --checkpoint-dir (or SHARON_CHECKPOINT)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(max_resident) = args.spill_max {
+        // spill logs are run-scoped scratch: co-locate them with the
+        // checkpoint store when one exists, under the temp dir otherwise
+        let dir = match &options.checkpoint {
+            Some(cfg) => cfg.dir.join("spill"),
+            None => std::env::temp_dir().join(format!("sharon-spill-{}", std::process::id())),
+        };
+        options.spill = Some(SpillConfig::new(dir, max_resident));
+    }
+    let durability = options.checkpoint.is_some() || options.spill.is_some();
+    if (durability || options.fault.is_some() || args.resume) && args.shards == 0 {
+        eprintln!(
+            "error: checkpoint/spill/fault/resume knobs require the sharded runtime (--shards N)"
+        );
+        std::process::exit(2);
+    }
+    if (durability || args.resume)
+        && matches!(args.strategy, Strategy::FlinkLike | Strategy::SpassLike)
+    {
+        eprintln!(
+            "error: the {} two-step baseline does not support checkpoint/spill/resume",
+            args.strategy.name()
+        );
+        std::process::exit(2);
+    }
+    if args.resume && options.checkpoint.is_none() {
+        eprintln!("error: --resume needs --checkpoint-dir (or SHARON_CHECKPOINT)");
+        std::process::exit(2);
+    }
+
+    // 4. optimize + execute
     let (counts, span) = measured_rates_batch(&events);
     let rates = RateMap::from_counts(&counts, span);
     let t0 = Instant::now();
-    let built = if args.shards > 0 {
-        build_sharded_executor(
+    let mut replay_offset: u64 = 0;
+    let built = if args.resume {
+        resume_sharded_executor(
             &catalog,
             &workload,
             &rates,
             args.strategy,
             &OptimizerConfig::default(),
             args.shards,
-            args.pipeline_depth,
+            options,
         )
+        .map(|(ex, outcome, offset)| {
+            replay_offset = offset;
+            (ex, outcome)
+        })
+        .map_err(|e| format!("cannot resume: {e}"))
+    } else if args.shards > 0 {
+        build_sharded_executor_with_options(
+            &catalog,
+            &workload,
+            &rates,
+            args.strategy,
+            &OptimizerConfig::default(),
+            args.shards,
+            options,
+        )
+        .map_err(|e| e.to_string())
     } else {
         build_executor(
             &catalog,
@@ -214,6 +323,7 @@ fn main() {
             args.strategy,
             &OptimizerConfig::default(),
         )
+        .map_err(|e| e.to_string())
     };
     let (mut executor, outcome) = match built {
         Ok(x) => x,
@@ -270,17 +380,45 @@ fn main() {
     // time ingestion AND finish together: the sharded runtime drains its
     // workers in finish(), so stopping the clock earlier would credit it
     // for work it has only enqueued
+    let offset = (replay_offset as usize).min(events.len());
+    if args.resume {
+        eprintln!(
+            "resume: checkpoint covers the stream up to event {offset}; replaying {} events",
+            events.len() - offset
+        );
+    }
     let t1 = Instant::now();
-    executor.process_columnar(&events);
+    if offset == 0 {
+        executor.process_columnar(&events);
+    } else {
+        // replay only the suffix after the checkpointed offset
+        let mut tail = sharon::types::EventBatch::new();
+        tail.extend_from_range(&events, offset, events.len());
+        executor.process_columnar(&tail);
+    }
     let (results, matched) = executor.finish_with_matched();
     let run_time = t1.elapsed();
-    let throughput = events.len() as f64 / run_time.as_secs_f64().max(1e-12);
+    let processed = events.len() - offset;
+    let throughput = processed as f64 / run_time.as_secs_f64().max(1e-12);
+    if durability {
+        eprintln!(
+            "durability: {} checkpoint(s) written, {} group spill(s), {} reload(s)",
+            sharon::metrics::checkpoints_written(),
+            sharon::metrics::group_spills(),
+            sharon::metrics::group_reloads()
+        );
+    }
 
     // every strategy — online engines and two-step baselines alike —
     // counts its stateless-scan survivors through the BatchProcessor
     // contract, so the matched cell is always real
+    let replay_note = if offset > 0 {
+        format!(" ({processed} replayed after resume)")
+    } else {
+        String::new()
+    };
     println!(
-        "\nexecuted {} events ({matched} matched) in {:?} ({:.0} events/s), {} results",
+        "\nexecuted {} events{replay_note} ({matched} matched) in {:?} ({:.0} events/s), {} results",
         events.len(),
         run_time,
         throughput,

@@ -55,7 +55,8 @@ pub mod strategy;
 
 pub use framework::SharonFramework;
 pub use strategy::{
-    build_executor, build_sharded_executor, executor_for_plan, run_strategy, AnyExecutor, Strategy,
+    build_executor, build_sharded_executor, build_sharded_executor_with_options, executor_for_plan,
+    resume_sharded_executor, run_strategy, AnyExecutor, Strategy,
 };
 
 // Re-export the component crates under stable names.

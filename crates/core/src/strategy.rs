@@ -7,7 +7,10 @@
 //! no per-strategy match arms and no row-form [`Event`] materialization on
 //! any batch path.
 
-use sharon_executor::{BatchProcessor, CompileError, Executor, ExecutorResults, ShardedExecutor};
+use sharon_executor::{
+    BatchProcessor, CheckpointError, CompileError, Executor, ExecutorResults, ShardedExecutor,
+    ShardedOptions,
+};
 use sharon_optimizer::{
     optimize_greedy, optimize_sharon, OptimizeOutcome, OptimizerConfig, RateMap,
 };
@@ -219,53 +222,130 @@ pub fn build_sharded_executor(
     n_shards: usize,
     pipeline_depth: usize,
 ) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
-    let online = |plan: &SharingPlan| {
-        ShardedExecutor::with_pipeline_depth(
-            catalog,
-            workload,
-            plan,
-            n_shards,
-            sharon_executor::DEFAULT_BATCH_SIZE,
-            sharon_executor::SplitConfig::default(),
+    build_sharded_executor_with_options(
+        catalog,
+        workload,
+        rates,
+        strategy,
+        config,
+        n_shards,
+        ShardedOptions {
             pipeline_depth,
-        )
-    };
-    let (ex, outcome) = match strategy {
-        Strategy::Sharon => {
+            ..ShardedOptions::default()
+        },
+    )
+}
+
+/// The sharing plan a strategy executes under (and the optimizer outcome
+/// that produced it, when an optimizer runs): the single source of truth
+/// shared by the build and resume paths, so a resumed run always compiles
+/// the same partitions the checkpointing run did.
+fn strategy_plan(
+    workload: &Workload,
+    rates: &RateMap,
+    strategy: Strategy,
+    config: &OptimizerConfig,
+) -> (SharingPlan, Option<OptimizeOutcome>) {
+    match strategy {
+        Strategy::Sharon | Strategy::SpassLike => {
             let outcome = optimize_sharon(workload, rates, config);
-            let ex = online(&outcome.plan)?;
-            (ex, Some(outcome))
+            (outcome.plan.clone(), Some(outcome))
         }
         Strategy::Greedy => {
             let outcome = optimize_greedy(workload, rates);
-            let ex = online(&outcome.plan)?;
-            (ex, Some(outcome))
+            (outcome.plan.clone(), Some(outcome))
         }
-        Strategy::ASeq => (online(&SharingPlan::non_shared())?, None),
-        Strategy::FlinkLike => (
-            FlinkLike::sharded_with_pipeline(
+        Strategy::ASeq | Strategy::FlinkLike => (SharingPlan::non_shared(), None),
+    }
+}
+
+/// [`build_sharded_executor`] with the full durability-capable option set
+/// (spill tier, periodic checkpoints, fault injection — see
+/// [`ShardedOptions`]).
+///
+/// Only the online strategies (Sharon / Greedy / A-Seq) host the
+/// durability tier; passing checkpoint, spill, or fault options with a
+/// two-step baseline panics — the baselines' processors cannot serialize
+/// their state, and silently running without durability would be worse.
+pub fn build_sharded_executor_with_options(
+    catalog: &Catalog,
+    workload: &Workload,
+    rates: &RateMap,
+    strategy: Strategy,
+    config: &OptimizerConfig,
+    n_shards: usize,
+    options: ShardedOptions,
+) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
+    let (plan, outcome) = strategy_plan(workload, rates, strategy, config);
+    let (ex, outcome) = match strategy {
+        Strategy::Sharon | Strategy::Greedy | Strategy::ASeq => {
+            let ex = ShardedExecutor::with_options(catalog, workload, &plan, n_shards, options)?;
+            (ex, outcome)
+        }
+        Strategy::FlinkLike => {
+            assert_durability_free(&options, strategy);
+            let ex = FlinkLike::sharded_with_pipeline(
                 catalog,
                 workload,
                 n_shards,
-                sharon_executor::DEFAULT_BATCH_SIZE,
-                pipeline_depth,
-            )?,
-            None,
-        ),
+                options.batch_size,
+                options.pipeline_depth,
+            )?;
+            (ex, None)
+        }
         Strategy::SpassLike => {
-            let outcome = optimize_sharon(workload, rates, config);
+            assert_durability_free(&options, strategy);
             let ex = SpassLike::sharded_with_pipeline(
                 catalog,
                 workload,
-                &outcome.plan,
+                &plan,
                 n_shards,
-                sharon_executor::DEFAULT_BATCH_SIZE,
-                pipeline_depth,
+                options.batch_size,
+                options.pipeline_depth,
             )?;
-            (ex, Some(outcome))
+            (ex, outcome)
         }
     };
     Ok((ex.into(), outcome))
+}
+
+/// The two-step baselines' processors cannot serialize their state, so
+/// durability options on them are a configuration error — and silently
+/// dropping the options would be worse than refusing.
+fn assert_durability_free(options: &ShardedOptions, strategy: Strategy) {
+    assert!(
+        options.checkpoint.is_none() && options.spill.is_none() && options.fault.is_none(),
+        "the {} two-step baseline does not support checkpoint/spill/fault options",
+        strategy.name()
+    );
+}
+
+/// Resume a sharded run of an **online** strategy (Sharon / Greedy /
+/// A-Seq) from the latest complete checkpoint in `options.checkpoint`.
+///
+/// Returns the executor, the optimizer outcome (re-derived — the
+/// optimizer is deterministic for a given workload and rate map, so the
+/// plan matches the checkpointing run), and the stream offset to replay
+/// from: re-ingest every event from that offset on and the results are
+/// identical to an uninterrupted run.
+pub fn resume_sharded_executor(
+    catalog: &Catalog,
+    workload: &Workload,
+    rates: &RateMap,
+    strategy: Strategy,
+    config: &OptimizerConfig,
+    n_shards: usize,
+    options: ShardedOptions,
+) -> Result<(AnyExecutor, Option<OptimizeOutcome>, u64), CheckpointError> {
+    if matches!(strategy, Strategy::FlinkLike | Strategy::SpassLike) {
+        return Err(CheckpointError::Mismatch(format!(
+            "the {} two-step baseline does not support checkpoint/resume",
+            strategy.name()
+        )));
+    }
+    let (plan, outcome) = strategy_plan(workload, rates, strategy, config);
+    let (ex, offset) = ShardedExecutor::resume(catalog, workload, &plan, n_shards, options)?;
+    Ok((ex.into(), outcome, offset))
 }
 
 #[cfg(test)]

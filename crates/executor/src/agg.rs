@@ -17,6 +17,7 @@
 //! (exactly A-Seq's counts); [`StatsCell`] additionally carries sum/min/max
 //! so one cell type serves `SUM`, `MIN`, `MAX`, and `AVG`.
 
+use crate::checkpoint::{StateError, StateReader, StateWriter};
 use serde::{Deserialize, Serialize};
 use sharon_query::aggregate::AggValue;
 
@@ -108,6 +109,12 @@ pub trait Aggregate: Copy + Clone + PartialEq + std::fmt::Debug + Send + 'static
     /// form the sharded runtime's hot-group merge step combines across
     /// shards.
     fn to_partial(&self) -> PartialAgg;
+
+    /// Serialize the cell into a checkpoint segment.
+    fn save(&self, w: &mut StateWriter);
+
+    /// Decode a cell previously written by [`Aggregate::save`].
+    fn load(r: &mut StateReader<'_>) -> Result<Self, StateError>;
 }
 
 /// A kernel-erased per-window **sub-aggregate** of one split (hot) group.
@@ -148,6 +155,62 @@ impl PartialAgg {
             PartialAgg::Count(c) => c.output(kind),
             PartialAgg::Stats(s) => s.output(kind),
         }
+    }
+
+    /// Serialize into a checkpoint segment (tag + cell).
+    pub fn save(&self, w: &mut StateWriter) {
+        match self {
+            PartialAgg::Count(c) => {
+                w.u8(0);
+                c.save(w);
+            }
+            PartialAgg::Stats(s) => {
+                w.u8(1);
+                s.save(w);
+            }
+        }
+    }
+
+    /// Decode a sub-aggregate written by [`PartialAgg::save`].
+    pub fn load(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        match r.u8()? {
+            0 => Ok(PartialAgg::Count(CountCell::load(r)?)),
+            1 => Ok(PartialAgg::Stats(StatsCell::load(r)?)),
+            _ => Err(StateError::Corrupt("partial aggregate tag")),
+        }
+    }
+}
+
+impl OutputKind {
+    /// Serialize into a checkpoint segment (tag + multiplier).
+    pub fn save(&self, w: &mut StateWriter) {
+        match self {
+            OutputKind::Count => w.u8(0),
+            OutputKind::CountTimes(k) => {
+                w.u8(1);
+                w.u32(*k);
+            }
+            OutputKind::Sum => w.u8(2),
+            OutputKind::Min => w.u8(3),
+            OutputKind::Max => w.u8(4),
+            OutputKind::Avg(k) => {
+                w.u8(5);
+                w.u32(*k);
+            }
+        }
+    }
+
+    /// Decode an output kind written by [`OutputKind::save`].
+    pub fn load(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.u8()? {
+            0 => OutputKind::Count,
+            1 => OutputKind::CountTimes(r.u32()?),
+            2 => OutputKind::Sum,
+            3 => OutputKind::Min,
+            4 => OutputKind::Max,
+            5 => OutputKind::Avg(r.u32()?),
+            _ => return Err(StateError::Corrupt("output kind tag")),
+        })
     }
 }
 
@@ -201,6 +264,14 @@ impl Aggregate for CountCell {
     #[inline]
     fn to_partial(&self) -> PartialAgg {
         PartialAgg::Count(*self)
+    }
+
+    fn save(&self, w: &mut StateWriter) {
+        w.u128(self.0);
+    }
+
+    fn load(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(CountCell(r.u128()?))
     }
 }
 
@@ -307,6 +378,22 @@ impl Aggregate for StatsCell {
     #[inline]
     fn to_partial(&self) -> PartialAgg {
         PartialAgg::Stats(*self)
+    }
+
+    fn save(&self, w: &mut StateWriter) {
+        w.u128(self.count);
+        w.f64(self.sum);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    fn load(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(StatsCell {
+            count: r.u128()?,
+            sum: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
     }
 }
 
@@ -486,5 +573,41 @@ mod tests {
     fn partial_merge_rejects_kernel_mismatch() {
         let mut p = CountCell(1).to_partial();
         p.merge(&StatsCell::ZERO.to_partial());
+    }
+
+    #[test]
+    fn cells_and_kinds_round_trip_through_codec() {
+        let stats = StatsCell {
+            count: u128::MAX / 7,
+            sum: -1.25,
+            min: f64::NEG_INFINITY,
+            max: f64::INFINITY,
+        };
+        let kinds = [
+            OutputKind::Count,
+            OutputKind::CountTimes(3),
+            OutputKind::Sum,
+            OutputKind::Min,
+            OutputKind::Max,
+            OutputKind::Avg(2),
+        ];
+        let mut w = StateWriter::new();
+        CountCell(17).save(&mut w);
+        stats.save(&mut w);
+        CountCell(4).to_partial().save(&mut w);
+        stats.to_partial().save(&mut w);
+        for k in &kinds {
+            k.save(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(CountCell::load(&mut r).unwrap(), CountCell(17));
+        assert_eq!(StatsCell::load(&mut r).unwrap(), stats);
+        assert_eq!(PartialAgg::load(&mut r).unwrap(), CountCell(4).to_partial());
+        assert_eq!(PartialAgg::load(&mut r).unwrap(), stats.to_partial());
+        for k in &kinds {
+            assert_eq!(&OutputKind::load(&mut r).unwrap(), k);
+        }
+        assert!(r.is_exhausted());
     }
 }

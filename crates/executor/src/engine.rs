@@ -19,10 +19,12 @@
 
 use crate::agg::{Aggregate, Contribution, CountCell, StatsCell};
 use crate::chainlog::ChainLog;
+use crate::checkpoint::{StateError, StateReader, StateWriter};
 use crate::compile::{compile, CompileError, CompiledPartition, Routes};
 use crate::partial::PartialResults;
 use crate::results::ExecutorResults;
 use crate::runner::SegmentRunner;
+use crate::spill::{SpillConfig, SpillStore};
 use crate::winvec::WinVec;
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{
@@ -56,6 +58,9 @@ struct GroupRuntime<A> {
     closed_before: u64,
     /// Expiration watermark (ms): START events at or before it are gone.
     expired_through: Timestamp,
+    /// Recency stamp from the engine's access clock, read by the spill
+    /// tier's eviction sweep (not persisted — recency is run-local).
+    last_use: u64,
 }
 
 impl<A: Aggregate> GroupRuntime<A> {
@@ -93,7 +98,136 @@ impl<A: Aggregate> GroupRuntime<A> {
             finals: part.queries.iter().map(|_| WinVec::new()).collect(),
             closed_before: 0,
             expired_through: Timestamp::ZERO,
+            last_use: 0,
         }
+    }
+
+    /// Serialize this group's full evaluation state. The layout is shared
+    /// by the spill tier (paging cold groups to disk) and the checkpoint
+    /// segments (which embed spilled groups' bytes verbatim) — one format,
+    /// so spilled state checkpoints without a decode/re-encode cycle.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.bool(self.split);
+        w.u64(self.closed_before);
+        w.time(self.expired_through);
+        w.seq_len(self.runners.len());
+        for r in &self.runners {
+            r.save_state(w);
+        }
+        w.seq_len(self.offs.len());
+        for q in &self.offs {
+            w.seq_len(q.len());
+            for dq in q {
+                w.seq_len(dq.len());
+                for &off in dq {
+                    w.u64(off);
+                }
+            }
+        }
+        w.seq_len(self.chains.len());
+        for q in &self.chains {
+            w.seq_len(q.len());
+            for log in q {
+                log.save_state(w);
+            }
+        }
+        w.seq_len(self.mirrors.len());
+        for q in &self.mirrors {
+            w.seq_len(q.len());
+            for m in q {
+                m.save_state(w);
+            }
+        }
+        w.seq_len(self.finals.len());
+        for f in &self.finals {
+            f.save_state(w);
+        }
+    }
+
+    /// Decode a group written by [`GroupRuntime::save_state`], validating
+    /// every dimension against the compiled partition the state claims to
+    /// belong to.
+    fn load_state(r: &mut StateReader<'_>, part: &CompiledPartition) -> Result<Self, StateError> {
+        let split = r.bool()?;
+        let closed_before = r.u64()?;
+        let expired_through = r.time()?;
+        let n_runners = r.seq_len()?;
+        if n_runners != part.runners.len() {
+            return Err(StateError::Corrupt("group runner count"));
+        }
+        let mut runners = Vec::with_capacity(n_runners);
+        for _ in 0..n_runners {
+            runners.push(SegmentRunner::load_state(r)?);
+        }
+        let n_q = r.seq_len()?;
+        if n_q != part.queries.len() {
+            return Err(StateError::Corrupt("group query count (offs)"));
+        }
+        let mut offs = Vec::with_capacity(n_q);
+        for q in &part.queries {
+            let n_stages = r.seq_len()?;
+            if n_stages != q.n_stages {
+                return Err(StateError::Corrupt("group stage count (offs)"));
+            }
+            let mut per_stage = Vec::with_capacity(n_stages);
+            for _ in 0..n_stages {
+                let n = r.seq_len()?;
+                let mut dq = VecDeque::with_capacity(n);
+                for _ in 0..n {
+                    dq.push_back(r.u64()?);
+                }
+                per_stage.push(dq);
+            }
+            offs.push(per_stage);
+        }
+        if r.seq_len()? != part.queries.len() {
+            return Err(StateError::Corrupt("group query count (chains)"));
+        }
+        let mut chains = Vec::with_capacity(n_q);
+        for q in &part.queries {
+            let n = r.seq_len()?;
+            if n != q.n_stages.saturating_sub(1) {
+                return Err(StateError::Corrupt("group stage count (chains)"));
+            }
+            let mut per_stage = Vec::with_capacity(n);
+            for _ in 0..n {
+                per_stage.push(ChainLog::load_state(r)?);
+            }
+            chains.push(per_stage);
+        }
+        if r.seq_len()? != part.queries.len() {
+            return Err(StateError::Corrupt("group query count (mirrors)"));
+        }
+        let mut mirrors = Vec::with_capacity(n_q);
+        for q in &part.queries {
+            let n = r.seq_len()?;
+            if n != q.n_stages.saturating_sub(1) {
+                return Err(StateError::Corrupt("group stage count (mirrors)"));
+            }
+            let mut per_stage = Vec::with_capacity(n);
+            for _ in 0..n {
+                per_stage.push(WinVec::load_state(r)?);
+            }
+            mirrors.push(per_stage);
+        }
+        if r.seq_len()? != part.queries.len() {
+            return Err(StateError::Corrupt("group query count (finals)"));
+        }
+        let mut finals = Vec::with_capacity(n_q);
+        for _ in 0..n_q {
+            finals.push(WinVec::load_state(r)?);
+        }
+        Ok(GroupRuntime {
+            split,
+            runners,
+            offs,
+            chains,
+            mirrors,
+            finals,
+            closed_before,
+            expired_through,
+            last_use: 0,
+        })
     }
 
     /// Rough number of live aggregate cells (memory proxy).
@@ -199,6 +333,13 @@ impl ShardSlice {
     }
 }
 
+/// One engine's spill tier: the append-only store plus the resident
+/// budget (see [`crate::spill`]).
+struct SpillTier {
+    store: SpillStore,
+    max_resident: usize,
+}
+
 /// An executor for one compiled partition, generic over the aggregate
 /// kernel.
 pub struct Engine<A: Aggregate> {
@@ -223,6 +364,11 @@ pub struct Engine<A: Aggregate> {
     /// Per-window sub-aggregates of split groups, merged across shards by
     /// the sharded runtime at the end of the run.
     partials: PartialResults,
+    /// Paging tier for cold groups (`None` = everything stays resident;
+    /// the disabled hot path pays exactly one branch).
+    spill: Option<SpillTier>,
+    /// Monotone access clock stamping [`GroupRuntime::last_use`].
+    clock: u64,
     last_time: Timestamp,
     events_matched: u64,
 }
@@ -242,9 +388,22 @@ impl<A: Aggregate> Engine<A> {
             split_hashes: FxHashSet::default(),
             split_global: false,
             partials: PartialResults::new(),
+            spill: None,
+            clock: 0,
             last_time: Timestamp::ZERO,
             events_matched: 0,
         }
+    }
+
+    /// Enable the LRU spill tier: at most `config.max_resident` groups
+    /// stay in memory; colder groups page out to `spill-<label>.log`
+    /// under `config.dir` and reload transparently on next access.
+    pub fn set_spill(&mut self, config: &SpillConfig, label: &str) -> std::io::Result<()> {
+        self.spill = Some(SpillTier {
+            store: SpillStore::create(&config.dir, label)?,
+            max_resident: config.max_resident,
+        });
+        Ok(())
     }
 
     /// Build an engine that only processes the groups in `slice`
@@ -334,8 +493,7 @@ impl<A: Aggregate> Engine<A> {
         // per-row hot path never re-hashes the key to probe the split
         // set.
         if !self.groups.contains_key(&self.key_scratch) {
-            let mut grt = GroupRuntime::new(&self.part);
-            grt.split = self.shard.is_some()
+            let split_now = self.shard.is_some()
                 && match &self.key_scratch {
                     GroupKey::Global => self.split_global,
                     key => {
@@ -343,12 +501,30 @@ impl<A: Aggregate> Engine<A> {
                             && self.split_hashes.contains(&fx_hash_one(key))
                     }
                 };
+            // a "new" group may in fact be paged out — the spill tier's
+            // reload path (cold, never taken when spilling is off) brings
+            // it back before any fresh state is created
+            let reloaded = match &mut self.spill {
+                Some(tier) => Self::reload_spilled(tier, &self.part, &self.key_scratch),
+                None => None,
+            };
+            let mut grt = reloaded.unwrap_or_else(|| GroupRuntime::new(&self.part));
+            // split membership is resolved once per residency: a notice
+            // that arrived while the group was spilled is applied here
+            grt.split |= split_now;
             self.groups.insert(self.key_scratch.clone(), grt);
+            if let Some(tier) = &mut self.spill {
+                if self.groups.len() > tier.max_resident {
+                    Self::evict_coldest(tier, &mut self.groups, &self.key_scratch);
+                }
+            }
         }
         let grt = self
             .groups
             .get_mut(&self.key_scratch)
             .expect("group present after insert");
+        self.clock += 1;
+        grt.last_use = self.clock;
         if let Some(slice) = &self.shard {
             if pre_routed {
                 debug_assert!(
@@ -398,6 +574,221 @@ impl<A: Aggregate> Engine<A> {
         // (beyond this, growth is amortized doubling; callers with a
         // results budget use `reserve_results` for exact planning)
         self.partials.reserve(256);
+    }
+
+    /// Revert a split notice (the router cooled the group back down).
+    ///
+    /// The **owner** shard keeps the group marked split: its remaining
+    /// windows still emit sub-aggregates, and the merge step is
+    /// insensitive to the replica set shrinking back to one — keeping the
+    /// flag avoids a final-vs-partial emission conflict on windows that
+    /// straddle the hand-off. Every **replica** shard force-closes its
+    /// copy's remaining windows into sub-aggregates and drops the replica
+    /// state, reclaiming its memory.
+    pub fn mark_unsplit(&mut self, key: &GroupKey) {
+        let owner = match &self.shard {
+            None => true,
+            Some(slice) => slice.owns(key),
+        };
+        if owner {
+            return;
+        }
+        if let Some(mut grt) = self.groups.remove(key) {
+            Self::drain_group(
+                &self.part,
+                key,
+                &mut grt,
+                &mut self.results,
+                &mut self.partials,
+            );
+        }
+        // a replica copy is never evicted while split (eviction skips
+        // split groups), but stay defensive: drain any paged-out bytes
+        // rather than silently dropping window state
+        let spilled = match &mut self.spill {
+            Some(tier) => tier
+                .store
+                .take(key)
+                .unwrap_or_else(|e| panic!("spill read failed: {e}")),
+            None => None,
+        };
+        if let Some(bytes) = spilled {
+            let mut r = StateReader::new(&bytes);
+            let mut grt = GroupRuntime::load_state(&mut r, &self.part)
+                .unwrap_or_else(|e| panic!("spilled group state corrupt: {e}"));
+            grt.split = true;
+            Self::drain_group(
+                &self.part,
+                key,
+                &mut grt,
+                &mut self.results,
+                &mut self.partials,
+            );
+        }
+    }
+
+    /// Page `key` back in from the spill log, or `None` if it was never
+    /// spilled. Cold path: taken at most once per group per residency.
+    #[cold]
+    fn reload_spilled(
+        tier: &mut SpillTier,
+        part: &CompiledPartition,
+        key: &GroupKey,
+    ) -> Option<GroupRuntime<A>> {
+        let bytes = tier
+            .store
+            .take(key)
+            .unwrap_or_else(|e| panic!("spill read failed: {e}"))?;
+        let mut r = StateReader::new(&bytes);
+        let grt = GroupRuntime::load_state(&mut r, part)
+            .unwrap_or_else(|e| panic!("spilled group state corrupt: {e}"));
+        Some(grt)
+    }
+
+    /// Page out the coldest quarter of the resident groups (by
+    /// [`GroupRuntime::last_use`]), so one eviction sweep buys
+    /// `max_resident / 4` insertions before the budget binds again.
+    /// Split groups are skipped — they are hot by definition and their
+    /// sub-aggregate flow assumes residency — as is the group that
+    /// triggered the sweep.
+    #[cold]
+    fn evict_coldest(
+        tier: &mut SpillTier,
+        groups: &mut FxHashMap<GroupKey, GroupRuntime<A>>,
+        keep: &GroupKey,
+    ) {
+        let n_evict = (tier.max_resident / 4).max(1);
+        let mut order: Vec<(u64, GroupKey)> = groups
+            .iter()
+            .filter(|(k, g)| !g.split && *k != keep)
+            .map(|(k, g)| (g.last_use, k.clone()))
+            .collect();
+        order.sort_unstable_by_key(|a| a.0);
+        order.truncate(n_evict);
+        for (_, key) in order {
+            let grt = groups.remove(&key).expect("key taken from live iteration");
+            let mut w = StateWriter::new();
+            grt.save_state(&mut w);
+            tier.store
+                .spill(key, &w.into_bytes())
+                .unwrap_or_else(|e| panic!("spill write failed: {e}"));
+        }
+    }
+
+    /// Drain every remaining final window of one group into `results`
+    /// (or `partials` for split groups) — the shared tail of
+    /// `finish_parts`, spilled-group finalization, and replica eviction.
+    fn drain_group(
+        part: &CompiledPartition,
+        key: &GroupKey,
+        grt: &mut GroupRuntime<A>,
+        results: &mut ExecutorResults,
+        partials: &mut PartialResults,
+    ) {
+        let split = grt.split;
+        for (qi, f) in grt.finals.iter_mut().enumerate() {
+            for (seq, v) in f.drain_before(u64::MAX) {
+                let window = Timestamp(seq * part.window.slide.millis());
+                if split {
+                    partials.push(
+                        part.queries[qi].id,
+                        key.clone(),
+                        window,
+                        v.to_partial(),
+                        part.queries[qi].output,
+                    );
+                } else {
+                    results.emit(
+                        part.queries[qi].id,
+                        key.clone(),
+                        window,
+                        v.output(part.queries[qi].output),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Serialize this engine's full evaluation state into a checkpoint
+    /// segment. Spilled groups are embedded **verbatim** — their on-disk
+    /// bytes already use the per-group layout — so checkpointing under
+    /// spill pressure reads the log sequentially instead of paging cold
+    /// groups back through the engine.
+    pub fn save_state(&mut self, w: &mut StateWriter) {
+        w.time(self.last_time);
+        w.u64(self.events_matched);
+        w.bool(self.split_global);
+        // deterministic order: identical state must yield identical bytes
+        let mut hashes: Vec<u64> = self.split_hashes.iter().copied().collect();
+        hashes.sort_unstable();
+        w.seq_len(hashes.len());
+        for h in hashes {
+            w.u64(h);
+        }
+        self.results.save_state(w);
+        self.partials.save_state(w);
+        let spilled = self.spill.as_ref().map_or(0, |t| t.store.len());
+        w.seq_len(self.groups.len() + spilled);
+        for (key, grt) in &self.groups {
+            w.group_key(key);
+            let mut gw = StateWriter::new();
+            grt.save_state(&mut gw);
+            w.bytes(&gw.into_bytes());
+        }
+        if let Some(tier) = &mut self.spill {
+            tier.store
+                .for_each(|key, bytes| {
+                    w.group_key(key);
+                    w.bytes(bytes);
+                })
+                .unwrap_or_else(|e| panic!("spill read during checkpoint failed: {e}"));
+        }
+    }
+
+    /// Restore the state written by [`Engine::save_state`] into a freshly
+    /// built engine for the **same** compiled partition and shard slice.
+    /// With a spill tier configured, groups beyond the resident budget go
+    /// straight back to the spill log without being decoded.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.last_time = r.time()?;
+        self.events_matched = r.u64()?;
+        self.split_global = r.bool()?;
+        let n_hashes = r.seq_len()?;
+        self.split_hashes.clear();
+        self.split_hashes.reserve(n_hashes);
+        for _ in 0..n_hashes {
+            self.split_hashes.insert(r.u64()?);
+        }
+        self.results = ExecutorResults::load_state(r)?;
+        self.partials = PartialResults::load_state(r)?;
+        let n_groups = r.seq_len()?;
+        self.groups.clear();
+        for _ in 0..n_groups {
+            let key = r.group_key()?;
+            let bytes = r.bytes()?;
+            let budget = self.spill.as_ref().map_or(usize::MAX, |t| t.max_resident);
+            if self.groups.len() < budget {
+                let mut gr = StateReader::new(bytes);
+                let mut grt = GroupRuntime::load_state(&mut gr, &self.part)?;
+                if !gr.is_exhausted() {
+                    return Err(StateError::Corrupt("trailing group state bytes"));
+                }
+                self.clock += 1;
+                grt.last_use = self.clock;
+                self.groups.insert(key, grt);
+            } else {
+                let tier = self.spill.as_mut().expect("finite budget implies a tier");
+                tier.store
+                    .spill(key, bytes)
+                    .map_err(|_| StateError::Corrupt("spill write during restore"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of groups currently paged out to the spill log.
+    pub fn spilled_group_count(&self) -> usize {
+        self.spill.as_ref().map_or(0, |t| t.store.len())
     }
 
     /// Process a time-ordered batch of events.
@@ -872,28 +1263,28 @@ impl<A: Aggregate> Engine<A> {
     /// shard's per-window sub-aggregates of split groups (combined across
     /// shards by [`crate::PartialResults::finalize_into`]).
     pub fn finish_parts(mut self) -> (ExecutorResults, PartialResults) {
-        for (key, grt) in self.groups.iter_mut() {
-            for (qi, f) in grt.finals.iter_mut().enumerate() {
-                for (seq, v) in f.drain_before(u64::MAX) {
-                    let window = Timestamp(seq * self.part.window.slide.millis());
-                    if grt.split {
-                        self.partials.push(
-                            self.part.queries[qi].id,
-                            key.clone(),
-                            window,
-                            v.to_partial(),
-                            self.part.queries[qi].output,
-                        );
-                    } else {
-                        self.results.emit(
-                            self.part.queries[qi].id,
-                            key.clone(),
-                            window,
-                            v.output(self.part.queries[qi].output),
-                        );
-                    }
-                }
+        // spilled groups first, decoded and drained one at a time — the
+        // end of a spilling run never re-materializes the whole group map
+        if let Some(mut tier) = self.spill.take() {
+            let spilled = tier
+                .store
+                .drain_all()
+                .unwrap_or_else(|e| panic!("spill read at finish failed: {e}"));
+            for (key, bytes) in spilled {
+                let mut r = StateReader::new(&bytes);
+                let mut grt = GroupRuntime::load_state(&mut r, &self.part)
+                    .unwrap_or_else(|e| panic!("spilled group state corrupt: {e}"));
+                Self::drain_group(
+                    &self.part,
+                    &key,
+                    &mut grt,
+                    &mut self.results,
+                    &mut self.partials,
+                );
             }
+        }
+        for (key, grt) in self.groups.iter_mut() {
+            Self::drain_group(&self.part, key, grt, &mut self.results, &mut self.partials);
         }
         (self.results, self.partials)
     }
@@ -987,6 +1378,60 @@ impl EngineKind {
         match self {
             EngineKind::Count(en) => en.mark_split(key),
             EngineKind::Stats(en) => en.mark_split(key),
+        }
+    }
+
+    /// Revert a split notice (see [`Engine::mark_unsplit`]).
+    pub fn mark_unsplit(&mut self, key: &GroupKey) {
+        match self {
+            EngineKind::Count(en) => en.mark_unsplit(key),
+            EngineKind::Stats(en) => en.mark_unsplit(key),
+        }
+    }
+
+    /// Enable the LRU spill tier (see [`Engine::set_spill`]).
+    pub fn set_spill(&mut self, config: &SpillConfig, label: &str) -> std::io::Result<()> {
+        match self {
+            EngineKind::Count(en) => en.set_spill(config, label),
+            EngineKind::Stats(en) => en.set_spill(config, label),
+        }
+    }
+
+    /// Serialize the full evaluation state, tagged with the kernel kind
+    /// (see [`Engine::save_state`]).
+    pub fn save_state(&mut self, w: &mut crate::checkpoint::StateWriter) {
+        match self {
+            EngineKind::Count(en) => {
+                w.u8(0);
+                en.save_state(w);
+            }
+            EngineKind::Stats(en) => {
+                w.u8(1);
+                en.save_state(w);
+            }
+        }
+    }
+
+    /// Restore state written by [`EngineKind::save_state`]; the kernel
+    /// kind must match the one this engine was compiled with.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<(), crate::checkpoint::StateError> {
+        let tag = r.u8()?;
+        match (self, tag) {
+            (EngineKind::Count(en), 0) => en.load_state(r),
+            (EngineKind::Stats(en), 1) => en.load_state(r),
+            _ => Err(crate::checkpoint::StateError::Corrupt("engine kind tag")),
+        }
+    }
+
+    /// Number of groups currently paged out to the spill log (see
+    /// [`Engine::spilled_group_count`]).
+    pub fn spilled_group_count(&self) -> usize {
+        match self {
+            EngineKind::Count(en) => en.spilled_group_count(),
+            EngineKind::Stats(en) => en.spilled_group_count(),
         }
     }
 
@@ -1591,5 +2036,136 @@ mod tests {
         ex.process(&ev(unknown, 2)); // ignored entirely
         assert_eq!(ex.events_matched(), 1);
         assert!(ex.cell_count() >= 1);
+    }
+
+    /// A grouped two-stage workload over `n_groups` groups: alternating
+    /// `A(g)` / `B(g)` rounds, one event per group per round.
+    fn grouped_setup(n_groups: i64) -> (Catalog, Workload, Vec<Event>) {
+        use sharon_types::Schema;
+        let mut c = Catalog::new();
+        c.register_with_schema("A", Schema::new(["g"]));
+        c.register_with_schema("B", Schema::new(["g"]));
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 8 ms SLIDE 4 ms"],
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for round in 0..6i64 {
+            for g in 0..n_groups {
+                t += 1;
+                let ty = if (g + round) % 2 == 0 { a } else { b };
+                events.push(Event::with_attrs(ty, Timestamp(t), [Value::Int(g)]));
+            }
+        }
+        (c, w, events)
+    }
+
+    #[test]
+    fn spill_tier_pages_cold_groups_with_identical_results() {
+        use crate::spill::SpillConfig;
+        let (c, w, events) = grouped_setup(64);
+        let dir = std::env::temp_dir().join(format!("sharon-engine-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SpillConfig::new(&dir, 8);
+
+        let run = |spill: Option<&SpillConfig>| {
+            let mut ex = Executor::non_shared(&c, &w).unwrap();
+            if let Some(cfg) = spill {
+                let Executor::__Internal(engines) = &mut ex;
+                for (i, e) in engines.iter_mut().enumerate() {
+                    e.set_spill(cfg, &format!("engine-test-{i}")).unwrap();
+                }
+            }
+            for e in &events {
+                ex.process(e);
+            }
+            ex.finish()
+        };
+
+        let spills_before = sharon_metrics::group_spills();
+        let reloads_before = sharon_metrics::group_reloads();
+        let with_spill = run(Some(&cfg));
+        assert!(
+            sharon_metrics::group_spills() > spills_before,
+            "64 groups under a budget of 8 must page out"
+        );
+        assert!(
+            sharon_metrics::group_reloads() > reloads_before,
+            "revisited groups must page back in"
+        );
+        let without = run(None);
+        assert!(
+            with_spill.semantically_eq(&without, 0.0),
+            "paging groups in and out must not change any result"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_state_round_trips_mid_stream() {
+        let (c, w, events) = grouped_setup(16);
+        // cut mid-stream at an uneven point so live STARTs, pending
+        // same-timestamp state, and half-closed windows all cross the
+        // snapshot boundary
+        let cut = events.len() / 2 + 3;
+
+        let mut reference = Executor::non_shared(&c, &w).unwrap();
+        for e in &events {
+            reference.process(e);
+        }
+        let want_matched = reference.events_matched();
+        let want = reference.finish();
+
+        let mut first = Executor::non_shared(&c, &w).unwrap();
+        for e in &events[..cut] {
+            first.process(e);
+        }
+        let blobs: Vec<Vec<u8>> = {
+            let Executor::__Internal(engines) = &mut first;
+            engines
+                .iter_mut()
+                .map(|e| {
+                    let mut sw = crate::checkpoint::StateWriter::new();
+                    e.save_state(&mut sw);
+                    sw.into_bytes()
+                })
+                .collect()
+        };
+
+        let mut resumed = Executor::non_shared(&c, &w).unwrap();
+        {
+            let Executor::__Internal(engines) = &mut resumed;
+            assert_eq!(engines.len(), blobs.len());
+            for (e, b) in engines.iter_mut().zip(&blobs) {
+                let mut sr = crate::checkpoint::StateReader::new(b);
+                e.load_state(&mut sr).unwrap();
+                assert!(sr.is_exhausted(), "engine state fully consumed");
+            }
+        }
+        for e in &events[cut..] {
+            resumed.process(e);
+        }
+        assert_eq!(resumed.events_matched(), want_matched);
+        assert!(
+            resumed.finish().semantically_eq(&want, 0.0),
+            "snapshot + restore + replay must equal the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn engine_load_state_rejects_kind_mismatch() {
+        let (c, w, _) = grouped_setup(2);
+        let mut ex = Executor::non_shared(&c, &w).unwrap();
+        let Executor::__Internal(engines) = &mut ex;
+        let mut sw = crate::checkpoint::StateWriter::new();
+        engines[0].save_state(&mut sw);
+        let mut bytes = sw.into_bytes();
+        bytes[0] ^= 1; // flip the kernel-kind tag
+        let mut sr = crate::checkpoint::StateReader::new(&bytes);
+        assert!(engines[0].load_state(&mut sr).is_err());
     }
 }

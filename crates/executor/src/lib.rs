@@ -20,6 +20,7 @@
 
 pub mod agg;
 pub mod chainlog;
+pub mod checkpoint;
 pub mod compile;
 pub mod engine;
 pub mod partial;
@@ -29,11 +30,16 @@ pub mod results;
 pub mod router;
 pub mod runner;
 pub mod sharded;
+pub mod spill;
 pub mod spsc;
 pub mod winvec;
 
 pub use agg::{Aggregate, Contribution, CountCell, OutputKind, PartialAgg, StatsCell};
 pub use chainlog::ChainLog;
+pub use checkpoint::{
+    default_checkpoint_config, CheckpointConfig, CheckpointData, CheckpointError, CheckpointStore,
+    FaultPlan, StateError, StateReader, StateWriter,
+};
 pub use compile::{compile, CompileError, CompiledPartition};
 pub use engine::{Engine, EngineKind, Executor, ShardSlice};
 pub use partial::{PartialEntry, PartialResults};
@@ -42,7 +48,8 @@ pub use results::ExecutorResults;
 pub use router::{BatchRouter, RouteBatch, RoutedRows, RowFilter, SplitConfig, SplitSpec};
 pub use runner::SegmentRunner;
 pub use sharded::{
-    default_pipeline_depth, ShardProcessor, ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE,
-    DEFAULT_PIPELINE_DEPTH,
+    default_pipeline_depth, ShardProcessor, ShardReport, ShardedExecutor, ShardedOptions,
+    DEFAULT_BATCH_SIZE, DEFAULT_PIPELINE_DEPTH,
 };
+pub use spill::SpillConfig;
 pub use winvec::{Snapshot, WinVec};

@@ -91,6 +91,36 @@ impl PartialResults {
         }
     }
 
+    /// Serialize all buffered sub-aggregates into a checkpoint segment.
+    pub fn save_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.seq_len(self.entries.len());
+        for e in &self.entries {
+            w.u32(e.query.0);
+            w.group_key(&e.group);
+            w.time(e.window);
+            e.value.save(w);
+            e.output.save(w);
+        }
+    }
+
+    /// Decode a set written by [`PartialResults::save_state`].
+    pub fn load_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::StateError> {
+        let n = r.seq_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(PartialEntry {
+                query: QueryId(r.u32()?),
+                group: r.group_key()?,
+                window: r.time()?,
+                value: PartialAgg::load(r)?,
+                output: OutputKind::load(r)?,
+            });
+        }
+        Ok(PartialResults { entries })
+    }
+
     /// The merge step: combine same-key entries with the aggregate-kind
     /// merge and emit the final projected values into `results`.
     pub fn finalize_into(self, results: &mut ExecutorResults) {
@@ -213,5 +243,41 @@ mod tests {
         PartialResults::new().finalize_into(&mut results);
         assert!(results.is_empty());
         assert!(PartialResults::new().is_empty());
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut p = PartialResults::new();
+        p.push(
+            QueryId(3),
+            key(9),
+            Timestamp(40),
+            PartialAgg::Count(CountCell(12)),
+            OutputKind::CountTimes(2),
+        );
+        p.push(
+            QueryId(4),
+            GroupKey::Global,
+            Timestamp(0),
+            StatsCell {
+                count: 2,
+                sum: 7.5,
+                min: 1.0,
+                max: 6.5,
+            }
+            .to_partial(),
+            OutputKind::Avg(1),
+        );
+        let mut w = crate::checkpoint::StateWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::checkpoint::StateReader::new(&bytes);
+        let got = PartialResults::load_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(got.len(), 2);
+        let (mut a, mut b) = (ExecutorResults::new(), ExecutorResults::new());
+        p.finalize_into(&mut a);
+        got.finalize_into(&mut b);
+        assert!(a.semantically_eq(&b, 0.0));
     }
 }

@@ -1,8 +1,42 @@
 //! Query results: one aggregate per query, group, and window.
 
+use crate::checkpoint::{StateError, StateReader, StateWriter};
 use sharon_query::aggregate::AggValue;
 use sharon_query::QueryId;
 use sharon_types::{FxHashMap, GroupKey, Timestamp};
+
+/// Serialize an [`AggValue`] into a checkpoint segment (tag + payload).
+pub(crate) fn save_agg_value(v: &AggValue, w: &mut StateWriter) {
+    match v {
+        AggValue::Count(c) => {
+            w.u8(0);
+            w.u128(*c);
+        }
+        AggValue::Number(n) => {
+            w.u8(1);
+            match n {
+                Some(x) => {
+                    w.bool(true);
+                    w.f64(*x);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+}
+
+/// Decode an [`AggValue`] written by [`save_agg_value`].
+pub(crate) fn load_agg_value(r: &mut StateReader<'_>) -> Result<AggValue, StateError> {
+    match r.u8()? {
+        0 => Ok(AggValue::Count(r.u128()?)),
+        1 => Ok(AggValue::Number(if r.bool()? {
+            Some(r.f64()?)
+        } else {
+            None
+        })),
+        _ => Err(StateError::Corrupt("agg value tag")),
+    }
+}
 
 /// All results produced by an executor run.
 ///
@@ -137,6 +171,48 @@ impl ExecutorResults {
         }
         true
     }
+
+    /// Serialize the full result set into a checkpoint segment (the
+    /// engines hold emitted results until `finish`, so a resume must carry
+    /// them to reproduce an uninterrupted run's output exactly).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.results_emitted);
+        w.seq_len(self.per_query.len());
+        for (q, m) in &self.per_query {
+            w.u32(q.0);
+            w.seq_len(m.len());
+            for ((g, t), v) in m {
+                w.group_key(g);
+                w.time(*t);
+                save_agg_value(v, w);
+            }
+        }
+    }
+
+    /// Decode a result set written by [`ExecutorResults::save_state`].
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let results_emitted = r.u64()?;
+        let n_queries = r.seq_len()?;
+        let mut per_query: FxHashMap<QueryId, FxHashMap<(GroupKey, Timestamp), AggValue>> =
+            FxHashMap::default();
+        per_query.reserve(n_queries);
+        for _ in 0..n_queries {
+            let q = QueryId(r.u32()?);
+            let n = r.seq_len()?;
+            let mut m: FxHashMap<(GroupKey, Timestamp), AggValue> = FxHashMap::default();
+            m.reserve(n);
+            for _ in 0..n {
+                let g = r.group_key()?;
+                let t = r.time()?;
+                m.insert((g, t), load_agg_value(r)?);
+            }
+            per_query.insert(q, m);
+        }
+        Ok(ExecutorResults {
+            per_query,
+            results_emitted,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -231,5 +307,32 @@ mod tests {
         let mut f = ExecutorResults::new();
         f.emit(QueryId(0), key(1), Timestamp(0), AggValue::Count(1));
         assert!(!a.semantically_eq(&f, 1e-9));
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut r = ExecutorResults::new();
+        r.emit(QueryId(0), key(1), Timestamp(0), AggValue::Count(3));
+        r.emit(QueryId(0), key(1), Timestamp(60), AggValue::Count(5));
+        r.emit(
+            QueryId(2),
+            GroupKey::Global,
+            Timestamp(7),
+            AggValue::Number(None),
+        );
+        r.emit(
+            QueryId(2),
+            key(-4),
+            Timestamp(9),
+            AggValue::Number(Some(2.5)),
+        );
+        let mut w = crate::checkpoint::StateWriter::new();
+        r.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut rd = crate::checkpoint::StateReader::new(&bytes);
+        let got = ExecutorResults::load_state(&mut rd).unwrap();
+        assert!(rd.is_exhausted());
+        assert!(got.semantically_eq(&r, 0.0));
+        assert_eq!(got.results_emitted, r.results_emitted);
     }
 }

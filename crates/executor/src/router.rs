@@ -56,6 +56,7 @@
 //! and the global (no `GROUP BY`) rows of scope `p` go to
 //! `p % n_shards` — the shard whose engine was built with `owns_global`.
 
+use crate::checkpoint::{StateError, StateReader, StateWriter};
 use crate::compile::CompiledPartition;
 use sharon_types::{fx_hash_one, EventBatch, EventTypeId, FxHashMap, GroupKey, Value};
 
@@ -198,6 +199,9 @@ impl SplitConfig {
 /// The split state of one hot group.
 #[derive(Debug)]
 struct HotGroup {
+    /// The group's key, kept for the unsplit notice when the group cools
+    /// back down (split groups are few, so the clone is cheap).
+    key: GroupKey,
     /// Round-robin of final-only rows begins at this timestamp (split
     /// decision time + warm-up); before it, the hash owner keeps all
     /// final folds.
@@ -208,6 +212,43 @@ struct HotGroup {
     rr_final: u32,
     /// Round-robin cursor of broadcast rows' full copies.
     rr_full: u32,
+    /// Decayed row counter while split, feeding cool-down detection (the
+    /// pre-split counter lives in [`SplitTracker::counts`]).
+    count: u32,
+    /// Cool-down deadline: set when the group went cold. From that moment
+    /// finals re-pin to the hash owner while state rows keep
+    /// broadcasting — so a re-heat before the deadline cancels the
+    /// hand-off with replicas still warm — and at the first sweep past
+    /// the deadline the group unsplits for real.
+    cooling_until: Option<u64>,
+}
+
+impl HotGroup {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.group_key(&self.key);
+        w.u64(self.active_at_ms);
+        w.u32(self.rr_final);
+        w.u32(self.rr_full);
+        w.u32(self.count);
+        match self.cooling_until {
+            Some(t) => {
+                w.bool(true);
+                w.u64(t);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(HotGroup {
+            key: r.group_key()?,
+            active_at_ms: r.u64()?,
+            rr_final: r.u32()?,
+            rr_full: r.u32()?,
+            count: r.u32()?,
+            cooling_until: if r.bool()? { Some(r.u64()?) } else { None },
+        })
+    }
 }
 
 /// Hot-group tracking of one splittable scope.
@@ -230,6 +271,9 @@ struct SplitTracker {
     /// Newly split groups to announce to every shard with the next
     /// routed batch.
     notices: Vec<GroupKey>,
+    /// Groups that finished cooling down, to announce to every shard
+    /// after the current batch's rows.
+    unsplit_notices: Vec<GroupKey>,
     /// Resolved hotness fraction (see [`SplitConfig::hot_fraction`]).
     fraction: f64,
     min_rows: u32,
@@ -252,6 +296,7 @@ impl SplitTracker {
             split: FxHashMap::default(),
             split_global: None,
             notices: Vec::new(),
+            unsplit_notices: Vec::new(),
             fraction,
             min_rows: config.min_rows,
             decay_period: config.decay_period.max(2),
@@ -305,6 +350,136 @@ impl SplitTracker {
             *c /= 2;
             *c > 0
         });
+        for hot in self.split.values_mut() {
+            hot.count /= 2;
+        }
+        if let Some(hot) = &mut self.split_global {
+            hot.count /= 2;
+        }
+    }
+
+    /// Advance the cool-down state machine of every split group to
+    /// `now_ms` (the newest routed timestamp). Cold groups enter cooling:
+    /// finals re-pin to the owner immediately while state rows keep
+    /// broadcasting for one more warm-up window, so a re-heat cancels the
+    /// hand-off with the replicas still current. Groups still cold at the
+    /// deadline unsplit: their keys are queued as in-band unsplit notices
+    /// (delivered to every shard *after* the batch's rows).
+    fn sweep_cooldown(&mut self, now_ms: u64) {
+        let (min_rows, fraction, total) = (self.min_rows, self.fraction, self.total);
+        let warmup = self.spec.warmup_ms;
+        let cold =
+            |count: u32| count < min_rows / 2 || (count as f64) * 2.0 < fraction * total as f64;
+        let unsplit_notices = &mut self.unsplit_notices;
+        let mut step = |hot: &mut HotGroup| -> bool {
+            match hot.cooling_until {
+                None => {
+                    // never begin the hand-off during the split's own
+                    // warm-up — a just-split group has not reached its
+                    // steady decayed count yet
+                    if now_ms >= hot.active_at_ms && cold(hot.count) {
+                        hot.cooling_until = Some(now_ms.saturating_add(warmup));
+                    }
+                    true
+                }
+                Some(deadline) => {
+                    if !cold(hot.count) {
+                        hot.cooling_until = None; // re-heated: cancel
+                        true
+                    } else if now_ms >= deadline {
+                        unsplit_notices.push(hot.key.clone());
+                        false
+                    } else {
+                        true
+                    }
+                }
+            }
+        };
+        self.split.retain(|_, hot| step(hot));
+        if let Some(hot) = &mut self.split_global {
+            if !step(hot) {
+                self.split_global = None;
+            }
+        }
+    }
+
+    /// Serialize the tracker's routing state (decayed counters, split
+    /// groups, pending notices) into a checkpoint segment. Tuning
+    /// (`spec`, thresholds) is rebuilt from configuration, not persisted.
+    fn save_state(&self, w: &mut StateWriter) {
+        // deterministic order: identical state must yield identical bytes
+        let mut counts: Vec<(u64, u32)> = self.counts.iter().map(|(h, c)| (*h, *c)).collect();
+        counts.sort_unstable();
+        w.seq_len(counts.len());
+        for (h, c) in counts {
+            w.u64(h);
+            w.u32(c);
+        }
+        w.u32(self.global_count);
+        w.u64(self.total);
+        w.u32(self.since_decay);
+        let mut split: Vec<(&u64, &HotGroup)> = self.split.iter().collect();
+        split.sort_unstable_by_key(|(h, _)| **h);
+        w.seq_len(split.len());
+        for (h, hot) in split {
+            w.u64(*h);
+            hot.save_state(w);
+        }
+        match &self.split_global {
+            Some(hot) => {
+                w.bool(true);
+                hot.save_state(w);
+            }
+            None => w.bool(false),
+        }
+        // notices drain with every routed chunk and checkpoints sit at
+        // chunk boundaries, so these are empty in practice — persisted
+        // anyway so the format never depends on that invariant
+        w.seq_len(self.notices.len());
+        for key in &self.notices {
+            w.group_key(key);
+        }
+        w.seq_len(self.unsplit_notices.len());
+        for key in &self.unsplit_notices {
+            w.group_key(key);
+        }
+    }
+
+    /// Restore the state written by [`SplitTracker::save_state`].
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n_counts = r.seq_len()?;
+        self.counts.clear();
+        self.counts.reserve(n_counts);
+        for _ in 0..n_counts {
+            let h = r.u64()?;
+            let c = r.u32()?;
+            self.counts.insert(h, c);
+        }
+        self.global_count = r.u32()?;
+        self.total = r.u64()?;
+        self.since_decay = r.u32()?;
+        let n_split = r.seq_len()?;
+        self.split.clear();
+        for _ in 0..n_split {
+            let h = r.u64()?;
+            self.split.insert(h, HotGroup::load_state(r)?);
+        }
+        self.split_global = if r.bool()? {
+            Some(HotGroup::load_state(r)?)
+        } else {
+            None
+        };
+        let n_notices = r.seq_len()?;
+        self.notices.clear();
+        for _ in 0..n_notices {
+            self.notices.push(r.group_key()?);
+        }
+        let n_unsplit = r.seq_len()?;
+        self.unsplit_notices.clear();
+        for _ in 0..n_unsplit {
+            self.unsplit_notices.push(r.group_key()?);
+        }
+        Ok(())
     }
 }
 
@@ -326,6 +501,10 @@ pub struct RoutedRows {
     /// Newly split groups: `(scope index, group key)`. Delivered to every
     /// shard before the batch's rows are processed.
     pub splits: Vec<(u32, GroupKey)>,
+    /// Groups that cooled back down: `(scope index, group key)`.
+    /// Delivered to every shard **after** the batch's rows — the rows of
+    /// this batch were still routed under the split regime.
+    pub unsplits: Vec<(u32, GroupKey)>,
 }
 
 impl RoutedRows {
@@ -333,6 +512,7 @@ impl RoutedRows {
     /// this shard.
     pub fn is_empty(&self) -> bool {
         self.splits.is_empty()
+            && self.unsplits.is_empty()
             && self.per_part.iter().all(Vec::is_empty)
             && self.state_rows.iter().all(Vec::is_empty)
     }
@@ -347,6 +527,7 @@ impl RoutedRows {
             rows.clear();
         }
         self.splits.clear();
+        self.unsplits.clear();
     }
 
     /// Clear and resize to exactly `n_scopes` lists (retaining existing
@@ -385,6 +566,20 @@ pub trait RouteBatch: Send {
     /// Number of groups currently split across shards, summed over scopes.
     fn split_groups(&self) -> usize {
         0
+    }
+
+    /// Serialize the router's routing state (decayed counters, split
+    /// groups, pending notices) into a checkpoint segment. Routers
+    /// without routing state (the baselines' pinned-only filters) write
+    /// nothing — and restore nothing.
+    fn save_state(&mut self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restore the state written by [`RouteBatch::save_state`].
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let _ = r;
+        Ok(())
     }
 }
 
@@ -531,19 +726,26 @@ impl<F: RowFilter> BatchRouter<F> {
                 } else if tracker.observe(hash) {
                     // newly hot: register + announce the split, then fall
                     // through to split routing (this first row runs under
-                    // the warm-up regime)
+                    // the warm-up regime). The decayed count carries over
+                    // so cool-down detection starts from the real level.
+                    let carried = match hash {
+                        Some(h) => tracker.counts.remove(&h).unwrap_or(0),
+                        None => std::mem::take(&mut tracker.global_count),
+                    };
                     let hot = HotGroup {
+                        key: self.key_scratch.clone(),
                         active_at_ms: batch
                             .time(row)
                             .millis()
                             .saturating_add(tracker.spec.warmup_ms),
                         rr_final: owner as u32,
                         rr_full: owner as u32,
+                        count: carried,
+                        cooling_until: None,
                     };
                     tracker.notices.push(self.key_scratch.clone());
                     match hash {
                         Some(h) => {
-                            tracker.counts.remove(&h);
                             tracker.split.insert(h, hot);
                         }
                         None => tracker.split_global = Some(hot),
@@ -556,6 +758,7 @@ impl<F: RowFilter> BatchRouter<F> {
                     Some(h) => tracker.split.get_mut(&h).expect("registered above"),
                     None => tracker.split_global.as_mut().expect("registered above"),
                 };
+                hot.count = hot.count.saturating_add(1);
                 Self::route_split_row(
                     out,
                     pi,
@@ -573,22 +776,39 @@ impl<F: RowFilter> BatchRouter<F> {
                 );
             }
         }
-        // deliver pending split notices to every shard (even shards that
-        // received no rows this batch — the notice itself makes their
-        // RoutedRows non-empty, so they are woken)
+        // deliver pending split and unsplit notices to every shard (even
+        // shards that received no rows this batch — the notice itself
+        // makes their RoutedRows non-empty, so they are woken). The
+        // cool-down sweep runs first, clocked by the chunk's newest
+        // timestamp, so a group's unsplit lands in the same batch that
+        // crossed its deadline.
+        let now_ms = if hi > lo {
+            Some(batch.time(hi - 1).millis())
+        } else {
+            None
+        };
         for (pi, tracker) in self.trackers.iter_mut().enumerate() {
             let Some(tracker) = tracker else { continue };
+            if let Some(now_ms) = now_ms {
+                tracker.sweep_cooldown(now_ms);
+            }
             for key in tracker.notices.drain(..) {
                 for rows in out.iter_mut() {
                     rows.splits.push((pi as u32, key.clone()));
+                }
+            }
+            for key in tracker.unsplit_notices.drain(..) {
+                for rows in out.iter_mut() {
+                    rows.unsplits.push((pi as u32, key.clone()));
                 }
             }
         }
     }
 
     /// Route one row of a split group: round-robin final-only rows
-    /// (owner-pinned during warm-up), broadcast everything else with one
-    /// full copy and `n − 1` state-only replicas.
+    /// (owner-pinned during warm-up **and** during cool-down), broadcast
+    /// everything else with one full copy and `n − 1` state-only
+    /// replicas.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     fn route_split_row(
@@ -601,7 +821,7 @@ impl<F: RowFilter> BatchRouter<F> {
         hot: &mut HotGroup,
         n_shards: usize,
     ) {
-        let active = time_ms >= hot.active_at_ms;
+        let active = time_ms >= hot.active_at_ms && hot.cooling_until.is_none();
         if final_only {
             let target = if active {
                 let s = hot.rr_final as usize % n_shards;
@@ -630,6 +850,43 @@ impl<F: RowFilter> BatchRouter<F> {
     }
 }
 
+impl<F: RowFilter> BatchRouter<F> {
+    /// Serialize the hot-group trackers' state (see
+    /// [`RouteBatch::save_state`]). Structural configuration — scopes,
+    /// shard count, split tuning — is rebuilt from the plan on restore,
+    /// not persisted.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.seq_len(self.trackers.len());
+        for tracker in &self.trackers {
+            match tracker {
+                Some(t) => {
+                    w.bool(true);
+                    t.save_state(w);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Restore the state written by [`BatchRouter::save_state`] into a
+    /// router built with the same scopes, shard count, and split
+    /// configuration.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        if r.seq_len()? != self.trackers.len() {
+            return Err(StateError::Corrupt("router tracker count"));
+        }
+        for tracker in &mut self.trackers {
+            let present = r.bool()?;
+            match (tracker, present) {
+                (Some(t), true) => t.load_state(r)?,
+                (None, false) => {}
+                _ => return Err(StateError::Corrupt("router tracker presence")),
+            }
+        }
+        Ok(())
+    }
+}
+
 impl<F: RowFilter + Send> RouteBatch for BatchRouter<F> {
     fn n_shards(&self) -> usize {
         self.n_shards
@@ -655,6 +912,14 @@ impl<F: RowFilter + Send> RouteBatch for BatchRouter<F> {
             .flatten()
             .map(|t| t.split.len() + usize::from(t.split_global.is_some()))
             .sum()
+    }
+
+    fn save_state(&mut self, w: &mut StateWriter) {
+        BatchRouter::save_state(self, w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        BatchRouter::load_state(self, r)
     }
 }
 
@@ -915,6 +1180,178 @@ mod tests {
         assert_eq!(with_rows, 1, "the skewed group stays on its hash owner");
         assert!(routed.iter().all(|r| r.splits.is_empty()));
         assert!(routed.iter().all(|r| r.state_rows[0].is_empty()));
+    }
+
+    /// Shared setup of the cool-down tests: one scope over `SEQ(A, B)
+    /// GROUP BY g` (within 10 ms) and an eager 4-shard router.
+    fn split_setup() -> (Catalog, BatchRouter, EventTypeId, EventTypeId) {
+        let mut c = Catalog::new();
+        for n in ["A", "B"] {
+            c.register_with_schema(n, Schema::new(["g"]));
+        }
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY g WITHIN 10 ms SLIDE 2 ms"],
+        )
+        .unwrap();
+        let parts = compile(&c, &w, &SharingPlan::non_shared()).unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let router = BatchRouter::with_split(parts, 4, SplitConfig::eager(8));
+        (c, router, a, b)
+    }
+
+    #[test]
+    fn cold_split_group_cools_down_and_unsplits() {
+        let (_c, mut router, a, b) = split_setup();
+        let hot_key = GroupKey::One(Value::Int(7));
+
+        // phase 1: maximal skew on group 7 until it splits
+        let mut batch = EventBatch::new();
+        for i in 0..40u64 {
+            batch.push_from(
+                if i % 2 == 0 { a } else { b },
+                Timestamp(i),
+                [Value::Int(7)],
+            );
+        }
+        router.route(&batch);
+        assert_eq!(router.split_groups(), 1);
+
+        // phase 2: group 7 goes quiet while traffic spreads over many
+        // other groups. Its decayed share collapses, cool-down re-pins
+        // its finals to the owner, and one warm-up window past the cold
+        // decision the unsplit notice reaches every shard.
+        let mut t = 40u64;
+        let mut saw_unsplit = false;
+        for _ in 0..40 {
+            let mut batch = EventBatch::new();
+            for i in 0..64u64 {
+                t += 1;
+                batch.push_from(
+                    if i % 2 == 0 { a } else { b },
+                    Timestamp(t),
+                    [Value::Int((i % 13) as i64 + 100)],
+                );
+            }
+            let routed = router.route(&batch);
+            if routed
+                .iter()
+                .any(|r| r.unsplits.iter().any(|(pi, k)| *pi == 0 && *k == hot_key))
+            {
+                // the notice reaches every shard in the same batch
+                assert!(routed
+                    .iter()
+                    .all(|r| r.unsplits.contains(&(0, hot_key.clone()))));
+                saw_unsplit = true;
+                break;
+            }
+        }
+        assert!(saw_unsplit, "a cold split group must unsplit");
+        assert_eq!(router.split_groups(), 0);
+
+        // post-unsplit rows of group 7 hash-pin to exactly one shard with
+        // no replicas — the split machinery is fully dismantled
+        let mut batch = EventBatch::new();
+        t += 1;
+        batch.push_from(b, Timestamp(t), [Value::Int(7)]);
+        let routed = router.route(&batch);
+        let with_rows = routed.iter().filter(|r| !r.per_part[0].is_empty()).count();
+        assert_eq!(with_rows, 1);
+        assert!(routed.iter().all(|r| r.state_rows[0].is_empty()));
+        assert!(routed.iter().all(|r| r.unsplits.is_empty()));
+    }
+
+    #[test]
+    fn router_state_round_trips() {
+        let (_c, mut router, a, b) = split_setup();
+        let mut batch = EventBatch::new();
+        for i in 0..400u64 {
+            batch.push_from(
+                if i % 2 == 0 { a } else { b },
+                Timestamp(i),
+                [Value::Int(7)],
+            );
+        }
+        router.route(&batch);
+        assert_eq!(router.split_groups(), 1);
+
+        let mut sw = StateWriter::new();
+        router.save_state(&mut sw);
+        let bytes = sw.into_bytes();
+
+        let (_c2, mut restored, _, _) = split_setup();
+        let mut sr = StateReader::new(&bytes);
+        restored.load_state(&mut sr).unwrap();
+        assert!(sr.is_exhausted(), "router state fully consumed");
+        assert_eq!(restored.split_groups(), 1);
+
+        // the restored router makes byte-identical routing decisions —
+        // split membership, round-robin cursors, and decayed counters all
+        // carried over
+        let mut batch2 = EventBatch::new();
+        for i in 400..600u64 {
+            batch2.push_from(
+                if i % 2 == 0 { a } else { b },
+                Timestamp(i),
+                [Value::Int(7)],
+            );
+        }
+        let want = router.route(&batch2);
+        let got = restored.route(&batch2);
+        assert_eq!(want.len(), got.len());
+        for (w_rows, g_rows) in want.iter().zip(&got) {
+            assert_eq!(w_rows.per_part, g_rows.per_part);
+            assert_eq!(w_rows.state_rows, g_rows.state_rows);
+            assert_eq!(w_rows.splits, g_rows.splits);
+            assert_eq!(w_rows.unsplits, g_rows.unsplits);
+        }
+    }
+
+    /// A split group whose traffic merely dips briefly re-heats during
+    /// cooling and keeps its replicas — no unsplit notice, no warm-up
+    /// penalty.
+    #[test]
+    fn reheat_during_cooling_cancels_the_hand_off() {
+        let (_c, mut router, a, b) = split_setup();
+
+        let mut t = 0u64;
+        let skew = |router: &mut BatchRouter, t: &mut u64, n: u64, group: i64| {
+            let mut batch = EventBatch::new();
+            for i in 0..n {
+                *t += 1;
+                batch.push_from(
+                    if i % 2 == 0 { a } else { b },
+                    Timestamp(*t),
+                    [Value::Int(group)],
+                );
+            }
+            router.route(&batch)
+        };
+        skew(&mut router, &mut t, 40, 7);
+        assert_eq!(router.split_groups(), 1);
+        // a lull big enough to push group 7 below the cold threshold in
+        // one batch — cooling starts at this batch's sweep, with the
+        // deadline one warm-up window out
+        {
+            let mut batch = EventBatch::new();
+            for i in 0..300u64 {
+                t += 1;
+                batch.push_from(
+                    if i % 2 == 0 { a } else { b },
+                    Timestamp(t),
+                    [Value::Int((i % 13) as i64 + 100)],
+                );
+            }
+            router.route(&batch);
+        }
+        assert_eq!(router.split_groups(), 1, "cooling group is still split");
+        // group 7 storms back before (or even after) the deadline: the
+        // re-heat check runs first, so the hand-off is cancelled and the
+        // replicas — still warm, state rows kept broadcasting — carry on
+        let routed = skew(&mut router, &mut t, 200, 7);
+        assert_eq!(router.split_groups(), 1, "re-heated group stays split");
+        assert!(routed.iter().all(|r| r.unsplits.is_empty()));
     }
 
     /// The decayed counter forgets old traffic: a group that was briefly

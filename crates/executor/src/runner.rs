@@ -205,6 +205,60 @@ impl<A: Aggregate> SegmentRunner<A> {
     pub fn cell_count(&self) -> usize {
         self.starts.len() * (self.len - 1)
     }
+
+    /// Serialize the runner: segment length and every live START entry
+    /// with its cells (committed + pending, preserving the strict `<`
+    /// same-timestamp isolation). The expiration free list is a pure
+    /// allocation cache and is not persisted.
+    pub fn save_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.usize(self.len);
+        w.seq_len(self.starts.len());
+        for entry in &self.starts {
+            w.time(entry.time);
+            w.seq_len(entry.cells.len());
+            for cell in entry.cells.iter() {
+                cell.committed.save(w);
+                cell.pending.save(w);
+                w.time(cell.pending_time);
+            }
+        }
+    }
+
+    /// Decode a runner written by [`SegmentRunner::save_state`].
+    pub fn load_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Self, crate::checkpoint::StateError> {
+        let len = r.usize()?;
+        if len < 2 {
+            return Err(crate::checkpoint::StateError::Corrupt("segment length"));
+        }
+        let n = r.seq_len()?;
+        let mut starts = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let time = r.time()?;
+            let n_cells = r.seq_len()?;
+            if n_cells != len - 1 {
+                return Err(crate::checkpoint::StateError::Corrupt("cell array length"));
+            }
+            let mut cells = Vec::with_capacity(n_cells);
+            for _ in 0..n_cells {
+                cells.push(Cell {
+                    committed: A::load(r)?,
+                    pending: A::load(r)?,
+                    pending_time: r.time()?,
+                });
+            }
+            starts.push_back(StartEntry {
+                time,
+                cells: cells.into_boxed_slice(),
+            });
+        }
+        Ok(SegmentRunner {
+            len,
+            starts,
+            free: Vec::new(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +378,25 @@ mod tests {
     #[should_panic(expected = "length-1 segments are stateless")]
     fn length_one_rejected() {
         let _ = SegmentRunner::<CountCell>::new(1);
+    }
+
+    #[test]
+    fn state_round_trips_preserving_same_time_isolation() {
+        let mut r: SegmentRunner<CountCell> = SegmentRunner::new(3);
+        r.on_start(Timestamp(1), NONE);
+        r.on_mid(1, Timestamp(2), NONE);
+        r.on_start(Timestamp(2), NONE); // pending at t=2
+        let mut w = crate::checkpoint::StateWriter::new();
+        r.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut rd = crate::checkpoint::StateReader::new(&bytes);
+        let mut got: SegmentRunner<CountCell> = SegmentRunner::load_state(&mut rd).unwrap();
+        assert!(rd.is_exhausted());
+        assert_eq!(got.segment_len(), 3);
+        assert_eq!(got.live_starts(), 2);
+        // t=2's START and mid-update stay invisible at t=2, visible at t=3
+        assert_eq!(completions(&mut got, 2), vec![]);
+        assert_eq!(completions(&mut got, 3), vec![(1, 1)]);
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! The sharded parallel runtime with a **pipelined ingest stage**.
+//! The sharded parallel runtime with a **pipelined ingest stage** and a
+//! **durability tier** (consistent checkpoints, crash-exact resume, fault
+//! injection).
 //!
 //! `GROUP BY` partitions are independent by construction — "a result is
 //! returned per group and per window" (Definition 2) and no engine state is
@@ -55,7 +57,34 @@
 //! batch bodies — kept in [`Arc`]s end to end, including the fill buffer —
 //! return to an ingest-side pool once their `Arc` count drains, so the
 //! pipelined steady state performs no batch-, list-, or `Arc`-granular
-//! allocation.
+//! allocation. With checkpointing disabled the durability hooks reduce to
+//! two integer checks per batch — the zero-allocation steady state is
+//! unchanged (pinned by `tests/alloc_regression.rs`).
+//!
+//! # Durability
+//!
+//! With a [`CheckpointConfig`] (see [`ShardedOptions::checkpoint`], or the
+//! `SHARON_CHECKPOINT` knob via [`ShardedOptions::from_env`]) the runtime
+//! takes a **consistent checkpoint** every `interval_batches` ingested
+//! batches: a [`CheckpointBarrier`] message flows through the *same*
+//! rings as the data — ingest→router job ring first, then every worker
+//! ring — so each shard deposits its serialized engine state after
+//! exactly the batches routed before the barrier. No pause, no global
+//! lock: the barrier rides the pipeline. The router deposits its own
+//! split-tracker state, and the ingest thread writes the segments plus a
+//! checksummed manifest through [`CheckpointStore`] (segments first,
+//! manifest renamed into place last, so a torn checkpoint is never
+//! *latest*). [`ShardedExecutor::resume`] rebuilds the runtime from the
+//! latest complete checkpoint and returns the stream offset to replay
+//! from — results after replay are identical to an uninterrupted run.
+//!
+//! Failures are **contained and loud**: a worker or router panic flips
+//! the shared cancel flag (so every other thread drains instead of
+//! grinding on), and [`ShardedExecutor::finish`] fails fast with an error
+//! naming the dead thread instead of silently merging partial results.
+//! [`FaultPlan`] (the `SHARON_FAULT` knob) injects exactly these failures
+//! — dropped runs, worker panics, process aborts — at chosen batch
+//! indices, which is how the recovery suites earn their confidence.
 //!
 //! Shutdown is ordered: [`ShardedExecutor::finish`] closes the
 //! ingest→router ring *first* — the ring's close-then-drain semantics are
@@ -65,12 +94,17 @@
 //!
 //! [`Engine`]: crate::engine::Engine
 
-use crate::compile::{compile, CompileError};
+use crate::checkpoint::{
+    default_checkpoint_config, BarrierRef, CheckpointBarrier, CheckpointConfig, CheckpointError,
+    CheckpointStore, FaultPlan, StateError, StateReader, StateWriter,
+};
+use crate::compile::{compile, CompileError, CompiledPartition};
 use crate::engine::{EngineKind, ShardSlice};
 use crate::partial::PartialResults;
 use crate::processor::BatchProcessor;
 use crate::results::ExecutorResults;
 use crate::router::{BatchRouter, RouteBatch, RoutedRows, SplitConfig};
+use crate::spill::SpillConfig;
 use crate::spsc;
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{Catalog, Event, EventBatch, EventStream};
@@ -120,6 +154,33 @@ struct RouteJob {
     hi: usize,
 }
 
+/// What a worker ring carries: routed data, or a checkpoint barrier that
+/// must be answered *in stream order* (after every batch sent before it —
+/// that ordering is the whole consistency argument).
+enum WorkerMsg {
+    Batch(RoutedBatch),
+    Barrier(BarrierRef),
+}
+
+/// What the ingest→router job ring carries (same in-band ordering).
+enum RouterMsg {
+    Route(RouteJob),
+    Barrier(BarrierRef),
+}
+
+/// Armed at the top of every runtime thread: if the thread unwinds, flip
+/// the shared cancel flag so the rest of the runtime drains instead of
+/// blocking on (or burning CPU for) a peer that will never answer.
+struct CancelOnPanic(Arc<AtomicBool>);
+
+impl Drop for CancelOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
 /// What each worker reports back when its ring closes.
 #[derive(Debug, Default)]
 pub struct ShardReport {
@@ -146,16 +207,34 @@ pub struct ShardReport {
 pub trait ShardProcessor: Send {
     /// Process the pre-routed rows of `batch`, in row order per scope.
     /// Implementations hosting split groups must apply
-    /// [`RoutedRows::splits`] notices before the rows and interleave
-    /// [`RoutedRows::state_rows`] replicas in row order; processors that
+    /// [`RoutedRows::splits`] notices before the rows, interleave
+    /// [`RoutedRows::state_rows`] replicas in row order, and apply
+    /// [`RoutedRows::unsplits`] hand-backs after the rows; processors that
     /// never split (the two-step baselines) receive empty notice and
-    /// replica lists and can ignore both.
+    /// replica lists and can ignore all three.
     fn process_routed(&mut self, batch: &EventBatch, rows: &RoutedRows);
 
     /// Events matched so far (published to the ingest side after every
     /// batch); zero for strategies that do not track it.
     fn events_matched(&self) -> u64 {
         0
+    }
+
+    /// Serialize this shard's complete engine state for a checkpoint
+    /// barrier, or `None` if the strategy does not support checkpointing
+    /// (the default — the barrier then fails with a clear
+    /// [`CheckpointError::Mismatch`] instead of writing a lying manifest).
+    fn save_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state written by [`ShardProcessor::save_state`]. The
+    /// default rejects, matching the default `save_state`.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let _ = bytes;
+        Err(StateError::Corrupt(
+            "shard processor does not support state restore",
+        ))
     }
 
     /// Flush remaining windows and report this shard's results. Split
@@ -186,10 +265,38 @@ impl ShardProcessor for EngineShard {
                 engine.process_routed_split(batch, full, state);
             }
         }
+        // cool-down hand-backs apply after the rows: the batch was still
+        // routed split, the next one no longer is
+        for (scope, key) in &rows.unsplits {
+            self.engines[*scope as usize].mark_unsplit(key);
+        }
     }
 
     fn events_matched(&self) -> u64 {
         self.engines.iter().map(EngineKind::events_matched).sum()
+    }
+
+    fn save_state(&mut self) -> Option<Vec<u8>> {
+        let mut w = StateWriter::new();
+        w.seq_len(self.engines.len());
+        for engine in &mut self.engines {
+            engine.save_state(&mut w);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        if r.seq_len()? != self.engines.len() {
+            return Err(StateError::Corrupt("engine count per shard"));
+        }
+        for engine in &mut self.engines {
+            engine.load_state(&mut r)?;
+        }
+        if !r.is_exhausted() {
+            return Err(StateError::Corrupt("trailing engine state bytes"));
+        }
+        Ok(())
     }
 
     fn finish(self: Box<Self>) -> ShardReport {
@@ -221,7 +328,7 @@ impl ShardProcessor for EngineShard {
 /// The routing side's endpoints of one worker: the routed-batch ring in,
 /// the recycled row lists out.
 struct WorkerChannel {
-    sender: spsc::Sender<RoutedBatch>,
+    sender: spsc::Sender<WorkerMsg>,
     returns: spsc::Receiver<RoutedRows>,
 }
 
@@ -248,13 +355,16 @@ struct Fanout {
 
 impl Fanout {
     /// Route rows `lo..hi` of `batch` once and send each worker the
-    /// shared batch plus its owned row-index lists.
+    /// shared batch plus its owned row-index lists. A worker whose ring
+    /// closed early (its thread panicked) flips `cancel` instead of
+    /// cascading the panic into the routing side — `finish` reports the
+    /// dead shard.
     ///
     /// NOTE: `tests/alloc_regression.rs` (the pipelined steady-state
     /// test) mirrors this recycling protocol step by step on one thread
     /// to pin it at zero allocations deterministically — keep the two in
     /// sync when changing the pool/scratch handling here.
-    fn dispatch(&mut self, batch: &Arc<EventBatch>, lo: usize, hi: usize) {
+    fn dispatch(&mut self, batch: &Arc<EventBatch>, lo: usize, hi: usize, cancel: &AtomicBool) {
         let n_shards = self.channels.len();
         // drain the return rings: consumed row lists become routing slots
         let rows_cap = n_shards * (RING_DEPTH + 2);
@@ -274,22 +384,44 @@ impl Fanout {
                 }
                 continue;
             }
-            let ok = ch
+            let sent = ch
                 .sender
-                .send(RoutedBatch {
+                .send(WorkerMsg::Batch(RoutedBatch {
                     batch: Arc::clone(batch),
                     rows,
-                })
+                }))
                 .is_ok();
-            assert!(ok, "shard worker terminated early");
+            if !sent {
+                cancel.store(true, Ordering::Release);
+            }
         }
         self.route_scratch = out;
+    }
+
+    /// Inject a checkpoint barrier: serialize the router's own state,
+    /// send the barrier down **every** worker ring (in-band, behind all
+    /// previously routed batches), and deposit the router segment. Dead
+    /// rings flip `cancel` — the barrier wait then fails instead of
+    /// hanging.
+    fn send_barrier(&mut self, barrier: &BarrierRef, cancel: &AtomicBool) {
+        let mut w = StateWriter::new();
+        self.router.save_state(&mut w);
+        for ch in &mut self.channels {
+            if ch
+                .sender
+                .send(WorkerMsg::Barrier(Arc::clone(barrier)))
+                .is_err()
+            {
+                cancel.store(true, Ordering::Release);
+            }
+        }
+        barrier.fill_router(w.into_bytes());
     }
 }
 
 /// The ingest thread's handle on the dedicated router thread.
 struct RouterThread {
-    jobs: spsc::Sender<RouteJob>,
+    jobs: spsc::Sender<RouterMsg>,
     /// Returns the [`Fanout`] at end-of-stream so `finish` controls when
     /// the worker rings close (after all in-flight jobs routed).
     handle: JoinHandle<Fanout>,
@@ -305,6 +437,100 @@ enum IngestStage {
     Pipelined(RouterThread),
 }
 
+/// Every tuning and durability knob of the sharded runtime in one place;
+/// [`ShardedExecutor::with_options`] and [`ShardedExecutor::resume`] take
+/// it whole. [`ShardedOptions::default`] reproduces the classic
+/// constructors (no spill, no checkpoints, no faults);
+/// [`ShardedOptions::from_env`] additionally honors the
+/// `SHARON_CHECKPOINT` and `SHARON_FAULT` environment knobs.
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Events buffered before a batch is routed ([`DEFAULT_BATCH_SIZE`]).
+    pub batch_size: usize,
+    /// Hot-group splitting tuning (see [`SplitConfig`]).
+    pub split: SplitConfig,
+    /// Ingest pipeline depth (`0` = in-line routing; defaults to
+    /// [`default_pipeline_depth`]).
+    pub pipeline_depth: usize,
+    /// When set, every engine pages cold groups out to a spill log under
+    /// this configuration — bounded memory for huge `GROUP BY`
+    /// cardinalities (see [`SpillConfig`]).
+    pub spill: Option<SpillConfig>,
+    /// When set, take a consistent checkpoint every
+    /// `interval_batches` ingested batches into this store.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// When set, inject the given fault mid-stream (recovery testing —
+    /// see [`FaultPlan`]).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            batch_size: DEFAULT_BATCH_SIZE,
+            split: SplitConfig::default(),
+            pipeline_depth: default_pipeline_depth(),
+            spill: None,
+            checkpoint: None,
+            fault: None,
+        }
+    }
+}
+
+impl ShardedOptions {
+    /// The defaults plus the durability environment knobs:
+    /// `SHARON_CHECKPOINT=<dir>[:<interval>]` enables periodic
+    /// checkpoints, `SHARON_FAULT=<plan>` arms fault injection (both
+    /// panic on unparsable values — a typo must not silently run a
+    /// different configuration).
+    pub fn from_env() -> Self {
+        ShardedOptions {
+            checkpoint: default_checkpoint_config(),
+            fault: FaultPlan::from_env(),
+            ..ShardedOptions::default()
+        }
+    }
+}
+
+/// The ingest side's periodic-checkpoint state.
+struct Checkpointer {
+    store: CheckpointStore,
+    interval_batches: u64,
+}
+
+/// Build the online engine shards for `parts`: one [`EngineKind`] per
+/// compiled partition per shard, each restricted to its [`ShardSlice`],
+/// with the spill tier armed when configured.
+fn engine_shards(
+    parts: &[CompiledPartition],
+    n_shards: usize,
+    spill: Option<&SpillConfig>,
+) -> Vec<Box<dyn ShardProcessor>> {
+    (0..n_shards)
+        .map(|shard| {
+            let engines: Vec<EngineKind> = parts
+                .iter()
+                .enumerate()
+                .map(|(pi, part)| {
+                    let slice = ShardSlice {
+                        index: shard as u32,
+                        of: n_shards as u32,
+                        owns_global: pi % n_shards == shard,
+                    };
+                    let mut engine = EngineKind::for_partition(part.clone(), Some(slice));
+                    if let Some(cfg) = spill {
+                        engine
+                            .set_spill(cfg, &format!("{shard}-{pi}"))
+                            .unwrap_or_else(|e| panic!("spill tier init failed: {e}"));
+                    }
+                    engine
+                })
+                .collect();
+            Box::new(EngineShard { engines }) as Box<dyn ShardProcessor>
+        })
+        .collect()
+}
+
 /// A parallel executor that hash-partitions work across `N` worker shards.
 ///
 /// [`ShardedExecutor::new`] compiles a workload into online engine shards
@@ -316,7 +542,10 @@ enum IngestStage {
 /// rings — on the ingest thread or overlapped on a dedicated router
 /// thread, depending on the pipeline depth (see the module docs).
 /// [`ShardedExecutor::finish`] drains the pipeline and merges the
-/// disjoint shard results.
+/// disjoint shard results. [`ShardedExecutor::with_options`] adds the
+/// durability tier — periodic checkpoints, spill-to-disk groups, fault
+/// injection — and [`ShardedExecutor::resume`] restarts from the latest
+/// complete checkpoint.
 pub struct ShardedExecutor {
     /// `None` only after `finish`/`Drop` tore the stage down.
     stage: Option<IngestStage>,
@@ -331,14 +560,25 @@ pub struct ShardedExecutor {
     /// Incremented by `flush` as batches are fanned out; see
     /// [`ShardedExecutor::events_sent`].
     events_sent: u64,
+    /// Batches fanned out so far — the clock of the periodic
+    /// checkpointer and the fault plans.
+    batches_sent: u64,
     /// In-flight batch bodies; entries whose `Arc` count drains back to 1
     /// are cleared and reused by the next flush.
     batch_pool: Vec<Arc<EventBatch>>,
-    /// Set when the executor is dropped without `finish`: the router
-    /// thread and the workers discard queued batches instead of draining
-    /// them (a capped/aborted bench run must not keep burning CPU on
-    /// detached threads).
+    /// Set when the executor is dropped without `finish`, or when any
+    /// runtime thread panics: the router thread and the workers discard
+    /// queued batches instead of draining them (a capped/aborted bench
+    /// run must not keep burning CPU on detached threads, and a
+    /// half-dead runtime must fail fast rather than hang).
     cancel: Arc<AtomicBool>,
+    /// Periodic-checkpoint state ([`ShardedOptions::checkpoint`]).
+    checkpointer: Option<Checkpointer>,
+    /// Armed fault injection ([`ShardedOptions::fault`]).
+    fault: Option<FaultPlan>,
+    /// Set once a `Drop`-fault fired: ingest stops and `finish` panics,
+    /// simulating a crash with unflushed state.
+    fault_tripped: Option<u64>,
 }
 
 impl ShardedExecutor {
@@ -404,7 +644,6 @@ impl ShardedExecutor {
         )
     }
 
-    /// The full-knob online constructor:
     /// [`ShardedExecutor::with_split_config`] plus an explicit ingest
     /// pipeline depth (`0` = in-line routing on the ingest thread,
     /// `n ≥ 1` = a dedicated router thread behind an `n`-deep job ring;
@@ -418,32 +657,85 @@ impl ShardedExecutor {
         split: SplitConfig,
         pipeline_depth: usize,
     ) -> Result<Self, CompileError> {
+        Self::with_options(
+            catalog,
+            workload,
+            plan,
+            n_shards,
+            ShardedOptions {
+                batch_size,
+                split,
+                pipeline_depth,
+                ..ShardedOptions::default()
+            },
+        )
+    }
+
+    /// The full-knob online constructor: compile `workload` under `plan`
+    /// and spawn `n_shards` online engine shards configured by `options`
+    /// (batching, splitting, pipelining, spill tier, checkpoints, fault
+    /// injection).
+    pub fn with_options(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        options: ShardedOptions,
+    ) -> Result<Self, CompileError> {
         assert!(n_shards >= 1, "need at least one shard");
         let parts = compile(catalog, workload, plan)?;
-        let shards = (0..n_shards)
-            .map(|shard| {
-                let engines: Vec<EngineKind> = parts
-                    .iter()
-                    .enumerate()
-                    .map(|(pi, part)| {
-                        let slice = ShardSlice {
-                            index: shard as u32,
-                            of: n_shards as u32,
-                            owns_global: pi % n_shards == shard,
-                        };
-                        EngineKind::for_partition(part.clone(), Some(slice))
-                    })
-                    .collect();
-                Box::new(EngineShard { engines }) as Box<dyn ShardProcessor>
-            })
-            .collect();
-        let router = Box::new(BatchRouter::with_split(parts, n_shards, split));
-        Ok(Self::from_parts_with(
-            router,
-            shards,
-            batch_size,
-            pipeline_depth,
-        ))
+        let shards = engine_shards(&parts, n_shards, options.spill.as_ref());
+        let router = Box::new(BatchRouter::with_split(parts, n_shards, options.split));
+        Ok(Self::build_with(router, shards, options, 0))
+    }
+
+    /// Rebuild the runtime from the **latest complete checkpoint** in
+    /// `options.checkpoint` (which must be set) and return it together
+    /// with the stream offset to replay from: re-ingest every event from
+    /// that offset on and the results are identical to an uninterrupted
+    /// run. The compiled workload, shard count, and split configuration
+    /// must match the checkpointing run — mismatches are reported, never
+    /// guessed around.
+    pub fn resume(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        options: ShardedOptions,
+    ) -> Result<(Self, u64), CheckpointError> {
+        let Some(cfg) = options.checkpoint.clone() else {
+            return Err(CheckpointError::Mismatch(
+                "resume requires a checkpoint directory".into(),
+            ));
+        };
+        let store = CheckpointStore::open(&cfg.dir)?;
+        let data = store.latest()?;
+        if data.shards.len() != n_shards {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} shard segment(s), runtime has {n_shards} shard(s)",
+                data.shards.len()
+            )));
+        }
+        let parts = compile(catalog, workload, plan)
+            .map_err(|e| CheckpointError::Mismatch(format!("workload does not compile: {e}")))?;
+        let mut shards = engine_shards(&parts, n_shards, options.spill.as_ref());
+        let mut router = Box::new(BatchRouter::with_split(parts, n_shards, options.split));
+        {
+            let mut r = StateReader::new(&data.router);
+            router.load_state(&mut r)?;
+            if !r.is_exhausted() {
+                return Err(CheckpointError::Corrupt(
+                    "trailing router state bytes".into(),
+                ));
+            }
+        }
+        for (shard, processor) in shards.iter_mut().enumerate() {
+            processor
+                .load_state(&data.shards[shard])
+                .map_err(|e| CheckpointError::Corrupt(format!("shard {shard} state: {e}")))?;
+        }
+        let offset = data.events_sent;
+        Ok((Self::build_with(router, shards, options, offset), offset))
     }
 
     /// Build the runtime from an explicit router + one processor per
@@ -469,6 +761,28 @@ impl ShardedExecutor {
         batch_size: usize,
         pipeline_depth: usize,
     ) -> Self {
+        Self::build_with(
+            router,
+            shards,
+            ShardedOptions {
+                batch_size,
+                pipeline_depth,
+                ..ShardedOptions::default()
+            },
+            0,
+        )
+    }
+
+    /// Spawn the worker threads (and the router thread in pipelined
+    /// mode) around `router` + `shards`. `events_sent` seeds the ingest
+    /// counter — zero for fresh runs, the checkpoint's replay offset for
+    /// resumed ones.
+    fn build_with(
+        router: Box<dyn RouteBatch>,
+        shards: Vec<Box<dyn ShardProcessor>>,
+        options: ShardedOptions,
+        events_sent: u64,
+    ) -> Self {
         let n_shards = shards.len();
         assert!(n_shards >= 1, "need at least one shard");
         assert_eq!(
@@ -476,35 +790,63 @@ impl ShardedExecutor {
             n_shards,
             "router and processor shard counts must agree"
         );
-        let batch_size = batch_size.max(1);
+        let batch_size = options.batch_size.max(1);
+        let pipeline_depth = options.pipeline_depth;
         let cancel = Arc::new(AtomicBool::new(false));
+        let checkpointer = options.checkpoint.as_ref().map(|cfg| Checkpointer {
+            store: CheckpointStore::open(&cfg.dir)
+                .unwrap_or_else(|e| panic!("checkpoint store {}: {e}", cfg.dir.display())),
+            interval_batches: cfg.interval_batches.max(1),
+        });
 
         let mut channels = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for (shard, processor) in shards.into_iter().enumerate() {
-            let (sender, receiver) = spsc::ring::<RoutedBatch>(RING_DEPTH);
+            let (sender, receiver) = spsc::ring::<WorkerMsg>(RING_DEPTH);
             // the return ring is sized so a worker's try_send can only hit
             // a full ring if the routing side stopped draining it
             let (mut return_tx, returns) = spsc::ring::<RoutedRows>(RING_DEPTH + 2);
             let matched = Arc::new(AtomicU64::new(0));
             let matched_pub = Arc::clone(&matched);
             let cancelled = Arc::clone(&cancel);
+            let fault_at = match options.fault {
+                Some(FaultPlan::PanicWorker { batch, shard: s }) if s == shard => Some(batch),
+                _ => None,
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("sharon-shard-{shard}"))
                 .spawn(move || {
+                    let _guard = CancelOnPanic(Arc::clone(&cancelled));
                     let mut processor = processor;
                     let mut receiver = receiver;
-                    while let Some(RoutedBatch { batch, mut rows }) = receiver.recv() {
-                        if cancelled.load(Ordering::Relaxed) {
-                            continue; // aborted: drain without processing
+                    let mut processed: u64 = 0;
+                    while let Some(msg) = receiver.recv() {
+                        match msg {
+                            WorkerMsg::Batch(RoutedBatch { batch, mut rows }) => {
+                                if cancelled.load(Ordering::Relaxed) {
+                                    continue; // aborted: drain without processing
+                                }
+                                if fault_at == Some(processed) {
+                                    panic!(
+                                        "injected fault: worker shard {shard} \
+                                         panicking at its batch {processed}"
+                                    );
+                                }
+                                processed += 1;
+                                processor.process_routed(&batch, &rows);
+                                matched_pub.store(processor.events_matched(), Ordering::Relaxed);
+                                drop(batch); // release the body before recycling rows
+                                rows.clear();
+                                // recycle the row lists; dropping them is fine if
+                                // the return ring is (transiently) full
+                                let _ = return_tx.try_send(rows);
+                            }
+                            WorkerMsg::Barrier(barrier) => {
+                                // in-band: state covers exactly the batches
+                                // routed before the barrier
+                                barrier.fill_shard(shard, processor.save_state());
+                            }
                         }
-                        processor.process_routed(&batch, &rows);
-                        matched_pub.store(processor.events_matched(), Ordering::Relaxed);
-                        drop(batch); // release the body before recycling rows
-                        rows.clear();
-                        // recycle the row lists; dropping them is fine if
-                        // the return ring is (transiently) full
-                        let _ = return_tx.try_send(rows);
                     }
                     processor.finish()
                 })
@@ -522,20 +864,28 @@ impl ShardedExecutor {
         let stage = if pipeline_depth == 0 {
             IngestStage::Inline(fanout)
         } else {
-            let (jobs, mut job_rx) = spsc::ring::<RouteJob>(pipeline_depth);
+            let (jobs, mut job_rx) = spsc::ring::<RouterMsg>(pipeline_depth);
             let split_groups = Arc::new(AtomicUsize::new(0));
             let splits_pub = Arc::clone(&split_groups);
             let cancelled = Arc::clone(&cancel);
             let handle = std::thread::Builder::new()
                 .name("sharon-router".into())
                 .spawn(move || {
+                    let _guard = CancelOnPanic(Arc::clone(&cancelled));
                     let mut fanout = fanout;
-                    while let Some(RouteJob { batch, lo, hi }) = job_rx.recv() {
-                        if cancelled.load(Ordering::Relaxed) {
-                            continue; // aborted: drain jobs without routing
+                    while let Some(msg) = job_rx.recv() {
+                        match msg {
+                            RouterMsg::Route(RouteJob { batch, lo, hi }) => {
+                                if cancelled.load(Ordering::Relaxed) {
+                                    continue; // aborted: drain jobs without routing
+                                }
+                                fanout.dispatch(&batch, lo, hi, &cancelled);
+                                splits_pub.store(fanout.router.split_groups(), Ordering::Relaxed);
+                            }
+                            RouterMsg::Barrier(barrier) => {
+                                fanout.send_barrier(&barrier, &cancelled);
+                            }
                         }
-                        fanout.dispatch(&batch, lo, hi);
-                        splits_pub.store(fanout.router.split_groups(), Ordering::Relaxed);
                     }
                     // end of stream: hand the fan-out back so `finish`
                     // closes the worker rings only after every queued job
@@ -557,9 +907,13 @@ impl ShardedExecutor {
             batch_size,
             n_shards,
             pipeline_depth,
-            events_sent: 0,
+            events_sent,
+            batches_sent: 0,
             batch_pool: Vec::new(),
             cancel,
+            checkpointer,
+            fault: options.fault,
+            fault_tripped: None,
         }
     }
 
@@ -575,7 +929,9 @@ impl ShardedExecutor {
     }
 
     /// Events fanned out to the routing stage so far (excluding the
-    /// unflushed buffer).
+    /// unflushed buffer). Resumed runtimes start at the checkpoint's
+    /// replay offset, so the counter always reflects absolute stream
+    /// position.
     pub fn events_sent(&self) -> u64 {
         self.events_sent
     }
@@ -695,25 +1051,117 @@ impl ShardedExecutor {
         }
     }
 
-    /// Send rows `lo..hi` of `batch` through the routing stage.
+    /// Send rows `lo..hi` of `batch` through the routing stage, then run
+    /// the per-batch durability hooks (fault injection, periodic
+    /// checkpoints). With both disabled the hooks cost two integer
+    /// checks — the zero-allocation steady state is untouched.
     fn dispatch_range(&mut self, batch: &Arc<EventBatch>, lo: usize, hi: usize) {
+        if self.fault_check() {
+            return; // "crashed": the rest of the stream is lost
+        }
         self.events_sent += (hi - lo) as u64;
-        match self.stage.as_mut().expect("executor is active") {
-            IngestStage::Inline(fanout) => fanout.dispatch(batch, lo, hi),
+        let Self { stage, cancel, .. } = self;
+        match stage.as_mut().expect("executor is active") {
+            IngestStage::Inline(fanout) => fanout.dispatch(batch, lo, hi, cancel),
             IngestStage::Pipelined(rt) => {
                 // blocks when `pipeline_depth` jobs are already in flight —
-                // the pipeline's backpressure
-                let ok = rt
+                // the pipeline's backpressure; a dead router thread flips
+                // cancel and `finish` reports it
+                if rt
                     .jobs
-                    .send(RouteJob {
+                    .send(RouterMsg::Route(RouteJob {
                         batch: Arc::clone(batch),
                         lo,
                         hi,
-                    })
-                    .is_ok();
-                assert!(ok, "router thread terminated early");
+                    }))
+                    .is_err()
+                {
+                    cancel.store(true, Ordering::Release);
+                }
             }
         }
+        self.batches_sent += 1;
+        self.maybe_checkpoint();
+    }
+
+    /// Evaluate the armed ingest-side fault plan; returns `true` when the
+    /// run is (now or already) simulated-dead and the batch must be
+    /// dropped. `Abort` hard-kills the process — the external
+    /// kill-and-resume harness relies on that being indistinguishable
+    /// from a real crash.
+    fn fault_check(&mut self) -> bool {
+        if self.fault_tripped.is_some() {
+            return true;
+        }
+        match self.fault {
+            Some(FaultPlan::Drop { batch }) if self.batches_sent >= batch => {
+                self.cancel.store(true, Ordering::Release);
+                self.fault_tripped = Some(batch);
+                true
+            }
+            Some(FaultPlan::Abort { batch }) if self.batches_sent >= batch => {
+                eprintln!("sharon: injected fault abort@{batch}: aborting process");
+                std::process::abort();
+            }
+            _ => false,
+        }
+    }
+
+    /// Take a periodic checkpoint when one is due. Failing to persist a
+    /// checkpoint that was asked for is fatal: a run that silently stops
+    /// checkpointing would resume from an arbitrarily stale offset.
+    fn maybe_checkpoint(&mut self) {
+        let due = self
+            .checkpointer
+            .as_ref()
+            .is_some_and(|c| self.batches_sent.is_multiple_of(c.interval_batches));
+        if due {
+            if let Err(e) = self.take_checkpoint() {
+                panic!("periodic checkpoint failed: {e}");
+            }
+        }
+    }
+
+    /// Inject a barrier behind everything sent so far, wait for every
+    /// shard's state deposit, and persist the checkpoint.
+    fn take_checkpoint(&mut self) -> Result<u64, CheckpointError> {
+        let barrier: BarrierRef = Arc::new(CheckpointBarrier::new(self.n_shards));
+        let Self { stage, cancel, .. } = self;
+        match stage.as_mut().expect("executor is active") {
+            IngestStage::Inline(fanout) => fanout.send_barrier(&barrier, cancel),
+            IngestStage::Pipelined(rt) => {
+                if rt
+                    .jobs
+                    .send(RouterMsg::Barrier(Arc::clone(&barrier)))
+                    .is_err()
+                {
+                    cancel.store(true, Ordering::Release);
+                }
+            }
+        }
+        let (router, shards) = barrier.wait(&self.cancel)?;
+        let ck = self
+            .checkpointer
+            .as_ref()
+            .expect("checkpoint requires a configured store");
+        let id = ck.store.next_id()?;
+        ck.store.write(id, self.events_sent, &router, &shards)?;
+        sharon_metrics::record_checkpoints_written(1);
+        Ok(id)
+    }
+
+    /// Flush the ingest buffer and take a checkpoint **now**, regardless
+    /// of the periodic interval. Returns the new checkpoint's id.
+    ///
+    /// Panics if the runtime was built without
+    /// [`ShardedOptions::checkpoint`].
+    pub fn checkpoint_now(&mut self) -> Result<u64, CheckpointError> {
+        assert!(
+            self.checkpointer.is_some(),
+            "checkpoint_now requires a configured checkpoint store"
+        );
+        self.flush();
+        self.take_checkpoint()
     }
 
     /// Flush remaining events, stop the workers, and merge their results
@@ -729,19 +1177,36 @@ impl ShardedExecutor {
 
     /// [`ShardedExecutor::finish`] plus runtime statistics:
     /// `(results, events_matched, summed state-size proxy)`.
+    ///
+    /// Fails fast — panics with an error naming the dead thread — when
+    /// any worker or the router thread panicked mid-run (including
+    /// injected faults): partial results are discarded, never merged, so
+    /// a half-dead run can never masquerade as a complete one.
     pub fn finish_with_stats(mut self) -> (ExecutorResults, u64, usize) {
         self.flush();
+        if let Some(batch) = self.fault_tripped {
+            // a Drop-fault is a simulated crash: the Drop impl tears the
+            // stage down during this unwind (cancel is already set)
+            panic!(
+                "injected fault: simulated crash at ingested batch {batch} (buffered state lost)"
+            );
+        }
         // teardown order is the flush contract: close the ingest→router
         // ring FIRST (close-then-drain is the poison message — the router
         // thread routes every queued job before returning its fan-out),
         // and only THEN drop the fan-out, closing the worker rings — so
         // no routed batch is lost and every ShardReport is complete
+        let mut router_failed = false;
         match self.stage.take().expect("finish runs once") {
             IngestStage::Inline(fanout) => drop(fanout),
             IngestStage::Pipelined(rt) => {
                 drop(rt.jobs);
-                let fanout = rt.handle.join().expect("router thread panicked");
-                drop(fanout);
+                match rt.handle.join() {
+                    // a panicked router already dropped its fan-out during
+                    // unwind, closing the worker rings
+                    Ok(fanout) => drop(fanout),
+                    Err(_) => router_failed = true,
+                }
             }
         }
         // all rings are closed: join the shards in deterministic order
@@ -750,12 +1215,30 @@ impl ShardedExecutor {
         let mut partials = PartialResults::new();
         let mut matched = 0u64;
         let mut state = 0usize;
-        for worker in workers {
-            let report = worker.handle.join().expect("shard worker panicked");
-            results.merge(report.results);
-            partials.absorb(report.partials);
-            matched += report.events_matched;
-            state += report.state_size;
+        let mut failed_shards = Vec::new();
+        for (shard, worker) in workers.into_iter().enumerate() {
+            match worker.handle.join() {
+                Ok(report) => {
+                    results.merge(report.results);
+                    partials.absorb(report.partials);
+                    matched += report.events_matched;
+                    state += report.state_size;
+                }
+                Err(_) => failed_shards.push(shard),
+            }
+        }
+        if router_failed || !failed_shards.is_empty() {
+            let mut parts = Vec::new();
+            if router_failed {
+                parts.push("the router thread panicked".to_string());
+            }
+            if !failed_shards.is_empty() {
+                parts.push(format!("worker shard(s) {failed_shards:?} panicked"));
+            }
+            panic!(
+                "sharded runtime failed: {} — partial results discarded",
+                parts.join("; ")
+            );
         }
         // the merge step: combine split groups' sub-aggregates across
         // shards, then project them into the final result set
@@ -870,6 +1353,13 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sharon-sharded-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -1064,5 +1554,165 @@ mod tests {
         let (c, w) = grouped_workload();
         let sharded = ShardedExecutor::non_shared(&c, &w, 2).unwrap();
         assert_eq!(sharded.pipeline_depth(), default_pipeline_depth());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_match_uninterrupted_run() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 4000, 37);
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want_matched = sequential.events_matched();
+        let want = sequential.finish();
+
+        let plan = SharingPlan::non_shared();
+        for depth in [0usize, 2] {
+            let dir = test_dir(&format!("resume-{depth}"));
+            let options = ShardedOptions {
+                batch_size: 128,
+                pipeline_depth: depth,
+                checkpoint: Some(CheckpointConfig::every(&dir, 4)),
+                ..ShardedOptions::default()
+            };
+            let written_before = sharon_metrics::checkpoints_written();
+            let mut sharded =
+                ShardedExecutor::with_options(&c, &w, &plan, 3, options.clone()).unwrap();
+            sharded.process_batch(&events[..2400]);
+            assert!(
+                sharon_metrics::checkpoints_written() >= written_before + 4,
+                "periodic checkpoints were taken"
+            );
+            drop(sharded); // simulated crash: buffered + post-checkpoint state lost
+
+            let (mut resumed, offset) = ShardedExecutor::resume(&c, &w, &plan, 3, options).unwrap();
+            assert_eq!(
+                offset, 2048,
+                "depth {depth}: latest complete checkpoint is 16 batches of 128"
+            );
+            assert_eq!(resumed.events_sent(), offset);
+            resumed.process_batch(&events[offset as usize..]);
+            let (got, matched, _) = resumed.finish_with_stats();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "depth {depth}: resumed run diverges from uninterrupted"
+            );
+            assert_eq!(matched, want_matched, "depth {depth}: matched count");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn worker_panic_cancels_the_run_and_finish_fails_fast() {
+        let (c, w) = grouped_workload();
+        let plan = SharingPlan::non_shared();
+        for depth in [0usize, 2] {
+            let events = stream(&c, 2000, 11);
+            let options = ShardedOptions {
+                batch_size: 64,
+                pipeline_depth: depth,
+                fault: Some(FaultPlan::PanicWorker { batch: 2, shard: 1 }),
+                ..ShardedOptions::default()
+            };
+            let sharded = ShardedExecutor::with_options(&c, &w, &plan, 3, options).unwrap();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let mut sharded = sharded;
+                sharded.process_batch(&events);
+                sharded.finish()
+            }));
+            let err = result.expect_err("a panicked worker must fail the run");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("worker shard"),
+                "depth {depth}: unexpected panic message: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_fault_stops_ingest_and_fails_finish() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 1000, 7);
+        let plan = SharingPlan::non_shared();
+        let options = ShardedOptions {
+            batch_size: 64,
+            pipeline_depth: 2,
+            fault: Some(FaultPlan::Drop { batch: 3 }),
+            ..ShardedOptions::default()
+        };
+        let mut sharded = ShardedExecutor::with_options(&c, &w, &plan, 2, options).unwrap();
+        sharded.process_batch(&events);
+        assert_eq!(
+            sharded.events_sent(),
+            3 * 64,
+            "ingest stops dead at the faulted batch"
+        );
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || sharded.finish()));
+        let err = result.expect_err("a dropped run must not report results");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("injected fault"),
+            "unexpected panic message: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn resume_without_a_checkpoint_reports_missing() {
+        let (c, w) = grouped_workload();
+        let plan = SharingPlan::non_shared();
+
+        // an empty (just-created) store has nothing to resume from
+        let dir = test_dir("empty-store");
+        let options = ShardedOptions {
+            checkpoint: Some(CheckpointConfig::every(&dir, 8)),
+            ..ShardedOptions::default()
+        };
+        let err = ShardedExecutor::resume(&c, &w, &plan, 2, options)
+            .err()
+            .expect("resume from an empty store must fail");
+        assert!(
+            matches!(err, CheckpointError::Missing),
+            "expected Missing, got {err:?}"
+        );
+
+        // resuming without a configured store is a usage error
+        let err = ShardedExecutor::resume(&c, &w, &plan, 2, ShardedOptions::default())
+            .err()
+            .expect("resume without a store must fail");
+        assert!(
+            matches!(err, CheckpointError::Mismatch(_)),
+            "expected Mismatch, got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_tier_keeps_sharded_results_exact() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 3000, 53);
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want = sequential.finish();
+
+        let dir = test_dir("spill");
+        let plan = SharingPlan::non_shared();
+        let options = ShardedOptions {
+            batch_size: 128,
+            spill: Some(SpillConfig::new(&dir, 8)),
+            ..ShardedOptions::default()
+        };
+        let spills_before = sharon_metrics::group_spills();
+        let mut sharded = ShardedExecutor::with_options(&c, &w, &plan, 2, options).unwrap();
+        sharded.process_batch(&events);
+        let got = sharded.finish();
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "spilled run diverges from sequential"
+        );
+        assert!(
+            sharon_metrics::group_spills() > spills_before,
+            "cold groups actually paged out"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -315,6 +315,41 @@ mod tests {
     }
 
     #[test]
+    fn blocked_send_fails_when_receiver_closes_mid_wait() {
+        // the panic-containment path: a routing side blocked on a full
+        // ring whose worker died must get an error, not a hang
+        let (mut tx, rx) = ring::<u8>(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2));
+        // give the sender time to enter its blocking wait on the full ring
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx); // close while full
+        assert_eq!(
+            sender.join().unwrap(),
+            Err(2),
+            "a send blocked on a full ring must fail when the receiver goes away"
+        );
+    }
+
+    #[test]
+    fn close_while_full_drains_in_fifo_order() {
+        // closing a *full* ring must not disturb the unconsumed prefix:
+        // the consumer drains every queued item in order, then sees a
+        // stable end-of-stream
+        let (mut tx, mut rx) = ring::<u8>(3);
+        for v in [10, 20, 30] {
+            tx.send(v).unwrap();
+        }
+        assert_eq!(tx.try_send(40), Err(40), "ring is full");
+        drop(tx);
+        assert_eq!(rx.recv(), Some(10));
+        assert_eq!(rx.recv(), Some(20));
+        assert_eq!(rx.recv(), Some(30));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.try_recv(), None, "end-of-stream is stable");
+    }
+
+    #[test]
     fn unconsumed_items_are_dropped_not_leaked() {
         use std::sync::Arc as StdArc;
         let marker: StdArc<()> = StdArc::new(());

@@ -34,6 +34,48 @@ pub fn router_scope_scans() -> u64 {
     ROUTER_SCOPE_SCANS.load(Ordering::Relaxed)
 }
 
+/// Total checkpoints completed (manifest renamed into place).
+static CHECKPOINTS_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` completed checkpoints.
+#[inline]
+pub fn record_checkpoints_written(n: u64) {
+    CHECKPOINTS_WRITTEN.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total checkpoints completed so far in this process.
+pub fn checkpoints_written() -> u64 {
+    CHECKPOINTS_WRITTEN.load(Ordering::Relaxed)
+}
+
+/// Total group-state spills: cold groups paged out to a spill log.
+static GROUP_SPILLS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` group spills (called by the engines' spill tier).
+#[inline]
+pub fn record_group_spills(n: u64) {
+    GROUP_SPILLS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total group spills recorded so far in this process.
+pub fn group_spills() -> u64 {
+    GROUP_SPILLS.load(Ordering::Relaxed)
+}
+
+/// Total group-state reloads: spilled groups paged back in on access.
+static GROUP_RELOADS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` group reloads (called by the engines' spill tier).
+#[inline]
+pub fn record_group_reloads(n: u64) {
+    GROUP_RELOADS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total group reloads recorded so far in this process.
+pub fn group_reloads() -> u64 {
+    GROUP_RELOADS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +86,16 @@ mod tests {
         record_router_scope_scans(3);
         record_router_scope_scans(1);
         assert!(router_scope_scans() >= before + 4);
+    }
+
+    #[test]
+    fn durability_counters_accumulate() {
+        let (c0, s0, r0) = (checkpoints_written(), group_spills(), group_reloads());
+        record_checkpoints_written(1);
+        record_group_spills(2);
+        record_group_reloads(3);
+        assert!(checkpoints_written() > c0);
+        assert!(group_spills() >= s0 + 2);
+        assert!(group_reloads() >= r0 + 3);
     }
 }

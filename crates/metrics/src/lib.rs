@@ -22,6 +22,9 @@ pub use alloc::{
     alloc_count, current_bytes, measure_allocs, measure_peak, peak_bytes, reset_peak,
     TrackingAllocator,
 };
-pub use counters::{record_router_scope_scans, router_scope_scans};
+pub use counters::{
+    checkpoints_written, group_reloads, group_spills, record_checkpoints_written,
+    record_group_reloads, record_group_spills, record_router_scope_scans, router_scope_scans,
+};
 pub use latency::{timed, LatencyRecorder};
 pub use report::{fmt_bytes, fmt_duration, fmt_throughput, Table};
