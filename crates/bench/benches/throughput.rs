@@ -281,6 +281,7 @@ fn query_count_sweep(n_queries: usize) -> (String, Vec<Run>) {
                         shards,
                         sharon::executor::DEFAULT_BATCH_SIZE,
                         depth,
+                        None,
                     )
                     .unwrap();
                     ex.process_shared(&shared);

@@ -10,7 +10,7 @@
 //!          [--strategy sharon|greedy|aseq|flink|spass] [--shards N]
 //!          [--pipeline-depth N] [--skew THETA] [--explain] [--results N]
 //!          [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]
-//!          [--spill-max N]
+//!          [--spill-max N] [--disorder K] [--lateness B]
 //!
 //! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
 //! Figure 2 purchase workload (ec) is used. `--shards N` runs *any*
@@ -31,8 +31,18 @@
 //! checkpoint in that directory and replays the stream from the recorded
 //! offset; `--spill-max N` pages cold groups to disk, keeping at most N
 //! groups resident per engine. The `SHARON_CHECKPOINT=<dir>[:<interval>]`
-//! and `SHARON_FAULT=<drop@N|panic@N:S|abort@N>` environment knobs are
-//! honored too (unparsable values are fatal, never ignored).
+//! and `SHARON_FAULT=<drop@N|panic@N:S|abort@N|reorder@N:K>` environment
+//! knobs are honored too (unparsable values are fatal, never ignored).
+//!
+//! Event time: `--disorder K` scrambles the generated stream with bounded
+//! disorder (each event displaced at most K positions; seeded, so runs
+//! are reproducible), `--lateness B` runs the strategy in event-time mode
+//! with an allowed lateness of B milliseconds — rows buffer behind the
+//! watermark `max_time_seen − B` and release in event-time order; rows
+//! behind the watermark are dropped and counted. Results are exact
+//! whenever B covers the stream's disorder (in event-time milliseconds).
+//! The `SHARON_DISORDER=<K>` and `SHARON_LATENESS=<B>` environment knobs
+//! are honored too; flags override them.
 //! ```
 
 use sharon::executor::{CheckpointConfig, ShardedOptions, SpillConfig};
@@ -58,6 +68,8 @@ struct Args {
     checkpoint_interval: Option<u64>,
     resume: bool,
     spill_max: Option<usize>,
+    disorder: Option<u32>,
+    lateness: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -75,6 +87,8 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_interval: None,
         resume: false,
         spill_max: None,
+        disorder: None,
+        lateness: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -138,6 +152,20 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--spill-max: {e}"))?,
                 )
             }
+            "--disorder" => {
+                args.disorder = Some(
+                    value("--disorder")?
+                        .parse()
+                        .map_err(|e| format!("--disorder: {e}"))?,
+                )
+            }
+            "--lateness" => {
+                args.lateness = Some(
+                    value("--lateness")?
+                        .parse()
+                        .map_err(|e| format!("--lateness: {e}"))?,
+                )
+            }
             "--explain" => args.explain = true,
             "--help" | "-h" => {
                 println!(
@@ -146,7 +174,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20        [--strategy sharon|greedy|aseq|flink|spass] [--shards N]\n\
                      \x20        [--pipeline-depth N] [--skew THETA] [--explain] [--results N]\n\
                      \x20        [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]\n\
-                     \x20        [--spill-max N]"
+                     \x20        [--spill-max N] [--disorder K] [--lateness B]"
                 );
                 std::process::exit(0);
             }
@@ -165,7 +193,11 @@ fn main() {
         }
     };
 
-    // 1. stream — generated directly in columnar form
+    // 1. stream — generated directly in columnar form; --disorder
+    // overrides the SHARON_DISORDER environment knob
+    let disorder = args
+        .disorder
+        .unwrap_or_else(sharon::streams::disorder_from_env);
     let mut catalog = Catalog::new();
     let events = match args.stream.as_str() {
         "taxi" => taxi::generate_batch(
@@ -174,6 +206,7 @@ fn main() {
                 n_events: args.events,
                 n_streets: 7,
                 skew: args.skew,
+                disorder,
                 ..Default::default()
             },
         ),
@@ -182,6 +215,7 @@ fn main() {
             &linear_road::LinearRoadConfig {
                 duration_secs: (args.events / 500).max(10) as u64,
                 skew: args.skew,
+                disorder,
                 ..Default::default()
             },
         ),
@@ -190,6 +224,7 @@ fn main() {
             &ecommerce::EcommerceConfig {
                 n_events: args.events,
                 skew: args.skew,
+                disorder,
                 ..Default::default()
             },
         ),
@@ -207,6 +242,12 @@ fn main() {
         );
     } else {
         eprintln!("stream: {} events ({})", events.len(), args.stream);
+    }
+    if disorder > 0 {
+        eprintln!(
+            "disorder: events displaced up to {disorder} positions ({} ms of lateness absorbs it exactly)",
+            sharon::streams::required_lateness(&events)
+        );
     }
 
     // 2. workload
@@ -283,6 +324,20 @@ fn main() {
         eprintln!("error: --resume needs --checkpoint-dir (or SHARON_CHECKPOINT)");
         std::process::exit(2);
     }
+    // event-time knobs: --lateness overrides SHARON_LATENESS (already in
+    // options); a disordered stream without a lateness bound would
+    // violate every strategy's arrival-order contract, so refuse it
+    if let Some(b) = args.lateness {
+        options.lateness = Some(b);
+    }
+    if disorder > 0 && options.lateness.is_none() {
+        eprintln!("error: --disorder needs --lateness (or SHARON_LATENESS)");
+        std::process::exit(2);
+    }
+    let lateness = options.lateness;
+    if let Some(b) = lateness {
+        eprintln!("event time: allowed lateness {b} ms (later rows are dropped and counted)");
+    }
 
     // 4. optimize + execute
     let (counts, span) = measured_rates_batch(&events);
@@ -332,6 +387,13 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // sequential executors take the lateness directly; the sharded
+    // runtime already configured its engines from options.lateness
+    if args.shards == 0 {
+        if let Some(b) = lateness {
+            executor.set_lateness(b);
+        }
+    }
     let optimize_time = t0.elapsed();
     if args.shards > 0 {
         if args.pipeline_depth > 0 {
@@ -406,6 +468,12 @@ fn main() {
             sharon::metrics::checkpoints_written(),
             sharon::metrics::group_spills(),
             sharon::metrics::group_reloads()
+        );
+    }
+    if lateness.is_some() {
+        eprintln!(
+            "event time: {} late row(s) dropped",
+            sharon::metrics::late_rows_dropped()
         );
     }
 

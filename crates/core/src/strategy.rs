@@ -79,6 +79,22 @@ impl AnyExecutor {
         self.inner.process_columnar(batch);
     }
 
+    /// Enable event-time processing: tolerate out-of-order input up to
+    /// `lateness_ms` milliseconds (drop-and-count beyond). Must be called
+    /// before any ingestion. Panics for the sharded runtime, whose
+    /// engines are configured at spawn — set
+    /// [`ShardedOptions::lateness`] there instead.
+    pub fn set_lateness(&mut self, lateness_ms: u64) {
+        self.inner.set_lateness(lateness_ms);
+    }
+
+    /// Late rows dropped by the event-time gate so far (0 when no gate;
+    /// the sharded runtime reports through the global
+    /// [`sharon_metrics::late_rows_dropped`] counter instead).
+    pub fn late_rows_dropped(&self) -> u64 {
+        self.inner.late_rows_dropped()
+    }
+
     /// Flush and return results.
     pub fn finish(self) -> ExecutorResults {
         self.inner.finish().0
@@ -290,6 +306,7 @@ pub fn build_sharded_executor_with_options(
                 n_shards,
                 options.batch_size,
                 options.pipeline_depth,
+                options.lateness,
             )?;
             (ex, None)
         }
@@ -302,6 +319,7 @@ pub fn build_sharded_executor_with_options(
                 n_shards,
                 options.batch_size,
                 options.pipeline_depth,
+                options.lateness,
             )?;
             (ex, outcome)
         }

@@ -84,7 +84,11 @@ pub trait Aggregate: Copy + Clone + PartialEq + std::fmt::Debug + Send + 'static
     /// Remove `other`'s contribution (only meaningful when
     /// [`Aggregate::SUBTRACTABLE`]).
     fn sub_assign(&mut self, _other: &Self) {
-        unimplemented!("this aggregate does not support subtraction")
+        panic!(
+            "{} does not support subtraction: the difference-array fast \
+             path is gated on Aggregate::SUBTRACTABLE",
+            std::any::type_name::<Self>()
+        )
     }
 
     /// The aggregate of the single one-event sequence `[e]`.

@@ -28,7 +28,8 @@ use std::time::Duration;
 /// Magic bytes opening every manifest file.
 const MANIFEST_MAGIC: &[u8; 8] = b"SHRNCKPT";
 /// Checkpoint format version; bump on any codec change.
-const FORMAT_VERSION: u32 = 1;
+/// v2: event-time sections (router frontier, per-engine reorder gate).
+const FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // errors
@@ -624,11 +625,23 @@ pub enum FaultPlan {
         /// Zero-based ingested-batch index at which to abort.
         batch: u64,
     },
+    /// `reorder@N:K`: inject a disorder burst at ingested batch `N` — the
+    /// batch's rows are permuted by a seeded bounded shuffle displacing no
+    /// row more than `K` positions before routing. Exercises the
+    /// event-time path: a run configured with enough lateness absorbs the
+    /// burst exactly; one without drops-and-counts the late rows.
+    Reorder {
+        /// Zero-based ingested-batch index at which to scramble.
+        batch: u64,
+        /// Maximum row displacement of the injected shuffle.
+        k: u32,
+    },
 }
 
 impl FaultPlan {
-    /// Read the `SHARON_FAULT` knob (`drop@N`, `panic@N:S`, `abort@N`).
-    /// Returns `None` when unset; an unparsable value is fatal.
+    /// Read the `SHARON_FAULT` knob (`drop@N`, `panic@N:S`, `abort@N`,
+    /// `reorder@N:K`). Returns `None` when unset; an unparsable value is
+    /// fatal.
     pub fn from_env() -> Option<FaultPlan> {
         let raw = std::env::var("SHARON_FAULT").ok()?;
         Some(raw.parse().unwrap_or_else(|e| panic!("SHARON_FAULT: {e}")))
@@ -641,7 +654,7 @@ impl std::str::FromStr for FaultPlan {
     fn from_str(raw: &str) -> Result<Self, String> {
         let (kind, rest) = raw
             .split_once('@')
-            .ok_or_else(|| format!("{raw:?} is not <kind>@<batch> (drop/panic/abort)"))?;
+            .ok_or_else(|| format!("{raw:?} is not <kind>@<batch> (drop/panic/abort/reorder)"))?;
         match kind {
             "drop" => Ok(FaultPlan::Drop {
                 batch: parse_batch(rest)?,
@@ -658,7 +671,18 @@ impl std::str::FromStr for FaultPlan {
                     shard: shard.parse().map_err(|e| format!("shard {shard:?}: {e}"))?,
                 })
             }
-            _ => Err(format!("unknown fault kind {kind:?} (drop/panic/abort)")),
+            "reorder" => {
+                let (batch, k) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("reorder fault {rest:?} is not <batch>:<bound>"))?;
+                Ok(FaultPlan::Reorder {
+                    batch: parse_batch(batch)?,
+                    k: k.parse().map_err(|e| format!("bound {k:?}: {e}"))?,
+                })
+            }
+            _ => Err(format!(
+                "unknown fault kind {kind:?} (drop/panic/abort/reorder)"
+            )),
         }
     }
 }

@@ -21,6 +21,7 @@ use crate::agg::{Aggregate, Contribution, CountCell, StatsCell};
 use crate::chainlog::ChainLog;
 use crate::checkpoint::{StateError, StateReader, StateWriter};
 use crate::compile::{compile, CompileError, CompiledPartition, Routes};
+use crate::event_time::Reorder;
 use crate::partial::PartialResults;
 use crate::results::ExecutorResults;
 use crate::runner::SegmentRunner;
@@ -371,6 +372,18 @@ pub struct Engine<A: Aggregate> {
     clock: u64,
     last_time: Timestamp,
     events_matched: u64,
+    /// Event-time reorder gate (`None` = arrival order is event-time
+    /// order, the historical contract; the disabled hot path pays one
+    /// branch). When set, rows buffer behind the watermark
+    /// `max_time_seen − lateness` and release in event-time order; rows
+    /// behind the watermark are dropped and counted.
+    reorder: Option<Reorder>,
+    /// Unsplit notices deferred behind the reorder gate: each waits until
+    /// the watermark passes the gate frontier observed at notice time, so
+    /// every buffered row of the cooled group releases before its replica
+    /// state is force-closed. Empty on arrival-time engines (no gate —
+    /// notices apply immediately).
+    deferred_unsplits: Vec<(GroupKey, Timestamp)>,
 }
 
 impl<A: Aggregate> Engine<A> {
@@ -392,7 +405,29 @@ impl<A: Aggregate> Engine<A> {
             clock: 0,
             last_time: Timestamp::ZERO,
             events_matched: 0,
+            reorder: None,
+            deferred_unsplits: Vec::new(),
         }
+    }
+
+    /// Enable event-time processing with the given allowed lateness (in
+    /// milliseconds): rows buffer in the reorder gate and release in
+    /// event-time order once the watermark `max_time_seen − lateness`
+    /// passes them; rows arriving behind the watermark are dropped and
+    /// counted ([`sharon_metrics::late_rows_dropped`]). Exact whenever
+    /// `lateness` covers the stream's disorder bound.
+    pub fn set_lateness(&mut self, lateness_ms: u64) {
+        self.reorder = Some(Reorder::new(lateness_ms));
+    }
+
+    /// Late rows this engine dropped (0 when no gate is configured).
+    pub fn late_rows_dropped(&self) -> u64 {
+        self.reorder.as_ref().map_or(0, Reorder::late_rows_dropped)
+    }
+
+    /// The engine's current watermark (`None` when no gate is configured).
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.reorder.as_ref().map(Reorder::watermark)
     }
 
     /// Enable the LRU spill tier: at most `config.max_resident` groups
@@ -429,23 +464,91 @@ impl<A: Aggregate> Engine<A> {
         }
     }
 
-    /// Process one event (events must arrive in timestamp order).
+    /// Process one event (events must arrive in timestamp order, unless
+    /// an event-time gate is configured via [`Engine::set_lateness`]).
     #[inline]
     pub fn process(&mut self, e: &Event) {
         self.process_row(e.ty, e.time, &e.attrs, false, false);
+        if self.reorder.is_some() {
+            self.advance_watermark(e.time);
+        }
     }
 
-    /// The shared per-row path of the per-event shim and both columnar
-    /// entry points. With `pre_routed`, the caller (the columnar pre-pass
-    /// or the sharded batch router) has already evaluated this partition's
-    /// predicates and established that this engine may process the row's
-    /// group, so both checks are skipped. With `state_only`, the row is a
-    /// broadcast replica of a split group: it mutates evaluation state
-    /// exactly like the full copy on its owning shard, but folds nothing
-    /// into final accumulators and is not counted as matched — the split
-    /// group's final folds happen exactly once globally.
+    /// The per-row entry of the per-event shim and both columnar entry
+    /// points: goes straight to the in-order path, or — with an
+    /// event-time gate configured — through the reorder gate, which
+    /// buffers the row for watermark-ordered release (or drops and
+    /// counts it as late).
     #[inline]
     fn process_row(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: &[Value],
+        pre_routed: bool,
+        state_only: bool,
+    ) {
+        match &mut self.reorder {
+            None => self.process_row_inner(ty, time, attrs, pre_routed, state_only),
+            Some(gate) => {
+                gate.admit(ty, time, attrs, 0, pre_routed, state_only);
+            }
+        }
+    }
+
+    /// Advance the event-time watermark to `frontier − lateness`
+    /// (monotone) and release every buffered row the watermark has
+    /// passed, in event-time order, into the in-order row path. A no-op
+    /// without a configured gate. The sharded runtime calls this with the
+    /// router's merged cross-shard frontier; the sequential paths
+    /// self-advance per event / per batch.
+    pub fn advance_watermark(&mut self, frontier: Timestamp) {
+        let Some(gate) = &mut self.reorder else {
+            return;
+        };
+        gate.advance(frontier);
+        self.release_ready();
+        self.apply_ripe_unsplits();
+    }
+
+    /// Drain every gate-buffered row the current watermark has passed.
+    fn release_ready(&mut self) {
+        while let Some(row) = self.reorder.as_mut().and_then(Reorder::pop_ready) {
+            self.process_row_inner(row.ty, row.time, &row.attrs, row.pre_routed, row.state_only);
+            if let Some(gate) = &mut self.reorder {
+                gate.recycle(row);
+            }
+        }
+    }
+
+    /// End-of-stream: open the gate and release everything still buffered
+    /// (and apply any deferred unsplit hand-backs). Idempotent, and a
+    /// no-op on arrival-time engines; [`Engine::finish_parts`] calls it,
+    /// but callers that read pre-finish stats ([`Engine::events_matched`],
+    /// [`Engine::cell_count`]) must call it first — buffered rows still
+    /// count toward both.
+    pub fn flush_pending(&mut self) {
+        let Some(gate) = &mut self.reorder else {
+            return;
+        };
+        gate.open();
+        self.release_ready();
+        // an open gate's watermark passed every deadline: all deferred
+        // hand-backs apply before results are reported
+        self.apply_ripe_unsplits();
+    }
+
+    /// The shared in-order row path of every entry point. With
+    /// `pre_routed`, the caller (the columnar pre-pass or the sharded
+    /// batch router) has already evaluated this partition's predicates
+    /// and established that this engine may process the row's group, so
+    /// both checks are skipped. With `state_only`, the row is a broadcast
+    /// replica of a split group: it mutates evaluation state exactly like
+    /// the full copy on its owning shard, but folds nothing into final
+    /// accumulators and is not counted as matched — the split group's
+    /// final folds happen exactly once globally.
+    #[inline]
+    fn process_row_inner(
         &mut self,
         ty: EventTypeId,
         time: Timestamp,
@@ -560,6 +663,10 @@ impl<A: Aggregate> Engine<A> {
     /// arrive off-owner from now on, and its window closes emit per-window
     /// sub-aggregates instead of final values.
     pub fn mark_split(&mut self, key: &GroupKey) {
+        // a re-heat can re-split a group whose deferred unsplit has not
+        // ripened yet: cancel the hand-back — the replica state is live
+        // again and force-closing it would lose the new split's history
+        self.deferred_unsplits.retain(|(k, _)| k != key);
         match key {
             GroupKey::Global => self.split_global = true,
             key => {
@@ -585,7 +692,45 @@ impl<A: Aggregate> Engine<A> {
     /// straddle the hand-off. Every **replica** shard force-closes its
     /// copy's remaining windows into sub-aggregates and drops the replica
     /// state, reclaiming its memory.
+    ///
+    /// Event-time engines defer the hand-back while the reorder gate
+    /// still buffers rows: it applies once the watermark passes the gate
+    /// frontier observed here, i.e. after every row admitted before the
+    /// notice — the group's round-robined full copies included — has been
+    /// released.
     pub fn mark_unsplit(&mut self, key: &GroupKey) {
+        if let Some(gate) = &self.reorder {
+            if gate.pending_len() > 0 {
+                self.deferred_unsplits.push((key.clone(), gate.frontier()));
+                return;
+            }
+        }
+        self.unsplit_now(key);
+    }
+
+    /// Apply every deferred unsplit whose gate-frontier deadline the
+    /// watermark has passed (all of their buffered rows are released).
+    fn apply_ripe_unsplits(&mut self) {
+        if self.deferred_unsplits.is_empty() {
+            return;
+        }
+        let Some(gate) = &self.reorder else {
+            return;
+        };
+        let wm = gate.watermark();
+        let mut i = 0;
+        while i < self.deferred_unsplits.len() {
+            if self.deferred_unsplits[i].1 <= wm {
+                let (key, _) = self.deferred_unsplits.swap_remove(i);
+                self.unsplit_now(&key);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The immediate half of [`Engine::mark_unsplit`].
+    fn unsplit_now(&mut self, key: &GroupKey) {
         let owner = match &self.shard {
             None => true,
             Some(slice) => slice.owns(key),
@@ -743,6 +888,17 @@ impl<A: Aggregate> Engine<A> {
                 })
                 .unwrap_or_else(|e| panic!("spill read during checkpoint failed: {e}"));
         }
+        // event-time state: watermark + pending (not-yet-released) rows,
+        // so a resume under disorder is crash-exact
+        w.bool(self.reorder.is_some());
+        if let Some(gate) = &self.reorder {
+            gate.save_state(w);
+            w.seq_len(self.deferred_unsplits.len());
+            for (key, deadline) in &self.deferred_unsplits {
+                w.group_key(key);
+                w.time(*deadline);
+            }
+        }
     }
 
     /// Restore the state written by [`Engine::save_state`] into a freshly
@@ -781,6 +937,33 @@ impl<A: Aggregate> Engine<A> {
                 tier.store
                     .spill(key, bytes)
                     .map_err(|_| StateError::Corrupt("spill write during restore"))?;
+            }
+        }
+        // a lateness mismatch between the checkpoint and the rebuilt
+        // engine would silently change which rows count as late — refuse
+        // both directions rather than guess
+        let had_gate = r.bool()?;
+        match (&mut self.reorder, had_gate) {
+            (Some(gate), true) => {
+                gate.load_state(r)?;
+                let n = r.seq_len()?;
+                self.deferred_unsplits.clear();
+                for _ in 0..n {
+                    let key = r.group_key()?;
+                    let deadline = r.time()?;
+                    self.deferred_unsplits.push((key, deadline));
+                }
+            }
+            (None, false) => {}
+            (Some(_), false) => {
+                return Err(StateError::Corrupt(
+                    "checkpoint has no event-time state but lateness is configured",
+                ));
+            }
+            (None, true) => {
+                return Err(StateError::Corrupt(
+                    "checkpoint has event-time state but no lateness is configured",
+                ));
             }
         }
         Ok(())
@@ -853,6 +1036,14 @@ impl<A: Aggregate> Engine<A> {
         }
         self.process_rows(batch, &sel);
         self.sel_scratch = sel;
+        // event-time mode: the batch's time-column max (tracked by the
+        // stateless scan in `EventBatch::push_from`) is this engine's
+        // frontier — advance once per batch, after admitting its rows
+        if self.reorder.is_some() {
+            if let Some(max) = batch.max_time() {
+                self.advance_watermark(max);
+            }
+        }
     }
 
     /// Process the pre-routed rows `rows` of `batch`, in order.
@@ -1263,6 +1454,9 @@ impl<A: Aggregate> Engine<A> {
     /// shard's per-window sub-aggregates of split groups (combined across
     /// shards by [`crate::PartialResults::finalize_into`]).
     pub fn finish_parts(mut self) -> (ExecutorResults, PartialResults) {
+        // end of stream: release every row still buffered in the
+        // event-time gate before any window is force-closed
+        self.flush_pending();
         // spilled groups first, decoded and drained one at a time — the
         // end of a spilling run never re-materializes the whole group map
         if let Some(mut tier) = self.spill.take() {
@@ -1397,6 +1591,32 @@ impl EngineKind {
         }
     }
 
+    /// Enable event-time processing (see [`Engine::set_lateness`]).
+    pub fn set_lateness(&mut self, lateness_ms: u64) {
+        match self {
+            EngineKind::Count(en) => en.set_lateness(lateness_ms),
+            EngineKind::Stats(en) => en.set_lateness(lateness_ms),
+        }
+    }
+
+    /// Advance the event-time watermark and release ready rows (see
+    /// [`Engine::advance_watermark`]).
+    pub fn advance_watermark(&mut self, frontier: Timestamp) {
+        match self {
+            EngineKind::Count(en) => en.advance_watermark(frontier),
+            EngineKind::Stats(en) => en.advance_watermark(frontier),
+        }
+    }
+
+    /// Late rows dropped by this engine's gate (see
+    /// [`Engine::late_rows_dropped`]).
+    pub fn late_rows_dropped(&self) -> u64 {
+        match self {
+            EngineKind::Count(en) => en.late_rows_dropped(),
+            EngineKind::Stats(en) => en.late_rows_dropped(),
+        }
+    }
+
     /// Serialize the full evaluation state, tagged with the kernel kind
     /// (see [`Engine::save_state`]).
     pub fn save_state(&mut self, w: &mut crate::checkpoint::StateWriter) {
@@ -1468,6 +1688,15 @@ impl EngineKind {
             EngineKind::Stats(en) => en.events_matched(),
         }
     }
+
+    /// End-of-stream gate drain (see [`Engine::flush_pending`]): release
+    /// every buffered event-time row so pre-finish stats are final.
+    pub fn flush_pending(&mut self) {
+        match self {
+            EngineKind::Count(en) => en.flush_pending(),
+            EngineKind::Stats(en) => en.flush_pending(),
+        }
+    }
 }
 
 impl Executor {
@@ -1535,6 +1764,23 @@ impl Executor {
         }
     }
 
+    /// Enable event-time processing on every partition engine (see
+    /// [`Engine::set_lateness`]): input may arrive out of timestamp
+    /// order, rows release behind the watermark `max_time_seen −
+    /// lateness_ms`, and rows behind the watermark are dropped and
+    /// counted.
+    pub fn set_lateness(&mut self, lateness_ms: u64) {
+        for engine in self.engines() {
+            engine.set_lateness(lateness_ms);
+        }
+    }
+
+    /// Late rows dropped, summed over partitions.
+    pub fn late_rows_dropped(&self) -> u64 {
+        let Executor::__Internal(engines) = self;
+        engines.iter().map(EngineKind::late_rows_dropped).sum()
+    }
+
     /// Default batch size for [`Executor::run`] and the sharded runtime.
     pub const RUN_BATCH: usize = 1024;
 
@@ -1598,6 +1844,14 @@ impl crate::processor::BatchProcessor for Executor {
 
     fn process_columnar(&mut self, batch: &EventBatch) {
         Executor::process_columnar(self, batch);
+    }
+
+    fn set_lateness(&mut self, lateness_ms: u64) {
+        Executor::set_lateness(self, lateness_ms);
+    }
+
+    fn late_rows_dropped(&self) -> u64 {
+        Executor::late_rows_dropped(self)
     }
 
     fn events_matched(&self) -> u64 {
@@ -1849,6 +2103,93 @@ mod tests {
         assert_eq!(
             res.get(QueryId(2), &g, Timestamp(0)),
             Some(&AggValue::Number(Some(6.0)))
+        );
+    }
+
+    #[test]
+    fn non_subtractable_multi_window_fold_avoids_difference_arrays() {
+        // overlapping sliding windows force a multi-window range fold —
+        // the shape the difference-array fast path optimizes. Stats cells
+        // are not SUBTRACTABLE, so the fold must take the dense path:
+        // reaching `sub_assign` on a StatsCell panics ("does not support
+        // subtraction"), so completing with exact per-window minima
+        // proves the fast path never ran
+        let mut c = Catalog::new();
+        let a = c.register_with_schema("A", sharon_types::Schema::new(["x"]));
+        let b = c.register("B");
+        let w = parse_workload(
+            &mut c,
+            ["RETURN MIN(A.x) PATTERN SEQ(A, B) WITHIN 12 ms SLIDE 4 ms"],
+        )
+        .unwrap();
+        let mut ex = Executor::new(&c, &w, &SharingPlan::non_shared()).unwrap();
+        ex.process(&Event::with_attrs(a, Timestamp(1), vec![Value::Int(4)]));
+        ex.process(&Event::with_attrs(a, Timestamp(6), vec![Value::Int(2)]));
+        ex.process(&ev(b, 9));
+        let res = ex.finish();
+        let g = GroupKey::Global;
+        // window 0..12 holds both sequences (min 2), window 4..16 only
+        // the one starting at the second A
+        assert_eq!(
+            res.get(QueryId(0), &g, Timestamp(0)),
+            Some(&AggValue::Number(Some(2.0)))
+        );
+        assert_eq!(
+            res.get(QueryId(0), &g, Timestamp(4)),
+            Some(&AggValue::Number(Some(2.0)))
+        );
+    }
+
+    #[test]
+    fn gated_engine_absorbs_covered_disorder_exactly() {
+        let queries = ["RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 ms SLIDE 5 ms"];
+        let (_, want) = run_queries(&queries, &SharingPlan::non_shared(), |cat| {
+            let a = cat.lookup("A").unwrap();
+            let b = cat.lookup("B").unwrap();
+            vec![ev(a, 1), ev(b, 3), ev(a, 4), ev(b, 7)]
+        });
+
+        let mut c = Catalog::new();
+        let a = c.register("A");
+        let b = c.register("B");
+        let w = parse_workload(&mut c, queries).unwrap();
+        let mut ex = Executor::new(&c, &w, &SharingPlan::non_shared()).unwrap();
+        ex.set_lateness(4); // covers the shuffle below (max regression 3)
+        for e in [ev(b, 3), ev(a, 1), ev(b, 7), ev(a, 4)] {
+            ex.process(&e);
+        }
+        assert_eq!(ex.late_rows_dropped(), 0);
+        let got = ex.finish();
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "covered disorder must reproduce the in-order results"
+        );
+    }
+
+    #[test]
+    fn late_rows_drop_and_count_never_fold() {
+        let mut c = Catalog::new();
+        let a = c.register("A");
+        let w = parse_workload(
+            &mut c,
+            ["RETURN COUNT(*) PATTERN SEQ(A) WITHIN 10 ms SLIDE 10 ms"],
+        )
+        .unwrap();
+        let mut ex = Executor::new(&c, &w, &SharingPlan::non_shared()).unwrap();
+        ex.set_lateness(2);
+        ex.process(&ev(a, 10)); // watermark 8
+        ex.process(&ev(a, 5)); // 5 < 8: late — dropped and counted
+        ex.process(&ev(a, 8)); // 8 == watermark: admitted
+        assert_eq!(ex.late_rows_dropped(), 1);
+        let res = ex.finish();
+        assert_eq!(
+            res.get(QueryId(0), &GroupKey::Global, Timestamp(0)),
+            Some(&AggValue::Count(1)),
+            "the late row must not be folded into the closed window"
+        );
+        assert_eq!(
+            res.get(QueryId(0), &GroupKey::Global, Timestamp(10)),
+            Some(&AggValue::Count(1))
         );
     }
 

@@ -1,0 +1,393 @@
+//! Event-time machinery: the bounded-disorder reorder gate.
+//!
+//! Arrival order is not event-time order the moment a stream carries
+//! disorder. Every executor in this workspace shares one gate type to
+//! cope: rows are *admitted* (buffered in a min-heap keyed by event
+//! time), a monotone **watermark** `max_time_seen − lateness` advances
+//! once per batch/chunk, and rows are *released* into the engine's
+//! original in-order row path only once the watermark passes them. Rows
+//! that arrive with a timestamp already behind the watermark are **late**:
+//! the policy is drop-and-count ([`sharon_metrics::late_rows_dropped`]),
+//! never a silent fold into closed windows.
+//!
+//! Exactness: the stream generators' disorder knob displaces a row at
+//! most `K` positions ([`sharon-streams`' bounded block shuffle]), so any
+//! `lateness` covering the induced timestamp regression means no row is
+//! ever late, and release order — ascending `(time, admission seq)` —
+//! restores the original in-order stream up to a permutation of
+//! equal-timestamp rows, which no strategy's semantics observe (sequence
+//! adjacency requires strictly increasing timestamps). The watermark only
+//! *defers* work (release happens at the next advance), so empty chunks
+//! and ragged batch boundaries never change results.
+//!
+//! The gate is allocation-free in steady state: released rows return
+//! their attribute buffers to a pool, and `Value::Str` attrs are
+//! `Arc<str>` (cloning into the buffer is a refcount bump).
+
+use crate::checkpoint::{StateError, StateReader, StateWriter};
+use sharon_types::{EventTypeId, Timestamp, Value};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// A buffered row awaiting its watermark release.
+///
+/// The payload unifies the engines' row path (`pre_routed` /
+/// `state_only` flags) with the two-step baselines' scope-fan path (the
+/// `scope` index); each consumer uses the fields it dispatches on and
+/// leaves the rest at their defaults.
+#[derive(Debug, Clone)]
+pub struct PendingRow {
+    /// Event time of the row.
+    pub time: Timestamp,
+    /// Admission sequence number: ties on `time` release in arrival
+    /// order, keeping the gate deterministic.
+    pub seq: u64,
+    /// Event type of the row.
+    pub ty: EventTypeId,
+    /// Routing-scope index (two-step scope-fan consumers; engines: 0).
+    pub scope: u32,
+    /// The stateless prefix (routing/predicates/ownership) already ran.
+    pub pre_routed: bool,
+    /// Broadcast replica of a split group (engines only).
+    pub state_only: bool,
+    /// The row's attribute values (pooled buffer).
+    pub attrs: Vec<Value>,
+}
+
+impl PartialEq for PendingRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for PendingRow {}
+impl PartialOrd for PendingRow {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingRow {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The bounded-disorder reorder gate: admit → watermark advance →
+/// in-order release, with the drop-and-count late-row policy.
+#[derive(Debug)]
+pub struct Reorder {
+    /// Allowed lateness in milliseconds: the watermark trails the
+    /// maximum event time seen by exactly this much.
+    lateness: u64,
+    /// Highest event time seen so far (monotone).
+    frontier: Timestamp,
+    /// `frontier − lateness`, monotone; rows with `time < watermark` are
+    /// late, rows with `time <= watermark` are ready for release.
+    watermark: Timestamp,
+    /// Admitted rows, min-heap by `(time, seq)`.
+    pending: BinaryHeap<Reverse<PendingRow>>,
+    /// Next admission sequence number.
+    seq: u64,
+    /// Late rows this gate dropped (replica copies excluded).
+    late_dropped: u64,
+    /// Recycled attribute buffers of released rows.
+    pool: Vec<Vec<Value>>,
+}
+
+impl Reorder {
+    /// A gate allowing `lateness` milliseconds of disorder.
+    pub fn new(lateness: u64) -> Self {
+        Reorder {
+            lateness,
+            frontier: Timestamp::ZERO,
+            watermark: Timestamp::ZERO,
+            pending: BinaryHeap::new(),
+            seq: 0,
+            late_dropped: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    /// The configured lateness bound in milliseconds.
+    pub fn lateness(&self) -> u64 {
+        self.lateness
+    }
+
+    /// The current watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// The highest event time admitted so far — an upper bound on the
+    /// event time of every row currently buffered.
+    pub fn frontier(&self) -> Timestamp {
+        self.frontier
+    }
+
+    /// Late rows this gate has dropped (crash-exact: serialized into
+    /// checkpoints).
+    pub fn late_rows_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Buffered rows awaiting release.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Admit one row: buffer it for in-order release, or — if its event
+    /// time is already behind the watermark — drop and count it. Returns
+    /// `true` if the row was buffered.
+    ///
+    /// `state_only` replicas of a split group are dropped without
+    /// counting: the full copy on the owning shard counts the drop once,
+    /// globally.
+    pub fn admit(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: &[Value],
+        scope: u32,
+        pre_routed: bool,
+        state_only: bool,
+    ) -> bool {
+        if time < self.watermark {
+            if !state_only {
+                self.late_dropped += 1;
+                sharon_metrics::record_late_rows_dropped(1);
+            }
+            return false;
+        }
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(attrs);
+        self.pending.push(Reverse(PendingRow {
+            time,
+            seq: self.seq,
+            ty,
+            scope,
+            pre_routed,
+            state_only,
+            attrs: buf,
+        }));
+        self.seq += 1;
+        true
+    }
+
+    /// Advance the watermark to `frontier − lateness` (monotone: an older
+    /// frontier — e.g. the event time of a late row — never moves it
+    /// backwards). Call once per batch/chunk *after* admitting its rows,
+    /// then drain [`Reorder::pop_ready`].
+    pub fn advance(&mut self, frontier: Timestamp) {
+        self.frontier = self.frontier.max(frontier);
+        let wm = Timestamp(self.frontier.millis().saturating_sub(self.lateness));
+        self.watermark = self.watermark.max(wm);
+    }
+
+    /// Open the gate completely (end of stream): every buffered row
+    /// becomes ready.
+    pub fn open(&mut self) {
+        self.watermark = Timestamp(u64::MAX);
+    }
+
+    /// Pop the next row whose time the watermark has passed, in
+    /// ascending `(time, seq)` order. Return the row to
+    /// [`Reorder::recycle`] after processing so its buffer is reused.
+    pub fn pop_ready(&mut self) -> Option<PendingRow> {
+        if self.pending.peek()?.0.time > self.watermark {
+            return None;
+        }
+        self.pending.pop().map(|r| r.0)
+    }
+
+    /// Return a released row's attribute buffer to the pool.
+    pub fn recycle(&mut self, row: PendingRow) {
+        let mut buf = row.attrs;
+        buf.clear();
+        self.pool.push(buf);
+    }
+
+    /// Serialize the gate (watermark, admission counter, late-drop count,
+    /// pending rows). Rows are written in `(time, seq)` order so
+    /// identical state yields identical bytes.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.lateness);
+        w.time(self.frontier);
+        w.time(self.watermark);
+        w.u64(self.seq);
+        w.u64(self.late_dropped);
+        let mut rows: Vec<&PendingRow> = self.pending.iter().map(|r| &r.0).collect();
+        rows.sort_unstable_by_key(|r| (r.time, r.seq));
+        w.seq_len(rows.len());
+        for row in rows {
+            w.time(row.time);
+            w.u64(row.seq);
+            w.u32(row.ty.0);
+            w.u32(row.scope);
+            w.bool(row.pre_routed);
+            w.bool(row.state_only);
+            w.seq_len(row.attrs.len());
+            for v in &row.attrs {
+                w.value(v);
+            }
+        }
+    }
+
+    /// Restore the state written by [`Reorder::save_state`]. The
+    /// configured lateness must match — a resume under a different bound
+    /// would silently change which rows count as late.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let lateness = r.u64()?;
+        if lateness != self.lateness {
+            return Err(StateError::Corrupt(
+                "checkpoint lateness differs from the configured lateness",
+            ));
+        }
+        self.frontier = r.time()?;
+        self.watermark = r.time()?;
+        self.seq = r.u64()?;
+        self.late_dropped = r.u64()?;
+        let n = r.seq_len()?;
+        self.pending.clear();
+        for _ in 0..n {
+            let time = r.time()?;
+            let seq = r.u64()?;
+            let ty = EventTypeId(r.u32()?);
+            let scope = r.u32()?;
+            let pre_routed = r.bool()?;
+            let state_only = r.bool()?;
+            let n_attrs = r.seq_len()?;
+            let mut attrs = Vec::with_capacity(n_attrs);
+            for _ in 0..n_attrs {
+                attrs.push(r.value()?);
+            }
+            self.pending.push(Reverse(PendingRow {
+                time,
+                seq,
+                ty,
+                scope,
+                pre_routed,
+                state_only,
+                attrs,
+            }));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit(g: &mut Reorder, t: u64) -> bool {
+        g.admit(
+            EventTypeId(0),
+            Timestamp(t),
+            &[Value::Int(t as i64)],
+            0,
+            false,
+            false,
+        )
+    }
+
+    fn drain(g: &mut Reorder) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(row) = g.pop_ready() {
+            out.push(row.time.millis());
+            g.recycle(row);
+        }
+        out
+    }
+
+    #[test]
+    fn releases_in_time_order_once_watermark_passes() {
+        let mut g = Reorder::new(5);
+        for t in [10u64, 7, 12, 9, 11] {
+            assert!(admit(&mut g, t));
+        }
+        g.advance(Timestamp(12)); // watermark 7
+        assert_eq!(drain(&mut g), vec![7]);
+        g.advance(Timestamp(16)); // watermark 11
+        assert_eq!(drain(&mut g), vec![9, 10, 11]);
+        g.open();
+        assert_eq!(drain(&mut g), vec![12]);
+        assert_eq!(g.late_rows_dropped(), 0);
+    }
+
+    #[test]
+    fn late_rows_are_dropped_and_counted() {
+        let mut g = Reorder::new(2);
+        admit(&mut g, 10);
+        g.advance(Timestamp(10)); // watermark 8
+        assert!(!admit(&mut g, 7), "7 < watermark 8: late");
+        assert!(admit(&mut g, 8), "8 == watermark: admitted");
+        assert_eq!(g.late_rows_dropped(), 1);
+        // replica copies never count
+        assert!(!g.admit(EventTypeId(0), Timestamp(7), &[], 0, true, true));
+        assert_eq!(g.late_rows_dropped(), 1);
+        g.open();
+        assert_eq!(drain(&mut g), vec![8, 10]);
+    }
+
+    #[test]
+    fn watermark_is_monotone_under_late_frontiers() {
+        let mut g = Reorder::new(0);
+        g.advance(Timestamp(100));
+        g.advance(Timestamp(50)); // a late row's time must not regress it
+        assert_eq!(g.watermark(), Timestamp(100));
+    }
+
+    #[test]
+    fn equal_timestamps_release_in_admission_order() {
+        let mut g = Reorder::new(10);
+        g.admit(EventTypeId(1), Timestamp(5), &[], 0, false, false);
+        g.admit(EventTypeId(2), Timestamp(5), &[], 0, false, false);
+        g.admit(EventTypeId(3), Timestamp(5), &[], 0, false, false);
+        g.open();
+        let tys: Vec<u32> = std::iter::from_fn(|| g.pop_ready().map(|r| r.ty.0)).collect();
+        assert_eq!(tys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut g = Reorder::new(5);
+        for t in [10u64, 7, 12] {
+            admit(&mut g, t);
+        }
+        g.advance(Timestamp(12));
+        drain(&mut g); // releases 7, leaving {10, 12}
+        admit(&mut g, 6); // late: dropped + counted
+        let mut w = StateWriter::new();
+        g.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = Reorder::new(5);
+        let mut r = StateReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored.watermark(), g.watermark());
+        assert_eq!(restored.late_rows_dropped(), 1);
+        assert_eq!(restored.pending_len(), 2);
+        restored.open();
+        assert_eq!(drain(&mut restored), vec![10, 12]);
+
+        // lateness mismatch is refused, not silently re-interpreted
+        let mut wrong = Reorder::new(9);
+        assert!(wrong.load_state(&mut StateReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn buffers_recycle_through_the_pool() {
+        let mut g = Reorder::new(0);
+        admit(&mut g, 1);
+        g.advance(Timestamp(1));
+        let row = g.pop_ready().unwrap();
+        let cap = row.attrs.capacity();
+        assert!(cap >= 1);
+        g.recycle(row);
+        admit(&mut g, 2);
+        g.advance(Timestamp(2));
+        let row = g.pop_ready().unwrap();
+        assert_eq!(row.attrs.capacity(), cap, "buffer came from the pool");
+        g.recycle(row);
+    }
+}

@@ -23,6 +23,7 @@ pub mod chainlog;
 pub mod checkpoint;
 pub mod compile;
 pub mod engine;
+pub mod event_time;
 pub mod partial;
 pub mod processor;
 mod proptests;
@@ -42,6 +43,7 @@ pub use checkpoint::{
 };
 pub use compile::{compile, CompileError, CompiledPartition};
 pub use engine::{Engine, EngineKind, Executor, ShardSlice};
+pub use event_time::{PendingRow, Reorder};
 pub use partial::{PartialEntry, PartialResults};
 pub use processor::BatchProcessor;
 pub use results::ExecutorResults;

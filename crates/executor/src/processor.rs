@@ -23,7 +23,12 @@ use sharon_types::{Event, EventBatch};
 /// shim, and produces [`ExecutorResults`] when finished.
 ///
 /// All ingestion methods require global timestamp order across calls, the
-/// same contract every executor in the system already imposes.
+/// same contract every executor in the system already imposes — unless
+/// the caller enables event-time processing via
+/// [`BatchProcessor::set_lateness`], after which input may carry bounded
+/// disorder: rows buffer behind the watermark `max_time_seen − lateness`
+/// and release in event-time order, and rows behind the watermark are
+/// dropped and counted ([`sharon_metrics::late_rows_dropped`]).
 pub trait BatchProcessor: Send {
     /// Process one row-form event (the per-event compatibility shim).
     fn process_event(&mut self, e: &Event);
@@ -41,6 +46,22 @@ pub trait BatchProcessor: Send {
     /// stateful dispatch pipeline. No implementation materializes a
     /// row-form [`Event`] here.
     fn process_columnar(&mut self, batch: &EventBatch);
+
+    /// Enable event-time processing: tolerate out-of-order input up to
+    /// `lateness_ms` milliseconds of timestamp regression (drop-and-count
+    /// beyond). Must be called before any ingestion. Panics for
+    /// strategies without an event-time gate; every strategy in this
+    /// workspace implements it.
+    fn set_lateness(&mut self, lateness_ms: u64) {
+        let _ = lateness_ms;
+        panic!("this strategy does not support event-time (out-of-order) input");
+    }
+
+    /// Late rows dropped by the event-time gate so far; zero when no
+    /// gate is configured.
+    fn late_rows_dropped(&self) -> u64 {
+        0
+    }
 
     /// Events that passed the stateless prefix (routing, predicates,
     /// grouping) so far; zero for strategies that do not track it.

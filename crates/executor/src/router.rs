@@ -58,7 +58,7 @@
 
 use crate::checkpoint::{StateError, StateReader, StateWriter};
 use crate::compile::CompiledPartition;
-use sharon_types::{fx_hash_one, EventBatch, EventTypeId, FxHashMap, GroupKey, Value};
+use sharon_types::{fx_hash_one, EventBatch, EventTypeId, FxHashMap, GroupKey, Timestamp, Value};
 
 /// The stateless per-row prefix of one routing scope: type routing,
 /// predicate evaluation, and group-key extraction. One definition of these
@@ -202,9 +202,13 @@ struct HotGroup {
     /// The group's key, kept for the unsplit notice when the group cools
     /// back down (split groups are few, so the clone is cheap).
     key: GroupKey,
-    /// Round-robin of final-only rows begins at this timestamp (split
-    /// decision time + warm-up); before it, the hash owner keeps all
-    /// final folds.
+    /// Round-robin of final-only rows begins at this timestamp (the
+    /// event-time frontier at split decision time + warm-up); before it,
+    /// the hash owner keeps all final folds. The base is the frontier,
+    /// not the triggering row's own time: under bounded disorder,
+    /// owner-only rows routed before the split registered can carry
+    /// event times up to the frontier, and round-robin must not begin
+    /// until every window containing them has expired on the owner.
     active_at_ms: u64,
     /// Round-robin cursor of final-only rows. Separate from `rr_full` so
     /// interleaved state/final traffic still cycles final folds over all
@@ -505,6 +509,14 @@ pub struct RoutedRows {
     /// Delivered to every shard **after** the batch's rows — the rows of
     /// this batch were still routed under the split regime.
     pub unsplits: Vec<(u32, GroupKey)>,
+    /// The router's event-time frontier: the maximum event time over
+    /// every row routed so far (monotone across chunks). The single
+    /// router sees the whole stream, so this is by construction the
+    /// merged cross-shard frontier — each shard derives its watermark
+    /// from it after applying this chunk's rows, which is what makes a
+    /// window close only once the global minimum watermark passed it.
+    /// Ignored by arrival-time (no-lateness) runs.
+    pub frontier: Timestamp,
 }
 
 impl RoutedRows {
@@ -596,6 +608,13 @@ pub struct BatchRouter<F = CompiledPartition> {
     /// Reused scratch key (clone-free group-key hashing).
     key_scratch: GroupKey,
     vals_scratch: Vec<Value>,
+    /// Per-chunk running event-time maximum (seeded from `frontier`),
+    /// indexed by chunk-relative row — the split warm-up base (reused
+    /// scratch, filled only when a scope tracks hot groups).
+    runmax_scratch: Vec<u64>,
+    /// Maximum event time over every routed row (the event-time frontier
+    /// stamped onto [`RoutedRows::frontier`]).
+    frontier: Timestamp,
 }
 
 impl<F: RowFilter> BatchRouter<F> {
@@ -625,6 +644,8 @@ impl<F: RowFilter> BatchRouter<F> {
             n_shards,
             key_scratch: GroupKey::Global,
             vals_scratch: Vec::new(),
+            runmax_scratch: Vec::new(),
+            frontier: Timestamp::ZERO,
         }
     }
 
@@ -675,6 +696,20 @@ impl<F: RowFilter> BatchRouter<F> {
             out.push(rows);
         }
         let tys = &batch.types()[lo..hi];
+        // running event-time maximum per chunk row, seeded from the
+        // frontier: the warm-up base of any split registered at row `i`.
+        // Every row routed before the registration (earlier chunks are
+        // bounded by the frontier, earlier rows of this chunk by the
+        // running max) went owner-only, so round-robin may only begin
+        // once windows reaching back to this high-water mark expired.
+        if self.trackers.iter().any(Option::is_some) {
+            self.runmax_scratch.clear();
+            let mut max_ms = self.frontier.millis();
+            for row in lo..hi {
+                max_ms = max_ms.max(batch.time(row).millis());
+                self.runmax_scratch.push(max_ms);
+            }
+        }
         for (pi, scope) in self.scopes.iter().enumerate() {
             let tracker = &mut self.trackers[pi];
             let global_owner = pi % self.n_shards;
@@ -734,10 +769,7 @@ impl<F: RowFilter> BatchRouter<F> {
                     };
                     let hot = HotGroup {
                         key: self.key_scratch.clone(),
-                        active_at_ms: batch
-                            .time(row)
-                            .millis()
-                            .saturating_add(tracker.spec.warmup_ms),
+                        active_at_ms: self.runmax_scratch[i].saturating_add(tracker.spec.warmup_ms),
                         rr_final: owner as u32,
                         rr_full: owner as u32,
                         count: carried,
@@ -776,14 +808,28 @@ impl<F: RowFilter> BatchRouter<F> {
                 );
             }
         }
+        // advance the event-time frontier over the chunk's time column
+        // (a plain max scan: disordered input makes no row position
+        // authoritative) and stamp it onto every shard's rows — in-band
+        // watermark delivery over the same rings as data and barriers
+        if hi > lo {
+            let mut chunk_max = self.frontier;
+            for row in lo..hi {
+                chunk_max = chunk_max.max(batch.time(row));
+            }
+            self.frontier = chunk_max;
+        }
+        for rows in out.iter_mut() {
+            rows.frontier = self.frontier;
+        }
         // deliver pending split and unsplit notices to every shard (even
         // shards that received no rows this batch — the notice itself
         // makes their RoutedRows non-empty, so they are woken). The
         // cool-down sweep runs first, clocked by the chunk's newest
-        // timestamp, so a group's unsplit lands in the same batch that
-        // crossed its deadline.
+        // timestamp — the frontier under disorder — so a group's unsplit
+        // lands in the same batch that crossed its deadline.
         let now_ms = if hi > lo {
-            Some(batch.time(hi - 1).millis())
+            Some(self.frontier.millis())
         } else {
             None
         };
@@ -856,6 +902,7 @@ impl<F: RowFilter> BatchRouter<F> {
     /// shard count, split tuning — is rebuilt from the plan on restore,
     /// not persisted.
     pub fn save_state(&self, w: &mut StateWriter) {
+        w.time(self.frontier);
         w.seq_len(self.trackers.len());
         for tracker in &self.trackers {
             match tracker {
@@ -872,6 +919,7 @@ impl<F: RowFilter> BatchRouter<F> {
     /// router built with the same scopes, shard count, and split
     /// configuration.
     pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.frontier = r.time()?;
         if r.seq_len()? != self.trackers.len() {
             return Err(StateError::Corrupt("router tracker count"));
         }

@@ -265,6 +265,13 @@ impl ShardProcessor for EngineShard {
                 engine.process_routed_split(batch, full, state);
             }
         }
+        // event-time mode: the router stamped every chunk with the merged
+        // cross-shard frontier, so each engine's watermark advances here —
+        // after the chunk's rows were admitted, before the hand-backs (a
+        // no-op for arrival-time runs, where no gate is configured)
+        for engine in &mut self.engines {
+            engine.advance_watermark(rows.frontier);
+        }
         // cool-down hand-backs apply after the rows: the batch was still
         // routed split, the next one no longer is
         for (scope, key) in &rows.unsplits {
@@ -299,7 +306,12 @@ impl ShardProcessor for EngineShard {
         Ok(())
     }
 
-    fn finish(self: Box<Self>) -> ShardReport {
+    fn finish(mut self: Box<Self>) -> ShardReport {
+        // drain the event-time gates first: buffered rows still count
+        // toward the matched and state-size stats read below
+        for engine in &mut self.engines {
+            engine.flush_pending();
+        }
         let events_matched = self.engines.iter().map(EngineKind::events_matched).sum();
         let state_size = self
             .engines
@@ -462,6 +474,14 @@ pub struct ShardedOptions {
     /// When set, inject the given fault mid-stream (recovery testing —
     /// see [`FaultPlan`]).
     pub fault: Option<FaultPlan>,
+    /// When set, run the online engines in **event-time** mode with this
+    /// allowed lateness (milliseconds): input may carry bounded disorder;
+    /// each engine buffers rows behind the watermark derived from the
+    /// router's merged cross-shard frontier ([`RoutedRows::frontier`])
+    /// and drops-and-counts rows behind it. Exact whenever the lateness
+    /// covers the stream's disorder bound. `None` (the default) keeps the
+    /// historical arrival-order contract.
+    pub lateness: Option<u64>,
 }
 
 impl Default for ShardedOptions {
@@ -473,6 +493,7 @@ impl Default for ShardedOptions {
             spill: None,
             checkpoint: None,
             fault: None,
+            lateness: None,
         }
     }
 }
@@ -480,13 +501,19 @@ impl Default for ShardedOptions {
 impl ShardedOptions {
     /// The defaults plus the durability environment knobs:
     /// `SHARON_CHECKPOINT=<dir>[:<interval>]` enables periodic
-    /// checkpoints, `SHARON_FAULT=<plan>` arms fault injection (both
-    /// panic on unparsable values — a typo must not silently run a
-    /// different configuration).
+    /// checkpoints, `SHARON_FAULT=<plan>` arms fault injection, and
+    /// `SHARON_LATENESS=<ms>` enables event-time mode (all panic on
+    /// unparsable values — a typo must not silently run a different
+    /// configuration).
     pub fn from_env() -> Self {
+        let lateness = std::env::var("SHARON_LATENESS").ok().map(|s| {
+            s.parse()
+                .expect("SHARON_LATENESS must be an allowed lateness in milliseconds")
+        });
         ShardedOptions {
             checkpoint: default_checkpoint_config(),
             fault: FaultPlan::from_env(),
+            lateness,
             ..ShardedOptions::default()
         }
     }
@@ -505,6 +532,7 @@ fn engine_shards(
     parts: &[CompiledPartition],
     n_shards: usize,
     spill: Option<&SpillConfig>,
+    lateness: Option<u64>,
 ) -> Vec<Box<dyn ShardProcessor>> {
     (0..n_shards)
         .map(|shard| {
@@ -523,12 +551,44 @@ fn engine_shards(
                             .set_spill(cfg, &format!("{shard}-{pi}"))
                             .unwrap_or_else(|e| panic!("spill tier init failed: {e}"));
                     }
+                    if let Some(ms) = lateness {
+                        engine.set_lateness(ms);
+                    }
                     engine
                 })
                 .collect();
             Box::new(EngineShard { engines }) as Box<dyn ShardProcessor>
         })
         .collect()
+}
+
+/// Build a copy of `batch` whose rows `lo..hi` carry an injected disorder
+/// burst: consecutive blocks of `k + 1` rows are each permuted with a
+/// seeded Fisher–Yates, so no row is displaced more than `k` positions —
+/// the same bounded-disorder model as the stream generators. Deterministic
+/// (the shuffle is seeded from the fault parameters), so kill-and-resume
+/// runs replay the identical burst. Cold path: runs once per armed fault.
+fn reorder_burst(batch: &EventBatch, lo: usize, hi: usize, k: u32) -> EventBatch {
+    let mut events = batch.to_events();
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (((k as u64) << 32) | hi as u64);
+    let mut next = move |bound: usize| {
+        // xorshift64: plenty for a test-only shuffle, and dependency-free
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % bound as u64) as usize
+    };
+    let block = k as usize + 1;
+    let mut start = lo;
+    while start < hi {
+        let end = hi.min(start + block);
+        for i in (start + 1..end).rev() {
+            let j = start + next(i - start + 1);
+            events.swap(i, j);
+        }
+        start = end;
+    }
+    EventBatch::from_events(&events)
 }
 
 /// A parallel executor that hash-partitions work across `N` worker shards.
@@ -684,7 +744,7 @@ impl ShardedExecutor {
     ) -> Result<Self, CompileError> {
         assert!(n_shards >= 1, "need at least one shard");
         let parts = compile(catalog, workload, plan)?;
-        let shards = engine_shards(&parts, n_shards, options.spill.as_ref());
+        let shards = engine_shards(&parts, n_shards, options.spill.as_ref(), options.lateness);
         let router = Box::new(BatchRouter::with_split(parts, n_shards, options.split));
         Ok(Self::build_with(router, shards, options, 0))
     }
@@ -718,7 +778,7 @@ impl ShardedExecutor {
         }
         let parts = compile(catalog, workload, plan)
             .map_err(|e| CheckpointError::Mismatch(format!("workload does not compile: {e}")))?;
-        let mut shards = engine_shards(&parts, n_shards, options.spill.as_ref());
+        let mut shards = engine_shards(&parts, n_shards, options.spill.as_ref(), options.lateness);
         let mut router = Box::new(BatchRouter::with_split(parts, n_shards, options.split));
         {
             let mut r = StateReader::new(&data.router);
@@ -1059,6 +1119,17 @@ impl ShardedExecutor {
         if self.fault_check() {
             return; // "crashed": the rest of the stream is lost
         }
+        // cold path: a `reorder@N:K` fault replaces this batch with a
+        // disorder burst — the same rows, each displaced at most K
+        // positions (the stream generators' disorder model)
+        let scrambled;
+        let batch = match self.fault {
+            Some(FaultPlan::Reorder { batch: at, k }) if self.batches_sent == at => {
+                scrambled = Arc::new(reorder_burst(batch, lo, hi, k));
+                &scrambled
+            }
+            _ => batch,
+        };
         self.events_sent += (hi - lo) as u64;
         let Self { stage, cancel, .. } = self;
         match stage.as_mut().expect("executor is active") {
@@ -1088,7 +1159,9 @@ impl ShardedExecutor {
     /// run is (now or already) simulated-dead and the batch must be
     /// dropped. `Abort` hard-kills the process — the external
     /// kill-and-resume harness relies on that being indistinguishable
-    /// from a real crash.
+    /// from a real crash. `Reorder` is handled in
+    /// [`ShardedExecutor::dispatch_range`] itself: it mutates the batch
+    /// rather than killing the run.
     fn fault_check(&mut self) -> bool {
         if self.fault_tripped.is_some() {
             return true;
@@ -1299,6 +1372,20 @@ impl BatchProcessor for ShardedExecutor {
 
     fn events_matched(&self) -> u64 {
         ShardedExecutor::events_matched(self)
+    }
+
+    /// The engines live on the worker threads and are configured at
+    /// construction — set [`ShardedOptions::lateness`] instead.
+    fn set_lateness(&mut self, lateness_ms: u64) {
+        let _ = lateness_ms;
+        panic!("ShardedExecutor engines are configured at spawn: set ShardedOptions::lateness");
+    }
+
+    /// Zero mid-run: late-drop counts live on the worker threads; the
+    /// global [`sharon_metrics::late_rows_dropped`] counter carries the
+    /// exact total (every owner-copy drop records there once).
+    fn late_rows_dropped(&self) -> u64 {
+        0
     }
 
     /// Zero: the state lives on the worker threads (the exact total is

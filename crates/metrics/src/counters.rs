@@ -76,6 +76,26 @@ pub fn group_reloads() -> u64 {
     GROUP_RELOADS.load(Ordering::Relaxed)
 }
 
+/// Total late rows dropped: rows whose event time had already been passed
+/// by the watermark (`max_time_seen − lateness`) when they arrived.
+static LATE_ROWS_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` dropped late rows (called by the event-time reorder gates).
+#[inline]
+pub fn record_late_rows_dropped(n: u64) {
+    LATE_ROWS_DROPPED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total late rows dropped so far in this process.
+///
+/// The late-row policy is drop-and-count: a row later than the configured
+/// lateness bound is never silently folded into already-closed windows —
+/// it is discarded and shows up here. When `lateness >=` the stream's
+/// actual disorder bound this counter never moves and results are exact.
+pub fn late_rows_dropped() -> u64 {
+    LATE_ROWS_DROPPED.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +106,13 @@ mod tests {
         record_router_scope_scans(3);
         record_router_scope_scans(1);
         assert!(router_scope_scans() >= before + 4);
+    }
+
+    #[test]
+    fn late_row_counter_accumulates() {
+        let before = late_rows_dropped();
+        record_late_rows_dropped(5);
+        assert!(late_rows_dropped() >= before + 5);
     }
 
     #[test]

@@ -23,8 +23,9 @@ pub use alloc::{
     TrackingAllocator,
 };
 pub use counters::{
-    checkpoints_written, group_reloads, group_spills, record_checkpoints_written,
-    record_group_reloads, record_group_spills, record_router_scope_scans, router_scope_scans,
+    checkpoints_written, group_reloads, group_spills, late_rows_dropped,
+    record_checkpoints_written, record_group_reloads, record_group_spills,
+    record_late_rows_dropped, record_router_scope_scans, router_scope_scans,
 };
 pub use latency::{timed, LatencyRecorder};
 pub use report::{fmt_bytes, fmt_duration, fmt_throughput, Table};

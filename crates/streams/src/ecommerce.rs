@@ -27,6 +27,12 @@ pub struct EcommerceConfig {
     /// the flash-sale shape the sharded runtime's hot-group splitting
     /// targets).
     pub skew: f64,
+    /// Bounded-disorder knob: permute the finished stream within blocks
+    /// of `disorder + 1` rows ([`crate::disorder::scramble_batch`]), so no
+    /// row is displaced by more than `disorder` positions. `0` keeps the
+    /// stream in timestamp order (the historical per-seed sequence,
+    /// bit-for-bit).
+    pub disorder: u32,
     /// RNG seed.
     pub seed: u64,
 }
@@ -39,6 +45,7 @@ impl Default for EcommerceConfig {
             events_per_sec: 3000,
             n_events: 100_000,
             skew: 0.0,
+            disorder: 0,
             seed: 23,
         }
     }
@@ -48,6 +55,12 @@ impl EcommerceConfig {
     /// Set the Zipf exponent of the customer distribution.
     pub fn with_skew(mut self, theta: f64) -> Self {
         self.skew = theta;
+        self
+    }
+
+    /// Set the bounded-disorder displacement bound.
+    pub fn with_disorder(mut self, disorder: u32) -> Self {
+        self.disorder = disorder;
         self
     }
 }
@@ -104,6 +117,9 @@ pub fn generate_batch(catalog: &mut Catalog, config: &EcommerceConfig) -> EventB
             [Value::Int(customer), Value::Float(price)],
         );
     }
+    // bounded disorder last, over the finished stream: a no-op at 0, so
+    // every historical per-seed sequence is preserved bit-for-bit
+    crate::disorder::scramble_batch(&mut events, config.disorder, config.seed);
     events
 }
 
@@ -177,6 +193,39 @@ mod tests {
             "a hot customer carries >25% of purchases: {max} of {}",
             events.len()
         );
+    }
+
+    #[test]
+    fn disorder_is_bounded_and_zero_events_are_fine() {
+        let base = EcommerceConfig {
+            n_events: 3000,
+            ..Default::default()
+        };
+        let mut c = Catalog::new();
+        let ordered = generate_batch(&mut c, &base);
+        let mut c = Catalog::new();
+        let shuffled = generate_batch(&mut c, &base.clone().with_disorder(32));
+        assert_ne!(ordered, shuffled, "disorder permutes the stream");
+        let need = crate::disorder::required_lateness(&shuffled);
+        assert!(need > 0, "the shuffle induced real disorder");
+        // displacement <= 32 positions at 3000 ev/s => < 32 ms regression
+        assert!(need <= 32, "lateness bound {need} exceeds the block bound");
+
+        // zero-event config: empty stream, no panic, disorder or not
+        let empty = EcommerceConfig {
+            n_events: 0,
+            ..base.with_disorder(8)
+        };
+        let mut c = Catalog::new();
+        assert!(generate_batch(&mut c, &empty).is_empty());
+        assert!(generate(
+            &mut c,
+            &EcommerceConfig {
+                n_events: 0,
+                ..Default::default()
+            }
+        )
+        .is_empty());
     }
 
     #[test]

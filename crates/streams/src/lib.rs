@@ -18,16 +18,21 @@
 //! generators expose a Zipfian `skew` knob ([`zipf`]) on their group
 //! dimension (vehicle / car / customer) so skewed `GROUP BY`
 //! distributions — the workload the sharded runtime's hot-group splitting
-//! targets — are reachable everywhere the streams are.
+//! targets — are reachable everywhere the streams are. A `disorder` knob
+//! ([`disorder`]) applies a seeded *bounded* shuffle to any generated
+//! stream, simulating late arrivals while keeping the displacement bound
+//! the event-time exactness guarantee is stated against.
 
 #![warn(missing_docs)]
 
+pub mod disorder;
 pub mod ecommerce;
 pub mod linear_road;
 pub mod taxi;
 pub mod workload;
 pub mod zipf;
 
+pub use disorder::{disorder_from_env, required_lateness, scramble_batch, scramble_events};
 pub use ecommerce::EcommerceConfig;
 pub use linear_road::LinearRoadConfig;
 pub use taxi::TaxiConfig;

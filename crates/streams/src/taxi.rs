@@ -30,6 +30,12 @@ pub struct TaxiConfig {
     /// `GROUP BY` shape the sharded runtime's hot-group splitting
     /// targets).
     pub skew: f64,
+    /// Bounded-disorder knob: permute the finished stream within blocks
+    /// of `disorder + 1` rows ([`crate::disorder::scramble_batch`]), so no
+    /// row is displaced by more than `disorder` positions. `0` keeps the
+    /// stream in timestamp order (the historical per-seed sequence,
+    /// bit-for-bit).
+    pub disorder: u32,
     /// RNG seed.
     pub seed: u64,
 }
@@ -43,6 +49,7 @@ impl Default for TaxiConfig {
             n_events: 100_000,
             mean_interarrival_ms: 3,
             skew: 0.0,
+            disorder: 0,
             seed: 7,
         }
     }
@@ -61,6 +68,7 @@ impl TaxiConfig {
             n_events,
             mean_interarrival_ms: 1,
             skew: 0.0,
+            disorder: 0,
             seed: 7,
         }
     }
@@ -68,6 +76,12 @@ impl TaxiConfig {
     /// Set the Zipf exponent of the vehicle distribution.
     pub fn with_skew(mut self, theta: f64) -> Self {
         self.skew = theta;
+        self
+    }
+
+    /// Set the bounded-disorder displacement bound.
+    pub fn with_disorder(mut self, disorder: u32) -> Self {
+        self.disorder = disorder;
         self
     }
 }
@@ -132,6 +146,9 @@ pub fn generate_batch(catalog: &mut Catalog, config: &TaxiConfig) -> EventBatch 
             (offset, pos + 1)
         };
     }
+    // bounded disorder last, over the finished stream: a no-op at 0, so
+    // every historical per-seed sequence is preserved bit-for-bit
+    crate::disorder::scramble_batch(&mut events, config.disorder, config.seed);
     events
 }
 
@@ -218,6 +235,39 @@ mod tests {
         );
         // the skewed stream is still deterministic and time-ordered
         assert!(skewed.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn disorder_is_bounded_and_zero_events_are_fine() {
+        let base = TaxiConfig {
+            n_events: 2000,
+            ..Default::default()
+        };
+        let mut c = Catalog::new();
+        let ordered = generate_batch(&mut c, &base);
+        let mut c = Catalog::new();
+        let shuffled = generate_batch(&mut c, &base.clone().with_disorder(16));
+        assert_ne!(ordered, shuffled, "disorder permutes the stream");
+        let mut sorted = shuffled.to_events();
+        sorted.sort_by_key(|e| e.time);
+        let mut reference = ordered.to_events();
+        reference.sort_by_key(|e| e.time);
+        assert_eq!(sorted, reference, "disorder is a permutation");
+        let need = crate::disorder::required_lateness(&shuffled);
+        assert!(need > 0, "the shuffle induced real disorder");
+        // displacement <= 16 positions, interarrival <= 6 ms
+        assert!(
+            need <= 16 * 6,
+            "lateness bound {need} exceeds the block bound"
+        );
+
+        // zero-event config: empty stream, no panic, disorder or not
+        let empty = TaxiConfig {
+            n_events: 0,
+            ..base.with_disorder(8)
+        };
+        let mut c = Catalog::new();
+        assert!(generate_batch(&mut c, &empty).is_empty());
     }
 
     #[test]

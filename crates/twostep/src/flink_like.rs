@@ -26,7 +26,7 @@ use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
 use sharon_executor::{
-    BatchProcessor, BatchRouter, ExecutorResults, RoutedRows, ShardProcessor, ShardReport,
+    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ShardProcessor, ShardReport,
     ShardedExecutor, DEFAULT_BATCH_SIZE,
 };
 use sharon_query::{AggFunc, Query, QueryId, Workload};
@@ -262,6 +262,9 @@ pub struct FlinkLike {
     kernel: Kernel,
     results: ExecutorResults,
     last_time: Timestamp,
+    /// Event-time reorder gate (see [`Reorder`]); `None` keeps the
+    /// historical arrival-order contract.
+    reorder: Option<Reorder>,
 }
 
 impl FlinkLike {
@@ -291,7 +294,71 @@ impl FlinkLike {
             kernel,
             results: ExecutorResults::new(),
             last_time: Timestamp::ZERO,
+            reorder: None,
         })
+    }
+
+    /// Enable event-time processing: input may carry bounded disorder,
+    /// rows buffer behind the watermark `max_time_seen − lateness_ms` and
+    /// release in event-time order; rows behind the watermark are dropped
+    /// and counted. Must be called before any ingestion.
+    pub fn set_lateness(&mut self, lateness_ms: u64) {
+        self.reorder = Some(Reorder::new(lateness_ms));
+    }
+
+    /// Late rows dropped by the event-time gate (0 when no gate).
+    pub fn late_rows_dropped(&self) -> u64 {
+        self.reorder.as_ref().map_or(0, Reorder::late_rows_dropped)
+    }
+
+    /// Dispatch one in-order row to every query (the release half of the
+    /// gated paths; `pre_routed` as recorded at admission).
+    fn dispatch_row(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: &[Value],
+        pre_routed: bool,
+    ) {
+        match &mut self.kernel {
+            Kernel::Count(qs) => {
+                for q in qs {
+                    q.process_row(ty, time, attrs, pre_routed, &mut self.results);
+                }
+            }
+            Kernel::Stats(qs) => {
+                for q in qs {
+                    q.process_row(ty, time, attrs, pre_routed, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Advance the gate's watermark and dispatch every released row.
+    fn advance_watermark(&mut self, frontier: Timestamp) {
+        let Some(gate) = &mut self.reorder else {
+            return;
+        };
+        gate.advance(frontier);
+        self.release_ready();
+    }
+
+    fn release_ready(&mut self) {
+        while let Some(row) = self.reorder.as_mut().and_then(Reorder::pop_ready) {
+            self.dispatch_row(row.ty, row.time, &row.attrs, row.pre_routed);
+            if let Some(gate) = &mut self.reorder {
+                gate.recycle(row);
+            }
+        }
+    }
+
+    /// End-of-stream: open the gate and release everything still buffered.
+    fn flush_pending(&mut self) {
+        let Some(gate) = &mut self.reorder else {
+            return;
+        };
+        gate.open();
+        self.release_ready();
     }
 
     /// Run the baseline on the sharded parallel runtime: the batch router
@@ -329,18 +396,24 @@ impl FlinkLike {
             n_shards,
             batch_size,
             sharon_executor::default_pipeline_depth(),
+            None,
         )
     }
 
     /// [`FlinkLike::sharded_with_batch_size`] with an explicit ingest
     /// pipeline depth (`0` = in-line routing; see
-    /// [`ShardedExecutor::from_parts_with`]).
+    /// [`ShardedExecutor::from_parts_with`]) and optional event-time
+    /// lateness: when set, each shard worker gates its pre-routed rows
+    /// behind the router's merged cross-shard frontier, so bounded
+    /// disorder up to the lateness is absorbed exactly and later rows are
+    /// dropped and counted.
     pub fn sharded_with_pipeline(
         catalog: &Catalog,
         workload: &Workload,
         n_shards: usize,
         batch_size: usize,
         pipeline_depth: usize,
+        lateness: Option<u64>,
     ) -> Result<ShardedExecutor, CompileError> {
         if workload.is_empty() {
             return Err(CompileError::EmptyWorkload);
@@ -361,6 +434,7 @@ impl FlinkLike {
                     Box::new(ScopeFanShard {
                         inner: f,
                         subscribers: subscribers.clone(),
+                        gate: lateness.map(Reorder::new),
                     }) as Box<dyn ShardProcessor>
                 })
             })
@@ -382,28 +456,53 @@ impl FlinkLike {
         }
     }
 
-    /// Process one event through every query.
+    /// Row form of [`FlinkLike::process_scope_rows`] — the release path of
+    /// the sharded event-time gate, which re-dispatches buffered rows one
+    /// at a time.
+    fn process_scope_row(&mut self, qi: usize, ty: EventTypeId, time: Timestamp, attrs: &[Value]) {
+        match &mut self.kernel {
+            Kernel::Count(qs) => qs[qi].process_row(ty, time, attrs, true, &mut self.results),
+            Kernel::Stats(qs) => qs[qi].process_row(ty, time, attrs, true, &mut self.results),
+        }
+    }
+
+    /// Process one event through every query. With an event-time gate the
+    /// row is admitted (or dropped as late) and the watermark advances;
+    /// without one the historical arrival-order contract applies.
     pub fn process(&mut self, e: &Event) {
+        if let Some(gate) = &mut self.reorder {
+            gate.admit(e.ty, e.time, &e.attrs, 0, false, false);
+            self.advance_watermark(e.time);
+            return;
+        }
         debug_assert!(e.time >= self.last_time, "events must be time-ordered");
         self.last_time = e.time;
-        match &mut self.kernel {
-            Kernel::Count(qs) => {
-                for q in qs {
-                    q.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
-                }
-            }
-            Kernel::Stats(qs) => {
-                for q in qs {
-                    q.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
-                }
-            }
-        }
+        self.dispatch_row(e.ty, e.time, &e.attrs, false);
     }
 
     /// Process a time-ordered columnar batch: each query runs its
     /// stateless scan + stateful dispatch over the whole batch while its
-    /// state is hot. No row-form event is materialized.
+    /// state is hot. No row-form event is materialized. With an event-time
+    /// gate, rows are admitted raw and the watermark advances to the
+    /// batch's maximum timestamp afterwards — released rows run the same
+    /// per-row scan the per-event path uses.
     pub fn process_columnar(&mut self, batch: &EventBatch) {
+        if let Some(gate) = &mut self.reorder {
+            for row in 0..batch.len() {
+                gate.admit(
+                    batch.ty(row),
+                    batch.time(row),
+                    batch.attrs(row),
+                    0,
+                    false,
+                    false,
+                );
+            }
+            if let Some(max) = batch.max_time() {
+                self.advance_watermark(max);
+            }
+            return;
+        }
         if let Some(&t) = batch.times().last() {
             debug_assert!(t >= self.last_time, "batches must be time-ordered");
             self.last_time = t;
@@ -450,6 +549,7 @@ impl FlinkLike {
 
     /// Flush and return all results.
     pub fn finish(mut self) -> ExecutorResults {
+        self.flush_pending();
         match &mut self.kernel {
             Kernel::Count(qs) => {
                 for q in qs {
@@ -501,6 +601,14 @@ impl BatchProcessor for FlinkLike {
         FlinkLike::process_columnar(self, batch);
     }
 
+    fn set_lateness(&mut self, lateness_ms: u64) {
+        FlinkLike::set_lateness(self, lateness_ms);
+    }
+
+    fn late_rows_dropped(&self) -> u64 {
+        FlinkLike::late_rows_dropped(self)
+    }
+
     fn events_matched(&self) -> u64 {
         FlinkLike::events_matched(self)
     }
@@ -509,7 +617,9 @@ impl BatchProcessor for FlinkLike {
         self.buffered_events()
     }
 
-    fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
+    fn finish(mut self: Box<Self>) -> (ExecutorResults, u64) {
+        // drain the gate first so the matched count includes released rows
+        self.flush_pending();
         let matched = FlinkLike::events_matched(&self);
         ((*self).finish(), matched)
     }
@@ -525,6 +635,26 @@ struct ScopeFanShard {
     inner: FlinkLike,
     /// Per distinct scope: the query indexes subscribing to it.
     subscribers: Vec<Vec<usize>>,
+    /// Event-time gate over the pre-routed rows: admission records the
+    /// scope in [`sharon_executor::PendingRow::scope`], release fans the
+    /// row back out to the scope's subscribers. `None` keeps the
+    /// arrival-order contract.
+    gate: Option<Reorder>,
+}
+
+impl ScopeFanShard {
+    /// Dispatch every gate-released row to its scope's subscribers.
+    fn release_ready(&mut self) {
+        while let Some(row) = self.gate.as_mut().and_then(Reorder::pop_ready) {
+            for &qi in &self.subscribers[row.scope as usize] {
+                self.inner
+                    .process_scope_row(qi, row.ty, row.time, &row.attrs);
+            }
+            if let Some(gate) = &mut self.gate {
+                gate.recycle(row);
+            }
+        }
+    }
 }
 
 impl ShardProcessor for ScopeFanShard {
@@ -533,6 +663,26 @@ impl ShardProcessor for ScopeFanShard {
             rows.splits.is_empty() && rows.state_rows.iter().all(Vec::is_empty),
             "baseline scopes never split groups"
         );
+        if let Some(gate) = &mut self.gate {
+            // event-time mode: buffer each scope's rows behind the
+            // router's merged frontier and release in event-time order
+            for (scope, list) in rows.per_part.iter().enumerate() {
+                for &row in list {
+                    let row = row as usize;
+                    gate.admit(
+                        batch.ty(row),
+                        batch.time(row),
+                        batch.attrs(row),
+                        scope as u32,
+                        true,
+                        false,
+                    );
+                }
+            }
+            gate.advance(rows.frontier);
+            self.release_ready();
+            return;
+        }
         for (scope, list) in rows.per_part.iter().enumerate() {
             if list.is_empty() {
                 continue;
@@ -547,7 +697,11 @@ impl ShardProcessor for ScopeFanShard {
         FlinkLike::events_matched(&self.inner)
     }
 
-    fn finish(self: Box<Self>) -> ShardReport {
+    fn finish(mut self: Box<Self>) -> ShardReport {
+        if let Some(gate) = &mut self.gate {
+            gate.open();
+        }
+        self.release_ready();
         let state_size = self.inner.buffered_events();
         let events_matched = FlinkLike::events_matched(&self.inner);
         ShardReport {
@@ -732,7 +886,8 @@ mod tests {
 
         let batch = EventBatch::from_events(&events);
         for depth in [0usize, 2] {
-            let mut sharded = FlinkLike::sharded_with_pipeline(&c, &w, 3, 128, depth).unwrap();
+            let mut sharded =
+                FlinkLike::sharded_with_pipeline(&c, &w, 3, 128, depth, None).unwrap();
             sharded.process_columnar(&batch);
             let got = sharded.finish();
             assert!(

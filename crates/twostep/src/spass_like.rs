@@ -27,7 +27,7 @@ use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
 use sharon_executor::{
-    BatchProcessor, BatchRouter, ExecutorResults, RoutedRows, ShardProcessor, ShardReport,
+    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ShardProcessor, ShardReport,
     ShardedExecutor, DEFAULT_BATCH_SIZE,
 };
 use sharon_query::{AggFunc, Query, QueryId, SegmentKind, SharingPlan, Workload};
@@ -446,6 +446,9 @@ pub struct SpassLike {
     kernel: Kernel,
     results: ExecutorResults,
     last_time: Timestamp,
+    /// Event-time reorder gate (see [`Reorder`]); `None` keeps the
+    /// historical arrival-order contract.
+    reorder: Option<Reorder>,
 }
 
 impl SpassLike {
@@ -493,7 +496,71 @@ impl SpassLike {
             kernel,
             results: ExecutorResults::new(),
             last_time: Timestamp::ZERO,
+            reorder: None,
         })
+    }
+
+    /// Enable event-time processing: input may carry bounded disorder,
+    /// rows buffer behind the watermark `max_time_seen − lateness_ms` and
+    /// release in event-time order; rows behind the watermark are dropped
+    /// and counted. Must be called before any ingestion.
+    pub fn set_lateness(&mut self, lateness_ms: u64) {
+        self.reorder = Some(Reorder::new(lateness_ms));
+    }
+
+    /// Late rows dropped by the event-time gate (0 when no gate).
+    pub fn late_rows_dropped(&self) -> u64 {
+        self.reorder.as_ref().map_or(0, Reorder::late_rows_dropped)
+    }
+
+    /// Dispatch one in-order row to every signature partition (the
+    /// release half of the gated paths).
+    fn dispatch_row(
+        &mut self,
+        ty: EventTypeId,
+        time: Timestamp,
+        attrs: &[Value],
+        pre_routed: bool,
+    ) {
+        match &mut self.kernel {
+            Kernel::Count(ps) => {
+                for p in ps {
+                    p.process_row(ty, time, attrs, pre_routed, &mut self.results);
+                }
+            }
+            Kernel::Stats(ps) => {
+                for p in ps {
+                    p.process_row(ty, time, attrs, pre_routed, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Advance the gate's watermark and dispatch every released row.
+    fn advance_watermark(&mut self, frontier: Timestamp) {
+        let Some(gate) = &mut self.reorder else {
+            return;
+        };
+        gate.advance(frontier);
+        self.release_ready();
+    }
+
+    fn release_ready(&mut self) {
+        while let Some(row) = self.reorder.as_mut().and_then(Reorder::pop_ready) {
+            self.dispatch_row(row.ty, row.time, &row.attrs, row.pre_routed);
+            if let Some(gate) = &mut self.reorder {
+                gate.recycle(row);
+            }
+        }
+    }
+
+    /// End-of-stream: open the gate and release everything still buffered.
+    fn flush_pending(&mut self) {
+        let Some(gate) = &mut self.reorder else {
+            return;
+        };
+        gate.open();
+        self.release_ready();
     }
 
     /// Run the baseline on the sharded parallel runtime: the batch router
@@ -529,12 +596,17 @@ impl SpassLike {
             n_shards,
             batch_size,
             sharon_executor::default_pipeline_depth(),
+            None,
         )
     }
 
     /// [`SpassLike::sharded_with_batch_size`] with an explicit ingest
     /// pipeline depth (`0` = in-line routing; see
-    /// [`ShardedExecutor::from_parts_with`]).
+    /// [`ShardedExecutor::from_parts_with`]) and optional event-time
+    /// lateness: when set, each shard worker gates its pre-routed rows
+    /// behind the router's merged cross-shard frontier, so bounded
+    /// disorder up to the lateness is absorbed exactly and later rows are
+    /// dropped and counted.
     pub fn sharded_with_pipeline(
         catalog: &Catalog,
         workload: &Workload,
@@ -542,6 +614,7 @@ impl SpassLike {
         n_shards: usize,
         batch_size: usize,
         pipeline_depth: usize,
+        lateness: Option<u64>,
     ) -> Result<ShardedExecutor, CompileError> {
         if workload.is_empty() {
             return Err(CompileError::EmptyWorkload);
@@ -562,6 +635,7 @@ impl SpassLike {
                     Box::new(ScopeFanShard {
                         inner: s,
                         subscribers: subscribers.clone(),
+                        gate: lateness.map(Reorder::new),
                     }) as Box<dyn ShardProcessor>
                 })
             })
@@ -584,28 +658,52 @@ impl SpassLike {
         }
     }
 
-    /// Process one event.
+    /// Row form of [`SpassLike::process_scope_rows`] — the release path of
+    /// the sharded event-time gate, which re-dispatches buffered rows one
+    /// at a time.
+    fn process_scope_row(&mut self, pi: usize, ty: EventTypeId, time: Timestamp, attrs: &[Value]) {
+        match &mut self.kernel {
+            Kernel::Count(ps) => ps[pi].process_row(ty, time, attrs, true, &mut self.results),
+            Kernel::Stats(ps) => ps[pi].process_row(ty, time, attrs, true, &mut self.results),
+        }
+    }
+
+    /// Process one event. With an event-time gate the row is admitted (or
+    /// dropped as late) and the watermark advances; without one the
+    /// historical arrival-order contract applies.
     pub fn process(&mut self, e: &Event) {
+        if let Some(gate) = &mut self.reorder {
+            gate.admit(e.ty, e.time, &e.attrs, 0, false, false);
+            self.advance_watermark(e.time);
+            return;
+        }
         debug_assert!(e.time >= self.last_time, "events must be time-ordered");
         self.last_time = e.time;
-        match &mut self.kernel {
-            Kernel::Count(ps) => {
-                for p in ps {
-                    p.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
-                }
-            }
-            Kernel::Stats(ps) => {
-                for p in ps {
-                    p.process_row(e.ty, e.time, &e.attrs, false, &mut self.results);
-                }
-            }
-        }
+        self.dispatch_row(e.ty, e.time, &e.attrs, false);
     }
 
     /// Process a time-ordered columnar batch: each signature partition
     /// runs its stateless scan + stateful dispatch over the whole batch
-    /// while its state is hot. No row-form event is materialized.
+    /// while its state is hot. No row-form event is materialized. With an
+    /// event-time gate, rows are admitted raw and the watermark advances
+    /// to the batch's maximum timestamp afterwards.
     pub fn process_columnar(&mut self, batch: &EventBatch) {
+        if let Some(gate) = &mut self.reorder {
+            for row in 0..batch.len() {
+                gate.admit(
+                    batch.ty(row),
+                    batch.time(row),
+                    batch.attrs(row),
+                    0,
+                    false,
+                    false,
+                );
+            }
+            if let Some(max) = batch.max_time() {
+                self.advance_watermark(max);
+            }
+            return;
+        }
         if let Some(&t) = batch.times().last() {
             debug_assert!(t >= self.last_time, "batches must be time-ordered");
             self.last_time = t;
@@ -652,6 +750,7 @@ impl SpassLike {
 
     /// Flush and return all results.
     pub fn finish(mut self) -> ExecutorResults {
+        self.flush_pending();
         match &mut self.kernel {
             Kernel::Count(ps) => {
                 for p in ps {
@@ -702,6 +801,14 @@ impl BatchProcessor for SpassLike {
         SpassLike::process_columnar(self, batch);
     }
 
+    fn set_lateness(&mut self, lateness_ms: u64) {
+        SpassLike::set_lateness(self, lateness_ms);
+    }
+
+    fn late_rows_dropped(&self) -> u64 {
+        SpassLike::late_rows_dropped(self)
+    }
+
     fn events_matched(&self) -> u64 {
         SpassLike::events_matched(self)
     }
@@ -710,7 +817,9 @@ impl BatchProcessor for SpassLike {
         self.materialized_matches()
     }
 
-    fn finish(self: Box<Self>) -> (ExecutorResults, u64) {
+    fn finish(mut self: Box<Self>) -> (ExecutorResults, u64) {
+        // drain the gate first so the matched count includes released rows
+        self.flush_pending();
         let matched = SpassLike::events_matched(&self);
         ((*self).finish(), matched)
     }
@@ -727,6 +836,26 @@ struct ScopeFanShard {
     /// Per distinct scope: the signature-partition indexes subscribing to
     /// it.
     subscribers: Vec<Vec<usize>>,
+    /// Event-time gate over the pre-routed rows: admission records the
+    /// scope in [`sharon_executor::PendingRow::scope`], release fans the
+    /// row back out to the scope's subscribers. `None` keeps the
+    /// arrival-order contract.
+    gate: Option<Reorder>,
+}
+
+impl ScopeFanShard {
+    /// Dispatch every gate-released row to its scope's subscribers.
+    fn release_ready(&mut self) {
+        while let Some(row) = self.gate.as_mut().and_then(Reorder::pop_ready) {
+            for &pi in &self.subscribers[row.scope as usize] {
+                self.inner
+                    .process_scope_row(pi, row.ty, row.time, &row.attrs);
+            }
+            if let Some(gate) = &mut self.gate {
+                gate.recycle(row);
+            }
+        }
+    }
 }
 
 impl ShardProcessor for ScopeFanShard {
@@ -735,6 +864,26 @@ impl ShardProcessor for ScopeFanShard {
             rows.splits.is_empty() && rows.state_rows.iter().all(Vec::is_empty),
             "baseline scopes never split groups"
         );
+        if let Some(gate) = &mut self.gate {
+            // event-time mode: buffer each scope's rows behind the
+            // router's merged frontier and release in event-time order
+            for (scope, list) in rows.per_part.iter().enumerate() {
+                for &row in list {
+                    let row = row as usize;
+                    gate.admit(
+                        batch.ty(row),
+                        batch.time(row),
+                        batch.attrs(row),
+                        scope as u32,
+                        true,
+                        false,
+                    );
+                }
+            }
+            gate.advance(rows.frontier);
+            self.release_ready();
+            return;
+        }
         for (scope, list) in rows.per_part.iter().enumerate() {
             if list.is_empty() {
                 continue;
@@ -749,7 +898,11 @@ impl ShardProcessor for ScopeFanShard {
         SpassLike::events_matched(&self.inner)
     }
 
-    fn finish(self: Box<Self>) -> ShardReport {
+    fn finish(mut self: Box<Self>) -> ShardReport {
+        if let Some(gate) = &mut self.gate {
+            gate.open();
+        }
+        self.release_ready();
         let state_size = self.inner.materialized_matches();
         let events_matched = SpassLike::events_matched(&self.inner);
         ShardReport {

@@ -25,7 +25,14 @@ use crate::event::Event;
 use crate::time::Timestamp;
 use crate::value::Value;
 
-/// A time-ordered slice of the stream in columnar (struct-of-arrays) form.
+/// A slice of the stream in columnar (struct-of-arrays) form.
+///
+/// Rows are usually appended in timestamp order, but a batch may carry
+/// bounded disorder (late rows): the executors' event-time machinery
+/// consumes [`EventBatch::min_time`] / [`EventBatch::max_time`] — tracked
+/// incrementally on append, so the low/high water marks of the time
+/// column are free at read time — to drive watermarks instead of
+/// trusting arrival order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventBatch {
     tys: Vec<EventTypeId>,
@@ -35,6 +42,10 @@ pub struct EventBatch {
     offsets: Vec<u32>,
     /// Attribute values of all rows, contiguous.
     values: Vec<Value>,
+    /// Running minimum of `times` (`u64::MAX` sentinel while empty).
+    min_time: Timestamp,
+    /// Running maximum of `times` (`0` sentinel while empty).
+    max_time: Timestamp,
 }
 
 impl Default for EventBatch {
@@ -51,6 +62,8 @@ impl EventBatch {
             times: Vec::new(),
             offsets: vec![0],
             values: Vec::new(),
+            min_time: Timestamp(u64::MAX),
+            max_time: Timestamp(0),
         }
     }
 
@@ -64,6 +77,8 @@ impl EventBatch {
             times: Vec::with_capacity(rows),
             offsets,
             values: Vec::with_capacity(rows * attrs_per_row),
+            min_time: Timestamp(u64::MAX),
+            max_time: Timestamp(0),
         }
     }
 
@@ -85,12 +100,16 @@ impl EventBatch {
         self.times.clear();
         self.offsets.truncate(1);
         self.values.clear();
+        self.min_time = Timestamp(u64::MAX);
+        self.max_time = Timestamp(0);
     }
 
     /// Append one event, moving `attrs` into the value buffer.
     ///
-    /// Events must be appended in non-decreasing timestamp order
-    /// (debug-asserted), matching what every executor requires.
+    /// Rows need not arrive in timestamp order — disordered streams
+    /// produce batches with late rows, and the time-column watermarks
+    /// ([`EventBatch::min_time`] / [`EventBatch::max_time`]) are tracked
+    /// here so consumers never pay a separate scan.
     #[inline]
     pub fn push_from(
         &mut self,
@@ -98,10 +117,8 @@ impl EventBatch {
         time: Timestamp,
         attrs: impl IntoIterator<Item = Value>,
     ) {
-        debug_assert!(
-            self.times.last().is_none_or(|&t| t <= time),
-            "batches must be built in timestamp order"
-        );
+        self.min_time = self.min_time.min(time);
+        self.max_time = self.max_time.max(time);
         self.tys.push(ty);
         self.times.push(time);
         self.values.extend(attrs);
@@ -171,12 +188,27 @@ impl EventBatch {
         &self.times
     }
 
+    /// Low water mark of the time column (`None` while empty) — tracked
+    /// incrementally on append, never a scan.
+    #[inline]
+    pub fn min_time(&self) -> Option<Timestamp> {
+        (!self.is_empty()).then_some(self.min_time)
+    }
+
+    /// High water mark of the time column (`None` while empty) — tracked
+    /// incrementally on append, never a scan. Under bounded disorder this
+    /// is what watermarks advance on (the last *row* may be a late one).
+    #[inline]
+    pub fn max_time(&self) -> Option<Timestamp> {
+        (!self.is_empty()).then_some(self.max_time)
+    }
+
     /// Materialize row `row` as a row-form [`Event`] (compatibility shim).
     pub fn event(&self, row: usize) -> Event {
         Event::with_attrs(self.ty(row), self.time(row), self.attrs(row))
     }
 
-    /// Build a batch from row-form events (must be time-ordered).
+    /// Build a batch from row-form events (any timestamp order).
     pub fn from_events(events: &[Event]) -> Self {
         let values = events.iter().map(|e| e.attrs.len()).sum::<usize>();
         let mut batch = Self::with_capacity(events.len(), values.div_ceil(events.len().max(1)));
@@ -266,5 +298,22 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.to_events(), Vec::<Event>::new());
         assert_eq!(EventBatch::from_events(&[]).len(), 0);
+        assert_eq!(b.min_time(), None);
+        assert_eq!(b.max_time(), None);
+    }
+
+    #[test]
+    fn time_watermarks_track_disordered_pushes() {
+        let mut b = EventBatch::new();
+        b.push_from(EventTypeId(0), Timestamp(5), []);
+        b.push_from(EventTypeId(0), Timestamp(2), []); // late row: allowed
+        b.push_from(EventTypeId(0), Timestamp(9), []);
+        assert_eq!(b.min_time(), Some(Timestamp(2)));
+        assert_eq!(b.max_time(), Some(Timestamp(9)));
+        b.clear();
+        assert_eq!(b.min_time(), None);
+        b.push_from(EventTypeId(0), Timestamp(4), []);
+        assert_eq!(b.min_time(), Some(Timestamp(4)));
+        assert_eq!(b.max_time(), Some(Timestamp(4)));
     }
 }

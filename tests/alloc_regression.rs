@@ -138,6 +138,67 @@ fn columnar_hot_path_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn watermark_tracking_is_allocation_free_after_warmup() {
+    let _serial = serial();
+    // event-time gating: a bounded-disorder stream through a gated engine
+    // reuses the reorder gate's pooled row buffers and warmed heap — the
+    // steady-state cost of watermark tracking is zero allocations
+    const DISORDER: u32 = 32;
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["g", "v"]));
+    let workload = parse_workload(
+        &mut catalog,
+        ["RETURN COUNT(*) PATTERN SEQ(A) GROUP BY g WITHIN 8 ms SLIDE 4 ms"],
+    )
+    .unwrap();
+    let mut executor = Executor::non_shared(&catalog, &workload).unwrap();
+
+    let (mut warmup, t) = build_batches(&catalog, WARMUP_BATCHES, 0);
+    let (mut measured, _) = build_batches(&catalog, MEASURED_BATCHES, t);
+    let mut need = 0u64;
+    for (i, batch) in warmup.iter_mut().chain(measured.iter_mut()).enumerate() {
+        sharon::streams::scramble_batch(batch, DISORDER, 0xA110_C000 + i as u64);
+        need = need.max(sharon::streams::required_lateness(batch));
+    }
+    assert!(need > 0, "the shuffle must actually disorder the stream");
+    executor.set_lateness(need);
+
+    // warm up: groups, scratch buffers, the gate's pending heap, and its
+    // row-buffer pool all reach steady-state capacity
+    for batch in &warmup {
+        executor.process_columnar(batch);
+    }
+    let expected_results = (MEASURED_BATCHES * BATCH_ROWS / 4 + 64) * (GROUPS as usize);
+    executor.reserve_results(expected_results);
+
+    let matched_before = executor.events_matched();
+    let (_, allocs) = alloc::measure_allocs(|| {
+        for batch in &measured {
+            executor.process_columnar(batch);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state watermark tracking must not allocate \
+         ({MEASURED_BATCHES} disordered batches performed {allocs} allocations)"
+    );
+    assert!(
+        executor.events_matched() > matched_before,
+        "the gate released rows during the measured phase"
+    );
+
+    // lateness covers the disorder bound exactly: nothing was dropped, and
+    // draining the gate at finish yields the full result set
+    assert_eq!(
+        executor.late_rows_dropped(),
+        0,
+        "covering lateness drops nothing"
+    );
+    let results = executor.finish();
+    assert!(results.len() > 1000, "windows closed and emitted");
+}
+
+#[test]
 fn multi_type_segment_path_is_allocation_free_after_warmup() {
     // SEQ(A, B): every A boxes a START-entry cell array — pooled by
     // SegmentRunner since the pooling change, making this path
@@ -584,7 +645,8 @@ fn dedup_router_scans_each_distinct_scope_once_per_batch() {
 
     for depth in [0usize, 2] {
         let mut sharded =
-            FlinkLike::sharded_with_pipeline(&catalog, &workload, 3, BATCH_SIZE, depth).unwrap();
+            FlinkLike::sharded_with_pipeline(&catalog, &workload, 3, BATCH_SIZE, depth, None)
+                .unwrap();
         let scans_before = sharon_metrics::router_scope_scans();
         sharded.process_shared(&shared);
         let got = sharded.finish(); // drains the pipeline: all chunks routed

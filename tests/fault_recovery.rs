@@ -245,6 +245,208 @@ fn ecommerce_kill_and_resume() {
     assert_kill_and_resume_is_exact(&catalog, &workload, &plan, &events, "ecommerce", &mut rng);
 }
 
+/// A `reorder@N:K` ingest fault scrambles one batch into a bounded
+/// disorder burst (each row displaced at most K positions). With a
+/// lateness that covers any within-batch scramble the run is exact, and
+/// a kill-and-resume across the burst replays to identical results: the
+/// checkpoint carries each gate's watermark and buffered rows, and when
+/// the burst lies past the resume offset the re-armed fault re-scrambles
+/// the same rows into the same permutation (the shuffle is seeded by the
+/// batch shape, not the clock).
+#[test]
+fn reorder_fault_kill_and_resume_is_exact() {
+    let mut rng = Rng::new("reorder");
+    let mut catalog = Catalog::new();
+    let events = taxi::generate(
+        &mut catalog,
+        &TaxiConfig {
+            n_events: 4000,
+            n_streets: 7,
+            n_vehicles: 40,
+            ..Default::default()
+        },
+    );
+    let workload = figure_1_workload(&mut catalog);
+    let plan = sharon_plan(&workload);
+    let want = sequential_reference(&catalog, &workload, &plan, &events);
+    assert!(!want.is_empty(), "reorder: stream must produce matches");
+
+    // the burst only displaces rows inside a single ingest batch, so the
+    // largest within-batch time spread is a covering lateness bound
+    let need = events
+        .chunks(BATCH)
+        .map(|chunk| {
+            let lo = chunk.iter().map(|e| e.time.millis()).min().unwrap();
+            let hi = chunk.iter().map(|e| e.time.millis()).max().unwrap();
+            hi - lo
+        })
+        .max()
+        .unwrap();
+    assert!(need > 0, "reorder: batches must span event time");
+
+    let n_batches = (events.len() as u64).div_ceil(BATCH as u64);
+    const K: u32 = 96;
+
+    for shards in support::shard_counts(&[1, 2, 8]) {
+        for depth in support::pipeline_depths() {
+            let burst_at = rng.range(1, n_batches - 1);
+
+            // uninterrupted disordered run: the covering lateness must
+            // absorb the burst exactly
+            let options = ShardedOptions {
+                batch_size: BATCH,
+                pipeline_depth: depth,
+                lateness: Some(need),
+                fault: Some(FaultPlan::Reorder {
+                    batch: burst_at,
+                    k: K,
+                }),
+                ..ShardedOptions::default()
+            };
+            let mut uninterrupted =
+                ShardedExecutor::with_options(&catalog, &workload, &plan, shards, options.clone())
+                    .expect("sharded compiles");
+            uninterrupted.process_batch(&events);
+            let got = uninterrupted.finish();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "reorder: {shards} shards (pipeline {depth}) burst@{burst_at}:{K} with covering \
+                 lateness {need} diverges from the in-order run ({} vs {} results)",
+                got.len(),
+                want.len(),
+            );
+
+            // kill-and-resume: crash at a checkpointed run mid-stream
+            // (ingest past the crash batch is lost), resume, replay
+            let crash_batch = rng.range(INTERVAL, n_batches);
+            let dir = test_dir("reorder");
+            let options = ShardedOptions {
+                checkpoint: Some(CheckpointConfig::every(&dir, INTERVAL)),
+                ..options
+            };
+            let mut crashing =
+                ShardedExecutor::with_options(&catalog, &workload, &plan, shards, options.clone())
+                    .expect("sharded compiles");
+            crashing.process_batch(&events[..(crash_batch * BATCH as u64) as usize]);
+            drop(crashing); // simulated crash: uncheckpointed tail is lost
+
+            // a burst at or past the resume offset has to fire again in
+            // the replay (shifted to the replayed batch index); a burst
+            // the checkpoint already covers must not
+            let resume_options = |offset: u64| ShardedOptions {
+                fault: (burst_at >= offset / BATCH as u64).then(|| FaultPlan::Reorder {
+                    batch: burst_at - offset / BATCH as u64,
+                    k: K,
+                }),
+                ..options.clone()
+            };
+            let (_, offset) =
+                ShardedExecutor::resume(&catalog, &workload, &plan, shards, options.clone())
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "reorder: {shards} shards (pipeline {depth}) crash@{crash_batch}: \
+                             resume failed: {e}"
+                        )
+                    });
+            assert!(
+                offset > 0 && offset % (INTERVAL * BATCH as u64) == 0,
+                "reorder: resume offset {offset} is not a checkpoint boundary"
+            );
+            let (mut resumed, offset2) =
+                ShardedExecutor::resume(&catalog, &workload, &plan, shards, resume_options(offset))
+                    .expect("second resume from the same store");
+            assert_eq!(offset, offset2, "reorder: resume offset must be stable");
+
+            resumed.process_batch(&events[offset as usize..]);
+            let got = resumed.finish();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "reorder: {shards} shards (pipeline {depth}) burst@{burst_at}:{K} \
+                 crash@{crash_batch} resume@{offset} diverges from the uninterrupted run \
+                 ({} vs {} results)",
+                got.len(),
+                want.len(),
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Below-bound lateness: when the configured lateness does *not* cover
+/// the stream's disorder, late rows are dropped **and counted** — never
+/// silently folded into already-closed windows. The sharded run must
+/// agree exactly with a sequential gated run over the same batch
+/// boundaries (the drop policy is deterministic and shard-invariant),
+/// and every owner-copy drop must land in the global
+/// [`sharon::metrics::late_rows_dropped`] counter exactly once.
+#[test]
+fn below_bound_lateness_drops_and_counts() {
+    let mut catalog = Catalog::new();
+    let events = taxi::generate(
+        &mut catalog,
+        &TaxiConfig {
+            n_events: 4000,
+            n_streets: 7,
+            n_vehicles: 40,
+            ..Default::default()
+        },
+    );
+    let workload = figure_1_workload(&mut catalog);
+    let plan = sharon_plan(&workload);
+
+    let mut shuffled = events.clone();
+    sharon::streams::scramble_events(&mut shuffled, 64, 0x0DD5_EED5);
+    let required =
+        sharon::streams::required_lateness(&sharon::types::EventBatch::from_events(&shuffled));
+    assert!(required > 0, "the shuffle must introduce disorder");
+    let lateness = required / 8; // deliberately below the bound
+
+    // sequential gated reference over the same ingest-batch boundaries
+    // the sharded runtime uses (the watermark advances per batch, so the
+    // chunking is part of the drop policy's observable behaviour)
+    let mut sequential = Executor::new(&catalog, &workload, &plan).expect("sequential compiles");
+    sequential.set_lateness(lateness);
+    for chunk in shuffled.chunks(BATCH) {
+        sequential.process_columnar(&sharon::types::EventBatch::from_events(chunk));
+    }
+    let want_drops = sequential.late_rows_dropped();
+    let want = sequential.finish();
+    assert!(
+        want_drops > 0,
+        "below-bound lateness {lateness} of required {required} must drop rows"
+    );
+
+    for shards in support::shard_counts(&[1, 2, 8]) {
+        for depth in support::pipeline_depths() {
+            let options = ShardedOptions {
+                batch_size: BATCH,
+                pipeline_depth: depth,
+                lateness: Some(lateness),
+                ..ShardedOptions::default()
+            };
+            let before = sharon::metrics::late_rows_dropped();
+            let mut sharded =
+                ShardedExecutor::with_options(&catalog, &workload, &plan, shards, options)
+                    .expect("sharded compiles");
+            sharded.process_batch(&shuffled);
+            let got = sharded.finish();
+            let dropped = sharon::metrics::late_rows_dropped() - before;
+            assert_eq!(
+                dropped, want_drops,
+                "{shards} shards (pipeline {depth}): every late row must be counted exactly \
+                 once (owner copies only)"
+            );
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "{shards} shards (pipeline {depth}): drop-and-count must be shard-invariant \
+                 ({} vs {} results)",
+                got.len(),
+                want.len(),
+            );
+        }
+    }
+}
+
 /// The strategy layer round-trips: `build_sharded_executor_with_options`
 /// checkpoints, a crash drops the tail, `resume_sharded_executor`
 /// re-derives the same plan from the (deterministic) optimizer and the

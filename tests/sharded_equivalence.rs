@@ -9,6 +9,12 @@
 //! the non-shared plan, and property-tested over random group
 //! cardinalities, pipeline depths, and ragged batch sizes (including
 //! empty and single-event batches).
+//!
+//! With `SHARON_DISORDER=K` set, every configuration additionally runs on
+//! a bounded-disorder shuffle of the stream (each event displaced at most
+//! K positions) with a lateness bound that covers the shuffle — and must
+//! *still* equal the in-order sequential reference: disorder under a
+//! covering lateness is a pure reordering the event-time gates absorb.
 
 use proptest::prelude::{prop, proptest, ProptestConfig};
 use sharon::prelude::*;
@@ -57,15 +63,43 @@ fn assert_sharded_matches_sequential(
         want.len(),
     );
 
+    // SHARON_DISORDER: run every configuration below on a bounded-
+    // disorder shuffle with a covering lateness instead — the results
+    // must still equal the IN-ORDER sequential reference
+    let (run_events, lateness) = match support::disordered(events) {
+        Some((shuffled, need)) => (shuffled, Some(need)),
+        None => (events.to_vec(), None),
+    };
+    let run_batch = EventBatch::from_events(&run_events);
+
+    if let Some(need) = lateness {
+        // the gated sequential engine absorbs the disorder exactly
+        let mut gated = Executor::new(catalog, workload, plan).expect("gated compiles");
+        gated.set_lateness(need);
+        gated.process_columnar(&run_batch);
+        let got = gated.finish();
+        assert!(
+            got.semantically_eq(&want, 1e-9),
+            "{label}: gated sequential engine diverges under disorder \
+             (lateness {need} ms, {} vs {} results)",
+            got.len(),
+            want.len(),
+        );
+    }
+
     let build = |shards: usize, depth: usize| {
-        ShardedExecutor::with_pipeline_depth(
+        ShardedExecutor::with_options(
             catalog,
             workload,
             plan,
             shards,
-            sharon_executor::DEFAULT_BATCH_SIZE,
-            sharon_executor::SplitConfig::default(),
-            depth,
+            sharon_executor::ShardedOptions {
+                batch_size: sharon_executor::DEFAULT_BATCH_SIZE,
+                split: sharon_executor::SplitConfig::default(),
+                pipeline_depth: depth,
+                lateness,
+                ..Default::default()
+            },
         )
         .expect("sharded compiles")
     };
@@ -73,7 +107,7 @@ fn assert_sharded_matches_sequential(
         for depth in support::pipeline_depths() {
             let mut sharded = build(shards, depth);
             // mixed ingestion: some per-event, some batched, covering both
-            let (head, tail) = events.split_at(events.len() / 3);
+            let (head, tail) = run_events.split_at(run_events.len() / 3);
             for e in head {
                 sharded.process(e);
             }
@@ -89,7 +123,7 @@ fn assert_sharded_matches_sequential(
 
             // columnar route-once ingestion agrees too
             let mut sharded = build(shards, depth);
-            sharded.process_columnar(&batch);
+            sharded.process_columnar(&run_batch);
             let got = sharded.finish();
             assert!(
                 got.semantically_eq(&want, 1e-9),

@@ -10,6 +10,11 @@
 //! path actually runs; `SplitConfig::eager` lowers the hotness noise
 //! floor so small synthetic streams split. The shard counts honour
 //! `SHARON_SHARDS` (the CI matrix runs 2 and 4 explicitly).
+//!
+//! With `SHARON_DISORDER=K` set, the split runs additionally ingest a
+//! bounded-disorder shuffle of the stream with a covering lateness — skew
+//! splitting and event-time gating compose, and results must still equal
+//! the in-order sequential reference.
 
 use proptest::prelude::{prop, proptest, ProptestConfig};
 use sharon::prelude::*;
@@ -46,7 +51,13 @@ fn assert_split_sharded_matches_sequential(
     let want = sequential.finish();
     assert!(!want.is_empty(), "{label}: stream must produce matches");
 
-    let batch = EventBatch::from_events(events);
+    // SHARON_DISORDER: ingest a bounded-disorder shuffle with a covering
+    // lateness instead — split merging and event-time gating compose
+    let (run_events, lateness) = match support::disordered(events) {
+        Some((shuffled, need)) => (shuffled, Some(need)),
+        None => (events.to_vec(), None),
+    };
+    let batch = EventBatch::from_events(&run_events);
     for shards in shard_counts() {
         for depth in support::pipeline_depths() {
             // eager thresholds so moderate skew (theta 0.8) splits even at
@@ -56,8 +67,18 @@ fn assert_split_sharded_matches_sequential(
                 hot_fraction: 0.05,
                 ..SplitConfig::default()
             };
-            let mut sharded = ShardedExecutor::with_pipeline_depth(
-                catalog, workload, plan, shards, 512, split, depth,
+            let mut sharded = ShardedExecutor::with_options(
+                catalog,
+                workload,
+                plan,
+                shards,
+                sharon_executor::ShardedOptions {
+                    batch_size: 512,
+                    split,
+                    pipeline_depth: depth,
+                    lateness,
+                    ..Default::default()
+                },
             )
             .expect("sharded compiles");
             sharded.process_columnar(&batch);
@@ -251,6 +272,100 @@ fn global_partition_splits_exactly() {
     );
 }
 
+/// Hot-group splitting composed with bounded disorder, pinned without
+/// `SHARON_DISORDER`: a split global partition ingesting a shuffled
+/// stream under a covering lateness must equal the in-order sequential
+/// reference, with equal matched counts. Regression for the split
+/// warm-up base: owner-only rows routed before a split registers can
+/// carry event times up to the router frontier, so round-robin must
+/// warm up from the frontier — not the triggering row's own timestamp —
+/// or non-owner shards fold rows against windows whose history they
+/// never received.
+#[test]
+fn global_partition_split_exact_under_disorder() {
+    let mut catalog = Catalog::new();
+    catalog.register_with_schema("A", Schema::new(["v"]));
+    catalog.register_with_schema("B", Schema::new(["v"]));
+    let workload = parse_workload(
+        &mut catalog,
+        [
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 40 ms SLIDE 8 ms",
+            "RETURN SUM(B.v) PATTERN SEQ(A, B) WITHIN 40 ms SLIDE 8 ms",
+        ],
+    )
+    .unwrap();
+    let a = catalog.lookup("A").unwrap();
+    let b = catalog.lookup("B").unwrap();
+    let events: Vec<Event> = (0..4000u64)
+        .map(|i| {
+            Event::with_attrs(
+                if i % 2 == 0 { a } else { b },
+                Timestamp(i),
+                vec![Value::Int((i % 9) as i64)],
+            )
+        })
+        .collect();
+    let plan = SharingPlan::non_shared();
+
+    let mut sequential = Executor::new(&catalog, &workload, &plan).expect("sequential compiles");
+    for e in &events {
+        sequential.process(e);
+    }
+    let want_matched = sequential.events_matched();
+    let want = sequential.finish();
+
+    let mut shuffled = events;
+    sharon::streams::scramble_events(&mut shuffled, 64, 0xBAD0_0DD5);
+    let batch = EventBatch::from_events(&shuffled);
+    let lateness = sharon::streams::required_lateness(&batch);
+    assert!(
+        lateness > 0,
+        "the shuffle must actually disorder the stream"
+    );
+
+    for shards in shard_counts() {
+        for depth in support::pipeline_depths() {
+            let mut sharded = ShardedExecutor::with_options(
+                &catalog,
+                &workload,
+                &plan,
+                shards,
+                sharon_executor::ShardedOptions {
+                    batch_size: 512,
+                    split: SplitConfig {
+                        min_rows: 64,
+                        hot_fraction: 0.05,
+                        ..SplitConfig::default()
+                    },
+                    pipeline_depth: depth,
+                    lateness: Some(lateness),
+                    ..Default::default()
+                },
+            )
+            .expect("sharded compiles");
+            sharded.process_columnar(&batch);
+            let split_groups = sharded.split_groups();
+            let (got, matched, _state) = sharded.finish_with_stats();
+            assert!(
+                shards == 1 || split_groups > 0,
+                "{shards} shards (pipeline {depth}): the global partition must split"
+            );
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "{shards} shards (pipeline {depth}): split + disorder diverge from \
+                 the in-order sequential reference ({} vs {} results)",
+                got.len(),
+                want.len(),
+            );
+            assert_eq!(
+                matched, want_matched,
+                "{shards} shards (pipeline {depth}): matched counts diverge under \
+                 disorder (gate-buffered rows must drain before stats are read)"
+            );
+        }
+    }
+}
+
 /// All four strategies on skewed input through the uniform
 /// `build_sharded_executor` path (default split tuning): the online
 /// strategies may split, the two-step baselines never do, and everyone
@@ -383,6 +498,7 @@ proptest! {
                 trip_len: 3,
                 mean_interarrival_ms: 1,
                 skew: theta,
+                disorder: 0,
                 seed,
             },
         );

@@ -19,3 +19,21 @@ pub fn pipeline_depths() -> Vec<usize> {
         Err(_) => vec![0, 2],
     }
 }
+
+/// The `SHARON_DISORDER` knob applied to a suite's event stream: returns
+/// the bounded-disorder shuffle of `events` plus the smallest lateness
+/// (ms) that absorbs it exactly, or `None` when the knob is unset/zero
+/// (in-order input, the historical behaviour). Seeded — the CI matrix
+/// replays the identical shuffle.
+#[allow(dead_code)]
+pub fn disordered(events: &[sharon::types::Event]) -> Option<(Vec<sharon::types::Event>, u64)> {
+    let disorder = sharon::streams::disorder_from_env();
+    if disorder == 0 {
+        return None;
+    }
+    let mut shuffled = events.to_vec();
+    sharon::streams::scramble_events(&mut shuffled, disorder, 0xD15C_0BA1);
+    let lateness =
+        sharon::streams::required_lateness(&sharon::types::EventBatch::from_events(&shuffled));
+    Some((shuffled, lateness))
+}
