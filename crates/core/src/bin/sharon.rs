@@ -458,6 +458,10 @@ fn main() {
         tail.extend_from_range(&events, offset, events.len());
         executor.process_columnar(&tail);
     }
+    // read before finish_with_matched consumes the executor; exact for
+    // sequential strategies, and for the sharded runtime too once its
+    // ingest flushed (which process_columnar + the finish below ensure)
+    let scan_stats = executor.scan_stats();
     let (results, matched) = executor.finish_with_matched();
     let run_time = t1.elapsed();
     let processed = events.len() - offset;
@@ -475,6 +479,18 @@ fn main() {
             "event time: {} late row(s) dropped",
             sharon::metrics::late_rows_dropped()
         );
+    }
+    if !scan_stats.is_empty() {
+        for (scope, (scanned, selected)) in scan_stats.iter().enumerate() {
+            let pct = if *scanned > 0 {
+                *selected as f64 / *scanned as f64 * 100.0
+            } else {
+                0.0
+            };
+            eprintln!(
+                "scan: scope {scope}: {selected}/{scanned} rows selected ({pct:.1}% selectivity)"
+            );
+        }
     }
 
     // every strategy — online engines and two-step baselines alike —

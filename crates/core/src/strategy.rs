@@ -121,6 +121,13 @@ impl AnyExecutor {
     pub fn state_size(&self) -> usize {
         self.inner.state_size()
     }
+
+    /// Per-scope `(rows_scanned, rows_selected)` of the stateless scan —
+    /// one entry per routing scope (partition, query, or baseline
+    /// partition), identical across scan modes; empty when untracked.
+    pub fn scan_stats(&self) -> Vec<(u64, u64)> {
+        self.inner.scan_stats()
+    }
 }
 
 impl From<Executor> for AnyExecutor {

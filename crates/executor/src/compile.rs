@@ -18,7 +18,10 @@
 
 use crate::agg::OutputKind;
 use crate::router::SplitSpec;
-use sharon_query::{AggFunc, CmpOp, Query, QueryId, SegmentKind, SharingPlan, Workload};
+use crate::scan::ScanKernel;
+use sharon_query::{
+    clause_passes, AggFunc, CmpOp, Query, QueryId, SegmentKind, SharingPlan, Workload,
+};
 use sharon_types::{AttrId, Catalog, EventTypeId, FxHashMap, GroupKey, Value, WindowSpec};
 use std::fmt;
 
@@ -166,10 +169,17 @@ impl CompiledPartition {
     pub fn predicates_pass(&self, ty: EventTypeId, attrs: &[Value]) -> bool {
         self.predicates[ty.index()]
             .iter()
-            .all(|(attr, op, lit)| match attrs.get(attr.index()) {
-                Some(v) => op.eval(v.partial_cmp(lit)),
-                None => false,
-            })
+            .all(|(attr, op, lit)| clause_passes(*op, attrs.get(attr.index()), lit))
+    }
+
+    /// Compile this partition's stateless prefix — routing, predicates,
+    /// groupability — into a vectorized [`ScanKernel`] evaluating whole
+    /// batches into u64 selection bitmaps. Selects exactly the rows the
+    /// scalar [`CompiledPartition::routed`] / `predicates_pass` /
+    /// `groupable` chain would.
+    pub fn scan_kernel(&self) -> ScanKernel {
+        let routed = self.routes.iter().map(Option::is_some).collect();
+        ScanKernel::new(routed, &self.group_attrs, &self.predicates)
     }
 
     /// True if every `GROUP BY` attribute of `ty` is present in `attrs`

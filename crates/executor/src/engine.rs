@@ -25,6 +25,7 @@ use crate::event_time::Reorder;
 use crate::partial::PartialResults;
 use crate::results::ExecutorResults;
 use crate::runner::SegmentRunner;
+use crate::scan::ScanKernel;
 use crate::spill::{SpillConfig, SpillStore};
 use crate::winvec::WinVec;
 use sharon_query::{SharingPlan, Workload};
@@ -384,11 +385,23 @@ pub struct Engine<A: Aggregate> {
     /// state is force-closed. Empty on arrival-time engines (no gate —
     /// notices apply immediately).
     deferred_unsplits: Vec<(GroupKey, Timestamp)>,
+    /// Compiled scan kernel of the columnar pre-pass (`None` = the
+    /// scalar interpreter, per [`crate::scan::scan_mode`]).
+    scan: Option<ScanKernel>,
+    /// Rows examined by this engine's columnar pre-pass.
+    rows_scanned: u64,
+    /// Rows that survived routing + predicates + groupability (before
+    /// shard-ownership filtering, so scalar and vector modes agree).
+    rows_selected: u64,
 }
 
 impl<A: Aggregate> Engine<A> {
     /// Build an engine from a compiled partition.
     pub fn new(part: CompiledPartition) -> Self {
+        let scan = match crate::scan::scan_mode() {
+            crate::scan::ScanMode::Vector => Some(part.scan_kernel()),
+            crate::scan::ScanMode::Scalar => None,
+        };
         Engine {
             part,
             groups: FxHashMap::default(),
@@ -407,6 +420,9 @@ impl<A: Aggregate> Engine<A> {
             events_matched: 0,
             reorder: None,
             deferred_unsplits: Vec::new(),
+            scan,
+            rows_scanned: 0,
+            rows_selected: 0,
         }
     }
 
@@ -998,42 +1014,90 @@ impl<A: Aggregate> Engine<A> {
     pub fn process_columnar(&mut self, batch: &EventBatch) {
         let mut sel = std::mem::take(&mut self.sel_scratch);
         sel.clear();
-        let tys = batch.types();
-        for (row, ty) in tys.iter().enumerate() {
-            if !self.part.routed(*ty) {
-                continue;
-            }
-            let attrs = batch.attrs(row);
-            if !self.part.predicates_pass(*ty, attrs) {
-                continue;
-            }
+        let selected = if let Some(kernel) = &mut self.scan {
+            // vectorized pre-pass: the kernel evaluates routing,
+            // predicates, and groupability into a selection bitmap;
+            // only a sharded engine still walks the survivors for
+            // key construction (ownership hashes the actual key)
             match &self.shard {
-                // the unsharded pre-pass only filters on groupability,
-                // deferring key construction to the stateful pass —
-                // no second clone of the grouping values
                 None => {
-                    if !self.part.groupable(*ty, attrs) {
-                        continue; // ungroupable event
-                    }
+                    kernel.select_into(batch, 0, batch.len(), &mut sel);
+                    sel.len() as u64
                 }
-                // a sharded engine needs the actual key (hashed for
-                // ownership); `read_group_key` also filters ungroupables
                 Some(slice) => {
-                    if !self.part.read_group_key(
-                        *ty,
-                        attrs,
-                        &mut self.vals_scratch,
-                        &mut self.key_scratch,
-                    ) {
-                        continue; // ungroupable event
+                    let words = kernel.scan(batch, 0, batch.len());
+                    for (w, &word) in words.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let lane = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let row = w * 64 + lane;
+                            let ok = self.part.read_group_key(
+                                batch.ty(row),
+                                batch.attrs(row),
+                                &mut self.vals_scratch,
+                                &mut self.key_scratch,
+                            );
+                            debug_assert!(ok, "kernel-selected row must be groupable");
+                            if ok && slice.owns(&self.key_scratch) {
+                                sel.push(row as u32);
+                            }
+                        }
                     }
-                    if !slice.owns(&self.key_scratch) {
+                    kernel.selected()
+                }
+            }
+        } else {
+            let mut selected = 0u64;
+            let tys = batch.types();
+            for (row, ty) in tys.iter().enumerate() {
+                if !self.part.routed(*ty) {
+                    continue;
+                }
+                let attrs = batch.attrs(row);
+                if !self.part.predicates_pass(*ty, attrs) {
+                    continue;
+                }
+                match &self.shard {
+                    // the unsharded pre-pass only filters on groupability,
+                    // deferring key construction to the stateful pass —
+                    // no second clone of the grouping values
+                    None => {
+                        if !self.part.groupable(*ty, attrs) {
+                            continue; // ungroupable event
+                        }
+                    }
+                    // a sharded engine needs the actual key (hashed for
+                    // ownership); `read_group_key` also filters ungroupables
+                    Some(slice) => {
+                        if !self.part.read_group_key(
+                            *ty,
+                            attrs,
+                            &mut self.vals_scratch,
+                            &mut self.key_scratch,
+                        ) {
+                            continue; // ungroupable event
+                        }
+                        // counted before the ownership filter so scalar and
+                        // vector tallies agree (ownership is a shard-local
+                        // partition of the same selection)
+                        selected += 1;
+                        if !slice.owns(&self.key_scratch) {
+                            continue;
+                        }
+                        sel.push(row as u32);
                         continue;
                     }
                 }
+                selected += 1;
+                sel.push(row as u32);
             }
-            sel.push(row as u32);
-        }
+            selected
+        };
+        self.rows_scanned += batch.len() as u64;
+        self.rows_selected += selected;
+        sharon_metrics::record_rows_scanned(batch.len() as u64);
+        sharon_metrics::record_rows_selected(selected);
         self.process_rows(batch, &sel);
         self.sel_scratch = sel;
         // event-time mode: the batch's time-column max (tracked by the
@@ -1488,6 +1552,13 @@ impl<A: Aggregate> Engine<A> {
         self.events_matched
     }
 
+    /// `(rows_scanned, rows_selected)` of this engine's columnar
+    /// pre-pass — identical in scalar and vector scan modes (selection
+    /// is counted before any shard-ownership filtering).
+    pub fn scan_stats(&self) -> (u64, u64) {
+        (self.rows_scanned, self.rows_selected)
+    }
+
     /// Live aggregate cells across all groups (memory proxy).
     pub fn cell_count(&self) -> usize {
         self.groups.values().map(GroupRuntime::cell_count).sum()
@@ -1689,6 +1760,15 @@ impl EngineKind {
         }
     }
 
+    /// `(rows_scanned, rows_selected)` of the columnar pre-pass (see
+    /// [`Engine::scan_stats`]).
+    pub fn scan_stats(&self) -> (u64, u64) {
+        match self {
+            EngineKind::Count(en) => en.scan_stats(),
+            EngineKind::Stats(en) => en.scan_stats(),
+        }
+    }
+
     /// End-of-stream gate drain (see [`Engine::flush_pending`]): release
     /// every buffered event-time row so pre-finish stats are final.
     pub fn flush_pending(&mut self) {
@@ -1831,6 +1911,13 @@ impl Executor {
             })
             .sum()
     }
+
+    /// Per-partition `(rows_scanned, rows_selected)` of the columnar
+    /// pre-pass (one entry per engine, in partition order).
+    pub fn scan_stats(&self) -> Vec<(u64, u64)> {
+        let Executor::__Internal(engines) = self;
+        engines.iter().map(EngineKind::scan_stats).collect()
+    }
 }
 
 impl crate::processor::BatchProcessor for Executor {
@@ -1856,6 +1943,10 @@ impl crate::processor::BatchProcessor for Executor {
 
     fn events_matched(&self) -> u64 {
         Executor::events_matched(self)
+    }
+
+    fn scan_stats(&self) -> Vec<(u64, u64)> {
+        Executor::scan_stats(self)
     }
 
     fn state_size(&self) -> usize {

@@ -30,6 +30,7 @@ mod proptests;
 pub mod results;
 pub mod router;
 pub mod runner;
+pub mod scan;
 pub mod sharded;
 pub mod spill;
 pub mod spsc;
@@ -49,6 +50,7 @@ pub use processor::BatchProcessor;
 pub use results::ExecutorResults;
 pub use router::{BatchRouter, RouteBatch, RoutedRows, RowFilter, SplitConfig, SplitSpec};
 pub use runner::SegmentRunner;
+pub use scan::{scan_mode, set_scan_mode, ScanCounters, ScanKernel, ScanMode};
 pub use sharded::{
     default_pipeline_depth, ShardProcessor, ShardReport, ShardedExecutor, ShardedOptions,
     DEFAULT_BATCH_SIZE, DEFAULT_PIPELINE_DEPTH,

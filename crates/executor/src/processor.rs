@@ -69,6 +69,14 @@ pub trait BatchProcessor: Send {
         0
     }
 
+    /// Per-scope `(rows_scanned, rows_selected)` tallies of the stateless
+    /// scan so far — one entry per routing scope (partition engine, query,
+    /// or baseline partition), in scope order. Identical in scalar and
+    /// vector scan modes; empty for strategies that do not track it.
+    fn scan_stats(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
+
     /// Strategy-specific state-size proxy: live aggregate cells (online),
     /// buffered raw events (Flink-like), materialized matches
     /// (SPASS-like), zero when state lives off-thread (sharded).

@@ -58,7 +58,9 @@
 
 use crate::checkpoint::{StateError, StateReader, StateWriter};
 use crate::compile::CompiledPartition;
+use crate::scan::{scan_mode, ScanCounters, ScanKernel, ScanMode};
 use sharon_types::{fx_hash_one, EventBatch, EventTypeId, FxHashMap, GroupKey, Timestamp, Value};
+use std::sync::Arc;
 
 /// The stateless per-row prefix of one routing scope: type routing,
 /// predicate evaluation, and group-key extraction. One definition of these
@@ -93,6 +95,15 @@ pub trait RowFilter {
     fn split_spec(&self) -> Option<SplitSpec> {
         None
     }
+
+    /// Compile this scope's stateless prefix into a vectorized
+    /// [`ScanKernel`], if the scope supports it. `None` (the default)
+    /// keeps the scalar per-row interpreter. A kernel must select exactly
+    /// the rows the scalar [`RowFilter::routed`] / `predicates_pass` /
+    /// `groupable` chain would.
+    fn scan_kernel(&self) -> Option<ScanKernel> {
+        None
+    }
 }
 
 impl RowFilter for CompiledPartition {
@@ -124,6 +135,10 @@ impl RowFilter for CompiledPartition {
 
     fn split_spec(&self) -> Option<SplitSpec> {
         Some(CompiledPartition::split_spec(self))
+    }
+
+    fn scan_kernel(&self) -> Option<ScanKernel> {
+        Some(CompiledPartition::scan_kernel(self))
     }
 }
 
@@ -580,6 +595,13 @@ pub trait RouteBatch: Send {
         0
     }
 
+    /// The router's per-scope scan tallies, if it tracks them. Cloned by
+    /// the executor handle **before** the router moves onto its ingest
+    /// thread, so selectivity stays reportable in pipelined mode.
+    fn scan_counters(&self) -> Option<Arc<ScanCounters>> {
+        None
+    }
+
     /// Serialize the router's routing state (decayed counters, split
     /// groups, pending notices) into a checkpoint segment. Routers
     /// without routing state (the baselines' pinned-only filters) write
@@ -604,6 +626,16 @@ pub struct BatchRouter<F = CompiledPartition> {
     /// Hot-group trackers, parallel to `scopes` (`None` when the scope
     /// opted out of splitting or the router is single-shard).
     trackers: Vec<Option<SplitTracker>>,
+    /// Compiled scan kernels, parallel to `scopes` (`None` runs the
+    /// scalar interpreter for that scope, per [`crate::scan::scan_mode`]).
+    kernels: Vec<Option<ScanKernel>>,
+    /// Reused selection buffer of the stateless pass (phase 1 output /
+    /// phase 2 input of [`BatchRouter::route_range_into`]).
+    sel_scratch: Vec<u32>,
+    /// Per-scope scan tallies, shared with the executor handle that
+    /// reports selectivity (the router itself may live on a dedicated
+    /// ingest thread).
+    counters: Arc<ScanCounters>,
     n_shards: usize,
     /// Reused scratch key (clone-free group-key hashing).
     key_scratch: GroupKey,
@@ -638,9 +670,17 @@ impl<F: RowFilter> BatchRouter<F> {
                 }
             })
             .collect();
+        let kernels = match scan_mode() {
+            ScanMode::Vector => scopes.iter().map(RowFilter::scan_kernel).collect(),
+            ScanMode::Scalar => scopes.iter().map(|_| None).collect(),
+        };
+        let counters = ScanCounters::new(scopes.len());
         BatchRouter {
             scopes,
             trackers,
+            kernels,
+            sel_scratch: Vec::new(),
+            counters,
             n_shards,
             key_scratch: GroupKey::Global,
             vals_scratch: Vec::new(),
@@ -652,6 +692,13 @@ impl<F: RowFilter> BatchRouter<F> {
     /// The routing scopes this router serves.
     pub fn scopes(&self) -> &[F] {
         &self.scopes
+    }
+
+    /// Per-scope `(rows_scanned, rows_selected)` tallies of the stateless
+    /// pass, shared with whoever holds a clone (see
+    /// [`RouteBatch::scan_counters`]).
+    pub fn scan_counters(&self) -> Arc<ScanCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Compute, for every shard, the per-scope row lists of `batch`
@@ -710,30 +757,58 @@ impl<F: RowFilter> BatchRouter<F> {
                 self.runmax_scratch.push(max_ms);
             }
         }
+        let mut sel = std::mem::take(&mut self.sel_scratch);
         for (pi, scope) in self.scopes.iter().enumerate() {
-            let tracker = &mut self.trackers[pi];
-            let global_owner = pi % self.n_shards;
-            for (i, ty) in tys.iter().enumerate() {
-                let row = lo + i;
-                if !scope.routed(*ty) {
-                    continue;
-                }
-                let attrs = batch.attrs(row);
-                if !scope.predicates_pass(*ty, attrs) {
-                    continue;
-                }
-                if self.n_shards == 1 {
-                    // single shard: groupability still filters, but no key
-                    // needs hashing — every row lands on shard 0
+            // phase 1 — stateless selection: routing, predicates, and
+            // groupability over the whole chunk, into the reused
+            // selection buffer. The vectorized kernel and the scalar
+            // interpreter select exactly the same rows (groupability is
+            // precisely `read_group_key` succeeding), so phase 2 below
+            // is mode-independent.
+            sel.clear();
+            if let Some(kernel) = self.kernels[pi].as_mut() {
+                kernel.select_into(batch, lo, hi, &mut sel);
+            } else {
+                for (i, ty) in tys.iter().enumerate() {
+                    let row = lo + i;
+                    if !scope.routed(*ty) {
+                        continue;
+                    }
+                    let attrs = batch.attrs(row);
+                    if !scope.predicates_pass(*ty, attrs) {
+                        continue;
+                    }
                     if !scope.groupable(*ty, attrs) {
                         continue; // ungroupable event
                     }
-                    out[0].per_part[pi].push(row as u32);
-                    continue;
+                    sel.push(row as u32);
                 }
-                if !scope.read_group_key(*ty, attrs, &mut self.vals_scratch, &mut self.key_scratch)
-                {
-                    continue; // ungroupable event
+            }
+            self.counters.record(pi, (hi - lo) as u64, sel.len() as u64);
+            sharon_metrics::record_rows_scanned((hi - lo) as u64);
+            sharon_metrics::record_rows_selected(sel.len() as u64);
+
+            // phase 2 — stateful fan-out over the survivors: key
+            // construction, owner hashing, hot-group tracking, split
+            // routing. Single-shard routers skip it entirely: every
+            // selected row lands on shard 0.
+            if self.n_shards == 1 {
+                out[0].per_part[pi].extend_from_slice(&sel);
+                continue;
+            }
+            let tracker = &mut self.trackers[pi];
+            let global_owner = pi % self.n_shards;
+            for &row32 in &sel {
+                let row = row32 as usize;
+                let i = row - lo;
+                let ty = batch.ty(row);
+                let attrs = batch.attrs(row);
+                // cannot fail: phase 1 already established groupability
+                let ok =
+                    scope.read_group_key(ty, attrs, &mut self.vals_scratch, &mut self.key_scratch);
+                debug_assert!(ok, "selected row must be groupable");
+                if !ok {
+                    continue;
                 }
                 let (owner, hash) = match &self.key_scratch {
                     GroupKey::Global => (global_owner, None),
@@ -808,6 +883,7 @@ impl<F: RowFilter> BatchRouter<F> {
                 );
             }
         }
+        self.sel_scratch = sel;
         // advance the event-time frontier over the chunk's time column
         // (a plain max scan: disordered input makes no row position
         // authoritative) and stamp it onto every shard's rows — in-band
@@ -960,6 +1036,10 @@ impl<F: RowFilter + Send> RouteBatch for BatchRouter<F> {
             .flatten()
             .map(|t| t.split.len() + usize::from(t.split_global.is_some()))
             .sum()
+    }
+
+    fn scan_counters(&self) -> Option<Arc<ScanCounters>> {
+        Some(BatchRouter::scan_counters(self))
     }
 
     fn save_state(&mut self, w: &mut StateWriter) {

@@ -104,6 +104,7 @@ use crate::partial::PartialResults;
 use crate::processor::BatchProcessor;
 use crate::results::ExecutorResults;
 use crate::router::{BatchRouter, RouteBatch, RoutedRows, SplitConfig};
+use crate::scan::ScanCounters;
 use crate::spill::SpillConfig;
 use crate::spsc;
 use sharon_query::{SharingPlan, Workload};
@@ -639,6 +640,10 @@ pub struct ShardedExecutor {
     /// Set once a `Drop`-fault fired: ingest stops and `finish` panics,
     /// simulating a crash with unflushed state.
     fault_tripped: Option<u64>,
+    /// The router's per-scope scan tallies, cloned out before the router
+    /// (possibly) moved onto its ingest thread (`None` when the router
+    /// does not track them).
+    scan_counters: Option<Arc<ScanCounters>>,
 }
 
 impl ShardedExecutor {
@@ -852,6 +857,10 @@ impl ShardedExecutor {
         );
         let batch_size = options.batch_size.max(1);
         let pipeline_depth = options.pipeline_depth;
+        // cloned now: in pipelined mode the router moves onto its own
+        // thread, but selectivity stays reportable through the shared
+        // counters
+        let scan_counters = router.scan_counters();
         let cancel = Arc::new(AtomicBool::new(false));
         let checkpointer = options.checkpoint.as_ref().map(|cfg| Checkpointer {
             store: CheckpointStore::open(&cfg.dir)
@@ -974,6 +983,7 @@ impl ShardedExecutor {
             checkpointer,
             fault: options.fault,
             fault_tripped: None,
+            scan_counters,
         }
     }
 
@@ -1006,6 +1016,17 @@ impl ShardedExecutor {
             .iter()
             .map(|w| w.matched.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Per-scope `(rows_scanned, rows_selected)` of the router's
+    /// stateless pass so far (empty when the router does not track it).
+    /// Live in both inline and pipelined modes; exact once ingestion is
+    /// flushed.
+    pub fn scan_stats(&self) -> Vec<(u64, u64)> {
+        self.scan_counters
+            .as_ref()
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
     }
 
     /// The fill buffer (uniquely owned between flushes).
@@ -1372,6 +1393,10 @@ impl BatchProcessor for ShardedExecutor {
 
     fn events_matched(&self) -> u64 {
         ShardedExecutor::events_matched(self)
+    }
+
+    fn scan_stats(&self) -> Vec<(u64, u64)> {
+        ShardedExecutor::scan_stats(self)
     }
 
     /// The engines live on the worker threads and are configured at

@@ -34,6 +34,42 @@ pub fn router_scope_scans() -> u64 {
     ROUTER_SCOPE_SCANS.load(Ordering::Relaxed)
 }
 
+/// Total rows examined by stateless scans (scalar or vectorized): one
+/// unit per row per routing scope that scanned it.
+static ROWS_SCANNED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` scanned rows (called by the columnar pre-passes and the
+/// batch router, once per scope per chunk).
+#[inline]
+pub fn record_rows_scanned(n: u64) {
+    ROWS_SCANNED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total rows examined by stateless scans so far in this process.
+pub fn rows_scanned() -> u64 {
+    ROWS_SCANNED.load(Ordering::Relaxed)
+}
+
+/// Total rows that survived a stateless scan — passed routing, predicates,
+/// and groupability of some scope (counted before shard-ownership
+/// filtering, so scalar and vectorized scans tally identically).
+static ROWS_SELECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` selected rows.
+#[inline]
+pub fn record_rows_selected(n: u64) {
+    ROWS_SELECTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total rows selected by stateless scans so far in this process.
+///
+/// `rows_selected() / rows_scanned()` is the workload's aggregate
+/// selectivity — the fraction of scanned rows that reached stateful
+/// processing.
+pub fn rows_selected() -> u64 {
+    ROWS_SELECTED.load(Ordering::Relaxed)
+}
+
 /// Total checkpoints completed (manifest renamed into place).
 static CHECKPOINTS_WRITTEN: AtomicU64 = AtomicU64::new(0);
 
@@ -106,6 +142,15 @@ mod tests {
         record_router_scope_scans(3);
         record_router_scope_scans(1);
         assert!(router_scope_scans() >= before + 4);
+    }
+
+    #[test]
+    fn row_scan_counters_accumulate() {
+        let (s0, p0) = (rows_scanned(), rows_selected());
+        record_rows_scanned(100);
+        record_rows_selected(25);
+        assert!(rows_scanned() >= s0 + 100);
+        assert!(rows_selected() >= p0 + 25);
     }
 
     #[test]

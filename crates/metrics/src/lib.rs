@@ -25,7 +25,8 @@ pub use alloc::{
 pub use counters::{
     checkpoints_written, group_reloads, group_spills, late_rows_dropped,
     record_checkpoints_written, record_group_reloads, record_group_spills,
-    record_late_rows_dropped, record_router_scope_scans, router_scope_scans,
+    record_late_rows_dropped, record_router_scope_scans, record_rows_scanned, record_rows_selected,
+    router_scope_scans, rows_scanned, rows_selected,
 };
 pub use latency::{timed, LatencyRecorder};
 pub use report::{fmt_bytes, fmt_duration, fmt_throughput, Table};

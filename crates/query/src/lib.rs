@@ -33,6 +33,6 @@ pub use aggregate::AggFunc;
 pub use parser::{parse_query, parse_workload, ParseError};
 pub use pattern::Pattern;
 pub use plan::{PlanCandidate, Segment, SegmentKind, SharingPlan};
-pub use predicate::{CmpOp, Predicate};
+pub use predicate::{clause_passes, CmpOp, Predicate};
 pub use query::{Query, QueryId};
 pub use workload::Workload;

@@ -46,6 +46,22 @@ impl CmpOp {
     }
 }
 
+/// The single definition of clause semantics, `value <op> literal`:
+/// a **missing** value (`None`) fails every operator — `!=` included —
+/// while a **present but incomparable** value (numeric vs. string, or a
+/// NaN float) satisfies only `!=`.
+///
+/// Shared by [`Predicate::eval`], the executors' compiled predicate
+/// tables, the two-step baselines' type tables, and the vectorized scan
+/// kernel's string lane, so the call sites can never drift apart.
+#[inline]
+pub fn clause_passes(op: CmpOp, value: Option<&Value>, literal: &Value) -> bool {
+    match value {
+        Some(v) => op.eval(v.partial_cmp(literal)),
+        None => false,
+    }
+}
+
 impl fmt::Display for CmpOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -100,10 +116,7 @@ impl Predicate {
         let Some(attr) = catalog.schema(self.ty).attr(&self.attr) else {
             return false;
         };
-        match event.attr(attr) {
-            Some(v) => self.op.eval(v.partial_cmp(&self.value)),
-            None => false,
-        }
+        clause_passes(self.op, event.attr(attr), &self.value)
     }
 
     /// Render with type names from `catalog`.

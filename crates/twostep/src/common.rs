@@ -13,8 +13,8 @@
 
 use sharon_executor::agg::Contribution;
 use sharon_executor::compile::CompileError;
-use sharon_executor::RowFilter;
-use sharon_query::{CmpOp, Query};
+use sharon_executor::{RowFilter, ScanKernel};
+use sharon_query::{clause_passes, CmpOp, Query};
 use sharon_types::{AttrId, Catalog, EventTypeId, GroupKey, Value};
 use std::collections::HashMap;
 
@@ -120,10 +120,7 @@ impl TypeTable {
         match self.predicates.get(ty.index()) {
             Some(preds) => preds
                 .iter()
-                .all(|(attr, op, lit)| match attrs.get(attr.index()) {
-                    Some(v) => op.eval(v.partial_cmp(lit)),
-                    None => false,
-                }),
+                .all(|(attr, op, lit)| clause_passes(*op, attrs.get(attr.index()), lit)),
             None => true,
         }
     }
@@ -223,6 +220,17 @@ impl ScopeFilter {
             routed: routed_bitmap(queries),
             table,
         })
+    }
+
+    /// Compile this scope's stateless prefix into a vectorized
+    /// [`ScanKernel`] (used by the baselines' columnar pre-passes and,
+    /// via [`RowFilter::scan_kernel`], by the sharded batch router).
+    pub fn compile_scan(&self) -> ScanKernel {
+        ScanKernel::new(
+            self.routed.clone(),
+            &self.table.group_attrs,
+            &self.table.predicates,
+        )
     }
 
     /// The routing identity of this filter (see [`ScopeKey`]).
@@ -329,6 +337,10 @@ impl RowFilter for ScopeFilter {
         key: &mut GroupKey,
     ) -> bool {
         self.table.read_group_key(ty, attrs, vals, key)
+    }
+
+    fn scan_kernel(&self) -> Option<ScanKernel> {
+        Some(self.compile_scan())
     }
 }
 

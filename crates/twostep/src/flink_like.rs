@@ -26,8 +26,8 @@ use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
 use sharon_executor::{
-    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ShardProcessor, ShardReport,
-    ShardedExecutor, DEFAULT_BATCH_SIZE,
+    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ScanKernel, ShardProcessor,
+    ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE,
 };
 use sharon_query::{AggFunc, Query, QueryId, Workload};
 use sharon_types::{
@@ -62,6 +62,13 @@ struct QueryState<A> {
     sel_scratch: Vec<u32>,
     /// Reused emission buffer for closing windows.
     emit_scratch: Vec<(u64, A)>,
+    /// Compiled scan kernel of the columnar pre-pass (`None` = the
+    /// scalar interpreter, per [`sharon_executor::scan_mode`]).
+    scan: Option<ScanKernel>,
+    /// Rows examined by this query's columnar pre-pass.
+    rows_scanned: u64,
+    /// Rows that survived routing + predicates + groupability.
+    rows_selected: u64,
 }
 
 impl<A: Aggregate> QueryState<A> {
@@ -85,11 +92,20 @@ impl<A: Aggregate> QueryState<A> {
             AggFunc::Max(..) => OutputKind::Max,
             AggFunc::Avg(t, _) => OutputKind::Avg(q.pattern.positions_of(*t).len() as u32),
         };
+        let table = TypeTable::build(catalog, q)?;
+        let scan = match sharon_executor::scan_mode() {
+            sharon_executor::ScanMode::Vector => Some(ScanKernel::new(
+                positions.iter().map(|p| !p.is_empty()).collect(),
+                &table.group_attrs,
+                &table.predicates,
+            )),
+            sharon_executor::ScanMode::Scalar => None,
+        };
         Ok(QueryState {
             id: q.id,
             window: q.window,
             positions,
-            table: TypeTable::build(catalog, q)?,
+            table,
             output,
             pattern_len: q.pattern.len(),
             groups: HashMap::new(),
@@ -99,6 +115,9 @@ impl<A: Aggregate> QueryState<A> {
             vals_scratch: Vec::new(),
             sel_scratch: Vec::new(),
             emit_scratch: Vec::new(),
+            scan,
+            rows_scanned: 0,
+            rows_selected: 0,
         })
     }
 
@@ -198,19 +217,27 @@ impl<A: Aggregate> QueryState<A> {
     fn process_columnar(&mut self, batch: &EventBatch, results: &mut ExecutorResults) {
         let mut sel = std::mem::take(&mut self.sel_scratch);
         sel.clear();
-        for (row, ty) in batch.types().iter().enumerate() {
-            if self.positions.get(ty.index()).is_none_or(|p| p.is_empty()) {
-                continue;
+        if let Some(kernel) = &mut self.scan {
+            kernel.select_into(batch, 0, batch.len(), &mut sel);
+        } else {
+            for (row, ty) in batch.types().iter().enumerate() {
+                if self.positions.get(ty.index()).is_none_or(|p| p.is_empty()) {
+                    continue;
+                }
+                let attrs = batch.attrs(row);
+                if !self.table.passes(*ty, attrs) {
+                    continue;
+                }
+                if !self.table.groupable(*ty, attrs) {
+                    continue;
+                }
+                sel.push(row as u32);
             }
-            let attrs = batch.attrs(row);
-            if !self.table.passes(*ty, attrs) {
-                continue;
-            }
-            if !self.table.groupable(*ty, attrs) {
-                continue;
-            }
-            sel.push(row as u32);
         }
+        self.rows_scanned += batch.len() as u64;
+        self.rows_selected += sel.len() as u64;
+        sharon_metrics::record_rows_scanned(batch.len() as u64);
+        sharon_metrics::record_rows_selected(sel.len() as u64);
         self.process_rows(batch, &sel, results);
         self.sel_scratch = sel;
     }
@@ -583,6 +610,21 @@ impl FlinkLike {
         }
     }
 
+    /// Per-query `(rows_scanned, rows_selected)` of the columnar
+    /// pre-pass, in query order.
+    pub fn scan_stats(&self) -> Vec<(u64, u64)> {
+        match &self.kernel {
+            Kernel::Count(qs) => qs
+                .iter()
+                .map(|q| (q.rows_scanned, q.rows_selected))
+                .collect(),
+            Kernel::Stats(qs) => qs
+                .iter()
+                .map(|q| (q.rows_scanned, q.rows_selected))
+                .collect(),
+        }
+    }
+
     /// Raw events currently buffered across all queries (memory proxy).
     pub fn buffered_events(&self) -> usize {
         match &self.kernel {
@@ -611,6 +653,10 @@ impl BatchProcessor for FlinkLike {
 
     fn events_matched(&self) -> u64 {
         FlinkLike::events_matched(self)
+    }
+
+    fn scan_stats(&self) -> Vec<(u64, u64)> {
+        FlinkLike::scan_stats(self)
     }
 
     fn state_size(&self) -> usize {

@@ -27,8 +27,8 @@ use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
 use sharon_executor::{
-    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ShardProcessor, ShardReport,
-    ShardedExecutor, DEFAULT_BATCH_SIZE,
+    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ScanKernel, ShardProcessor,
+    ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE,
 };
 use sharon_query::{AggFunc, Query, QueryId, SegmentKind, SharingPlan, Workload};
 use sharon_types::{
@@ -91,6 +91,13 @@ struct Partition<A> {
     emit_scratch: Vec<(u64, A)>,
     /// Reused buffer for the segment matches a single END row constructs.
     match_scratch: Vec<Match<A>>,
+    /// Compiled scan kernel of the columnar pre-pass (`None` = the
+    /// scalar interpreter, per [`sharon_executor::scan_mode`]).
+    scan: Option<ScanKernel>,
+    /// Rows examined by this partition's columnar pre-pass.
+    rows_scanned: u64,
+    /// Rows that survived routing + predicates + groupability.
+    rows_selected: u64,
 }
 
 fn output_kind(q: &Query) -> OutputKind {
@@ -180,10 +187,19 @@ impl<A: Aggregate> Partition<A> {
         for (qi, q) in qdefs.iter().enumerate() {
             finalists[*q.stages.last().expect("patterns are non-empty")].push(qi);
         }
+        let routed = crate::common::routed_bitmap(queries);
+        let scan = match sharon_executor::scan_mode() {
+            sharon_executor::ScanMode::Vector => Some(ScanKernel::new(
+                routed.clone(),
+                &table.group_attrs,
+                &table.predicates,
+            )),
+            sharon_executor::ScanMode::Scalar => None,
+        };
         Ok(Partition {
             window,
             table,
-            routed: crate::common::routed_bitmap(queries),
+            routed,
             segs,
             queries: qdefs,
             finalists,
@@ -195,6 +211,9 @@ impl<A: Aggregate> Partition<A> {
             sel_scratch: Vec::new(),
             emit_scratch: Vec::new(),
             match_scratch: Vec::new(),
+            scan,
+            rows_scanned: 0,
+            rows_selected: 0,
         })
     }
 
@@ -324,19 +343,27 @@ impl<A: Aggregate> Partition<A> {
     fn process_columnar(&mut self, batch: &EventBatch, results: &mut ExecutorResults) {
         let mut sel = std::mem::take(&mut self.sel_scratch);
         sel.clear();
-        for (row, ty) in batch.types().iter().enumerate() {
-            if !self.routed.get(ty.index()).copied().unwrap_or(false) {
-                continue;
+        if let Some(kernel) = &mut self.scan {
+            kernel.select_into(batch, 0, batch.len(), &mut sel);
+        } else {
+            for (row, ty) in batch.types().iter().enumerate() {
+                if !self.routed.get(ty.index()).copied().unwrap_or(false) {
+                    continue;
+                }
+                let attrs = batch.attrs(row);
+                if !self.table.passes(*ty, attrs) {
+                    continue;
+                }
+                if !self.table.groupable(*ty, attrs) {
+                    continue;
+                }
+                sel.push(row as u32);
             }
-            let attrs = batch.attrs(row);
-            if !self.table.passes(*ty, attrs) {
-                continue;
-            }
-            if !self.table.groupable(*ty, attrs) {
-                continue;
-            }
-            sel.push(row as u32);
         }
+        self.rows_scanned += batch.len() as u64;
+        self.rows_selected += sel.len() as u64;
+        sharon_metrics::record_rows_scanned(batch.len() as u64);
+        sharon_metrics::record_rows_selected(sel.len() as u64);
         self.process_rows(batch, &sel, results);
         self.sel_scratch = sel;
     }
@@ -790,6 +817,21 @@ impl SpassLike {
             Kernel::Stats(ps) => ps.iter().map(|p| p.events_matched).sum(),
         }
     }
+
+    /// Per-partition `(rows_scanned, rows_selected)` of the columnar
+    /// pre-pass, in partition order.
+    pub fn scan_stats(&self) -> Vec<(u64, u64)> {
+        match &self.kernel {
+            Kernel::Count(ps) => ps
+                .iter()
+                .map(|p| (p.rows_scanned, p.rows_selected))
+                .collect(),
+            Kernel::Stats(ps) => ps
+                .iter()
+                .map(|p| (p.rows_scanned, p.rows_selected))
+                .collect(),
+        }
+    }
 }
 
 impl BatchProcessor for SpassLike {
@@ -811,6 +853,10 @@ impl BatchProcessor for SpassLike {
 
     fn events_matched(&self) -> u64 {
         SpassLike::events_matched(self)
+    }
+
+    fn scan_stats(&self) -> Vec<(u64, u64)> {
+        SpassLike::scan_stats(self)
     }
 
     fn state_size(&self) -> usize {

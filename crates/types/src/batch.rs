@@ -188,6 +188,21 @@ impl EventBatch {
         &self.times
     }
 
+    /// The raw row-offset column (`len() + 1` entries, starting with 0):
+    /// row `r`'s attributes live at `values()[offsets()[r] as usize ..
+    /// offsets()[r + 1] as usize]`. Exposed so compiled scan kernels can
+    /// gather attribute columns without per-row slice construction.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw contiguous value buffer (see [`EventBatch::offsets`]).
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
     /// Low water mark of the time column (`None` while empty) — tracked
     /// incrementally on append, never a scan.
     #[inline]
