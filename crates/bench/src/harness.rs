@@ -14,7 +14,7 @@
 
 use sharon::prelude::*;
 use sharon::streams::workload::measured_rates;
-use sharon::{build_executor, build_sharded_executor, Strategy};
+use sharon::{SharonBuilder, Strategy};
 use sharon_metrics::{fmt_bytes, fmt_duration, fmt_throughput, measure_peak, Table};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -159,20 +159,13 @@ pub fn run_measured(
         ..Default::default()
     };
     let n_shards = shards();
-    let (mut ex, _) = if n_shards > 0 {
-        build_sharded_executor(
-            catalog,
-            workload,
-            rates,
-            strategy,
-            &cfg,
-            n_shards,
-            pipeline(),
-        )
-    } else {
-        build_executor(catalog, workload, rates, strategy, &cfg)
-    }
-    .expect("executor compiles");
+    let (mut ex, _) = SharonBuilder::new(catalog, workload, rates)
+        .strategy(strategy)
+        .optimizer_config(cfg)
+        .shards(n_shards)
+        .pipeline_depth(pipeline())
+        .build_executor()
+        .expect("executor compiles");
 
     sharon_metrics::reset_peak();
     let base = sharon_metrics::peak_bytes();

@@ -10,7 +10,7 @@
 //!          [--strategy sharon|greedy|aseq|flink|spass] [--shards N]
 //!          [--pipeline-depth N] [--skew THETA] [--explain] [--results N]
 //!          [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]
-//!          [--spill-max N] [--disorder K] [--lateness B]
+//!          [--spill-max N] [--disorder K] [--lateness B] [--churn FILE]
 //!
 //! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
 //! Figure 2 purchase workload (ec) is used. `--shards N` runs *any*
@@ -42,16 +42,32 @@
 //! behind the watermark are dropped and counted. Results are exact
 //! whenever B covers the stream's disorder (in event-time milliseconds).
 //! The `SHARON_DISORDER=<K>` and `SHARON_LATENESS=<B>` environment knobs
-//! are honored too; flags override them.
+//! are honored too; flags override them. (The whole `SHARON_*` surface is
+//! parsed once through `RuntimeOptions::from_env`.)
+//!
+//! Live churn: `--churn FILE` runs the stream through a long-lived
+//! `SharonSession` and replays a script of runtime workload mutations.
+//! Each non-empty, non-`#` line is `@<event-offset> <action>`:
+//!
+//!   @25000 attach RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 s SLIDE 2 s
+//!   @40000 detach 3
+//!   @45000 reopt
+//!
+//! `attach` compiles the query in (fast-path aliasing an equal-signature
+//! hosted query, else a private sidecar), `detach <n>` detaches the n-th
+//! handle (1-based: the initial workload's queries are handles 1..k in
+//! order, then attach order), and `reopt` forces a re-optimization and
+//! plan hot-swap at that batch boundary. Offsets are event positions in
+//! the generated stream; ops apply in offset order. Requires an online
+//! strategy and an in-order stream, and does not compose with
+//! checkpoint/fault/resume; `--shards 0` is promoted to one shard.
 //! ```
 
 use sharon::executor::{CheckpointConfig, ShardedOptions, SpillConfig};
 use sharon::prelude::*;
 use sharon::streams::workload::{figure_1_workload, figure_2_workload, measured_rates_batch};
 use sharon::streams::{ecommerce, linear_road, taxi};
-use sharon::{
-    build_executor, build_sharded_executor_with_options, resume_sharded_executor, Strategy,
-};
+use sharon::{resume_sharded_executor, Strategy};
 use std::time::Instant;
 
 struct Args {
@@ -70,6 +86,7 @@ struct Args {
     spill_max: Option<usize>,
     disorder: Option<u32>,
     lateness: Option<u64>,
+    churn: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         spill_max: None,
         disorder: None,
         lateness: None,
+        churn: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -166,6 +184,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--lateness: {e}"))?,
                 )
             }
+            "--churn" => args.churn = Some(value("--churn")?),
             "--explain" => args.explain = true,
             "--help" | "-h" => {
                 println!(
@@ -174,7 +193,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20        [--strategy sharon|greedy|aseq|flink|spass] [--shards N]\n\
                      \x20        [--pipeline-depth N] [--skew THETA] [--explain] [--results N]\n\
                      \x20        [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]\n\
-                     \x20        [--spill-max N] [--disorder K] [--lateness B]"
+                     \x20        [--spill-max N] [--disorder K] [--lateness B] [--churn FILE]"
                 );
                 std::process::exit(0);
             }
@@ -193,11 +212,22 @@ fn main() {
         }
     };
 
-    // 1. stream — generated directly in columnar form; --disorder
-    // overrides the SHARON_DISORDER environment knob
-    let disorder = args
-        .disorder
-        .unwrap_or_else(sharon::streams::disorder_from_env);
+    // the whole SHARON_* environment surface, parsed in one place; an
+    // unparsable knob is fatal, never silently ignored
+    let runtime = match RuntimeOptions::from_env() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // flags override their environment knobs
+    let shards = if args.shards > 0 {
+        args.shards
+    } else {
+        runtime.shards.unwrap_or(0)
+    };
+    let disorder = args.disorder.unwrap_or(runtime.disorder);
     let mut catalog = Catalog::new();
     let events = match args.stream.as_str() {
         "taxi" => taxi::generate_batch(
@@ -276,8 +306,8 @@ fn main() {
     eprintln!("workload: {} queries", workload.len());
 
     // 3. durability knobs — flags override the SHARON_CHECKPOINT /
-    // SHARON_FAULT environment knobs that from_env() picks up
-    let mut options = ShardedOptions::from_env();
+    // SHARON_FAULT environment knobs that RuntimeOptions picked up
+    let mut options = runtime.sharded_options();
     options.pipeline_depth = args.pipeline_depth;
     if let Some(dir) = &args.checkpoint_dir {
         options.checkpoint = Some(CheckpointConfig::every(
@@ -305,7 +335,8 @@ fn main() {
         options.spill = Some(SpillConfig::new(dir, max_resident));
     }
     let durability = options.checkpoint.is_some() || options.spill.is_some();
-    if (durability || options.fault.is_some() || args.resume) && args.shards == 0 {
+    if (durability || options.fault.is_some() || args.resume) && shards == 0 && args.churn.is_none()
+    {
         eprintln!(
             "error: checkpoint/spill/fault/resume knobs require the sharded runtime (--shards N)"
         );
@@ -342,6 +373,22 @@ fn main() {
     // 4. optimize + execute
     let (counts, span) = measured_rates_batch(&events);
     let rates = RateMap::from_counts(&counts, span);
+
+    if let Some(script) = args.churn.clone() {
+        run_churn(
+            &script,
+            &args,
+            &mut catalog,
+            &workload,
+            &events,
+            &rates,
+            &options,
+            &runtime,
+            shards,
+            disorder,
+        );
+        return;
+    }
     let t0 = Instant::now();
     let mut replay_offset: u64 = 0;
     let built = if args.resume {
@@ -351,7 +398,7 @@ fn main() {
             &rates,
             args.strategy,
             &OptimizerConfig::default(),
-            args.shards,
+            shards,
             options,
         )
         .map(|(ex, outcome, offset)| {
@@ -359,26 +406,28 @@ fn main() {
             (ex, outcome)
         })
         .map_err(|e| format!("cannot resume: {e}"))
-    } else if args.shards > 0 {
-        build_sharded_executor_with_options(
-            &catalog,
-            &workload,
-            &rates,
-            args.strategy,
-            &OptimizerConfig::default(),
-            args.shards,
-            options,
-        )
-        .map_err(|e| e.to_string())
     } else {
-        build_executor(
-            &catalog,
-            &workload,
-            &rates,
-            args.strategy,
-            &OptimizerConfig::default(),
-        )
-        .map_err(|e| e.to_string())
+        let mut builder = SharonBuilder::new(&catalog, &workload, &rates)
+            .strategy(args.strategy)
+            .shards(shards)
+            .pipeline_depth(options.pipeline_depth)
+            .batch_size(options.batch_size);
+        if let Some(ck) = options.checkpoint.clone() {
+            builder = builder.checkpoint(ck);
+        }
+        if let Some(sp) = options.spill.clone() {
+            builder = builder.spill(sp);
+        }
+        if let Some(fault) = options.fault {
+            builder = builder.fault(fault);
+        }
+        if let Some(b) = options.lateness {
+            builder = builder.lateness(b);
+        }
+        if let Some(mode) = runtime.scan {
+            builder = builder.scan_mode(mode);
+        }
+        builder.build_executor().map_err(|e| e.to_string())
     };
     let (mut executor, outcome) = match built {
         Ok(x) => x,
@@ -387,24 +436,17 @@ fn main() {
             std::process::exit(1);
         }
     };
-    // sequential executors take the lateness directly; the sharded
-    // runtime already configured its engines from options.lateness
-    if args.shards == 0 {
-        if let Some(b) = lateness {
-            executor.set_lateness(b);
-        }
-    }
     let optimize_time = t0.elapsed();
-    if args.shards > 0 {
+    if shards > 0 {
         if args.pipeline_depth > 0 {
             eprintln!(
                 "runtime: sharded across {} worker threads, pipelined ingest (router thread, depth {})",
-                args.shards, args.pipeline_depth
+                shards, args.pipeline_depth
             );
         } else {
             eprintln!(
                 "runtime: sharded across {} worker threads, in-line routing",
-                args.shards
+                shards
             );
         }
     }
@@ -513,6 +555,246 @@ fn main() {
         println!(
             "  {}: {} (group, window) results, total count {}",
             q,
+            rows.len(),
+            results.total_count(q)
+        );
+        for (group, window, value) in rows.into_iter().take(args.results) {
+            println!("      group={group} window@{window}: {value}");
+        }
+    }
+}
+
+/// One scripted workload mutation, applied once the stream has been fed
+/// up to (but not including) event `offset`.
+struct ChurnOp {
+    offset: usize,
+    action: ChurnAction,
+}
+
+enum ChurnAction {
+    Attach(Box<Query>),
+    Detach(u32),
+    Reopt,
+}
+
+/// Parse a churn script: `@<offset> attach <query>` / `@<offset>
+/// detach <n>` (1-based handle) / `@<offset> reopt`, one per line, with
+/// `#` comments and blank lines ignored. Attach queries compile against
+/// `catalog` here, up front — the session snapshots the catalog when it
+/// starts, so every type a scripted query names must exist first.
+fn parse_churn_script(catalog: &mut Catalog, text: &str) -> Result<Vec<ChurnOp>, String> {
+    let mut ops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: String| format!("churn script line {}: {m}", lineno + 1);
+        let rest = line
+            .strip_prefix('@')
+            .ok_or_else(|| err("expected `@<offset> <action>`".into()))?;
+        let (off, rest) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err("expected an action after the offset".into()))?;
+        let offset: usize = off
+            .parse()
+            .map_err(|e| err(format!("bad offset `{off}`: {e}")))?;
+        let rest = rest.trim();
+        let action = if let Some(src) = rest.strip_prefix("attach ") {
+            let q = parse_query(catalog, src.trim()).map_err(|e| err(e.to_string()))?;
+            ChurnAction::Attach(Box::new(q))
+        } else if let Some(n) = rest.strip_prefix("detach ") {
+            let n: u32 = n
+                .trim()
+                .parse()
+                .map_err(|e| err(format!("bad handle number `{}`: {e}", n.trim())))?;
+            if n == 0 {
+                return Err(err("handles are numbered from 1".into()));
+            }
+            ChurnAction::Detach(n - 1)
+        } else if rest == "reopt" {
+            ChurnAction::Reopt
+        } else {
+            return Err(err(format!(
+                "unknown action `{rest}` (expected attach/detach/reopt)"
+            )));
+        };
+        ops.push(ChurnOp { offset, action });
+    }
+    ops.sort_by_key(|op| op.offset);
+    Ok(ops)
+}
+
+/// `--churn` mode: run the stream through a live [`SharonSession`],
+/// applying the script's attach/detach/reopt ops at their event offsets.
+#[allow(clippy::too_many_arguments)]
+fn run_churn(
+    script: &str,
+    args: &Args,
+    catalog: &mut Catalog,
+    workload: &Workload,
+    events: &EventBatch,
+    rates: &RateMap,
+    options: &ShardedOptions,
+    runtime: &RuntimeOptions,
+    shards: usize,
+    disorder: u32,
+) {
+    // sessions require an in-order stream and do not compose with the
+    // durability/event-time tiers (yet) — refuse the combinations the
+    // session layer would reject anyway, with a CLI-shaped message
+    if options.checkpoint.is_some() || options.fault.is_some() || args.resume {
+        eprintln!("error: --churn does not compose with checkpoint/fault/resume");
+        std::process::exit(2);
+    }
+    if disorder > 0 || options.lateness.is_some() {
+        eprintln!("error: --churn requires an in-order stream (no --disorder / --lateness)");
+        std::process::exit(2);
+    }
+    if matches!(args.strategy, Strategy::FlinkLike | Strategy::SpassLike) {
+        eprintln!(
+            "error: the {} two-step baseline cannot host a live session (online strategies only)",
+            args.strategy.name()
+        );
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(script).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {script}: {e}");
+        std::process::exit(2);
+    });
+    // parse BEFORE the session snapshots the catalog, so attach queries
+    // may introduce event types the initial workload never names
+    let ops = match parse_churn_script(catalog, &text) {
+        Ok(ops) => ops,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let shards = shards.max(1);
+    let mut builder = SharonBuilder::new(catalog, workload, rates)
+        .strategy(args.strategy)
+        .shards(shards)
+        .pipeline_depth(options.pipeline_depth)
+        .batch_size(options.batch_size);
+    if let Some(sp) = options.spill.clone() {
+        builder = builder.spill(sp);
+    }
+    if let Some(mode) = runtime.scan {
+        builder = builder.scan_mode(mode);
+    }
+    let mut session = match builder.session(SessionConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "session: {} initial queries ({}) on {} shard(s), pipeline depth {}, {} scripted op(s)",
+        workload.len(),
+        args.strategy.name(),
+        shards,
+        options.pipeline_depth,
+        ops.len()
+    );
+
+    let total = events.len();
+    let mut pos = 0usize;
+    let feed_to = |session: &mut SharonSession, pos: &mut usize, stop: usize| {
+        while *pos < stop {
+            let end = (*pos + 4096).min(stop);
+            let mut chunk = EventBatch::new();
+            chunk.extend_from_range(events, *pos, end);
+            session.process_columnar(&chunk);
+            *pos = end;
+        }
+    };
+
+    let t1 = Instant::now();
+    for op in &ops {
+        feed_to(&mut session, &mut pos, op.offset.min(total));
+        match &op.action {
+            ChurnAction::Attach(q) => {
+                let sidecars_before = session.sidecar_count();
+                match session.attach((**q).clone()) {
+                    Ok(h) => {
+                        let path = if session.sidecar_count() > sidecars_before {
+                            "private sidecar until the next re-optimization"
+                        } else {
+                            "fast path: aliases a hosted query"
+                        };
+                        eprintln!("@{}: attach -> handle {h} ({path})", op.offset);
+                    }
+                    Err(e) => {
+                        eprintln!("error: @{} attach: {e}", op.offset);
+                        std::process::exit(1);
+                    }
+                }
+            }
+            ChurnAction::Detach(idx) => match session.handle(*idx) {
+                Some(h) if session.is_attached(h) => {
+                    session.detach(h);
+                    eprintln!("@{}: detach handle {h}", op.offset);
+                }
+                Some(h) => {
+                    eprintln!(
+                        "error: @{} detach: handle {h} is already detached",
+                        op.offset
+                    );
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!(
+                        "error: @{} detach: no handle {} (only {} issued)",
+                        op.offset,
+                        idx + 1,
+                        session.handle_count()
+                    );
+                    std::process::exit(2);
+                }
+            },
+            ChurnAction::Reopt => {
+                session.reoptimize_now();
+                eprintln!(
+                    "@{}: reopt -> plan swap {} ({} sharing candidate(s) in force)",
+                    op.offset,
+                    session.plan_swaps(),
+                    session.plan().candidates.len()
+                );
+            }
+        }
+    }
+    feed_to(&mut session, &mut pos, total);
+
+    let handles = session.handle_count();
+    let (reopts, swaps) = (session.reoptimizations(), session.plan_swaps());
+    let results = session.finish();
+    let run_time = t1.elapsed();
+    let throughput = total as f64 / run_time.as_secs_f64().max(1e-12);
+    println!(
+        "\nexecuted {} events through {} handle(s) in {:?} ({:.0} events/s), {} results",
+        total,
+        handles,
+        run_time,
+        throughput,
+        results.len()
+    );
+    println!(
+        "churn: {} attach(es), {} detach(es), {} re-optimization(s), {} plan swap(s), {} window(s) lost",
+        sharon::metrics::queries_attached(),
+        sharon::metrics::queries_detached(),
+        reopts,
+        swaps,
+        sharon::metrics::swap_windows_lost()
+    );
+    for i in 0..handles {
+        let q = QueryId(i);
+        let rows = results.of_query_sorted(q);
+        println!(
+            "  handle {}: {} (group, window) results, total count {}",
+            i + 1,
             rows.len(),
             results.total_count(q)
         );

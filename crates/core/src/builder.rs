@@ -1,0 +1,256 @@
+//! Fluent construction of every Sharon runtime shape.
+//!
+//! [`SharonBuilder`] replaces the old constructor zoo
+//! (`SharonFramework::{new, with_strategy, with_shards}`,
+//! `build_sharded_executor{,_with_options}`) with one chain that scales
+//! from "defaults, sequential" to "sharded, pipelined, checkpointed,
+//! spilling, fault-injected":
+//!
+//! ```
+//! use sharon::prelude::*;
+//!
+//! let mut catalog = Catalog::new();
+//! let workload = parse_workload(&mut catalog, [
+//!     "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 s SLIDE 1 s",
+//! ]).unwrap();
+//! let rates = RateMap::uniform(100.0);
+//!
+//! let mut fw = SharonBuilder::new(&catalog, &workload, &rates)
+//!     .shards(2)
+//!     .pipeline_depth(0)
+//!     .build()
+//!     .unwrap();
+//! # let _ = fw.finish();
+//! ```
+//!
+//! The terminal calls are [`SharonBuilder::build`] (a
+//! [`SharonFramework`]), [`SharonBuilder::build_executor`] (the raw
+//! [`AnyExecutor`] plus optimizer outcome), and [`SharonBuilder::session`]
+//! (a live [`SharonSession`] supporting runtime
+//! query churn).
+
+use crate::framework::SharonFramework;
+use crate::session::{SessionConfig, SharonSession};
+use crate::strategy::{build_executor, build_sharded_any, AnyExecutor, Strategy};
+use sharon_executor::{
+    set_scan_mode, CheckpointConfig, CompileError, FaultPlan, RuntimeOptions, ScanMode,
+    ShardedOptions, SpillConfig, SplitConfig,
+};
+use sharon_optimizer::{OptimizeOutcome, OptimizerConfig, RateMap};
+use sharon_query::Workload;
+use sharon_types::Catalog;
+
+/// Fluent builder for every executor shape: strategy × sharding ×
+/// pipelining × durability × event-time × scan mode, one setter each.
+///
+/// Unset knobs keep the engine defaults ([`ShardedOptions::default`],
+/// [`Strategy::Sharon`], [`OptimizerConfig::default`]). `shards(0)` (the
+/// default) builds the sequential engine; `shards(n ≥ 1)` the sharded
+/// runtime.
+#[derive(Clone)]
+pub struct SharonBuilder<'a> {
+    catalog: &'a Catalog,
+    workload: &'a Workload,
+    rates: &'a RateMap,
+    strategy: Strategy,
+    config: OptimizerConfig,
+    shards: usize,
+    options: ShardedOptions,
+    scan: Option<ScanMode>,
+}
+
+impl<'a> SharonBuilder<'a> {
+    /// Start a build for `workload` over `catalog`, with `rates` as the
+    /// optimizer's event-rate estimates.
+    pub fn new(catalog: &'a Catalog, workload: &'a Workload, rates: &'a RateMap) -> Self {
+        SharonBuilder {
+            catalog,
+            workload,
+            rates,
+            strategy: Strategy::Sharon,
+            config: OptimizerConfig::default(),
+            shards: 0,
+            options: ShardedOptions::default(),
+            scan: None,
+        }
+    }
+
+    /// Select the execution [`Strategy`] (default [`Strategy::Sharon`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Use an explicit optimizer configuration (default
+    /// [`OptimizerConfig::default`]).
+    pub fn optimizer_config(mut self, config: OptimizerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run on the sharded parallel runtime with `n` worker shards
+    /// (`0` = the sequential engine; the default).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Ingest pipeline depth for the sharded runtime: `0` routes in-line
+    /// on the ingest thread, `n ≥ 1` overlaps routing with execution on a
+    /// dedicated router thread behind an `n`-deep job ring. Default:
+    /// [`sharon_executor::default_pipeline_depth`] (honours
+    /// `SHARON_PIPELINE`).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.options.pipeline_depth = depth;
+        self
+    }
+
+    /// Columnar batch size for the sharded runtime's internal rings
+    /// (default [`sharon_executor::DEFAULT_BATCH_SIZE`]).
+    pub fn batch_size(mut self, rows: usize) -> Self {
+        self.options.batch_size = rows;
+        self
+    }
+
+    /// Routing split tuning for the sharded runtime (see [`SplitConfig`]).
+    pub fn split(mut self, split: SplitConfig) -> Self {
+        self.options.split = split;
+        self
+    }
+
+    /// Enable event-time processing with `lateness_ms` milliseconds of
+    /// allowed out-of-orderness (drop-and-count beyond).
+    pub fn lateness(mut self, lateness_ms: u64) -> Self {
+        self.options.lateness = Some(lateness_ms);
+        self
+    }
+
+    /// Enable periodic consistent checkpoints (sharded online strategies
+    /// only; see [`CheckpointConfig`]).
+    pub fn checkpoint(mut self, config: CheckpointConfig) -> Self {
+        self.options.checkpoint = Some(config);
+        self
+    }
+
+    /// Inject a fault mid-stream (crash-recovery tests; see
+    /// [`FaultPlan`]).
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.options.fault = Some(plan);
+        self
+    }
+
+    /// Spill cold group state to disk beyond a budget (sharded online
+    /// strategies only; see [`SpillConfig`]).
+    pub fn spill(mut self, config: SpillConfig) -> Self {
+        self.options.spill = Some(config);
+        self
+    }
+
+    /// Select the stateless-scan kernel implementation.
+    ///
+    /// **Process-global:** the scan mode is a process-wide override (the
+    /// kernels are selected once per scan site), so this applies to every
+    /// executor in the process from `build` time on, not just the one
+    /// being built — last builder wins.
+    pub fn scan_mode(mut self, mode: ScanMode) -> Self {
+        self.scan = Some(mode);
+        self
+    }
+
+    /// Apply every knob parsed from the `SHARON_*` environment surface
+    /// (see [`RuntimeOptions`]): shard count, pipeline depth, scan mode,
+    /// lateness, checkpoint spec, and fault plan, each only when set.
+    pub fn runtime_options(mut self, opts: &RuntimeOptions) -> Self {
+        if let Some(n) = opts.shards {
+            self.shards = n;
+        }
+        if let Some(depth) = opts.pipeline_depth {
+            self.options.pipeline_depth = depth;
+        }
+        if let Some(mode) = opts.scan {
+            self.scan = Some(mode);
+        }
+        if let Some(ms) = opts.lateness {
+            self.options.lateness = Some(ms);
+        }
+        if let Some(ck) = &opts.checkpoint {
+            self.options.checkpoint = Some(ck.clone());
+        }
+        if let Some(fault) = opts.fault {
+            self.options.fault = Some(fault);
+        }
+        self
+    }
+
+    /// Build the executor and the optimizer outcome (when an optimizer
+    /// runs for the chosen strategy).
+    ///
+    /// Panics if durability options (checkpoint / spill / fault) were set
+    /// with `shards(0)` — the durability tier lives in the sharded
+    /// runtime only.
+    pub fn build_executor(self) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
+        if let Some(mode) = self.scan {
+            set_scan_mode(Some(mode));
+        }
+        if self.shards == 0 {
+            assert!(
+                self.options.checkpoint.is_none()
+                    && self.options.spill.is_none()
+                    && self.options.fault.is_none(),
+                "checkpoint/spill/fault require the sharded runtime — call .shards(n >= 1)"
+            );
+            let (mut ex, outcome) = build_executor(
+                self.catalog,
+                self.workload,
+                self.rates,
+                self.strategy,
+                &self.config,
+            )?;
+            if let Some(ms) = self.options.lateness {
+                ex.set_lateness(ms);
+            }
+            Ok((ex, outcome))
+        } else {
+            build_sharded_any(
+                self.catalog,
+                self.workload,
+                self.rates,
+                self.strategy,
+                &self.config,
+                self.shards,
+                self.options,
+            )
+        }
+    }
+
+    /// Build a [`SharonFramework`] — the optimize-once, run-the-stream
+    /// facade.
+    pub fn build(self) -> Result<SharonFramework, CompileError> {
+        let (executor, outcome) = self.build_executor()?;
+        Ok(SharonFramework::from_parts(executor, outcome))
+    }
+
+    /// Start a live [`SharonSession`] hosting this workload as the
+    /// initial set of attached queries, supporting runtime
+    /// [`attach`](SharonSession::attach) / [`detach`](SharonSession::detach)
+    /// churn with background plan re-optimization.
+    ///
+    /// Sessions always run the sharded runtime (`shards(0)` is promoted
+    /// to one shard) and require an online strategy; see
+    /// [`SharonSession`] for the option surface it supports.
+    pub fn session(self, session_config: SessionConfig) -> Result<SharonSession, CompileError> {
+        if let Some(mode) = self.scan {
+            set_scan_mode(Some(mode));
+        }
+        SharonSession::start(
+            self.catalog.clone(),
+            self.workload,
+            self.rates.clone(),
+            self.strategy,
+            self.config,
+            self.shards.max(1),
+            self.options,
+            session_config,
+        )
+    }
+}

@@ -6,37 +6,46 @@
 //! the aggregation results for each shared pattern and then combines these
 //! shared aggregations to obtain the final results for each query."
 
-use crate::strategy::{build_executor, build_sharded_executor, AnyExecutor, Strategy};
+use crate::builder::SharonBuilder;
+use crate::strategy::{AnyExecutor, Strategy};
 use sharon_executor::{CompileError, Executor, ExecutorResults};
 use sharon_optimizer::{OptimizeOutcome, OptimizerConfig, RateMap};
 use sharon_query::{SharingPlan, Workload};
 use sharon_types::{Catalog, Event, EventBatch, EventStream};
 
 /// The end-to-end Sharon system: optimize once, then execute the stream.
+///
+/// Construct through [`SharonBuilder`]; the old `new` / `with_strategy` /
+/// `with_shards` constructors remain as deprecated shims.
 pub struct SharonFramework {
     executor: AnyExecutor,
     outcome: Option<OptimizeOutcome>,
 }
 
 impl SharonFramework {
-    /// Compile `workload` with the Sharon optimizer (Sections 4–7) and
-    /// build the shared runtime executor.
+    /// Assemble from a built executor and its optimizer outcome (the
+    /// terminal step of [`SharonBuilder::build`]).
+    pub(crate) fn from_parts(executor: AnyExecutor, outcome: Option<OptimizeOutcome>) -> Self {
+        SharonFramework { executor, outcome }
+    }
+
+    /// Deprecated shim for the default build — compile `workload` with
+    /// the Sharon optimizer and build the shared runtime executor.
+    #[deprecated(since = "0.9.0", note = "use SharonBuilder::new(..).build()")]
     pub fn new(
         catalog: &Catalog,
         workload: &Workload,
         rates: &RateMap,
     ) -> Result<Self, CompileError> {
-        Self::with_strategy(
-            catalog,
-            workload,
-            rates,
-            Strategy::Sharon,
-            &OptimizerConfig::default(),
-        )
+        SharonBuilder::new(catalog, workload, rates).build()
     }
 
-    /// Compile with an explicit execution [`Strategy`] and optimizer
-    /// configuration.
+    /// Deprecated shim — compile with an explicit execution [`Strategy`]
+    /// and optimizer configuration.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use SharonBuilder::new(..).strategy(s).optimizer_config(c).build()"
+    )]
     pub fn with_strategy(
         catalog: &Catalog,
         workload: &Workload,
@@ -44,35 +53,27 @@ impl SharonFramework {
         strategy: Strategy,
         config: &OptimizerConfig,
     ) -> Result<Self, CompileError> {
-        let (executor, outcome) = build_executor(catalog, workload, rates, strategy, config)?;
-        Ok(SharonFramework { executor, outcome })
+        SharonBuilder::new(catalog, workload, rates)
+            .strategy(strategy)
+            .optimizer_config(config.clone())
+            .build()
     }
 
-    /// Compile with the Sharon optimizer and run on the sharded parallel
-    /// runtime with `n_shards` worker threads (see
-    /// [`sharon_executor::ShardedExecutor`]), at the default ingest
-    /// pipeline depth (`SHARON_PIPELINE`, else double-buffered). Results
-    /// are identical to the sequential engine; shards and the router
-    /// thread only partition/overlap the work. (Use
-    /// [`crate::build_sharded_executor`] directly to shard any other
-    /// strategy, including the two-step baselines, or to pick an explicit
-    /// pipeline depth.)
+    /// Deprecated shim — compile with the Sharon optimizer and run on the
+    /// sharded parallel runtime with `n_shards` worker threads at the
+    /// default ingest pipeline depth (`SHARON_PIPELINE`, else
+    /// double-buffered).
+    #[deprecated(since = "0.9.0", note = "use SharonBuilder::new(..).shards(n).build()")]
     pub fn with_shards(
         catalog: &Catalog,
         workload: &Workload,
         rates: &RateMap,
         n_shards: usize,
     ) -> Result<Self, CompileError> {
-        let (executor, outcome) = build_sharded_executor(
-            catalog,
-            workload,
-            rates,
-            Strategy::Sharon,
-            &OptimizerConfig::default(),
-            n_shards,
-            sharon_executor::default_pipeline_depth(),
-        )?;
-        Ok(SharonFramework { executor, outcome })
+        SharonBuilder::new(catalog, workload, rates)
+            .shards(n_shards)
+            .pipeline_depth(sharon_executor::default_pipeline_depth())
+            .build()
     }
 
     /// The sharing plan in force (empty for non-shared strategies).
@@ -150,20 +151,18 @@ mod tests {
         let (counts, span) = measured_rates(&events);
         let rates = RateMap::from_counts(&counts, span);
 
-        let mut fw = SharonFramework::new(&catalog, &workload, &rates).unwrap();
+        let mut fw = SharonBuilder::new(&catalog, &workload, &rates)
+            .build()
+            .unwrap();
         assert!(fw.optimizer_outcome().is_some());
         fw.run(SortedVecStream::presorted(events.clone()));
         let shared_results = fw.finish();
 
         // A-Seq produces identical results
-        let mut aseq = SharonFramework::with_strategy(
-            &catalog,
-            &workload,
-            &rates,
-            Strategy::ASeq,
-            &OptimizerConfig::default(),
-        )
-        .unwrap();
+        let mut aseq = SharonBuilder::new(&catalog, &workload, &rates)
+            .strategy(Strategy::ASeq)
+            .build()
+            .unwrap();
         assert!(aseq.plan().is_non_shared());
         aseq.run(SortedVecStream::presorted(events));
         let aseq_results = aseq.finish();
@@ -195,11 +194,16 @@ mod tests {
         let (counts, span) = measured_rates(&events);
         let rates = RateMap::from_counts(&counts, span);
 
-        let mut sequential = SharonFramework::new(&catalog, &workload, &rates).unwrap();
+        let mut sequential = SharonBuilder::new(&catalog, &workload, &rates)
+            .build()
+            .unwrap();
         sequential.run(SortedVecStream::presorted(events.clone()));
         let want = sequential.finish();
 
-        let mut sharded = SharonFramework::with_shards(&catalog, &workload, &rates, 3).unwrap();
+        let mut sharded = SharonBuilder::new(&catalog, &workload, &rates)
+            .shards(3)
+            .build()
+            .unwrap();
         assert!(
             sharded.optimizer_outcome().is_some(),
             "sharded still optimizes"
@@ -212,5 +216,42 @@ mod tests {
             "sharding must not change results"
         );
         assert!(!got.is_empty());
+    }
+
+    /// The deprecated constructors must keep building the same engines
+    /// until removal — they are the published pre-builder API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build() {
+        let mut catalog = Catalog::new();
+        let events = generate(
+            &mut catalog,
+            &TaxiConfig {
+                n_events: 1000,
+                n_streets: 7,
+                ..Default::default()
+            },
+        );
+        let workload = figure_1_workload(&mut catalog);
+        let rates = RateMap::uniform(100.0);
+
+        let mut fw = SharonFramework::new(&catalog, &workload, &rates).unwrap();
+        fw.run(SortedVecStream::presorted(events.clone()));
+        let want = fw.finish();
+
+        let mut strat = SharonFramework::with_strategy(
+            &catalog,
+            &workload,
+            &rates,
+            Strategy::ASeq,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        strat.run(SortedVecStream::presorted(events.clone()));
+        assert!(strat.finish().semantically_eq(&want, 1e-9));
+
+        let mut sharded = SharonFramework::with_shards(&catalog, &workload, &rates, 2).unwrap();
+        sharded.run(SortedVecStream::presorted(events));
+        assert!(sharded.finish().semantically_eq(&want, 1e-9));
     }
 }

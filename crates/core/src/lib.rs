@@ -26,7 +26,9 @@
 //!
 //! // 2. optimize + execute
 //! let rates = RateMap::uniform(100.0);
-//! let mut fw = SharonFramework::new(&catalog, &workload, &rates).unwrap();
+//! let mut fw = SharonBuilder::new(&catalog, &workload, &rates)
+//!     .build()
+//!     .unwrap();
 //! let (a, b, c) = (catalog.lookup("A").unwrap(), catalog.lookup("B").unwrap(),
 //!                  catalog.lookup("C").unwrap());
 //! for (ty, t) in [(a, 10), (b, 20), (c, 30)] {
@@ -50,10 +52,15 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod framework;
+pub mod session;
 pub mod strategy;
 
+pub use builder::SharonBuilder;
 pub use framework::SharonFramework;
+pub use session::{QueryHandle, SessionConfig, SharonSession};
+#[allow(deprecated)]
 pub use strategy::{
     build_executor, build_sharded_executor, build_sharded_executor_with_options, executor_for_plan,
     resume_sharded_executor, run_strategy, AnyExecutor, Strategy,
@@ -70,9 +77,11 @@ pub use sharon_types as types;
 
 /// Everything needed for typical use.
 pub mod prelude {
+    pub use crate::builder::SharonBuilder;
     pub use crate::framework::SharonFramework;
+    pub use crate::session::{QueryHandle, SessionConfig, SharonSession};
     pub use crate::strategy::{run_strategy, Strategy};
-    pub use sharon_executor::{Executor, ExecutorResults, ShardedExecutor};
+    pub use sharon_executor::{Executor, ExecutorResults, RuntimeOptions, ShardedExecutor};
     pub use sharon_optimizer::{
         optimize_exhaustive, optimize_greedy, optimize_sharon, OptimizerConfig, RateMap,
     };

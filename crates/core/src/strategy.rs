@@ -221,21 +221,14 @@ pub fn executor_for_plan(
     Executor::new(catalog, workload, plan)
 }
 
-/// Build a sharded parallel executor under `strategy`.
-///
-/// Every strategy shards: the online engines run one engine set per
-/// worker ([`ShardedExecutor::new`]), and the two-step baselines run one
-/// full baseline instance per worker behind their own route-once,
-/// scope-deduplicated routing ([`FlinkLike::sharded`] /
-/// [`SpassLike::sharded`]) — making figure-13 comparisons
-/// apples-to-apples columnar at any shard count.
-///
-/// `pipeline_depth` selects the ingest mode: `0` routes in-line on the
-/// ingest thread, `n ≥ 1` overlaps routing with execution on a dedicated
-/// router thread behind an `n`-deep job ring (see
-/// [`sharon_executor::ShardedExecutor`]; pass
-/// [`sharon_executor::default_pipeline_depth`] to honour the
-/// `SHARON_PIPELINE` environment variable).
+/// Deprecated free-function form of the sharded build — construct through
+/// [`crate::SharonBuilder`] instead, which owns the full option surface
+/// (`strategy`, `shards`, `pipeline_depth`, `lateness`, `checkpoint`,
+/// `scan_mode`, `spill`, …) behind one fluent call chain.
+#[deprecated(
+    since = "0.9.0",
+    note = "use SharonBuilder::new(..).shards(n).pipeline_depth(d)"
+)]
 pub fn build_sharded_executor(
     catalog: &Catalog,
     workload: &Workload,
@@ -245,7 +238,7 @@ pub fn build_sharded_executor(
     n_shards: usize,
     pipeline_depth: usize,
 ) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
-    build_sharded_executor_with_options(
+    build_sharded_any(
         catalog,
         workload,
         rates,
@@ -263,7 +256,7 @@ pub fn build_sharded_executor(
 /// that produced it, when an optimizer runs): the single source of truth
 /// shared by the build and resume paths, so a resumed run always compiles
 /// the same partitions the checkpointing run did.
-fn strategy_plan(
+pub(crate) fn strategy_plan(
     workload: &Workload,
     rates: &RateMap,
     strategy: Strategy,
@@ -282,15 +275,43 @@ fn strategy_plan(
     }
 }
 
-/// [`build_sharded_executor`] with the full durability-capable option set
-/// (spill tier, periodic checkpoints, fault injection — see
-/// [`ShardedOptions`]).
+/// Deprecated free-function form of the fully optioned sharded build —
+/// construct through [`crate::SharonBuilder`] instead.
+#[deprecated(
+    since = "0.9.0",
+    note = "use SharonBuilder with checkpoint/spill/fault setters"
+)]
+pub fn build_sharded_executor_with_options(
+    catalog: &Catalog,
+    workload: &Workload,
+    rates: &RateMap,
+    strategy: Strategy,
+    config: &OptimizerConfig,
+    n_shards: usize,
+    options: ShardedOptions,
+) -> Result<(AnyExecutor, Option<OptimizeOutcome>), CompileError> {
+    build_sharded_any(
+        catalog, workload, rates, strategy, config, n_shards, options,
+    )
+}
+
+/// Build a sharded parallel executor under `strategy` with the full
+/// durability-capable option set (spill tier, periodic checkpoints, fault
+/// injection — see [`ShardedOptions`]). The single sharded construction
+/// path behind [`crate::SharonBuilder`] and the deprecated free functions.
+///
+/// Every strategy shards: the online engines run one engine set per
+/// worker ([`ShardedExecutor::new`]), and the two-step baselines run one
+/// full baseline instance per worker behind their own route-once,
+/// scope-deduplicated routing ([`FlinkLike::sharded`] /
+/// [`SpassLike::sharded`]) — making figure-13 comparisons
+/// apples-to-apples columnar at any shard count.
 ///
 /// Only the online strategies (Sharon / Greedy / A-Seq) host the
 /// durability tier; passing checkpoint, spill, or fault options with a
 /// two-step baseline panics — the baselines' processors cannot serialize
 /// their state, and silently running without durability would be worse.
-pub fn build_sharded_executor_with_options(
+pub(crate) fn build_sharded_any(
     catalog: &Catalog,
     workload: &Workload,
     rates: &RateMap,
@@ -451,10 +472,13 @@ mod tests {
             );
 
             for (shards, depth) in [(1usize, 0usize), (1, 2), (3, 0), (3, 2)] {
-                let (mut sharded, _) = build_sharded_executor(
-                    &catalog, &workload, &rates, strategy, &cfg, shards, depth,
-                )
-                .unwrap();
+                let (mut sharded, _) = crate::SharonBuilder::new(&catalog, &workload, &rates)
+                    .strategy(strategy)
+                    .optimizer_config(cfg.clone())
+                    .shards(shards)
+                    .pipeline_depth(depth)
+                    .build_executor()
+                    .unwrap();
                 sharded.process_columnar(&batch);
                 let got = sharded.finish();
                 assert!(
@@ -470,5 +494,46 @@ mod tests {
     fn strategy_names() {
         assert_eq!(Strategy::Sharon.name(), "SHARON");
         assert_eq!(Strategy::FlinkLike.name(), "Flink");
+    }
+
+    /// The deprecated free-function constructors must keep working until
+    /// removal — they are the published pre-builder API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_still_build() {
+        let mut catalog = Catalog::new();
+        let events = generate(
+            &mut catalog,
+            &EcommerceConfig {
+                n_events: 600,
+                n_items: 8,
+                events_per_sec: 500,
+                ..Default::default()
+            },
+        );
+        let workload = figure_2_workload(&mut catalog);
+        let rates = RateMap::uniform(100.0);
+        let cfg = OptimizerConfig::default();
+        let reference = run_strategy(&catalog, &workload, &rates, Strategy::ASeq, &events).unwrap();
+
+        let batch = sharon_types::EventBatch::from_events(&events);
+        let (mut a, _) =
+            build_sharded_executor(&catalog, &workload, &rates, Strategy::Sharon, &cfg, 2, 0)
+                .unwrap();
+        a.process_columnar(&batch);
+        assert!(a.finish().semantically_eq(&reference, 1e-9));
+
+        let (mut b, _) = build_sharded_executor_with_options(
+            &catalog,
+            &workload,
+            &rates,
+            Strategy::Sharon,
+            &cfg,
+            2,
+            ShardedOptions::default(),
+        )
+        .unwrap();
+        b.process_columnar(&batch);
+        assert!(b.finish().semantically_eq(&reference, 1e-9));
     }
 }

@@ -1,0 +1,178 @@
+//! One surface for every `SHARON_*` runtime environment knob.
+//!
+//! Historically each knob was parsed where it was consumed (core,
+//! executor, streams), each with its own error style. [`RuntimeOptions`]
+//! consolidates them: one `from_env()` call, one error type
+//! ([`EnvError`]) naming the offending variable, one table documenting
+//! the whole surface. The CLI and the test harness both go through it.
+//!
+//! | Variable            | Value                          | Effect |
+//! |---------------------|--------------------------------|--------|
+//! | `SHARON_SHARDS`     | shard count (≥ 1)              | run the sharded runtime with this many worker shards |
+//! | `SHARON_PIPELINE`   | pipeline depth (`0` = in-line) | ingest→router job-ring depth ([`default_pipeline_depth`](crate::default_pipeline_depth)) |
+//! | `SHARON_SCAN`       | `scalar` \| `vector`           | stateless-scan implementation ([`ScanMode`]) |
+//! | `SHARON_LATENESS`   | milliseconds                   | event-time mode with this allowed lateness |
+//! | `SHARON_DISORDER`   | max displacement `K`           | test harness: scramble streams within `K` positions |
+//! | `SHARON_CHECKPOINT` | `<dir>[:<interval-batches>]`   | periodic consistent checkpoints ([`CheckpointConfig`]) |
+//! | `SHARON_FAULT`      | `drop@N` \| `panic@N:S` \| `abort@N` \| `reorder@N:K` | inject the given fault ([`FaultPlan`]) |
+//!
+//! Every knob is **fail-loud**: an unparsable value is an [`EnvError`],
+//! never a silent fallback — a bench matrix typo must not record numbers
+//! attributed to a configuration that never ran.
+
+use crate::checkpoint::{parse_checkpoint_spec, CheckpointConfig, FaultPlan};
+use crate::scan::ScanMode;
+use crate::sharded::{ShardedOptions, DEFAULT_PIPELINE_DEPTH};
+use std::fmt;
+
+/// A `SHARON_*` environment variable held an unparsable value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The offending variable's name (e.g. `SHARON_SHARDS`).
+    pub var: &'static str,
+    /// What was wrong with its value.
+    pub problem: String,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.var, self.problem)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Every `SHARON_*` runtime knob, parsed in one place (see the
+/// [module docs](self) for the full table).
+///
+/// `None` fields mean "knob unset — use the compiled-in default";
+/// [`RuntimeOptions::default`] is the all-unset configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeOptions {
+    /// `SHARON_SHARDS`: worker shard count for the sharded runtime.
+    pub shards: Option<usize>,
+    /// `SHARON_PIPELINE`: ingest pipeline depth (`0` = in-line routing).
+    pub pipeline_depth: Option<usize>,
+    /// `SHARON_SCAN`: stateless-scan implementation.
+    pub scan: Option<ScanMode>,
+    /// `SHARON_LATENESS`: event-time allowed lateness in milliseconds.
+    pub lateness: Option<u64>,
+    /// `SHARON_DISORDER`: maximum event displacement for the test
+    /// harness's bounded-disorder scramble (`0` = in-order streams).
+    pub disorder: u32,
+    /// `SHARON_CHECKPOINT`: periodic-checkpoint store and interval.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// `SHARON_FAULT`: fault to inject mid-stream.
+    pub fault: Option<FaultPlan>,
+}
+
+/// Read one optional env var through `parse`, wrapping failures in an
+/// [`EnvError`] naming the variable.
+fn knob<T>(
+    var: &'static str,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Result<Option<T>, EnvError> {
+    match std::env::var(var) {
+        Ok(raw) => parse(&raw)
+            .map(Some)
+            .map_err(|problem| EnvError { var, problem }),
+        Err(_) => Ok(None),
+    }
+}
+
+impl RuntimeOptions {
+    /// Parse the complete `SHARON_*` knob surface from the environment.
+    ///
+    /// Unset variables leave their field at the default; a set-but-
+    /// unparsable variable is an [`EnvError`] naming it.
+    pub fn from_env() -> Result<Self, EnvError> {
+        Ok(RuntimeOptions {
+            shards: knob("SHARON_SHARDS", |s| {
+                s.parse()
+                    .map_err(|e| format!("{s:?} is not a shard count: {e}"))
+            })?,
+            pipeline_depth: knob("SHARON_PIPELINE", |s| {
+                s.parse().map_err(|e| {
+                    format!("{s:?} is not a pipeline depth (0 = in-line routing): {e}")
+                })
+            })?,
+            scan: knob("SHARON_SCAN", |s| s.parse())?,
+            lateness: knob("SHARON_LATENESS", |s| {
+                s.parse()
+                    .map_err(|e| format!("{s:?} is not a lateness in milliseconds: {e}"))
+            })?,
+            disorder: knob("SHARON_DISORDER", |s| {
+                s.parse()
+                    .map_err(|e| format!("{s:?} is not a displacement bound: {e}"))
+            })?
+            .unwrap_or(0),
+            checkpoint: knob("SHARON_CHECKPOINT", parse_checkpoint_spec)?,
+            fault: knob("SHARON_FAULT", |s| s.parse())?,
+        })
+    }
+
+    /// Lower these options onto a [`ShardedOptions`] for the sharded
+    /// runtime (batch size, split tuning, and spill stay at their
+    /// defaults — they have no env knobs).
+    pub fn sharded_options(&self) -> ShardedOptions {
+        ShardedOptions {
+            pipeline_depth: self.pipeline_depth.unwrap_or(DEFAULT_PIPELINE_DEPTH),
+            checkpoint: self.checkpoint.clone(),
+            fault: self.fault,
+            lateness: self.lateness,
+            ..ShardedOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // No env mutation here — tests run multi-threaded in one process, so
+    // these exercise the parsers through the same closures `from_env`
+    // uses, via the `knob` helper with a forced value.
+    fn parse<T>(
+        var: &'static str,
+        raw: &str,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<T, EnvError> {
+        parse(raw).map_err(|problem| EnvError { var, problem })
+    }
+
+    #[test]
+    fn scan_mode_round_trips() {
+        assert_eq!(
+            parse("SHARON_SCAN", "scalar", str::parse::<ScanMode>).unwrap(),
+            ScanMode::Scalar
+        );
+        assert_eq!(
+            parse("SHARON_SCAN", "vector", str::parse::<ScanMode>).unwrap(),
+            ScanMode::Vector
+        );
+        let err = parse::<ScanMode>("SHARON_SCAN", "simd", |s| s.parse()).unwrap_err();
+        assert_eq!(err.var, "SHARON_SCAN");
+        assert!(err.to_string().contains("simd"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_and_fault_specs_parse() {
+        let ck = parse("SHARON_CHECKPOINT", "/tmp/ck:8", parse_checkpoint_spec).unwrap();
+        assert_eq!(ck.interval_batches, 8);
+        let fault = parse::<FaultPlan>("SHARON_FAULT", "drop@3", |s| s.parse()).unwrap();
+        assert_eq!(fault, FaultPlan::Drop { batch: 3 });
+        assert!(parse::<FaultPlan>("SHARON_FAULT", "sigsegv", |s| s.parse()).is_err());
+    }
+
+    #[test]
+    fn defaults_are_all_unset() {
+        let opts = RuntimeOptions::default();
+        assert!(opts.shards.is_none());
+        assert!(opts.scan.is_none());
+        assert_eq!(opts.disorder, 0);
+        let sharded = opts.sharded_options();
+        assert!(sharded.checkpoint.is_none());
+        assert!(sharded.fault.is_none());
+        assert!(sharded.lateness.is_none());
+    }
+}

@@ -1547,6 +1547,14 @@ impl<A: Aggregate> Engine<A> {
         (self.results, self.partials)
     }
 
+    /// Take the results emitted so far, leaving the store empty. Windows
+    /// still open keep their state and appear in a later take or at
+    /// [`Engine::finish`] — this is the non-consuming epoch drain used by
+    /// the session layer's `drain_results`.
+    pub fn take_results(&mut self) -> ExecutorResults {
+        std::mem::take(&mut self.results)
+    }
+
     /// Events that passed routing, predicates, and grouping.
     pub fn events_matched(&self) -> u64 {
         self.events_matched
@@ -1734,6 +1742,15 @@ impl EngineKind {
         }
     }
 
+    /// Take the results emitted so far without finishing (see
+    /// [`Engine::take_results`]).
+    pub fn take_results(&mut self) -> ExecutorResults {
+        match self {
+            EngineKind::Count(en) => en.take_results(),
+            EngineKind::Stats(en) => en.take_results(),
+        }
+    }
+
     /// Flush remaining windows and return the results.
     pub fn finish(self) -> ExecutorResults {
         match self {
@@ -1872,6 +1889,18 @@ impl Executor {
             buf.clear();
         }
         self
+    }
+
+    /// Take the results emitted so far across all partition engines,
+    /// leaving every store empty. Open windows keep their state and
+    /// appear in a later take or at [`Executor::finish`] — the epoch
+    /// drain backing the session layer's `drain_results`.
+    pub fn take_results(&mut self) -> ExecutorResults {
+        let mut out = ExecutorResults::new();
+        for engine in self.engines() {
+            out.merge(engine.take_results());
+        }
+        out
     }
 
     /// Flush remaining windows and return all results.

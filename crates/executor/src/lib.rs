@@ -22,6 +22,7 @@ pub mod agg;
 pub mod chainlog;
 pub mod checkpoint;
 pub mod compile;
+pub mod config;
 pub mod engine;
 pub mod event_time;
 pub mod partial;
@@ -43,6 +44,7 @@ pub use checkpoint::{
     FaultPlan, StateError, StateReader, StateWriter,
 };
 pub use compile::{compile, CompileError, CompiledPartition};
+pub use config::{EnvError, RuntimeOptions};
 pub use engine::{Engine, EngineKind, Executor, ShardSlice};
 pub use event_time::{PendingRow, Reorder};
 pub use partial::{PartialEntry, PartialResults};

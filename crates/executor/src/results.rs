@@ -108,6 +108,15 @@ impl ExecutorResults {
             .flat_map(|m| m.iter().map(|((g, w), v)| (g, *w, v)))
     }
 
+    /// Every result in the set, unsorted: `(query, group, window_start,
+    /// value)`. The session layer uses this to re-key harvested results
+    /// onto live query handles.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &GroupKey, Timestamp, &AggValue)> {
+        self.per_query
+            .iter()
+            .flat_map(|(q, m)| m.iter().map(|((g, w), v)| (*q, g, *w, v)))
+    }
+
     /// All results of one query sorted by (group display, window start) —
     /// convenient for deterministic test assertions and printing.
     pub fn of_query_sorted(&self, query: QueryId) -> Vec<(GroupKey, Timestamp, AggValue)> {

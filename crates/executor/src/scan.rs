@@ -54,6 +54,18 @@ pub enum ScanMode {
     Vector,
 }
 
+impl std::str::FromStr for ScanMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "scalar" => Ok(ScanMode::Scalar),
+            "vector" => Ok(ScanMode::Vector),
+            other => Err(format!("must be `scalar` or `vector`, got `{other}`")),
+        }
+    }
+}
+
 /// Process-wide programmatic override of the scan mode (0 = none,
 /// 1 = scalar, 2 = vector). Tests use [`set_scan_mode`] instead of
 /// mutating the environment, which would race across test threads.

@@ -95,8 +95,8 @@
 //! [`Engine`]: crate::engine::Engine
 
 use crate::checkpoint::{
-    default_checkpoint_config, BarrierRef, CheckpointBarrier, CheckpointConfig, CheckpointError,
-    CheckpointStore, FaultPlan, StateError, StateReader, StateWriter,
+    BarrierRef, CheckpointBarrier, CheckpointConfig, CheckpointError, CheckpointStore, FaultPlan,
+    StateError, StateReader, StateWriter,
 };
 use crate::compile::{compile, CompileError, CompiledPartition};
 use crate::engine::{EngineKind, ShardSlice};
@@ -161,12 +161,17 @@ struct RouteJob {
 enum WorkerMsg {
     Batch(RoutedBatch),
     Barrier(BarrierRef),
+    /// A result-harvest barrier: deposit the results emitted so far
+    /// (serialized) into the barrier, leaving window state untouched.
+    /// Same in-band ordering contract as `Barrier`.
+    Harvest(BarrierRef),
 }
 
 /// What the ingest→router job ring carries (same in-band ordering).
 enum RouterMsg {
     Route(RouteJob),
     Barrier(BarrierRef),
+    Harvest(BarrierRef),
 }
 
 /// Armed at the top of every runtime thread: if the thread unwinds, flip
@@ -238,6 +243,17 @@ pub trait ShardProcessor: Send {
         ))
     }
 
+    /// Serialize and *remove* the results emitted so far (an
+    /// [`ExecutorResults`] image written with
+    /// [`ExecutorResults::save_state`]), leaving open-window state in
+    /// place — the epoch drain behind the session layer's
+    /// `drain_results`. `None` (the default) means the strategy cannot
+    /// harvest mid-stream; the harvest barrier then fails instead of
+    /// returning an empty result set that lies.
+    fn take_results(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
     /// Flush remaining windows and report this shard's results. Split
     /// groups' per-window sub-aggregates travel in
     /// [`ShardReport::partials`] (the drain half of the drain/merge
@@ -305,6 +321,16 @@ impl ShardProcessor for EngineShard {
             return Err(StateError::Corrupt("trailing engine state bytes"));
         }
         Ok(())
+    }
+
+    fn take_results(&mut self) -> Option<Vec<u8>> {
+        let mut out = ExecutorResults::new();
+        for engine in &mut self.engines {
+            out.merge(engine.take_results());
+        }
+        let mut w = StateWriter::new();
+        out.save_state(&mut w);
+        Some(w.into_bytes())
     }
 
     fn finish(mut self: Box<Self>) -> ShardReport {
@@ -430,6 +456,23 @@ impl Fanout {
         }
         barrier.fill_router(w.into_bytes());
     }
+
+    /// Inject a result-harvest barrier: same in-band ordering as
+    /// [`Fanout::send_barrier`], but workers deposit (and clear) their
+    /// emitted results instead of their engine state. The router has no
+    /// results of its own, so its segment is empty.
+    fn send_harvest(&mut self, barrier: &BarrierRef, cancel: &AtomicBool) {
+        for ch in &mut self.channels {
+            if ch
+                .sender
+                .send(WorkerMsg::Harvest(Arc::clone(barrier)))
+                .is_err()
+            {
+                cancel.store(true, Ordering::Release);
+            }
+        }
+        barrier.fill_router(Vec::new());
+    }
 }
 
 /// The ingest thread's handle on the dedicated router thread.
@@ -505,18 +548,13 @@ impl ShardedOptions {
     /// checkpoints, `SHARON_FAULT=<plan>` arms fault injection, and
     /// `SHARON_LATENESS=<ms>` enables event-time mode (all panic on
     /// unparsable values — a typo must not silently run a different
-    /// configuration).
+    /// configuration). Delegates to the consolidated
+    /// [`RuntimeOptions::from_env`](crate::config::RuntimeOptions::from_env)
+    /// surface.
     pub fn from_env() -> Self {
-        let lateness = std::env::var("SHARON_LATENESS").ok().map(|s| {
-            s.parse()
-                .expect("SHARON_LATENESS must be an allowed lateness in milliseconds")
-        });
-        ShardedOptions {
-            checkpoint: default_checkpoint_config(),
-            fault: FaultPlan::from_env(),
-            lateness,
-            ..ShardedOptions::default()
-        }
+        crate::config::RuntimeOptions::from_env()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .sharded_options()
     }
 }
 
@@ -915,6 +953,11 @@ impl ShardedExecutor {
                                 // routed before the barrier
                                 barrier.fill_shard(shard, processor.save_state());
                             }
+                            WorkerMsg::Harvest(barrier) => {
+                                // in-band: results cover exactly the batches
+                                // routed before the barrier
+                                barrier.fill_shard(shard, processor.take_results());
+                            }
                         }
                     }
                     processor.finish()
@@ -953,6 +996,9 @@ impl ShardedExecutor {
                             }
                             RouterMsg::Barrier(barrier) => {
                                 fanout.send_barrier(&barrier, &cancelled);
+                            }
+                            RouterMsg::Harvest(barrier) => {
+                                fanout.send_harvest(&barrier, &cancelled);
                             }
                         }
                     }
@@ -1256,6 +1302,44 @@ impl ShardedExecutor {
         );
         self.flush();
         self.take_checkpoint()
+    }
+
+    /// Flush the ingest buffer and harvest every shard's results emitted
+    /// so far, **without** stopping the runtime: open windows keep their
+    /// state and surface in a later harvest or at
+    /// [`ShardedExecutor::finish`]. The harvest travels the same in-band
+    /// barrier path as a checkpoint, so the returned results cover
+    /// exactly the batches ingested before the call — this is the epoch
+    /// drain backing the session layer's `drain_results`.
+    ///
+    /// Fails with [`CheckpointError::Mismatch`] for shard processors that
+    /// cannot harvest mid-stream (the two-step baselines), and with
+    /// [`CheckpointError::Corrupt`] if a runtime thread died.
+    pub fn harvest_results(&mut self) -> Result<ExecutorResults, CheckpointError> {
+        self.flush();
+        let barrier: BarrierRef = Arc::new(CheckpointBarrier::new(self.n_shards));
+        let Self { stage, cancel, .. } = self;
+        match stage.as_mut().expect("executor is active") {
+            IngestStage::Inline(fanout) => fanout.send_harvest(&barrier, cancel),
+            IngestStage::Pipelined(rt) => {
+                if rt
+                    .jobs
+                    .send(RouterMsg::Harvest(Arc::clone(&barrier)))
+                    .is_err()
+                {
+                    cancel.store(true, Ordering::Release);
+                }
+            }
+        }
+        let (_router, shards) = barrier.wait(&self.cancel)?;
+        let mut out = ExecutorResults::new();
+        for (shard, bytes) in shards.iter().enumerate() {
+            let mut r = StateReader::new(bytes);
+            let results = ExecutorResults::load_state(&mut r)
+                .unwrap_or_else(|e| panic!("harvested results of shard {shard} corrupt: {e}"));
+            out.merge(results);
+        }
+        Ok(out)
     }
 
     /// Flush remaining events, stop the workers, and merge their results
@@ -1666,6 +1750,47 @@ mod tests {
         let (c, w) = grouped_workload();
         let sharded = ShardedExecutor::non_shared(&c, &w, 2).unwrap();
         assert_eq!(sharded.pipeline_depth(), default_pipeline_depth());
+    }
+
+    #[test]
+    fn harvest_then_finish_equals_uninterrupted_run() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 4000, 13);
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want = sequential.finish();
+
+        let plan = SharingPlan::non_shared();
+        for depth in [0usize, 2] {
+            let mut sharded = ShardedExecutor::with_pipeline_depth(
+                &c,
+                &w,
+                &plan,
+                3,
+                64,
+                SplitConfig::default(),
+                depth,
+            )
+            .unwrap();
+            let (head, tail) = events.split_at(events.len() / 2);
+            sharded.process_batch(head);
+            let mut drained = sharded.harvest_results().expect("first harvest");
+            let mid = drained.len();
+            sharded.process_batch(tail);
+            drained.merge(sharded.harvest_results().expect("second harvest"));
+            drained.merge(sharded.finish());
+            assert!(
+                drained.semantically_eq(&want, 1e-9),
+                "depth {depth}: harvested epochs + finish diverge \
+                 ({} vs {} results)",
+                drained.len(),
+                want.len(),
+            );
+            assert!(
+                mid > 0,
+                "depth {depth}: mid-stream harvest yields closed windows"
+            );
+        }
     }
 
     #[test]

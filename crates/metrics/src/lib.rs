@@ -23,10 +23,12 @@ pub use alloc::{
     TrackingAllocator,
 };
 pub use counters::{
-    checkpoints_written, group_reloads, group_spills, late_rows_dropped,
-    record_checkpoints_written, record_group_reloads, record_group_spills,
-    record_late_rows_dropped, record_router_scope_scans, record_rows_scanned, record_rows_selected,
-    router_scope_scans, rows_scanned, rows_selected,
+    checkpoints_written, group_reloads, group_spills, late_rows_dropped, plan_reoptimizations,
+    plan_swaps, queries_attached, queries_detached, record_checkpoints_written,
+    record_group_reloads, record_group_spills, record_late_rows_dropped,
+    record_plan_reoptimizations, record_plan_swaps, record_queries_attached,
+    record_queries_detached, record_router_scope_scans, record_rows_scanned, record_rows_selected,
+    record_swap_windows_lost, router_scope_scans, rows_scanned, rows_selected, swap_windows_lost,
 };
 pub use latency::{timed, LatencyRecorder};
 pub use report::{fmt_bytes, fmt_duration, fmt_throughput, Table};

@@ -26,6 +26,8 @@ pub struct RateEstimator {
     last_time: Timestamp,
     /// Completed-window rates (events/sec), refreshed each horizon.
     current: RateMap,
+    /// True once at least one horizon has completed.
+    warmed: bool,
 }
 
 impl RateEstimator {
@@ -38,30 +40,63 @@ impl RateEstimator {
             window_start: Timestamp::ZERO,
             last_time: Timestamp::ZERO,
             current: RateMap::uniform(0.0),
+            warmed: false,
         }
     }
 
     /// Record one event. Returns `true` when a horizon just completed and
     /// [`RateEstimator::rates`] changed.
     pub fn observe(&mut self, event: &Event) -> bool {
-        self.last_time = event.time;
-        let mut refreshed = false;
-        if event.time.millis() >= self.window_start.millis() + self.horizon.millis() {
-            let secs = self.horizon.millis() as f64 / 1000.0;
-            self.current = RateMap::from_counts(&self.counts, secs);
-            self.counts.clear();
-            // jump the window so a long gap does not count as one horizon
-            let h = self.horizon.millis();
-            self.window_start = Timestamp(event.time.millis() / h * h);
-            refreshed = true;
-        }
+        let refreshed = self.roll_to(event.time);
         *self.counts.entry(event.ty).or_insert(0) += 1;
         refreshed
+    }
+
+    /// Bulk form of [`RateEstimator::observe`] for columnar ingestion:
+    /// record a batch's per-type row counts at once, `max_time` being the
+    /// batch's largest event time. The whole batch is attributed to the
+    /// horizon containing `max_time` — batch-granular attribution is a
+    /// deliberate approximation (rate drift detection does not need
+    /// row-exact horizon boundaries).
+    pub fn observe_counts(
+        &mut self,
+        counts: impl IntoIterator<Item = (EventTypeId, u64)>,
+        max_time: Timestamp,
+    ) -> bool {
+        let refreshed = self.roll_to(max_time);
+        for (ty, n) in counts {
+            *self.counts.entry(ty).or_insert(0) += n;
+        }
+        refreshed
+    }
+
+    /// Complete the current horizon if `time` has moved past it; returns
+    /// `true` when [`RateEstimator::rates`] was refreshed.
+    fn roll_to(&mut self, time: Timestamp) -> bool {
+        self.last_time = time;
+        if time.millis() < self.window_start.millis() + self.horizon.millis() {
+            return false;
+        }
+        let secs = self.horizon.millis() as f64 / 1000.0;
+        self.current = RateMap::from_counts(&self.counts, secs);
+        self.counts.clear();
+        // jump the window so a long gap does not count as one horizon
+        let h = self.horizon.millis();
+        self.window_start = Timestamp(time.millis() / h * h);
+        self.warmed = true;
+        true
     }
 
     /// The most recent completed-horizon rates.
     pub fn rates(&self) -> &RateMap {
         &self.current
+    }
+
+    /// True once at least one horizon has completed, i.e.
+    /// [`RateEstimator::rates`] reflects observed data rather than the
+    /// zero-rate initial state.
+    pub fn warmed(&self) -> bool {
+        self.warmed
     }
 }
 
@@ -122,6 +157,28 @@ impl DynamicPlanManager {
         if !self.estimator.observe(event) {
             return PlanDecision::Keep;
         }
+        self.decide(workload)
+    }
+
+    /// Bulk form of [`DynamicPlanManager::observe`] for columnar ingestion:
+    /// feed a batch's per-type row counts (with the batch's largest event
+    /// time) to the rate estimator, deciding on drift whenever a rate
+    /// horizon completes.
+    pub fn observe_counts(
+        &mut self,
+        workload: &Workload,
+        counts: impl IntoIterator<Item = (EventTypeId, u64)>,
+        max_time: Timestamp,
+    ) -> PlanDecision {
+        if !self.estimator.observe_counts(counts, max_time) {
+            return PlanDecision::Keep;
+        }
+        self.decide(workload)
+    }
+
+    /// Re-score the active plan under the freshest rates and re-optimize
+    /// on drift (called at each completed rate horizon).
+    fn decide(&mut self, workload: &Workload) -> PlanDecision {
         let rates = self.estimator.rates();
         // re-score the active plan under fresh rates
         let model = CostModel::new(workload, rates);
@@ -142,6 +199,30 @@ impl DynamicPlanManager {
         } else {
             PlanDecision::Keep
         }
+    }
+
+    /// Unconditionally re-run the optimizer for `workload` under `rates`,
+    /// adopt the result as the active plan, and return it. Unlike
+    /// [`DynamicPlanManager::observe`], this skips the drift check — the
+    /// session layer calls it when query churn (not rate drift) has
+    /// invalidated the plan, so a fresh plan is required regardless of
+    /// score movement.
+    pub fn reoptimize(&mut self, workload: &Workload, rates: &RateMap) -> OptimizeOutcome {
+        let outcome = optimize_sharon(workload, rates, &self.config);
+        self.active_plan = outcome.plan.clone();
+        self.active_score = outcome.score;
+        self.reoptimizations += 1;
+        outcome
+    }
+
+    /// The estimator's most recent completed-horizon rates.
+    pub fn rates(&self) -> &RateMap {
+        self.estimator.rates()
+    }
+
+    /// True once the rate estimator has completed at least one horizon.
+    pub fn warmed(&self) -> bool {
+        self.estimator.warmed()
     }
 
     /// The score the active plan had when adopted.
@@ -233,6 +314,42 @@ mod tests {
         assert!(replaced >= 1, "rate shift should trigger re-optimization");
         assert_eq!(mgr.reoptimizations(), replaced);
         assert!(mgr.active_score() >= 0.0);
+        mgr.active_plan().validate(&w).unwrap();
+    }
+
+    #[test]
+    fn bulk_counts_match_per_event_rates() {
+        let mut c = Catalog::new();
+        let a = c.register("A");
+        let b = c.register("B");
+        let mut est = RateEstimator::new(TimeDelta::from_secs(1));
+        assert!(!est.warmed());
+        // a full first-second batch, then the refresh trigger
+        assert!(!est.observe_counts([(a, 10), (b, 5)], Timestamp(950)));
+        assert!(est.observe_counts([(a, 1)], Timestamp(1000)));
+        assert!(est.warmed());
+        assert_eq!(est.rates().rate(a), 10.0);
+        assert_eq!(est.rates().rate(b), 5.0);
+    }
+
+    #[test]
+    fn reoptimize_always_adopts_and_counts() {
+        let mut c = Catalog::new();
+        let w = parse_workload(
+            &mut c,
+            [
+                "RETURN COUNT(*) PATTERN SEQ(A, B, C) WITHIN 10 s SLIDE 1 s",
+                "RETURN COUNT(*) PATTERN SEQ(A, B, D) WITHIN 10 s SLIDE 1 s",
+            ],
+        )
+        .unwrap();
+        let cfg = OptimizerConfig::default();
+        let initial = optimize_sharon(&w, &RateMap::uniform(100.0), &cfg);
+        let mut mgr = DynamicPlanManager::new(TimeDelta::from_secs(1), 0.05, cfg, &initial);
+        let before = mgr.reoptimizations();
+        let outcome = mgr.reoptimize(&w, &RateMap::uniform(50.0));
+        assert_eq!(mgr.reoptimizations(), before + 1);
+        assert_eq!(&outcome.plan, mgr.active_plan());
         mgr.active_plan().validate(&w).unwrap();
     }
 

@@ -34,5 +34,5 @@ pub use parser::{parse_query, parse_workload, ParseError};
 pub use pattern::Pattern;
 pub use plan::{PlanCandidate, Segment, SegmentKind, SharingPlan};
 pub use predicate::{clause_passes, CmpOp, Predicate};
-pub use query::{Query, QueryId};
+pub use query::{Query, QueryId, QuerySig, SharingSignature};
 pub use workload::Workload;

@@ -8,7 +8,7 @@ use crate::aggregate::AggFunc;
 use crate::pattern::Pattern;
 use crate::predicate::Predicate;
 use serde::{Deserialize, Serialize};
-use sharon_types::{Catalog, WindowSpec};
+use sharon_types::{Catalog, EventTypeId, WindowSpec};
 use std::fmt;
 
 /// Identifier of a query within a [`crate::Workload`] (its index).
@@ -115,6 +115,32 @@ impl Query {
     }
 }
 
+/// Full semantic identity of a query, independent of its [`QueryId`].
+///
+/// Two queries with equal `QuerySig`s compute the *same answer* on every
+/// stream: same pattern type sequence, same aggregate, and the same
+/// [`SharingSignature`] (window, grouping, predicates). A live session
+/// uses this as the **attach fast-path key**: attaching a query whose
+/// `QuerySig` matches one already running joins the existing computation
+/// as an alias instead of compiling a new plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuerySig {
+    pattern: Vec<EventTypeId>,
+    agg: AggFunc,
+    sharing: SharingSignature,
+}
+
+impl QuerySig {
+    /// The semantic identity of `query`.
+    pub fn of(query: &Query) -> Self {
+        QuerySig {
+            pattern: query.pattern.types().to_vec(),
+            agg: query.agg.clone(),
+            sharing: query.sharing_signature(),
+        }
+    }
+}
+
 /// Equality witness for shard compatibility (see
 /// [`Query::sharing_signature`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -190,6 +216,21 @@ mod tests {
         let mut e = mk(&mut c);
         e.agg = AggFunc::Sum(c.lookup("OakSt").unwrap(), "speed".into());
         assert_ne!(a.sharing_signature(), e.sharing_signature());
+    }
+
+    #[test]
+    fn query_sig_ignores_id_but_not_pattern() {
+        let mut c = Catalog::new();
+        let a = mk(&mut c);
+        let mut b = mk(&mut c);
+        b.id = QueryId(7);
+        assert_eq!(QuerySig::of(&a), QuerySig::of(&b));
+        let mut d = mk(&mut c);
+        d.pattern = Pattern::from_names(&mut c, ["MainSt", "OakSt"]);
+        assert_ne!(QuerySig::of(&a), QuerySig::of(&d));
+        let mut e = mk(&mut c);
+        e.agg = AggFunc::Count(c.lookup("OakSt").unwrap());
+        assert_ne!(QuerySig::of(&a), QuerySig::of(&e));
     }
 
     #[test]

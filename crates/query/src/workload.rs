@@ -52,6 +52,17 @@ impl Workload {
         q
     }
 
+    /// Keep only the queries for which `keep` returns true, then renumber
+    /// the remainder to index order (the bulk form of [`Workload::remove`],
+    /// used when a live session rebuilds its shared workload after churn).
+    /// The predicate sees each query with its **pre-retain** id.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Query) -> bool) {
+        self.queries.retain(|q| keep(q));
+        for (i, query) in self.queries.iter_mut().enumerate() {
+            query.id = QueryId(i as u32);
+        }
+    }
+
     /// The query with `id`.
     pub fn get(&self, id: QueryId) -> &Query {
         &self.queries[id.index()]
@@ -167,6 +178,21 @@ mod tests {
         let removed = w.remove(QueryId(1));
         assert_eq!(removed.pattern.display(&c).to_string(), "(B, C)");
         assert_eq!(w.len(), 2);
+        assert_eq!(w.get(QueryId(1)).pattern.display(&c).to_string(), "(C, D)");
+        assert_eq!(w.get(QueryId(1)).id, QueryId(1));
+    }
+
+    #[test]
+    fn retain_renumbers_like_repeated_remove() {
+        let mut c = Catalog::new();
+        let mut w = workload(
+            &mut c,
+            &[&["A", "B"], &["B", "C"], &["C", "D"], &["D", "A"]],
+        );
+        // drop q2 and q4 (ids 1 and 3, as seen pre-retain)
+        w.retain(|q| q.id.index() % 2 == 0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get(QueryId(0)).pattern.display(&c).to_string(), "(A, B)");
         assert_eq!(w.get(QueryId(1)).pattern.display(&c).to_string(), "(C, D)");
         assert_eq!(w.get(QueryId(1)).id, QueryId(1));
     }

@@ -28,7 +28,9 @@ fn main() {
 
     let (counts, span) = measured_rates(&events);
     let rates = RateMap::from_counts(&counts, span);
-    let mut fw = SharonFramework::new(&catalog, &workload, &rates).expect("compiles");
+    let mut fw = SharonBuilder::new(&catalog, &workload, &rates)
+        .build()
+        .expect("compiles");
     let plan = fw.plan();
     println!("\nsharing plan:");
     for cand in &plan.candidates {
@@ -61,7 +63,9 @@ fn main() {
         ],
     )
     .expect("parses");
-    let mut price_fw = SharonFramework::new(&catalog, &price_queries, &rates).expect("compiles");
+    let mut price_fw = SharonBuilder::new(&catalog, &price_queries, &rates)
+        .build()
+        .expect("compiles");
     price_fw.run(SortedVecStream::presorted(events));
     let price_results = price_fw.finish();
     let sample: Vec<_> = price_results

@@ -32,7 +32,9 @@ fn main() {
     // 2. Let the Sharon optimizer pick the sharing plan (Sections 3-7)
     // ---------------------------------------------------------------
     let rates = RateMap::uniform(100.0);
-    let mut fw = SharonFramework::new(&catalog, &workload, &rates).expect("compiles");
+    let mut fw = SharonBuilder::new(&catalog, &workload, &rates)
+        .build()
+        .expect("compiles");
     let plan = fw.plan();
     println!("\nsharing plan ({} candidates):", plan.len());
     for cand in &plan.candidates {

@@ -21,7 +21,7 @@ use sharon::streams::taxi::{self, TaxiConfig};
 use sharon::streams::workload::{
     figure_1_workload, figure_2_workload, overlapping_workload, WorkloadConfig,
 };
-use sharon::{build_sharded_executor_with_options, resume_sharded_executor, Strategy};
+use sharon::{resume_sharded_executor, SharonBuilder, Strategy};
 
 #[path = "support.rs"]
 mod support;
@@ -470,19 +470,13 @@ fn strategy_layer_resume_round_trips() {
     let config = OptimizerConfig::default();
 
     for strategy in [Strategy::Sharon, Strategy::Greedy, Strategy::ASeq] {
-        let (mut plain, _) = build_sharded_executor_with_options(
-            &catalog,
-            &workload,
-            &rates,
-            strategy,
-            &config,
-            2,
-            ShardedOptions {
-                batch_size: BATCH,
-                ..ShardedOptions::default()
-            },
-        )
-        .expect("builds");
+        let (mut plain, _) = SharonBuilder::new(&catalog, &workload, &rates)
+            .strategy(strategy)
+            .optimizer_config(config.clone())
+            .shards(2)
+            .batch_size(BATCH)
+            .build_executor()
+            .expect("builds");
         plain.process_batch(&events);
         let want = plain.finish();
 
@@ -495,16 +489,15 @@ fn strategy_layer_resume_round_trips() {
             fault: Some(FaultPlan::Drop { batch: crash_batch }),
             ..ShardedOptions::default()
         };
-        let (mut crashing, _) = build_sharded_executor_with_options(
-            &catalog,
-            &workload,
-            &rates,
-            strategy,
-            &config,
-            2,
-            options.clone(),
-        )
-        .expect("builds with durability");
+        let (mut crashing, _) = SharonBuilder::new(&catalog, &workload, &rates)
+            .strategy(strategy)
+            .optimizer_config(config.clone())
+            .shards(2)
+            .batch_size(BATCH)
+            .checkpoint(CheckpointConfig::every(&dir, INTERVAL))
+            .fault(FaultPlan::Drop { batch: crash_batch })
+            .build_executor()
+            .expect("builds with durability");
         crashing.process_batch(&events);
         drop(crashing);
 

@@ -21,7 +21,7 @@ use sharon::prelude::*;
 use sharon::streams::ecommerce::{self, EcommerceConfig};
 use sharon::streams::linear_road::{self, LinearRoadConfig};
 use sharon::streams::taxi::{self, TaxiConfig};
-use sharon::{build_executor, build_sharded_executor, Strategy};
+use sharon::{build_executor, SharonBuilder, Strategy};
 use sharon_executor::SplitConfig;
 
 #[path = "support.rs"]
@@ -401,10 +401,13 @@ fn all_strategies_agree_on_skewed_input() {
     ] {
         for shards in shard_counts() {
             for depth in support::pipeline_depths() {
-                let (mut sharded, _) = build_sharded_executor(
-                    &catalog, &workload, &rates, strategy, &cfg, shards, depth,
-                )
-                .unwrap();
+                let (mut sharded, _) = SharonBuilder::new(&catalog, &workload, &rates)
+                    .strategy(strategy)
+                    .optimizer_config(cfg.clone())
+                    .shards(shards)
+                    .pipeline_depth(depth)
+                    .build_executor()
+                    .unwrap();
                 sharded.process_columnar(&batch);
                 let got = sharded.finish();
                 assert!(
@@ -456,9 +459,13 @@ fn baseline_matched_counts_agree_across_paths() {
         );
 
         for depth in support::pipeline_depths() {
-            let (mut sharded, _) =
-                build_sharded_executor(&catalog, &workload, &rates, strategy, &cfg, 3, depth)
-                    .unwrap();
+            let (mut sharded, _) = SharonBuilder::new(&catalog, &workload, &rates)
+                .strategy(strategy)
+                .optimizer_config(cfg.clone())
+                .shards(3)
+                .pipeline_depth(depth)
+                .build_executor()
+                .unwrap();
             sharded.process_columnar(&batch);
             let (_, sharded_matched) = sharded.finish_with_matched();
             assert_eq!(

@@ -1,12 +1,21 @@
 //! Helpers shared by the workspace integration-test suites (included via
 //! `#[path]` from each test binary).
 
+use sharon::executor::RuntimeOptions;
+
+/// The `SHARON_*` environment surface, parsed once through the canonical
+/// [`RuntimeOptions::from_env`] (an unparsable knob is a panic here — a
+/// typo'd CI matrix cell must fail loudly, not silently run defaults).
+pub fn runtime_options() -> RuntimeOptions {
+    RuntimeOptions::from_env().expect("SHARON_* environment knob")
+}
+
 /// Shard counts under test: `SHARON_SHARDS` pins one (the CI matrix runs
 /// 2 and 4 on a multi-core runner), otherwise the suite's default spread.
 pub fn shard_counts(default: &[usize]) -> Vec<usize> {
-    match std::env::var("SHARON_SHARDS") {
-        Ok(s) => vec![s.parse().expect("SHARON_SHARDS must be a shard count")],
-        Err(_) => default.to_vec(),
+    match runtime_options().shards {
+        Some(n) => vec![n],
+        None => default.to_vec(),
     }
 }
 
@@ -14,9 +23,9 @@ pub fn shard_counts(default: &[usize]) -> Vec<usize> {
 /// matrix crosses it with the shard counts), otherwise both routing modes
 /// — in-line (0) and the double-buffered router thread (2).
 pub fn pipeline_depths() -> Vec<usize> {
-    match std::env::var("SHARON_PIPELINE") {
-        Ok(s) => vec![s.parse().expect("SHARON_PIPELINE must be a pipeline depth")],
-        Err(_) => vec![0, 2],
+    match runtime_options().pipeline_depth {
+        Some(d) => vec![d],
+        None => vec![0, 2],
     }
 }
 
@@ -27,7 +36,7 @@ pub fn pipeline_depths() -> Vec<usize> {
 /// replays the identical shuffle.
 #[allow(dead_code)]
 pub fn disordered(events: &[sharon::types::Event]) -> Option<(Vec<sharon::types::Event>, u64)> {
-    let disorder = sharon::streams::disorder_from_env();
+    let disorder = runtime_options().disorder;
     if disorder == 0 {
         return None;
     }
