@@ -32,17 +32,23 @@
 //! result counts — the CI smoke runs this on every change, so a kernel
 //! that drifts from the interpreter cannot land.
 //!
+//! The **routing sweep** measures the parallel routing plane on its
+//! target shape: 64 queries whose predicates all differ (so scope dedup
+//! collapses nothing and every batch costs 64 scope scans) × routers ∈
+//! {1, 2, 4} × shards ∈ {4, 8}, pipelined. It also asserts the LPT cost
+//! partition keeps per-router scope scans within 2× of each other.
+//!
 //! Prints one table per scenario and writes a machine-readable baseline to
-//! `BENCH_PR8.json` at the workspace root (override with
+//! `BENCH_PR10.json` at the workspace root (override with
 //! `SHARON_BENCH_OUT`), so future optimization PRs have a perf trajectory
-//! to compare against (`BENCH_PR1.json`–`BENCH_PR5.json` hold earlier
+//! to compare against (`BENCH_PR1.json`–`BENCH_PR8.json` hold earlier
 //! PRs' numbers). `SHARON_SCALE` scales the stream length.
 //!
 //! Note: thread-level speedup from sharding is only observable when the
 //! host grants more than one CPU; the JSON records
 //! `available_parallelism` so readers can interpret the ratios.
 
-use sharon::executor::{set_scan_mode, ScanMode, SplitConfig};
+use sharon::executor::{set_scan_mode, ScanMode, ShardedOptions, SplitConfig};
 use sharon::prelude::*;
 use sharon::streams::taxi::{self, TaxiConfig};
 use sharon::streams::workload::{figure_1_workload, measured_rates_batch};
@@ -208,35 +214,44 @@ fn skew_sweep(theta: f64) -> (String, Vec<Run>) {
     // 8-shard run must actually SPLIT a group and still agree — without
     // this, tuning or generator drift could silently turn the skewed
     // legs above into pinned-only runs and the smoke would keep passing
-    // while never exercising the split/merge path. Routing runs in-line
-    // (pipeline 0): the guard reads `split_groups()` before `finish`, and
-    // a pipelined router's published count may trail the short smoke
-    // stream's last batches.
+    // while never exercising the split/merge path. `split_snapshot()`
+    // barriers the routing plane before counting, so the guard holds at
+    // every pipeline depth and router count — including the pipelined
+    // configurations whose live `split_groups()` may trail the short
+    // smoke stream's last batches.
     if theta > 0.0 {
-        let mut ex = ShardedExecutor::with_pipeline_depth(
-            &catalog,
-            &workload,
-            &plan,
-            8,
-            sharon::executor::DEFAULT_BATCH_SIZE,
-            SplitConfig {
-                min_rows: 64,
-                hot_fraction: 0.05,
-                ..SplitConfig::default()
-            },
-            0,
-        )
-        .unwrap();
-        ex.process_shared(&shared);
-        assert!(
-            ex.split_groups() > 0,
-            "theta={theta}: the skewed stream must trigger a split"
-        );
-        assert_eq!(
-            ex.finish().len(),
-            want,
-            "theta={theta}: splitting changed the result count"
-        );
+        for (depth, routers) in [(0usize, 1usize), (2, 1), (2, 2)] {
+            let mut ex = ShardedExecutor::with_options(
+                &catalog,
+                &workload,
+                &plan,
+                8,
+                ShardedOptions {
+                    batch_size: sharon::executor::DEFAULT_BATCH_SIZE,
+                    pipeline_depth: depth,
+                    routers,
+                    split: SplitConfig {
+                        min_rows: 64,
+                        hot_fraction: 0.05,
+                        ..SplitConfig::default()
+                    },
+                    ..ShardedOptions::default()
+                },
+            )
+            .unwrap();
+            ex.process_shared(&shared);
+            assert!(
+                ex.split_snapshot() > 0,
+                "theta={theta} depth={depth} routers={routers}: \
+                 the skewed stream must trigger a split"
+            );
+            assert_eq!(
+                ex.finish().len(),
+                want,
+                "theta={theta} depth={depth} routers={routers}: \
+                 splitting changed the result count"
+            );
+        }
     }
     (name, runs)
 }
@@ -303,6 +318,114 @@ fn query_count_sweep(n_queries: usize) -> (String, Vec<Run>) {
     let want = runs[0].results;
     for run in &runs {
         assert_eq!(run.results, want, "{}: result count diverged", run.label);
+    }
+    (name, runs)
+}
+
+/// The routing-plane sweep: the workload shape the parallel routing plane
+/// exists for — `n_queries` Flink-like queries whose predicates all
+/// differ, so scope dedup collapses **nothing** and the router must scan
+/// every scope on every batch. Swept over routers ∈ {1, 2, 4} × shards ∈
+/// {4, 8} (pipelined ingest, depth 2): with one router the scope scans
+/// serialize on a single routing thread; a plane of R routers splits them
+/// R ways. A sequential columnar run anchors the results, and every
+/// configuration must report the identical result count.
+///
+/// Doubles as the load-balance guard: per-router `scope_scans` must stay
+/// within 2× of each other (the LPT cost partition over 64 equal-cost
+/// scopes is near-uniform), asserted on an unmeasured run per plane size.
+fn routing_sweep(n_queries: usize) -> (String, Vec<Run>) {
+    let n_events = scaled(60_000, 3_000);
+    let n_vehicles = 512;
+    let name = format!("routers n={n_queries} distinct-scope events={n_events} (flink)");
+    let mut catalog = Catalog::new();
+    let batch = taxi::generate_batch(
+        &mut catalog,
+        &TaxiConfig::high_cardinality(n_events, n_vehicles),
+    );
+    // distinct speed threshold per query: distinct predicate => distinct
+    // routing scope (dedup keeps all of them), spread over 10..66 so each
+    // scope also selects a different row subset
+    let sources: Vec<String> = (0..n_queries)
+        .map(|i| {
+            format!(
+                "RETURN COUNT(*) PATTERN SEQ(MainSt, StateSt) WHERE MainSt.speed < {:.3} \
+                 AND [vehicle] WITHIN {} s SLIDE 2 s",
+                10.0 + 56.0 * (i as f64) / (n_queries.max(2) - 1) as f64,
+                8 + 2 * (i % 8)
+            )
+        })
+        .collect();
+    let workload =
+        parse_workload(&mut catalog, sources.iter().map(String::as_str)).expect("workload parses");
+    let n = batch.len();
+    let shared = Arc::new(batch);
+
+    let mut runs = Vec::new();
+    runs.push(measure("flink/sequential", n, || {
+        let mut ex = FlinkLike::new(&catalog, &workload).unwrap();
+        ex.process_columnar(&shared);
+        ex.finish()
+    }));
+    for shards in [4usize, 8] {
+        for routers in [1usize, 2, 4] {
+            runs.push(measure(
+                &format!("flink/sharded/{shards}/routers-{routers}"),
+                n,
+                || {
+                    let mut ex = FlinkLike::sharded_with_routing(
+                        &catalog,
+                        &workload,
+                        shards,
+                        sharon::executor::DEFAULT_BATCH_SIZE,
+                        2,
+                        None,
+                        routers,
+                    )
+                    .unwrap();
+                    ex.process_shared(&shared);
+                    ex.finish()
+                },
+            ));
+        }
+    }
+
+    // routing-plane size and shard count must never change results
+    let want = runs[0].results;
+    for run in &runs {
+        assert_eq!(run.results, want, "{}: result count diverged", run.label);
+    }
+
+    // load-balance guard (not measured): the LPT cost partition must keep
+    // per-router scope scans within 2× of each other
+    for routers in [2usize, 4] {
+        let mut ex = FlinkLike::sharded_with_routing(
+            &catalog,
+            &workload,
+            4,
+            sharon::executor::DEFAULT_BATCH_SIZE,
+            2,
+            None,
+            routers,
+        )
+        .unwrap();
+        ex.process_shared(&shared);
+        // split_snapshot barriers the plane, so the counters cover every
+        // routed batch including the flushed tail
+        let _ = ex.split_snapshot();
+        let stats = ex.router_stats();
+        assert_eq!(
+            ex.finish().len(),
+            want,
+            "routers={routers}: guard run diverged"
+        );
+        let max = stats.iter().map(|s| s.scope_scans).max().unwrap_or(0);
+        let min = stats.iter().map(|s| s.scope_scans).min().unwrap_or(0);
+        assert!(
+            max <= 2 * min.max(1),
+            "routers={routers}: scope scans unbalanced across the plane \
+             (min {min}, max {max}, stats {stats:?})"
+        );
     }
     (name, runs)
 }
@@ -553,7 +676,7 @@ fn fmt_rate(r: f64) -> String {
 fn json_out(path: &std::path::Path, scenarios: &[(String, Vec<Run>)], parallelism: usize) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"throughput\",\n  \"pr\": 8,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
+        "  \"bench\": \"throughput\",\n  \"pr\": 10,\n  \"available_parallelism\": {parallelism},\n  \"scale\": {},\n",
         scale()
     ));
     if parallelism == 1 {
@@ -606,6 +729,7 @@ fn main() {
         query_count_sweep(1),
         query_count_sweep(8),
         query_count_sweep(64),
+        routing_sweep(64),
         // thresholds against the generator's 5.0..70.0 speed range
         selectivity_sweep("0%", 5.0),
         selectivity_sweep("50%", 37.5),
@@ -636,7 +760,7 @@ fn main() {
     }
 
     let path = std::env::var("SHARON_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json").to_string()
     });
     json_out(std::path::Path::new(&path), &scenarios, parallelism);
 }

@@ -46,6 +46,13 @@ pub fn pipeline() -> usize {
     sharon::executor::default_pipeline_depth()
 }
 
+/// The sharded runtime's routing-plane size for the figure sweeps:
+/// `SHARON_ROUTERS` if set (`1` = the classic single router thread), else
+/// 1 — see [`sharon::executor::default_routers`].
+pub fn routers() -> usize {
+    sharon::executor::default_routers()
+}
+
 /// Scale an integer parameter, keeping it at least `min`.
 pub fn scaled(base: usize, min: usize) -> usize {
     ((base as f64 * scale()) as usize).max(min)
@@ -164,6 +171,7 @@ pub fn run_measured(
         .optimizer_config(cfg)
         .shards(n_shards)
         .pipeline_depth(pipeline())
+        .routers(routers())
         .build_executor()
         .expect("executor compiles");
 

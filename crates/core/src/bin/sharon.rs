@@ -8,9 +8,10 @@
 //! USAGE:
 //!   sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]
 //!          [--strategy sharon|greedy|aseq|flink|spass] [--shards N]
-//!          [--pipeline-depth N] [--skew THETA] [--explain] [--results N]
-//!          [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]
-//!          [--spill-max N] [--disorder K] [--lateness B] [--churn FILE]
+//!          [--pipeline-depth N] [--routers R] [--skew THETA] [--explain]
+//!          [--results N] [--checkpoint-dir DIR] [--checkpoint-interval N]
+//!          [--resume] [--spill-max N] [--disorder K] [--lateness B]
+//!          [--churn FILE]
 //!
 //! Without --queries, the paper's Figure 1 traffic workload (taxi/lr) or
 //! Figure 2 purchase workload (ec) is used. `--shards N` runs *any*
@@ -20,7 +21,12 @@
 //! pipeline: 0 routes batches in-line on the ingest thread (the legacy
 //! mode), N >= 1 overlaps routing with execution on a dedicated router
 //! thread behind an N-deep job ring (default 2, or the `SHARON_PIPELINE`
-//! environment variable). `--skew THETA` draws the stream's group
+//! environment variable). `--routers R` sizes the routing plane: the
+//! compiled scopes are cost-partitioned across R router threads, each
+//! with its own per-worker rings, and workers merge the R streams in
+//! batch-sequence order (default 1, or the `SHARON_ROUTERS` environment
+//! variable; R > 1 requires a pipelined ingest stage).
+//! `--skew THETA` draws the stream's group
 //! dimension (vehicle / car / customer) from a Zipf(THETA) distribution,
 //! the skewed `GROUP BY` shape the sharded runtime's hot-group splitting
 //! targets.
@@ -77,6 +83,7 @@ struct Args {
     strategy: Strategy,
     shards: usize,
     pipeline_depth: usize,
+    routers: Option<usize>,
     skew: f64,
     explain: bool,
     results: usize,
@@ -97,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
         strategy: Strategy::Sharon,
         shards: 0,
         pipeline_depth: sharon::executor::default_pipeline_depth(),
+        routers: None,
         skew: 0.0,
         explain: false,
         results: 5,
@@ -143,6 +151,15 @@ fn parse_args() -> Result<Args, String> {
                 args.pipeline_depth = value("--pipeline-depth")?
                     .parse()
                     .map_err(|e| format!("--pipeline-depth: {e}"))?
+            }
+            "--routers" => {
+                let n: usize = value("--routers")?
+                    .parse()
+                    .map_err(|e| format!("--routers: {e}"))?;
+                if n == 0 {
+                    return Err("--routers must be >= 1 (1 = the classic single router)".into());
+                }
+                args.routers = Some(n);
             }
             "--skew" => {
                 args.skew = value("--skew")?
@@ -191,9 +208,10 @@ fn parse_args() -> Result<Args, String> {
                     "sharon — shared online event sequence aggregation (ICDE 2018)\n\n\
                      USAGE:\n  sharon [--queries FILE] [--stream taxi|lr|ec] [--events N]\n\
                      \x20        [--strategy sharon|greedy|aseq|flink|spass] [--shards N]\n\
-                     \x20        [--pipeline-depth N] [--skew THETA] [--explain] [--results N]\n\
-                     \x20        [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]\n\
-                     \x20        [--spill-max N] [--disorder K] [--lateness B] [--churn FILE]"
+                     \x20        [--pipeline-depth N] [--routers R] [--skew THETA] [--explain]\n\
+                     \x20        [--results N] [--checkpoint-dir DIR] [--checkpoint-interval N]\n\
+                     \x20        [--resume] [--spill-max N] [--disorder K] [--lateness B]\n\
+                     \x20        [--churn FILE]"
                 );
                 std::process::exit(0);
             }
@@ -309,6 +327,16 @@ fn main() {
     // SHARON_FAULT environment knobs that RuntimeOptions picked up
     let mut options = runtime.sharded_options();
     options.pipeline_depth = args.pipeline_depth;
+    if let Some(n) = args.routers {
+        options.routers = n;
+    }
+    if options.routers > 1 && options.pipeline_depth == 0 {
+        eprintln!(
+            "error: --routers {} needs a pipelined ingest stage (--pipeline-depth >= 1)",
+            options.routers
+        );
+        std::process::exit(2);
+    }
     if let Some(dir) = &args.checkpoint_dir {
         options.checkpoint = Some(CheckpointConfig::every(
             dir,
@@ -390,6 +418,7 @@ fn main() {
         return;
     }
     let t0 = Instant::now();
+    let n_routers = options.routers;
     let mut replay_offset: u64 = 0;
     let built = if args.resume {
         resume_sharded_executor(
@@ -411,6 +440,7 @@ fn main() {
             .strategy(args.strategy)
             .shards(shards)
             .pipeline_depth(options.pipeline_depth)
+            .routers(options.routers)
             .batch_size(options.batch_size);
         if let Some(ck) = options.checkpoint.clone() {
             builder = builder.checkpoint(ck);
@@ -438,7 +468,12 @@ fn main() {
     };
     let optimize_time = t0.elapsed();
     if shards > 0 {
-        if args.pipeline_depth > 0 {
+        if args.pipeline_depth > 0 && n_routers > 1 {
+            eprintln!(
+                "runtime: sharded across {} worker threads, pipelined ingest ({} router threads, depth {})",
+                shards, n_routers, args.pipeline_depth
+            );
+        } else if args.pipeline_depth > 0 {
             eprintln!(
                 "runtime: sharded across {} worker threads, pipelined ingest (router thread, depth {})",
                 shards, args.pipeline_depth
@@ -677,6 +712,7 @@ fn run_churn(
         .strategy(args.strategy)
         .shards(shards)
         .pipeline_depth(options.pipeline_depth)
+        .routers(options.routers)
         .batch_size(options.batch_size);
     if let Some(sp) = options.spill.clone() {
         builder = builder.spill(sp);

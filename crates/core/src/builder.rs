@@ -105,6 +105,16 @@ impl<'a> SharonBuilder<'a> {
         self
     }
 
+    /// Router threads in the sharded runtime's routing plane: `1` (the
+    /// default) is the classic single router, `n ≥ 2` partitions the
+    /// compiled scopes across `n` router threads by cost estimate —
+    /// requires `pipeline_depth ≥ 1`. Default:
+    /// [`sharon_executor::default_routers`] (honours `SHARON_ROUTERS`).
+    pub fn routers(mut self, n: usize) -> Self {
+        self.options.routers = n;
+        self
+    }
+
     /// Columnar batch size for the sharded runtime's internal rings
     /// (default [`sharon_executor::DEFAULT_BATCH_SIZE`]).
     pub fn batch_size(mut self, rows: usize) -> Self {
@@ -158,14 +168,18 @@ impl<'a> SharonBuilder<'a> {
     }
 
     /// Apply every knob parsed from the `SHARON_*` environment surface
-    /// (see [`RuntimeOptions`]): shard count, pipeline depth, scan mode,
-    /// lateness, checkpoint spec, and fault plan, each only when set.
+    /// (see [`RuntimeOptions`]): shard count, pipeline depth, router
+    /// count, scan mode, lateness, checkpoint spec, and fault plan, each
+    /// only when set.
     pub fn runtime_options(mut self, opts: &RuntimeOptions) -> Self {
         if let Some(n) = opts.shards {
             self.shards = n;
         }
         if let Some(depth) = opts.pipeline_depth {
             self.options.pipeline_depth = depth;
+        }
+        if let Some(n) = opts.routers {
+            self.options.routers = n;
         }
         if let Some(mode) = opts.scan {
             self.scan = Some(mode);

@@ -328,19 +328,20 @@ pub(crate) fn build_sharded_any(
         }
         Strategy::FlinkLike => {
             assert_durability_free(&options, strategy);
-            let ex = FlinkLike::sharded_with_pipeline(
+            let ex = FlinkLike::sharded_with_routing(
                 catalog,
                 workload,
                 n_shards,
                 options.batch_size,
                 options.pipeline_depth,
                 options.lateness,
+                options.routers,
             )?;
             (ex, None)
         }
         Strategy::SpassLike => {
             assert_durability_free(&options, strategy);
-            let ex = SpassLike::sharded_with_pipeline(
+            let ex = SpassLike::sharded_with_routing(
                 catalog,
                 workload,
                 &plan,
@@ -348,6 +349,7 @@ pub(crate) fn build_sharded_any(
                 options.batch_size,
                 options.pipeline_depth,
                 options.lateness,
+                options.routers,
             )?;
             (ex, outcome)
         }

@@ -29,7 +29,8 @@ use std::time::Duration;
 const MANIFEST_MAGIC: &[u8; 8] = b"SHRNCKPT";
 /// Checkpoint format version; bump on any codec change.
 /// v2: event-time sections (router frontier, per-engine reorder gate).
-const FORMAT_VERSION: u32 = 2;
+/// v3: one router-state segment per routing-plane thread (`R ≥ 1`).
+const FORMAT_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // errors
@@ -381,8 +382,10 @@ pub struct CheckpointData {
     pub id: u64,
     /// Events ingested before the barrier — the stream replay offset.
     pub events_sent: u64,
-    /// Serialized router state (split tracker counters and hot groups).
-    pub router: Vec<u8>,
+    /// Serialized router state (split tracker counters, hot groups, and
+    /// the watermark frontier), one segment per routing-plane thread in
+    /// router-index order.
+    pub routers: Vec<Vec<u8>>,
     /// Serialized engine state, one segment per shard.
     pub shards: Vec<Vec<u8>>,
 }
@@ -440,7 +443,7 @@ impl CheckpointStore {
         &self,
         id: u64,
         events_sent: u64,
-        router: &[u8],
+        routers: &[Vec<u8>],
         shards: &[Vec<u8>],
     ) -> io::Result<u64> {
         let dir = self.ckpt_dir(id);
@@ -461,7 +464,10 @@ impl CheckpointStore {
         m.u32(FORMAT_VERSION);
         m.u64(id);
         m.u64(events_sent);
-        m.bytes(router);
+        m.seq_len(routers.len());
+        for router in routers {
+            m.bytes(router);
+        }
         m.seq_len(shards.len());
         for (len, digest) in &digests {
             m.u64(*len);
@@ -523,7 +529,11 @@ impl CheckpointStore {
             return Err(CheckpointError::Corrupt("manifest id".into()));
         }
         let events_sent = r.u64()?;
-        let router = r.bytes()?.to_vec();
+        let n_routers = r.seq_len()?;
+        let mut routers = Vec::with_capacity(n_routers);
+        for _ in 0..n_routers {
+            routers.push(r.bytes()?.to_vec());
+        }
         let n_shards = r.seq_len()?;
         let mut shards = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
@@ -542,7 +552,7 @@ impl CheckpointStore {
         Ok(CheckpointData {
             id,
             events_sent,
-            router,
+            routers,
             shards,
         })
     }
@@ -696,18 +706,23 @@ fn parse_batch(s: &str) -> Result<u64, String> {
 // ---------------------------------------------------------------------------
 
 /// The rendezvous behind one checkpoint: the ingest thread injects it into
-/// the pipeline after the last routed batch, the router thread deposits
-/// its split-tracker state, every worker deposits its serialized engine
-/// state, and the ingest thread collects the lot once all slots fill.
+/// the pipeline after the last routed batch, every routing-plane thread
+/// deposits its split-tracker state, every worker deposits its serialized
+/// engine state, and the ingest thread collects the lot once all slots
+/// fill.
 #[derive(Debug)]
 pub struct CheckpointBarrier {
     slots: Mutex<BarrierSlots>,
     filled: Condvar,
 }
 
+/// The harvest a filled barrier yields: one serialized segment per
+/// routing-plane thread, then one per worker shard.
+pub type BarrierHarvest = (Vec<Vec<u8>>, Vec<Vec<u8>>);
+
 #[derive(Debug)]
 struct BarrierSlots {
-    router: Option<Vec<u8>>,
+    routers: Vec<Option<Vec<u8>>>,
     shards: Vec<Option<Vec<u8>>>,
     /// Set when a participant cannot serialize (processor without
     /// checkpoint support) — the waiter surfaces this as an error.
@@ -715,11 +730,12 @@ struct BarrierSlots {
 }
 
 impl CheckpointBarrier {
-    /// A barrier awaiting the router and `n_shards` worker deposits.
-    pub fn new(n_shards: usize) -> Self {
+    /// A barrier awaiting `n_routers` router deposits and `n_shards`
+    /// worker deposits.
+    pub fn new(n_routers: usize, n_shards: usize) -> Self {
         CheckpointBarrier {
             slots: Mutex::new(BarrierSlots {
-                router: None,
+                routers: vec![None; n_routers],
                 shards: vec![None; n_shards],
                 unsupported: false,
             }),
@@ -727,10 +743,10 @@ impl CheckpointBarrier {
         }
     }
 
-    /// Deposit the router's serialized state.
-    pub fn fill_router(&self, bytes: Vec<u8>) {
+    /// Deposit routing-plane thread `router`'s serialized state.
+    pub fn fill_router(&self, router: usize, bytes: Vec<u8>) {
         let mut s = self.slots.lock().expect("barrier poisoned");
-        s.router = Some(bytes);
+        s.routers[router] = Some(bytes);
         self.filled.notify_all();
     }
 
@@ -745,11 +761,11 @@ impl CheckpointBarrier {
         self.filled.notify_all();
     }
 
-    /// Wait until every slot is filled and return `(router, shards)`.
+    /// Wait until every slot is filled and return `(routers, shards)`.
     ///
     /// Checks `cancel` periodically so a worker that died mid-checkpoint
     /// fails the barrier instead of hanging the ingest thread forever.
-    pub fn wait(&self, cancel: &AtomicBool) -> Result<(Vec<u8>, Vec<Vec<u8>>), CheckpointError> {
+    pub fn wait(&self, cancel: &AtomicBool) -> Result<BarrierHarvest, CheckpointError> {
         let mut s = self.slots.lock().expect("barrier poisoned");
         loop {
             if s.unsupported {
@@ -757,14 +773,18 @@ impl CheckpointBarrier {
                     "shard processor does not support checkpointing".into(),
                 ));
             }
-            if s.router.is_some() && s.shards.iter().all(|x| x.is_some()) {
-                let router = s.router.take().expect("checked");
+            if s.routers.iter().all(|x| x.is_some()) && s.shards.iter().all(|x| x.is_some()) {
+                let routers = s
+                    .routers
+                    .iter_mut()
+                    .map(|x| x.take().expect("checked"))
+                    .collect();
                 let shards = s
                     .shards
                     .iter_mut()
                     .map(|x| x.take().expect("checked"))
                     .collect();
-                return Ok((router, shards));
+                return Ok((routers, shards));
             }
             if cancel.load(Ordering::Acquire) {
                 return Err(CheckpointError::Corrupt(
@@ -872,15 +892,28 @@ mod tests {
         let store = CheckpointStore::open(&dir).unwrap();
         assert!(matches!(store.latest(), Err(CheckpointError::Missing)));
         store
-            .write(0, 100, b"router-a", &[b"s0".to_vec(), b"s1".to_vec()])
+            .write(
+                0,
+                100,
+                &[b"router-a".to_vec()],
+                &[b"s0".to_vec(), b"s1".to_vec()],
+            )
             .unwrap();
         store
-            .write(1, 200, b"router-b", &[b"t0".to_vec(), b"t1".to_vec()])
+            .write(
+                1,
+                200,
+                &[b"router-b".to_vec(), b"router-c".to_vec()],
+                &[b"t0".to_vec(), b"t1".to_vec()],
+            )
             .unwrap();
         let got = store.latest().unwrap();
         assert_eq!(got.id, 1);
         assert_eq!(got.events_sent, 200);
-        assert_eq!(got.router, b"router-b");
+        assert_eq!(
+            got.routers,
+            vec![b"router-b".to_vec(), b"router-c".to_vec()]
+        );
         assert_eq!(got.shards, vec![b"t0".to_vec(), b"t1".to_vec()]);
         assert_eq!(store.next_id().unwrap(), 2);
         fs::remove_dir_all(&dir).unwrap();
@@ -890,7 +923,9 @@ mod tests {
     fn store_skips_incomplete_and_corrupt_checkpoints() {
         let dir = test_dir("skip");
         let store = CheckpointStore::open(&dir).unwrap();
-        store.write(0, 50, b"r", &[b"good".to_vec()]).unwrap();
+        store
+            .write(0, 50, &[b"r".to_vec()], &[b"good".to_vec()])
+            .unwrap();
 
         // checkpoint 1: segments written but no manifest (crash mid-write)
         let half = dir.join("ckpt-0000000000000001");
@@ -898,7 +933,9 @@ mod tests {
         fs::write(half.join("shard-0.seg"), b"half").unwrap();
 
         // checkpoint 2: manifest present but a segment is corrupt
-        store.write(2, 70, b"r", &[b"zap".to_vec()]).unwrap();
+        store
+            .write(2, 70, &[b"r".to_vec()], &[b"zap".to_vec()])
+            .unwrap();
         fs::write(
             dir.join("ckpt-0000000000000002").join("shard-0.seg"),
             b"flipped",
@@ -938,28 +975,29 @@ mod tests {
 
     #[test]
     fn barrier_collects_all_slots() {
-        let b = Arc::new(CheckpointBarrier::new(2));
+        let b = Arc::new(CheckpointBarrier::new(2, 2));
         let cancel = AtomicBool::new(false);
         let b2 = Arc::clone(&b);
         let t = std::thread::spawn(move || {
-            b2.fill_router(vec![1]);
+            b2.fill_router(1, vec![9]);
+            b2.fill_router(0, vec![1]);
             b2.fill_shard(0, Some(vec![2]));
             b2.fill_shard(1, Some(vec![3]));
         });
-        let (router, shards) = b.wait(&cancel).unwrap();
-        assert_eq!(router, vec![1]);
+        let (routers, shards) = b.wait(&cancel).unwrap();
+        assert_eq!(routers, vec![vec![1], vec![9]]);
         assert_eq!(shards, vec![vec![2], vec![3]]);
         t.join().unwrap();
     }
 
     #[test]
     fn barrier_fails_on_cancel_and_unsupported() {
-        let b = CheckpointBarrier::new(1);
+        let b = CheckpointBarrier::new(1, 1);
         let cancel = AtomicBool::new(true);
         assert!(b.wait(&cancel).is_err());
 
-        let b = CheckpointBarrier::new(1);
-        b.fill_router(vec![]);
+        let b = CheckpointBarrier::new(1, 1);
+        b.fill_router(0, vec![]);
         b.fill_shard(0, None);
         let cancel = AtomicBool::new(false);
         assert!(matches!(b.wait(&cancel), Err(CheckpointError::Mismatch(_))));

@@ -50,12 +50,16 @@ pub use event_time::{PendingRow, Reorder};
 pub use partial::{PartialEntry, PartialResults};
 pub use processor::BatchProcessor;
 pub use results::ExecutorResults;
-pub use router::{BatchRouter, RouteBatch, RoutedRows, RowFilter, SplitConfig, SplitSpec};
+pub use router::{
+    partition_scopes, split_router_plane, BatchRouter, RouteBatch, RoutedRows, RowFilter,
+    SplitConfig, SplitSpec,
+};
 pub use runner::SegmentRunner;
 pub use scan::{scan_mode, set_scan_mode, ScanCounters, ScanKernel, ScanMode};
 pub use sharded::{
-    default_pipeline_depth, ShardProcessor, ShardReport, ShardedExecutor, ShardedOptions,
-    DEFAULT_BATCH_SIZE, DEFAULT_PIPELINE_DEPTH,
+    default_pipeline_depth, default_routers, prepare_step, RouterStats, ShardProcessor,
+    ShardReport, ShardedExecutor, ShardedOptions, DEFAULT_BATCH_SIZE, DEFAULT_PIPELINE_DEPTH,
+    DEFAULT_ROUTERS,
 };
 pub use spill::SpillConfig;
 pub use winvec::{Snapshot, WinVec};

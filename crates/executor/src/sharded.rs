@@ -52,6 +52,35 @@
 //! `SHARON_PIPELINE` environment variable picks the default depth (see
 //! [`default_pipeline_depth`]).
 //!
+//! # The routing plane
+//!
+//! At high shard counts and many *distinct* scopes the one router thread
+//! becomes the new serial stage. Scopes are independent by construction
+//! (per-scope selection bitmaps, per-scope row-index lists), so routing
+//! parallelizes cleanly along the scope axis: with `R > 1` routers
+//! ([`ShardedOptions::routers`], the `SHARON_ROUTERS` knob, see
+//! [`default_routers`]) the compiled scopes are partitioned across `R`
+//! router threads by a **cost estimate** (clause count × routed-type
+//! density, see [`crate::router::split_router_plane`]) — not naive
+//! round-robin — and each router owns its own [`RouteBatch`] state
+//! (hotness counters, split set, watermark frontier) plus its own
+//! per-worker SPSC rings. The ingest stage fans every filled
+//! [`Arc<EventBatch>`] range to *all* routers over per-router job rings;
+//! each [`RoutedRows`] chunk carries the ingest **batch sequence number**
+//! ([`RoutedRows::seq`]), and every worker reads its `R` lanes in
+//! lockstep — one chunk per lane per batch (multi-router planes send
+//! empty chunks too, precisely so the lanes never skew) — merging them
+//! with [`prepare_step`] so the applied union is indistinguishable from
+//! a single router's chunk: split notices first, rows in lane order, the
+//! watermark advanced exactly once with the **min over the per-router
+//! frontiers**, unsplit hand-backs last. Results are bit-identical to
+//! `R = 1`. Checkpoint barriers fan out to every router and the manifest
+//! carries `R` router-state segments; resume rebuilds the identical
+//! scope assignment (the cost partition is a pure function of the
+//! compiled scopes). A multi-router plane requires a pipelined ingest
+//! stage (`pipeline_depth ≥ 1`) — there is nothing to parallelize
+//! in-line on the ingest thread.
+//!
 //! Every hand-off buffer is **recycled**: each worker returns its consumed
 //! row-index lists through a return ring drained by the routing side, and
 //! batch bodies — kept in [`Arc`]s end to end, including the fill buffer —
@@ -103,14 +132,14 @@ use crate::engine::{EngineKind, ShardSlice};
 use crate::partial::PartialResults;
 use crate::processor::BatchProcessor;
 use crate::results::ExecutorResults;
-use crate::router::{BatchRouter, RouteBatch, RoutedRows, SplitConfig};
+use crate::router::{split_router_plane, RouteBatch, RoutedRows, SplitConfig};
 use crate::scan::ScanCounters;
 use crate::spill::SpillConfig;
 use crate::spsc;
 use sharon_query::{SharingPlan, Workload};
-use sharon_types::{Catalog, Event, EventBatch, EventStream};
+use sharon_types::{Catalog, Event, EventBatch, EventStream, Timestamp};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Default number of events buffered before a batch is routed and fanned
@@ -140,6 +169,34 @@ pub fn default_pipeline_depth() -> usize {
     }
 }
 
+/// Default number of router threads in the routing plane: one — the
+/// classic single-router pipeline.
+pub const DEFAULT_ROUTERS: usize = 1;
+
+/// The router-thread count to use when none is given explicitly: the
+/// `SHARON_ROUTERS` environment variable if set, [`DEFAULT_ROUTERS`]
+/// otherwise.
+///
+/// An unparsable or zero `SHARON_ROUTERS` panics rather than silently
+/// running a different plane — same fatal-parse policy as
+/// `SHARON_PIPELINE` (a bench matrix typo must not record numbers
+/// attributed to a routing plane that never ran).
+pub fn default_routers() -> usize {
+    match std::env::var("SHARON_ROUTERS") {
+        Ok(s) => {
+            let n: usize = s
+                .parse()
+                .expect("SHARON_ROUTERS must be a router-thread count (>= 1)");
+            assert!(
+                n >= 1,
+                "SHARON_ROUTERS must be >= 1 (a plane needs a router)"
+            );
+            n
+        }
+        Err(_) => DEFAULT_ROUTERS,
+    }
+}
+
 /// One routed batch in flight to one worker: the shared columnar batch
 /// plus this worker's per-scope row lists.
 struct RoutedBatch {
@@ -147,12 +204,15 @@ struct RoutedBatch {
     rows: RoutedRows,
 }
 
-/// One filled batch range in flight from the ingest thread to the router
-/// thread (absolute rows `lo..hi` of the shared batch).
+/// One filled batch range in flight from the ingest thread to a router
+/// thread (absolute rows `lo..hi` of the shared batch). `seq` is the
+/// ingest batch sequence number, stamped onto every [`RoutedRows`] chunk
+/// so workers can merge the plane's ring streams deterministically.
 struct RouteJob {
     batch: Arc<EventBatch>,
     lo: usize,
     hi: usize,
+    seq: u64,
 }
 
 /// What a worker ring carries: routed data, or a checkpoint barrier that
@@ -167,11 +227,89 @@ enum WorkerMsg {
     Harvest(BarrierRef),
 }
 
-/// What the ingest→router job ring carries (same in-band ordering).
+/// What the ingest→router job rings carry (same in-band ordering; the
+/// ingest thread sends every message to **every** router's ring, so all
+/// lanes of a worker observe the same message sequence).
 enum RouterMsg {
     Route(RouteJob),
     Barrier(BarrierRef),
     Harvest(BarrierRef),
+    /// A synchronized state probe: the router deposits its live
+    /// split-group count into its slot without touching the worker rings
+    /// (backs [`ShardedExecutor::split_snapshot`]).
+    Sync(Arc<SplitProbe>),
+}
+
+/// A synchronized probe of the routing plane's split-group counts: every
+/// router thread deposits its count in its own slot, in-band behind all
+/// previously queued jobs, and the ingest thread sums once all slots are
+/// filled.
+struct SplitProbe {
+    slots: Mutex<Vec<Option<usize>>>,
+    filled: Condvar,
+}
+
+impl SplitProbe {
+    fn new(n_routers: usize) -> Self {
+        SplitProbe {
+            slots: Mutex::new(vec![None; n_routers]),
+            filled: Condvar::new(),
+        }
+    }
+
+    /// Deposit router `index`'s live count.
+    fn fill(&self, index: usize, count: usize) {
+        let mut slots = self.slots.lock().unwrap();
+        slots[index] = Some(count);
+        self.filled.notify_all();
+    }
+
+    /// Sum the deposited counts once every router answered. A cancelled
+    /// run returns the sum of whatever was deposited — a dead router
+    /// will never answer, and a probe must not hang a failing run.
+    fn wait_sum(&self, cancel: &AtomicBool) -> usize {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if slots.iter().all(Option::is_some) {
+                return slots.iter().map(|s| s.unwrap_or(0)).sum();
+            }
+            if cancel.load(Ordering::Relaxed) {
+                return slots.iter().flatten().sum();
+            }
+            let (guard, _timeout) = self
+                .filled
+                .wait_timeout(slots, std::time::Duration::from_millis(20))
+                .unwrap();
+            slots = guard;
+        }
+    }
+}
+
+/// Live work tallies of one router thread, shared with the ingest side
+/// (see [`ShardedExecutor::router_stats`]).
+#[derive(Default)]
+struct RouterCounters {
+    batches_routed: AtomicU64,
+    stall_waits: AtomicU64,
+    scope_scans: AtomicU64,
+}
+
+/// A snapshot of one router thread's work tallies (see
+/// [`ShardedExecutor::router_stats`]). The many-distinct-scope bench
+/// asserts the plane is balanced by comparing `scope_scans` across
+/// routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Batches this router routed. Every router routes every batch, so
+    /// the counts agree across the plane once ingestion is flushed.
+    pub batches_routed: u64,
+    /// Times this router found a worker ring full and blocked until the
+    /// worker drained it.
+    pub stall_waits: u64,
+    /// Scope scans performed: this router's *local* scope count × its
+    /// routed batches — the per-router share of the plane-wide
+    /// [`sharon_metrics::router_scope_scans`] dedup invariant.
+    pub scope_scans: u64,
 }
 
 /// Armed at the top of every runtime thread: if the thread unwinds, flip
@@ -364,11 +502,20 @@ impl ShardProcessor for EngineShard {
     }
 }
 
-/// The routing side's endpoints of one worker: the routed-batch ring in,
-/// the recycled row lists out.
+/// The routing side's endpoints of one worker lane: the routed-batch
+/// ring in, the recycled row lists out.
 struct WorkerChannel {
     sender: spsc::Sender<WorkerMsg>,
     returns: spsc::Receiver<RoutedRows>,
+}
+
+/// The worker side's endpoints of one router's lane: the routed-batch
+/// ring out of that router, and the return ring its consumed row lists
+/// recycle through. A worker holds one lane per router, in router
+/// order, and reads them in lockstep (one message per lane per step).
+struct WorkerLane {
+    rx: spsc::Receiver<WorkerMsg>,
+    ret: spsc::Sender<RoutedRows>,
 }
 
 /// The ingest side's handle on one worker thread.
@@ -379,31 +526,52 @@ struct WorkerHandle {
     matched: Arc<AtomicU64>,
 }
 
-/// The complete routing stage: the router, the worker rings, and the
-/// recycling pools. Runs on the ingest thread (in-line mode) or is moved
-/// wholesale onto the dedicated router thread (pipelined mode); dropping
-/// it closes every worker ring.
+/// One router's complete routing stage: its [`RouteBatch`] (owning a
+/// disjoint subset of the compiled scopes), its own worker rings (one
+/// lane per worker), and its recycling pools. Runs on the ingest thread
+/// (in-line mode, single-router planes only) or is moved wholesale onto
+/// a dedicated router thread (pipelined mode); dropping it closes this
+/// router's lane of every worker.
 struct Fanout {
     router: Box<dyn RouteBatch>,
+    /// This router's index within the routing plane — its lane order at
+    /// the workers and its slot in checkpoint barriers.
+    router_index: usize,
+    /// `true` in a multi-router plane: every worker receives one chunk
+    /// per batch — even an empty one — so the per-worker lanes stay in
+    /// lockstep for the sequence-number merge. A single router keeps the
+    /// classic skip-empty fast path (bit-identical to the pre-plane
+    /// runtime).
+    always_send: bool,
     channels: Vec<WorkerChannel>,
     /// Recycled row lists (refilled from the workers' return rings).
     rows_pool: Vec<RoutedRows>,
     /// Reused output slots of `route_range_into`.
     route_scratch: Vec<RoutedRows>,
+    /// Work tallies shared with the ingest side.
+    counters: Arc<RouterCounters>,
 }
 
 impl Fanout {
-    /// Route rows `lo..hi` of `batch` once and send each worker the
-    /// shared batch plus its owned row-index lists. A worker whose ring
-    /// closed early (its thread panicked) flips `cancel` instead of
-    /// cascading the panic into the routing side — `finish` reports the
-    /// dead shard.
+    /// Route rows `lo..hi` of `batch` once against this router's scopes
+    /// and send each worker the shared batch plus its owned row-index
+    /// lists, stamped with the ingest sequence number `seq`. A worker
+    /// whose ring closed early (its thread panicked) flips `cancel`
+    /// instead of cascading the panic into the routing side — `finish`
+    /// reports the dead shard.
     ///
     /// NOTE: `tests/alloc_regression.rs` (the pipelined steady-state
     /// test) mirrors this recycling protocol step by step on one thread
     /// to pin it at zero allocations deterministically — keep the two in
     /// sync when changing the pool/scratch handling here.
-    fn dispatch(&mut self, batch: &Arc<EventBatch>, lo: usize, hi: usize, cancel: &AtomicBool) {
+    fn dispatch(
+        &mut self,
+        batch: &Arc<EventBatch>,
+        lo: usize,
+        hi: usize,
+        seq: u64,
+        cancel: &AtomicBool,
+    ) {
         let n_shards = self.channels.len();
         // drain the return rings: consumed row lists become routing slots
         let rows_cap = n_shards * (RING_DEPTH + 2);
@@ -415,33 +583,44 @@ impl Fanout {
             out.push(self.rows_pool.pop().unwrap_or_default());
         }
         self.router.route_range_into(batch, lo, hi, &mut out);
-        for (ch, rows) in self.channels.iter_mut().zip(out.drain(..)) {
-            // a worker with no owned rows is not woken at all
-            if rows.is_empty() {
+        for (ch, mut rows) in self.channels.iter_mut().zip(out.drain(..)) {
+            rows.seq = seq;
+            // single-router mode: a worker with no owned rows is not
+            // woken at all; in a plane every lane must see every batch
+            // to stay in step
+            if !self.always_send && rows.is_empty() {
                 if self.rows_pool.len() < rows_cap {
                     self.rows_pool.push(rows);
                 }
                 continue;
             }
-            let sent = ch
-                .sender
-                .send(WorkerMsg::Batch(RoutedBatch {
-                    batch: Arc::clone(batch),
-                    rows,
-                }))
-                .is_ok();
-            if !sent {
-                cancel.store(true, Ordering::Release);
+            let msg = WorkerMsg::Batch(RoutedBatch {
+                batch: Arc::clone(batch),
+                rows,
+            });
+            if let Err(msg) = ch.sender.try_send(msg) {
+                // ring full (or closed): count the stall, then fall back
+                // to the blocking send — that wait is the backpressure
+                self.counters.stall_waits.fetch_add(1, Ordering::Relaxed);
+                sharon_metrics::record_router_stall_waits(1);
+                if ch.sender.send(msg).is_err() {
+                    cancel.store(true, Ordering::Release);
+                }
             }
         }
         self.route_scratch = out;
+        self.counters.batches_routed.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .scope_scans
+            .fetch_add(self.router.n_local_scopes() as u64, Ordering::Relaxed);
+        sharon_metrics::record_router_batches_routed(1);
     }
 
-    /// Inject a checkpoint barrier: serialize the router's own state,
-    /// send the barrier down **every** worker ring (in-band, behind all
-    /// previously routed batches), and deposit the router segment. Dead
-    /// rings flip `cancel` — the barrier wait then fails instead of
-    /// hanging.
+    /// Inject a checkpoint barrier: serialize this router's own state,
+    /// send the barrier down **every** worker lane (in-band, behind all
+    /// previously routed batches), and deposit the router segment into
+    /// this router's barrier slot. Dead rings flip `cancel` — the
+    /// barrier wait then fails instead of hanging.
     fn send_barrier(&mut self, barrier: &BarrierRef, cancel: &AtomicBool) {
         let mut w = StateWriter::new();
         self.router.save_state(&mut w);
@@ -454,13 +633,13 @@ impl Fanout {
                 cancel.store(true, Ordering::Release);
             }
         }
-        barrier.fill_router(w.into_bytes());
+        barrier.fill_router(self.router_index, w.into_bytes());
     }
 
     /// Inject a result-harvest barrier: same in-band ordering as
     /// [`Fanout::send_barrier`], but workers deposit (and clear) their
-    /// emitted results instead of their engine state. The router has no
-    /// results of its own, so its segment is empty.
+    /// emitted results instead of their engine state. Routers have no
+    /// results of their own, so their segments are empty.
     fn send_harvest(&mut self, barrier: &BarrierRef, cancel: &AtomicBool) {
         for ch in &mut self.channels {
             if ch
@@ -471,26 +650,91 @@ impl Fanout {
                 cancel.store(true, Ordering::Release);
             }
         }
-        barrier.fill_router(Vec::new());
+        barrier.fill_router(self.router_index, Vec::new());
     }
 }
 
-/// The ingest thread's handle on the dedicated router thread.
+/// Rewrite the `R` per-router chunks of one merged worker step (lane
+/// order, all carrying the same batch and sequence number) so that
+/// applying them one after another through
+/// [`ShardProcessor::process_routed`] is indistinguishable from applying
+/// their union as a single chunk — the heart of the deterministic
+/// sequence-number merge:
+///
+/// * **split notices** migrate to the *first* non-empty chunk: in the
+///   union, every notice applies before any of the batch's rows;
+/// * **unsplit hand-backs** migrate to the *last* non-empty chunk: in
+///   the union they apply after every row, and `mark_unsplit`'s deferral
+///   decision depends on the watermark at notice time;
+/// * the **watermark advances exactly once**: every non-last chunk's
+///   frontier is zeroed (a no-op — the event-time gate's `advance` is a
+///   monotone max) and the last non-empty chunk carries the **min over
+///   the stamped per-router frontiers**, the only bound every router has
+///   published for this batch.
+///
+/// Steps with fewer than two non-empty chunks are returned untouched, so
+/// a single-router plane reproduces the classic path bit for bit.
+/// Allocation-free except when notices actually migrate (split churn is
+/// never the steady state). Public so the merge-determinism suites can
+/// drive it directly against adversarial chunk layouts.
+pub fn prepare_step(chunks: &mut [RoutedRows]) {
+    let mut first = 0usize;
+    let mut last = 0usize;
+    let mut n_nonempty = 0usize;
+    for (i, c) in chunks.iter().enumerate() {
+        if !c.is_empty() {
+            if n_nonempty == 0 {
+                first = i;
+            }
+            last = i;
+            n_nonempty += 1;
+        }
+    }
+    if n_nonempty < 2 {
+        return;
+    }
+    let mut merged = chunks[first].frontier;
+    for c in &chunks[first + 1..=last] {
+        if !c.is_empty() {
+            merged = merged.min(c.frontier);
+        }
+    }
+    for i in first..=last {
+        if chunks[i].is_empty() {
+            continue;
+        }
+        if i > first && !chunks[i].splits.is_empty() {
+            let (head, tail) = chunks.split_at_mut(i);
+            head[first].splits.append(&mut tail[0].splits);
+        }
+        if i < last && !chunks[i].unsplits.is_empty() {
+            let (head, tail) = chunks.split_at_mut(last);
+            tail[0].unsplits.append(&mut head[i].unsplits);
+        }
+        chunks[i].frontier = Timestamp::ZERO;
+    }
+    chunks[last].frontier = merged;
+}
+
+/// The ingest thread's handle on one dedicated router thread.
 struct RouterThread {
     jobs: spsc::Sender<RouterMsg>,
     /// Returns the [`Fanout`] at end-of-stream so `finish` controls when
-    /// the worker rings close (after all in-flight jobs routed).
+    /// this router's worker lanes close (after all in-flight jobs
+    /// routed).
     handle: JoinHandle<Fanout>,
-    /// Split-group count published by the router thread after each batch
-    /// (trails ingestion by at most the in-flight pipeline jobs).
+    /// Split-group count (this router's scopes only) published after
+    /// each batch (trails ingestion by at most the in-flight pipeline
+    /// jobs).
     split_groups: Arc<AtomicUsize>,
 }
 
-/// Where routing runs: on the ingest thread (depth 0) or on a dedicated
-/// router thread behind a bounded job ring (depth ≥ 1).
+/// Where routing runs: on the ingest thread (depth 0, single-router
+/// planes only) or on `R ≥ 1` dedicated router threads, each behind its
+/// own bounded job ring (depth ≥ 1).
 enum IngestStage {
     Inline(Fanout),
-    Pipelined(RouterThread),
+    Pipelined(Vec<RouterThread>),
 }
 
 /// Every tuning and durability knob of the sharded runtime in one place;
@@ -508,6 +752,12 @@ pub struct ShardedOptions {
     /// Ingest pipeline depth (`0` = in-line routing; defaults to
     /// [`default_pipeline_depth`]).
     pub pipeline_depth: usize,
+    /// Router threads in the routing plane (`1` = the classic single
+    /// router; defaults to [`default_routers`], which honours
+    /// `SHARON_ROUTERS`). A plane of more than one router requires
+    /// `pipeline_depth ≥ 1` — in-line routing has nothing to
+    /// parallelize.
+    pub routers: usize,
     /// When set, every engine pages cold groups out to a spill log under
     /// this configuration — bounded memory for huge `GROUP BY`
     /// cardinalities (see [`SpillConfig`]).
@@ -534,6 +784,7 @@ impl Default for ShardedOptions {
             batch_size: DEFAULT_BATCH_SIZE,
             split: SplitConfig::default(),
             pipeline_depth: default_pipeline_depth(),
+            routers: default_routers(),
             spill: None,
             checkpoint: None,
             fault: None,
@@ -662,6 +913,8 @@ pub struct ShardedExecutor {
     /// Batches fanned out so far — the clock of the periodic
     /// checkpointer and the fault plans.
     batches_sent: u64,
+    /// Router threads in the routing plane (`1` = classic pipeline).
+    n_routers: usize,
     /// In-flight batch bodies; entries whose `Arc` count drains back to 1
     /// are cleared and reused by the next flush.
     batch_pool: Vec<Arc<EventBatch>>,
@@ -678,10 +931,13 @@ pub struct ShardedExecutor {
     /// Set once a `Drop`-fault fired: ingest stops and `finish` panics,
     /// simulating a crash with unflushed state.
     fault_tripped: Option<u64>,
-    /// The router's per-scope scan tallies, cloned out before the router
-    /// (possibly) moved onto its ingest thread (`None` when the router
-    /// does not track them).
-    scan_counters: Option<Arc<ScanCounters>>,
+    /// Each router's per-slot scan tallies, cloned out before the
+    /// routers (possibly) moved onto their threads (empty when the
+    /// routers do not track them). Routers fill disjoint slots, so the
+    /// plane-wide view is the slot-wise sum.
+    scan_counters: Vec<Arc<ScanCounters>>,
+    /// Each router's live work tallies, in router order.
+    router_counters: Vec<Arc<RouterCounters>>,
 }
 
 impl ShardedExecutor {
@@ -788,8 +1044,8 @@ impl ShardedExecutor {
         assert!(n_shards >= 1, "need at least one shard");
         let parts = compile(catalog, workload, plan)?;
         let shards = engine_shards(&parts, n_shards, options.spill.as_ref(), options.lateness);
-        let router = Box::new(BatchRouter::with_split(parts, n_shards, options.split));
-        Ok(Self::build_with(router, shards, options, 0))
+        let routers = split_router_plane(parts, n_shards, options.split, options.routers);
+        Ok(Self::build_with(routers, shards, options, 0))
     }
 
     /// Rebuild the runtime from the **latest complete checkpoint** in
@@ -819,17 +1075,28 @@ impl ShardedExecutor {
                 data.shards.len()
             )));
         }
+        if data.routers.len() != options.routers {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} router segment(s), runtime has {} router(s)",
+                data.routers.len(),
+                options.routers
+            )));
+        }
         let parts = compile(catalog, workload, plan)
             .map_err(|e| CheckpointError::Mismatch(format!("workload does not compile: {e}")))?;
         let mut shards = engine_shards(&parts, n_shards, options.spill.as_ref(), options.lateness);
-        let mut router = Box::new(BatchRouter::with_split(parts, n_shards, options.split));
-        {
-            let mut r = StateReader::new(&data.router);
+        // the cost partition is a pure function of the compiled scopes
+        // and the router count, so this rebuilds the checkpointing run's
+        // scope→router assignment exactly — segment `ri` restores the
+        // same scope subset it was saved from
+        let mut routers = split_router_plane(parts, n_shards, options.split, options.routers);
+        for (ri, router) in routers.iter_mut().enumerate() {
+            let mut r = StateReader::new(&data.routers[ri]);
             router.load_state(&mut r)?;
             if !r.is_exhausted() {
-                return Err(CheckpointError::Corrupt(
-                    "trailing router state bytes".into(),
-                ));
+                return Err(CheckpointError::Corrupt(format!(
+                    "trailing router {ri} state bytes"
+                )));
             }
         }
         for (shard, processor) in shards.iter_mut().enumerate() {
@@ -838,7 +1105,7 @@ impl ShardedExecutor {
                 .map_err(|e| CheckpointError::Corrupt(format!("shard {shard} state: {e}")))?;
         }
         let offset = data.events_sent;
-        Ok((Self::build_with(router, shards, options, offset), offset))
+        Ok((Self::build_with(routers, shards, options, offset), offset))
     }
 
     /// Build the runtime from an explicit router + one processor per
@@ -864,8 +1131,24 @@ impl ShardedExecutor {
         batch_size: usize,
         pipeline_depth: usize,
     ) -> Self {
+        Self::from_parts_multi(vec![router], shards, batch_size, pipeline_depth)
+    }
+
+    /// [`ShardedExecutor::from_parts_with`] for a pre-built **routing
+    /// plane**: one [`RouteBatch`] per router thread, each owning a
+    /// disjoint subset of the plane-wide routing slots (see
+    /// [`split_router_plane`]). The plane size is `routers.len()` — the
+    /// [`ShardedOptions::routers`] knob is not consulted on this path,
+    /// so a caller-built plane is never silently resized by the
+    /// environment.
+    pub fn from_parts_multi(
+        routers: Vec<Box<dyn RouteBatch>>,
+        shards: Vec<Box<dyn ShardProcessor>>,
+        batch_size: usize,
+        pipeline_depth: usize,
+    ) -> Self {
         Self::build_with(
-            router,
+            routers,
             shards,
             ShardedOptions {
                 batch_size,
@@ -876,29 +1159,52 @@ impl ShardedExecutor {
         )
     }
 
-    /// Spawn the worker threads (and the router thread in pipelined
-    /// mode) around `router` + `shards`. `events_sent` seeds the ingest
-    /// counter — zero for fresh runs, the checkpoint's replay offset for
-    /// resumed ones.
+    /// Spawn the worker threads (and the router threads in pipelined
+    /// mode) around the routing plane `routers` + `shards`. The plane
+    /// size is `routers.len()` — [`ShardedOptions::routers`] is not
+    /// consulted here, so pre-built planes are authoritative.
+    /// `events_sent` seeds the ingest counter — zero for fresh runs, the
+    /// checkpoint's replay offset for resumed ones.
     fn build_with(
-        router: Box<dyn RouteBatch>,
+        routers: Vec<Box<dyn RouteBatch>>,
         shards: Vec<Box<dyn ShardProcessor>>,
         options: ShardedOptions,
         events_sent: u64,
     ) -> Self {
         let n_shards = shards.len();
+        let n_routers = routers.len();
         assert!(n_shards >= 1, "need at least one shard");
-        assert_eq!(
-            router.n_shards(),
-            n_shards,
-            "router and processor shard counts must agree"
-        );
+        assert!(n_routers >= 1, "a routing plane needs at least one router");
         let batch_size = options.batch_size.max(1);
         let pipeline_depth = options.pipeline_depth;
-        // cloned now: in pipelined mode the router moves onto its own
-        // thread, but selectivity stays reportable through the shared
-        // counters
-        let scan_counters = router.scan_counters();
+        assert!(
+            n_routers == 1 || pipeline_depth >= 1,
+            "a multi-router plane requires a pipelined ingest stage \
+             (pipeline_depth >= 1; in-line routing has nothing to parallelize)"
+        );
+        for router in &routers {
+            assert_eq!(
+                router.n_shards(),
+                n_shards,
+                "router and processor shard counts must agree"
+            );
+        }
+        let n_scopes = routers[0].n_scopes();
+        for router in &routers {
+            assert_eq!(
+                router.n_scopes(),
+                n_scopes,
+                "every router of a plane must address the same plane-wide slot space"
+            );
+        }
+        // cloned now: in pipelined mode the routers move onto their own
+        // threads, but selectivity stays reportable through the shared
+        // counters (summed slot-wise across the plane)
+        let scan_counters: Vec<Arc<ScanCounters>> =
+            routers.iter().filter_map(|r| r.scan_counters()).collect();
+        let router_counters: Vec<Arc<RouterCounters>> = (0..n_routers)
+            .map(|_| Arc::new(RouterCounters::default()))
+            .collect();
         let cancel = Arc::new(AtomicBool::new(false));
         let checkpointer = options.checkpoint.as_ref().map(|cfg| Checkpointer {
             store: CheckpointStore::open(&cfg.dir)
@@ -906,13 +1212,35 @@ impl ShardedExecutor {
             interval_batches: cfg.interval_batches.max(1),
         });
 
-        let mut channels = Vec::with_capacity(n_shards);
+        // one lane (worker ring + return ring) per router per worker
+        let mut worker_lanes: Vec<Vec<WorkerLane>> = (0..n_shards)
+            .map(|_| Vec::with_capacity(n_routers))
+            .collect();
+        let mut fanouts = Vec::with_capacity(n_routers);
+        for (ri, router) in routers.into_iter().enumerate() {
+            let mut channels = Vec::with_capacity(n_shards);
+            for lanes in worker_lanes.iter_mut() {
+                let (sender, rx) = spsc::ring::<WorkerMsg>(RING_DEPTH);
+                // the return ring is sized so a worker's try_send can
+                // only hit a full ring if the routing side stopped
+                // draining it
+                let (ret, returns) = spsc::ring::<RoutedRows>(RING_DEPTH + 2);
+                channels.push(WorkerChannel { sender, returns });
+                lanes.push(WorkerLane { rx, ret });
+            }
+            fanouts.push(Fanout {
+                router,
+                router_index: ri,
+                always_send: n_routers > 1,
+                channels,
+                rows_pool: Vec::new(),
+                route_scratch: Vec::new(),
+                counters: Arc::clone(&router_counters[ri]),
+            });
+        }
+
         let mut workers = Vec::with_capacity(n_shards);
-        for (shard, processor) in shards.into_iter().enumerate() {
-            let (sender, receiver) = spsc::ring::<WorkerMsg>(RING_DEPTH);
-            // the return ring is sized so a worker's try_send can only hit
-            // a full ring if the routing side stopped draining it
-            let (mut return_tx, returns) = spsc::ring::<RoutedRows>(RING_DEPTH + 2);
+        for ((shard, processor), lanes) in shards.into_iter().enumerate().zip(worker_lanes) {
             let matched = Arc::new(AtomicU64::new(0));
             let matched_pub = Arc::clone(&matched);
             let cancelled = Arc::clone(&cancel);
@@ -925,14 +1253,68 @@ impl ShardedExecutor {
                 .spawn(move || {
                     let _guard = CancelOnPanic(Arc::clone(&cancelled));
                     let mut processor = processor;
-                    let mut receiver = receiver;
+                    let mut lanes = lanes;
                     let mut processed: u64 = 0;
-                    while let Some(msg) = receiver.recv() {
-                        match msg {
-                            WorkerMsg::Batch(RoutedBatch { batch, mut rows }) => {
-                                if cancelled.load(Ordering::Relaxed) {
-                                    continue; // aborted: drain without processing
+                    // hoisted step buffers: the merge loop allocates
+                    // nothing in steady state
+                    let mut step: Vec<WorkerMsg> = Vec::with_capacity(lanes.len());
+                    let mut bodies: Vec<Arc<EventBatch>> = Vec::with_capacity(lanes.len());
+                    let mut chunks: Vec<RoutedRows> = Vec::with_capacity(lanes.len());
+                    'stream: loop {
+                        // the sequence-number merge: one in-band message
+                        // per lane, in router order — every router sends
+                        // every worker the same message sequence (planes
+                        // send empty chunks too), so step `k` of every
+                        // lane refers to the same batch or barrier
+                        step.clear();
+                        for lane in &mut lanes {
+                            match lane.rx.recv() {
+                                Some(msg) => step.push(msg),
+                                // lanes close together at teardown: any
+                                // closed lane ends the stream
+                                None => break 'stream,
+                            }
+                        }
+                        let kind = std::mem::discriminant(&step[0]);
+                        if step.iter().any(|m| std::mem::discriminant(m) != kind) {
+                            // only reachable when a cancel tore the
+                            // plane down mid-sequence — an orderly plane
+                            // keeps every lane in lockstep
+                            assert!(
+                                cancelled.load(Ordering::Relaxed),
+                                "router lanes desynchronized on shard {shard}"
+                            );
+                            break 'stream;
+                        }
+                        match &step[0] {
+                            WorkerMsg::Batch(_) => {
+                                bodies.clear();
+                                chunks.clear();
+                                for msg in step.drain(..) {
+                                    if let WorkerMsg::Batch(rb) = msg {
+                                        bodies.push(rb.batch);
+                                        chunks.push(rb.rows);
+                                    }
                                 }
+                                if cancelled.load(Ordering::Relaxed)
+                                    || chunks.iter().all(RoutedRows::is_empty)
+                                {
+                                    // aborted — or no lane owns rows of
+                                    // this batch (single routers skip
+                                    // such sends entirely, so the step
+                                    // is not counted here either)
+                                    bodies.clear();
+                                    for (lane, mut rows) in lanes.iter_mut().zip(chunks.drain(..)) {
+                                        rows.clear();
+                                        let _ = lane.ret.try_send(rows);
+                                    }
+                                    continue;
+                                }
+                                debug_assert!(
+                                    chunks.iter().all(|c| c.seq == chunks[0].seq)
+                                        && bodies.iter().all(|b| Arc::ptr_eq(b, &bodies[0])),
+                                    "lanes merged chunks of different batches"
+                                );
                                 if fault_at == Some(processed) {
                                     panic!(
                                         "injected fault: worker shard {shard} \
@@ -940,79 +1322,99 @@ impl ShardedExecutor {
                                     );
                                 }
                                 processed += 1;
-                                processor.process_routed(&batch, &rows);
+                                prepare_step(&mut chunks);
+                                for (body, rows) in bodies.iter().zip(&chunks) {
+                                    if !rows.is_empty() {
+                                        processor.process_routed(body, rows);
+                                    }
+                                }
                                 matched_pub.store(processor.events_matched(), Ordering::Relaxed);
-                                drop(batch); // release the body before recycling rows
-                                rows.clear();
-                                // recycle the row lists; dropping them is fine if
-                                // the return ring is (transiently) full
-                                let _ = return_tx.try_send(rows);
+                                bodies.clear(); // release the body before recycling rows
+                                for (lane, mut rows) in lanes.iter_mut().zip(chunks.drain(..)) {
+                                    rows.clear();
+                                    // recycle the row lists into their own
+                                    // lane; dropping them is fine if the
+                                    // return ring is (transiently) full
+                                    let _ = lane.ret.try_send(rows);
+                                }
                             }
-                            WorkerMsg::Barrier(barrier) => {
+                            WorkerMsg::Barrier(_) => {
                                 // in-band: state covers exactly the batches
-                                // routed before the barrier
-                                barrier.fill_shard(shard, processor.save_state());
+                                // routed before the barrier; every lane
+                                // carries the same barrier, deposit once
+                                let state = processor.save_state();
+                                if let Some(WorkerMsg::Barrier(barrier)) = step.drain(..).next() {
+                                    barrier.fill_shard(shard, state);
+                                }
                             }
-                            WorkerMsg::Harvest(barrier) => {
+                            WorkerMsg::Harvest(_) => {
                                 // in-band: results cover exactly the batches
-                                // routed before the barrier
-                                barrier.fill_shard(shard, processor.take_results());
+                                // routed before the barrier; take once
+                                let results = processor.take_results();
+                                if let Some(WorkerMsg::Harvest(barrier)) = step.drain(..).next() {
+                                    barrier.fill_shard(shard, results);
+                                }
                             }
                         }
                     }
                     processor.finish()
                 })
                 .expect("spawn shard worker thread");
-            channels.push(WorkerChannel { sender, returns });
             workers.push(WorkerHandle { handle, matched });
         }
 
-        let fanout = Fanout {
-            router,
-            channels,
-            rows_pool: Vec::new(),
-            route_scratch: Vec::new(),
-        };
         let stage = if pipeline_depth == 0 {
+            let fanout = fanouts.pop().expect("single-router plane in inline mode");
             IngestStage::Inline(fanout)
         } else {
-            let (jobs, mut job_rx) = spsc::ring::<RouterMsg>(pipeline_depth);
-            let split_groups = Arc::new(AtomicUsize::new(0));
-            let splits_pub = Arc::clone(&split_groups);
-            let cancelled = Arc::clone(&cancel);
-            let handle = std::thread::Builder::new()
-                .name("sharon-router".into())
-                .spawn(move || {
-                    let _guard = CancelOnPanic(Arc::clone(&cancelled));
-                    let mut fanout = fanout;
-                    while let Some(msg) = job_rx.recv() {
-                        match msg {
-                            RouterMsg::Route(RouteJob { batch, lo, hi }) => {
-                                if cancelled.load(Ordering::Relaxed) {
-                                    continue; // aborted: drain jobs without routing
+            let threads = fanouts
+                .into_iter()
+                .enumerate()
+                .map(|(ri, fanout)| {
+                    let (jobs, mut job_rx) = spsc::ring::<RouterMsg>(pipeline_depth);
+                    let split_groups = Arc::new(AtomicUsize::new(0));
+                    let splits_pub = Arc::clone(&split_groups);
+                    let cancelled = Arc::clone(&cancel);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("sharon-router-{ri}"))
+                        .spawn(move || {
+                            let _guard = CancelOnPanic(Arc::clone(&cancelled));
+                            let mut fanout = fanout;
+                            while let Some(msg) = job_rx.recv() {
+                                match msg {
+                                    RouterMsg::Route(RouteJob { batch, lo, hi, seq }) => {
+                                        if cancelled.load(Ordering::Relaxed) {
+                                            continue; // aborted: drain jobs without routing
+                                        }
+                                        fanout.dispatch(&batch, lo, hi, seq, &cancelled);
+                                        splits_pub
+                                            .store(fanout.router.split_groups(), Ordering::Relaxed);
+                                    }
+                                    RouterMsg::Barrier(barrier) => {
+                                        fanout.send_barrier(&barrier, &cancelled);
+                                    }
+                                    RouterMsg::Harvest(barrier) => {
+                                        fanout.send_harvest(&barrier, &cancelled);
+                                    }
+                                    RouterMsg::Sync(probe) => {
+                                        probe.fill(ri, fanout.router.split_groups());
+                                    }
                                 }
-                                fanout.dispatch(&batch, lo, hi, &cancelled);
-                                splits_pub.store(fanout.router.split_groups(), Ordering::Relaxed);
                             }
-                            RouterMsg::Barrier(barrier) => {
-                                fanout.send_barrier(&barrier, &cancelled);
-                            }
-                            RouterMsg::Harvest(barrier) => {
-                                fanout.send_harvest(&barrier, &cancelled);
-                            }
-                        }
+                            // end of stream: hand the fan-out back so
+                            // `finish` closes this router's worker lanes
+                            // only after every queued job was routed
+                            fanout
+                        })
+                        .expect("spawn router thread");
+                    RouterThread {
+                        jobs,
+                        handle,
+                        split_groups,
                     }
-                    // end of stream: hand the fan-out back so `finish`
-                    // closes the worker rings only after every queued job
-                    // was routed
-                    fanout
                 })
-                .expect("spawn router thread");
-            IngestStage::Pipelined(RouterThread {
-                jobs,
-                handle,
-                split_groups,
-            })
+                .collect();
+            IngestStage::Pipelined(threads)
         };
 
         ShardedExecutor {
@@ -1021,6 +1423,7 @@ impl ShardedExecutor {
             buffer: Arc::new(EventBatch::with_capacity(batch_size, 2)),
             batch_size,
             n_shards,
+            n_routers,
             pipeline_depth,
             events_sent,
             batches_sent: 0,
@@ -1030,6 +1433,7 @@ impl ShardedExecutor {
             fault: options.fault,
             fault_tripped: None,
             scan_counters,
+            router_counters,
         }
     }
 
@@ -1042,6 +1446,28 @@ impl ShardedExecutor {
     /// in-line routing).
     pub fn pipeline_depth(&self) -> usize {
         self.pipeline_depth
+    }
+
+    /// Router threads in the routing plane (`1` = the classic single
+    /// router).
+    pub fn n_routers(&self) -> usize {
+        self.n_routers
+    }
+
+    /// Per-router work tallies, in router order: batches routed, stalls
+    /// on full worker rings, and scope scans (local scopes × batches).
+    /// Live mid-run; exact once ingestion is flushed. The
+    /// many-distinct-scope bench uses the scan spread to assert the cost
+    /// partition balances the plane.
+    pub fn router_stats(&self) -> Vec<RouterStats> {
+        self.router_counters
+            .iter()
+            .map(|c| RouterStats {
+                batches_routed: c.batches_routed.load(Ordering::Relaxed),
+                stall_waits: c.stall_waits.load(Ordering::Relaxed),
+                scope_scans: c.scope_scans.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Events fanned out to the routing stage so far (excluding the
@@ -1064,15 +1490,25 @@ impl ShardedExecutor {
             .sum()
     }
 
-    /// Per-scope `(rows_scanned, rows_selected)` of the router's
-    /// stateless pass so far (empty when the router does not track it).
-    /// Live in both inline and pipelined modes; exact once ingestion is
-    /// flushed.
+    /// Per-scope `(rows_scanned, rows_selected)` of the routing plane's
+    /// stateless pass so far (empty when the routers do not track it).
+    /// Every router tallies into the plane-wide slot space — each slot
+    /// owned by exactly one router — so the slot-wise sum reproduces the
+    /// single-router view exactly. Live in both inline and pipelined
+    /// modes; exact once ingestion is flushed.
     pub fn scan_stats(&self) -> Vec<(u64, u64)> {
-        self.scan_counters
-            .as_ref()
-            .map(|c| c.snapshot())
-            .unwrap_or_default()
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for counters in &self.scan_counters {
+            let snap = counters.snapshot();
+            if out.len() < snap.len() {
+                out.resize(snap.len(), (0, 0));
+            }
+            for (acc, s) in out.iter_mut().zip(snap) {
+                acc.0 += s.0;
+                acc.1 += s.1;
+            }
+        }
+        out
     }
 
     /// The fill buffer (uniquely owned between flushes).
@@ -1198,23 +1634,28 @@ impl ShardedExecutor {
             _ => batch,
         };
         self.events_sent += (hi - lo) as u64;
+        let seq = self.batches_sent;
         let Self { stage, cancel, .. } = self;
         match stage.as_mut().expect("executor is active") {
-            IngestStage::Inline(fanout) => fanout.dispatch(batch, lo, hi, cancel),
-            IngestStage::Pipelined(rt) => {
-                // blocks when `pipeline_depth` jobs are already in flight —
-                // the pipeline's backpressure; a dead router thread flips
-                // cancel and `finish` reports it
-                if rt
-                    .jobs
-                    .send(RouterMsg::Route(RouteJob {
-                        batch: Arc::clone(batch),
-                        lo,
-                        hi,
-                    }))
-                    .is_err()
-                {
-                    cancel.store(true, Ordering::Release);
+            IngestStage::Inline(fanout) => fanout.dispatch(batch, lo, hi, seq, cancel),
+            IngestStage::Pipelined(threads) => {
+                // every router routes every batch (each against its own
+                // scope subset); a full job ring blocks — the pipeline's
+                // backpressure — and a dead router thread flips cancel
+                // so `finish` reports it
+                for rt in threads {
+                    if rt
+                        .jobs
+                        .send(RouterMsg::Route(RouteJob {
+                            batch: Arc::clone(batch),
+                            lo,
+                            hi,
+                            seq,
+                        }))
+                        .is_err()
+                    {
+                        cancel.store(true, Ordering::Release);
+                    }
                 }
             }
         }
@@ -1265,27 +1706,32 @@ impl ShardedExecutor {
     /// Inject a barrier behind everything sent so far, wait for every
     /// shard's state deposit, and persist the checkpoint.
     fn take_checkpoint(&mut self) -> Result<u64, CheckpointError> {
-        let barrier: BarrierRef = Arc::new(CheckpointBarrier::new(self.n_shards));
+        let barrier: BarrierRef = Arc::new(CheckpointBarrier::new(self.n_routers, self.n_shards));
         let Self { stage, cancel, .. } = self;
         match stage.as_mut().expect("executor is active") {
             IngestStage::Inline(fanout) => fanout.send_barrier(&barrier, cancel),
-            IngestStage::Pipelined(rt) => {
-                if rt
-                    .jobs
-                    .send(RouterMsg::Barrier(Arc::clone(&barrier)))
-                    .is_err()
-                {
-                    cancel.store(true, Ordering::Release);
+            IngestStage::Pipelined(threads) => {
+                // the barrier rides every router's job ring in-band, so
+                // each router segment (and each shard's lane barrier)
+                // covers exactly the batches routed before it
+                for rt in threads {
+                    if rt
+                        .jobs
+                        .send(RouterMsg::Barrier(Arc::clone(&barrier)))
+                        .is_err()
+                    {
+                        cancel.store(true, Ordering::Release);
+                    }
                 }
             }
         }
-        let (router, shards) = barrier.wait(&self.cancel)?;
+        let (routers, shards) = barrier.wait(&self.cancel)?;
         let ck = self
             .checkpointer
             .as_ref()
             .expect("checkpoint requires a configured store");
         let id = ck.store.next_id()?;
-        ck.store.write(id, self.events_sent, &router, &shards)?;
+        ck.store.write(id, self.events_sent, &routers, &shards)?;
         sharon_metrics::record_checkpoints_written(1);
         Ok(id)
     }
@@ -1317,21 +1763,23 @@ impl ShardedExecutor {
     /// [`CheckpointError::Corrupt`] if a runtime thread died.
     pub fn harvest_results(&mut self) -> Result<ExecutorResults, CheckpointError> {
         self.flush();
-        let barrier: BarrierRef = Arc::new(CheckpointBarrier::new(self.n_shards));
+        let barrier: BarrierRef = Arc::new(CheckpointBarrier::new(self.n_routers, self.n_shards));
         let Self { stage, cancel, .. } = self;
         match stage.as_mut().expect("executor is active") {
             IngestStage::Inline(fanout) => fanout.send_harvest(&barrier, cancel),
-            IngestStage::Pipelined(rt) => {
-                if rt
-                    .jobs
-                    .send(RouterMsg::Harvest(Arc::clone(&barrier)))
-                    .is_err()
-                {
-                    cancel.store(true, Ordering::Release);
+            IngestStage::Pipelined(threads) => {
+                for rt in threads {
+                    if rt
+                        .jobs
+                        .send(RouterMsg::Harvest(Arc::clone(&barrier)))
+                        .is_err()
+                    {
+                        cancel.store(true, Ordering::Release);
+                    }
                 }
             }
         }
-        let (_router, shards) = barrier.wait(&self.cancel)?;
+        let (_routers, shards) = barrier.wait(&self.cancel)?;
         let mut out = ExecutorResults::new();
         for (shard, bytes) in shards.iter().enumerate() {
             let mut r = StateReader::new(bytes);
@@ -1369,21 +1817,31 @@ impl ShardedExecutor {
                 "injected fault: simulated crash at ingested batch {batch} (buffered state lost)"
             );
         }
-        // teardown order is the flush contract: close the ingest→router
-        // ring FIRST (close-then-drain is the poison message — the router
-        // thread routes every queued job before returning its fan-out),
-        // and only THEN drop the fan-out, closing the worker rings — so
-        // no routed batch is lost and every ShardReport is complete
-        let mut router_failed = false;
+        // teardown order is the flush contract: close EVERY ingest→router
+        // job ring FIRST (close-then-drain is the poison message — each
+        // router thread routes every queued job before returning its
+        // fan-out), then join the routers in router order, dropping each
+        // fan-out as its thread returns, closing that router's worker
+        // lanes — no routed batch is lost, every ShardReport is
+        // complete, and a worker blocked on a dead router's lane (only
+        // possible on a cancelled run) is released before the next
+        // router is joined
+        let mut failed_routers = Vec::new();
         match self.stage.take().expect("finish runs once") {
             IngestStage::Inline(fanout) => drop(fanout),
-            IngestStage::Pipelined(rt) => {
-                drop(rt.jobs);
-                match rt.handle.join() {
-                    // a panicked router already dropped its fan-out during
-                    // unwind, closing the worker rings
-                    Ok(fanout) => drop(fanout),
-                    Err(_) => router_failed = true,
+            IngestStage::Pipelined(threads) => {
+                let mut handles = Vec::with_capacity(threads.len());
+                for rt in threads {
+                    drop(rt.jobs);
+                    handles.push(rt.handle);
+                }
+                for (ri, handle) in handles.into_iter().enumerate() {
+                    match handle.join() {
+                        // a panicked router already dropped its fan-out
+                        // during unwind, closing its worker lanes
+                        Ok(fanout) => drop(fanout),
+                        Err(_) => failed_routers.push(ri),
+                    }
                 }
             }
         }
@@ -1405,10 +1863,10 @@ impl ShardedExecutor {
                 Err(_) => failed_shards.push(shard),
             }
         }
-        if router_failed || !failed_shards.is_empty() {
+        if !failed_routers.is_empty() || !failed_shards.is_empty() {
             let mut parts = Vec::new();
-            if router_failed {
-                parts.push("the router thread panicked".to_string());
+            if !failed_routers.is_empty() {
+                parts.push(format!("router thread(s) {failed_routers:?} panicked"));
             }
             if !failed_shards.is_empty() {
                 parts.push(format!("worker shard(s) {failed_shards:?} panicked"));
@@ -1424,13 +1882,43 @@ impl ShardedExecutor {
         (results, matched, state)
     }
 
-    /// Number of groups the router has split across shards so far. In
-    /// pipelined mode this is the router thread's last published count,
-    /// which trails ingestion by at most the in-flight pipeline jobs.
+    /// Number of groups the routing plane has split across shards so
+    /// far. In pipelined mode this sums each router thread's last
+    /// published count, which trails ingestion by at most the in-flight
+    /// pipeline jobs — use [`ShardedExecutor::split_snapshot`] when the
+    /// count must cover everything ingested so far.
     pub fn split_groups(&self) -> usize {
         match self.stage.as_ref().expect("executor is active") {
             IngestStage::Inline(fanout) => fanout.router.split_groups(),
-            IngestStage::Pipelined(rt) => rt.split_groups.load(Ordering::Relaxed),
+            IngestStage::Pipelined(threads) => threads
+                .iter()
+                .map(|rt| rt.split_groups.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+
+    /// A **synchronized** split-group count: flushes the ingest buffer,
+    /// then waits until every router thread has answered a probe sent
+    /// in-band behind everything queued so far — so the returned count
+    /// covers every batch ingested before the call, at any pipeline
+    /// depth and plane size (unlike [`ShardedExecutor::split_groups`],
+    /// whose pipelined reading trails ingestion). Each group's scope
+    /// lives on exactly one router, so the per-router counts sum
+    /// exactly.
+    pub fn split_snapshot(&mut self) -> usize {
+        self.flush();
+        let Self { stage, cancel, .. } = self;
+        match stage.as_mut().expect("executor is active") {
+            IngestStage::Inline(fanout) => fanout.router.split_groups(),
+            IngestStage::Pipelined(threads) => {
+                let probe = Arc::new(SplitProbe::new(threads.len()));
+                for rt in threads.iter_mut() {
+                    if rt.jobs.send(RouterMsg::Sync(Arc::clone(&probe))).is_err() {
+                        cancel.store(true, Ordering::Release);
+                    }
+                }
+                probe.wait_sum(cancel)
+            }
         }
     }
 }
@@ -1449,11 +1937,19 @@ impl Drop for ShardedExecutor {
         self.cancel.store(true, Ordering::Relaxed);
         match stage {
             IngestStage::Inline(fanout) => drop(fanout),
-            IngestStage::Pipelined(rt) => {
-                drop(rt.jobs); // close the job ring
-                               // joining returns the fan-out, whose drop closes the
-                               // worker rings
-                let _ = rt.handle.join();
+            IngestStage::Pipelined(threads) => {
+                // close every job ring first, then join the routers in
+                // order — joining returns each fan-out, whose drop
+                // closes that router's worker lanes (releasing any
+                // worker blocked on it before the next join)
+                let mut handles = Vec::with_capacity(threads.len());
+                for rt in threads {
+                    drop(rt.jobs);
+                    handles.push(rt.handle);
+                }
+                for handle in handles {
+                    let _ = handle.join();
+                }
             }
         }
         for worker in std::mem::take(&mut self.workers) {
@@ -1750,6 +2246,72 @@ mod tests {
         let (c, w) = grouped_workload();
         let sharded = ShardedExecutor::non_shared(&c, &w, 2).unwrap();
         assert_eq!(sharded.pipeline_depth(), default_pipeline_depth());
+    }
+
+    #[test]
+    fn multi_router_plane_matches_sequential() {
+        let (c, w) = grouped_workload();
+        let events = stream(&c, 5000, 23);
+        let mut sequential = Executor::non_shared(&c, &w).unwrap();
+        sequential.process_batch(&events);
+        let want_matched = sequential.events_matched();
+        let want = sequential.finish();
+
+        let plan = SharingPlan::non_shared();
+        for routers in [2usize, 4] {
+            let mut sharded = ShardedExecutor::with_options(
+                &c,
+                &w,
+                &plan,
+                3,
+                ShardedOptions {
+                    batch_size: 128,
+                    pipeline_depth: 2,
+                    routers,
+                    ..ShardedOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(sharded.n_routers(), routers);
+            sharded.process_batch(&events);
+
+            // barrier-sync so the per-router counters cover every batch:
+            // ingest fans each batch to the whole plane, so every router
+            // routes the same batch count
+            let _ = sharded.split_snapshot();
+            let stats = sharded.router_stats();
+            assert_eq!(stats.len(), routers);
+            let batches = stats[0].batches_routed;
+            assert!(batches > 0, "routers saw traffic");
+            assert!(
+                stats.iter().all(|s| s.batches_routed == batches),
+                "fan-out reaches every router equally: {stats:?}"
+            );
+
+            let (got, matched, _) = sharded.finish_with_stats();
+            assert!(
+                got.semantically_eq(&want, 1e-9),
+                "{routers}-router plane diverges from sequential"
+            );
+            assert_eq!(matched, want_matched, "{routers} routers: matched count");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a multi-router plane requires a pipelined ingest stage")]
+    fn multi_router_plane_rejects_inline_routing() {
+        let (c, w) = grouped_workload();
+        let _ = ShardedExecutor::with_options(
+            &c,
+            &w,
+            &SharingPlan::non_shared(),
+            2,
+            ShardedOptions {
+                pipeline_depth: 0,
+                routers: 2,
+                ..ShardedOptions::default()
+            },
+        );
     }
 
     #[test]

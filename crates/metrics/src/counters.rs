@@ -34,6 +34,42 @@ pub fn router_scope_scans() -> u64 {
     ROUTER_SCOPE_SCANS.load(Ordering::Relaxed)
 }
 
+/// Total batches routed by router threads: one unit per router per
+/// routed batch. With a routing plane of `R` routers this advances by
+/// `R` per ingested batch — every router scans every batch against its
+/// own scope subset.
+static ROUTER_BATCHES_ROUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` routed batches (called by each router once per dispatched
+/// batch chunk).
+#[inline]
+pub fn record_router_batches_routed(n: u64) {
+    ROUTER_BATCHES_ROUTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total batches routed so far in this process.
+pub fn router_batches_routed() -> u64 {
+    ROUTER_BATCHES_ROUTED.load(Ordering::Relaxed)
+}
+
+/// Total router stalls: a router found a worker ring full and had to
+/// block until the worker drained it. A routing plane that stalls often
+/// is fanning out faster than the shards execute — the backpressure is
+/// working, but the bottleneck has moved back to the workers.
+static ROUTER_STALL_WAITS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` router stalls (called by a router before it blocks on a
+/// full worker ring).
+#[inline]
+pub fn record_router_stall_waits(n: u64) {
+    ROUTER_STALL_WAITS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total router stalls so far in this process.
+pub fn router_stall_waits() -> u64 {
+    ROUTER_STALL_WAITS.load(Ordering::Relaxed)
+}
+
 /// Total rows examined by stateless scans (scalar or vectorized): one
 /// unit per row per routing scope that scanned it.
 static ROWS_SCANNED: AtomicU64 = AtomicU64::new(0);
@@ -224,6 +260,15 @@ mod tests {
         record_router_scope_scans(3);
         record_router_scope_scans(1);
         assert!(router_scope_scans() >= before + 4);
+    }
+
+    #[test]
+    fn routing_plane_counters_accumulate() {
+        let (b0, s0) = (router_batches_routed(), router_stall_waits());
+        record_router_batches_routed(2);
+        record_router_stall_waits(1);
+        assert!(router_batches_routed() >= b0 + 2);
+        assert!(router_stall_waits() > s0);
     }
 
     #[test]

@@ -342,6 +342,13 @@ impl RowFilter for ScopeFilter {
     fn scan_kernel(&self) -> Option<ScanKernel> {
         Some(self.compile_scan())
     }
+
+    fn route_cost(&self) -> f64 {
+        let total_types = self.routed.len().max(1);
+        let routed_types = self.routed.iter().filter(|&&r| r).count();
+        let clauses: usize = self.table.predicates.iter().map(Vec::len).sum();
+        (1.0 + clauses as f64) * (routed_types as f64 / total_types as f64).max(f64::MIN_POSITIVE)
+    }
 }
 
 #[cfg(test)]

@@ -26,8 +26,8 @@ use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
 use sharon_executor::{
-    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ScanKernel, ShardProcessor,
-    ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE,
+    split_router_plane, BatchProcessor, ExecutorResults, Reorder, RoutedRows, ScanKernel,
+    ShardProcessor, ShardReport, ShardedExecutor, SplitConfig, DEFAULT_BATCH_SIZE,
 };
 use sharon_query::{AggFunc, Query, QueryId, Workload};
 use sharon_types::{
@@ -442,6 +442,31 @@ impl FlinkLike {
         pipeline_depth: usize,
         lateness: Option<u64>,
     ) -> Result<ShardedExecutor, CompileError> {
+        Self::sharded_with_routing(
+            catalog,
+            workload,
+            n_shards,
+            batch_size,
+            pipeline_depth,
+            lateness,
+            1,
+        )
+    }
+
+    /// [`FlinkLike::sharded_with_pipeline`] with an explicit routing-plane
+    /// size: the deduplicated scopes are cost-partitioned across `routers`
+    /// router threads ([`split_router_plane`]); `routers > 1` requires a
+    /// pipelined ingest stage (`pipeline_depth >= 1`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded_with_routing(
+        catalog: &Catalog,
+        workload: &Workload,
+        n_shards: usize,
+        batch_size: usize,
+        pipeline_depth: usize,
+        lateness: Option<u64>,
+        routers: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
         if workload.is_empty() {
             return Err(CompileError::EmptyWorkload);
         }
@@ -454,7 +479,7 @@ impl FlinkLike {
             .map(|q| ScopeFilter::build(catalog, &[q]))
             .collect::<Result<Vec<_>, _>>()?;
         let (scopes, subscribers) = dedup_scopes(scopes);
-        let router = Box::new(BatchRouter::new(scopes, n_shards));
+        let plane = split_router_plane(scopes, n_shards, SplitConfig::default(), routers);
         let shards = (0..n_shards)
             .map(|_| {
                 FlinkLike::new(catalog, workload).map(|f| {
@@ -466,8 +491,8 @@ impl FlinkLike {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedExecutor::from_parts_with(
-            router,
+        Ok(ShardedExecutor::from_parts_multi(
+            plane,
             shards,
             batch_size,
             pipeline_depth,

@@ -27,8 +27,8 @@ use sharon_executor::agg::{Aggregate, CountCell, OutputKind, StatsCell};
 use sharon_executor::compile::CompileError;
 use sharon_executor::winvec::WinVec;
 use sharon_executor::{
-    BatchProcessor, BatchRouter, ExecutorResults, Reorder, RoutedRows, ScanKernel, ShardProcessor,
-    ShardReport, ShardedExecutor, DEFAULT_BATCH_SIZE,
+    split_router_plane, BatchProcessor, ExecutorResults, Reorder, RoutedRows, ScanKernel,
+    ShardProcessor, ShardReport, ShardedExecutor, SplitConfig, DEFAULT_BATCH_SIZE,
 };
 use sharon_query::{AggFunc, Query, QueryId, SegmentKind, SharingPlan, Workload};
 use sharon_types::{
@@ -643,6 +643,33 @@ impl SpassLike {
         pipeline_depth: usize,
         lateness: Option<u64>,
     ) -> Result<ShardedExecutor, CompileError> {
+        Self::sharded_with_routing(
+            catalog,
+            workload,
+            plan,
+            n_shards,
+            batch_size,
+            pipeline_depth,
+            lateness,
+            1,
+        )
+    }
+
+    /// [`SpassLike::sharded_with_pipeline`] with an explicit routing-plane
+    /// size: the deduplicated scopes are cost-partitioned across `routers`
+    /// router threads ([`split_router_plane`]); `routers > 1` requires a
+    /// pipelined ingest stage (`pipeline_depth >= 1`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded_with_routing(
+        catalog: &Catalog,
+        workload: &Workload,
+        plan: &SharingPlan,
+        n_shards: usize,
+        batch_size: usize,
+        pipeline_depth: usize,
+        lateness: Option<u64>,
+        routers: usize,
+    ) -> Result<ShardedExecutor, CompileError> {
         if workload.is_empty() {
             return Err(CompileError::EmptyWorkload);
         }
@@ -655,7 +682,7 @@ impl SpassLike {
             .map(|qs| ScopeFilter::build(catalog, qs))
             .collect::<Result<Vec<_>, _>>()?;
         let (scopes, subscribers) = dedup_scopes(scopes);
-        let router = Box::new(BatchRouter::new(scopes, n_shards));
+        let plane = split_router_plane(scopes, n_shards, SplitConfig::default(), routers);
         let shards = (0..n_shards)
             .map(|_| {
                 SpassLike::new(catalog, workload, plan).map(|s| {
@@ -667,8 +694,8 @@ impl SpassLike {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedExecutor::from_parts_with(
-            router,
+        Ok(ShardedExecutor::from_parts_multi(
+            plane,
             shards,
             batch_size,
             pipeline_depth,

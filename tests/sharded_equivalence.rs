@@ -1,9 +1,11 @@
 //! Determinism of the sharded parallel runtime and the columnar batch
-//! path: for every shard count **and every ingest pipeline depth**
-//! (in-line routing and the router-thread pipeline), [`ShardedExecutor`]
-//! produces results `semantically_eq` to the sequential [`Executor`] —
-//! sharding and pipelining are pure work partitions, never a semantics
-//! change — and the columnar `process_columnar` path (sequential and
+//! path: for every shard count, **every ingest pipeline depth** (in-line
+//! routing and the router-thread pipeline), **and every routing-plane
+//! size** (`SHARON_ROUTERS`; single router and a 2-router plane by
+//! default), [`ShardedExecutor`] produces results `semantically_eq` to
+//! the sequential [`Executor`] — sharding, pipelining, and router
+//! parallelism are pure work partitions, never a semantics change — and
+//! the columnar `process_columnar` path (sequential and
 //! sharded route-once) is equivalent to per-event processing. Checked on
 //! all three paper streams (TX, LR, EC) under both the Sharon plan and
 //! the non-shared plan, and property-tested over random group
@@ -87,7 +89,7 @@ fn assert_sharded_matches_sequential(
         );
     }
 
-    let build = |shards: usize, depth: usize| {
+    let build = |shards: usize, depth: usize, routers: usize| {
         ShardedExecutor::with_options(
             catalog,
             workload,
@@ -97,6 +99,7 @@ fn assert_sharded_matches_sequential(
                 batch_size: sharon_executor::DEFAULT_BATCH_SIZE,
                 split: sharon_executor::SplitConfig::default(),
                 pipeline_depth: depth,
+                routers,
                 lateness,
                 ..Default::default()
             },
@@ -105,33 +108,35 @@ fn assert_sharded_matches_sequential(
     };
     for shards in shard_counts() {
         for depth in support::pipeline_depths() {
-            let mut sharded = build(shards, depth);
-            // mixed ingestion: some per-event, some batched, covering both
-            let (head, tail) = run_events.split_at(run_events.len() / 3);
-            for e in head {
-                sharded.process(e);
-            }
-            sharded.process_batch(tail);
-            let got = sharded.finish();
-            assert!(
-                got.semantically_eq(&want, 1e-9),
-                "{label}: {shards} shards (pipeline {depth}) diverge from the \
-                 sequential engine ({} vs {} results)",
-                got.len(),
-                want.len(),
-            );
+            for routers in support::router_counts(depth) {
+                let mut sharded = build(shards, depth, routers);
+                // mixed ingestion: some per-event, some batched, covering both
+                let (head, tail) = run_events.split_at(run_events.len() / 3);
+                for e in head {
+                    sharded.process(e);
+                }
+                sharded.process_batch(tail);
+                let got = sharded.finish();
+                assert!(
+                    got.semantically_eq(&want, 1e-9),
+                    "{label}: {shards} shards (pipeline {depth}, routers {routers}) \
+                     diverge from the sequential engine ({} vs {} results)",
+                    got.len(),
+                    want.len(),
+                );
 
-            // columnar route-once ingestion agrees too
-            let mut sharded = build(shards, depth);
-            sharded.process_columnar(&run_batch);
-            let got = sharded.finish();
-            assert!(
-                got.semantically_eq(&want, 1e-9),
-                "{label}: {shards} shards (pipeline {depth}, columnar ingest) \
-                 diverge ({} vs {} results)",
-                got.len(),
-                want.len(),
-            );
+                // columnar route-once ingestion agrees too
+                let mut sharded = build(shards, depth, routers);
+                sharded.process_columnar(&run_batch);
+                let got = sharded.finish();
+                assert!(
+                    got.semantically_eq(&want, 1e-9),
+                    "{label}: {shards} shards (pipeline {depth}, routers {routers}, \
+                     columnar ingest) diverge ({} vs {} results)",
+                    got.len(),
+                    want.len(),
+                );
+            }
         }
     }
     assert!(!want.is_empty(), "{label}: stream must produce matches");
@@ -266,14 +271,15 @@ fn mixed_global_and_grouped_partitions() {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// Random group cardinalities, shard counts, pipeline depths, and
-    /// stream shapes: the sharded runtime is always `semantically_eq` to
-    /// the sequential one.
+    /// Random group cardinalities, shard counts, pipeline depths,
+    /// routing-plane sizes, and stream shapes: the sharded runtime is
+    /// always `semantically_eq` to the sequential one.
     #[test]
     fn random_group_cardinalities(
         cardinality in 1i64..=64,
         shards in 1usize..=9,
         depth in 0usize..=2,
+        routers in 1usize..=3,
         raw in prop::collection::vec((0usize..3, 0u64..=2, 0i64..=9), 0..=120),
     ) {
         let mut catalog = Catalog::new();
@@ -306,24 +312,31 @@ proptest! {
         sequential.process_batch(&events);
         let want = sequential.finish();
 
-        let mut sharded = ShardedExecutor::with_pipeline_depth(
+        // in-line routing hosts exactly one router; clamp the plane there
+        let routers = if depth == 0 { 1 } else { routers };
+        let mut sharded = ShardedExecutor::with_options(
             &catalog,
             &workload,
             &SharingPlan::non_shared(),
             shards,
-            sharon_executor::DEFAULT_BATCH_SIZE,
-            sharon_executor::SplitConfig::default(),
-            depth,
+            sharon_executor::ShardedOptions {
+                batch_size: sharon_executor::DEFAULT_BATCH_SIZE,
+                split: sharon_executor::SplitConfig::default(),
+                pipeline_depth: depth,
+                routers,
+                ..Default::default()
+            },
         )
         .unwrap();
         sharded.process_batch(&events);
         let got = sharded.finish();
         proptest::prop_assert!(
             got.semantically_eq(&want, 1e-9),
-            "cardinality {} shards {} pipeline {}: sharded diverges",
+            "cardinality {} shards {} pipeline {} routers {}: sharded diverges",
             cardinality,
             shards,
-            depth
+            depth,
+            routers
         );
     }
 

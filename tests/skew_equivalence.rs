@@ -9,7 +9,10 @@
 //! warm-up (one window length) completes and the round-robin final-fold
 //! path actually runs; `SplitConfig::eager` lowers the hotness noise
 //! floor so small synthetic streams split. The shard counts honour
-//! `SHARON_SHARDS` (the CI matrix runs 2 and 4 explicitly).
+//! `SHARON_SHARDS` (the CI matrix runs 2 and 4 explicitly), the pipeline
+//! depths honour `SHARON_PIPELINE`, and the routing-plane sizes honour
+//! `SHARON_ROUTERS` — splitting stays exact when the hot scope's router
+//! is one of several.
 //!
 //! With `SHARON_DISORDER=K` set, the split runs additionally ingest a
 //! bounded-disorder shuffle of the stream with a covering lateness — skew
@@ -60,51 +63,55 @@ fn assert_split_sharded_matches_sequential(
     let batch = EventBatch::from_events(&run_events);
     for shards in shard_counts() {
         for depth in support::pipeline_depths() {
-            // eager thresholds so moderate skew (theta 0.8) splits even at
-            // two shards — correctness never depends on the tuning
-            let split = SplitConfig {
-                min_rows: 64,
-                hot_fraction: 0.05,
-                ..SplitConfig::default()
-            };
-            let mut sharded = ShardedExecutor::with_options(
-                catalog,
-                workload,
-                plan,
-                shards,
-                sharon_executor::ShardedOptions {
-                    batch_size: 512,
-                    split,
-                    pipeline_depth: depth,
-                    lateness,
-                    ..Default::default()
-                },
-            )
-            .expect("sharded compiles");
-            sharded.process_columnar(&batch);
-            // the router publishes split counts after each batch; with a
-            // pipeline the published count trails ingestion by at most the
-            // in-flight jobs, and the split fires in the first few hundred
-            // rows, so it is visible by end of stream in both modes
-            let split_groups = sharded.split_groups();
-            let (got, matched, _state) = sharded.finish_with_stats();
-            assert!(
-                shards == 1 || split_groups > 0,
-                "{label}: {shards} shards (pipeline {depth}): the skewed \
-                 stream must trigger a split"
-            );
-            assert!(
-                got.semantically_eq(&want, 1e-9),
-                "{label}: {shards} shards (pipeline {depth}) with splitting \
-                 diverge from sequential ({} vs {} results, {split_groups} split groups)",
-                got.len(),
-                want.len(),
-            );
-            assert_eq!(
-                matched, want_matched,
-                "{label}: {shards} shards (pipeline {depth}): replicated rows \
-                 must not inflate matched"
-            );
+            for routers in support::router_counts(depth) {
+                // eager thresholds so moderate skew (theta 0.8) splits even
+                // at two shards — correctness never depends on the tuning
+                let split = SplitConfig {
+                    min_rows: 64,
+                    hot_fraction: 0.05,
+                    ..SplitConfig::default()
+                };
+                let mut sharded = ShardedExecutor::with_options(
+                    catalog,
+                    workload,
+                    plan,
+                    shards,
+                    sharon_executor::ShardedOptions {
+                        batch_size: 512,
+                        split,
+                        pipeline_depth: depth,
+                        routers,
+                        lateness,
+                        ..Default::default()
+                    },
+                )
+                .expect("sharded compiles");
+                sharded.process_columnar(&batch);
+                // the routers publish split counts after each batch; with a
+                // pipeline the published count trails ingestion by at most
+                // the in-flight jobs, and the split fires in the first few
+                // hundred rows, so it is visible by end of stream
+                let split_groups = sharded.split_groups();
+                let (got, matched, _state) = sharded.finish_with_stats();
+                assert!(
+                    shards == 1 || split_groups > 0,
+                    "{label}: {shards} shards (pipeline {depth}, routers \
+                     {routers}): the skewed stream must trigger a split"
+                );
+                assert!(
+                    got.semantically_eq(&want, 1e-9),
+                    "{label}: {shards} shards (pipeline {depth}, routers \
+                     {routers}) with splitting diverge from sequential \
+                     ({} vs {} results, {split_groups} split groups)",
+                    got.len(),
+                    want.len(),
+                );
+                assert_eq!(
+                    matched, want_matched,
+                    "{label}: {shards} shards (pipeline {depth}, routers \
+                     {routers}): replicated rows must not inflate matched"
+                );
+            }
         }
     }
 }
@@ -325,43 +332,49 @@ fn global_partition_split_exact_under_disorder() {
 
     for shards in shard_counts() {
         for depth in support::pipeline_depths() {
-            let mut sharded = ShardedExecutor::with_options(
-                &catalog,
-                &workload,
-                &plan,
-                shards,
-                sharon_executor::ShardedOptions {
-                    batch_size: 512,
-                    split: SplitConfig {
-                        min_rows: 64,
-                        hot_fraction: 0.05,
-                        ..SplitConfig::default()
+            for routers in support::router_counts(depth) {
+                let mut sharded = ShardedExecutor::with_options(
+                    &catalog,
+                    &workload,
+                    &plan,
+                    shards,
+                    sharon_executor::ShardedOptions {
+                        batch_size: 512,
+                        split: SplitConfig {
+                            min_rows: 64,
+                            hot_fraction: 0.05,
+                            ..SplitConfig::default()
+                        },
+                        pipeline_depth: depth,
+                        routers,
+                        lateness: Some(lateness),
+                        ..Default::default()
                     },
-                    pipeline_depth: depth,
-                    lateness: Some(lateness),
-                    ..Default::default()
-                },
-            )
-            .expect("sharded compiles");
-            sharded.process_columnar(&batch);
-            let split_groups = sharded.split_groups();
-            let (got, matched, _state) = sharded.finish_with_stats();
-            assert!(
-                shards == 1 || split_groups > 0,
-                "{shards} shards (pipeline {depth}): the global partition must split"
-            );
-            assert!(
-                got.semantically_eq(&want, 1e-9),
-                "{shards} shards (pipeline {depth}): split + disorder diverge from \
-                 the in-order sequential reference ({} vs {} results)",
-                got.len(),
-                want.len(),
-            );
-            assert_eq!(
-                matched, want_matched,
-                "{shards} shards (pipeline {depth}): matched counts diverge under \
-                 disorder (gate-buffered rows must drain before stats are read)"
-            );
+                )
+                .expect("sharded compiles");
+                sharded.process_columnar(&batch);
+                let split_groups = sharded.split_groups();
+                let (got, matched, _state) = sharded.finish_with_stats();
+                assert!(
+                    shards == 1 || split_groups > 0,
+                    "{shards} shards (pipeline {depth}, routers {routers}): \
+                     the global partition must split"
+                );
+                assert!(
+                    got.semantically_eq(&want, 1e-9),
+                    "{shards} shards (pipeline {depth}, routers {routers}): \
+                     split + disorder diverge from the in-order sequential \
+                     reference ({} vs {} results)",
+                    got.len(),
+                    want.len(),
+                );
+                assert_eq!(
+                    matched, want_matched,
+                    "{shards} shards (pipeline {depth}, routers {routers}): \
+                     matched counts diverge under disorder (gate-buffered rows \
+                     must drain before stats are read)"
+                );
+            }
         }
     }
 }
@@ -401,20 +414,24 @@ fn all_strategies_agree_on_skewed_input() {
     ] {
         for shards in shard_counts() {
             for depth in support::pipeline_depths() {
-                let (mut sharded, _) = SharonBuilder::new(&catalog, &workload, &rates)
-                    .strategy(strategy)
-                    .optimizer_config(cfg.clone())
-                    .shards(shards)
-                    .pipeline_depth(depth)
-                    .build_executor()
-                    .unwrap();
-                sharded.process_columnar(&batch);
-                let got = sharded.finish();
-                assert!(
-                    got.semantically_eq(&want, 1e-9),
-                    "{} sharded/{shards} (pipeline {depth}) diverges on skewed input",
-                    strategy.name()
-                );
+                for routers in support::router_counts(depth) {
+                    let (mut sharded, _) = SharonBuilder::new(&catalog, &workload, &rates)
+                        .strategy(strategy)
+                        .optimizer_config(cfg.clone())
+                        .shards(shards)
+                        .pipeline_depth(depth)
+                        .routers(routers)
+                        .build_executor()
+                        .unwrap();
+                    sharded.process_columnar(&batch);
+                    let got = sharded.finish();
+                    assert!(
+                        got.semantically_eq(&want, 1e-9),
+                        "{} sharded/{shards} (pipeline {depth}, routers {routers}) \
+                         diverges on skewed input",
+                        strategy.name()
+                    );
+                }
             }
         }
     }
@@ -491,6 +508,7 @@ proptest! {
         cardinality in 1i64..=24,
         shards in 2usize..=6,
         depth in 0usize..=2,
+        routers in 1usize..=3,
         chunk_lens in prop::collection::vec(0usize..=23, 1..=30),
         seed in 0u64..200,
     ) {
@@ -534,14 +552,20 @@ proptest! {
         }
         batches.push(EventBatch::from_events(rest));
 
-        let mut sharded = ShardedExecutor::with_pipeline_depth(
+        // in-line routing hosts exactly one router; clamp the plane there
+        let routers = if depth == 0 { 1 } else { routers };
+        let mut sharded = ShardedExecutor::with_options(
             &catalog,
             &workload,
             &SharingPlan::non_shared(),
             shards,
-            16,
-            SplitConfig::eager(4),
-            depth,
+            sharon_executor::ShardedOptions {
+                batch_size: 16,
+                split: SplitConfig::eager(4),
+                pipeline_depth: depth,
+                routers,
+                ..Default::default()
+            },
         )
         .unwrap();
         for b in &batches {
@@ -550,8 +574,8 @@ proptest! {
         let (got, matched, _) = sharded.finish_with_stats();
         proptest::prop_assert!(
             got.semantically_eq(&want, 1e-9),
-            "theta {} cardinality {} shards {} pipeline {}: split merge diverges ({} vs {} results)",
-            theta, cardinality, shards, depth, got.len(), want.len()
+            "theta {} cardinality {} shards {} pipeline {} routers {}: split merge diverges ({} vs {} results)",
+            theta, cardinality, shards, depth, routers, got.len(), want.len()
         );
         proptest::prop_assert_eq!(matched, want_matched);
     }
